@@ -1,0 +1,67 @@
+//! The two bootstrapping benchmarks (Sec. 8).
+
+use cl_boot::BootstrapPlan;
+use cl_isa::HeGraph;
+
+use crate::Benchmark;
+
+/// Fully packed bootstrapping: takes an `L = 3`, `N = 64K` ciphertext with
+/// an exhausted budget, raises it to `L = 57`, and runs the full pipeline
+/// over all 32K slots. This is the paper's headline bootstrapping
+/// benchmark (3.91 ms on CraterLake vs 17.2 s on the CPU).
+pub fn packed_bootstrapping() -> Benchmark {
+    packed_bootstrapping_at(1 << 16, 57)
+}
+
+/// Packed bootstrapping at an arbitrary operating point (Table 5).
+pub fn packed_bootstrapping_at(n: usize, l_max: usize) -> Benchmark {
+    let plan = BootstrapPlan::packed(n, l_max);
+    let mut g = HeGraph::new();
+    let x = g.input(3);
+    let refreshed = plan.append_to(&mut g, x);
+    g.output(refreshed);
+    Benchmark {
+        name: "Packed Bootstrapping",
+        graph: g,
+        n,
+        deep: true,
+    }
+}
+
+/// Unpacked bootstrapping: a ciphertext packing a single element
+/// (`L <= 23`). Shallower and cheaper per operation, but >1,000x worse per
+/// slot — included because it is the bootstrapping benchmark F1 reported.
+pub fn unpacked_bootstrapping() -> Benchmark {
+    let n = 1 << 16;
+    let plan = BootstrapPlan::unpacked(n, 23);
+    let mut g = HeGraph::new();
+    let x = g.input(3);
+    let refreshed = plan.append_to(&mut g, x);
+    g.output(refreshed);
+    Benchmark {
+        name: "Unpacked Bootstrapping",
+        graph: g,
+        n,
+        deep: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packed_uses_full_budget() {
+        let b = packed_bootstrapping();
+        assert_eq!(b.graph.max_level(), 57);
+        assert!(b.deep);
+    }
+
+    #[test]
+    fn unpacked_is_much_smaller() {
+        let p = packed_bootstrapping();
+        let u = unpacked_bootstrapping();
+        assert!(u.graph.num_nodes() * 3 < p.graph.num_nodes());
+        assert!(u.graph.max_level() <= 23);
+    }
+}

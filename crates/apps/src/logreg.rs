@@ -1,0 +1,105 @@
+//! The logistic-regression training benchmark (Sec. 8, HELR [36]).
+//!
+//! Batched logistic-regression training with 256 features and 256 samples
+//! per batch, starting at computational depth `L = 38`. Unlike F1's
+//! version (a single iteration, which avoids bootstrapping), this runs
+//! many iterations, so ciphertexts exhaust their budget and must be
+//! refreshed — the reason it belongs to the deep suite.
+
+use cl_boot::BootstrapPlan;
+use cl_isa::HeGraph;
+
+use crate::kernels::{poly_eval, rotation_reduce};
+use crate::Benchmark;
+
+/// Features per sample (and samples per batch).
+pub const FEATURES: usize = 256;
+/// Training iterations (batches processed).
+pub const ITERATIONS: usize = 32;
+/// Starting computational depth.
+pub const START_LEVEL: usize = 38;
+
+/// Builds the logistic-regression training benchmark at the paper's main
+/// operating point.
+pub fn logistic_regression() -> Benchmark {
+    logistic_regression_at(1 << 16, 57)
+}
+
+/// Builds the benchmark at an arbitrary operating point (Table 5).
+pub fn logistic_regression_at(n: usize, l_max: usize) -> Benchmark {
+    let plan = BootstrapPlan::packed(n, l_max);
+    let mut g = HeGraph::new();
+    // Encrypted weight vector, replicated across the batch dimension.
+    let mut w = g.input(START_LEVEL.min(l_max - plan.levels_consumed() + 16).min(START_LEVEL));
+    for _ in 0..ITERATIONS {
+        // Refresh when the budget cannot cover one iteration (~6 levels:
+        // dot product 1 + sigmoid 3 + gradient 1 + update 1).
+        if g.node(w).level < 7 {
+            let refreshed = plan.append_to(&mut g, w);
+            w = refreshed;
+        }
+        let level = g.node(w).level;
+        // This batch's encrypted data matrix (packed samples x features).
+        let xbatch = g.input(level);
+        // z = X·w: elementwise product then log-reduction across features.
+        let prod = g.mul_ct(w, xbatch);
+        let prod = g.rescale(prod);
+        let z = rotation_reduce(&mut g, prod, FEATURES);
+        // sigma(z): degree-7 least-squares sigmoid (depth 3).
+        let s = poly_eval(&mut g, z, 3);
+        // gradient = X^T (y - sigma): one more product + reduction.
+        let y = g.input(g.node(s).level);
+        let err = g.sub(y, s);
+        let xb2 = g.input(g.node(err).level);
+        let gprod = g.mul_ct(err, xb2);
+        let gprod = g.rescale(gprod);
+        let grad = rotation_reduce(&mut g, gprod, FEATURES);
+        // w -= lr * grad (learning rate folded into a plaintext multiply).
+        let lr = g.plain_input_cached(0x10_6000, g.node(grad).level);
+        let upd = g.mul_plain(grad, lr);
+        let upd = g.rescale(upd);
+        let w_aligned = g.mod_drop(w, g.node(upd).level);
+        w = g.sub(w_aligned, upd);
+    }
+    g.output(w);
+    Benchmark {
+        name: "Logistic Regression",
+        graph: g,
+        n,
+        deep: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiple_iterations_force_bootstrapping() {
+        // The F1 paper's single-iteration version never bootstraps; ours
+        // must (that is the point of the changed benchmark).
+        let b = logistic_regression();
+        let raises = b.graph.op_histogram().mod_raises;
+        assert!(raises >= 4, "expected several bootstraps, got {raises}");
+    }
+
+    #[test]
+    fn starts_at_l38() {
+        let b = logistic_regression();
+        // First node is the weight input at the starting depth.
+        let (_, first) = b.graph.iter().next().unwrap();
+        assert_eq!(first.level, START_LEVEL);
+    }
+
+    #[test]
+    fn iteration_structure() {
+        let b = logistic_regression();
+        let h = b.graph.op_histogram();
+        // Two log-reductions (8 rotations each) per iteration, plus
+        // bootstrap rotations.
+        assert!(h.rotations >= ITERATIONS * 2 * 8);
+        // Sigmoid: 3 ct-muls per iteration plus the two products.
+        assert!(h.ct_muls >= ITERATIONS * 5);
+        b.graph.validate();
+    }
+}

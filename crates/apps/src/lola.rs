@@ -1,0 +1,124 @@
+//! The LoLa (Low-Latency CryptoNets) shallow benchmarks (Sec. 8, [13]).
+//!
+//! Three FHE-tailored neural networks with low multiplicative depth and no
+//! bootstrapping: LoLa-MNIST (a LeNet-style network, in unencrypted- and
+//! encrypted-weight variants) and LoLa-CIFAR (a 6-layer network, similar
+//! in computation to MobileNet v3, unencrypted weights only). These come
+//! from F1's evaluation and show CraterLake remains competitive on the
+//! workloads prior accelerators were built for.
+
+use cl_isa::HeGraph;
+
+use crate::kernels::{bsgs_matvec, poly_eval, rotation_reduce};
+use crate::Benchmark;
+
+/// One dense/convolution layer plus square activation, the LoLa pattern.
+fn lola_layer(
+    g: &mut HeGraph,
+    x: cl_isa::NodeId,
+    diags: usize,
+    stride: i64,
+    encrypted_weights: bool,
+    activate: bool,
+) -> cl_isa::NodeId {
+    let y = bsgs_matvec(g, x, diags, stride, encrypted_weights);
+    if activate {
+        // LoLa uses square activations: depth 1.
+        poly_eval(g, y, 1)
+    } else {
+        y
+    }
+}
+
+/// LoLa-MNIST with unencrypted weights: a small LeNet-style network
+/// (convolution, square, dense, square, dense). Max depth 4-5.
+pub fn lola_mnist_uw() -> Benchmark {
+    lola_mnist(false, "MNIST Unencryp. Wghts.")
+}
+
+/// LoLa-MNIST with encrypted weights: the same network but every weight
+/// multiply is a ciphertext-ciphertext multiply with relinearization.
+pub fn lola_mnist_ew() -> Benchmark {
+    lola_mnist(true, "MNIST Encryp. Wghts.")
+}
+
+fn lola_mnist(encrypted_weights: bool, name: &'static str) -> Benchmark {
+    let n = 1 << 14;
+    let mut g = HeGraph::new();
+    let x = g.input(6);
+    // Conv (5x5 kernel over the 28x28 image, stride 2 -> 845 outputs;
+    // packed as a sparse matrix with ~120 diagonals) + square.
+    let c1 = lola_layer(&mut g, x, 120, 1, encrypted_weights, true);
+    // Dense 845 -> 100 (~150 diagonals under packing) + square.
+    let d1 = lola_layer(&mut g, c1, 150, 29, encrypted_weights, true);
+    // Final dense to 10 logits.
+    let out = bsgs_matvec(&mut g, d1, 16, 64, encrypted_weights);
+    let pooled = rotation_reduce(&mut g, out, 16);
+    g.output(pooled);
+    Benchmark {
+        name,
+        graph: g,
+        n,
+        deep: false,
+    }
+}
+
+/// LoLa-CIFAR with unencrypted weights: 6 layers over 32x32x3 inputs;
+/// much wider than MNIST (hundreds of diagonals per convolution), max
+/// depth ~8 — the heaviest shallow benchmark (187 s on the CPU).
+pub fn lola_cifar_uw() -> Benchmark {
+    let n = 1 << 14;
+    let mut g = HeGraph::new();
+    let mut x = g.input(8);
+    // Five convolution/dense layers (the wide early ones dominate) plus
+    // the pooled output layer below; square activations after the first
+    // two layers keep the whole network within the 8-level budget.
+    let layer_diags = [3000usize, 3000, 1500, 800, 400];
+    for (i, &diags) in layer_diags.iter().enumerate() {
+        let activate = i < 2;
+        let stride = 1i64 << i.min(3);
+        x = lola_layer(&mut g, x, diags, stride, false, activate);
+    }
+    let pooled = rotation_reduce(&mut g, x, 64);
+    g.output(pooled);
+    Benchmark {
+        name: "CIFAR Unencryp. Wghts.",
+        graph: g,
+        n,
+        deep: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnist_variants_differ_only_in_weight_encryption() {
+        let uw = lola_mnist_uw();
+        let ew = lola_mnist_ew();
+        let hu = uw.graph.op_histogram();
+        let he = ew.graph.op_histogram();
+        assert_eq!(hu.rotations, he.rotations);
+        // Unencrypted weights: plaintext muls. Encrypted: ct muls.
+        assert!(hu.plain_muls > he.plain_muls);
+        assert!(he.ct_muls > hu.ct_muls);
+        assert_eq!(hu.plain_muls + hu.ct_muls, he.plain_muls + he.ct_muls);
+    }
+
+    #[test]
+    fn cifar_is_much_bigger_than_mnist() {
+        let cifar = lola_cifar_uw();
+        let mnist = lola_mnist_uw();
+        assert!(cifar.graph.num_nodes() > 5 * mnist.graph.num_nodes());
+    }
+
+    #[test]
+    fn no_bootstrapping_and_shallow() {
+        for b in [lola_mnist_uw(), lola_mnist_ew(), lola_cifar_uw()] {
+            assert_eq!(b.graph.op_histogram().mod_raises, 0);
+            assert!(b.graph.max_level() <= 8);
+            b.graph.validate();
+        }
+    }
+}

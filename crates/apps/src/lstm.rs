@@ -1,0 +1,105 @@
+//! The LSTM benchmark (Sec. 8, [57]).
+//!
+//! The recurrence `h_{i+1} = sigma(W0·h_i + W1·x_i)` evaluated over many
+//! time steps: two 128x128 matrix-vector products per step, a degree-3
+//! polynomial activation, and — because the recurrence is serial —
+//! frequent bootstrapping. The paper states this benchmark "requires 50
+//! bootstrappings per inference"; with two time steps' worth of levels
+//! consumed between refreshes, that corresponds to a 100-step sequence.
+
+use cl_boot::BootstrapPlan;
+use cl_isa::HeGraph;
+
+use crate::kernels::{bsgs_matvec_keyed, poly_eval};
+use crate::Benchmark;
+
+/// Hidden/input dimension of the LSTM (128x128 weight matrices).
+pub const LSTM_DIM: usize = 128;
+/// Time steps in one inference.
+pub const LSTM_STEPS: usize = 100;
+/// Time steps executed between bootstrap refreshes.
+pub const STEPS_PER_BOOTSTRAP: usize = 2;
+/// Levels one segment (two steps) needs: 2 x (matvec 1 + activation 2),
+/// plus one level of headroom. The compiler drops refreshed ciphertexts to
+/// this level immediately — computing at the smallest workable level is
+/// the Fig. 3 optimization that keeps per-op cost low.
+pub const SEGMENT_LEVELS: usize = 7;
+
+/// Builds the LSTM inference benchmark at the paper's main operating
+/// point.
+pub fn lstm() -> Benchmark {
+    lstm_at(1 << 16, 57)
+}
+
+/// Builds the LSTM benchmark at an arbitrary operating point (Table 5).
+/// Tighter budgets (the 128-bit point) leave fewer usable levels after
+/// each refresh, so bootstrapping happens proportionally more often.
+pub fn lstm_at(n: usize, l_max: usize) -> Benchmark {
+    // The LSTM's working vectors are 128-wide, so bootstrapping runs in
+    // the sparse regime (256 slots): far smaller CoeffToSlot/SlotToCoeff
+    // matrices than fully packed bootstrapping (Sec. 8: bootstrapping
+    // costs grow with the slot count).
+    let plan = BootstrapPlan::sparse(n, l_max, 2 * LSTM_DIM);
+    let usable = plan.output_level(); // 22 at the 80-bit operating point
+    // 2 steps per refresh at 22 usable levels; tighter budgets refresh
+    // proportionally more often (Sec. 9.4: "we bootstrap twice as often").
+    let steps_per_bootstrap = (usable * STEPS_PER_BOOTSTRAP / 22).max(1);
+    let mut g = HeGraph::new();
+    let start = g.input(usable);
+    let mut h = g.mod_drop(start, SEGMENT_LEVELS.min(usable));
+    let mut bootstraps = 0;
+    for step in 0..LSTM_STEPS {
+        let level = g.node(h).level;
+        // Each step consumes 3 levels (matvec 1 + activation 2).
+        if level < 4 || (step > 0 && step % steps_per_bootstrap == 0) {
+            let refreshed = plan.append_to(&mut g, h);
+            h = g.mod_drop(refreshed, SEGMENT_LEVELS.min(g.node(refreshed).level));
+            bootstraps += 1;
+        }
+        let level = g.node(h).level;
+        // W0·h (weights unencrypted in this benchmark; inputs encrypted).
+        let w0h = bsgs_matvec_keyed(&mut g, h, LSTM_DIM, 1, false, 0x57_0000);
+        // W1·x for this step's encrypted input token.
+        let x = g.input(level);
+        let w1x = bsgs_matvec_keyed(&mut g, x, LSTM_DIM, 1, false, 0x57_0001);
+        let pre = g.add(w0h, w1x);
+        // sigma: degree-3 polynomial, depth 2.
+        h = poly_eval(&mut g, pre, 2);
+    }
+    // Refresh the final hidden state so the next inference window starts
+    // with a full budget (the 50th bootstrap of the inference).
+    let refreshed = plan.append_to(&mut g, h);
+    bootstraps += 1;
+    g.output(refreshed);
+    debug_assert!(bootstraps >= LSTM_STEPS / STEPS_PER_BOOTSTRAP);
+    Benchmark {
+        name: "LSTM",
+        graph: g,
+        n,
+        deep: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifty_bootstraps_per_inference() {
+        // Sec. 8: "requires 50 bootstrappings per inference".
+        let b = lstm();
+        assert_eq!(b.graph.op_histogram().mod_raises, 50);
+    }
+
+    #[test]
+    fn structure_matches_recurrence() {
+        let b = lstm();
+        let h = b.graph.op_histogram();
+        // Two matvecs per step: 2 * 100 * 128 plaintext diagonals, plus
+        // EvalMod pt-muls inside bootstraps.
+        assert!(h.plain_muls >= 2 * LSTM_STEPS * LSTM_DIM);
+        // Activation: 2 ct-muls per step plus bootstrap EvalMod muls.
+        assert!(h.ct_muls >= 2 * LSTM_STEPS);
+        b.graph.validate();
+    }
+}

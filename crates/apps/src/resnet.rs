@@ -1,0 +1,134 @@
+//! The ResNet-20 benchmark (Sec. 8, [48]).
+//!
+//! An FHE implementation of ResNet-20 inference on one encrypted CIFAR
+//! image, modified as the paper describes: all channels are packed into a
+//! single ciphertext before bootstrapping, which cuts the number of
+//! bootstrappings by ~38x versus the original partially packed version.
+//!
+//! Structure: a stem convolution, three stages of six 3x3 convolutions
+//! (16/32/64 channels), a composite polynomial ReLU approximation after
+//! each convolution, bootstrapping around each ReLU (the approximation is
+//! deep), and a final pooling + fully connected layer.
+
+use cl_boot::BootstrapPlan;
+use cl_isa::HeGraph;
+
+use crate::kernels::{bsgs_matvec_keyed, poly_eval, rotation_reduce};
+use crate::Benchmark;
+
+/// Convolution layers (stem + 3 stages x 6).
+pub const CONV_LAYERS: usize = 19;
+/// Multiplicative depth of the composite minimax ReLU approximation [47]
+/// (the faithful high-precision approximation of [48]).
+pub const RELU_DEPTH: usize = 14;
+/// Packed diagonals per convolution: 3x3 filter taps across the packed
+/// channel dimension (up to 64 channels per stage) — convolutions under
+/// channel packing are rotation- and multiply-heavy [48].
+pub const CONV_DIAGS: usize = 300;
+
+/// Builds the ResNet-20 inference benchmark at the paper's main operating
+/// point (N = 64K, 80-bit security budget L = 57).
+pub fn resnet20() -> Benchmark {
+    resnet20_at(1 << 16, 57)
+}
+
+/// Builds ResNet-20 at an arbitrary operating point (used by the security
+/// sweep of Table 5).
+pub fn resnet20_at(n: usize, l_max: usize) -> Benchmark {
+    let plan = BootstrapPlan::packed(n, l_max);
+    let usable = plan.output_level();
+    let mut g = HeGraph::new();
+    let mut x = g.input(usable);
+    for layer in 0..CONV_LAYERS {
+        // Convolution as a BSGS diagonal kernel. Layers in the same stage
+        // share geometry (stride), so their rotation hints are reused.
+        let stage = layer / 7;
+        let stride = 1i64 << (2 * stage);
+        x = bsgs_matvec_keyed(&mut g, x, CONV_DIAGS, stride, false, 0xCC_0000 + layer as u64);
+        // Residual connections every second conv within a stage.
+        if layer % 2 == 0 && layer > 0 {
+            // The shortcut joins at the current level.
+            let shortcut = g.input(g.node(x).level);
+            x = g.add(x, shortcut);
+        }
+        // The deep composite ReLU does not fit in the remaining budget of
+        // any layer but the first, so each layer bootstraps at least once
+        // — the packed regime (one refresh covers all channels). At tight
+        // budgets (the 128-bit operating point) the ReLU itself is split
+        // across bootstraps.
+        let mut remaining = RELU_DEPTH;
+        while remaining > 0 {
+            if g.node(x).level <= remaining.min(usable - 1) + 1 {
+                let refreshed = plan.append_to(&mut g, x);
+                x = g.mod_drop(refreshed, usable.min(g.node(refreshed).level));
+            }
+            let chunk = remaining.min(g.node(x).level - 1).min(usable - 1);
+            x = poly_eval(&mut g, x, chunk);
+            remaining -= chunk;
+        }
+    }
+    // Average pooling (rotation reduce) + fully connected layer.
+    let pooled = rotation_reduce(&mut g, x, 64);
+    let logits = bsgs_matvec_keyed(&mut g, pooled, 10, 64, false, 0xCC_FFFF);
+    g.output(logits);
+    Benchmark {
+        name: "ResNet-20",
+        graph: g,
+        n,
+        deep: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bootstrap_count_in_packed_regime() {
+        // With all channels packed, each ReLU costs one bootstrap-scale
+        // refresh: expect on the order of 2 per layer pair, tens total (the
+        // original partially packed network needed ~38x more).
+        let b = resnet20();
+        let raises = b.graph.op_histogram().mod_raises;
+        assert!(
+            (15..=45).contains(&raises),
+            "expected tens of bootstraps, got {raises}"
+        );
+    }
+
+    #[test]
+    fn conv_structure() {
+        let b = resnet20();
+        let h = b.graph.op_histogram();
+        // 19 convs x 81 diagonals of plaintext weights (plus bootstrap
+        // internals).
+        assert!(h.plain_muls >= CONV_LAYERS * CONV_DIAGS);
+        // Deep ReLU approximations: >= 6 ct-muls per layer.
+        assert!(h.ct_muls >= CONV_LAYERS * RELU_DEPTH);
+        b.graph.validate();
+    }
+
+    #[test]
+    fn stages_share_rotation_geometry() {
+        use cl_isa::HeOp;
+        let b = resnet20();
+        let rots: Vec<i64> = b
+            .graph
+            .iter()
+            .filter_map(|(_, n)| match n.op {
+                HeOp::Rotate(_, s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        let mut distinct = rots.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        // Heavy reuse: far fewer distinct amounts than rotations.
+        assert!(
+            distinct.len() * 4 < rots.len(),
+            "{} distinct of {}",
+            distinct.len(),
+            rots.len()
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! Criterion benchmarks of the functional FHE kernels — the "CPU library"
+//! side of the reproduction, against which the analytic CPU model can be
+//! sanity-checked on this host.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cl_ckks::{CkksContext, CkksParams, KeySwitchKind};
+use cl_math::{generate_ntt_primes, NttTable};
+use cl_rns::{BaseConverter, RnsContext};
+use rand::SeedableRng;
+
+fn bench_ntt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ntt");
+    for log_n in [12usize, 13, 14] {
+        let n = 1 << log_n;
+        let q = generate_ntt_primes(n, 50, 1).unwrap()[0];
+        let table = NttTable::new(n, q).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let poly: Vec<u64> = (0..n).map(|_| rand::Rng::gen_range(&mut rng, 0..q)).collect();
+        group.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
+            b.iter_batched(
+                || poly.clone(),
+                |mut p| {
+                    table.forward(&mut p);
+                    black_box(p)
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_base_conversion(c: &mut Criterion) {
+    // The changeRNSBase kernel (what the CRB unit accelerates).
+    let mut group = c.benchmark_group("change_rns_base");
+    for l in [4usize, 8, 16] {
+        let ctx = RnsContext::generate(1 << 12, l, l, 40).unwrap();
+        let conv = BaseConverter::new(&ctx, ctx.q_basis(l), ctx.p_basis(l));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut x = ctx.sample_uniform(&ctx.q_basis(l), &mut rng);
+        x.set_ntt_form(false);
+        group.bench_with_input(BenchmarkId::new("L_to_L", l), &l, |b, _| {
+            b.iter(|| black_box(conv.convert(&ctx, &x)))
+        });
+    }
+    group.finish();
+}
+
+fn keyswitch_ctx(levels: usize) -> (CkksContext, cl_ckks::SecretKey, rand::rngs::StdRng) {
+    let params = CkksParams::builder()
+        .ring_degree(1 << 12)
+        .levels(levels)
+        .special_limbs(levels)
+        .limb_bits(40)
+        .scale_bits(36)
+        .build()
+        .unwrap();
+    let ctx = CkksContext::new(params).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let sk = ctx.keygen(&mut rng);
+    (ctx, sk, rng)
+}
+
+fn bench_keyswitch_variants(c: &mut Criterion) {
+    // Boosted vs. standard keyswitching: the Fig. 4 compute claim, on a CPU.
+    let mut group = c.benchmark_group("keyswitch");
+    group.sample_size(10);
+    let levels = 12;
+    let (ctx, sk, mut rng) = keyswitch_ctx(levels);
+    let vals = vec![1.0f64; 16];
+    let pt = ctx.encode(&vals, ctx.default_scale(), levels);
+    let ct = ctx.encrypt(&pt, &sk, &mut rng);
+    for (name, kind) in [
+        ("boosted_1digit", KeySwitchKind::Boosted { digits: 1 }),
+        ("boosted_2digit", KeySwitchKind::Boosted { digits: 2 }),
+        ("standard", KeySwitchKind::Standard),
+    ] {
+        let ksk = ctx.rotation_keygen(&sk, 1, kind, &mut rng);
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(ctx.rotate(&ct, 1, &ksk)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_homomorphic_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("homomorphic");
+    group.sample_size(10);
+    let (ctx, sk, mut rng) = keyswitch_ctx(8);
+    let vals: Vec<f64> = (0..32).map(|i| i as f64 * 0.1).collect();
+    let pt = ctx.encode(&vals, ctx.default_scale(), 8);
+    let ct = ctx.encrypt(&pt, &sk, &mut rng);
+    let relin = ctx.relin_keygen(&sk, KeySwitchKind::Boosted { digits: 1 }, &mut rng);
+    group.bench_function("add", |b| b.iter(|| black_box(ctx.add(&ct, &ct))));
+    group.bench_function("mul_plain", |b| {
+        b.iter(|| black_box(ctx.mul_plain(&ct, &pt)))
+    });
+    group.bench_function("mul_ct_relin", |b| {
+        b.iter(|| black_box(ctx.mul(&ct, &ct, &relin)))
+    });
+    group.bench_function("rescale", |b| {
+        let prod = ctx.mul(&ct, &ct, &relin);
+        b.iter(|| black_box(ctx.rescale(&prod)))
+    });
+    group.finish();
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encoding");
+    let (ctx, sk, mut rng) = keyswitch_ctx(4);
+    let slots = ctx.params().slots();
+    let vals: Vec<f64> = (0..slots).map(|i| (i as f64).sin()).collect();
+    group.bench_function("encode", |b| {
+        b.iter(|| black_box(ctx.encode(&vals, ctx.default_scale(), 4)))
+    });
+    let pt = ctx.encode(&vals, ctx.default_scale(), 4);
+    let ct = ctx.encrypt(&pt, &sk, &mut rng);
+    group.bench_function("decrypt_decode", |b| {
+        b.iter(|| black_box(ctx.decode(&ctx.decrypt(&ct, &sk), slots)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ntt,
+    bench_base_conversion,
+    bench_keyswitch_variants,
+    bench_homomorphic_ops,
+    bench_encode_decode
+);
+criterion_main!(benches);

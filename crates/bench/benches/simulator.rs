@@ -1,0 +1,34 @@
+//! Criterion benchmarks of the machine model itself: how fast the
+//! compiler + simulator processes the paper's workloads (useful when
+//! sweeping configurations, as Figs. 3 and 11 do).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cl_apps::{lola_mnist_uw, packed_bootstrapping, unpacked_bootstrapping};
+use cl_baselines::{craterlake_options, f1_plus_options};
+use cl_compiler::compile_and_run;
+
+fn bench_compile_and_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate");
+    group.sample_size(10);
+    for bench in [
+        packed_bootstrapping(),
+        unpacked_bootstrapping(),
+        lola_mnist_uw(),
+    ] {
+        let (arch, opts) = craterlake_options(bench.n);
+        group.bench_function(format!("craterlake/{}", bench.name), |b| {
+            b.iter(|| black_box(compile_and_run(&bench.graph, &arch, &opts)))
+        });
+    }
+    let bench = packed_bootstrapping();
+    let (arch, opts) = f1_plus_options(bench.n);
+    group.bench_function("f1plus/Packed Bootstrapping", |b| {
+        b.iter(|| black_box(compile_and_run(&bench.graph, &arch, &opts)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile_and_run);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Developer utility: per-benchmark resource breakdown on CraterLake and
+//! F1+ (not one of the paper's tables; used to sanity-check the model).
+
+use cl_apps::all_benchmarks;
+use cl_baselines::{craterlake_options, f1_plus_options};
+use cl_compiler::compile_and_run;
+use cl_isa::TrafficClass;
+
+fn main() {
+    for bench in all_benchmarks() {
+        println!("== {} (n={}, nodes={})", bench.name, bench.n, bench.graph.num_nodes());
+        for (arch, opts) in [craterlake_options(bench.n), f1_plus_options(bench.n)] {
+            let s = compile_and_run(&bench.graph, &arch, &opts);
+            let mut fu: Vec<_> = s.fu_busy.iter().map(|(k, v)| (*k, v / s.cycles)).collect();
+            fu.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            println!(
+                "  {:<12} cycles={:>12.0}  hbm={:>5.1}% rf={:>5.1}% net={:>5.1}%  evict={}/{}d  traffic: ksh={:.2}GB in={:.2}GB interm={:.2}GB",
+                arch.name,
+                s.cycles,
+                100.0 * s.hbm_busy / s.cycles,
+                100.0 * s.rf_busy / s.cycles,
+                100.0 * s.net_busy / s.cycles,
+                s.evictions, s.evictions_dirty,
+                s.traffic_of(TrafficClass::Ksh) / 1e9,
+                s.traffic_of(TrafficClass::Input) / 1e9,
+                (s.traffic_of(TrafficClass::IntermLoad) + s.traffic_of(TrafficClass::IntermStore)) / 1e9,
+            );
+            let fus: Vec<String> = fu.iter().map(|(k, u)| format!("{}={:.0}%", k.name(), 100.0 * u / arch.fu_count(*k))).collect();
+            println!("      fu-util: {}", fus.join(" "));
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Fig. 10: per-benchmark breakdown of (a) off-chip data movement by class
+//! and (b) average power by component, for CraterLake.
+
+use cl_apps::all_benchmarks;
+use cl_bench::run_on;
+use cl_core::{energy, ArchConfig};
+use cl_isa::TrafficClass;
+
+fn main() {
+    let arch = ArchConfig::craterlake();
+    println!("Fig. 10a: Off-chip traffic breakdown");
+    println!();
+    println!(
+        "{:<24} {:>10} {:>8} {:>8} {:>9} {:>9}",
+        "", "total", "KSH %", "input %", "ld int %", "st int %"
+    );
+    let mut runs = Vec::new();
+    for bench in all_benchmarks() {
+        let stats = run_on(&bench, &arch);
+        let total = stats.total_traffic_bytes();
+        let pct = |c: TrafficClass| 100.0 * stats.traffic_of(c) / total.max(1.0);
+        let total_str = if total >= 1e9 {
+            format!("{:.0} GB", total / 1e9)
+        } else {
+            format!("{:.0} MB", total / 1e6)
+        };
+        println!(
+            "{:<24} {:>10} {:>7.0}% {:>7.0}% {:>8.0}% {:>8.0}%",
+            bench.name,
+            total_str,
+            pct(TrafficClass::Ksh),
+            pct(TrafficClass::Input),
+            pct(TrafficClass::IntermLoad),
+            pct(TrafficClass::IntermStore)
+        );
+        runs.push((bench.name, stats));
+    }
+    println!();
+    println!("Paper reference totals: ResNet 73GB, LogReg 69GB, LSTM 62GB, P-Bstrap 2GB,");
+    println!("U-Bstrap 60MB, CIFAR 8GB, MNIST 55MB/122MB.");
+    println!();
+    println!("Fig. 10b: Average power breakdown [W]");
+    println!();
+    println!(
+        "{:<24} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "", "total", "FUs", "RegFile", "NoC", "HBM", "idle"
+    );
+    for (name, stats) in &runs {
+        let p = energy::power_breakdown(&arch, stats);
+        println!(
+            "{:<24} {:>7.0}W {:>7.0}W {:>7.0}W {:>7.0}W {:>7.0}W {:>7.0}W",
+            name,
+            p.total(),
+            p.fu,
+            p.rf,
+            p.noc,
+            p.hbm,
+            p.idle
+        );
+    }
+    println!();
+    println!("Paper reference totals: ResNet 279W, LogReg 212W, LSTM 317W, P-Bstrap 248W,");
+    println!("U-Bstrap 122W, CIFAR 218W, MNIST 81W/98W; FUs dominate (50-80%).");
+}

@@ -1,0 +1,62 @@
+//! Fig. 2: a ciphertext's multiplicative budget over time — computation
+//! consumes levels until bootstrapping refreshes them. Rendered from the
+//! LSTM benchmark's actual graph (ASCII sparkline of the working
+//! ciphertext's level across the schedule).
+
+use cl_apps::lstm;
+use cl_isa::{HeOp, Phase};
+
+fn main() {
+    let b = lstm();
+    println!("Fig. 2: multiplicative budget over time (LSTM working state)");
+    println!();
+    // Walk the graph and track the level of the rolling hidden-state chain
+    // (any node whose output feeds the next step).
+    let mut series: Vec<(usize, Phase)> = Vec::new();
+    for (_, node) in b.graph.iter() {
+        match node.op {
+            HeOp::Rescale(_) | HeOp::ModRaise(..) | HeOp::MulCt(..) | HeOp::ModDrop(..) => {
+                series.push((node.level, node.phase));
+            }
+            _ => {}
+        }
+    }
+    // Downsample to an 80-column strip chart.
+    let cols = 100usize;
+    let max_level = series.iter().map(|(l, _)| *l).max().unwrap_or(1);
+    let chunk = series.len().div_ceil(cols);
+    let mut rows = vec![String::new(); max_level + 1];
+    let mut boots = 0;
+    for window in series.chunks(chunk) {
+        let lvl = window.iter().map(|(l, _)| *l).max().unwrap();
+        let bootstrapping = window.iter().any(|(_, p)| *p == Phase::Bootstrap);
+        if bootstrapping {
+            boots += 1;
+        }
+        for (h, row) in rows.iter_mut().enumerate() {
+            row.push(if h <= lvl {
+                if bootstrapping {
+                    '#'
+                } else {
+                    '*'
+                }
+            } else {
+                ' '
+            });
+        }
+    }
+    for (h, row) in rows.iter().enumerate().rev() {
+        if h % 8 == 0 || h == max_level {
+            println!("L={h:>2} |{row}");
+        }
+    }
+    println!("      {}", "-".repeat(cols.min(series.len())));
+    println!("      time ->    (# = bootstrapping phase, * = application)");
+    println!();
+    println!(
+        "{} bootstraps refresh the budget across the inference (Sec. 2.3: the",
+        b.graph.op_histogram().mod_raises
+    );
+    println!("budget saw-tooths between the post-bootstrap level and exhaustion).");
+    let _ = boots;
+}

@@ -1,0 +1,97 @@
+//! Fig. 3: computation cost per homomorphic multiply as a function of the
+//! maximum ciphertext size, for a serial multiplication chain (left,
+//! bootstrap-dominated worst case) and a 100-wide multiply-add graph
+//! (right, amortized best case). Both curves split application vs.
+//! bootstrapping cost; the optimum should land in the 20-26 MB band.
+
+use cl_baselines::CpuModel;
+use cl_boot::BootstrapPlan;
+use cl_ckks::security::SecurityLevel;
+use cl_compiler::KsPolicy;
+use cl_isa::cost::ciphertext_bytes;
+use cl_isa::HeGraph;
+
+const N: usize = 1 << 16;
+
+/// Serial chain: `usable` squarings, then one bootstrap.
+fn chain_graph(l_max: usize) -> (HeGraph, usize) {
+    let plan = BootstrapPlan::packed(N, l_max);
+    let usable = plan.output_level();
+    let mut g = HeGraph::new();
+    let mut x = g.input(usable);
+    let mut muls = 0;
+    while g.node(x).level > 4 {
+        let m = g.mul_ct(x, x);
+        x = g.rescale(m);
+        muls += 1;
+    }
+    let refreshed = plan.append_to(&mut g, x);
+    g.output(refreshed);
+    (g, muls)
+}
+
+/// Wide graph: 100 independent multiplies per level, converging to one
+/// output per level, then one bootstrap amortized over all of them.
+fn wide_graph(l_max: usize) -> (HeGraph, usize) {
+    let plan = BootstrapPlan::packed(N, l_max);
+    let usable = plan.output_level();
+    let mut g = HeGraph::new();
+    let mut x = g.input(usable);
+    let mut muls = 0;
+    while g.node(x).level > 4 {
+        let level = g.node(x).level;
+        let mut partial = None;
+        for _ in 0..100 {
+            let other = g.input(level);
+            let m = g.mul_ct(x, other);
+            muls += 1;
+            partial = Some(match partial {
+                None => m,
+                Some(p) => g.add(p, m),
+            });
+        }
+        x = g.rescale(partial.expect("wide level"));
+    }
+    let refreshed = plan.append_to(&mut g, x);
+    g.output(refreshed);
+    (g, muls)
+}
+
+fn main() {
+    let policy = KsPolicy::SecurityDriven(SecurityLevel::Bits80);
+    println!("Fig. 3: scalar multiplies per homomorphic multiply vs. max ciphertext size");
+    println!();
+    for (name, builder) in [
+        ("Multiplication chain (narrow)", chain_graph as fn(usize) -> (HeGraph, usize)),
+        ("Wide multiply-add graph (100 muls/depth)", wide_graph),
+    ] {
+        println!("{name}:");
+        println!(
+            "{:>6} {:>10} {:>16} {:>16} {:>16}",
+            "L_max", "ct [MB]", "app [M muls]", "boot [M muls]", "total/mul [M]"
+        );
+        let mut best: Option<(f64, f64)> = None;
+        for l_max in (41..=80).step_by(3) {
+            let (g, muls) = builder(l_max);
+            let (app, boot) = CpuModel::graph_scalar_ops_by_phase(&g, N, &policy);
+            let per_mul = (app + boot) / muls as f64;
+            let mb = ciphertext_bytes(N, l_max, 28) as f64 / (1024.0 * 1024.0);
+            println!(
+                "{:>6} {:>10.1} {:>16.1} {:>16.1} {:>16.1}",
+                l_max,
+                mb,
+                app / muls as f64 / 1e6,
+                boot / muls as f64 / 1e6,
+                per_mul / 1e6
+            );
+            if best.map(|(_, b)| per_mul < b).unwrap_or(true) {
+                best = Some((mb, per_mul));
+            }
+        }
+        let (mb, _) = best.unwrap();
+        println!("  -> optimum at ~{mb:.0} MB max ciphertexts");
+        println!();
+    }
+    println!("Paper reference: optima between 20 MB (wide) and 26 MB (narrow);");
+    println!("prior accelerators max out near 2 MB, far left of the optimum.");
+}

@@ -1,0 +1,37 @@
+//! Fig. 4: keyswitch-hint footprint and compute for standard vs. boosted
+//! keyswitching as a function of the multiplicative budget L (N = 64K).
+
+use cl_isa::cost::{fig4_compute, fig4_footprint};
+
+fn main() {
+    let n = 1 << 16;
+    println!("Fig. 4: standard vs. boosted keyswitching at N = 64K");
+    println!();
+    println!(
+        "{:>4} {:>16} {:>16} {:>22} {:>22}",
+        "L", "std foot [GB]", "boost foot [GB]", "std muls [billions]", "boost muls [billions]"
+    );
+    for l in (4..=64).step_by(4) {
+        let (sf, bf) = fig4_footprint(n, l, 28);
+        let (sc, bc) = fig4_compute(n, l);
+        println!(
+            "{:>4} {:>16.3} {:>16.3} {:>22.3} {:>22.3}",
+            l,
+            sf as f64 / 1e9,
+            bf as f64 / 1e9,
+            sc as f64 / 1e9,
+            bc as f64 / 1e9
+        );
+    }
+    println!();
+    let (sf60, bf60) = fig4_footprint(n, 60, 28);
+    println!(
+        "At L=60: footprints {:.2} GB (standard) vs {:.1} MB (boosted); paper: 1.7 GB vs 52.5 MB.",
+        sf60 as f64 / 1e9,
+        bf60 as f64 / 1e6
+    );
+    println!(
+        "Crossover (boosted cheaper in multiplies) at L = {} (paper: ~14).",
+        cl_isa::cost::boosted_crossover_level(n)
+    );
+}

@@ -1,0 +1,43 @@
+//! Fig. 9: average functional-unit utilization and off-chip bandwidth
+//! utilization per benchmark on CraterLake.
+
+use cl_apps::all_benchmarks;
+use cl_bench::run_on;
+use cl_core::ArchConfig;
+use cl_isa::FuKind;
+
+fn main() {
+    let arch = ArchConfig::craterlake();
+    println!("Fig. 9: Utilization of functional units and main memory bandwidth");
+    println!();
+    println!(
+        "{:<24} {:>10} {:>10}   {}",
+        "", "FU [%]", "BW [%]", "per-FU [%]: mul add ntt aut crb kshgen"
+    );
+    for bench in all_benchmarks() {
+        let stats = run_on(&bench, &arch);
+        let per_fu: Vec<String> = [
+            FuKind::Mul,
+            FuKind::Add,
+            FuKind::Ntt,
+            FuKind::Automorphism,
+            FuKind::Crb,
+            FuKind::KshGen,
+        ]
+        .iter()
+        .map(|&k| format!("{:>3.0}", 100.0 * stats.fu_utilization_of(&arch, k)))
+        .collect();
+        println!(
+            "{:<24} {:>9.0}% {:>9.0}%   {}",
+            bench.name,
+            100.0 * stats.fu_utilization(&arch),
+            100.0 * stats.bw_utilization(),
+            per_fu.join(" ")
+        );
+    }
+    println!();
+    println!("Paper reference: high utilization of both; unpacked bootstrapping");
+    println!("saturates memory bandwidth, most others are balanced (FU >= 50%).");
+    println!("(Our graphs are lighter in compute per byte than the paper's");
+    println!("workloads, so bandwidth utilization dominates here; see EXPERIMENTS.md.)");
+}

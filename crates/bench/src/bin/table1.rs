@@ -1,0 +1,30 @@
+//! Table 1: operation breakdown for boosted vs. standard keyswitching, as
+//! a function of the multiplicative budget L and at L = 60.
+
+use cl_isa::cost::{
+    boosted_keyswitch_crb_mult, boosted_keyswitch_ops, standard_keyswitch_ops,
+};
+
+fn main() {
+    println!("Table 1: Operation breakdown, boosted vs. standard keyswitching");
+    println!();
+    println!("{:<8} {:>28} {:>18}", "", "Boosted (changeRNSBase + other)", "Standard");
+    let l = 60;
+    let b = boosted_keyswitch_ops(l, 1);
+    let crb = boosted_keyswitch_crb_mult(l, 1);
+    let s = standard_keyswitch_ops(l);
+    println!("As formulas (any L): boosted mult = 3L^2+4L, add = 3L^2+2L, ntt = 6L");
+    println!("                     standard mult = 2L^2, add = 2L^2, ntt = L^2");
+    println!();
+    println!("At L = {l}:");
+    println!("{:<8} {:>12} + {:>6} {:>18}", "Mult", crb, b.mult - crb, s.mult);
+    println!("{:<8} {:>12} + {:>6} {:>18}", "Add", crb, b.add - crb, s.add);
+    println!("{:<8} {:>21} {:>18}", "NTT", b.ntt, s.ntt);
+    println!();
+    println!(
+        "NTT reduction at L=60: {}x (paper: 10x)",
+        s.ntt / b.ntt
+    );
+    println!("Paper reference (L=60): boosted 10,800+240 / 10,800+120 / 360;");
+    println!("                        standard 7,200 / 7,200 / 3,600.");
+}

@@ -1,0 +1,38 @@
+//! Table 2: area breakdown of CraterLake by component, plus the F1+ and
+//! N=128K comparison points (Secs. 7-9.4).
+
+use cl_core::{area, ArchConfig};
+
+fn main() {
+    println!("Table 2: Area breakdown of CraterLake by component (14/12nm)");
+    println!();
+    println!("{:<36} {:>12}", "Component", "Area [mm^2]");
+    println!("{:<36} {:>12.1}", "CRB FU", area::CRB_MM2);
+    println!("{:<36} {:>12.1}", "NTT FU (each of 2)", area::NTT_MM2);
+    println!("{:<36} {:>12.1}", "Automorphism FU", area::AUT_MM2);
+    println!("{:<36} {:>12.1}", "KSHGen FU", area::KSHGEN_MM2);
+    println!("{:<36} {:>12.1}", "Multiply FU (each of 5)", area::MUL_MM2);
+    println!("{:<36} {:>12.1}", "Add FU (each of 5)", area::ADD_MM2);
+    let cl = area::area_mm2(&ArchConfig::craterlake());
+    println!("{:<36} {:>12.1}", "Total FUs", cl.fus);
+    println!("{:<36} {:>12.1}", "Register file (256MB)", cl.rf);
+    println!("{:<36} {:>12.1}", "On-chip interconnect", cl.noc);
+    println!("{:<36} {:>12.1}", "Mem. PHYs (2x HBM2E)", cl.mem_phy);
+    println!("{:<36} {:>12.1}", "Total CraterLake", cl.total());
+    println!();
+    let f1 = area::area_mm2(&ArchConfig::f1_plus());
+    println!(
+        "F1+ for comparison: {:.0} mm^2 total, {:.0} mm^2 network ({:.0}x CraterLake's).",
+        f1.total(),
+        f1.noc,
+        f1.noc / cl.noc
+    );
+    let big = area::area_mm2(&ArchConfig::craterlake_128k());
+    println!(
+        "N=128K variant: +{:.1} mm^2 ({:.1}% of chip area; paper: 27.4 mm^2, <6%).",
+        big.total() - cl.total(),
+        (big.total() - cl.total()) / cl.total() * 100.0
+    );
+    println!();
+    println!("Paper reference: FUs 240.5, RF 192.0, NoC 10.0, PHYs 29.8, total 472.3 mm^2.");
+}

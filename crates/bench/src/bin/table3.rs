@@ -1,0 +1,56 @@
+//! Table 3: performance of CraterLake, F1+, and the CPU on the full
+//! benchmark suite, with per-group geometric-mean speedups.
+
+use cl_apps::all_benchmarks;
+use cl_bench::{compare, fmt_time, gmean};
+
+fn main() {
+    println!("Table 3: Performance of CraterLake, F1+, and CPU on full FHE benchmarks");
+    println!(
+        "{:<24} {:>14} {:>12} {:>10} {:>9} {:>9}",
+        "", "CraterLake", "F1+", "CPU", "vs. F1+", "vs. CPU"
+    );
+    let mut deep_f1 = Vec::new();
+    let mut deep_cpu = Vec::new();
+    let mut shallow_f1 = Vec::new();
+    let mut shallow_cpu = Vec::new();
+    let mut printed_shallow_header = false;
+    for bench in all_benchmarks() {
+        let c = compare(&bench);
+        if !c.deep && !printed_shallow_header {
+            println!(
+                "  deep gmean speedup {:>42.1}x {:>8.0}x",
+                gmean(&deep_f1),
+                gmean(&deep_cpu)
+            );
+            println!();
+            printed_shallow_header = true;
+        }
+        let vs_f1 = c.f1_ms / c.craterlake_ms;
+        let vs_cpu = c.cpu_ms / c.craterlake_ms;
+        println!(
+            "{:<24} {:>14} {:>12} {:>10} {:>8.2}x {:>8.0}x",
+            c.name,
+            fmt_time(c.craterlake_ms),
+            fmt_time(c.f1_ms),
+            fmt_time(c.cpu_ms),
+            vs_f1,
+            vs_cpu
+        );
+        if c.deep {
+            deep_f1.push(vs_f1);
+            deep_cpu.push(vs_cpu);
+        } else {
+            shallow_f1.push(vs_f1);
+            shallow_cpu.push(vs_cpu);
+        }
+    }
+    println!(
+        "  shallow gmean speedup {:>39.2}x {:>8.0}x",
+        gmean(&shallow_f1),
+        gmean(&shallow_cpu)
+    );
+    println!();
+    println!("Paper reference: deep gmean 11.2x vs F1+, 4,611x vs CPU;");
+    println!("                 shallow gmean 1.34x vs F1+, 5,220x vs CPU.");
+}

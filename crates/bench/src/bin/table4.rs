@@ -1,0 +1,52 @@
+//! Table 4: speedups of full CraterLake over configurations without
+//! KSHGen, without CRB/chaining, and with F1+'s crossbar network.
+
+use cl_apps::all_benchmarks;
+use cl_bench::{gmean, run_on};
+use cl_core::ArchConfig;
+
+fn main() {
+    println!("Table 4: Speedup of CraterLake over ablated configurations");
+    println!();
+    println!(
+        "{:<24} {:>10} {:>12} {:>10}",
+        "Speedup vs.", "KSHGen", "CRB/chain", "Network"
+    );
+    let mut deep = [Vec::new(), Vec::new(), Vec::new()];
+    let mut shallow = [Vec::new(), Vec::new(), Vec::new()];
+    let mut printed_rule = false;
+    for bench in all_benchmarks() {
+        if !bench.deep && !printed_rule {
+            println!(
+                "  deep gmean {:>22.1}x {:>11.1}x {:>9.1}x",
+                gmean(&deep[0]),
+                gmean(&deep[1]),
+                gmean(&deep[2])
+            );
+            println!();
+            printed_rule = true;
+        }
+        let base = run_on(&bench, &ArchConfig::craterlake()).cycles;
+        let no_gen = run_on(&bench, &ArchConfig::craterlake().without_kshgen()).cycles;
+        let no_crb = run_on(&bench, &ArchConfig::craterlake().without_crb_chaining()).cycles;
+        let xbar = run_on(&bench, &ArchConfig::craterlake().with_crossbar_network()).cycles;
+        let s = [no_gen / base, no_crb / base, xbar / base];
+        println!(
+            "{:<24} {:>9.1}x {:>11.1}x {:>9.1}x",
+            bench.name, s[0], s[1], s[2]
+        );
+        let bucket = if bench.deep { &mut deep } else { &mut shallow };
+        for (b, v) in bucket.iter_mut().zip(s) {
+            b.push(v);
+        }
+    }
+    println!(
+        "  shallow gmean {:>19.1}x {:>11.1}x {:>9.1}x",
+        gmean(&shallow[0]),
+        gmean(&shallow[1]),
+        gmean(&shallow[2])
+    );
+    println!();
+    println!("Paper reference: deep gmean 1.9x / 20.2x / 1.3x;");
+    println!("                 shallow gmean 1.2x / 2.0x / 1.4x.");
+}

@@ -1,0 +1,97 @@
+//! Benchmark harness: shared helpers for the table/figure binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (see `DESIGN.md`'s per-experiment index). This
+//! library holds the common run-one-benchmark plumbing.
+
+#![warn(missing_docs)]
+
+use cl_apps::Benchmark;
+use cl_baselines::{craterlake_options, f1_plus_options, CpuModel};
+use cl_compiler::compile_and_run;
+use cl_core::{ArchConfig, Stats};
+
+/// Results of running one benchmark on the three compared systems.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Whether it belongs to the deep suite.
+    pub deep: bool,
+    /// CraterLake execution time, ms.
+    pub craterlake_ms: f64,
+    /// F1+ execution time, ms.
+    pub f1_ms: f64,
+    /// Modeled CPU execution time, ms.
+    pub cpu_ms: f64,
+    /// CraterLake run statistics (for Figs. 9-10).
+    pub craterlake_stats: Stats,
+    /// F1+ run statistics.
+    pub f1_stats: Stats,
+}
+
+/// Runs a benchmark on CraterLake, F1+, and the CPU model.
+pub fn compare(bench: &Benchmark) -> Comparison {
+    let (cl_arch, cl_opts) = craterlake_options(bench.n);
+    let (f1_arch, f1_opts) = f1_plus_options(bench.n);
+    let cl_stats = compile_and_run(&bench.graph, &cl_arch, &cl_opts);
+    let f1_stats = compile_and_run(&bench.graph, &f1_arch, &f1_opts);
+    let cpu = CpuModel::paper_calibrated();
+    let cpu_s = cpu.time_for_graph(&bench.graph, bench.n, &cl_opts.ks_policy);
+    Comparison {
+        name: bench.name,
+        deep: bench.deep,
+        craterlake_ms: cl_stats.exec_ms(&cl_arch),
+        f1_ms: f1_stats.exec_ms(&f1_arch),
+        cpu_ms: cpu_s * 1e3,
+        craterlake_stats: cl_stats,
+        f1_stats,
+    }
+}
+
+/// Runs a benchmark on one specific architecture with CraterLake's
+/// compile options.
+pub fn run_on(bench: &Benchmark, arch: &ArchConfig) -> Stats {
+    let (_, opts) = craterlake_options(bench.n);
+    compile_and_run(&bench.graph, arch, &opts)
+}
+
+/// Geometric mean of a nonempty slice.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn gmean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Formats a milliseconds value the way Table 3 prints it (ms, seconds or
+/// minutes as magnitude requires).
+pub fn fmt_time(ms: f64) -> String {
+    if ms >= 60_000.0 {
+        format!("{:.0} min", ms / 60_000.0)
+    } else if ms >= 1_000.0 {
+        format!("{:.1} s", ms / 1_000.0)
+    } else {
+        format!("{ms:.2} ms")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gmean_basics() {
+        assert!((gmean(&[4.0, 9.0]) - 6.0).abs() < 1e-12);
+        assert!((gmean(&[5.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fmt_time_ranges() {
+        assert_eq!(fmt_time(0.14), "0.14 ms");
+        assert_eq!(fmt_time(3910.0), "3.9 s");
+        assert_eq!(fmt_time(23.0 * 60_000.0), "23 min");
+    }
+}

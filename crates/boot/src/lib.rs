@@ -1,0 +1,24 @@
+//! Packed CKKS bootstrapping.
+//!
+//! Bootstrapping refreshes a ciphertext's multiplicative budget (Sec. 2.3,
+//! Fig. 2) and is what makes *unbounded* computation possible. This crate
+//! provides both sides of it:
+//!
+//! - [`BootstrapPlan`]: the state-of-the-art packed bootstrapping pipeline
+//!   (ModRaise → CoeffToSlot → EvalMod → SlotToCoeff, following Bossuat et
+//!   al. \[11\] / Lattigo \[53\]) expressed as homomorphic-operation counts and
+//!   expandable into an [`cl_isa::HeGraph`] fragment for the performance
+//!   model. The CoeffToSlot/SlotToCoeff transforms use the FFT-like radix
+//!   decomposition into on-chip-sized partitions the paper's compiler
+//!   applies (Sec. 6, "a 4x4 tile").
+//! - [`functional`]: an executable bootstrapping implementation over the
+//!   `cl-ckks` library at reduced (test-scale) parameters, validating that
+//!   the pipeline the plan describes actually refreshes ciphertexts.
+
+#![warn(missing_docs)]
+
+pub mod functional;
+mod plan;
+
+pub use functional::{BootstrapKeys, Bootstrapper};
+pub use plan::BootstrapPlan;

@@ -1,0 +1,548 @@
+//! The BGV scheme over the same RNS substrate.
+//!
+//! CraterLake is not CKKS-specific: "the commonalities in their underlying
+//! implementation make it possible for the same hardware to accelerate
+//! many schemes efficiently — CraterLake supports CKKS, BGV, and GSW"
+//! (Sec. 2). This module demonstrates that claim on the software side: BGV
+//! (exact integer arithmetic modulo a plaintext prime `t`) built from the
+//! same residue polynomials, NTTs, and keyswitching as CKKS.
+//!
+//! Differences from CKKS, all at the edges:
+//! - plaintexts are vectors over `Z_t` packed via an NTT over `t` (slots
+//!   require `t ≡ 1 mod 2N`),
+//! - encryption scales the noise by `t` (`c0 + c1·s = m + t·e`),
+//! - instead of rescaling, BGV uses *modulus switching* with a
+//!   `t`-correction that keeps the plaintext exact while dividing the
+//!   noise by the dropped modulus.
+
+use cl_math::NttTable;
+use cl_rns::RnsPoly;
+use rand::Rng;
+
+use crate::{Ciphertext, CkksContext, KeySwitchKey, SecretKey};
+
+/// A BGV instance layered over a [`CkksContext`]'s ring and keyswitching.
+#[derive(Debug)]
+pub struct BgvContext<'a> {
+    inner: &'a CkksContext,
+    t: u64,
+    /// NTT over the plaintext modulus, for slot packing.
+    pt_ntt: NttTable,
+}
+
+impl<'a> BgvContext<'a> {
+    /// Creates a BGV view with plaintext modulus `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not an NTT-friendly prime for the ring degree
+    /// (required for slot packing), or if `t` collides with a ciphertext
+    /// modulus.
+    pub fn new(inner: &'a CkksContext, t: u64) -> Self {
+        let n = inner.params().ring_degree();
+        let pt_ntt = NttTable::new(n, t)
+            .unwrap_or_else(|| panic!("{t} is not an NTT-friendly prime for N={n}"));
+        for limb in inner.rns().q_basis(inner.max_level()).0 {
+            assert_ne!(inner.rns().modulus_value(limb), t, "t collides with a modulus");
+        }
+        Self { inner, t, pt_ntt }
+    }
+
+    /// The plaintext modulus.
+    pub fn plaintext_modulus(&self) -> u64 {
+        self.t
+    }
+
+    /// Packs a vector over `Z_t` into a plaintext polynomial (slot
+    /// encoding via the inverse plaintext NTT), lifted into the ciphertext
+    /// ring at `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `N` values are supplied or any is `>= t`.
+    pub fn encode(&self, vals: &[u64], level: usize) -> RnsPoly {
+        let n = self.inner.params().ring_degree();
+        assert!(vals.len() <= n, "too many values");
+        assert!(vals.iter().all(|&v| v < self.t), "value out of Z_t");
+        let mut slots = vec![0u64; n];
+        slots[..vals.len()].copy_from_slice(vals);
+        // Slots live in the NTT domain over t; inverse-transform to get
+        // polynomial coefficients.
+        self.pt_ntt.inverse(&mut slots);
+        let tm = self.pt_ntt.modulus();
+        let signed: Vec<i64> = slots.iter().map(|&c| tm.lift_centered(c)).collect();
+        let rns = self.inner.rns();
+        let mut poly = rns.from_signed_coeffs(&signed, &rns.q_basis(level));
+        rns.to_ntt(&mut poly);
+        poly
+    }
+
+    /// Unpacks a plaintext polynomial (given as signed coefficients mod
+    /// `t`) back to slot values.
+    fn decode_coeffs(&self, signed: &[i64]) -> Vec<u64> {
+        let tm = *self.pt_ntt.modulus();
+        let mut slots: Vec<u64> = signed.iter().map(|&c| tm.from_i64(c)).collect();
+        self.pt_ntt.forward(&mut slots);
+        slots
+    }
+
+    /// Encrypts packed values at `level` under `sk`: `c0 + c1·s = m + t·e`.
+    pub fn encrypt<R: Rng + ?Sized>(
+        &self,
+        vals: &[u64],
+        level: usize,
+        sk: &SecretKey,
+        rng: &mut R,
+    ) -> Ciphertext {
+        let rns = self.inner.rns();
+        let basis = rns.q_basis(level);
+        let m = self.encode(vals, level);
+        let a = rns.sample_uniform(&basis, rng);
+        let mut e = rns.sample_error(&basis, rng);
+        rns.to_ntt(&mut e);
+        let e_t = rns.scalar_mul(&e, self.t);
+        let s = rns.restrict(sk.poly(), &basis);
+        let mut c0 = rns.neg(&rns.mul(&a, &s));
+        rns.add_assign(&mut c0, &e_t);
+        rns.add_assign(&mut c0, &m);
+        self.inner.ciphertext_from_parts(c0, a, level, 1.0)
+    }
+
+    /// Decrypts to slot values over `Z_t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the noise has overflowed the ciphertext modulus (the
+    /// centered lift would no longer be `m + t·e`).
+    pub fn decrypt(&self, ct: &Ciphertext, sk: &SecretKey) -> Vec<u64> {
+        let rns = self.inner.rns();
+        let basis = rns.q_basis(ct.level());
+        let s = rns.restrict(sk.poly(), &basis);
+        let mut phase = rns.mul(ct.c1(), &s);
+        rns.add_assign(&mut phase, ct.c0());
+        rns.from_ntt(&mut phase);
+        // Centered lift of each coefficient, then reduce mod t.
+        let n = self.inner.params().ring_degree();
+        let moduli: Vec<u64> = basis.0.iter().map(|&l| rns.modulus_value(l)).collect();
+        let q_big = cl_math::BigUint::product(&moduli);
+        let mut signed = vec![0i64; n];
+        if phase.num_limbs() == 1 {
+            let m0 = rns.modulus(basis.0[0]);
+            for (i, s) in signed.iter_mut().enumerate() {
+                *s = m0.lift_centered(phase.limb(0)[i]);
+            }
+        } else {
+            let mut residues = vec![0u64; phase.num_limbs()];
+            for (i, out) in signed.iter_mut().enumerate() {
+                for k in 0..phase.num_limbs() {
+                    residues[k] = phase.limb(k)[i];
+                }
+                let big = cl_math::BigUint::crt_combine(&residues, &moduli);
+                let (neg, mag) = big.centered(&q_big);
+                let r = mag.rem_u64(self.t) as i64;
+                *out = if neg { -r } else { r };
+            }
+        }
+        self.decode_coeffs(&signed)
+    }
+
+    /// Generates a relinearization key whose noise is a multiple of `t`
+    /// (required for exact BGV multiplication; also usable by CKKS).
+    pub fn relin_keygen<R: Rng + ?Sized>(
+        &self,
+        sk: &SecretKey,
+        kind: crate::KeySwitchKind,
+        rng: &mut R,
+    ) -> KeySwitchKey {
+        let rns = self.inner.rns();
+        let s2 = rns.mul(sk.poly(), sk.poly());
+        self.inner
+            .keyswitch_keygen_with_error_scale(&s2, sk, kind, self.t, rng)
+    }
+
+    /// Homomorphic addition (exact over `Z_t`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if levels differ.
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        self.inner.add(a, b)
+    }
+
+    /// Homomorphic multiplication with relinearization (exact over `Z_t`).
+    ///
+    /// The digit decomposition, hint products and accumulation are the
+    /// same operations CKKS keyswitching uses (the hardware-sharing claim
+    /// of Sec. 2); only the closing ModDown differs — BGV divides by `P`
+    /// with a `t`-congruent correction so the injected rounding stays
+    /// `≡ 0 (mod t)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if levels differ.
+    pub fn mul(&self, a: &Ciphertext, b: &Ciphertext, relin: &KeySwitchKey) -> Ciphertext {
+        assert_eq!(a.level(), b.level(), "level mismatch");
+        let rns = self.inner.rns();
+        let d0 = rns.mul(a.c0(), b.c0());
+        let mut d1 = rns.mul(a.c0(), b.c1());
+        rns.mul_acc(&mut d1, a.c1(), b.c0());
+        let d2 = rns.mul(a.c1(), b.c1());
+        let (ks0, ks1) = self.keyswitch_exact(&d2, relin);
+        let c0 = rns.add(&d0, &ks0);
+        let c1 = rns.add(&d1, &ks1);
+        self.inner.ciphertext_from_parts(c0, c1, a.level(), 1.0)
+    }
+
+    /// Boosted keyswitching with an exact, `t`-corrected ModDown: the
+    /// up-conversion and hint products reuse the CKKS path; the division by
+    /// `P` is done per coefficient over the integers (CRT), with the
+    /// dropped part corrected to be `≡ 0 (mod t)` as in BGV modulus
+    /// switching. Suitable for test-scale rings.
+    fn keyswitch_exact(
+        &self,
+        c: &RnsPoly,
+        ksk: &KeySwitchKey,
+    ) -> (RnsPoly, RnsPoly) {
+        use cl_math::BigUint;
+        let inner = self.inner;
+        let rns = inner.rns();
+        let level = c.num_limbs();
+        let qb = rns.q_basis(level);
+        let special = inner.special_for(ksk.kind());
+        assert!(special > 0, "BGV keyswitching requires special moduli");
+        let pb = rns.p_basis(special);
+        let target = qb.union(&pb);
+        // Accumulate digit x hint products over Q·P (identical to CKKS).
+        let mut c_coeff = c.clone();
+        rns.from_ntt(&mut c_coeff);
+        let mut acc0 = rns.zero(&target);
+        acc0.set_ntt_form(true);
+        let mut acc1 = acc0.clone();
+        for (d, limbs) in ksk.digit_limbs.iter().enumerate() {
+            let present: Vec<u32> =
+                limbs.iter().copied().filter(|&l| (l as usize) < level).collect();
+            if present.is_empty() {
+                continue;
+            }
+            let digit_basis = cl_rns::Basis(present.clone());
+            let ext_basis = cl_rns::Basis(
+                target.0.iter().copied().filter(|l| !present.contains(l)).collect(),
+            );
+            let c_d = rns.restrict(&c_coeff, &digit_basis);
+            let mut c_full = rns.zero(&target);
+            let conv = inner.converter(&digit_basis, &ext_basis);
+            let c_ext = conv.convert(rns, &c_d);
+            for (pos, &limb) in target.0.iter().enumerate() {
+                let src = if let Some(k) = digit_basis.0.iter().position(|&l| l == limb) {
+                    c_d.limb(k)
+                } else {
+                    let k = ext_basis.0.iter().position(|&l| l == limb).unwrap();
+                    c_ext.limb(k)
+                };
+                c_full.limb_mut(pos).copy_from_slice(src);
+            }
+            rns.to_ntt(&mut c_full);
+            let k0 = rns.restrict(&ksk.elems[d].0, &target);
+            let k1 = rns.restrict(&ksk.elems[d].1, &target);
+            rns.mul_acc(&mut acc0, &c_full, &k0);
+            rns.mul_acc(&mut acc1, &c_full, &k1);
+        }
+        // Exact t-corrected ModDown per coefficient.
+        let tm = cl_math::Modulus::new(self.t).expect("t in range");
+        let all_moduli: Vec<u64> = target.0.iter().map(|&l| rns.modulus_value(l)).collect();
+        let p_moduli: Vec<u64> = pb.0.iter().map(|&l| rns.modulus_value(l)).collect();
+        let qp_big = BigUint::product(&all_moduli);
+        let p_big = BigUint::product(&p_moduli);
+        let p_mod_t = p_big.rem_u64(self.t);
+        let p_inv_t = tm.inv(tm.reduce(p_mod_t));
+        let n = c.n();
+        let divide = |poly: &mut RnsPoly| -> RnsPoly {
+            rns.from_ntt(poly);
+            let mut out = rns.zero(&qb);
+            let mut residues = vec![0u64; target.len()];
+            for i in 0..n {
+                for k in 0..target.len() {
+                    residues[k] = poly.limb(k)[i];
+                }
+                let big = BigUint::crt_combine(&residues, &all_moduli);
+                let (neg, mag) = big.centered(&qp_big);
+                // delta = v mod P, centered; then corrected to be ≡ 0 mod t.
+                let v_mod_p_raw = {
+                    let r = mag.rem_big(&p_big);
+                    if neg && !r.is_zero() {
+                        // (-mag) mod P = P - r.
+                        let mut x = p_big.clone();
+                        x.sub_assign(&r);
+                        x
+                    } else {
+                        r
+                    }
+                };
+                let (d_neg, d_mag) = v_mod_p_raw.centered(&p_big);
+                // delta as value mod t (signed).
+                let d_mod_t = {
+                    let r = d_mag.rem_u64(self.t);
+                    if d_neg {
+                        tm.neg(r)
+                    } else {
+                        r
+                    }
+                };
+                // k = (-delta)*P^{-1} mod t, centered.
+                let k_t = tm.mul(tm.neg(d_mod_t), p_inv_t);
+                let k_c = tm.lift_centered(k_t);
+                // quotient = (v - delta - P*k_c)/P = (v - delta)/P - k_c.
+                // Compute (v - delta) as signed big-integer arithmetic:
+                // v = (neg ? -mag : mag); delta = (d_neg ? -d_mag : d_mag).
+                let (diff_neg, diff_mag) = match (neg, d_neg) {
+                    (false, false) => {
+                        if mag >= d_mag {
+                            let mut x = mag.clone();
+                            x.sub_assign(&d_mag);
+                            (false, x)
+                        } else {
+                            let mut x = d_mag.clone();
+                            x.sub_assign(&mag);
+                            (true, x)
+                        }
+                    }
+                    (false, true) => {
+                        let mut x = mag.clone();
+                        x.add_assign(&d_mag);
+                        (false, x)
+                    }
+                    (true, false) => {
+                        let mut x = mag.clone();
+                        x.add_assign(&d_mag);
+                        (true, x)
+                    }
+                    (true, true) => {
+                        if mag >= d_mag {
+                            let mut x = mag.clone();
+                            x.sub_assign(&d_mag);
+                            (true, x)
+                        } else {
+                            let mut x = d_mag.clone();
+                            x.sub_assign(&mag);
+                            (false, x)
+                        }
+                    }
+                };
+                // diff is divisible by P exactly.
+                let mut quot = diff_mag.clone();
+                let mut exact = true;
+                for &pm in &p_moduli {
+                    let (q2, r2) = quot.div_rem_u64(pm);
+                    quot = q2;
+                    exact &= r2 == 0;
+                }
+                debug_assert!(exact, "ModDown division must be exact");
+                // result = (diff_sign)quot - k_c, then store mod each q.
+                for (k, &limb) in qb.0.iter().enumerate() {
+                    let m = rns.modulus(limb);
+                    let q_res = quot.rem_u64(m.value());
+                    let mut r = if diff_neg { m.neg(q_res) } else { q_res };
+                    r = m.sub(r, m.from_i64(k_c));
+                    out.limb_mut(k)[i] = r;
+                }
+            }
+            rns.to_ntt(&mut out);
+            out
+        };
+        let ks0 = divide(&mut acc0);
+        let ks1 = divide(&mut acc1);
+        (ks0, ks1)
+    }
+
+    /// BGV modulus switching: drops the top modulus `q_L`, dividing the
+    /// noise by it while keeping the plaintext exact. The correction adds
+    /// the multiple of `q_L` that makes the dropped part divisible *and*
+    /// congruent to 0 mod t.
+    ///
+    /// # Panics
+    ///
+    /// Panics at level 1.
+    pub fn mod_switch(&self, ct: &Ciphertext) -> Ciphertext {
+        assert!(ct.level() >= 2, "cannot switch below level 1");
+        let rns = self.inner.rns();
+        let level = ct.level();
+        let drop_limb = (level - 1) as u32;
+        let q_last = rns.modulus_value(drop_limb);
+        let keep = rns.q_basis(level - 1);
+        let tm = cl_math::Modulus::new(self.t).expect("t in range");
+        // q_last^{-1} mod t, for the congruence correction.
+        let q_last_inv_t = tm.inv(tm.reduce(q_last));
+        let switch_poly = |poly: &RnsPoly| -> RnsPoly {
+            let mut p = poly.clone();
+            rns.from_ntt(&mut p);
+            // d = [c]_{q_last}, centered.
+            let m_last = rns.modulus(drop_limb);
+            let last_idx = p
+                .basis()
+                .0
+                .iter()
+                .position(|&l| l == drop_limb)
+                .expect("top limb present");
+            let d: Vec<i64> = p.limb(last_idx).iter().map(|&x| m_last.lift_centered(x)).collect();
+            // delta = d + q_last * [(-d) * q_last^{-1} mod t], centered so
+            // |delta| <= q_last * t / 2; delta ≡ d (mod q_last) and ≡ 0
+            // (mod t), so (c - delta)/q_last is exact and preserves m mod t.
+            let delta: Vec<i64> = d
+                .iter()
+                .map(|&di| {
+                    let r = tm.from_i64(-di);
+                    let k = tm.mul(r, q_last_inv_t);
+                    let k_c = tm.lift_centered(k);
+                    di + q_last as i64 * k_c
+                })
+                .collect();
+            // out = (c - delta) / q_last over the kept limbs.
+            let delta_poly = rns.from_signed_coeffs(&delta, &keep);
+            let c_keep = rns.restrict(&p, &keep);
+            let diff = rns.sub(&c_keep, &delta_poly);
+            let inv: Vec<u64> = keep
+                .0
+                .iter()
+                .map(|&l| {
+                    let m = rns.modulus(l);
+                    m.inv(m.reduce(q_last))
+                })
+                .collect();
+            let mut out = rns.scalar_mul_per_limb(&diff, &inv);
+            // The division multiplied the plaintext by q_last^{-1} mod t;
+            // undo it with a scalar multiply by [q_last mod t].
+            out = rns.scalar_mul(&out, tm.reduce(q_last));
+            rns.to_ntt(&mut out);
+            out
+        };
+        self.inner.ciphertext_from_parts(
+            switch_poly(ct.c0()),
+            switch_poly(ct.c1()),
+            level - 1,
+            1.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CkksParams, KeySwitchKind};
+    use rand::SeedableRng;
+
+    const T: u64 = 65537; // 2^16 + 1: NTT-friendly for all N <= 2^15.
+
+    fn setup(levels: usize) -> (CkksContext, SecretKey, rand::rngs::StdRng) {
+        let params = CkksParams::builder()
+            .ring_degree(128)
+            .levels(levels)
+            .special_limbs(levels)
+            .limb_bits(45)
+            .scale_bits(40)
+            .build()
+            .unwrap();
+        let ctx = CkksContext::new(params).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let sk = ctx.keygen(&mut rng);
+        (ctx, sk, rng)
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let (ctx, sk, mut rng) = setup(2);
+        let bgv = BgvContext::new(&ctx, T);
+        let vals: Vec<u64> = (0..128).map(|i| (i * i + 7) % T).collect();
+        let ct = bgv.encrypt(&vals, 2, &sk, &mut rng);
+        assert_eq!(bgv.decrypt(&ct, &sk), vals);
+    }
+
+    #[test]
+    fn addition_is_exact_mod_t() {
+        let (ctx, sk, mut rng) = setup(2);
+        let bgv = BgvContext::new(&ctx, T);
+        let a: Vec<u64> = (0..64).map(|i| (i * 31) % T).collect();
+        let b: Vec<u64> = (0..64).map(|i| (T - 1 - i as u64) % T).collect();
+        let ca = bgv.encrypt(&a, 2, &sk, &mut rng);
+        let cb = bgv.encrypt(&b, 2, &sk, &mut rng);
+        let sum = bgv.decrypt(&bgv.add(&ca, &cb), &sk);
+        for i in 0..64 {
+            assert_eq!(sum[i], (a[i] + b[i]) % T);
+        }
+    }
+
+    #[test]
+    fn multiplication_is_exact_mod_t() {
+        let (ctx, sk, mut rng) = setup(3);
+        let bgv = BgvContext::new(&ctx, T);
+        let relin = bgv.relin_keygen(&sk, KeySwitchKind::Boosted { digits: 1 }, &mut rng);
+        let a: Vec<u64> = (0..32).map(|i| 3 + i as u64 * 1009).collect();
+        let b: Vec<u64> = (0..32).map(|i| 5 + i as u64 * 2003).collect();
+        let ca = bgv.encrypt(&a, 3, &sk, &mut rng);
+        let cb = bgv.encrypt(&b, 3, &sk, &mut rng);
+        let prod = bgv.decrypt(&bgv.mul(&ca, &cb, &relin), &sk);
+        for i in 0..32 {
+            assert_eq!(prod[i], a[i] * b[i] % T, "slot {i}");
+        }
+    }
+
+    #[test]
+    fn mod_switch_preserves_plaintext() {
+        let (ctx, sk, mut rng) = setup(3);
+        let bgv = BgvContext::new(&ctx, T);
+        let vals: Vec<u64> = (0..128).map(|i| (i * 12345) % T).collect();
+        let ct = bgv.encrypt(&vals, 3, &sk, &mut rng);
+        let switched = bgv.mod_switch(&ct);
+        assert_eq!(switched.level(), 2);
+        assert_eq!(bgv.decrypt(&switched, &sk), vals);
+        let twice = bgv.mod_switch(&switched);
+        assert_eq!(twice.level(), 1);
+        assert_eq!(bgv.decrypt(&twice, &sk), vals);
+    }
+
+    #[test]
+    fn multiplication_chain_with_mod_switching() {
+        // Depth-3 chain: x^(2^3) over Z_t, switching after each product to
+        // control noise — BGV's analogue of CKKS's Fig. 2 budget story.
+        let (ctx, sk, mut rng) = setup(5);
+        let bgv = BgvContext::new(&ctx, T);
+        let relin = bgv.relin_keygen(&sk, KeySwitchKind::Boosted { digits: 1 }, &mut rng);
+        let x: Vec<u64> = (0..16).map(|i| 2 + i as u64).collect();
+        let mut ct = bgv.encrypt(&x, 5, &sk, &mut rng);
+        let mut expect = x.clone();
+        for _ in 0..3 {
+            ct = bgv.mod_switch(&bgv.mul(&ct, &ct, &relin));
+            for v in expect.iter_mut() {
+                *v = *v * *v % T;
+            }
+        }
+        assert_eq!(ct.level(), 2);
+        let got = bgv.decrypt(&ct, &sk);
+        assert_eq!(&got[..16], &expect[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NTT-friendly")]
+    fn rejects_bad_plaintext_modulus() {
+        let (ctx, _, _) = setup(2);
+        let _ = BgvContext::new(&ctx, 65539); // prime but 65539-1 not divisible by 256
+    }
+
+    #[test]
+    fn bgv_and_ckks_share_keyswitching_machinery() {
+        // The same relinearization key object serves both schemes.
+        let (ctx, sk, mut rng) = setup(3);
+        let bgv = BgvContext::new(&ctx, T);
+        // A t-scaled-noise key works for BOTH schemes.
+        let relin = bgv.relin_keygen(&sk, KeySwitchKind::Boosted { digits: 2 }, &mut rng);
+        // CKKS use.
+        let pt = ctx.encode(&[1.5, -2.0], ctx.default_scale(), 3);
+        let ckks_ct = ctx.encrypt(&pt, &sk, &mut rng);
+        let ckks_prod = ctx.rescale(&ctx.mul(&ckks_ct, &ckks_ct, &relin));
+        let ckks_out = ctx.decode(&ctx.decrypt(&ckks_prod, &sk), 2);
+        assert!((ckks_out[0] - 2.25).abs() < 1e-2);
+        // BGV use of the very same key.
+        let ct = bgv.encrypt(&[9, 11], 3, &sk, &mut rng);
+        let got = bgv.decrypt(&bgv.mul(&ct, &ct, &relin), &sk);
+        assert_eq!(&got[..2], &[81, 121]);
+    }
+}

@@ -1,0 +1,75 @@
+//! Plaintext and ciphertext containers.
+
+use cl_rns::RnsPoly;
+
+/// An encoded (but not encrypted) CKKS message: a scaled integer polynomial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plaintext {
+    pub(crate) poly: RnsPoly,
+    pub(crate) level: usize,
+    pub(crate) scale: f64,
+}
+
+impl Plaintext {
+    /// The underlying RNS polynomial (NTT form).
+    pub fn poly(&self) -> &RnsPoly {
+        &self.poly
+    }
+
+    /// The level (number of RNS limbs) this plaintext is encoded at.
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// The encoding scale.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+/// A CKKS ciphertext: two RNS polynomials `(c0, c1)` with
+/// `c0 + c1·s ≈ scale·message` (Sec. 2.2), plus its level and scale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ciphertext {
+    pub(crate) c0: RnsPoly,
+    pub(crate) c1: RnsPoly,
+    pub(crate) level: usize,
+    pub(crate) scale: f64,
+}
+
+impl Ciphertext {
+    /// The `c0` polynomial (NTT form).
+    pub fn c0(&self) -> &RnsPoly {
+        &self.c0
+    }
+
+    /// The `c1` polynomial (NTT form).
+    pub fn c1(&self) -> &RnsPoly {
+        &self.c1
+    }
+
+    /// Current level: the number of RNS limbs per polynomial (the paper's
+    /// remaining multiplicative budget `L`).
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Current scale.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Payload size in machine words (both polynomials).
+    pub fn num_words(&self) -> usize {
+        self.c0.num_words() + self.c1.num_words()
+    }
+
+    /// Overrides the recorded scale (advanced; used by bootstrapping to
+    /// reinterpret values, e.g. reading `m·Δ + q0·I` as `(m·Δ)/q0 + I` by
+    /// recording the scale as `q0`).
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        self.scale = scale;
+        self
+    }
+}

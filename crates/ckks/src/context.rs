@@ -1,0 +1,482 @@
+//! The CKKS context: parameters, RNS machinery, encoder, and key/ct I/O.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use cl_math::{BigUint, Complex, SpecialFft};
+use cl_rns::{BaseConverter, Basis, RnsContext, RnsError};
+use rand::Rng;
+
+use crate::params::ParamsError;
+use crate::{Ciphertext, CkksParams, Plaintext, PublicKey, SecretKey};
+
+/// Errors produced by CKKS operations.
+#[derive(Debug)]
+pub enum CkksError {
+    /// Parameter validation failed.
+    Params(ParamsError),
+    /// RNS-layer failure (e.g. not enough NTT-friendly primes).
+    Rns(RnsError),
+    /// An operation was applied to incompatible operands.
+    Incompatible(String),
+}
+
+impl fmt::Display for CkksError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkksError::Params(e) => write!(f, "{e}"),
+            CkksError::Rns(e) => write!(f, "{e}"),
+            CkksError::Incompatible(msg) => write!(f, "incompatible operands: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CkksError {}
+
+impl From<RnsError> for CkksError {
+    fn from(e: RnsError) -> Self {
+        CkksError::Rns(e)
+    }
+}
+
+impl From<ParamsError> for CkksError {
+    fn from(e: ParamsError) -> Self {
+        CkksError::Params(e)
+    }
+}
+
+/// A fully initialized CKKS instance.
+///
+/// Owns the RNS context (modulus chains and NTT tables), the encoder FFT,
+/// and a cache of base converters keyed by `(source, destination)` basis —
+/// the software analogue of the CRB unit's constant buffers.
+pub struct CkksContext {
+    params: CkksParams,
+    rns: RnsContext,
+    fft: SpecialFft,
+    converters: Mutex<HashMap<(Vec<u32>, Vec<u32>), Arc<BaseConverter>>>,
+}
+
+impl fmt::Debug for CkksContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CkksContext")
+            .field("params", &self.params)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CkksContext {
+    /// Initializes a context from validated parameters: generates the
+    /// modulus chains and precomputes NTT/FFT tables.
+    ///
+    /// # Errors
+    ///
+    /// Fails if not enough NTT-friendly primes of the requested width exist
+    /// for this ring degree.
+    pub fn new(params: CkksParams) -> Result<Self, CkksError> {
+        let rns = RnsContext::generate(
+            params.n,
+            params.levels,
+            params.special_limbs,
+            params.limb_bits,
+        )?;
+        let fft = SpecialFft::new(params.n / 2);
+        Ok(Self {
+            params,
+            rns,
+            fft,
+            converters: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The parameter set.
+    pub fn params(&self) -> &CkksParams {
+        &self.params
+    }
+
+    /// The underlying RNS context.
+    pub fn rns(&self) -> &RnsContext {
+        &self.rns
+    }
+
+    /// The default encoding scale.
+    pub fn default_scale(&self) -> f64 {
+        self.params.scale()
+    }
+
+    /// The maximum level (multiplicative budget) of fresh ciphertexts.
+    pub fn max_level(&self) -> usize {
+        self.params.levels
+    }
+
+    /// Fetches (or builds and caches) the base converter from `src` to
+    /// `dst`.
+    pub fn converter(&self, src: &Basis, dst: &Basis) -> Arc<BaseConverter> {
+        let key = (src.0.clone(), dst.0.clone());
+        let mut cache = self.converters.lock().expect("converter cache poisoned");
+        cache
+            .entry(key)
+            .or_insert_with(|| Arc::new(BaseConverter::new(&self.rns, src.clone(), dst.clone())))
+            .clone()
+    }
+
+    // ------------------------------------------------------------------
+    // Encoding
+    // ------------------------------------------------------------------
+
+    /// Encodes complex slot values into a plaintext at the given scale and
+    /// level. Unfilled slots are zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `N/2` values are supplied or `level` is out of
+    /// range.
+    pub fn encode_complex(&self, vals: &[Complex], scale: f64, level: usize) -> Plaintext {
+        let slots = self.params.slots();
+        assert!(vals.len() <= slots, "too many values for {slots} slots");
+        assert!((1..=self.params.levels).contains(&level), "bad level");
+        let mut v = vec![Complex::default(); slots];
+        v[..vals.len()].copy_from_slice(vals);
+        self.fft.inverse(&mut v);
+        let signed: Vec<i64> = v
+            .iter()
+            .map(|c| (c.re * scale).round() as i64)
+            .chain(v.iter().map(|c| (c.im * scale).round() as i64))
+            .collect();
+        let basis = self.rns.q_basis(level);
+        let mut poly = self.rns.from_signed_coeffs(&signed, &basis);
+        self.rns.to_ntt(&mut poly);
+        Plaintext { poly, level, scale }
+    }
+
+    /// Encodes real slot values (imaginary parts zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `N/2` values are supplied or `level` is out of
+    /// range.
+    pub fn encode(&self, vals: &[f64], scale: f64, level: usize) -> Plaintext {
+        let cvals: Vec<Complex> = vals.iter().map(|&r| Complex::new(r, 0.0)).collect();
+        self.encode_complex(&cvals, scale, level)
+    }
+
+    /// Decodes a plaintext back to `count` complex slot values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds the slot count.
+    pub fn decode_complex(&self, pt: &Plaintext, count: usize) -> Vec<Complex> {
+        let slots = self.params.slots();
+        assert!(count <= slots);
+        let mut poly = pt.poly.clone();
+        self.rns.from_ntt(&mut poly);
+        let moduli: Vec<u64> = poly
+            .basis()
+            .0
+            .iter()
+            .map(|&l| self.rns.modulus_value(l))
+            .collect();
+        let q_big = BigUint::product(&moduli);
+        let n = self.params.n;
+        let mut signed = vec![0f64; n];
+        let num_limbs = poly.num_limbs();
+        // Fast path for a single limb; exact CRT otherwise.
+        if num_limbs == 1 {
+            let m = self.rns.modulus(poly.basis().0[0]);
+            for (i, s) in signed.iter_mut().enumerate() {
+                *s = m.lift_centered(poly.limb(0)[i]) as f64;
+            }
+        } else {
+            let mut residues = vec![0u64; num_limbs];
+            for (i, s) in signed.iter_mut().enumerate() {
+                for k in 0..num_limbs {
+                    residues[k] = poly.limb(k)[i];
+                }
+                let big = BigUint::crt_combine(&residues, &moduli);
+                let (neg, mag) = big.centered(&q_big);
+                *s = if neg { -mag.to_f64() } else { mag.to_f64() };
+            }
+        }
+        let mut v: Vec<Complex> = (0..slots)
+            .map(|j| Complex::new(signed[j] / pt.scale, signed[j + slots] / pt.scale))
+            .collect();
+        self.fft.forward(&mut v);
+        v.truncate(count);
+        v
+    }
+
+    /// Decodes a plaintext back to `count` real values (imaginary parts are
+    /// discarded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds the slot count.
+    pub fn decode(&self, pt: &Plaintext, count: usize) -> Vec<f64> {
+        self.decode_complex(pt, count).iter().map(|c| c.re).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Keys, encryption, decryption
+    // ------------------------------------------------------------------
+
+    /// The full basis (all ciphertext moduli plus all special moduli).
+    pub(crate) fn full_basis(&self) -> Basis {
+        self.rns
+            .q_basis(self.params.levels)
+            .union(&self.rns.p_basis(self.params.special_limbs))
+    }
+
+    /// Generates a fresh ternary secret key.
+    pub fn keygen<R: Rng + ?Sized>(&self, rng: &mut R) -> SecretKey {
+        let basis = self.full_basis();
+        let mut s = self.rns.sample_ternary(&basis, rng);
+        self.rns.to_ntt(&mut s);
+        SecretKey { s }
+    }
+
+    /// Generates a sparse ternary secret key with Hamming weight `h`.
+    ///
+    /// Sparse keys bound the integer overflow polynomial of bootstrapping's
+    /// ModRaise (`|I| <= (h+1)/2`), keeping the EvalMod approximation range
+    /// small. (The paper's evaluation uses non-sparse keys with newer
+    /// range-extension techniques; our functional bootstrapping uses sparse
+    /// keys for the classic algorithm.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is zero or exceeds the ring degree.
+    pub fn keygen_sparse<R: Rng + ?Sized>(&self, h: usize, rng: &mut R) -> SecretKey {
+        let n = self.params.n;
+        assert!(h >= 1 && h <= n, "Hamming weight out of range");
+        let mut signed = vec![0i64; n];
+        let mut placed = 0;
+        while placed < h {
+            let pos = rng.gen_range(0..n);
+            if signed[pos] == 0 {
+                signed[pos] = if rng.gen_bool(0.5) { 1 } else { -1 };
+                placed += 1;
+            }
+        }
+        let basis = self.full_basis();
+        let mut s = self.rns.from_signed_coeffs(&signed, &basis);
+        self.rns.to_ntt(&mut s);
+        SecretKey { s }
+    }
+
+    /// Derives a public encryption key from a secret key.
+    pub fn keygen_public<R: Rng + ?Sized>(&self, sk: &SecretKey, rng: &mut R) -> PublicKey {
+        let basis = self.rns.q_basis(self.params.levels);
+        let a = self.rns.sample_uniform(&basis, rng);
+        let mut e = self.rns.sample_error(&basis, rng);
+        self.rns.to_ntt(&mut e);
+        let s = self.rns.restrict(&sk.s, &basis);
+        let mut pk0 = self.rns.neg(&self.rns.mul(&a, &s));
+        self.rns.add_assign(&mut pk0, &e);
+        PublicKey { pk0, pk1: a }
+    }
+
+    /// Encrypts a plaintext under the secret key (symmetric encryption).
+    pub fn encrypt<R: Rng + ?Sized>(
+        &self,
+        pt: &Plaintext,
+        sk: &SecretKey,
+        rng: &mut R,
+    ) -> Ciphertext {
+        let basis = self.rns.q_basis(pt.level);
+        let a = self.rns.sample_uniform(&basis, rng);
+        let mut e = self.rns.sample_error(&basis, rng);
+        self.rns.to_ntt(&mut e);
+        let s = self.rns.restrict(&sk.s, &basis);
+        let mut c0 = self.rns.neg(&self.rns.mul(&a, &s));
+        self.rns.add_assign(&mut c0, &e);
+        self.rns.add_assign(&mut c0, &pt.poly);
+        Ciphertext {
+            c0,
+            c1: a,
+            level: pt.level,
+            scale: pt.scale,
+        }
+    }
+
+    /// Encrypts a plaintext under a public key.
+    pub fn encrypt_public<R: Rng + ?Sized>(
+        &self,
+        pt: &Plaintext,
+        pk: &PublicKey,
+        rng: &mut R,
+    ) -> Ciphertext {
+        let basis = self.rns.q_basis(pt.level);
+        let mut u = self.rns.sample_ternary(&basis, rng);
+        self.rns.to_ntt(&mut u);
+        let mut e0 = self.rns.sample_error(&basis, rng);
+        let mut e1 = self.rns.sample_error(&basis, rng);
+        self.rns.to_ntt(&mut e0);
+        self.rns.to_ntt(&mut e1);
+        let pk0 = self.rns.restrict(&pk.pk0, &basis);
+        let pk1 = self.rns.restrict(&pk.pk1, &basis);
+        let mut c0 = self.rns.mul(&pk0, &u);
+        self.rns.add_assign(&mut c0, &e0);
+        self.rns.add_assign(&mut c0, &pt.poly);
+        let mut c1 = self.rns.mul(&pk1, &u);
+        self.rns.add_assign(&mut c1, &e1);
+        Ciphertext {
+            c0,
+            c1,
+            level: pt.level,
+            scale: pt.scale,
+        }
+    }
+
+    /// Decrypts a ciphertext: `m = c0 + c1·s`.
+    pub fn decrypt(&self, ct: &Ciphertext, sk: &SecretKey) -> Plaintext {
+        let basis = self.rns.q_basis(ct.level);
+        let s = self.rns.restrict(&sk.s, &basis);
+        let mut m = self.rns.mul(&ct.c1, &s);
+        self.rns.add_assign(&mut m, &ct.c0);
+        Plaintext {
+            poly: m,
+            level: ct.level,
+            scale: ct.scale,
+        }
+    }
+
+    /// Assembles a ciphertext from raw polynomials (advanced; used by
+    /// bootstrapping's ModRaise to re-express a ciphertext over a larger
+    /// modulus chain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polynomials are not NTT-form level-`level` pairs.
+    pub fn ciphertext_from_parts(
+        &self,
+        c0: cl_rns::RnsPoly,
+        c1: cl_rns::RnsPoly,
+        level: usize,
+        scale: f64,
+    ) -> Ciphertext {
+        let expected = self.rns.q_basis(level);
+        assert_eq!(c0.basis(), &expected, "c0 basis mismatch");
+        assert_eq!(c1.basis(), &expected, "c1 basis mismatch");
+        assert!(c0.ntt_form() && c1.ntt_form(), "parts must be in NTT form");
+        Ciphertext {
+            c0,
+            c1,
+            level,
+            scale,
+        }
+    }
+
+    /// Builds a trivial (noiseless, insecure) ciphertext of a plaintext —
+    /// useful for testing and for public constants.
+    pub fn trivial_encrypt(&self, pt: &Plaintext) -> Ciphertext {
+        let basis = self.rns.q_basis(pt.level);
+        let mut c1 = self.rns.zero(&basis);
+        c1.set_ntt_form(true);
+        Ciphertext {
+            c0: pt.poly.clone(),
+            c1,
+            level: pt.level,
+            scale: pt.scale,
+        }
+    }
+
+    pub(crate) fn check_same_shape(&self, a: &Ciphertext, b: &Ciphertext) {
+        assert_eq!(a.level, b.level, "ciphertext level mismatch");
+        let rel = (a.scale - b.scale).abs() / a.scale.max(b.scale);
+        assert!(rel < 1e-6, "ciphertext scale mismatch: {} vs {}", a.scale, b.scale);
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ctx() -> CkksContext {
+        let params = CkksParams::builder()
+            .ring_degree(128)
+            .levels(3)
+            .special_limbs(3)
+            .limb_bits(40)
+            .scale_bits(32)
+            .build()
+            .unwrap();
+        CkksContext::new(params).unwrap()
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let c = ctx();
+        let vals: Vec<f64> = (0..c.params().slots()).map(|i| (i as f64) / 7.0 - 3.0).collect();
+        let pt = c.encode(&vals, c.default_scale(), 3);
+        let back = c.decode(&pt, vals.len());
+        for (a, b) in back.iter().zip(&vals) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn encode_decode_complex_roundtrip() {
+        let c = ctx();
+        let vals = vec![Complex::new(1.25, -0.5), Complex::new(-2.0, 3.75)];
+        let pt = c.encode_complex(&vals, c.default_scale(), 2);
+        let back = c.decode_complex(&pt, 2);
+        for (a, b) in back.iter().zip(&vals) {
+            assert!((*a - *b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn encrypt_decrypt_symmetric() {
+        let c = ctx();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let sk = c.keygen(&mut rng);
+        let vals = vec![3.5, -1.25, 0.0, 42.0];
+        let pt = c.encode(&vals, c.default_scale(), 3);
+        let ct = c.encrypt(&pt, &sk, &mut rng);
+        let back = c.decode(&c.decrypt(&ct, &sk), 4);
+        for (a, b) in back.iter().zip(&vals) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn encrypt_decrypt_public() {
+        let c = ctx();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let sk = c.keygen(&mut rng);
+        let pk = c.keygen_public(&sk, &mut rng);
+        let vals = vec![0.5, -0.25, 8.0];
+        let pt = c.encode(&vals, c.default_scale(), 3);
+        let ct = c.encrypt_public(&pt, &pk, &mut rng);
+        let back = c.decode(&c.decrypt(&ct, &sk), 3);
+        for (a, b) in back.iter().zip(&vals) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn ciphertexts_are_randomized() {
+        let c = ctx();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let sk = c.keygen(&mut rng);
+        let pt = c.encode(&[1.0], c.default_scale(), 2);
+        let ct1 = c.encrypt(&pt, &sk, &mut rng);
+        let ct2 = c.encrypt(&pt, &sk, &mut rng);
+        assert_ne!(ct1.c1(), ct2.c1(), "fresh randomness per encryption");
+    }
+
+    #[test]
+    fn trivial_encrypt_decrypts_without_key_material() {
+        let c = ctx();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let sk = c.keygen(&mut rng);
+        let pt = c.encode(&[7.0, -7.0], c.default_scale(), 1);
+        let ct = c.trivial_encrypt(&pt);
+        let back = c.decode(&c.decrypt(&ct, &sk), 2);
+        assert!((back[0] - 7.0).abs() < 1e-6);
+        assert!((back[1] + 7.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,421 @@
+//! Homomorphic operations on ciphertexts.
+
+use cl_rns::rescale as rns_rescale;
+
+use crate::{Ciphertext, CkksContext, KeySwitchKey, Plaintext};
+
+impl CkksContext {
+    /// Homomorphic addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if levels or scales differ.
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        self.check_same_shape(a, b);
+        Ciphertext {
+            c0: self.rns().add(&a.c0, &b.c0),
+            c1: self.rns().add(&a.c1, &b.c1),
+            level: a.level,
+            scale: a.scale,
+        }
+    }
+
+    /// Homomorphic subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if levels or scales differ.
+    pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        self.check_same_shape(a, b);
+        Ciphertext {
+            c0: self.rns().sub(&a.c0, &b.c0),
+            c1: self.rns().sub(&a.c1, &b.c1),
+            level: a.level,
+            scale: a.scale,
+        }
+    }
+
+    /// Homomorphic negation.
+    pub fn neg_ct(&self, a: &Ciphertext) -> Ciphertext {
+        Ciphertext {
+            c0: self.rns().neg(&a.c0),
+            c1: self.rns().neg(&a.c1),
+            level: a.level,
+            scale: a.scale,
+        }
+    }
+
+    /// Adds a plaintext to a ciphertext.
+    ///
+    /// # Panics
+    ///
+    /// Panics if levels or scales differ.
+    pub fn add_plain(&self, a: &Ciphertext, p: &Plaintext) -> Ciphertext {
+        assert_eq!(a.level, p.level, "level mismatch");
+        let rel = (a.scale - p.scale).abs() / a.scale.max(p.scale);
+        assert!(rel < 1e-6, "scale mismatch: {} vs {}", a.scale, p.scale);
+        Ciphertext {
+            c0: self.rns().add(&a.c0, &p.poly),
+            c1: a.c1.clone(),
+            level: a.level,
+            scale: a.scale,
+        }
+    }
+
+    /// Multiplies a ciphertext by a plaintext. The scales multiply; a
+    /// [`CkksContext::rescale`] typically follows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if levels differ.
+    pub fn mul_plain(&self, a: &Ciphertext, p: &Plaintext) -> Ciphertext {
+        assert_eq!(a.level, p.level, "level mismatch");
+        Ciphertext {
+            c0: self.rns().mul(&a.c0, &p.poly),
+            c1: self.rns().mul(&a.c1, &p.poly),
+            level: a.level,
+            scale: a.scale * p.scale,
+        }
+    }
+
+    /// Multiplies a ciphertext by an unencoded scalar without consuming a
+    /// level; the scalar is folded into the scale when it is a power of two,
+    /// otherwise encoded exactly at scale 1 (integer scalars only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not representable as an integer.
+    pub fn mul_integer(&self, a: &Ciphertext, k: i64) -> Ciphertext {
+        if k < 0 {
+            return self.neg_ct(&self.mul_integer(a, -k));
+        }
+        let scaled0 = self.rns().scalar_mul(&a.c0, k as u64);
+        let scaled1 = self.rns().scalar_mul(&a.c1, k as u64);
+        Ciphertext {
+            c0: scaled0,
+            c1: scaled1,
+            level: a.level,
+            scale: a.scale,
+        }
+    }
+
+    /// Homomorphic multiplication with relinearization (Sec. 2.2): tensor
+    /// the two ciphertexts, then keyswitch the degree-2 component back to a
+    /// 2-polynomial ciphertext using the relinearization key.
+    ///
+    /// The output scale is the product of the input scales; a
+    /// [`CkksContext::rescale`] typically follows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if levels differ.
+    pub fn mul(&self, a: &Ciphertext, b: &Ciphertext, relin_key: &KeySwitchKey) -> Ciphertext {
+        assert_eq!(a.level, b.level, "level mismatch");
+        let rns = self.rns();
+        // Tensor: (d0, d1, d2) = (a0 b0, a0 b1 + a1 b0, a1 b1).
+        let d0 = rns.mul(&a.c0, &b.c0);
+        let mut d1 = rns.mul(&a.c0, &b.c1);
+        rns.mul_acc(&mut d1, &a.c1, &b.c0);
+        let d2 = rns.mul(&a.c1, &b.c1);
+        // Relinearize d2 (implicitly multiplied by s^2).
+        let (ks0, ks1) = self.keyswitch(&d2, relin_key);
+        let c0 = rns.add(&d0, &ks0);
+        let c1 = rns.add(&d1, &ks1);
+        Ciphertext {
+            c0,
+            c1,
+            level: a.level,
+            scale: a.scale * b.scale,
+        }
+    }
+
+    /// Squares a ciphertext (saves one polynomial product over
+    /// [`CkksContext::mul`]).
+    pub fn square(&self, a: &Ciphertext, relin_key: &KeySwitchKey) -> Ciphertext {
+        let rns = self.rns();
+        let d0 = rns.mul(&a.c0, &a.c0);
+        let cross = rns.mul(&a.c0, &a.c1);
+        let d1 = rns.add(&cross, &cross);
+        let d2 = rns.mul(&a.c1, &a.c1);
+        let (ks0, ks1) = self.keyswitch(&d2, relin_key);
+        Ciphertext {
+            c0: rns.add(&d0, &ks0),
+            c1: rns.add(&d1, &ks1),
+            level: a.level,
+            scale: a.scale * a.scale,
+        }
+    }
+
+    /// Rescales: divides by the last modulus in the chain and drops a level
+    /// (Sec. 2.3). The scale shrinks by exactly that modulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ciphertext is at level 1.
+    pub fn rescale(&self, a: &Ciphertext) -> Ciphertext {
+        assert!(a.level >= 2, "cannot rescale a level-1 ciphertext");
+        let rns = self.rns();
+        let dropped = rns.modulus_value((a.level - 1) as u32) as f64;
+        let mut c0 = a.c0.clone();
+        let mut c1 = a.c1.clone();
+        rns.from_ntt(&mut c0);
+        rns.from_ntt(&mut c1);
+        let mut r0 = rns_rescale(rns, &c0);
+        let mut r1 = rns_rescale(rns, &c1);
+        rns.to_ntt(&mut r0);
+        rns.to_ntt(&mut r1);
+        Ciphertext {
+            c0: r0,
+            c1: r1,
+            level: a.level - 1,
+            scale: a.scale / dropped,
+        }
+    }
+
+    /// Drops to a lower level without dividing (modulus switching used to
+    /// align operand levels). The scale is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is zero or above the current level.
+    pub fn mod_drop(&self, a: &Ciphertext, level: usize) -> Ciphertext {
+        assert!((1..=a.level).contains(&level), "bad target level");
+        if level == a.level {
+            return a.clone();
+        }
+        let rns = self.rns();
+        let target = rns.q_basis(level);
+        Ciphertext {
+            c0: rns.restrict(&a.c0, &target),
+            c1: rns.restrict(&a.c1, &target),
+            level,
+            scale: a.scale,
+        }
+    }
+
+    /// Homomorphic slot rotation by `steps` (Sec. 2.2): automorphism on both
+    /// polynomials, then a keyswitch of `c1` with the matching rotation key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key was generated for a different rotation amount (not
+    /// detectable here — the result simply decrypts wrong; the panic occurs
+    /// only for basis mismatches).
+    pub fn rotate(&self, a: &Ciphertext, steps: i64, rot_key: &KeySwitchKey) -> Ciphertext {
+        let g = cl_math::galois_element_for_rotation(steps, self.params().ring_degree());
+        self.apply_galois(a, g, rot_key)
+    }
+
+    /// Homomorphic complex conjugation of all slots.
+    pub fn conjugate(&self, a: &Ciphertext, conj_key: &KeySwitchKey) -> Ciphertext {
+        let g = cl_math::galois_element_conjugate(self.params().ring_degree());
+        self.apply_galois(a, g, conj_key)
+    }
+
+    fn apply_galois(&self, a: &Ciphertext, g: u64, key: &KeySwitchKey) -> Ciphertext {
+        let rns = self.rns();
+        let rotated = Ciphertext {
+            c0: rns.apply_automorphism(&a.c0, g),
+            c1: rns.apply_automorphism(&a.c1, g),
+            level: a.level,
+            scale: a.scale,
+        };
+        self.keyswitch_ciphertext(&rotated, key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CkksParams, KeySwitchKind, SecretKey};
+    use rand::SeedableRng;
+
+    fn setup(levels: usize) -> (CkksContext, SecretKey, rand::rngs::StdRng) {
+        let params = CkksParams::builder()
+            .ring_degree(128)
+            .levels(levels)
+            .special_limbs(levels)
+            .limb_bits(40)
+            .scale_bits(32)
+            .build()
+            .unwrap();
+        let ctx = CkksContext::new(params).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(123);
+        let sk = ctx.keygen(&mut rng);
+        (ctx, sk, rng)
+    }
+
+    const KIND: KeySwitchKind = KeySwitchKind::Boosted { digits: 1 };
+
+    #[test]
+    fn homomorphic_add_sub() {
+        let (ctx, sk, mut rng) = setup(2);
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![0.5, -2.0, 10.0];
+        let cta = ctx.encrypt(&ctx.encode(&a, ctx.default_scale(), 2), &sk, &mut rng);
+        let ctb = ctx.encrypt(&ctx.encode(&b, ctx.default_scale(), 2), &sk, &mut rng);
+        let sum = ctx.decode(&ctx.decrypt(&ctx.add(&cta, &ctb), &sk), 3);
+        let diff = ctx.decode(&ctx.decrypt(&ctx.sub(&cta, &ctb), &sk), 3);
+        for i in 0..3 {
+            assert!((sum[i] - (a[i] + b[i])).abs() < 1e-3);
+            assert!((diff[i] - (a[i] - b[i])).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn homomorphic_mul_with_rescale() {
+        let (ctx, sk, mut rng) = setup(3);
+        let rlk = ctx.relin_keygen(&sk, KIND, &mut rng);
+        let a = vec![1.5, -2.0, 0.25];
+        let b = vec![4.0, 3.0, -8.0];
+        let cta = ctx.encrypt(&ctx.encode(&a, ctx.default_scale(), 3), &sk, &mut rng);
+        let ctb = ctx.encrypt(&ctx.encode(&b, ctx.default_scale(), 3), &sk, &mut rng);
+        let prod = ctx.rescale(&ctx.mul(&cta, &ctb, &rlk));
+        assert_eq!(prod.level(), 2);
+        let got = ctx.decode(&ctx.decrypt(&prod, &sk), 3);
+        for i in 0..3 {
+            assert!((got[i] - a[i] * b[i]).abs() < 1e-2, "{} vs {}", got[i], a[i] * b[i]);
+        }
+    }
+
+    #[test]
+    fn homomorphic_square() {
+        let (ctx, sk, mut rng) = setup(3);
+        let rlk = ctx.relin_keygen(&sk, KIND, &mut rng);
+        let a = vec![1.5, -2.0, 0.25, 7.0];
+        let ct = ctx.encrypt(&ctx.encode(&a, ctx.default_scale(), 3), &sk, &mut rng);
+        let sq = ctx.rescale(&ctx.square(&ct, &rlk));
+        let got = ctx.decode(&ctx.decrypt(&sq, &sk), 4);
+        for i in 0..4 {
+            assert!((got[i] - a[i] * a[i]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn multiplication_chain_consumes_levels() {
+        // Scale must track the limb width for the scale to survive repeated
+        // rescaling (standard CKKS practice: Δ ≈ q_i).
+        let params = CkksParams::builder()
+            .ring_degree(128)
+            .levels(4)
+            .special_limbs(4)
+            .limb_bits(40)
+            .scale_bits(40)
+            .build()
+            .unwrap();
+        let ctx = CkksContext::new(params).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(123);
+        let sk = ctx.keygen(&mut rng);
+        let rlk = ctx.relin_keygen(&sk, KIND, &mut rng);
+        let x = vec![1.1, 0.9, -1.05];
+        let mut ct = ctx.encrypt(&ctx.encode(&x, ctx.default_scale(), 4), &sk, &mut rng);
+        let mut expect: Vec<f64> = x.clone();
+        for _ in 0..3 {
+            ct = ctx.rescale(&ctx.square(&ct, &rlk));
+            for v in expect.iter_mut() {
+                *v = *v * *v;
+            }
+        }
+        assert_eq!(ct.level(), 1);
+        let got = ctx.decode(&ctx.decrypt(&ct, &sk), 3);
+        for i in 0..3 {
+            assert!(
+                (got[i] - expect[i]).abs() < 0.05,
+                "{} vs {}",
+                got[i],
+                expect[i]
+            );
+        }
+    }
+
+    #[test]
+    fn mul_plain_and_add_plain() {
+        let (ctx, sk, mut rng) = setup(3);
+        let a = vec![2.0, -3.0, 0.5];
+        let w = vec![1.5, 2.0, -4.0];
+        let c = vec![10.0, 20.0, 30.0];
+        let ct = ctx.encrypt(&ctx.encode(&a, ctx.default_scale(), 3), &sk, &mut rng);
+        let wp = ctx.encode(&w, ctx.default_scale(), 3);
+        let prod = ctx.rescale(&ctx.mul_plain(&ct, &wp));
+        let cp = ctx.encode(&c, prod.scale(), prod.level());
+        let res = ctx.add_plain(&prod, &cp);
+        let got = ctx.decode(&ctx.decrypt(&res, &sk), 3);
+        for i in 0..3 {
+            assert!((got[i] - (a[i] * w[i] + c[i])).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn rotation_moves_slots_left() {
+        let (ctx, sk, mut rng) = setup(2);
+        let slots = ctx.params().slots();
+        let vals: Vec<f64> = (0..slots).map(|i| i as f64).collect();
+        let rk = ctx.rotation_keygen(&sk, 1, KIND, &mut rng);
+        let ct = ctx.encrypt(&ctx.encode(&vals, ctx.default_scale(), 2), &sk, &mut rng);
+        let rot = ctx.rotate(&ct, 1, &rk);
+        let got = ctx.decode(&ctx.decrypt(&rot, &sk), slots);
+        // Rotation by 1: slot i takes the value of slot i+1 (cyclically).
+        for i in 0..slots {
+            let expect = vals[(i + 1) % slots];
+            assert!(
+                (got[i] - expect).abs() < 1e-2,
+                "slot {i}: {} vs {expect}",
+                got[i]
+            );
+        }
+    }
+
+    #[test]
+    fn conjugation_flips_imaginary_parts() {
+        let (ctx, sk, mut rng) = setup(2);
+        let vals = vec![
+            cl_math::Complex::new(1.0, 2.0),
+            cl_math::Complex::new(-3.0, 0.5),
+        ];
+        let ck = ctx.conjugation_keygen(&sk, KIND, &mut rng);
+        let ct = ctx.encrypt(&ctx.encode_complex(&vals, ctx.default_scale(), 2), &sk, &mut rng);
+        let conj = ctx.conjugate(&ct, &ck);
+        let got = ctx.decode_complex(&ctx.decrypt(&conj, &sk), 2);
+        for (g, v) in got.iter().zip(&vals) {
+            assert!((*g - v.conj()).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn mod_drop_preserves_value() {
+        let (ctx, sk, mut rng) = setup(3);
+        let vals = vec![5.0, -6.0];
+        let ct = ctx.encrypt(&ctx.encode(&vals, ctx.default_scale(), 3), &sk, &mut rng);
+        let dropped = ctx.mod_drop(&ct, 1);
+        assert_eq!(dropped.level(), 1);
+        let got = ctx.decode(&ctx.decrypt(&dropped, &sk), 2);
+        assert!((got[0] - 5.0).abs() < 1e-3);
+        assert!((got[1] + 6.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn mul_integer_scales_values() {
+        let (ctx, sk, mut rng) = setup(2);
+        let vals = vec![1.5, -2.0];
+        let ct = ctx.encrypt(&ctx.encode(&vals, ctx.default_scale(), 2), &sk, &mut rng);
+        let tripled = ctx.mul_integer(&ct, -3);
+        let got = ctx.decode(&ctx.decrypt(&tripled, &sk), 2);
+        assert!((got[0] + 4.5).abs() < 1e-3);
+        assert!((got[1] - 6.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rotations_with_standard_keyswitching_also_work() {
+        let (ctx, sk, mut rng) = setup(3);
+        let slots = ctx.params().slots();
+        let vals: Vec<f64> = (0..slots).map(|i| (i % 5) as f64).collect();
+        let rk = ctx.rotation_keygen(&sk, 2, KeySwitchKind::Standard, &mut rng);
+        let ct = ctx.encrypt(&ctx.encode(&vals, ctx.default_scale(), 3), &sk, &mut rng);
+        let rot = ctx.rotate(&ct, 2, &rk);
+        let got = ctx.decode(&ctx.decrypt(&rot, &sk), slots);
+        for i in 0..slots {
+            let expect = vals[(i + 2) % slots];
+            assert!((got[i] - expect).abs() < 0.1, "slot {i}: {} vs {expect}", got[i]);
+        }
+    }
+}

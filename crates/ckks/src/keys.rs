@@ -1,0 +1,87 @@
+//! Key material: secret keys, public keys, and keyswitch keys (hints).
+
+use cl_rns::RnsPoly;
+
+use crate::keyswitch::KeySwitchKind;
+
+/// A secret key: a ternary polynomial over the full modulus chain
+/// (ciphertext moduli and special moduli), kept in NTT form.
+#[derive(Debug, Clone)]
+pub struct SecretKey {
+    pub(crate) s: RnsPoly,
+}
+
+impl SecretKey {
+    /// The secret polynomial (NTT form, full basis).
+    pub fn poly(&self) -> &RnsPoly {
+        &self.s
+    }
+}
+
+/// A public encryption key `(pk0, pk1) = (-a·s + e, a)` over the full
+/// ciphertext-modulus chain.
+#[derive(Debug, Clone)]
+pub struct PublicKey {
+    pub(crate) pk0: RnsPoly,
+    pub(crate) pk1: RnsPoly,
+}
+
+/// A keyswitch key — the paper's *keyswitch hint* (KSH).
+///
+/// For boosted keyswitching with `t` digits this is `t` pairs of
+/// polynomials over the extended basis `Q·P`; for standard keyswitching it
+/// is `L` pairs (one per limb) over `Q` extended by a single rescaling
+/// modulus. The second element of every pair is
+/// pseudo-random and is regenerated on demand from `seed` — the software
+/// equivalent of the KSHGen functional unit (Sec. 5.2), which halves the
+/// hint's storage and memory traffic.
+#[derive(Debug, Clone)]
+pub struct KeySwitchKey {
+    pub(crate) kind: KeySwitchKind,
+    /// `(k0, k1)` per digit, NTT form, over the key basis.
+    pub(crate) elems: Vec<(RnsPoly, RnsPoly)>,
+    /// Ciphertext-modulus limbs covered by each digit.
+    pub(crate) digit_limbs: Vec<Vec<u32>>,
+    /// Seed regenerating every `k1` (the pseudo-random half).
+    pub(crate) seed: u64,
+}
+
+impl KeySwitchKey {
+    /// The keyswitching algorithm this key is for.
+    pub fn kind(&self) -> KeySwitchKind {
+        self.kind
+    }
+
+    /// Number of digits.
+    pub fn num_digits(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// The seed from which the pseudo-random halves (`k1`) are derived.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Total size in machine words if the hint is stored in full.
+    pub fn num_words_full(&self) -> usize {
+        self.elems
+            .iter()
+            .map(|(k0, k1)| k0.num_words() + k1.num_words())
+            .sum()
+    }
+
+    /// Size in machine words when the pseudo-random half is regenerated
+    /// from the seed (the KSHGen optimization): only `k0` is stored.
+    pub fn num_words_seeded(&self) -> usize {
+        self.elems.iter().map(|(k0, _)| k0.num_words()).sum()
+    }
+
+    /// The limbs of the ciphertext-modulus chain covered by digit `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    pub fn digit_limbs(&self, d: usize) -> &[u32] {
+        &self.digit_limbs[d]
+    }
+}

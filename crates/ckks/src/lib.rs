@@ -1,0 +1,58 @@
+//! The CKKS approximate-FHE scheme.
+//!
+//! This crate implements the workload CraterLake accelerates: CKKS
+//! (Cheon-Kim-Kim-Song) over RNS polynomials, including
+//!
+//! - encoding/decoding via the canonical embedding (Sec. 2.2),
+//! - key generation, encryption, decryption,
+//! - homomorphic addition, multiplication, rotation, conjugation and
+//!   rescaling,
+//! - **standard** keyswitching (the algorithm prior accelerators like F1
+//!   were built around) and **boosted** keyswitching with a configurable
+//!   number of digits `t` (Sec. 3, Listing 1) — the algorithm CraterLake is
+//!   designed for,
+//! - seeded generation of the pseudo-random half of each keyswitch hint
+//!   (the software analogue of the KSHGen unit, Sec. 5.2),
+//! - the security model mapping `(N, security level)` to a maximum
+//!   ciphertext-modulus width (our stand-in for the LWE estimator).
+//!
+//! # Example
+//!
+//! ```
+//! use cl_ckks::{CkksContext, CkksParams, KeySwitchKind};
+//! let params = CkksParams::builder()
+//!     .ring_degree(64)
+//!     .levels(3)
+//!     .special_limbs(3)
+//!     .limb_bits(36)
+//!     .scale_bits(30)
+//!     .build()
+//!     .unwrap();
+//! let mut rng = rand::thread_rng();
+//! let ctx = CkksContext::new(params).unwrap();
+//! let sk = ctx.keygen(&mut rng);
+//! let vals = vec![1.5, -2.25, 3.0];
+//! let pt = ctx.encode(&vals, ctx.default_scale(), ctx.max_level());
+//! let ct = ctx.encrypt(&pt, &sk, &mut rng);
+//! let back = ctx.decode(&ctx.decrypt(&ct, &sk), vals.len());
+//! assert!((back[0] - 1.5).abs() < 1e-3);
+//! # let _ = KeySwitchKind::Boosted { digits: 1 };
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bgv;
+mod ciphertext;
+mod context;
+mod eval;
+mod keys;
+mod keyswitch;
+mod noise;
+mod params;
+pub mod security;
+
+pub use ciphertext::{Ciphertext, Plaintext};
+pub use context::{CkksContext, CkksError};
+pub use keys::{KeySwitchKey, PublicKey, SecretKey};
+pub use keyswitch::KeySwitchKind;
+pub use params::{CkksParams, CkksParamsBuilder};

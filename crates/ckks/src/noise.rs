@@ -1,0 +1,152 @@
+//! Noise measurement and budget estimation.
+//!
+//! A ciphertext's *multiplicative budget* (Sec. 2.3, Fig. 2) is the depth
+//! it can still absorb before decryption fails. This module provides the
+//! two tools implementations use to reason about it:
+//!
+//! - [`CkksContext::noise_bits`]: the *exact* current noise, measured with
+//!   the secret key (a debugging/validation tool — it decrypts).
+//! - [`CkksContext::budget_bits`]: the remaining headroom
+//!   `log2(Q) - log2(noise) - log2(scale)`-style estimate that tracks the
+//!   saw-tooth of Fig. 2.
+
+use cl_math::BigUint;
+
+use crate::{Ciphertext, CkksContext, Plaintext, SecretKey};
+
+impl CkksContext {
+    /// Measures the exact noise of `ct` relative to the expected plaintext
+    /// `expected`, in bits: `log2(max_coeff |phase - m|)`.
+    ///
+    /// Requires the secret key; intended for tests, noise studies and
+    /// parameter debugging (real deployments estimate instead).
+    pub fn noise_bits(&self, ct: &Ciphertext, expected: &Plaintext, sk: &SecretKey) -> f64 {
+        let rns = self.rns();
+        let basis = rns.q_basis(ct.level());
+        let s = rns.restrict(sk.poly(), &basis);
+        let mut phase = rns.mul(ct.c1(), &s);
+        rns.add_assign(&mut phase, ct.c0());
+        let mut diff = rns.sub(&phase, expected.poly());
+        rns.from_ntt(&mut diff);
+        let moduli: Vec<u64> = basis.0.iter().map(|&l| rns.modulus_value(l)).collect();
+        let q_big = BigUint::product(&moduli);
+        let mut max_noise = 0f64;
+        let mut residues = vec![0u64; diff.num_limbs()];
+        for i in 0..self.params().ring_degree() {
+            for k in 0..diff.num_limbs() {
+                residues[k] = diff.limb(k)[i];
+            }
+            let big = BigUint::crt_combine(&residues, &moduli);
+            let (_, mag) = big.centered(&q_big);
+            max_noise = max_noise.max(mag.to_f64());
+        }
+        max_noise.max(1.0).log2()
+    }
+
+    /// Estimated remaining multiplicative budget of `ct`, in bits:
+    /// `log2(Q_level) - log2(scale)` headroom above the message. One
+    /// homomorphic multiplication consumes roughly `log2(scale)` bits, so
+    /// `budget_bits / log2(scale)` approximates the remaining depth — the
+    /// quantity Fig. 2 plots.
+    pub fn budget_bits(&self, ct: &Ciphertext) -> f64 {
+        let rns = self.rns();
+        let log_q: f64 = (0..ct.level())
+            .map(|l| (rns.modulus_value(l as u32) as f64).log2())
+            .sum();
+        (log_q - ct.scale().log2()).max(0.0)
+    }
+
+    /// Approximate remaining multiplicative depth (levels of budget left).
+    pub fn remaining_depth(&self, ct: &Ciphertext) -> usize {
+        let per_level = self.default_scale().log2();
+        (self.budget_bits(ct) / per_level).floor() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CkksParams, KeySwitchKind};
+    use rand::SeedableRng;
+
+    fn setup() -> (CkksContext, SecretKey, rand::rngs::StdRng) {
+        let params = CkksParams::builder()
+            .ring_degree(128)
+            .levels(4)
+            .special_limbs(4)
+            .limb_bits(45)
+            .scale_bits(45)
+            .build()
+            .unwrap();
+        let ctx = CkksContext::new(params).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let sk = ctx.keygen(&mut rng);
+        (ctx, sk, rng)
+    }
+
+    #[test]
+    fn fresh_ciphertext_noise_is_small() {
+        let (ctx, sk, mut rng) = setup();
+        let pt = ctx.encode(&[1.0, -2.0], ctx.default_scale(), 4);
+        let ct = ctx.encrypt(&pt, &sk, &mut rng);
+        let noise = ctx.noise_bits(&ct, &pt, &sk);
+        // Fresh noise is the sampled error: a handful of bits, far below
+        // the 45-bit scale.
+        assert!(noise < 20.0, "fresh noise {noise} bits");
+    }
+
+    #[test]
+    fn noise_grows_with_multiplication() {
+        let (ctx, sk, mut rng) = setup();
+        let relin = ctx.relin_keygen(&sk, KeySwitchKind::Boosted { digits: 1 }, &mut rng);
+        let vals = vec![1.5, 0.5, -1.0];
+        let pt = ctx.encode(&vals, ctx.default_scale(), 4);
+        let ct = ctx.encrypt(&pt, &sk, &mut rng);
+        let fresh_noise = ctx.noise_bits(&ct, &pt, &sk);
+        let sq = ctx.square(&ct, &relin);
+        let sq_vals: Vec<f64> = vals.iter().map(|v| v * v).collect();
+        let expected_sq = ctx.encode(&sq_vals, sq.scale(), sq.level());
+        let sq_noise = ctx.noise_bits(&sq, &expected_sq, &sk);
+        assert!(
+            sq_noise > fresh_noise + 10.0,
+            "multiplication should grow noise substantially: {fresh_noise} -> {sq_noise}"
+        );
+    }
+
+    #[test]
+    fn budget_saw_tooths_like_fig2() {
+        // Consuming levels shrinks the budget; the remaining-depth counter
+        // decrements by ~1 per rescale.
+        let (ctx, sk, mut rng) = setup();
+        let relin = ctx.relin_keygen(&sk, KeySwitchKind::Boosted { digits: 1 }, &mut rng);
+        let pt = ctx.encode(&[1.01], ctx.default_scale(), 4);
+        let mut ct = ctx.encrypt(&pt, &sk, &mut rng);
+        let mut budgets = vec![ctx.remaining_depth(&ct)];
+        for _ in 0..3 {
+            ct = ctx.rescale(&ctx.square(&ct, &relin));
+            budgets.push(ctx.remaining_depth(&ct));
+        }
+        // Strictly decreasing until exhausted, then pinned at 0.
+        assert!(
+            budgets.windows(2).all(|w| w[1] < w[0] || (w[0] == 0 && w[1] == 0)),
+            "budget must decrease monotonically: {budgets:?}"
+        );
+        // 4 limbs just under 2^45 minus a 2^45 scale: conservative floor
+        // gives depth 2 (the true headroom is fractionally below 3).
+        assert_eq!(budgets[0], 2);
+        assert_eq!(*budgets.last().unwrap(), 0);
+    }
+
+    #[test]
+    fn budget_estimate_matches_level_accounting() {
+        let (ctx, _, _) = setup();
+        let pt = ctx.encode(&[0.5], ctx.default_scale(), 2);
+        let ct = ctx.trivial_encrypt(&pt);
+        // 2 limbs just under 2^45 minus the 2^45 scale: fractionally under
+        // one full level of headroom, so the conservative floor reports 0.
+        assert_eq!(ctx.remaining_depth(&ct), 0);
+        let pt3 = ctx.encode(&[0.5], ctx.default_scale(), 3);
+        let ct3 = ctx.trivial_encrypt(&pt3);
+        assert_eq!(ctx.remaining_depth(&ct3), 1);
+    }
+}

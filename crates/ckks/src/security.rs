@@ -1,0 +1,156 @@
+//! Security model: maximum modulus width per ring degree and security level.
+//!
+//! The paper derives its parameters with the LWE estimator \[5\]; we have no
+//! network access to it, so we encode its behaviour as a table of
+//! `log2(QP)/N` slopes, anchored at two points:
+//!
+//! - 128-bit security at `N = 2^15` allows `log QP ≈ 881` (the
+//!   HomomorphicEncryption.org standard for ternary secrets), and the
+//!   paper's own 128-bit operating points (1-digit keyswitching up to
+//!   `L = 31`, 3-digit up to `L = 51` at `N = 64K`, i.e. `log QP` up to
+//!   ~1,900) pin the slope slightly above the standard's.
+//! - The paper's 80-bit operating points (1-digit keyswitching up to
+//!   `L = 52`, 2-digit to `L = 60` at `N = 64K`) imply `log QP` up to
+//!   ~2,940.
+//!
+//! `log QP` scales linearly in `N` at fixed security (both the standard's
+//! table and the estimator behave this way over this range), so a per-level
+//! slope suffices.
+
+/// Supported security targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SecurityLevel {
+    /// 80-bit security (the paper's primary evaluation target, Sec. 8).
+    Bits80,
+    /// 128-bit security (Sec. 9.4).
+    Bits128,
+    /// 192-bit security.
+    Bits192,
+    /// 200-bit security (the paper's very conservative target, Sec. 9.4).
+    Bits200,
+}
+
+impl SecurityLevel {
+    /// `log2(QP) / N` slope for this level.
+    fn slope(self) -> f64 {
+        match self {
+            SecurityLevel::Bits80 => 0.0449,
+            SecurityLevel::Bits128 => 0.0291,
+            SecurityLevel::Bits192 => 0.0187,
+            SecurityLevel::Bits200 => 0.0178,
+        }
+    }
+
+    /// Numeric value in bits.
+    pub fn bits(self) -> u32 {
+        match self {
+            SecurityLevel::Bits80 => 80,
+            SecurityLevel::Bits128 => 128,
+            SecurityLevel::Bits192 => 192,
+            SecurityLevel::Bits200 => 200,
+        }
+    }
+}
+
+/// Maximum total modulus width `log2(QP)` in bits for ring degree `n` at
+/// security level `sec` (ternary secrets, non-sparse).
+pub fn max_log_qp(n: usize, sec: SecurityLevel) -> u32 {
+    (n as f64 * sec.slope()).floor() as u32
+}
+
+/// Maximum multiplicative budget `L` achievable with `t`-digit boosted
+/// keyswitching at the given ring degree, security level and limb width.
+///
+/// `t`-digit keyswitching needs `ceil(L/t)` special limbs, so the constraint
+/// is `(L + ceil(L/t)) * limb_bits <= max_log_qp(n, sec)`.
+pub fn max_level(n: usize, sec: SecurityLevel, digits: usize, limb_bits: u32) -> usize {
+    assert!(digits >= 1);
+    let budget = max_log_qp(n, sec) as usize / limb_bits as usize;
+    // Largest L with L + ceil(L/digits) <= budget.
+    let mut l = 0usize;
+    while l + 1 + (l + 1 + digits - 1) / digits <= budget {
+        l += 1;
+    }
+    l
+}
+
+/// Smallest digit count `t` that supports multiplicative budget `l` at the
+/// given ring degree and security level, or `None` if even limb-per-digit
+/// (standard-like) decomposition cannot reach it.
+pub fn min_digits_for_level(
+    n: usize,
+    sec: SecurityLevel,
+    l: usize,
+    limb_bits: u32,
+) -> Option<usize> {
+    (1..=l.max(1)).find(|&t| max_level(n, sec, t, limb_bits) >= l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N64K: usize = 1 << 16;
+
+    #[test]
+    fn anchors_match_the_standard() {
+        // ~881 bits at N=2^15 for 128-bit security.
+        let v = max_log_qp(1 << 15, SecurityLevel::Bits128);
+        assert!((870..=970).contains(&v), "got {v}");
+        // Linear in N (up to floor rounding).
+        let doubled = max_log_qp(1 << 16, SecurityLevel::Bits128) as i64;
+        let halved = 2 * max_log_qp(1 << 15, SecurityLevel::Bits128) as i64;
+        assert!((doubled - halved).abs() <= 2);
+    }
+
+    #[test]
+    fn paper_80bit_operating_points_feasible() {
+        // Sec. 3.1: at 80-bit, N=64K: 1-digit keyswitching for L <= 52.
+        assert!(max_level(N64K, SecurityLevel::Bits80, 1, 28) >= 52);
+        // 2-digit keyswitching for L up to 60.
+        assert!(max_level(N64K, SecurityLevel::Bits80, 2, 28) >= 60);
+    }
+
+    #[test]
+    fn paper_128bit_operating_points_feasible() {
+        // Sec. 9.4: 1-digit for L < 32, 2-digit for 32 <= L < 43,
+        // 3-digit for L >= 43, never beyond L = 51.
+        assert!(max_level(N64K, SecurityLevel::Bits128, 1, 28) >= 31);
+        assert!(max_level(N64K, SecurityLevel::Bits128, 2, 28) >= 42);
+        assert!(max_level(N64K, SecurityLevel::Bits128, 3, 28) >= 51);
+        // And 128-bit is strictly tighter than 80-bit.
+        assert!(
+            max_level(N64K, SecurityLevel::Bits128, 1, 28)
+                < max_level(N64K, SecurityLevel::Bits80, 1, 28)
+        );
+    }
+
+    #[test]
+    fn paper_200bit_needs_larger_ring() {
+        // Sec. 9.4: 200-bit requires N=128K to keep useful depth.
+        let l_64k = max_level(N64K, SecurityLevel::Bits200, 3, 28);
+        let l_128k = max_level(2 * N64K, SecurityLevel::Bits200, 3, 28);
+        assert!(l_64k < 32, "64K should not support deep programs at 200-bit");
+        assert!(l_128k >= 55, "128K should support deep programs, got {l_128k}");
+    }
+
+    #[test]
+    fn min_digits_is_monotone() {
+        let d31 = min_digits_for_level(N64K, SecurityLevel::Bits128, 31, 28).unwrap();
+        let d43 = min_digits_for_level(N64K, SecurityLevel::Bits128, 43, 28).unwrap();
+        let d51 = min_digits_for_level(N64K, SecurityLevel::Bits128, 51, 28).unwrap();
+        assert!(d31 <= d43 && d43 <= d51);
+        assert_eq!(d31, 1);
+        assert!(d51 >= 3);
+    }
+
+    #[test]
+    fn higher_digits_extend_reach() {
+        for sec in [SecurityLevel::Bits80, SecurityLevel::Bits128] {
+            let l1 = max_level(N64K, sec, 1, 28);
+            let l2 = max_level(N64K, sec, 2, 28);
+            let l4 = max_level(N64K, sec, 4, 28);
+            assert!(l1 <= l2 && l2 <= l4);
+        }
+    }
+}

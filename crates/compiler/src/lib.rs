@@ -1,0 +1,30 @@
+//! The CraterLake compiler (Sec. 6).
+//!
+//! Translates an [`cl_isa::HeGraph`] into macro-operations and drives the
+//! machine model:
+//!
+//! 1. **Keyswitch policy** ([`KsPolicy`]): picks the keyswitching variant
+//!    per level (Sec. 3.1 — e.g. 2-digit above `L = 52` and 1-digit below
+//!    for 80-bit security at `N = 64K`; the per-level best algorithm for
+//!    F1+, which includes standard keyswitching below the `L ≈ 14`
+//!    crossover).
+//! 2. **Lowering** ([`lower_node`]): each homomorphic operation becomes one (or
+//!    a few) [`cl_isa::MacroOp`]s whose FU passes, register-file words and
+//!    network words reflect the target architecture — fused multi-FU
+//!    keyswitch pipelines with vector chaining on CraterLake (Sec. 5.4),
+//!    discrete multiply/adds through the register file when no CRB exists,
+//!    crossbar redistribution traffic for residue-polynomial tiling.
+//! 3. **Scheduling**: operations execute in graph order against the
+//!    machine's resource timelines; operand residency uses Belady's MIN with
+//!    next-use chains computed in a first pass, and loads are decoupled
+//!    (prefetched) as in the paper's greedy load scheduler.
+
+#![warn(missing_docs)]
+
+mod lower;
+mod reorder;
+mod schedule;
+
+pub use lower::{keyswitch_macro_ops, lower_node};
+pub use reorder::reuse_order;
+pub use schedule::{compile_and_run, CompileOptions, KsPolicy};

@@ -1,0 +1,183 @@
+//! Operation ordering for reuse (Sec. 6, step 2).
+//!
+//! "These operations are then ordered to maximize reuse of operands using
+//! a standard tiling analysis." Our benchmark generators already emit
+//! reuse-friendly orders (BSGS kernels group their hint uses), so this
+//! pass exists for programs that do not: it computes a topological order
+//! that greedily groups operations sharing a keyswitch hint, so the hint
+//! is fetched once while hot instead of once per scattered use.
+
+use std::collections::{BTreeSet, HashMap};
+
+use cl_isa::{HeGraph, HeOp, NodeId};
+
+/// Affinity key: which large shared operand (keyswitch hint) an op uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Affinity {
+    Relin,
+    Rotation(i64),
+    Conjugation,
+}
+
+fn affinity(op: &HeOp) -> Option<Affinity> {
+    match op {
+        HeOp::MulCt(..) => Some(Affinity::Relin),
+        HeOp::Rotate(_, s) => Some(Affinity::Rotation(*s)),
+        HeOp::Conjugate(_) => Some(Affinity::Conjugation),
+        _ => None,
+    }
+}
+
+/// Computes a reuse-friendly topological order of `graph`.
+///
+/// Greedy list scheduling: among ready nodes, prefer one sharing the
+/// previously scheduled node's hint; otherwise take the earliest (original
+/// program order, which keeps producer-consumer locality).
+pub fn reuse_order(graph: &HeGraph) -> Vec<NodeId> {
+    let n = graph.num_nodes();
+    let mut indegree = vec![0u32; n];
+    let mut consumers: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (id, node) in graph.iter() {
+        let mut ops = node.op.operands();
+        ops.sort_unstable();
+        ops.dedup();
+        indegree[id.0 as usize] = ops.len() as u32;
+        for o in ops {
+            consumers[o.0 as usize].push(id.0);
+        }
+    }
+    let mut ready: BTreeSet<u32> = (0..n as u32).filter(|&i| indegree[i as usize] == 0).collect();
+    let mut ready_by_affinity: HashMap<Affinity, BTreeSet<u32>> = HashMap::new();
+    for &i in &ready {
+        if let Some(a) = affinity(&graph.node(NodeId(i)).op) {
+            ready_by_affinity.entry(a).or_default().insert(i);
+        }
+    }
+    let mut order = Vec::with_capacity(n);
+    // Sticky affinity: keep preferring the last hint even while scheduling
+    // the glue ops (inputs, adds) between its uses.
+    let mut current: Option<Affinity> = None;
+    while let Some(&first) = ready.iter().next() {
+        // Prefer (1) a ready node with the same hint affinity; failing
+        // that, (2) a ready node that directly unlocks one (its consumer
+        // has the affinity and only this dependency left) — a one-step
+        // lookahead; otherwise (3) program order.
+        let same_affinity = current
+            .and_then(|a| ready_by_affinity.get(&a).and_then(|s| s.iter().next().copied()));
+        let unlocks = || {
+            let a = current?;
+            ready.iter().take(64).find(|&&r| {
+                consumers[r as usize].iter().any(|&c| {
+                    indegree[c as usize] == 1 && affinity(&graph.node(NodeId(c)).op) == Some(a)
+                })
+            }).copied()
+        };
+        let pick = same_affinity.or_else(unlocks).unwrap_or(first);
+        ready.remove(&pick);
+        if let Some(a) = affinity(&graph.node(NodeId(pick)).op) {
+            if let Some(s) = ready_by_affinity.get_mut(&a) {
+                s.remove(&pick);
+            }
+            current = Some(a);
+        }
+        order.push(NodeId(pick));
+        for &c in &consumers[pick as usize] {
+            indegree[c as usize] -= 1;
+            if indegree[c as usize] == 0 {
+                ready.insert(c);
+                if let Some(a) = affinity(&graph.node(NodeId(c)).op) {
+                    ready_by_affinity.entry(a).or_default().insert(c);
+                }
+            }
+        }
+    }
+    assert_eq!(order.len(), n, "graph has a cycle");
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_is_topological() {
+        let mut g = HeGraph::new();
+        let x = g.input(5);
+        let a = g.rotate(x, 1);
+        let b = g.rotate(x, 2);
+        let c = g.add(a, b);
+        g.output(c);
+        let order = reuse_order(&g);
+        let pos: HashMap<u32, usize> =
+            order.iter().enumerate().map(|(i, id)| (id.0, i)).collect();
+        for (id, node) in g.iter() {
+            for o in node.op.operands() {
+                assert!(pos[&o.0] < pos[&id.0], "operand after user");
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_rotations_get_grouped() {
+        // Independent rotations alternating A,B,A,B,... should reorder so
+        // equal amounts are adjacent (one hint stays hot).
+        let mut g = HeGraph::new();
+        let mut rotations = Vec::new();
+        for i in 0..8 {
+            let x = g.input(10);
+            let amount = if i % 2 == 0 { 3 } else { 7 };
+            rotations.push(g.rotate(x, amount));
+        }
+        for r in &rotations {
+            g.output(*r);
+        }
+        let order = reuse_order(&g);
+        // Count affinity switches among the rotation nodes in the order.
+        let amounts: Vec<i64> = order
+            .iter()
+            .filter_map(|&id| match g.node(id).op {
+                HeOp::Rotate(_, s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        let switches = amounts.windows(2).filter(|w| w[0] != w[1]).count();
+        assert_eq!(amounts.len(), 8);
+        assert!(
+            switches <= 1,
+            "rotations should be grouped by amount, got {amounts:?}"
+        );
+    }
+
+    #[test]
+    fn already_grouped_order_is_preserved() {
+        let mut g = HeGraph::new();
+        let x = g.input(6);
+        let mut acc = x;
+        for _ in 0..3 {
+            let r = g.rotate(acc, 5);
+            acc = g.add(acc, r);
+        }
+        g.output(acc);
+        let order = reuse_order(&g);
+        assert_eq!(order.len(), g.num_nodes());
+        // Serial chain: only one valid order.
+        let expected: Vec<NodeId> = g.iter().map(|(id, _)| id).collect();
+        assert_eq!(order, expected);
+    }
+
+    #[test]
+    fn works_on_a_real_benchmark_scale_graph() {
+        // A few hundred nodes with mixed affinities terminates and stays
+        // topological.
+        let mut g = HeGraph::new();
+        let mut last = g.input(20);
+        for i in 0..100 {
+            let x = g.input(20);
+            let r = g.rotate(x, (i % 5) as i64 + 1);
+            last = g.add(last, r);
+        }
+        g.output(last);
+        let order = reuse_order(&g);
+        assert_eq!(order.len(), g.num_nodes());
+    }
+}

@@ -1,0 +1,417 @@
+//! Scheduling: drives the machine through a graph in order, with next-use
+//! chains for Belady residency and per-level keyswitch-variant selection.
+
+use std::collections::HashMap;
+
+use cl_ckks::security::{min_digits_for_level, SecurityLevel};
+use cl_core::{ArchConfig, Machine, Stats, ValueClass};
+use cl_isa::{HeGraph, HeOp, KsAlgorithm, NodeId, OpLabel, Phase, TrafficClass, ValueId};
+
+use crate::lower::{lower_node, LoweredOp};
+
+/// Keyswitch-variant selection policy (Sec. 3.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KsPolicy {
+    /// Always the same algorithm.
+    Fixed(KsAlgorithm),
+    /// The fewest digits that meet a security level at each level
+    /// (CraterLake's policy: e.g. at 80-bit / `N = 64K`, 1-digit for
+    /// `L <= 52`, 2-digit above).
+    SecurityDriven(SecurityLevel),
+    /// The per-level best algorithm including standard keyswitching below
+    /// the boosted crossover (`L ≈ 14`) — the policy given to F1+ (Sec. 8).
+    BestPerLevel(SecurityLevel),
+}
+
+impl KsPolicy {
+    /// The algorithm chosen at level `l` for ring degree `n`.
+    pub fn algorithm(&self, n: usize, l: usize, word_bits: u32) -> KsAlgorithm {
+        match *self {
+            KsPolicy::Fixed(a) => a,
+            KsPolicy::SecurityDriven(sec) => {
+                let digits = min_digits_for_level(n, sec, l, word_bits).unwrap_or(4);
+                KsAlgorithm::Boosted(digits)
+            }
+            KsPolicy::BestPerLevel(sec) => {
+                if l <= cl_isa::cost::boosted_crossover_level(n) {
+                    KsAlgorithm::Standard
+                } else {
+                    let digits = min_digits_for_level(n, sec, l, word_bits).unwrap_or(4);
+                    KsAlgorithm::Boosted(digits)
+                }
+            }
+        }
+    }
+}
+
+/// Compilation options.
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Ring degree the program runs at.
+    pub n: usize,
+    /// Keyswitch policy.
+    pub ks_policy: KsPolicy,
+    /// Apply the reuse-reordering pass (Sec. 6 step 2) before scheduling.
+    /// Off by default: the benchmark generators already emit
+    /// reuse-friendly orders.
+    pub reorder: bool,
+}
+
+impl CompileOptions {
+    /// Default options for the paper's main evaluation: `N = 64K`, 80-bit
+    /// security-driven keyswitching.
+    pub fn paper_default() -> Self {
+        Self {
+            n: 1 << 16,
+            ks_policy: KsPolicy::SecurityDriven(SecurityLevel::Bits80),
+            reorder: false,
+        }
+    }
+}
+
+/// Identifies a keyswitch hint by the key it applies. One hint object
+/// serves all levels (lower-level uses stream a subset of its limbs, so a
+/// resident hint covers them all).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum KshKey {
+    Relin,
+    Rotation(i64),
+    Conjugation,
+}
+
+/// Compiles `graph` for `arch` and executes it on the machine model,
+/// returning the run's statistics.
+///
+/// This performs the compiler's two passes: first next-use analysis over
+/// ciphertext values and keyswitch hints (feeding Belady eviction), then
+/// in-order lowering and execution against the machine's resource
+/// timelines.
+///
+/// # Panics
+///
+/// Panics if the graph is malformed (see [`HeGraph::validate`]) or an
+/// operand set exceeds the register file.
+pub fn compile_and_run(graph: &HeGraph, arch: &ArchConfig, opts: &CompileOptions) -> Stats {
+    graph.validate();
+    let n = opts.n;
+    let word_bits = arch.word_bits;
+    // Execution order: program order, or the reuse-grouping order.
+    let order: Vec<NodeId> = if opts.reorder {
+        crate::reuse_order(graph)
+    } else {
+        graph.iter().map(|(id, _)| id).collect()
+    };
+    let mut position = vec![0u32; graph.num_nodes()];
+    for (pos, id) in order.iter().enumerate() {
+        position[id.0 as usize] = pos as u32;
+    }
+    // ---- Pass 1: uses of each value (node outputs and hints), in
+    // execution order (positions feed Belady's next-use distances).
+    let mut value_uses: HashMap<ValueId, Vec<u32>> = HashMap::new();
+    let mut ksh_ids: HashMap<KshKey, ValueId> = HashMap::new();
+    let mut next_value_id = graph.num_nodes() as u64;
+    let node_value = |id: NodeId| ValueId(id.0 as u64);
+    let mut ksh_of_node: HashMap<u32, ValueId> = HashMap::new();
+    let mut ksh_max_level: HashMap<ValueId, usize> = HashMap::new();
+    for &id in &order {
+        let node = graph.node(id);
+        let pos = position[id.0 as usize];
+        for opnd in node.op.operands() {
+            // ModDrop aliases its operand; uses of the alias count as uses
+            // of the underlying value only if the drop were free. We treat
+            // drops as distinct zero-cost values instead (see lowering).
+            value_uses.entry(node_value(opnd)).or_default().push(pos);
+        }
+        if node.op.needs_keyswitch() {
+            let key = match node.op {
+                HeOp::MulCt(..) => KshKey::Relin,
+                HeOp::Rotate(_, s) => KshKey::Rotation(s),
+                HeOp::Conjugate(_) => KshKey::Conjugation,
+                _ => unreachable!(),
+            };
+            let vid = *ksh_ids.entry(key).or_insert_with(|| {
+                let v = ValueId(next_value_id);
+                next_value_id += 1;
+                v
+            });
+            ksh_of_node.insert(id.0, vid);
+            let e = ksh_max_level.entry(vid).or_insert(0);
+            *e = (*e).max(node.level);
+            value_uses.entry(vid).or_default().push(pos);
+        }
+    }
+    // ---- Pass 2: declare values and execute in order.
+    let mut machine = Machine::new(arch.clone());
+    // Hint sizes: seeded (KSHGen) hints store only half.
+    let mut declared_ksh: HashMap<ValueId, bool> = HashMap::new();
+    let ct_words = |level: usize| 2 * level as u64 * n as u64;
+    for &id in &order {
+        let node = graph.node(id);
+        let class = match node.op {
+            HeOp::Input => ValueClass::Backed(TrafficClass::Input),
+            HeOp::PlainInput => ValueClass::Backed(TrafficClass::Input),
+            _ => ValueClass::Intermediate,
+        };
+        let words = match node.op {
+            HeOp::PlainInput => node.level as u64 * n as u64,
+            _ => ct_words(node.level),
+        };
+        machine.declare(node_value(id), words, class);
+        if let Some(&ksh) = ksh_of_node.get(&id.0) {
+            if !declared_ksh.contains_key(&ksh) {
+                // Size the hint for the highest level it serves; uses at
+                // lower levels read a subset of the same object.
+                let lmax = ksh_max_level[&ksh] as u64;
+                let alg = opts.ks_policy.algorithm(n, ksh_max_level[&ksh], word_bits);
+                let ksh_words = match alg {
+                    KsAlgorithm::Boosted(t) => {
+                        let alpha = lmax.div_ceil(t as u64);
+                        let polys = if arch.has_kshgen { 1 } else { 2 };
+                        t as u64 * polys * (lmax + alpha) * n as u64
+                    }
+                    KsAlgorithm::Standard => {
+                        let polys = if arch.has_kshgen { 1 } else { 2 };
+                        lmax * polys * (lmax + 1) * n as u64
+                    }
+                };
+                machine.declare(ksh, ksh_words, ValueClass::Backed(TrafficClass::Ksh));
+                declared_ksh.insert(ksh, true);
+            }
+        }
+    }
+    // Track, per value, a cursor into its use list.
+    let mut use_cursor: HashMap<ValueId, usize> = HashMap::new();
+    let next_use_after = |value_uses: &HashMap<ValueId, Vec<u32>>,
+                          cursor: &mut HashMap<ValueId, usize>,
+                          v: ValueId|
+     -> u32 {
+        let uses = value_uses.get(&v).map(|u| u.as_slice()).unwrap_or(&[]);
+        let c = cursor.entry(v).or_insert(0);
+        *c += 1;
+        uses.get(*c).copied().unwrap_or(u32::MAX)
+    };
+    let first_use = |value_uses: &HashMap<ValueId, Vec<u32>>, v: ValueId| -> u32 {
+        value_uses
+            .get(&v)
+            .and_then(|u| u.first().copied())
+            .unwrap_or(u32::MAX)
+    };
+    for &id in &order {
+        let node = graph.node(id);
+        let label = match node.phase {
+            Phase::App => OpLabel::App,
+            Phase::Bootstrap => OpLabel::Bootstrap,
+        };
+        let alg = opts.ks_policy.algorithm(n, node.level, word_bits);
+        match lower_node(arch, n, &node.op, node.level, alg) {
+            LoweredOp::None => {
+                // Inputs/outputs/drops: still maintain use bookkeeping so
+                // operand lifetimes stay correct. A ModDrop re-materializes
+                // as a (free) new value: execute a zero-work op.
+                let mut reads = Vec::new();
+                for opnd in node.op.operands() {
+                    let v = node_value(opnd);
+                    reads.push((v, next_use_after(&value_uses, &mut use_cursor, v)));
+                }
+                let writes = match node.op {
+                    HeOp::ModDrop(..) => vec![(node_value(id), first_use(&value_uses, node_value(id)))],
+                    HeOp::Input | HeOp::PlainInput => vec![],
+                    _ => vec![],
+                };
+                if !reads.is_empty() || !writes.is_empty() {
+                    machine.exec(&cl_isa::MacroOp::new(), n, &reads, &writes, label);
+                }
+            }
+            LoweredOp::One(op) => {
+                let mut reads = Vec::new();
+                for opnd in node.op.operands() {
+                    let v = node_value(opnd);
+                    reads.push((v, next_use_after(&value_uses, &mut use_cursor, v)));
+                }
+                if let Some(&ksh) = ksh_of_node.get(&id.0) {
+                    reads.push((ksh, next_use_after(&value_uses, &mut use_cursor, ksh)));
+                }
+                let out = node_value(id);
+                let writes = vec![(out, first_use(&value_uses, out))];
+                machine.exec(&op, n, &reads, &writes, label);
+            }
+        }
+    }
+    // Self-check: every recorded use must have been consumed exactly once
+    // (a mismatch desynchronizes next-use chains and corrupts residency).
+    for (v, uses) in &value_uses {
+        let consumed = use_cursor.get(v).copied().unwrap_or(0);
+        debug_assert_eq!(
+            consumed,
+            uses.len(),
+            "value {v:?}: {consumed} reads executed vs {} recorded",
+            uses.len()
+        );
+    }
+    machine.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cl_isa::FuKind;
+
+    fn mul_chain(levels: usize, len: usize) -> HeGraph {
+        let mut g = HeGraph::new();
+        let mut x = g.input(levels);
+        for _ in 0..len {
+            let m = g.mul_ct(x, x);
+            x = g.rescale(m);
+        }
+        g.output(x);
+        g
+    }
+
+    #[test]
+    fn mul_chain_runs_and_uses_resources() {
+        let g = mul_chain(10, 8);
+        let arch = ArchConfig::craterlake();
+        let stats = compile_and_run(&g, &arch, &CompileOptions::paper_default());
+        assert!(stats.cycles > 0.0);
+        assert!(stats.fu_busy.get(&FuKind::Ntt).copied().unwrap_or(0.0) > 0.0);
+        assert!(stats.fu_busy.get(&FuKind::Crb).copied().unwrap_or(0.0) > 0.0);
+        // The relin hint at each level is fetched from memory.
+        assert!(stats.traffic_of(TrafficClass::Ksh) > 0.0);
+    }
+
+    #[test]
+    fn ksh_reuse_across_repeated_rotations() {
+        // 20 rotations by the same amount at one level: the hint loads once.
+        let mut g = HeGraph::new();
+        let x = g.input(20);
+        let mut acc = x;
+        for _ in 0..20 {
+            let r = g.rotate(acc, 3);
+            acc = g.add(acc, r);
+        }
+        g.output(acc);
+        let arch = ArchConfig::craterlake();
+        let opts = CompileOptions::paper_default();
+        let stats = compile_and_run(&g, &arch, &opts);
+        // Seeded 1-digit hint at L=20: 1 * (20+20) * 65536 words * 3.5 B.
+        let expect = 40.0 * 65536.0 * 3.5;
+        assert!(
+            (stats.traffic_of(TrafficClass::Ksh) - expect).abs() < 1.0,
+            "KSH traffic {} vs {expect}",
+            stats.traffic_of(TrafficClass::Ksh)
+        );
+    }
+
+    #[test]
+    fn kshgen_halves_hint_traffic() {
+        let mut g = HeGraph::new();
+        let x = g.input(30);
+        let r = g.rotate(x, 1);
+        g.output(r);
+        let with_gen = compile_and_run(
+            &g,
+            &ArchConfig::craterlake(),
+            &CompileOptions::paper_default(),
+        );
+        let without = compile_and_run(
+            &g,
+            &ArchConfig::craterlake().without_kshgen(),
+            &CompileOptions::paper_default(),
+        );
+        let ratio = without.traffic_of(TrafficClass::Ksh) / with_gen.traffic_of(TrafficClass::Ksh);
+        assert!((ratio - 2.0).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn deep_keyswitch_much_slower_without_crb() {
+        // A reuse-heavy deep workload (same rotation hint applied many
+        // times, as BSGS kernels do): compute-bound, so losing the CRB and
+        // chaining exposes the O(L^2) multiply/add wall (Table 4 shows
+        // 8.8x-34.5x on the deep benchmarks).
+        let mut g = HeGraph::new();
+        let x = g.input(57);
+        let mut acc = x;
+        for _ in 0..20 {
+            let r = g.rotate(acc, 7);
+            acc = g.add(acc, r);
+        }
+        g.output(acc);
+        let opts = CompileOptions::paper_default();
+        let with_crb = compile_and_run(&g, &ArchConfig::craterlake(), &opts);
+        let without = compile_and_run(
+            &g,
+            &ArchConfig::craterlake().without_crb_chaining(),
+            &opts,
+        );
+        let slowdown = without.cycles / with_crb.cycles;
+        assert!(
+            slowdown > 5.0,
+            "CRB/chaining should be worth >5x on deep keyswitching, got {slowdown}"
+        );
+    }
+
+    #[test]
+    fn reordering_reduces_hint_traffic_under_pressure() {
+        // Interleaved rotations by two amounts at a level where each hint
+        // is ~34 MB: with a register file too small for both hints, the
+        // A,B,A,B,... order reloads a hint per op; the reuse order groups
+        // them so each hint loads once.
+        let mut g = HeGraph::new();
+        let mut outs = Vec::new();
+        for i in 0..12 {
+            let x = g.input(57);
+            let amount = if i % 2 == 0 { 3 } else { 7 };
+            outs.push(g.rotate(x, amount));
+        }
+        for o in outs {
+            g.output(o);
+        }
+        // RF sized to hold the working set of one rotation but not two
+        // hints plus operands.
+        let arch = ArchConfig::craterlake().with_rf_bytes(100 << 20);
+        let base_opts = CompileOptions::paper_default();
+        let reordered_opts = CompileOptions {
+            reorder: true,
+            ..base_opts.clone()
+        };
+        let base = compile_and_run(&g, &arch, &base_opts);
+        let reordered = compile_and_run(&g, &arch, &reordered_opts);
+        assert!(
+            reordered.traffic_of(TrafficClass::Ksh) < base.traffic_of(TrafficClass::Ksh),
+            "reordering should reduce hint traffic: {} vs {}",
+            reordered.traffic_of(TrafficClass::Ksh),
+            base.traffic_of(TrafficClass::Ksh)
+        );
+    }
+
+    #[test]
+    fn policy_picks_more_digits_at_high_levels() {
+        let p = KsPolicy::SecurityDriven(SecurityLevel::Bits80);
+        let low = p.algorithm(1 << 16, 30, 28);
+        let high = p.algorithm(1 << 16, 60, 28);
+        assert_eq!(low, KsAlgorithm::Boosted(1));
+        assert_eq!(high, KsAlgorithm::Boosted(2));
+        let f1 = KsPolicy::BestPerLevel(SecurityLevel::Bits80);
+        assert_eq!(f1.algorithm(1 << 16, 8, 28), KsAlgorithm::Standard);
+        assert!(matches!(f1.algorithm(1 << 16, 40, 28), KsAlgorithm::Boosted(_)));
+    }
+
+    #[test]
+    fn intermediate_spills_appear_under_capacity_pressure() {
+        // Many big live values at L=57 on a small RF force spills.
+        let mut g = HeGraph::new();
+        let inputs: Vec<_> = (0..12).map(|_| g.input(57)).collect();
+        let mut acc = inputs[0];
+        // Touch all inputs twice with long reuse distances.
+        for &i in &inputs[1..] {
+            acc = g.add(acc, i);
+        }
+        for &i in &inputs[1..] {
+            acc = g.add(acc, i);
+        }
+        g.output(acc);
+        let small_rf = ArchConfig::craterlake().with_rf_bytes(64 << 20);
+        let stats = compile_and_run(&g, &small_rf, &CompileOptions::paper_default());
+        assert!(stats.evictions > 0, "expected capacity pressure");
+    }
+}

@@ -1,0 +1,142 @@
+//! Area model (Table 2 and the F1+ comparison).
+//!
+//! Per-component areas come from the paper's synthesis results in a
+//! commercial 14/12 nm process (Table 2); this module scales them by a
+//! configuration's component counts so that the default CraterLake
+//! configuration reproduces Table 2 and the F1+ configuration reproduces
+//! the Sec. 8 comparison (636 mm^2, with a 160 mm^2 crossbar 16x larger
+//! than CraterLake's fixed network).
+
+use cl_isa::FuKind;
+
+use crate::{ArchConfig, NetworkKind};
+
+/// Synthesized area of one CRB FU sized for `L_max = 60`, `N_max = 64K`
+/// (Table 2), mm^2.
+pub const CRB_MM2: f64 = 158.8;
+/// One NTT FU, mm^2.
+pub const NTT_MM2: f64 = 28.1;
+/// One automorphism FU, mm^2.
+pub const AUT_MM2: f64 = 9.0;
+/// One KSHGen FU, mm^2.
+pub const KSHGEN_MM2: f64 = 3.3;
+/// One multiply FU, mm^2.
+pub const MUL_MM2: f64 = 2.2;
+/// One add FU, mm^2.
+pub const ADD_MM2: f64 = 0.8;
+/// Register file, mm^2 per MB (192 mm^2 / 256 MB).
+pub const RF_MM2_PER_MB: f64 = 192.0 / 256.0;
+/// CraterLake's fixed permutation network, mm^2.
+pub const FIXED_NET_MM2: f64 = 10.0;
+/// One HBM2E PHY, mm^2 (2 PHYs = 29.8 mm^2).
+pub const HBM_PHY_MM2: f64 = 14.9;
+
+/// Area breakdown in mm^2.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AreaBreakdown {
+    /// All functional units.
+    pub fus: f64,
+    /// Register file (or scratchpad + register files for F1+).
+    pub rf: f64,
+    /// On-chip interconnect.
+    pub noc: f64,
+    /// Memory PHYs.
+    pub mem_phy: f64,
+}
+
+impl AreaBreakdown {
+    /// Total area.
+    pub fn total(&self) -> f64 {
+        self.fus + self.rf + self.noc + self.mem_phy
+    }
+}
+
+/// Computes the area of a configuration. `l_max` scales the CRB unit (its
+/// buffers grow with the largest supported ciphertext, Sec. 9.4); `n_max`
+/// beyond 64K adds an NTT butterfly stage.
+pub fn area_mm2(cfg: &ArchConfig) -> AreaBreakdown {
+    let n_scale = if cfg.n_max > (1 << 16) {
+        // Sec. 9.4: N=128K support costs 27.4 mm^2 extra (CRB buffers double
+        // is the bulk of it).
+        1.0 + 27.4 / (CRB_MM2 + 2.0 * NTT_MM2)
+    } else {
+        1.0
+    };
+    let mut fus = 0.0;
+    for &(kind, count) in &cfg.fu_counts {
+        let unit = match kind {
+            FuKind::Crb => CRB_MM2 * n_scale,
+            FuKind::Ntt => NTT_MM2 * n_scale,
+            FuKind::Automorphism => AUT_MM2,
+            FuKind::KshGen => KSHGEN_MM2,
+            FuKind::Mul => MUL_MM2,
+            FuKind::Add => ADD_MM2,
+        };
+        fus += unit * count;
+    }
+    let rf = cfg.rf_bytes as f64 / (1 << 20) as f64 * RF_MM2_PER_MB;
+    let noc = match cfg.network {
+        NetworkKind::FixedTranspose => FIXED_NET_MM2,
+        // Sec. 8: F1+'s crossbar is 16x larger.
+        NetworkKind::Crossbar => 16.0 * FIXED_NET_MM2,
+    };
+    let phys = (cfg.hbm_bytes_per_cycle / 512.0).ceil();
+    AreaBreakdown {
+        fus,
+        rf,
+        noc,
+        mem_phy: phys * HBM_PHY_MM2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn craterlake_reproduces_table2() {
+        let a = area_mm2(&ArchConfig::craterlake());
+        // Table 2: FUs 240.5, RF 192.0, NoC 10.0, PHYs 29.8, total 472.3.
+        // (Table 2 prints 240.5 for the FU total; its own rows sum to 242.3.)
+        assert!((a.fus - 241.4).abs() < 1.5, "FUs {}", a.fus);
+        assert!((a.rf - 192.0).abs() < 0.1);
+        assert!((a.noc - 10.0).abs() < 0.01);
+        assert!((a.mem_phy - 29.8).abs() < 0.01);
+        assert!((a.total() - 473.2).abs() < 2.0, "total {}", a.total());
+    }
+
+    #[test]
+    fn f1_plus_area_comparison() {
+        let a = area_mm2(&ArchConfig::f1_plus());
+        // Sec. 8: F1+ takes 636 mm^2 (~35% more than CraterLake), of which
+        // the network is 160 mm^2 (16x CraterLake's).
+        assert!((a.noc - 160.0).abs() < 0.01);
+        let cl = area_mm2(&ArchConfig::craterlake());
+        let overhead = a.total() / cl.total();
+        assert!(
+            (1.15..1.45).contains(&overhead),
+            "F1+ area {} vs CraterLake {} ({overhead}x)",
+            a.total(),
+            cl.total()
+        );
+    }
+
+    #[test]
+    fn n128k_support_costs_under_6_percent() {
+        // Sec. 9.4: supporting N=128K adds 27.4 mm^2, <6% of chip area.
+        let base = area_mm2(&ArchConfig::craterlake()).total();
+        let big = area_mm2(&ArchConfig::craterlake_128k()).total();
+        let extra = big - base;
+        assert!((20.0..35.0).contains(&extra), "extra {extra}");
+        assert!(extra / base < 0.06);
+    }
+
+    #[test]
+    fn ablations_shrink_area() {
+        let base = area_mm2(&ArchConfig::craterlake()).total();
+        let no_crb = area_mm2(&ArchConfig::craterlake().without_crb_chaining()).total();
+        assert!(no_crb < base - 150.0, "CRB dominates FU area");
+        let rf_sweep = area_mm2(&ArchConfig::craterlake().with_rf_bytes(100 << 20));
+        assert!(rf_sweep.rf < 80.0);
+    }
+}

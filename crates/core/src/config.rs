@@ -1,0 +1,276 @@
+//! Architecture configurations: CraterLake, its ablations, and F1+.
+
+use cl_isa::FuKind;
+
+/// Inter-lane-group network style (Sec. 4.3, Sec. 5.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NetworkKind {
+    /// CraterLake's fixed permutation network: carries only the
+    /// NTT/automorphism transposes; cheap (wires + registers).
+    FixedTranspose,
+    /// A crossbar between compute clusters with residue-polynomial tiling
+    /// (F1's organization): every keyswitch redistributes residue
+    /// polynomials all-to-all, costing ~2.4x more traffic at 2x the peak
+    /// bandwidth and 16x the area.
+    Crossbar,
+}
+
+/// An accelerator configuration. Construct via the named constructors and
+/// adjust with the `with_*` methods.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchConfig {
+    /// Display name.
+    pub name: String,
+    /// Clock frequency in GHz (cycles are converted to seconds with this).
+    pub freq_ghz: f64,
+    /// Total vector lanes `E` (one element per lane per cycle per FU).
+    pub lanes: u64,
+    /// Number of physically distinct lane groups `G`.
+    pub lane_groups: u64,
+    /// Largest natively supported ring degree.
+    pub n_max: usize,
+    /// Residue word width in bits (storage accounting).
+    pub word_bits: u32,
+    /// Functional-unit instances per kind, in units of full-`E`-lane FUs.
+    /// Fractional values model architectures whose aggregate throughput per
+    /// kind differs (F1+).
+    pub fu_counts: Vec<(FuKind, f64)>,
+    /// Whether the change-RNS-base unit exists (Sec. 5.1). Without it, CRB
+    /// work lowers to discrete multiply/add passes through the register
+    /// file.
+    pub has_crb: bool,
+    /// Whether the keyswitch-hint generator exists (Sec. 5.2). Without it,
+    /// full hints are stored and fetched.
+    pub has_kshgen: bool,
+    /// Whether vector chaining is available (Sec. 5.4). Chaining divides
+    /// keyswitch register-file traffic by ~3.5.
+    pub chaining: bool,
+    /// On-chip register-file capacity in bytes.
+    pub rf_bytes: u64,
+    /// Emulated register-file read/write ports; RF bandwidth is
+    /// `ports * lanes` words per cycle.
+    pub rf_ports: u64,
+    /// Off-chip bandwidth in bytes per cycle (HBM2E: 512 GB/s per PHY at
+    /// 1 GHz).
+    pub hbm_bytes_per_cycle: f64,
+    /// Inter-group network style.
+    pub network: NetworkKind,
+    /// Network bandwidth in words per cycle (4E for the fixed transpose
+    /// network, Sec. 4.2).
+    pub net_words_per_cycle: f64,
+}
+
+impl ArchConfig {
+    /// The default CraterLake configuration (Secs. 4-7): 2,048 lanes in 8
+    /// groups, 256 MB register file with 12 emulated ports, 2 HBM2E PHYs,
+    /// CRB + KSHGen + chaining, fixed transpose network at 4E words/cycle.
+    pub fn craterlake() -> Self {
+        Self {
+            name: "CraterLake".into(),
+            freq_ghz: 1.0,
+            lanes: 2048,
+            lane_groups: 8,
+            n_max: 1 << 16,
+            word_bits: 28,
+            fu_counts: vec![
+                (FuKind::Mul, 5.0),
+                (FuKind::Add, 5.0),
+                (FuKind::Ntt, 2.0),
+                (FuKind::Automorphism, 1.0),
+                (FuKind::Crb, 1.0),
+                (FuKind::KshGen, 1.0),
+            ],
+            has_crb: true,
+            has_kshgen: true,
+            chaining: true,
+            rf_bytes: 256 << 20,
+            rf_ports: 12,
+            hbm_bytes_per_cycle: 1024.0,
+            network: NetworkKind::FixedTranspose,
+            net_words_per_cycle: 4.0 * 2048.0,
+        }
+    }
+
+    /// The CraterLake variant with native `N = 128K` support (Sec. 9.4):
+    /// doubled CRB buffers and an extra NTT butterfly stage (+27.4 mm^2).
+    pub fn craterlake_128k() -> Self {
+        let mut c = Self::craterlake();
+        c.name = "CraterLake-128K".into();
+        c.n_max = 1 << 17;
+        c
+    }
+
+    /// Table 4 ablation: no KSHGen — full keyswitch hints are stored and
+    /// fetched from memory.
+    pub fn without_kshgen(mut self) -> Self {
+        self.name = format!("{} -KSHGen", self.name);
+        self.has_kshgen = false;
+        self.fu_counts.retain(|(k, _)| *k != FuKind::KshGen);
+        self
+    }
+
+    /// Table 4 ablation: no CRB and no vector chaining — change-RNS-base
+    /// work executes as discrete multiply/add passes through the register
+    /// file.
+    pub fn without_crb_chaining(mut self) -> Self {
+        self.name = format!("{} -CRB/chain", self.name);
+        self.has_crb = false;
+        self.chaining = false;
+        self.fu_counts.retain(|(k, _)| *k != FuKind::Crb);
+        self
+    }
+
+    /// Table 4 ablation: replace the fixed transpose network and polynomial
+    /// tiling with F1+'s crossbar and residue-polynomial tiling (2x peak
+    /// bandwidth, ~2.4x traffic, 16x area).
+    pub fn with_crossbar_network(mut self) -> Self {
+        self.name = format!("{} xbar-net", self.name);
+        self.network = NetworkKind::Crossbar;
+        // The crossbar is 16x larger in area but provides no more wire
+        // bandwidth; residue-polynomial tiling then pushes ~2.4x more
+        // traffic through it (Sec. 4.3).
+        self
+    }
+
+    /// Changes the register-file capacity (Fig. 11 sweep).
+    pub fn with_rf_bytes(mut self, bytes: u64) -> Self {
+        self.name = format!("{} rf={}MB", self.name, bytes >> 20);
+        self.rf_bytes = bytes;
+        self
+    }
+
+    /// The F1+ baseline (Sec. 8): F1 scaled to 32 clusters x 256 lanes with
+    /// a 256 MB scratchpad — same or higher throughput than CraterLake on
+    /// basic ops (2x the NTT and 2.5x the multiply/add throughput), but no
+    /// CRB, no KSHGen, no chaining, and a crossbar network with
+    /// residue-polynomial tiling.
+    pub fn f1_plus() -> Self {
+        Self {
+            name: "F1+".into(),
+            freq_ghz: 1.0,
+            lanes: 2048,
+            lane_groups: 32,
+            n_max: 1 << 16,
+            word_bits: 32,
+            fu_counts: vec![
+                // Sec. 9.3: without CRB/chaining CraterLake has "50% of the
+                // NTT and 40% of the multiply/add throughput of F1+".
+                (FuKind::Mul, 12.5),
+                (FuKind::Add, 12.5),
+                (FuKind::Ntt, 4.0),
+                (FuKind::Automorphism, 4.0),
+            ],
+            has_crb: false,
+            has_kshgen: false,
+            chaining: false,
+            rf_bytes: 256 << 20,
+            // Effective global register-file bandwidth in E-wide port
+            // equivalents. F1's per-cluster register files were sized for
+            // the NTT-dominated standard keyswitch; the element-wise
+            // multiply/accumulate streams of boosted keyswitching need
+            // "over 100 register file ports" to keep its FUs busy
+            // (Sec. 2.5), and F1+'s banked design sustains only a few
+            // effective ports on those access patterns.
+            rf_ports: 6,
+            hbm_bytes_per_cycle: 1024.0,
+            network: NetworkKind::Crossbar,
+            net_words_per_cycle: 2.0 * 4.0 * 2048.0,
+        }
+    }
+
+    /// FU instances of a kind (0 if absent).
+    pub fn fu_count(&self, kind: FuKind) -> f64 {
+        self.fu_counts
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, c)| *c)
+            .unwrap_or(0.0)
+    }
+
+    /// Total FU instances (for utilization averaging).
+    pub fn total_fus(&self) -> f64 {
+        self.fu_counts.iter().map(|(_, c)| c).sum()
+    }
+
+    /// Cycles for one residue-polynomial pass (`N/E`).
+    pub fn pass_cycles(&self, n: usize) -> f64 {
+        n as f64 / self.lanes as f64
+    }
+
+    /// Register-file bandwidth in words per cycle.
+    pub fn rf_words_per_cycle(&self) -> f64 {
+        (self.rf_ports * self.lanes) as f64
+    }
+
+    /// Off-chip bandwidth in words per cycle.
+    pub fn hbm_words_per_cycle(&self) -> f64 {
+        self.hbm_bytes_per_cycle / (self.word_bits as f64 / 8.0)
+    }
+
+    /// Bytes per residue word.
+    pub fn word_bytes(&self) -> f64 {
+        self.word_bits as f64 / 8.0
+    }
+
+    /// Converts cycles to milliseconds at the configured frequency.
+    pub fn cycles_to_ms(&self, cycles: f64) -> f64 {
+        cycles / (self.freq_ghz * 1e9) * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn craterlake_defaults_match_paper() {
+        let c = ArchConfig::craterlake();
+        assert_eq!(c.lanes, 2048);
+        assert_eq!(c.lane_groups, 8);
+        assert_eq!(c.rf_bytes, 256 << 20);
+        assert_eq!(c.word_bits, 28);
+        // 15 FUs total: CRB, 2 NTT, Aut, KSHGen, 5 Mul, 5 Add (Table 2).
+        assert_eq!(c.total_fus(), 15.0);
+        // A 64K-element vector takes 32 cycles per FU pass (Sec. 4.1).
+        assert_eq!(c.pass_cycles(1 << 16), 32.0);
+        // 2 HBM2E PHYs at 512 GB/s and 1 GHz.
+        assert!((c.hbm_bytes_per_cycle - 1024.0).abs() < 1e-9);
+        // Fixed transpose network: 4E elements/cycle = 8192 words/cycle
+        // (~29 TB/s at 28 bits, Sec. 4.2).
+        let tb_s = c.net_words_per_cycle * c.word_bytes() * c.freq_ghz * 1e9 / 1e12;
+        assert!((25.0..30.0).contains(&tb_s), "{tb_s} TB/s");
+    }
+
+    #[test]
+    fn f1_plus_throughput_ratios() {
+        let cl = ArchConfig::craterlake();
+        let f1 = ArchConfig::f1_plus();
+        // Sec. 9.3: CraterLake has 50% of F1+'s NTT and 40% of its mul/add
+        // throughput.
+        assert!((cl.fu_count(FuKind::Ntt) / f1.fu_count(FuKind::Ntt) - 0.5).abs() < 1e-9);
+        assert!((cl.fu_count(FuKind::Mul) / f1.fu_count(FuKind::Mul) - 0.4).abs() < 1e-9);
+        assert!(!f1.has_crb && !f1.has_kshgen && !f1.chaining);
+        assert_eq!(f1.network, NetworkKind::Crossbar);
+    }
+
+    #[test]
+    fn ablations_strip_features() {
+        let c = ArchConfig::craterlake().without_kshgen();
+        assert!(!c.has_kshgen);
+        assert_eq!(c.fu_count(FuKind::KshGen), 0.0);
+        let c = ArchConfig::craterlake().without_crb_chaining();
+        assert!(!c.has_crb && !c.chaining);
+        assert_eq!(c.fu_count(FuKind::Crb), 0.0);
+        let c = ArchConfig::craterlake().with_crossbar_network();
+        assert_eq!(c.network, NetworkKind::Crossbar);
+    }
+
+    #[test]
+    fn rf_sweep_changes_capacity_only() {
+        let base = ArchConfig::craterlake();
+        let small = ArchConfig::craterlake().with_rf_bytes(100 << 20);
+        assert_eq!(small.rf_bytes, 100 << 20);
+        assert_eq!(small.rf_ports, base.rf_ports);
+        assert_eq!(small.fu_counts, base.fu_counts);
+    }
+}

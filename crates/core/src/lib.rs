@@ -1,0 +1,30 @@
+//! The CraterLake machine model.
+//!
+//! This crate models the accelerator of Secs. 4, 5 and 7 at the level the
+//! paper's own evaluation operates: a statically scheduled wide-vector
+//! processor whose timing is fully determined by issue bandwidth, functional
+//! unit counts, register-file port bandwidth, inter-lane-group network
+//! bandwidth, HBM bandwidth, and register-file capacity (there is no dynamic
+//! control in the hardware, Sec. 4.1).
+//!
+//! - [`ArchConfig`] describes an architecture instance: the default
+//!   CraterLake chip, its ablations (Table 4), the register-file sweep
+//!   (Fig. 11), and the scaled-up F1+ baseline (Sec. 8).
+//! - [`Machine`] executes a stream of [`cl_isa::MacroOp`]s (produced by the
+//!   compiler) against resource timelines, with Belady (MIN) register-file
+//!   residency and decoupled DMA (Sec. 6).
+//! - [`Stats`] collects cycles, per-FU utilization, traffic by class
+//!   (Fig. 9, Fig. 10a), and feeds the [`energy`] model (Fig. 10b).
+//! - [`area`] reproduces Table 2 and the F1+ area comparison.
+
+#![warn(missing_docs)]
+
+pub mod area;
+mod config;
+pub mod energy;
+mod machine;
+mod stats;
+
+pub use config::{ArchConfig, NetworkKind};
+pub use machine::{Machine, ValueClass};
+pub use stats::Stats;

@@ -1,0 +1,23 @@
+//! The CraterLake "instruction set": HE dataflow IR, machine-operation
+//! vocabulary, and the paper's analytic cost formulas.
+//!
+//! This crate is the contract between the workload side (benchmark graph
+//! generators, the bootstrapping plan) and the hardware side (the compiler
+//! and the machine model):
+//!
+//! - [`HeGraph`] — a static dataflow graph of homomorphic operations, the
+//!   form FHE programs take (Sec. 2.1: no data-dependent control flow, so
+//!   programs are graphs known ahead of time).
+//! - [`MacroOp`] / [`FuKind`] — the resource-profile vocabulary the compiler
+//!   lowers into and the machine executes.
+//! - [`cost`] — closed-form operation counts and footprints for standard
+//!   vs. boosted keyswitching (Table 1, Fig. 4) and object sizes.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+mod graph;
+mod ops;
+
+pub use graph::{HeGraph, HeNode, HeOp, NodeId, Phase};
+pub use ops::{FuKind, KsAlgorithm, MacroOp, OpLabel, TrafficClass, ValueId};

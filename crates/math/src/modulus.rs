@@ -1,0 +1,271 @@
+//! Prime-field arithmetic over a word-sized modulus.
+
+/// A prime modulus `q < 2^62` with precomputed constants for fast reduction.
+///
+/// All arithmetic methods expect operands already reduced to `[0, q)` and
+/// produce results in `[0, q)`.
+///
+/// # Example
+///
+/// ```
+/// use cl_math::Modulus;
+/// let q = Modulus::new(268_369_921).unwrap(); // 28-bit NTT-friendly prime
+/// let a = q.mul(123_456_789, 987_654_321 % q.value());
+/// assert!(a < q.value());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Modulus {
+    q: u64,
+    /// floor(2^128 / q), split into hi/lo 64-bit words (Barrett constant).
+    barrett_hi: u64,
+    barrett_lo: u64,
+}
+
+impl Modulus {
+    /// Creates a modulus. Returns `None` if `q < 2` or `q >= 2^62`.
+    ///
+    /// Primality is not checked here; use [`crate::is_prime`] when a prime is
+    /// required.
+    pub fn new(q: u64) -> Option<Self> {
+        if q < 2 || q >= (1u64 << 62) {
+            return None;
+        }
+        // floor(2^128 / q) computed via 128-bit long division in two steps.
+        let hi = u128::MAX / q as u128; // floor((2^128 - 1)/q); adjust below
+        // (2^128 - 1)/q == (2^128)/q unless q divides 2^128, impossible for q>1 odd;
+        // for even q it could differ by at most 0 since 2^128 mod q != 0 when q has
+        // an odd factor. q=2^k would be the only problem and is not prime for k>1.
+        let barrett_hi = (hi >> 64) as u64;
+        let barrett_lo = hi as u64;
+        Some(Self {
+            q,
+            barrett_hi,
+            barrett_lo,
+        })
+    }
+
+    /// The modulus value.
+    #[inline]
+    pub fn value(&self) -> u64 {
+        self.q
+    }
+
+    /// Number of bits in `q`.
+    #[inline]
+    pub fn bits(&self) -> u32 {
+        64 - self.q.leading_zeros()
+    }
+
+    /// Modular addition.
+    #[inline]
+    pub fn add(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.q && b < self.q);
+        let s = a + b;
+        if s >= self.q {
+            s - self.q
+        } else {
+            s
+        }
+    }
+
+    /// Modular subtraction.
+    #[inline]
+    pub fn sub(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.q && b < self.q);
+        if a >= b {
+            a - b
+        } else {
+            a + self.q - b
+        }
+    }
+
+    /// Modular negation.
+    #[inline]
+    pub fn neg(&self, a: u64) -> u64 {
+        debug_assert!(a < self.q);
+        if a == 0 {
+            0
+        } else {
+            self.q - a
+        }
+    }
+
+    /// Modular multiplication via Barrett reduction.
+    #[inline]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.q && b < self.q);
+        self.reduce_u128(a as u128 * b as u128)
+    }
+
+    /// Reduces a 128-bit value modulo `q` using the Barrett constant.
+    #[inline]
+    pub fn reduce_u128(&self, x: u128) -> u64 {
+        // Estimate quotient: qhat = floor(x * floor(2^128/q) / 2^128).
+        // Using only the pieces that matter: with x = x1*2^64 + x0 and
+        // m = m1*2^64 + m0 (the Barrett constant), the top 128 bits of x*m are
+        //   x1*m1 + ((x1*m0 + x0*m1 + carry_of(x0*m0)) >> 64)
+        let x0 = x as u64 as u128;
+        let x1 = (x >> 64) as u64 as u128;
+        let m0 = self.barrett_lo as u128;
+        let m1 = self.barrett_hi as u128;
+        let lo = x0 * m0;
+        let mid1 = x1 * m0;
+        let mid2 = x0 * m1;
+        let carry = ((lo >> 64) + (mid1 as u64 as u128) + (mid2 as u64 as u128)) >> 64;
+        let qhat = x1 * m1 + (mid1 >> 64) + (mid2 >> 64) + carry;
+        let r = x.wrapping_sub(qhat.wrapping_mul(self.q as u128)) as u64;
+        // qhat may underestimate by at most 2.
+        let mut r = r;
+        while r >= self.q {
+            r -= self.q;
+        }
+        r
+    }
+
+    /// Modular exponentiation.
+    pub fn pow(&self, mut base: u64, mut exp: u64) -> u64 {
+        debug_assert!(base < self.q);
+        let mut acc = 1u64 % self.q;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = self.mul(acc, base);
+            }
+            base = self.mul(base, base);
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Modular inverse of `a` (requires `q` prime and `a != 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == 0`.
+    pub fn inv(&self, a: u64) -> u64 {
+        assert!(a != 0, "zero has no modular inverse");
+        self.pow(a, self.q - 2)
+    }
+
+    /// Precomputes the Shoup constant `floor(w * 2^64 / q)` for repeated
+    /// multiplications by the fixed operand `w`.
+    #[inline]
+    pub fn shoup_precompute(&self, w: u64) -> u64 {
+        debug_assert!(w < self.q);
+        (((w as u128) << 64) / self.q as u128) as u64
+    }
+
+    /// Multiplies `a` by the fixed operand `w` using its precomputed Shoup
+    /// constant `w_shoup`. Roughly 2-3x faster than [`Modulus::mul`].
+    #[inline]
+    pub fn mul_shoup(&self, a: u64, w: u64, w_shoup: u64) -> u64 {
+        debug_assert!(a < self.q && w < self.q);
+        let hi = ((a as u128 * w_shoup as u128) >> 64) as u64;
+        let r = a
+            .wrapping_mul(w)
+            .wrapping_sub(hi.wrapping_mul(self.q));
+        if r >= self.q {
+            r - self.q
+        } else {
+            r
+        }
+    }
+
+    /// Reduces an arbitrary `u64` into `[0, q)`.
+    #[inline]
+    pub fn reduce(&self, a: u64) -> u64 {
+        if a < self.q {
+            a
+        } else {
+            self.reduce_u128(a as u128)
+        }
+    }
+
+    /// Centered lift: maps `a` in `[0, q)` to the signed representative in
+    /// `(-q/2, q/2]`.
+    #[inline]
+    pub fn lift_centered(&self, a: u64) -> i64 {
+        debug_assert!(a < self.q);
+        if a > self.q / 2 {
+            a as i64 - self.q as i64
+        } else {
+            a as i64
+        }
+    }
+
+    /// Reduces a signed integer into `[0, q)`.
+    #[inline]
+    pub fn from_i64(&self, a: i64) -> u64 {
+        let r = a.rem_euclid(self.q as i64);
+        r as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const Q28: u64 = 268_369_921; // 28-bit, q ≡ 1 (mod 2^17)
+    const Q59: u64 = 576_460_752_308_273_153; // 59-bit NTT-friendly prime
+
+    #[test]
+    fn new_rejects_out_of_range() {
+        assert!(Modulus::new(0).is_none());
+        assert!(Modulus::new(1).is_none());
+        assert!(Modulus::new(1u64 << 62).is_none());
+        assert!(Modulus::new(2).is_some());
+    }
+
+    #[test]
+    fn basic_ops() {
+        let m = Modulus::new(17).unwrap();
+        assert_eq!(m.add(16, 16), 15);
+        assert_eq!(m.sub(3, 5), 15);
+        assert_eq!(m.neg(0), 0);
+        assert_eq!(m.neg(5), 12);
+        assert_eq!(m.mul(10, 10), 100 % 17);
+        assert_eq!(m.pow(2, 4), 16);
+        assert_eq!(m.mul(m.inv(7), 7), 1);
+    }
+
+    #[test]
+    fn lift_and_from_i64_roundtrip() {
+        let m = Modulus::new(Q28).unwrap();
+        for v in [0i64, 1, -1, 12345, -12345, (Q28 / 2) as i64] {
+            assert_eq!(m.lift_centered(m.from_i64(v)), v);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn mul_matches_u128(a in 0u64..Q59, b in 0u64..Q59) {
+            let m = Modulus::new(Q59).unwrap();
+            prop_assert_eq!(m.mul(a, b) as u128, (a as u128 * b as u128) % Q59 as u128);
+        }
+
+        #[test]
+        fn reduce_u128_matches(x in any::<u128>()) {
+            let m = Modulus::new(Q28).unwrap();
+            prop_assert_eq!(m.reduce_u128(x) as u128, x % Q28 as u128);
+        }
+
+        #[test]
+        fn shoup_matches_mul(a in 0u64..Q59, w in 0u64..Q59) {
+            let m = Modulus::new(Q59).unwrap();
+            let ws = m.shoup_precompute(w);
+            prop_assert_eq!(m.mul_shoup(a, w, ws), m.mul(a, w));
+        }
+
+        #[test]
+        fn inv_is_inverse(a in 1u64..Q28) {
+            let m = Modulus::new(Q28).unwrap();
+            prop_assert_eq!(m.mul(a, m.inv(a)), 1);
+        }
+
+        #[test]
+        fn add_sub_roundtrip(a in 0u64..Q28, b in 0u64..Q28) {
+            let m = Modulus::new(Q28).unwrap();
+            prop_assert_eq!(m.sub(m.add(a, b), b), a);
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Generation of NTT-friendly primes.
+//!
+//! A degree-`N` negacyclic NTT over `Z_q` requires a primitive `2N`-th root
+//! of unity, i.e. `q ≡ 1 (mod 2N)`. The paper (Sec. 5.5) notes that 28-bit
+//! words are the narrowest that still leave enough NTT-friendly primes for
+//! the `2·L_max = 120` small moduli deep programs need — a fact
+//! [`generate_ntt_primes`] lets us verify directly.
+
+use std::fmt;
+
+/// Errors produced by this crate's fallible operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MathError {
+    /// Not enough primes of the requested shape exist.
+    NotEnoughPrimes {
+        /// Requested number of primes.
+        requested: usize,
+        /// Number actually found.
+        found: usize,
+        /// Requested bit width.
+        bits: u32,
+    },
+    /// A parameter was outside the supported range.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for MathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MathError::NotEnoughPrimes {
+                requested,
+                found,
+                bits,
+            } => write!(
+                f,
+                "only {found} of {requested} requested {bits}-bit NTT-friendly primes exist"
+            ),
+            MathError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MathError {}
+
+/// Deterministic Miller-Rabin primality test, valid for all `u64`.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut s = 0u32;
+    while d % 2 == 0 {
+        d /= 2;
+        s += 1;
+    }
+    let mul_mod = |a: u64, b: u64| ((a as u128 * b as u128) % n as u128) as u64;
+    let pow_mod = |mut base: u64, mut exp: u64| {
+        let mut acc = 1u64;
+        base %= n;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = mul_mod(acc, base);
+            }
+            base = mul_mod(base, base);
+            exp >>= 1;
+        }
+        acc
+    };
+    // These witnesses are sufficient for all n < 2^64.
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = mul_mod(x, x);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates `count` distinct primes `q ≡ 1 (mod 2N)` of exactly `bits` bits,
+/// scanning downward from `2^bits`.
+///
+/// # Errors
+///
+/// Returns [`MathError::InvalidParameter`] if `n` is not a power of two or
+/// `bits` is outside `[8, 61]`, and [`MathError::NotEnoughPrimes`] if fewer
+/// than `count` such primes exist.
+///
+/// # Example
+///
+/// ```
+/// // The paper's claim: 28 bits is just wide enough for 120 moduli at N=64K.
+/// let primes = cl_math::generate_ntt_primes(1 << 16, 28, 120)?;
+/// assert_eq!(primes.len(), 120);
+/// # Ok::<(), cl_math::MathError>(())
+/// ```
+pub fn generate_ntt_primes(n: usize, bits: u32, count: usize) -> Result<Vec<u64>, MathError> {
+    if !n.is_power_of_two() || n < 2 {
+        return Err(MathError::InvalidParameter(format!(
+            "ring degree must be a power of two >= 2, got {n}"
+        )));
+    }
+    if !(8..=61).contains(&bits) {
+        return Err(MathError::InvalidParameter(format!(
+            "prime width must be in [8, 61] bits, got {bits}"
+        )));
+    }
+    let step = 2 * n as u64;
+    let hi = 1u64 << bits;
+    let lo = 1u64 << (bits - 1);
+    let mut primes = Vec::with_capacity(count);
+    // Largest candidate of the form k*2N + 1 below 2^bits.
+    let mut cand = (hi - 2) / step * step + 1;
+    while cand > lo && primes.len() < count {
+        if is_prime(cand) {
+            primes.push(cand);
+        }
+        if cand < step {
+            break;
+        }
+        cand -= step;
+    }
+    if primes.len() < count {
+        return Err(MathError::NotEnoughPrimes {
+            requested: count,
+            found: primes.len(),
+            bits,
+        });
+    }
+    Ok(primes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_prime_small() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 97, 7919];
+        let composites = [0u64, 1, 4, 9, 100, 7917, 561, 1_373_653 * 3];
+        for p in primes {
+            assert!(is_prime(p), "{p} should be prime");
+        }
+        for c in composites {
+            assert!(!is_prime(c), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn is_prime_large_carmichael_like() {
+        // Strong pseudoprime to several bases; must still be rejected.
+        assert!(!is_prime(3_215_031_751));
+        assert!(is_prime((1u64 << 61) - 1)); // Mersenne prime M61
+    }
+
+    #[test]
+    fn generated_primes_have_ntt_shape() {
+        let n = 1 << 12;
+        let primes = generate_ntt_primes(n, 30, 10).unwrap();
+        assert_eq!(primes.len(), 10);
+        for &q in &primes {
+            assert!(is_prime(q));
+            assert_eq!(q % (2 * n as u64), 1);
+            assert_eq!(64 - q.leading_zeros(), 30);
+        }
+        // Distinct and descending.
+        for w in primes.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+    }
+
+    #[test]
+    fn paper_claim_28_bits_suffices_for_120_moduli_at_64k() {
+        // Sec. 5.5: "we cannot reduce bitwidth any further because then there
+        // would not be enough NTT-friendly moduli" (need 2*Lmax = 120 at N=64K).
+        let ok = generate_ntt_primes(1 << 16, 28, 120);
+        assert!(ok.is_ok());
+        // At 25 bits there are far fewer than 120.
+        let too_narrow = generate_ntt_primes(1 << 16, 25, 120);
+        assert!(matches!(
+            too_narrow,
+            Err(MathError::NotEnoughPrimes { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(generate_ntt_primes(1000, 28, 1).is_err()); // not a power of two
+        assert!(generate_ntt_primes(1024, 62, 1).is_err()); // too wide
+        assert!(generate_ntt_primes(1024, 4, 1).is_err()); // too narrow
+    }
+}

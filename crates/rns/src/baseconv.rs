@@ -1,0 +1,387 @@
+//! Fast RNS base conversion — `changeRNSBase()` of Listing 1.
+//!
+//! Boosted keyswitching (Sec. 3) is dominated by conversions of residue
+//! polynomials between RNS bases: expanding the `L`-limb input to `2L` limbs
+//! (`ModUp`) and shrinking the product back (`ModDown`). In hardware this is
+//! the CRB functional unit's job; here we implement the arithmetic it
+//! performs, in two flavors:
+//!
+//! - [`BaseConverter::convert`]: the *approximate* (floor) conversion used
+//!   for `ModUp`, which may be off by a small multiple of the source modulus
+//!   `Q` — harmless there, because the extra `alpha*Q` term is annihilated
+//!   by the subsequent `ModDown`-by-`P` up to a small noise term.
+//! - [`BaseConverter::convert_exact`]: the corrected conversion (with the
+//!   floating-point `alpha` estimate of [Halevi-Polyakov-Shoup]) used for
+//!   `ModDown` and rescaling, where the result must be the centered value.
+
+use cl_math::BigUint;
+
+use crate::{Basis, RnsContext, RnsPoly};
+
+/// Precomputed constants for converting polynomials from one RNS basis to
+/// another (disjoint or overlapping is irrelevant — the destination is
+/// computed fresh).
+///
+/// # Example
+///
+/// ```
+/// use cl_rns::{BaseConverter, RnsContext};
+/// let ctx = RnsContext::generate(16, 2, 2, 28).unwrap();
+/// let conv = BaseConverter::new(&ctx, ctx.q_basis(2), ctx.p_basis(2));
+/// let x = ctx.from_signed_coeffs(&vec![42; 16], &ctx.q_basis(2));
+/// let y = conv.convert_exact(&ctx, &x);
+/// // 42 is tiny, so the converted value is exactly 42 in the new basis.
+/// assert_eq!(y.limb(0)[0], 42);
+/// ```
+#[derive(Debug)]
+pub struct BaseConverter {
+    src: Basis,
+    dst: Basis,
+    /// `[(Q/q_i)^{-1}]_{q_i}` for each source limb.
+    inv_punctured: Vec<u64>,
+    /// `(Q/q_i) mod b_j`, indexed `[i][j]`.
+    punctured_mod_dst: Vec<Vec<u64>>,
+    /// `Q mod b_j` for the alpha correction.
+    q_mod_dst: Vec<u64>,
+    /// `1/q_i` as f64 for the alpha estimate.
+    inv_q_f64: Vec<f64>,
+}
+
+impl BaseConverter {
+    /// Precomputes conversion constants from `src` to `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is empty.
+    pub fn new(ctx: &RnsContext, src: Basis, dst: Basis) -> Self {
+        assert!(!src.is_empty(), "source basis must be nonempty");
+        let src_moduli: Vec<u64> = src.0.iter().map(|&l| ctx.modulus_value(l)).collect();
+        let q_big = BigUint::product(&src_moduli);
+        let mut inv_punctured = Vec::with_capacity(src.len());
+        let mut punctured_mod_dst = Vec::with_capacity(src.len());
+        for (i, &qi) in src_moduli.iter().enumerate() {
+            let (qi_hat, rem) = q_big.div_rem_u64(qi);
+            debug_assert_eq!(rem, 0);
+            let m = ctx.modulus(src.0[i]);
+            inv_punctured.push(m.inv(qi_hat.rem_u64(qi)));
+            punctured_mod_dst.push(
+                dst.0
+                    .iter()
+                    .map(|&l| qi_hat.rem_u64(ctx.modulus_value(l)))
+                    .collect(),
+            );
+        }
+        let q_mod_dst = dst
+            .0
+            .iter()
+            .map(|&l| q_big.rem_u64(ctx.modulus_value(l)))
+            .collect();
+        let inv_q_f64 = src_moduli.iter().map(|&q| 1.0 / q as f64).collect();
+        Self {
+            src,
+            dst,
+            inv_punctured,
+            punctured_mod_dst,
+            q_mod_dst,
+            inv_q_f64,
+        }
+    }
+
+    /// The source basis.
+    pub fn src_basis(&self) -> &Basis {
+        &self.src
+    }
+
+    /// The destination basis.
+    pub fn dst_basis(&self) -> &Basis {
+        &self.dst
+    }
+
+    fn convert_inner(&self, ctx: &RnsContext, poly: &RnsPoly, exact: bool) -> RnsPoly {
+        assert_eq!(poly.basis(), &self.src, "polynomial not in source basis");
+        assert!(
+            !poly.ntt_form(),
+            "base conversion operates in the coefficient domain"
+        );
+        let n = poly.n();
+        let l_src = self.src.len();
+        // y_i = [x_i * (Q/q_i)^{-1}]_{q_i}
+        let mut y = vec![0u64; l_src * n];
+        for i in 0..l_src {
+            let m = ctx.modulus(self.src.0[i]);
+            let inv = self.inv_punctured[i];
+            let src_limb = poly.limb(i);
+            for (t, &x) in y[i * n..(i + 1) * n].iter_mut().zip(src_limb) {
+                *t = m.mul(x, inv);
+            }
+        }
+        // alpha_j estimate (how many multiples of Q the floor sum overshoots by).
+        let mut alpha = vec![0u64; n];
+        if exact {
+            for c in 0..n {
+                let mut v = 0.0f64;
+                for i in 0..l_src {
+                    v += y[i * n + c] as f64 * self.inv_q_f64[i];
+                }
+                alpha[c] = (v + 0.5).floor() as u64;
+            }
+        }
+        let mut out = RnsPoly::zero(n, self.dst.clone());
+        for (j, &dst_limb) in self.dst.0.iter().enumerate() {
+            let m = ctx.modulus(dst_limb);
+            let out_limb = out.limb_mut(j);
+            for i in 0..l_src {
+                let c = m.reduce(self.punctured_mod_dst[i][j]);
+                for (o, &yi) in out_limb.iter_mut().zip(&y[i * n..(i + 1) * n]) {
+                    *o = m.add(*o, m.mul(m.reduce(yi), c));
+                }
+            }
+            if exact {
+                let q_mod = self.q_mod_dst[j];
+                for (o, &a) in out_limb.iter_mut().zip(&alpha) {
+                    let corr = m.mul(m.reduce(a), q_mod);
+                    *o = m.sub(*o, corr);
+                }
+            }
+        }
+        out
+    }
+
+    /// Approximate fast base conversion (the CRB operation): the result
+    /// represents `x + alpha*Q` for some small `alpha in [0, L)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `poly` is not in the source basis or is in NTT form.
+    pub fn convert(&self, ctx: &RnsContext, poly: &RnsPoly) -> RnsPoly {
+        self.convert_inner(ctx, poly, false)
+    }
+
+    /// Exact base conversion of the *centered* value: for
+    /// `|x|_centered < Q/2 (1 - eps)` the result is exactly `x` in the new
+    /// basis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `poly` is not in the source basis or is in NTT form.
+    pub fn convert_exact(&self, ctx: &RnsContext, poly: &RnsPoly) -> RnsPoly {
+        self.convert_inner(ctx, poly, true)
+    }
+
+    /// Number of scalar multiplications one conversion performs per
+    /// coefficient: `L_src` (for `y`) plus `L_src * L_dst` (the matrix);
+    /// this is the `3L^2`-type term of Table 1.
+    pub fn scalar_muls_per_coeff(&self) -> usize {
+        self.src.len() + self.src.len() * self.dst.len()
+    }
+}
+
+/// Divides a polynomial over basis `Q ∪ P` by `P = prod(p_basis)` with
+/// rounding, returning the result over `q_basis` (the `ModDown` of boosted
+/// keyswitching). Operates in the coefficient domain.
+///
+/// The result differs from the true rounded quotient by at most 1 in each
+/// coefficient (the standard fast-base-conversion bound).
+///
+/// # Panics
+///
+/// Panics if `poly`'s basis is not exactly `q_basis ∪ p_basis`, or if the
+/// polynomial is in NTT form.
+pub fn mod_down(
+    ctx: &RnsContext,
+    poly: &RnsPoly,
+    q_basis: &Basis,
+    p_basis: &Basis,
+    conv_p_to_q: &BaseConverter,
+) -> RnsPoly {
+    assert!(!poly.ntt_form(), "mod_down operates in the coefficient domain");
+    assert_eq!(poly.basis(), &q_basis.union(p_basis), "basis mismatch");
+    assert_eq!(conv_p_to_q.src_basis(), p_basis);
+    assert_eq!(conv_p_to_q.dst_basis(), q_basis);
+    // c mod P, converted to base Q (centered representative).
+    let c_p = ctx.restrict(poly, p_basis);
+    let c_p_in_q = conv_p_to_q.convert_exact(ctx, &c_p);
+    let c_q = ctx.restrict(poly, q_basis);
+    let diff = ctx.sub(&c_q, &c_p_in_q);
+    // Multiply by P^{-1} mod each q_j.
+    let p_inv: Vec<u64> = q_basis
+        .0
+        .iter()
+        .map(|&l| {
+            let m = ctx.modulus(l);
+            let mut p_mod = 1u64;
+            for &pl in &p_basis.0 {
+                p_mod = m.mul(p_mod, m.reduce(ctx.modulus_value(pl)));
+            }
+            m.inv(p_mod)
+        })
+        .collect();
+    ctx.scalar_mul_per_limb(&diff, &p_inv)
+}
+
+/// Rescales a polynomial: divides by its last limb's modulus with rounding
+/// and drops that limb (the CKKS rescale of Sec. 2.3). Coefficient domain.
+///
+/// # Panics
+///
+/// Panics if the polynomial has fewer than 2 limbs or is in NTT form.
+pub fn rescale(ctx: &RnsContext, poly: &RnsPoly) -> RnsPoly {
+    assert!(poly.num_limbs() >= 2, "cannot rescale a 1-limb polynomial");
+    let basis = poly.basis().clone();
+    let keep = Basis(basis.0[..basis.len() - 1].to_vec());
+    let drop = Basis(vec![basis.0[basis.len() - 1]]);
+    let conv = BaseConverter::new(ctx, drop.clone(), keep.clone());
+    mod_down(ctx, poly, &keep, &drop, &conv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cl_math::BigUint;
+    use rand::{Rng, SeedableRng};
+
+    fn ctx() -> RnsContext {
+        RnsContext::generate(8, 3, 3, 28).unwrap()
+    }
+
+    /// Reconstructs coefficient `c` of `poly` as an exact integer.
+    fn coeff_big(ctx: &RnsContext, poly: &RnsPoly, c: usize) -> BigUint {
+        let residues: Vec<u64> = (0..poly.num_limbs()).map(|k| poly.limb(k)[c]).collect();
+        let moduli: Vec<u64> = poly.basis().0.iter().map(|&l| ctx.modulus_value(l)).collect();
+        BigUint::crt_combine(&residues, &moduli)
+    }
+
+    #[test]
+    fn exact_conversion_matches_crt() {
+        let c = ctx();
+        let src = c.q_basis(3);
+        let dst = c.p_basis(3);
+        let conv = BaseConverter::new(&c, src.clone(), dst);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        // Keep |x| < Q/4 so the centered conversion is exact.
+        let signed: Vec<i64> = (0..8).map(|_| rng.gen_range(-(1i64 << 40)..(1i64 << 40))).collect();
+        let x = c.from_signed_coeffs(&signed, &src);
+        let y = conv.convert_exact(&c, &x);
+        for i in 0..8 {
+            for (k, &limb) in y.basis().0.iter().enumerate() {
+                let m = c.modulus(limb);
+                assert_eq!(
+                    y.limb(k)[i],
+                    m.from_i64(signed[i]),
+                    "coefficient {i}, limb {limb}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn approximate_conversion_off_by_multiple_of_q() {
+        let c = ctx();
+        let src = c.q_basis(3);
+        let dst = c.p_basis(2);
+        let conv = BaseConverter::new(&c, src.clone(), dst.clone());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let x = {
+            let mut p = c.sample_uniform(&src, &mut rng);
+            p.set_ntt_form(false);
+            p
+        };
+        let y = conv.convert(&c, &x);
+        let src_moduli: Vec<u64> = src.0.iter().map(|&l| c.modulus_value(l)).collect();
+        let q_big = BigUint::product(&src_moduli);
+        for i in 0..8 {
+            let true_x = coeff_big(&c, &x, i);
+            for (k, &limb) in dst.0.iter().enumerate() {
+                let b = c.modulus_value(limb);
+                let got = y.limb(k)[i];
+                // got ≡ x + alpha*Q (mod b) for some alpha in [0, L).
+                let mut ok = false;
+                let mut cand = true_x.clone();
+                for _ in 0..src.len() + 1 {
+                    if cand.rem_u64(b) == got {
+                        ok = true;
+                        break;
+                    }
+                    cand.add_assign(&q_big);
+                }
+                assert!(ok, "coefficient {i} limb {limb} not within alpha*Q");
+            }
+        }
+    }
+
+    #[test]
+    fn mod_down_is_rounded_division() {
+        let c = ctx();
+        let qb = c.q_basis(2);
+        let pb = c.p_basis(2);
+        let full = qb.union(&pb);
+        let conv = BaseConverter::new(&c, pb.clone(), qb.clone());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut x = c.sample_uniform(&full, &mut rng);
+        x.set_ntt_form(false);
+        let y = mod_down(&c, &x, &qb, &pb, &conv);
+        let p_moduli: Vec<u64> = pb.0.iter().map(|&l| c.modulus_value(l)).collect();
+        let p_big = BigUint::product(&p_moduli);
+        let q_moduli: Vec<u64> = qb.0.iter().map(|&l| c.modulus_value(l)).collect();
+        let q_big = BigUint::product(&q_moduli);
+        let qp_big = {
+            let mut t = q_big.clone();
+            t = p_moduli.iter().fold(t, |acc, &p| acc.mul_u64(p));
+            t
+        };
+        for i in 0..8 {
+            let true_x = coeff_big(&c, &x, i);
+            // Centered value of x over QP.
+            let (neg, mag) = true_x.centered(&qp_big);
+            // floor-division of the magnitude, sign-adjusted (within ±1 is accepted).
+            let (q_mag, _r) = {
+                // mag / P via repeated div by each p (exact division not needed: do bigint / u64 chain)
+                let mut quot = mag.clone();
+                let mut rem_nonzero = false;
+                for &p in &p_moduli {
+                    let (q2, r2) = quot.div_rem_u64(p);
+                    quot = q2;
+                    rem_nonzero |= r2 != 0;
+                }
+                (quot, rem_nonzero)
+            };
+            for (k, &limb) in qb.0.iter().enumerate() {
+                let m = c.modulus(limb);
+                let got = y.limb(k)[i];
+                // Expected residue of the (sign-adjusted) quotient mod q_j.
+                let mag_res = q_mag.rem_u64(m.value());
+                let expect = if neg { m.neg(mag_res) } else { mag_res };
+                // Allow |difference| <= 1 (floor vs round, conversion bound).
+                let ok = got == expect
+                    || got == m.add(expect, 1)
+                    || got == m.sub(expect, 1);
+                assert!(ok, "coefficient {i} limb {limb}: got {got}, expect ~{expect}");
+            }
+        }
+    }
+
+    #[test]
+    fn rescale_divides_small_values() {
+        let c = ctx();
+        let basis = c.q_basis(3);
+        let q_last = c.modulus_value(2);
+        // x = q_last * 7: rescale must give exactly 7.
+        let signed: Vec<i64> = vec![7 * q_last as i64; 8];
+        let x = c.from_signed_coeffs(&signed, &basis);
+        let y = rescale(&c, &x);
+        assert_eq!(y.num_limbs(), 2);
+        for k in 0..2 {
+            let m = c.modulus(y.basis().0[k]);
+            for &v in y.limb(k) {
+                assert_eq!(m.lift_centered(v), 7);
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_muls_formula() {
+        let c = ctx();
+        let conv = BaseConverter::new(&c, c.q_basis(3), c.p_basis(3));
+        assert_eq!(conv.scalar_muls_per_coeff(), 3 + 9);
+    }
+}

@@ -1,0 +1,581 @@
+//! The RNS context: ring degree, modulus chains, and NTT tables.
+
+use std::fmt;
+
+use cl_math::{generate_ntt_primes, MathError, Modulus, NttTable};
+use rand::Rng;
+
+use crate::RnsPoly;
+
+/// Errors produced by RNS operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RnsError {
+    /// Underlying math error (e.g. prime generation).
+    Math(MathError),
+    /// Two polynomials had incompatible bases.
+    BasisMismatch {
+        /// Basis of the left operand.
+        left: Vec<u32>,
+        /// Basis of the right operand.
+        right: Vec<u32>,
+    },
+    /// A parameter was outside the supported range.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for RnsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RnsError::Math(e) => write!(f, "math error: {e}"),
+            RnsError::BasisMismatch { left, right } => {
+                write!(f, "basis mismatch: {left:?} vs {right:?}")
+            }
+            RnsError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RnsError {}
+
+impl From<MathError> for RnsError {
+    fn from(e: MathError) -> Self {
+        RnsError::Math(e)
+    }
+}
+
+/// An ordered set of limb indices into an [`RnsContext`]'s global modulus
+/// list, identifying the basis a polynomial lives in.
+///
+/// Indices `0..num_q` are ciphertext moduli `q_1..q_L`; indices `num_q..`
+/// are the special moduli `p_1..p_k` used by boosted keyswitching.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Basis(pub Vec<u32>);
+
+impl Basis {
+    /// Number of limbs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if the basis has no limbs.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Concatenation of two disjoint bases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bases share a limb.
+    pub fn union(&self, other: &Basis) -> Basis {
+        let mut v = self.0.clone();
+        for &i in &other.0 {
+            assert!(!v.contains(&i), "bases must be disjoint");
+            v.push(i);
+        }
+        Basis(v)
+    }
+}
+
+/// Shared parameters for a family of RNS polynomials: the ring degree `n`,
+/// the ciphertext modulus chain, the special moduli, and NTT tables for all
+/// of them.
+#[derive(Debug)]
+pub struct RnsContext {
+    n: usize,
+    moduli: Vec<u64>,
+    modulus_structs: Vec<Modulus>,
+    tables: Vec<NttTable>,
+    num_q: usize,
+}
+
+impl RnsContext {
+    /// Builds a context from explicit moduli lists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RnsError::InvalidParameter`] if any modulus is not an
+    /// NTT-friendly prime for ring degree `n`, or if moduli repeat.
+    pub fn new(n: usize, q_moduli: &[u64], p_moduli: &[u64]) -> Result<Self, RnsError> {
+        let mut moduli: Vec<u64> = q_moduli.to_vec();
+        moduli.extend_from_slice(p_moduli);
+        if moduli.is_empty() {
+            return Err(RnsError::InvalidParameter("empty modulus list".into()));
+        }
+        let mut seen = moduli.clone();
+        seen.sort_unstable();
+        if seen.windows(2).any(|w| w[0] == w[1]) {
+            return Err(RnsError::InvalidParameter("repeated modulus".into()));
+        }
+        let mut tables = Vec::with_capacity(moduli.len());
+        let mut modulus_structs = Vec::with_capacity(moduli.len());
+        for &q in &moduli {
+            let t = NttTable::new(n, q).ok_or_else(|| {
+                RnsError::InvalidParameter(format!("{q} is not an NTT-friendly prime for n={n}"))
+            })?;
+            modulus_structs.push(*t.modulus());
+            tables.push(t);
+        }
+        Ok(Self {
+            n,
+            moduli,
+            modulus_structs,
+            tables,
+            num_q: q_moduli.len(),
+        })
+    }
+
+    /// Generates a context with `q_count` ciphertext moduli and `p_count`
+    /// special moduli, all primes of `bits` bits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates prime-generation failures (e.g. not enough primes of the
+    /// requested width).
+    pub fn generate(n: usize, q_count: usize, p_count: usize, bits: u32) -> Result<Self, RnsError> {
+        let primes = generate_ntt_primes(n, bits, q_count + p_count)?;
+        Self::new(n, &primes[..q_count], &primes[q_count..])
+    }
+
+    /// Ring degree.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of ciphertext moduli (`L_max`).
+    #[inline]
+    pub fn num_q(&self) -> usize {
+        self.num_q
+    }
+
+    /// Number of special moduli.
+    #[inline]
+    pub fn num_p(&self) -> usize {
+        self.moduli.len() - self.num_q
+    }
+
+    /// The modulus value for a global limb index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limb` is out of range.
+    #[inline]
+    pub fn modulus_value(&self, limb: u32) -> u64 {
+        self.moduli[limb as usize]
+    }
+
+    /// The [`Modulus`] arithmetic helper for a global limb index.
+    #[inline]
+    pub fn modulus(&self, limb: u32) -> &Modulus {
+        &self.modulus_structs[limb as usize]
+    }
+
+    /// The NTT table for a global limb index.
+    #[inline]
+    pub fn ntt_table(&self, limb: u32) -> &NttTable {
+        &self.tables[limb as usize]
+    }
+
+    /// The basis `q_1..q_level` (the first `level` ciphertext moduli).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` exceeds the number of ciphertext moduli.
+    pub fn q_basis(&self, level: usize) -> Basis {
+        assert!(level <= self.num_q, "level exceeds modulus chain");
+        Basis((0..level as u32).collect())
+    }
+
+    /// The basis of the first `count` special moduli.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds the number of special moduli.
+    pub fn p_basis(&self, count: usize) -> Basis {
+        assert!(count <= self.num_p(), "not enough special moduli");
+        Basis((self.num_q as u32..(self.num_q + count) as u32).collect())
+    }
+
+    /// Allocates an all-zero polynomial over `basis`, in NTT form.
+    pub fn zero(&self, basis: &Basis) -> RnsPoly {
+        RnsPoly::zero(self.n, basis.clone())
+    }
+
+    /// Samples a polynomial with uniformly random residues (NTT form —
+    /// uniform is uniform in either domain).
+    pub fn sample_uniform<R: Rng + ?Sized>(&self, basis: &Basis, rng: &mut R) -> RnsPoly {
+        let mut p = RnsPoly::zero(self.n, basis.clone());
+        for (k, &limb) in basis.0.iter().enumerate() {
+            let q = self.moduli[limb as usize];
+            for c in p.limb_mut(k) {
+                *c = rng.gen_range(0..q);
+            }
+        }
+        p.set_ntt_form(true);
+        p
+    }
+
+    /// Samples a polynomial with ternary coefficients in `{-1, 0, 1}`
+    /// (coefficient form). Used for secret keys.
+    pub fn sample_ternary<R: Rng + ?Sized>(&self, basis: &Basis, rng: &mut R) -> RnsPoly {
+        let signed: Vec<i64> = (0..self.n).map(|_| rng.gen_range(-1i64..=1)).collect();
+        self.from_signed_coeffs(&signed, basis)
+    }
+
+    /// Samples a polynomial with centered-binomial error coefficients of
+    /// standard deviation ~3.2 (coefficient form). Used for encryption noise.
+    pub fn sample_error<R: Rng + ?Sized>(&self, basis: &Basis, rng: &mut R) -> RnsPoly {
+        // Sum of 21 signed coin flips: variance 21/2 ≈ 10.5, sigma ≈ 3.24.
+        let signed: Vec<i64> = (0..self.n)
+            .map(|_| {
+                let mut s = 0i64;
+                for _ in 0..21 {
+                    s += rng.gen_range(0..=1) as i64 * 2 - 1;
+                }
+                s / 2
+            })
+            .collect();
+        self.from_signed_coeffs(&signed, basis)
+    }
+
+    /// Builds a polynomial (coefficient form) from signed integer
+    /// coefficients, reduced into each modulus of `basis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signed.len() != self.n()`.
+    pub fn from_signed_coeffs(&self, signed: &[i64], basis: &Basis) -> RnsPoly {
+        assert_eq!(signed.len(), self.n);
+        let mut p = RnsPoly::zero(self.n, basis.clone());
+        for (k, &limb) in basis.0.iter().enumerate() {
+            let m = &self.modulus_structs[limb as usize];
+            for (c, &s) in p.limb_mut(k).iter_mut().zip(signed) {
+                *c = m.from_i64(s);
+            }
+        }
+        p
+    }
+
+    /// Converts a polynomial to NTT form in place (no-op if already there).
+    pub fn to_ntt(&self, p: &mut RnsPoly) {
+        if p.ntt_form() {
+            return;
+        }
+        for (k, &limb) in p.basis().0.clone().iter().enumerate() {
+            self.tables[limb as usize].forward(p.limb_mut(k));
+        }
+        p.set_ntt_form(true);
+    }
+
+    /// Converts a polynomial to coefficient form in place (no-op if already
+    /// there).
+    pub fn from_ntt(&self, p: &mut RnsPoly) {
+        if !p.ntt_form() {
+            return;
+        }
+        for (k, &limb) in p.basis().0.clone().iter().enumerate() {
+            self.tables[limb as usize].inverse(p.limb_mut(k));
+        }
+        p.set_ntt_form(false);
+    }
+
+    fn check_compatible(&self, a: &RnsPoly, b: &RnsPoly) {
+        assert_eq!(
+            a.basis(),
+            b.basis(),
+            "RNS operation on polynomials with different bases"
+        );
+        assert_eq!(
+            a.ntt_form(),
+            b.ntt_form(),
+            "RNS operation on polynomials in different domains"
+        );
+    }
+
+    /// Element-wise sum of two polynomials over the same basis and domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bases or domains differ.
+    pub fn add(&self, a: &RnsPoly, b: &RnsPoly) -> RnsPoly {
+        self.check_compatible(a, b);
+        let mut out = a.clone();
+        self.add_assign(&mut out, b);
+        out
+    }
+
+    /// In-place element-wise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bases or domains differ.
+    pub fn add_assign(&self, a: &mut RnsPoly, b: &RnsPoly) {
+        self.check_compatible(a, b);
+        for (k, &limb) in a.basis().0.clone().iter().enumerate() {
+            let m = self.modulus_structs[limb as usize];
+            for (x, &y) in a.limb_mut(k).iter_mut().zip(b.limb(k)) {
+                *x = m.add(*x, y);
+            }
+        }
+    }
+
+    /// Element-wise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bases or domains differ.
+    pub fn sub(&self, a: &RnsPoly, b: &RnsPoly) -> RnsPoly {
+        self.check_compatible(a, b);
+        let mut out = a.clone();
+        for (k, &limb) in out.basis().0.clone().iter().enumerate() {
+            let m = self.modulus_structs[limb as usize];
+            for (x, &y) in out.limb_mut(k).iter_mut().zip(b.limb(k)) {
+                *x = m.sub(*x, y);
+            }
+        }
+        out
+    }
+
+    /// Element-wise negation.
+    pub fn neg(&self, a: &RnsPoly) -> RnsPoly {
+        let mut out = a.clone();
+        for (k, &limb) in out.basis().0.clone().iter().enumerate() {
+            let m = self.modulus_structs[limb as usize];
+            for x in out.limb_mut(k).iter_mut() {
+                *x = m.neg(*x);
+            }
+        }
+        out
+    }
+
+    /// Polynomial product. Both operands must be in NTT form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bases differ or either operand is in coefficient form.
+    pub fn mul(&self, a: &RnsPoly, b: &RnsPoly) -> RnsPoly {
+        self.check_compatible(a, b);
+        assert!(a.ntt_form(), "polynomial product requires NTT form");
+        let mut out = a.clone();
+        self.mul_assign(&mut out, b);
+        out
+    }
+
+    /// In-place polynomial product (NTT form).
+    ///
+    /// # Panics
+    ///
+    /// Panics if bases differ or either operand is in coefficient form.
+    pub fn mul_assign(&self, a: &mut RnsPoly, b: &RnsPoly) {
+        self.check_compatible(a, b);
+        assert!(a.ntt_form(), "polynomial product requires NTT form");
+        for (k, &limb) in a.basis().0.clone().iter().enumerate() {
+            let m = self.modulus_structs[limb as usize];
+            for (x, &y) in a.limb_mut(k).iter_mut().zip(b.limb(k)) {
+                *x = m.mul(*x, y);
+            }
+        }
+    }
+
+    /// Multiply-accumulate: `acc += a * b` (all NTT form, same basis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if bases differ or any operand is in coefficient form.
+    pub fn mul_acc(&self, acc: &mut RnsPoly, a: &RnsPoly, b: &RnsPoly) {
+        self.check_compatible(a, b);
+        self.check_compatible(acc, a);
+        assert!(acc.ntt_form(), "mul_acc requires NTT form");
+        for (k, &limb) in acc.basis().0.clone().iter().enumerate() {
+            let m = self.modulus_structs[limb as usize];
+            let (acc_limb, a_limb, b_limb) = (acc.limb_mut(k), a.limb(k), b.limb(k));
+            for i in 0..acc_limb.len() {
+                acc_limb[i] = m.add(acc_limb[i], m.mul(a_limb[i], b_limb[i]));
+            }
+        }
+    }
+
+    /// Multiplies every coefficient by a small scalar.
+    pub fn scalar_mul(&self, a: &RnsPoly, s: u64) -> RnsPoly {
+        let mut out = a.clone();
+        for (k, &limb) in out.basis().0.clone().iter().enumerate() {
+            let m = self.modulus_structs[limb as usize];
+            let s_red = m.reduce(s);
+            for x in out.limb_mut(k).iter_mut() {
+                *x = m.mul(*x, s_red);
+            }
+        }
+        out
+    }
+
+    /// Multiplies limb `k` of `a` by a per-limb constant already reduced
+    /// modulo that limb.
+    pub fn scalar_mul_per_limb(&self, a: &RnsPoly, consts: &[u64]) -> RnsPoly {
+        assert_eq!(consts.len(), a.basis().len());
+        let mut out = a.clone();
+        for (k, &limb) in out.basis().0.clone().iter().enumerate() {
+            let m = self.modulus_structs[limb as usize];
+            for x in out.limb_mut(k).iter_mut() {
+                *x = m.mul(*x, consts[k]);
+            }
+        }
+        out
+    }
+
+    /// Applies the automorphism `X → X^k` to a polynomial, in either domain.
+    pub fn apply_automorphism(&self, a: &RnsPoly, galois: u64) -> RnsPoly {
+        let mut out = RnsPoly::zero(self.n, a.basis().clone());
+        out.set_ntt_form(a.ntt_form());
+        if a.ntt_form() {
+            let table = cl_math::AutomorphismTable::new(self.n, galois);
+            for (k, _) in a.basis().0.iter().enumerate() {
+                let mapped = cl_math::apply_automorphism_ntt(a.limb(k), &table);
+                out.limb_mut(k).copy_from_slice(&mapped);
+            }
+        } else {
+            for (k, &limb) in a.basis().0.clone().iter().enumerate() {
+                let m = &self.modulus_structs[limb as usize];
+                let mapped = cl_math::apply_automorphism_coeff(a.limb(k), galois, m);
+                out.limb_mut(k).copy_from_slice(&mapped);
+            }
+        }
+        out
+    }
+
+    /// Restricts a polynomial to a sub-basis (drops limbs not in `target`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not a subset of the polynomial's basis.
+    pub fn restrict(&self, a: &RnsPoly, target: &Basis) -> RnsPoly {
+        let mut out = RnsPoly::zero(self.n, target.clone());
+        out.set_ntt_form(a.ntt_form());
+        for (dst_k, &limb) in target.0.iter().enumerate() {
+            let src_k = a
+                .basis()
+                .0
+                .iter()
+                .position(|&l| l == limb)
+                .expect("target basis must be a subset");
+            out.limb_mut(dst_k).copy_from_slice(a.limb(src_k));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ctx() -> RnsContext {
+        RnsContext::generate(32, 3, 2, 28).unwrap()
+    }
+
+    #[test]
+    fn generate_splits_q_and_p() {
+        let c = ctx();
+        assert_eq!(c.num_q(), 3);
+        assert_eq!(c.num_p(), 2);
+        assert_eq!(c.q_basis(2).0, vec![0, 1]);
+        assert_eq!(c.p_basis(2).0, vec![3, 4]);
+    }
+
+    #[test]
+    fn rejects_bad_moduli() {
+        assert!(RnsContext::new(32, &[15], &[]).is_err()); // not prime
+        assert!(RnsContext::new(32, &[], &[]).is_err()); // empty
+        let q = generate_ntt_primes(32, 28, 1).unwrap()[0];
+        assert!(RnsContext::new(32, &[q, q], &[]).is_err()); // repeated
+    }
+
+    #[test]
+    fn ntt_roundtrip_on_poly() {
+        let c = ctx();
+        let basis = c.q_basis(3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let p = c.sample_uniform(&basis, &mut rng);
+        let mut q = p.clone();
+        c.from_ntt(&mut q);
+        assert!(!q.ntt_form());
+        c.to_ntt(&mut q);
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn add_sub_neg_identities() {
+        let c = ctx();
+        let basis = c.q_basis(2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let a = c.sample_uniform(&basis, &mut rng);
+        let b = c.sample_uniform(&basis, &mut rng);
+        assert_eq!(c.sub(&c.add(&a, &b), &b), a);
+        assert_eq!(c.add(&a, &c.neg(&a)), c.zero_like(&a));
+    }
+
+    #[test]
+    fn mul_distributes_over_add() {
+        let c = ctx();
+        let basis = c.q_basis(3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let a = c.sample_uniform(&basis, &mut rng);
+        let b = c.sample_uniform(&basis, &mut rng);
+        let x = c.sample_uniform(&basis, &mut rng);
+        let lhs = c.mul(&x, &c.add(&a, &b));
+        let rhs = c.add(&c.mul(&x, &a), &c.mul(&x, &b));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn mul_acc_matches_mul_then_add() {
+        let c = ctx();
+        let basis = c.q_basis(2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let a = c.sample_uniform(&basis, &mut rng);
+        let b = c.sample_uniform(&basis, &mut rng);
+        let mut acc = c.sample_uniform(&basis, &mut rng);
+        let expect = c.add(&acc, &c.mul(&a, &b));
+        c.mul_acc(&mut acc, &a, &b);
+        assert_eq!(acc, expect);
+    }
+
+    #[test]
+    fn ternary_and_error_sampling_are_small() {
+        let c = ctx();
+        let basis = c.q_basis(1);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let t = c.sample_ternary(&basis, &mut rng);
+        let m = c.modulus(0);
+        for &x in t.limb(0) {
+            assert!(m.lift_centered(x).abs() <= 1);
+        }
+        let e = c.sample_error(&basis, &mut rng);
+        for &x in e.limb(0) {
+            assert!(m.lift_centered(x).abs() <= 11, "error sample too large");
+        }
+    }
+
+    #[test]
+    fn automorphism_consistent_between_domains() {
+        let c = ctx();
+        let basis = c.q_basis(2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut a = c.sample_uniform(&basis, &mut rng);
+        let via_ntt = c.apply_automorphism(&a, 3);
+        c.from_ntt(&mut a);
+        let mut via_coeff = c.apply_automorphism(&a, 3);
+        c.to_ntt(&mut via_coeff);
+        assert_eq!(via_ntt, via_coeff);
+    }
+
+    impl RnsContext {
+        fn zero_like(&self, a: &RnsPoly) -> RnsPoly {
+            let mut z = self.zero(a.basis());
+            z.set_ntt_form(a.ntt_form());
+            z
+        }
+    }
+}

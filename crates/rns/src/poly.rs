@@ -1,0 +1,161 @@
+//! The residue polynomial container.
+
+use crate::Basis;
+
+/// A polynomial over a sub-basis of an [`crate::RnsContext`]'s moduli.
+///
+/// Storage is limb-major: all `n` coefficients of the first residue
+/// polynomial, then the second, and so on — matching how CraterLake streams
+/// one residue polynomial at a time through its vector functional units.
+///
+/// The `ntt_form` flag records which domain the data is in; operations that
+/// require a particular domain assert it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RnsPoly {
+    n: usize,
+    basis: Basis,
+    coeffs: Vec<u64>,
+    ntt_form: bool,
+}
+
+impl RnsPoly {
+    /// An all-zero polynomial over `basis` in coefficient form.
+    pub fn zero(n: usize, basis: Basis) -> Self {
+        let len = n * basis.len();
+        Self {
+            n,
+            basis,
+            coeffs: vec![0; len],
+            ntt_form: false,
+        }
+    }
+
+    /// Ring degree.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The basis this polynomial lives in.
+    #[inline]
+    pub fn basis(&self) -> &Basis {
+        &self.basis
+    }
+
+    /// Number of residue polynomials (limbs).
+    #[inline]
+    pub fn num_limbs(&self) -> usize {
+        self.basis.len()
+    }
+
+    /// Whether the data is in the NTT (evaluation) domain.
+    #[inline]
+    pub fn ntt_form(&self) -> bool {
+        self.ntt_form
+    }
+
+    /// Sets the domain flag (used by the context's transform routines).
+    #[inline]
+    pub fn set_ntt_form(&mut self, ntt: bool) {
+        self.ntt_form = ntt;
+    }
+
+    /// The `k`-th residue polynomial (by position within the basis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[inline]
+    pub fn limb(&self, k: usize) -> &[u64] {
+        &self.coeffs[k * self.n..(k + 1) * self.n]
+    }
+
+    /// Mutable access to the `k`-th residue polynomial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    #[inline]
+    pub fn limb_mut(&mut self, k: usize) -> &mut [u64] {
+        &mut self.coeffs[k * self.n..(k + 1) * self.n]
+    }
+
+    /// Iterator over `(global limb index, residue polynomial)` pairs.
+    pub fn limbs(&self) -> impl Iterator<Item = (u32, &[u64])> {
+        self.basis
+            .0
+            .iter()
+            .copied()
+            .zip(self.coeffs.chunks_exact(self.n))
+    }
+
+    /// Appends a residue polynomial for global limb `limb`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.n()` or the limb is already present.
+    pub fn push_limb(&mut self, limb: u32, data: &[u64]) {
+        assert_eq!(data.len(), self.n);
+        assert!(
+            !self.basis.0.contains(&limb),
+            "limb {limb} already present"
+        );
+        self.basis.0.push(limb);
+        self.coeffs.extend_from_slice(data);
+    }
+
+    /// Total number of machine words of payload (used by footprint
+    /// accounting).
+    #[inline]
+    pub fn num_words(&self) -> usize {
+        self.coeffs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_has_requested_shape() {
+        let p = RnsPoly::zero(16, Basis(vec![0, 2, 5]));
+        assert_eq!(p.n(), 16);
+        assert_eq!(p.num_limbs(), 3);
+        assert_eq!(p.num_words(), 48);
+        assert!(!p.ntt_form());
+        assert!(p.limb(2).iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn limb_views_are_disjoint() {
+        let mut p = RnsPoly::zero(4, Basis(vec![0, 1]));
+        p.limb_mut(0).copy_from_slice(&[1, 2, 3, 4]);
+        p.limb_mut(1).copy_from_slice(&[5, 6, 7, 8]);
+        assert_eq!(p.limb(0), &[1, 2, 3, 4]);
+        assert_eq!(p.limb(1), &[5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn push_limb_extends_basis() {
+        let mut p = RnsPoly::zero(4, Basis(vec![0]));
+        p.push_limb(3, &[9, 9, 9, 9]);
+        assert_eq!(p.basis().0, vec![0, 3]);
+        assert_eq!(p.limb(1), &[9, 9, 9, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already present")]
+    fn push_duplicate_limb_panics() {
+        let mut p = RnsPoly::zero(4, Basis(vec![0]));
+        p.push_limb(0, &[1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn limbs_iterator_pairs_indices() {
+        let mut p = RnsPoly::zero(2, Basis(vec![7, 9]));
+        p.limb_mut(0).copy_from_slice(&[1, 2]);
+        p.limb_mut(1).copy_from_slice(&[3, 4]);
+        let pairs: Vec<(u32, Vec<u64>)> = p.limbs().map(|(i, s)| (i, s.to_vec())).collect();
+        assert_eq!(pairs, vec![(7, vec![1, 2]), (9, vec![3, 4])]);
+    }
+}

@@ -1,0 +1,65 @@
+//! Simulate ResNet-20 inference on the CraterLake machine model and
+//! compare against the F1+ and CPU baselines — a one-benchmark slice of
+//! the paper's Table 3, with the resource breakdown behind it.
+//!
+//! Run with: `cargo run --release --example simulate_resnet`
+
+use craterlake::apps::resnet20;
+use craterlake::baselines::{craterlake_options, f1_plus_options, CpuModel};
+use craterlake::compiler::compile_and_run;
+use craterlake::core::energy;
+use craterlake::isa::TrafficClass;
+
+fn main() {
+    let bench = resnet20();
+    println!(
+        "ResNet-20 inference on one encrypted image: {} homomorphic ops, {} bootstraps",
+        bench.graph.num_nodes(),
+        bench.graph.op_histogram().mod_raises
+    );
+    println!();
+
+    let (cl_arch, cl_opts) = craterlake_options(bench.n);
+    let cl = compile_and_run(&bench.graph, &cl_arch, &cl_opts);
+    println!("CraterLake: {:.1} ms", cl.exec_ms(&cl_arch));
+    println!(
+        "  FU utilization {:.0}%, memory-bandwidth utilization {:.0}%",
+        100.0 * cl.fu_utilization(&cl_arch),
+        100.0 * cl.bw_utilization()
+    );
+    println!(
+        "  traffic: {:.1} GB total (hints {:.1} GB, inputs/weights {:.1} GB)",
+        cl.total_traffic_bytes() / 1e9,
+        cl.traffic_of(TrafficClass::Ksh) / 1e9,
+        cl.traffic_of(TrafficClass::Input) / 1e9
+    );
+    let p = energy::power_breakdown(&cl_arch, &cl);
+    println!(
+        "  average power {:.0} W (FUs {:.0}, RF {:.0}, NoC {:.0}, HBM {:.0})",
+        p.total(),
+        p.fu,
+        p.rf,
+        p.noc,
+        p.hbm
+    );
+    println!();
+
+    let (f1_arch, f1_opts) = f1_plus_options(bench.n);
+    let f1 = compile_and_run(&bench.graph, &f1_arch, &f1_opts);
+    println!(
+        "F1+:        {:.1} ms ({:.1}x slower)",
+        f1.exec_ms(&f1_arch),
+        f1.cycles / cl.cycles
+    );
+
+    let cpu = CpuModel::paper_calibrated();
+    let cpu_s = cpu.time_for_graph(&bench.graph, bench.n, &cl_opts.ks_policy);
+    println!(
+        "CPU (32-core, modeled): {:.0} s ({:.0}x slower)",
+        cpu_s,
+        cpu_s * 1e3 / cl.exec_ms(&cl_arch)
+    );
+    println!();
+    println!("Paper reference: 249 ms on CraterLake, 2,693 ms on F1+, 23 min on the CPU;");
+    println!("real-time private deep learning becomes possible (Sec. 1).");
+}

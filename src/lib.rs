@@ -1,0 +1,36 @@
+//! # CraterLake (ISCA 2022) — reproduction
+//!
+//! A from-scratch Rust reproduction of *CraterLake: A Hardware Accelerator
+//! for Efficient Unbounded Computation on Encrypted Data* (Samardzic et al.,
+//! ISCA 2022).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! - [`math`] — modular arithmetic, NTT, automorphisms, encoder FFT
+//! - [`rns`] — residue-number-system polynomials and fast base conversion
+//! - [`ckks`] — the CKKS FHE scheme with standard and boosted keyswitching
+//! - [`boot`] — packed CKKS bootstrapping (functional + analytic plan)
+//! - [`isa`] — the HE dataflow IR and the paper's cost formulas
+//! - [`core`] — the CraterLake machine model (timing, energy, area)
+//! - [`compiler`] — lowering and static scheduling
+//! - [`baselines`] — the F1+ accelerator and CPU cost models
+//! - [`apps`] — the paper's eight benchmarks as HE-graph generators
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! per-table/figure reproduction record.
+//!
+//! # Quickstart
+//!
+//! Run `cargo run --release --example quickstart` for a tour: encrypt a
+//! vector, compute on it homomorphically, decrypt, and then compile the same
+//! computation onto the simulated accelerator.
+
+pub use cl_apps as apps;
+pub use cl_baselines as baselines;
+pub use cl_boot as boot;
+pub use cl_ckks as ckks;
+pub use cl_compiler as compiler;
+pub use cl_core as core;
+pub use cl_isa as isa;
+pub use cl_math as math;
+pub use cl_rns as rns;

@@ -1,0 +1,162 @@
+//! Property-based tests on cross-crate invariants: random programs through
+//! the compiler and machine model must respect physical laws (no negative
+//! times, monotone resource usage, conservation of traffic), and random
+//! data through the functional library must round-trip.
+
+use proptest::prelude::*;
+
+use craterlake::baselines::craterlake_options;
+use craterlake::compiler::{compile_and_run, CompileOptions};
+use craterlake::core::ArchConfig;
+use craterlake::isa::{HeGraph, NodeId};
+
+/// Builds a random but well-formed HE graph from a compact recipe.
+fn random_graph(ops: &[(u8, u8)], level: usize) -> HeGraph {
+    let mut g = HeGraph::new();
+    let mut pool: Vec<NodeId> = vec![g.input(level), g.input(level)];
+    for &(kind, sel) in ops {
+        let a = pool[sel as usize % pool.len()];
+        let la = g.node(a).level;
+        let new = match kind % 6 {
+            0 => {
+                let b = pool[(sel as usize / 2) % pool.len()];
+                let b = g.mod_drop(b, la.min(g.node(b).level));
+                let a = g.mod_drop(a, g.node(b).level);
+                g.add(a, b)
+            }
+            1 if la >= 2 => {
+                let m = g.mul_ct(a, a);
+                g.rescale(m)
+            }
+            2 => g.rotate(a, (sel % 7) as i64 + 1),
+            3 => {
+                let p = g.plain_input(la);
+                g.mul_plain(a, p)
+            }
+            4 if la >= 2 => g.rescale(a),
+            _ => g.conjugate(a),
+        };
+        pool.push(new);
+        if pool.len() > 6 {
+            pool.remove(0);
+        }
+    }
+    let last = *pool.last().unwrap();
+    g.output(last);
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_programs_schedule_sanely(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..40),
+        level in 8usize..40,
+    ) {
+        let g = random_graph(&ops, level);
+        g.validate();
+        let (arch, opts) = craterlake_options(1 << 16);
+        let stats = compile_and_run(&g, &arch, &opts);
+        // Physical sanity.
+        prop_assert!(stats.cycles >= 0.0);
+        prop_assert!(stats.hbm_busy <= stats.cycles + 1e-6);
+        prop_assert!(stats.fu_utilization(&arch) <= 1.0 + 1e-9);
+        prop_assert!(stats.bw_utilization() <= 1.0 + 1e-9);
+        // Traffic is conserved: every byte belongs to a class.
+        let sum: f64 = [
+            craterlake::isa::TrafficClass::Ksh,
+            craterlake::isa::TrafficClass::Input,
+            craterlake::isa::TrafficClass::IntermLoad,
+            craterlake::isa::TrafficClass::IntermStore,
+        ]
+        .iter()
+        .map(|&c| stats.traffic_of(c))
+        .sum();
+        prop_assert!((sum - stats.total_traffic_bytes()).abs() < 1.0);
+    }
+
+    #[test]
+    fn reordering_never_breaks_or_inflates_cycles_unboundedly(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..30),
+    ) {
+        let g = random_graph(&ops, 20);
+        let (arch, base) = craterlake_options(1 << 16);
+        let reordered_opts = CompileOptions { reorder: true, ..base.clone() };
+        let a = compile_and_run(&g, &arch, &base);
+        let b = compile_and_run(&g, &arch, &reordered_opts);
+        // Reordering changes locality, not work: FU busy time is identical.
+        let busy_a: f64 = a.fu_busy.values().sum();
+        let busy_b: f64 = b.fu_busy.values().sum();
+        prop_assert!((busy_a - busy_b).abs() < 1e-6);
+    }
+
+    #[test]
+    fn more_bandwidth_never_hurts(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..25),
+    ) {
+        let g = random_graph(&ops, 30);
+        let (_, opts) = craterlake_options(1 << 16);
+        let slow = {
+            let mut a = ArchConfig::craterlake();
+            a.hbm_bytes_per_cycle = 512.0;
+            compile_and_run(&g, &a, &opts).cycles
+        };
+        let fast = {
+            let mut a = ArchConfig::craterlake();
+            a.hbm_bytes_per_cycle = 2048.0;
+            compile_and_run(&g, &a, &opts).cycles
+        };
+        prop_assert!(fast <= slow + 1e-6, "more bandwidth slowed things down");
+    }
+
+    #[test]
+    fn ckks_roundtrip_random_vectors(seed in any::<u64>()) {
+        use craterlake::ckks::{CkksContext, CkksParams};
+        use rand::SeedableRng;
+        let params = CkksParams::builder()
+            .ring_degree(128)
+            .levels(2)
+            .special_limbs(2)
+            .limb_bits(45)
+            .scale_bits(40)
+            .build()
+            .unwrap();
+        let ctx = CkksContext::new(params).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sk = ctx.keygen(&mut rng);
+        let vals: Vec<f64> = (0..64)
+            .map(|_| rand::Rng::gen_range(&mut rng, -100.0..100.0))
+            .collect();
+        let pt = ctx.encode(&vals, ctx.default_scale(), 2);
+        let ct = ctx.encrypt(&pt, &sk, &mut rng);
+        let back = ctx.decode(&ctx.decrypt(&ct, &sk), 64);
+        for (a, b) in back.iter().zip(&vals) {
+            prop_assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn bgv_roundtrip_random_vectors(seed in any::<u64>()) {
+        use craterlake::ckks::bgv::BgvContext;
+        use craterlake::ckks::{CkksContext, CkksParams};
+        use rand::SeedableRng;
+        let params = CkksParams::builder()
+            .ring_degree(128)
+            .levels(2)
+            .special_limbs(2)
+            .limb_bits(45)
+            .scale_bits(40)
+            .build()
+            .unwrap();
+        let ctx = CkksContext::new(params).unwrap();
+        let bgv = BgvContext::new(&ctx, 65537);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sk = ctx.keygen(&mut rng);
+        let vals: Vec<u64> = (0..128)
+            .map(|_| rand::Rng::gen_range(&mut rng, 0..65537u64))
+            .collect();
+        let ct = bgv.encrypt(&vals, 2, &sk, &mut rng);
+        prop_assert_eq!(bgv.decrypt(&ct, &sk), vals);
+    }
+}
