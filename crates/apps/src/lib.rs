@@ -14,6 +14,9 @@
 //! exhibit. Exact op counts are parameterized and documented.
 
 #![warn(missing_docs)]
+// Library code must propagate failures (`FheResult`/`?`) or `expect` with
+// the violated invariant; tests are exempt. Enforced by scripts/verify.sh.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod bootstrap_bench;
 mod kernels;

@@ -16,6 +16,9 @@
 //!   per-level-best keyswitch policy ([`f1_plus_options`]).
 
 #![warn(missing_docs)]
+// Library code must propagate failures (`FheResult`/`?`) or `expect` with
+// the violated invariant; tests are exempt. Enforced by scripts/verify.sh.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 use cl_ckks::security::SecurityLevel;
 use cl_compiler::{CompileOptions, KsPolicy};

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use cl_ckks::{CkksContext, CkksParams, KeySwitchKind};
+use cl_ckks::{CkksContext, CkksParams, GuardrailPolicy, KeySwitchKind};
 use cl_math::{generate_ntt_primes, NttTable};
 use cl_rns::{BaseConverter, RnsContext};
 use rand::SeedableRng;
@@ -107,6 +107,38 @@ fn bench_homomorphic_ops(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_guardrail_overhead(c: &mut Criterion) {
+    // Cost of the Strict runtime checks (operand conformance scans, hint
+    // digests, budget threshold) relative to the Permissive fast path, on
+    // the cheapest op (add: guard cost is a large fraction) and the most
+    // expensive (mul: guard cost amortizes against keyswitching).
+    let mut group = c.benchmark_group("guardrails");
+    group.sample_size(10);
+    let (mut ctx, sk, mut rng) = keyswitch_ctx(8);
+    let vals: Vec<f64> = (0..32).map(|i| i as f64 * 0.1).collect();
+    let pt = ctx.encode(&vals, ctx.default_scale(), 8);
+    let ct = ctx.encrypt(&pt, &sk, &mut rng);
+    let relin = ctx.relin_keygen(&sk, KeySwitchKind::Boosted { digits: 1 }, &mut rng);
+    for (name, policy) in [
+        ("permissive", GuardrailPolicy::Permissive),
+        (
+            "strict",
+            GuardrailPolicy::Strict {
+                min_budget_bits: 0.0,
+            },
+        ),
+    ] {
+        ctx.set_policy(policy);
+        group.bench_function(format!("add_{name}"), |b| {
+            b.iter(|| black_box(ctx.try_add(&ct, &ct).unwrap()))
+        });
+        group.bench_function(format!("mul_{name}"), |b| {
+            b.iter(|| black_box(ctx.try_mul(&ct, &ct, &relin).unwrap()))
+        });
+    }
+    group.finish();
+}
+
 fn bench_encode_decode(c: &mut Criterion) {
     let mut group = c.benchmark_group("encoding");
     let (ctx, sk, mut rng) = keyswitch_ctx(4);
@@ -129,6 +161,7 @@ criterion_group!(
     bench_base_conversion,
     bench_keyswitch_variants,
     bench_homomorphic_ops,
+    bench_guardrail_overhead,
     bench_encode_decode
 );
 criterion_main!(benches);

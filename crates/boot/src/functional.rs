@@ -21,7 +21,9 @@
 //! The result is a ciphertext of the *same message* at a much higher level
 //! — a refreshed multiplicative budget (Fig. 2).
 
-use cl_ckks::{Ciphertext, CkksContext, KeySwitchKey, SecretKey};
+use cl_ckks::{
+    Ciphertext, CkksContext, FheError, FheResult, GuardrailPolicy, KeySwitchKey, SecretKey,
+};
 use cl_math::Complex;
 use rand::Rng;
 
@@ -160,23 +162,25 @@ impl Bootstrapper {
         }
     }
 
-    fn rot_key<'k>(keys: &'k BootstrapKeys, d: i64) -> &'k KeySwitchKey {
+    fn try_rot_key(keys: &BootstrapKeys, d: i64) -> FheResult<&KeySwitchKey> {
         keys.rotations
             .iter()
             .find(|(s, _)| *s == d)
             .map(|(_, k)| k)
-            .unwrap_or_else(|| panic!("missing rotation key for step {d}"))
+            .ok_or_else(|| FheError::MissingKey {
+                what: format!("rotation key for step {d}"),
+            })
     }
 
     /// Homomorphic dense linear transform: `Σ_d diag_d ⊙ rot_d(ct)`.
     /// Consumes one level.
-    fn linear_transform(
+    fn try_linear_transform(
         &self,
         ctx: &CkksContext,
         ct: &Ciphertext,
         diags: &[(i64, Vec<Complex>)],
         keys: &BootstrapKeys,
-    ) -> Ciphertext {
+    ) -> FheResult<Ciphertext> {
         let level = ct.level();
         // Encode the diagonals at exactly the scale of the modulus the
         // closing rescale will drop: the transform then preserves the
@@ -189,27 +193,31 @@ impl Bootstrapper {
             let rotated = if *d == 0 {
                 ct.clone()
             } else {
-                ctx.rotate(ct, *d, Self::rot_key(keys, *d))
+                ctx.try_rotate(ct, *d, Self::try_rot_key(keys, *d)?)?
             };
             let pt = ctx.encode_complex(diag, scale, level);
-            let term = ctx.mul_plain(&rotated, &pt);
+            let term = ctx.try_mul_plain(&rotated, &pt)?;
             acc = Some(match acc {
                 None => term,
-                Some(a) => ctx.add(&a, &term),
+                Some(a) => ctx.try_add(&a, &term)?,
             });
         }
-        ctx.rescale(&acc.expect("transform with no diagonals"))
+        let acc = acc.ok_or_else(|| FheError::InvalidParams {
+            op: "linear_transform",
+            reason: "transform has no nonzero diagonals".into(),
+        })?;
+        ctx.try_rescale(&acc)
     }
 
     /// EvalMod on the *real part* interpretation: input `ct` decodes to
     /// real slot values `y` with `|y| <= k_bound`; output decodes to
     /// `(1/2π)·sin(2π y)` at the same scale.
-    fn eval_sin(
+    fn try_eval_sin(
         &self,
         ctx: &CkksContext,
         ct: &Ciphertext,
         keys: &BootstrapKeys,
-    ) -> Ciphertext {
+    ) -> FheResult<Ciphertext> {
         let two_pi = 2.0 * std::f64::consts::PI;
         let theta = two_pi / 2f64.powi(self.r as i32);
         // Taylor coefficients of exp(i·theta·y) in y.
@@ -223,19 +231,24 @@ impl Bootstrapper {
         // Powers y^1..y^7 with depth 3: y2=y*y, y3=y*y2, y4=y2*y2,
         // y5=y2*y3, y6=y3*y3, y7=y3*y4.
         let y1 = ct.clone();
-        let y2 = ctx.rescale(&ctx.mul(&y1, &y1, &keys.relin));
-        let y3 = ctx.rescale(&ctx.mul(&ctx.mod_drop(&y1, y2.level()), &y2, &keys.relin));
-        let y4 = ctx.rescale(&ctx.mul(&ctx.mod_drop(&y2, y2.level()), &y2, &keys.relin));
-        let y5 = ctx.rescale(&ctx.mul(&ctx.mod_drop(&y2, y3.level()), &y3, &keys.relin));
-        let y6 = ctx.rescale(&ctx.mul(&ctx.mod_drop(&y3, y3.level()), &y3, &keys.relin));
-        let y7 = ctx.rescale(&ctx.mul(&ctx.mod_drop(&y3, y4.level()), &y4, &keys.relin));
+        let y2 = ctx.try_rescale(&ctx.try_mul(&y1, &y1, &keys.relin)?)?;
+        let y3 =
+            ctx.try_rescale(&ctx.try_mul(&ctx.try_mod_drop(&y1, y2.level())?, &y2, &keys.relin)?)?;
+        let y4 =
+            ctx.try_rescale(&ctx.try_mul(&ctx.try_mod_drop(&y2, y2.level())?, &y2, &keys.relin)?)?;
+        let y5 =
+            ctx.try_rescale(&ctx.try_mul(&ctx.try_mod_drop(&y2, y3.level())?, &y3, &keys.relin)?)?;
+        let y6 =
+            ctx.try_rescale(&ctx.try_mul(&ctx.try_mod_drop(&y3, y3.level())?, &y3, &keys.relin)?)?;
+        let y7 =
+            ctx.try_rescale(&ctx.try_mul(&ctx.try_mod_drop(&y3, y4.level())?, &y4, &keys.relin)?)?;
         // Align all powers at the deepest level/scale and combine:
         // E0 = sum_k coeffs[k] * y^k.
         let target_level = y7.level();
         let powers = [y1, y2, y3, y4, y5, y6, y7];
         let mut acc: Option<Ciphertext> = None;
         for (k, p) in powers.iter().enumerate() {
-            let p = ctx.mod_drop(p, target_level);
+            let p = ctx.try_mod_drop(p, target_level)?;
             // Encode each Taylor coefficient at the scale that makes the
             // product land, after the closing rescale, exactly on the
             // default scale — the squaring chain then cannot drift.
@@ -245,20 +258,21 @@ impl Bootstrapper {
             let slots = ctx.params().slots();
             let cvec = vec![coeffs[k + 1]; slots];
             let pt = ctx.encode_complex(&cvec, coeff_scale, target_level);
-            let term = ctx.mul_plain(&p, &pt);
+            let term = ctx.try_mul_plain(&p, &pt)?;
             acc = Some(match acc {
                 None => term,
-                Some(a) => ctx.add(&a, &term),
+                Some(a) => ctx.try_add(&a, &term)?,
             });
         }
-        let mut e = ctx.rescale(&acc.expect("empty Taylor sum"));
+        let acc = acc.expect("Taylor sum over a non-empty power basis");
+        let mut e = ctx.try_rescale(&acc)?;
         // + coeffs[0] (the constant 1).
         let ones = vec![coeffs[0]; ctx.params().slots()];
         let pt1 = ctx.encode_complex(&ones, e.scale(), e.level());
-        e = ctx.add_plain(&e, &pt1);
+        e = ctx.try_add_plain(&e, &pt1)?;
         // Double-angle: square r times => exp(2πi·y).
         for _ in 0..self.r {
-            e = ctx.rescale(&ctx.square(&e, &keys.relin));
+            e = ctx.try_rescale(&ctx.try_square(&e, &keys.relin)?)?;
         }
         // sin(2πy)/(2π) = Re(E * (-i/2π)) * 2 = w + conj(w),
         // w = E * (-i/(4π))... : sin = (E - conj E)/(2i);
@@ -272,29 +286,49 @@ impl Bootstrapper {
             ctx.default_scale() * q_drop / e.scale(),
             e.level(),
         );
-        let w = ctx.rescale(&ctx.mul_plain(&e, &pt));
-        let wc = ctx.conjugate(&w, &keys.conj);
-        ctx.add(&w, &wc)
+        let w = ctx.try_rescale(&ctx.try_mul_plain(&e, &pt)?)?;
+        let wc = ctx.try_conjugate(&w, &keys.conj)?;
+        ctx.try_add(&w, &wc)
     }
 
     /// Bootstraps `ct` (level 1, fully consumed) back to a high level.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the context's budget cannot cover the pipeline's depth
-    /// (see [`Bootstrapper::depth`]).
-    pub fn bootstrap(
+    /// - [`FheError::InvalidParams`] if the context's budget cannot cover
+    ///   the pipeline's depth (see [`Bootstrapper::depth`]), or if the
+    ///   context runs the `AutoRescale` guardrail policy (the pipeline
+    ///   manages scales explicitly; an auto-inserted rescale would corrupt
+    ///   the EvalMod squaring chain).
+    /// - [`FheError::MissingKey`] if a rotation key for a transform
+    ///   diagonal is absent from `keys`.
+    /// - Any error the underlying homomorphic ops report under the
+    ///   context's guardrail policy.
+    pub fn try_bootstrap(
         &self,
         ctx: &CkksContext,
         ct: &Ciphertext,
         keys: &BootstrapKeys,
-    ) -> Ciphertext {
+    ) -> FheResult<Ciphertext> {
+        if matches!(ctx.policy(), GuardrailPolicy::AutoRescale) {
+            return Err(FheError::InvalidParams {
+                op: "bootstrap",
+                reason: "bootstrap manages rescaling explicitly; the AutoRescale \
+                         policy would insert extra rescales and corrupt the scale \
+                         bookkeeping"
+                    .into(),
+            });
+        }
         let l_max = ctx.max_level();
-        assert!(
-            l_max > self.depth() + 1,
-            "budget {l_max} cannot cover bootstrap depth {}",
-            self.depth()
-        );
+        if l_max <= self.depth() + 1 {
+            return Err(FheError::InvalidParams {
+                op: "bootstrap",
+                reason: format!(
+                    "budget {l_max} cannot cover bootstrap depth {}",
+                    self.depth()
+                ),
+            });
+        }
         let rns = ctx.rns();
         let q0 = rns.modulus_value(0) as f64;
         // ---- ModRaise: lift residues mod q0 to the full chain.
@@ -307,17 +341,21 @@ impl Bootstrapper {
             rns.to_ntt(&mut out);
             out
         };
-        let raised = ctx.ciphertext_from_parts(
-            raise(ct.c0()),
-            raise(ct.c1()),
-            l_max,
-            ct.scale(),
-        );
+        // The raised ciphertext decrypts to `m·Δ + q0·I` with `|I|` bounded
+        // by the EvalMod range: its dominant "noise" term is the `q0·I`
+        // component EvalMod will remove, so seed the tracked estimate with
+        // that magnitude rather than the fresh-encryption default.
+        let raised = ctx
+            .ciphertext_from_parts(raise(ct.c0()), raise(ct.c1()), l_max, ct.scale())
+            .with_noise_bits(
+                ct.noise_estimate_bits()
+                    .max(q0.log2() + self.k_bound.log2()),
+            );
         // ---- CoeffToSlot: slots become u_j = c_j + i·c_{j+slots}, where c
         // are the raised polynomial's coefficients (value m·Δ + q0·I).
         // The factor n/2 from the unnormalized embedding is absorbed by
         // the transform matrix itself (it is exactly the encoder's iFFT).
-        let u = self.linear_transform(ctx, &raised, &self.cts_diags, keys);
+        let u = self.try_linear_transform(ctx, &raised, &self.cts_diags, keys)?;
         // Reinterpret: record the scale as q0·(old/old)… the true slot
         // values are (m·Δ + q0·I); dividing the recorded scale by
         // (Δ_in/ q0)·(old_scale/Δ_in)... concretely: decoded = true/scale.
@@ -325,46 +363,69 @@ impl Bootstrapper {
         // adjusted by the ratio the transform introduced.
         let y_full = u.clone().with_scale(u.scale() * q0 / ct.scale());
         // ---- Split real/imaginary parts.
-        let conj = ctx.conjugate(&y_full, &keys.conj);
+        let conj = ctx.try_conjugate(&y_full, &keys.conj)?;
         // y_re = (u + conj)/2: the division by 2 is a free scale bump.
-        let sum = ctx.add(&y_full, &conj);
+        let sum = ctx.try_add(&y_full, &conj)?;
         let y_re = sum.clone().with_scale(sum.scale() * 2.0);
         // y_im = (u - conj)/(2i): plaintext multiply by -i/2.
-        let diff = ctx.sub(&y_full, &conj);
+        let diff = ctx.try_sub(&y_full, &conj)?;
         let slots = ctx.params().slots();
         let half_i = ctx.encode_complex(
             &vec![Complex::new(0.0, -0.5); slots],
             ctx.rns().modulus_value((diff.level() - 1) as u32) as f64,
             diff.level(),
         );
-        let y_im = ctx.rescale(&ctx.mul_plain(&diff, &half_i));
+        let y_im = ctx.try_rescale(&ctx.try_mul_plain(&diff, &half_i)?)?;
         // ---- EvalMod both components: result decodes to (mΔ)_component/q0.
-        let m_re = self.eval_sin(ctx, &y_re, keys);
-        let y_im_aligned = ctx.mod_drop(&y_im, m_re.level() + self.r as usize + 4);
-        let m_im = self.eval_sin(ctx, &y_im_aligned, keys);
+        let m_re = self.try_eval_sin(ctx, &y_re, keys)?;
+        let y_im_aligned = ctx.try_mod_drop(&y_im, m_re.level() + self.r as usize + 4)?;
+        let m_im = self.try_eval_sin(ctx, &y_im_aligned, keys)?;
         // Recombine: m = m_re + i·m_im.
         let lvl = m_re.level().min(m_im.level());
-        let m_re = ctx.mod_drop(&m_re, lvl);
-        let m_im = ctx.mod_drop(&m_im, lvl);
+        let m_re = ctx.try_mod_drop(&m_re, lvl)?;
+        let m_im = ctx.try_mod_drop(&m_im, lvl)?;
         let q_drop = ctx.rns().modulus_value((lvl - 1) as u32) as f64;
         let i_pt = ctx.encode_complex(
             &vec![Complex::new(0.0, 1.0); slots],
             m_re.scale() * q_drop / m_im.scale(),
             lvl,
         );
-        let m_im_i = ctx.rescale(&ctx.mul_plain(&m_im, &i_pt));
-        let m_re = ctx.mod_drop(&m_re, m_im_i.level());
+        let m_im_i = ctx.try_rescale(&ctx.try_mul_plain(&m_im, &i_pt)?)?;
+        let m_re = ctx.try_mod_drop(&m_re, m_im_i.level())?;
         // Align scales exactly before adding.
-        let combined = ctx.add(
-            &m_re.clone().with_scale(m_im_i.scale()),
-            &m_im_i,
-        );
+        let combined = ctx.try_add(&m_re.clone().with_scale(m_im_i.scale()), &m_im_i)?;
         // Undo the /q0 normalization: the slots now hold (m·Δ)/q0 at the
         // recorded scale; restore by dividing the recorded scale by q0 and
         // multiplying by the input scale.
         let restored = combined.clone().with_scale(combined.scale() * ct.scale() / q0);
         // ---- SlotToCoeff.
-        self.linear_transform(ctx, &restored, &self.sts_diags, keys)
+        let out = self.try_linear_transform(ctx, &restored, &self.sts_diags, keys)?;
+        // EvalMod removed the `q0·I` term the analytic estimate has been
+        // carrying since ModRaise; the refreshed ciphertext's error is
+        // dominated by the sine-approximation instead (a degree-d Taylor
+        // expansion leaves a relative error around 2^-d on the unit-scaled
+        // slots). Re-seed the tracked estimate so downstream budget
+        // accounting reflects the refreshed state, not the pre-EvalMod
+        // bound.
+        let approx_bits = out.scale().log2() - self.taylor_degree as f64;
+        let est = out.noise_estimate_bits().min(approx_bits);
+        Ok(out.with_noise_bits(est))
+    }
+
+    /// Panicking convenience wrapper around [`Bootstrapper::try_bootstrap`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on any condition `try_bootstrap` reports as an error.
+    #[must_use]
+    pub fn bootstrap(
+        &self,
+        ctx: &CkksContext,
+        ct: &Ciphertext,
+        keys: &BootstrapKeys,
+    ) -> Ciphertext {
+        self.try_bootstrap(ctx, ct, keys)
+            .unwrap_or_else(|e| panic!("bootstrap: {e}"))
     }
 }
 
@@ -411,7 +472,9 @@ mod tests {
             .collect();
         let pt = ctx.encode_complex(&vals, ctx.default_scale(), 5);
         let ct = ctx.encrypt(&pt, &sk, &mut rng);
-        let out = booter.linear_transform(&ctx, &ct, &booter.cts_diags, &keys);
+        let out = booter
+            .try_linear_transform(&ctx, &ct, &booter.cts_diags, &keys)
+            .expect("transform on well-formed inputs");
         let got = ctx.decode_complex(&ctx.decrypt(&out, &sk), slots);
         let fft = cl_math::SpecialFft::new(slots);
         let mut expect = vals.clone();
@@ -435,7 +498,9 @@ mod tests {
             .collect();
         let pt = ctx.encode(&vals, ctx.default_scale(), ctx.max_level());
         let ct = ctx.encrypt(&pt, &sk, &mut rng);
-        let out = booter.eval_sin(&ctx, &ct, &keys);
+        let out = booter
+            .try_eval_sin(&ctx, &ct, &keys)
+            .expect("eval_sin on in-range inputs");
         let got = ctx.decode(&ctx.decrypt(&out, &sk), slots);
         for (g, &x) in got.iter().zip(&vals) {
             let expect = (2.0 * std::f64::consts::PI * x).sin() / (2.0 * std::f64::consts::PI);
@@ -443,6 +508,72 @@ mod tests {
                 (g - expect).abs() < 1e-2,
                 "sin mismatch at x={x}: {g} vs {expect}"
             );
+        }
+    }
+
+    #[test]
+    fn try_bootstrap_reports_missing_rotation_key() {
+        let ctx = boot_ctx();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let sk = ctx.keygen_sparse(8, &mut rng);
+        let booter = Bootstrapper::new(&ctx, 8);
+        let mut keys = booter.keygen(&ctx, &sk, KeySwitchKind::Boosted { digits: 1 }, &mut rng);
+        // Drop one rotation key the CoeffToSlot transform needs.
+        let (dropped, _) = keys.rotations.remove(0);
+        let slots = ctx.params().slots();
+        let pt = ctx.encode(&vec![0.25; slots], ctx.default_scale(), 1);
+        let ct = ctx.encrypt(&pt, &sk, &mut rng);
+        let err = booter
+            .try_bootstrap(&ctx, &ct, &keys)
+            .expect_err("bootstrap must fail without its rotation keys");
+        match err {
+            FheError::MissingKey { what } => {
+                assert!(
+                    what.contains(&format!("step {dropped}")),
+                    "error must name the missing step: {what}"
+                );
+            }
+            other => panic!("expected MissingKey, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_bootstrap_rejects_bad_policy_and_shallow_budget() {
+        // A chain too short for the pipeline's depth.
+        let params = CkksParams::builder()
+            .ring_degree(64)
+            .levels(6)
+            .special_limbs(6)
+            .limb_bits(45)
+            .scale_bits(45)
+            .build()
+            .unwrap();
+        let mut ctx = CkksContext::new(params).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+        let sk = ctx.keygen_sparse(8, &mut rng);
+        let booter = Bootstrapper::new(&ctx, 8);
+        let keys = booter.keygen(&ctx, &sk, KeySwitchKind::Boosted { digits: 1 }, &mut rng);
+        let slots = ctx.params().slots();
+        let pt = ctx.encode(&vec![0.25; slots], ctx.default_scale(), 1);
+        let ct = ctx.encrypt(&pt, &sk, &mut rng);
+
+        // AutoRescale is rejected up front: the pipeline's explicit
+        // rescales would be doubled up by the policy.
+        ctx.set_policy(cl_ckks::GuardrailPolicy::AutoRescale);
+        match booter.try_bootstrap(&ctx, &ct, &keys) {
+            Err(FheError::InvalidParams { op: "bootstrap", reason }) => {
+                assert!(reason.contains("AutoRescale"), "{reason}");
+            }
+            other => panic!("expected InvalidParams for AutoRescale, got {other:?}"),
+        }
+
+        // Under the default policy the depth check fires.
+        ctx.set_policy(cl_ckks::GuardrailPolicy::Permissive);
+        match booter.try_bootstrap(&ctx, &ct, &keys) {
+            Err(FheError::InvalidParams { op: "bootstrap", reason }) => {
+                assert!(reason.contains("cannot cover"), "{reason}");
+            }
+            other => panic!("expected InvalidParams for shallow budget, got {other:?}"),
         }
     }
 
@@ -464,6 +595,13 @@ mod tests {
             refreshed.level() > ct.level() + 2,
             "bootstrap must refresh the budget: got level {}",
             refreshed.level()
+        );
+        // The analytic noise estimate must survive the pipeline (finite and
+        // accounted against the refreshed chain's budget).
+        assert!(refreshed.noise_estimate_bits().is_finite());
+        assert!(
+            ctx.budget_bits(&refreshed) > 0.0,
+            "refreshed ciphertext must report usable budget"
         );
         let got = ctx.decode(&ctx.decrypt(&refreshed, &sk), slots);
         for (g, e) in got.iter().zip(&vals) {

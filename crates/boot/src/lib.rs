@@ -16,6 +16,9 @@
 //!   the pipeline the plan describes actually refreshes ciphertexts.
 
 #![warn(missing_docs)]
+// Library code must propagate failures (`FheResult`/`?`) or `expect` with
+// the violated invariant; tests are exempt. Enforced by scripts/verify.sh.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod functional;
 mod plan;

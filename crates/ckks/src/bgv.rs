@@ -19,6 +19,8 @@ use cl_math::NttTable;
 use cl_rns::RnsPoly;
 use rand::Rng;
 
+use crate::error::{FheError, FheResult};
+use crate::noise::log2_add;
 use crate::{Ciphertext, CkksContext, KeySwitchKey, SecretKey};
 
 /// A BGV instance layered over a [`CkksContext`]'s ring and keyswitching.
@@ -31,21 +33,37 @@ pub struct BgvContext<'a> {
 }
 
 impl<'a> BgvContext<'a> {
+    /// Fallible constructor: a BGV view with plaintext modulus `t`.
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::InvalidParams`] if `t` is not an NTT-friendly prime for
+    /// the ring degree (required for slot packing) or collides with a
+    /// ciphertext modulus.
+    pub fn try_new(inner: &'a CkksContext, t: u64) -> FheResult<Self> {
+        let n = inner.params().ring_degree();
+        let pt_ntt = NttTable::new(n, t).ok_or_else(|| FheError::InvalidParams {
+            op: "bgv_new",
+            reason: format!("{t} is not an NTT-friendly prime for N={n}"),
+        })?;
+        for limb in inner.rns().q_basis(inner.max_level()).0 {
+            if inner.rns().modulus_value(limb) == t {
+                return Err(FheError::InvalidParams {
+                    op: "bgv_new",
+                    reason: format!("plaintext modulus {t} collides with ciphertext limb {limb}"),
+                });
+            }
+        }
+        Ok(Self { inner, t, pt_ntt })
+    }
+
     /// Creates a BGV view with plaintext modulus `t`.
     ///
     /// # Panics
     ///
-    /// Panics if `t` is not an NTT-friendly prime for the ring degree
-    /// (required for slot packing), or if `t` collides with a ciphertext
-    /// modulus.
+    /// Panics on the conditions [`BgvContext::try_new`] reports as errors.
     pub fn new(inner: &'a CkksContext, t: u64) -> Self {
-        let n = inner.params().ring_degree();
-        let pt_ntt = NttTable::new(n, t)
-            .unwrap_or_else(|| panic!("{t} is not an NTT-friendly prime for N={n}"));
-        for limb in inner.rns().q_basis(inner.max_level()).0 {
-            assert_ne!(inner.rns().modulus_value(limb), t, "t collides with a modulus");
-        }
-        Self { inner, t, pt_ntt }
+        Self::try_new(inner, t).unwrap_or_else(|e| panic!("BgvContext::new: {e}"))
     }
 
     /// The plaintext modulus.
@@ -105,7 +123,10 @@ impl<'a> BgvContext<'a> {
         let mut c0 = rns.neg(&rns.mul(&a, &s));
         rns.add_assign(&mut c0, &e_t);
         rns.add_assign(&mut c0, &m);
-        self.inner.ciphertext_from_parts(c0, a, level, 1.0)
+        // BGV noise is the error scaled by t: t·e.
+        self.inner
+            .ciphertext_from_parts(c0, a, level, 1.0)
+            .with_noise_bits(self.inner.est_fresh_bits() + (self.t as f64).log2())
     }
 
     /// Decrypts to slot values over `Z_t`.
@@ -134,8 +155,8 @@ impl<'a> BgvContext<'a> {
         } else {
             let mut residues = vec![0u64; phase.num_limbs()];
             for (i, out) in signed.iter_mut().enumerate() {
-                for k in 0..phase.num_limbs() {
-                    residues[k] = phase.limb(k)[i];
+                for (k, r) in residues.iter_mut().enumerate() {
+                    *r = phase.limb(k)[i];
                 }
                 let big = cl_math::BigUint::crt_combine(&residues, &moduli);
                 let (neg, mag) = big.centered(&q_big);
@@ -160,16 +181,28 @@ impl<'a> BgvContext<'a> {
             .keyswitch_keygen_with_error_scale(&s2, sk, kind, self.t, rng)
     }
 
+    /// Fallible homomorphic addition (exact over `Z_t`).
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::LevelMismatch`] when the operand levels differ, plus
+    /// any guardrail failure of the underlying context.
+    pub fn try_add(&self, a: &Ciphertext, b: &Ciphertext) -> FheResult<Ciphertext> {
+        self.inner.try_add(a, b)
+    }
+
     /// Homomorphic addition (exact over `Z_t`).
     ///
     /// # Panics
     ///
     /// Panics if levels differ.
+    #[must_use]
     pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
-        self.inner.add(a, b)
+        self.try_add(a, b).unwrap_or_else(|e| panic!("bgv add: {e}"))
     }
 
-    /// Homomorphic multiplication with relinearization (exact over `Z_t`).
+    /// Fallible homomorphic multiplication with relinearization (exact
+    /// over `Z_t`).
     ///
     /// The digit decomposition, hint products and accumulation are the
     /// same operations CKKS keyswitching uses (the hardware-sharing claim
@@ -177,11 +210,26 @@ impl<'a> BgvContext<'a> {
     /// with a `t`-congruent correction so the injected rounding stays
     /// `≡ 0 (mod t)`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if levels differ.
-    pub fn mul(&self, a: &Ciphertext, b: &Ciphertext, relin: &KeySwitchKey) -> Ciphertext {
-        assert_eq!(a.level(), b.level(), "level mismatch");
+    /// [`FheError::LevelMismatch`] when levels differ, plus any guardrail
+    /// failure (including [`FheError::CorruptKey`] for a tampered hint
+    /// under the strict policy).
+    pub fn try_mul(
+        &self,
+        a: &Ciphertext,
+        b: &Ciphertext,
+        relin: &KeySwitchKey,
+    ) -> FheResult<Ciphertext> {
+        self.inner.guard_operands("bgv_mul", &[a, b])?;
+        self.inner.guard_key("bgv_mul", relin)?;
+        if a.level() != b.level() {
+            return Err(FheError::LevelMismatch {
+                op: "bgv_mul",
+                got: b.level(),
+                want: a.level(),
+            });
+        }
         let rns = self.inner.rns();
         let d0 = rns.mul(a.c0(), b.c0());
         let mut d1 = rns.mul(a.c0(), b.c1());
@@ -190,7 +238,31 @@ impl<'a> BgvContext<'a> {
         let (ks0, ks1) = self.keyswitch_exact(&d2, relin);
         let c0 = rns.add(&d0, &ks0);
         let c1 = rns.add(&d1, &ks1);
-        self.inner.ciphertext_from_parts(c0, c1, a.level(), 1.0)
+        // Coarse BGV noise model: the noise product t·e_a·t·e_b dominated
+        // by each operand's noise riding on the other's t-bounded message,
+        // soft-maxed with the (t-scaled) keyswitch error.
+        let t_bits = (self.t as f64).log2();
+        let est = log2_add(
+            log2_add(a.noise_estimate_bits() + t_bits, b.noise_estimate_bits() + t_bits),
+            self.inner.est_keyswitch_bits(a.level(), relin),
+        );
+        let out = self
+            .inner
+            .ciphertext_from_parts(c0, c1, a.level(), 1.0)
+            .with_noise_bits(est);
+        self.inner.guard_budget("bgv_mul", &out)?;
+        Ok(out)
+    }
+
+    /// Homomorphic multiplication with relinearization (exact over `Z_t`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if levels differ.
+    #[must_use]
+    pub fn mul(&self, a: &Ciphertext, b: &Ciphertext, relin: &KeySwitchKey) -> Ciphertext {
+        self.try_mul(a, b, relin)
+            .unwrap_or_else(|e| panic!("bgv mul: {e}"))
     }
 
     /// Boosted keyswitching with an exact, `t`-corrected ModDown: the
@@ -236,7 +308,11 @@ impl<'a> BgvContext<'a> {
                 let src = if let Some(k) = digit_basis.0.iter().position(|&l| l == limb) {
                     c_d.limb(k)
                 } else {
-                    let k = ext_basis.0.iter().position(|&l| l == limb).unwrap();
+                    let k = ext_basis
+                        .0
+                        .iter()
+                        .position(|&l| l == limb)
+                        .expect("target basis is the disjoint union of digit and extension bases");
                     c_ext.limb(k)
                 };
                 c_full.limb_mut(pos).copy_from_slice(src);
@@ -261,8 +337,8 @@ impl<'a> BgvContext<'a> {
             let mut out = rns.zero(&qb);
             let mut residues = vec![0u64; target.len()];
             for i in 0..n {
-                for k in 0..target.len() {
-                    residues[k] = poly.limb(k)[i];
+                for (k, r) in residues.iter_mut().enumerate() {
+                    *r = poly.limb(k)[i];
                 }
                 let big = BigUint::crt_combine(&residues, &all_moduli);
                 let (neg, mag) = big.centered(&qp_big);
@@ -354,16 +430,23 @@ impl<'a> BgvContext<'a> {
         (ks0, ks1)
     }
 
-    /// BGV modulus switching: drops the top modulus `q_L`, dividing the
-    /// noise by it while keeping the plaintext exact. The correction adds
-    /// the multiple of `q_L` that makes the dropped part divisible *and*
-    /// congruent to 0 mod t.
+    /// Fallible BGV modulus switching: drops the top modulus `q_L`,
+    /// dividing the noise by it while keeping the plaintext exact. The
+    /// correction adds the multiple of `q_L` that makes the dropped part
+    /// divisible *and* congruent to 0 mod t.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics at level 1.
-    pub fn mod_switch(&self, ct: &Ciphertext) -> Ciphertext {
-        assert!(ct.level() >= 2, "cannot switch below level 1");
+    /// [`FheError::InvalidParams`] at level 1 (no modulus left to drop),
+    /// plus any guardrail failure.
+    pub fn try_mod_switch(&self, ct: &Ciphertext) -> FheResult<Ciphertext> {
+        self.inner.guard_operands("bgv_mod_switch", &[ct])?;
+        if ct.level() < 2 {
+            return Err(FheError::InvalidParams {
+                op: "bgv_mod_switch",
+                reason: "cannot switch a level-1 ciphertext".into(),
+            });
+        }
         let rns = self.inner.rns();
         let level = ct.level();
         let drop_limb = (level - 1) as u32;
@@ -415,12 +498,31 @@ impl<'a> BgvContext<'a> {
             rns.to_ntt(&mut out);
             out
         };
-        self.inner.ciphertext_from_parts(
-            switch_poly(ct.c0()),
-            switch_poly(ct.c1()),
-            level - 1,
-            1.0,
-        )
+        // The noise divides by the dropped modulus, floored by the
+        // t-congruent correction (|delta| <= q_last·t/2 before division)
+        // propagated through the secret.
+        let est = log2_add(
+            ct.noise_estimate_bits() - (q_last as f64).log2(),
+            (self.t as f64 / 2.0).log2() + self.inner.est_round_floor(),
+        );
+        let out = self
+            .inner
+            .ciphertext_from_parts(switch_poly(ct.c0()), switch_poly(ct.c1()), level - 1, 1.0)
+            .with_noise_bits(est);
+        self.inner.guard_budget("bgv_mod_switch", &out)?;
+        Ok(out)
+    }
+
+    /// BGV modulus switching (panicking twin of
+    /// [`BgvContext::try_mod_switch`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics at level 1.
+    #[must_use]
+    pub fn mod_switch(&self, ct: &Ciphertext) -> Ciphertext {
+        self.try_mod_switch(ct)
+            .unwrap_or_else(|e| panic!("bgv mod_switch: {e}"))
     }
 }
 
@@ -525,6 +627,49 @@ mod tests {
     fn rejects_bad_plaintext_modulus() {
         let (ctx, _, _) = setup(2);
         let _ = BgvContext::new(&ctx, 65539); // prime but 65539-1 not divisible by 256
+    }
+
+    #[test]
+    fn fallible_api_reports_structured_errors() {
+        let (ctx, sk, mut rng) = setup(3);
+        assert!(matches!(
+            BgvContext::try_new(&ctx, 65539),
+            Err(crate::FheError::InvalidParams { op: "bgv_new", .. })
+        ));
+        let bgv = BgvContext::try_new(&ctx, T).unwrap();
+        let relin = bgv.relin_keygen(&sk, KeySwitchKind::Boosted { digits: 1 }, &mut rng);
+        let a = bgv.encrypt(&[1, 2], 3, &sk, &mut rng);
+        let b = bgv.encrypt(&[3, 4], 2, &sk, &mut rng);
+        assert!(matches!(
+            bgv.try_mul(&a, &b, &relin),
+            Err(crate::FheError::LevelMismatch { op: "bgv_mul", got: 2, want: 3 })
+        ));
+        assert!(matches!(
+            bgv.try_add(&a, &b),
+            Err(crate::FheError::LevelMismatch { .. })
+        ));
+        let floor = bgv.try_mod_switch(&bgv.try_mod_switch(&b).unwrap());
+        assert!(matches!(
+            floor,
+            Err(crate::FheError::InvalidParams { op: "bgv_mod_switch", .. })
+        ));
+    }
+
+    #[test]
+    fn bgv_noise_tracking_feeds_the_budget() {
+        // The t-scaled noise must be reflected in the estimate so the
+        // budget accounting (and the strict guardrails) see it.
+        let (ctx, sk, mut rng) = setup(3);
+        let bgv = BgvContext::new(&ctx, T);
+        let relin = bgv.relin_keygen(&sk, KeySwitchKind::Boosted { digits: 1 }, &mut rng);
+        let ct = bgv.encrypt(&[5, 6], 3, &sk, &mut rng);
+        assert!(ct.noise_estimate_bits() > (T as f64).log2());
+        let prod = bgv.mul(&ct, &ct, &relin);
+        assert!(prod.noise_estimate_bits() > ct.noise_estimate_bits() + 10.0);
+        // mod_switch divides the noise back down (to the t-correction
+        // floor, ~log2(t/2·sqrt n)).
+        let switched = bgv.mod_switch(&prod);
+        assert!(switched.noise_estimate_bits() < prod.noise_estimate_bits() - 10.0);
     }
 
     #[test]

@@ -8,8 +8,9 @@ use cl_math::{BigUint, Complex, SpecialFft};
 use cl_rns::{BaseConverter, Basis, RnsContext, RnsError};
 use rand::Rng;
 
+use crate::error::{FheError, FheResult};
 use crate::params::ParamsError;
-use crate::{Ciphertext, CkksParams, Plaintext, PublicKey, SecretKey};
+use crate::{Ciphertext, CkksParams, KeySwitchKey, Plaintext, PublicKey, SecretKey};
 
 /// Errors produced by CKKS operations.
 #[derive(Debug)]
@@ -46,6 +47,34 @@ impl From<ParamsError> for CkksError {
     }
 }
 
+/// Runtime guardrail policy: what a context checks (and repairs) on every
+/// fallible (`try_*`) homomorphic operation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum GuardrailPolicy {
+    /// Legacy behaviour: no runtime checks beyond the basic shape
+    /// assertions. The default.
+    #[default]
+    Permissive,
+    /// Validate operand conformance (residue ranges, bases, NTT form,
+    /// scales), verify keyswitch-hint integrity digests, and fail with
+    /// [`FheError::BudgetExhausted`](crate::FheError::BudgetExhausted)
+    /// when an operation's result would have less than `min_budget_bits`
+    /// of estimated (signed) noise budget left.
+    Strict {
+        /// Minimum acceptable signed budget (bits) after each operation.
+        min_budget_bits: f64,
+    },
+    /// Recover scale drift automatically: multiplication-family results
+    /// whose scale has grown to the square of the default scale are
+    /// rescaled before being returned, and addition-family operands at
+    /// different levels are aligned with a `mod_drop`. No integrity
+    /// checks.
+    AutoRescale,
+}
+
+/// Cache of base converters keyed by `(source, destination)` limb bases.
+type ConverterCache = Mutex<HashMap<(Vec<u32>, Vec<u32>), Arc<BaseConverter>>>;
+
 /// A fully initialized CKKS instance.
 ///
 /// Owns the RNS context (modulus chains and NTT tables), the encoder FFT,
@@ -55,7 +84,8 @@ pub struct CkksContext {
     params: CkksParams,
     rns: RnsContext,
     fft: SpecialFft,
-    converters: Mutex<HashMap<(Vec<u32>, Vec<u32>), Arc<BaseConverter>>>,
+    converters: ConverterCache,
+    policy: GuardrailPolicy,
 }
 
 impl fmt::Debug for CkksContext {
@@ -87,12 +117,30 @@ impl CkksContext {
             rns,
             fft,
             converters: Mutex::new(HashMap::new()),
+            policy: GuardrailPolicy::default(),
         })
     }
 
     /// The parameter set.
     pub fn params(&self) -> &CkksParams {
         &self.params
+    }
+
+    /// The active guardrail policy.
+    pub fn policy(&self) -> GuardrailPolicy {
+        self.policy
+    }
+
+    /// Sets the guardrail policy for all subsequent `try_*` operations.
+    pub fn set_policy(&mut self, policy: GuardrailPolicy) {
+        self.policy = policy;
+    }
+
+    /// Builder-style [`CkksContext::set_policy`].
+    #[must_use]
+    pub fn with_policy(mut self, policy: GuardrailPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// The underlying RNS context.
@@ -190,8 +238,8 @@ impl CkksContext {
         } else {
             let mut residues = vec![0u64; num_limbs];
             for (i, s) in signed.iter_mut().enumerate() {
-                for k in 0..num_limbs {
-                    residues[k] = poly.limb(k)[i];
+                for (k, r) in residues.iter_mut().enumerate() {
+                    *r = poly.limb(k)[i];
                 }
                 let big = BigUint::crt_combine(&residues, &moduli);
                 let (neg, mag) = big.centered(&q_big);
@@ -296,6 +344,7 @@ impl CkksContext {
             c1: a,
             level: pt.level,
             scale: pt.scale,
+            noise_bits_est: self.est_fresh_bits(),
         }
     }
 
@@ -325,6 +374,7 @@ impl CkksContext {
             c1,
             level: pt.level,
             scale: pt.scale,
+            noise_bits_est: self.est_public_bits(),
         }
     }
 
@@ -345,6 +395,11 @@ impl CkksContext {
     /// bootstrapping's ModRaise to re-express a ciphertext over a larger
     /// modulus chain).
     ///
+    /// The noise estimate is initialized to the fresh-encryption figure;
+    /// callers who know better (e.g. ModRaise, whose "noise" includes the
+    /// intentional `q0·I` term) should follow up with
+    /// [`Ciphertext::with_noise_bits`].
+    ///
     /// # Panics
     ///
     /// Panics if the polynomials are not NTT-form level-`level` pairs.
@@ -364,6 +419,7 @@ impl CkksContext {
             c1,
             level,
             scale,
+            noise_bits_est: self.est_fresh_bits(),
         }
     }
 
@@ -378,15 +434,125 @@ impl CkksContext {
             c1,
             level: pt.level,
             scale: pt.scale,
+            noise_bits_est: 0.0,
         }
     }
 
-    pub(crate) fn check_same_shape(&self, a: &Ciphertext, b: &Ciphertext) {
-        assert_eq!(a.level, b.level, "ciphertext level mismatch");
-        let rel = (a.scale - b.scale).abs() / a.scale.max(b.scale);
-        assert!(rel < 1e-6, "ciphertext scale mismatch: {} vs {}", a.scale, b.scale);
+    // ------------------------------------------------------------------
+    // Guardrails
+    // ------------------------------------------------------------------
+
+    /// Checks that two ciphertexts agree in level and (within the
+    /// configured relative tolerance) in scale.
+    pub(crate) fn try_check_same_shape(
+        &self,
+        op: &'static str,
+        a: &Ciphertext,
+        b: &Ciphertext,
+    ) -> FheResult<()> {
+        if a.level != b.level {
+            return Err(FheError::LevelMismatch {
+                op,
+                got: b.level,
+                want: a.level,
+            });
+        }
+        self.try_check_scale(op, b.scale, a.scale)
     }
 
+    /// Checks that `got` is within the configured relative tolerance of
+    /// `want`.
+    pub(crate) fn try_check_scale(&self, op: &'static str, got: f64, want: f64) -> FheResult<()> {
+        let rel = (got - want).abs() / got.max(want);
+        // A NaN scale makes `rel` NaN; treat any non-finite comparison as
+        // a mismatch so corrupted bookkeeping cannot pass the guard.
+        if rel < self.params.scale_rel_tolerance && rel.is_finite() {
+            Ok(())
+        } else {
+            Err(FheError::ScaleMismatch { op, got, want, rel })
+        }
+    }
+
+    /// Full conformance validation of a ciphertext: level range, bases,
+    /// NTT form, scale sanity, and — the expensive part — every residue
+    /// below its modulus. A random bit flip in a limb word is
+    /// overwhelmingly likely to push the residue out of range, so this
+    /// scan is the strict policy's detector for payload corruption.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FheError::CorruptCiphertext`] describing the first
+    /// violation found.
+    pub fn validate_ciphertext(&self, op: &'static str, ct: &Ciphertext) -> FheResult<()> {
+        let corrupt = |reason: String| FheError::CorruptCiphertext { op, reason };
+        if !(1..=self.params.levels).contains(&ct.level) {
+            return Err(corrupt(format!("level {} out of range", ct.level)));
+        }
+        if !(ct.scale.is_finite() && ct.scale > 0.0) {
+            return Err(corrupt(format!("scale {} is not a positive finite value", ct.scale)));
+        }
+        let expected = self.rns.q_basis(ct.level);
+        for (name, poly) in [("c0", &ct.c0), ("c1", &ct.c1)] {
+            if poly.basis() != &expected {
+                return Err(corrupt(format!("{name} basis does not match level {}", ct.level)));
+            }
+            if !poly.ntt_form() {
+                return Err(corrupt(format!("{name} is not in NTT form")));
+            }
+            for (k, &limb) in expected.0.iter().enumerate() {
+                let q = self.rns.modulus_value(limb);
+                if let Some(i) = poly.limb(k).iter().position(|&w| w >= q) {
+                    return Err(corrupt(format!(
+                        "{name} limb {k} coefficient {i} = {} exceeds modulus {q}",
+                        poly.limb(k)[i]
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Strict-policy operand validation: conformance-checks every operand
+    /// ciphertext. No-op under other policies.
+    pub(crate) fn guard_operands(&self, op: &'static str, cts: &[&Ciphertext]) -> FheResult<()> {
+        if let GuardrailPolicy::Strict { .. } = self.policy {
+            for ct in cts {
+                self.validate_ciphertext(op, ct)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Strict-policy key validation: verifies the hint's integrity digest.
+    /// No-op under other policies.
+    pub(crate) fn guard_key(&self, op: &'static str, ksk: &KeySwitchKey) -> FheResult<()> {
+        if let GuardrailPolicy::Strict { .. } = self.policy {
+            if !ksk.verify_integrity() {
+                return Err(FheError::CorruptKey {
+                    op,
+                    reason: "integrity digest does not match the payload".into(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Strict-policy budget check on an operation's result: errors when
+    /// the estimated signed budget falls below the policy threshold.
+    /// No-op under other policies.
+    pub(crate) fn guard_budget(&self, op: &'static str, ct: &Ciphertext) -> FheResult<()> {
+        if let GuardrailPolicy::Strict { min_budget_bits } = self.policy {
+            let budget_bits = self.budget_bits_signed(ct);
+            if budget_bits < min_budget_bits || budget_bits.is_nan() {
+                return Err(FheError::BudgetExhausted {
+                    op,
+                    budget_bits,
+                    required_bits: min_budget_bits,
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,194 @@
+//! The unified error hierarchy for fallible homomorphic evaluation.
+//!
+//! Every `try_*` operation returns [`FheError`], which wraps the layer
+//! errors ([`CkksError`], [`RnsError`], [`MathError`], [`ParamsError`]) and
+//! adds structured operation-level failures: level/scale mismatches, noise
+//! budget exhaustion, and integrity violations detected by the
+//! [`crate::GuardrailPolicy`] runtime checks.
+
+use std::fmt;
+
+use cl_math::MathError;
+use cl_rns::RnsError;
+
+use crate::context::CkksError;
+use crate::params::ParamsError;
+
+/// Result alias for fallible homomorphic operations.
+pub type FheResult<T> = Result<T, FheError>;
+
+/// Errors from fallible (`try_*`) homomorphic evaluation.
+///
+/// Each variant carries enough structured context (operation name, expected
+/// vs. actual levels/scales, budget figures) for a caller to decide whether
+/// to realign operands, insert a rescale or bootstrap, or abort.
+#[derive(Debug)]
+pub enum FheError {
+    /// A wrapped CKKS-layer error (parameters or operand incompatibility).
+    Ckks(CkksError),
+    /// A wrapped RNS-layer error (modulus chains, NTT tables).
+    Rns(RnsError),
+    /// A wrapped math-layer error (prime generation, modulus construction).
+    Math(MathError),
+    /// Operand levels differ (or a target level is out of range).
+    LevelMismatch {
+        /// The operation that detected the mismatch.
+        op: &'static str,
+        /// The level actually seen.
+        got: usize,
+        /// The level required.
+        want: usize,
+    },
+    /// Operand scales differ by more than the configured relative
+    /// tolerance ([`crate::CkksParams::scale_rel_tolerance`]).
+    ScaleMismatch {
+        /// The operation that detected the mismatch.
+        op: &'static str,
+        /// The scale actually seen.
+        got: f64,
+        /// The scale required.
+        want: f64,
+        /// The relative deviation `|got - want| / max(got, want)`.
+        rel: f64,
+    },
+    /// The estimated noise budget dropped below the strict policy's
+    /// threshold: further computation would decrypt incorrectly.
+    BudgetExhausted {
+        /// The operation whose output exhausted the budget.
+        op: &'static str,
+        /// The (signed) estimated budget of the result, in bits.
+        budget_bits: f64,
+        /// The policy's minimum acceptable budget, in bits.
+        required_bits: f64,
+    },
+    /// An operation was invoked with arguments that no parameter set could
+    /// make valid (e.g. rescaling a level-1 ciphertext).
+    InvalidParams {
+        /// The rejecting operation.
+        op: &'static str,
+        /// Why the arguments are invalid.
+        reason: String,
+    },
+    /// A ciphertext failed the strict policy's conformance validation
+    /// (out-of-range residue, wrong basis, non-NTT form, bad scale).
+    CorruptCiphertext {
+        /// The operation that validated the ciphertext.
+        op: &'static str,
+        /// What the validation found.
+        reason: String,
+    },
+    /// A keyswitch hint failed its integrity-digest check.
+    CorruptKey {
+        /// The operation that verified the key.
+        op: &'static str,
+        /// What the verification found.
+        reason: String,
+    },
+    /// Required key material was not supplied (e.g. a rotation key for a
+    /// step the bootstrap transform needs).
+    MissingKey {
+        /// Description of the missing key.
+        what: String,
+    },
+}
+
+impl fmt::Display for FheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FheError::Ckks(e) => write!(f, "{e}"),
+            FheError::Rns(e) => write!(f, "{e}"),
+            FheError::Math(e) => write!(f, "{e}"),
+            FheError::LevelMismatch { op, got, want } => {
+                write!(f, "{op}: level mismatch (got {got}, want {want})")
+            }
+            FheError::ScaleMismatch { op, got, want, rel } => write!(
+                f,
+                "{op}: scale mismatch (got {got:.6e}, want {want:.6e}, relative deviation {rel:.3e})"
+            ),
+            FheError::BudgetExhausted {
+                op,
+                budget_bits,
+                required_bits,
+            } => write!(
+                f,
+                "{op}: noise budget exhausted (estimated {budget_bits:.1} bits, \
+                 policy requires {required_bits:.1})"
+            ),
+            FheError::InvalidParams { op, reason } => {
+                write!(f, "{op}: invalid arguments: {reason}")
+            }
+            FheError::CorruptCiphertext { op, reason } => {
+                write!(f, "{op}: corrupt ciphertext: {reason}")
+            }
+            FheError::CorruptKey { op, reason } => {
+                write!(f, "{op}: corrupt keyswitch hint: {reason}")
+            }
+            FheError::MissingKey { what } => write!(f, "missing key material: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FheError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FheError::Ckks(e) => Some(e),
+            FheError::Rns(e) => Some(e),
+            FheError::Math(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CkksError> for FheError {
+    fn from(e: CkksError) -> Self {
+        FheError::Ckks(e)
+    }
+}
+
+impl From<RnsError> for FheError {
+    fn from(e: RnsError) -> Self {
+        FheError::Rns(e)
+    }
+}
+
+impl From<MathError> for FheError {
+    fn from(e: MathError) -> Self {
+        FheError::Math(e)
+    }
+}
+
+impl From<ParamsError> for FheError {
+    fn from(e: ParamsError) -> Self {
+        FheError::Ckks(CkksError::Params(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_structured_context() {
+        let e = FheError::LevelMismatch {
+            op: "add",
+            got: 3,
+            want: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains("add") && s.contains('3') && s.contains('2'), "{s}");
+
+        let e = FheError::BudgetExhausted {
+            op: "mul",
+            budget_bits: -4.5,
+            required_bits: 10.0,
+        };
+        assert!(e.to_string().contains("-4.5"));
+    }
+
+    #[test]
+    fn layer_errors_convert() {
+        let p: FheError = ParamsError("levels must be >= 1".into()).into();
+        assert!(matches!(p, FheError::Ckks(CkksError::Params(_))));
+        assert!(std::error::Error::source(&p).is_some());
+    }
+}

@@ -1,65 +1,215 @@
 //! Homomorphic operations on ciphertexts.
+//!
+//! Every operation comes in two flavours:
+//!
+//! - `try_*`: returns [`FheResult`], never panics on operand mismatch, and
+//!   runs the context's [`GuardrailPolicy`] checks (conformance
+//!   validation, hint integrity, budget thresholds under
+//!   [`GuardrailPolicy::Strict`]; level alignment and automatic rescaling
+//!   under [`GuardrailPolicy::AutoRescale`]).
+//! - the legacy panicking name, kept as a thin wrapper that unwraps the
+//!   `try_*` twin.
+//!
+//! All operations update the ciphertext's analytic noise estimate (see
+//! [`crate::Ciphertext::noise_estimate_bits`] and the model documented in
+//! `noise.rs`).
+
+use std::borrow::Cow;
 
 use cl_rns::rescale as rns_rescale;
 
+use crate::context::GuardrailPolicy;
+use crate::error::{FheError, FheResult};
 use crate::{Ciphertext, CkksContext, KeySwitchKey, Plaintext};
 
 impl CkksContext {
-    /// Homomorphic addition.
+    /// Under [`GuardrailPolicy::AutoRescale`], aligns two operands to a
+    /// common (minimum) level with `mod_drop`; otherwise returns them
+    /// unchanged.
+    fn align_levels<'c>(
+        &self,
+        a: &'c Ciphertext,
+        b: &'c Ciphertext,
+    ) -> (Cow<'c, Ciphertext>, Cow<'c, Ciphertext>) {
+        if self.policy() == GuardrailPolicy::AutoRescale && a.level != b.level {
+            let target = a.level.min(b.level);
+            (
+                Cow::Owned(self.mod_drop(a, target)),
+                Cow::Owned(self.mod_drop(b, target)),
+            )
+        } else {
+            (Cow::Borrowed(a), Cow::Borrowed(b))
+        }
+    }
+
+    /// Under [`GuardrailPolicy::AutoRescale`], rescales a
+    /// multiplication-family result whose scale just grew by `factor` (the
+    /// other operand's scale). A growth of at least `sqrt(Δ)` marks a real
+    /// multiplicative step awaiting its rescale; small factors (e.g. a
+    /// scale-1 integer mask via `mul_plain`) are left alone. Other policies
+    /// return the result unchanged.
+    fn auto_rescale(&self, ct: Ciphertext, factor: f64) -> FheResult<Ciphertext> {
+        if self.policy() == GuardrailPolicy::AutoRescale
+            && ct.level >= 2
+            && factor * factor >= self.default_scale()
+        {
+            self.try_rescale(&ct)
+        } else {
+            Ok(ct)
+        }
+    }
+
+    /// Fallible homomorphic addition.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if levels or scales differ.
-    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
-        self.check_same_shape(a, b);
-        Ciphertext {
+    /// [`FheError::LevelMismatch`] / [`FheError::ScaleMismatch`] when the
+    /// operand shapes differ (levels are auto-aligned under
+    /// [`GuardrailPolicy::AutoRescale`]), plus any guardrail failure.
+    pub fn try_add(&self, a: &Ciphertext, b: &Ciphertext) -> FheResult<Ciphertext> {
+        self.guard_operands("add", &[a, b])?;
+        let (a, b) = self.align_levels(a, b);
+        self.try_check_same_shape("add", &a, &b)?;
+        let out = Ciphertext {
             c0: self.rns().add(&a.c0, &b.c0),
             c1: self.rns().add(&a.c1, &b.c1),
             level: a.level,
             scale: a.scale,
-        }
+            noise_bits_est: Self::est_add(&a, &b),
+        };
+        self.guard_budget("add", &out)?;
+        Ok(out)
+    }
+
+    /// Homomorphic addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if levels or scales differ (see [`CkksContext::try_add`]).
+    #[must_use]
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        self.try_add(a, b).unwrap_or_else(|e| panic!("add: {e}"))
+    }
+
+    /// Fallible homomorphic subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CkksContext::try_add`].
+    pub fn try_sub(&self, a: &Ciphertext, b: &Ciphertext) -> FheResult<Ciphertext> {
+        self.guard_operands("sub", &[a, b])?;
+        let (a, b) = self.align_levels(a, b);
+        self.try_check_same_shape("sub", &a, &b)?;
+        let out = Ciphertext {
+            c0: self.rns().sub(&a.c0, &b.c0),
+            c1: self.rns().sub(&a.c1, &b.c1),
+            level: a.level,
+            scale: a.scale,
+            noise_bits_est: Self::est_add(&a, &b),
+        };
+        self.guard_budget("sub", &out)?;
+        Ok(out)
     }
 
     /// Homomorphic subtraction.
     ///
     /// # Panics
     ///
-    /// Panics if levels or scales differ.
+    /// Panics if levels or scales differ (see [`CkksContext::try_sub`]).
+    #[must_use]
     pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
-        self.check_same_shape(a, b);
-        Ciphertext {
-            c0: self.rns().sub(&a.c0, &b.c0),
-            c1: self.rns().sub(&a.c1, &b.c1),
-            level: a.level,
-            scale: a.scale,
-        }
+        self.try_sub(a, b).unwrap_or_else(|e| panic!("sub: {e}"))
     }
 
-    /// Homomorphic negation.
-    pub fn neg_ct(&self, a: &Ciphertext) -> Ciphertext {
-        Ciphertext {
+    /// Fallible homomorphic negation.
+    ///
+    /// # Errors
+    ///
+    /// Only guardrail failures (negation itself cannot fail).
+    pub fn try_neg_ct(&self, a: &Ciphertext) -> FheResult<Ciphertext> {
+        self.guard_operands("neg", &[a])?;
+        Ok(Ciphertext {
             c0: self.rns().neg(&a.c0),
             c1: self.rns().neg(&a.c1),
             level: a.level,
             scale: a.scale,
+            noise_bits_est: a.noise_bits_est,
+        })
+    }
+
+    /// Homomorphic negation.
+    #[must_use]
+    pub fn neg_ct(&self, a: &Ciphertext) -> Ciphertext {
+        self.try_neg_ct(a).unwrap_or_else(|e| panic!("neg: {e}"))
+    }
+
+    /// Fallible plaintext addition.
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::LevelMismatch`] when the plaintext's level differs;
+    /// [`FheError::ScaleMismatch`] when the scales deviate by more than
+    /// [`crate::CkksParams::scale_rel_tolerance`].
+    pub fn try_add_plain(&self, a: &Ciphertext, p: &Plaintext) -> FheResult<Ciphertext> {
+        self.guard_operands("add_plain", &[a])?;
+        if a.level != p.level {
+            return Err(FheError::LevelMismatch {
+                op: "add_plain",
+                got: p.level,
+                want: a.level,
+            });
         }
+        self.try_check_scale("add_plain", p.scale, a.scale)?;
+        let out = Ciphertext {
+            c0: self.rns().add(&a.c0, &p.poly),
+            c1: a.c1.clone(),
+            level: a.level,
+            scale: a.scale,
+            noise_bits_est: a.noise_bits_est,
+        };
+        self.guard_budget("add_plain", &out)?;
+        Ok(out)
     }
 
     /// Adds a plaintext to a ciphertext.
     ///
     /// # Panics
     ///
-    /// Panics if levels or scales differ.
+    /// Panics if levels or scales differ (see
+    /// [`CkksContext::try_add_plain`]).
+    #[must_use]
     pub fn add_plain(&self, a: &Ciphertext, p: &Plaintext) -> Ciphertext {
-        assert_eq!(a.level, p.level, "level mismatch");
-        let rel = (a.scale - p.scale).abs() / a.scale.max(p.scale);
-        assert!(rel < 1e-6, "scale mismatch: {} vs {}", a.scale, p.scale);
-        Ciphertext {
-            c0: self.rns().add(&a.c0, &p.poly),
-            c1: a.c1.clone(),
-            level: a.level,
-            scale: a.scale,
+        self.try_add_plain(a, p)
+            .unwrap_or_else(|e| panic!("add_plain: {e}"))
+    }
+
+    /// Fallible plaintext multiplication. The scales multiply; a rescale
+    /// typically follows (inserted automatically under
+    /// [`GuardrailPolicy::AutoRescale`]).
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::LevelMismatch`] when the plaintext's level differs,
+    /// plus any guardrail failure.
+    pub fn try_mul_plain(&self, a: &Ciphertext, p: &Plaintext) -> FheResult<Ciphertext> {
+        self.guard_operands("mul_plain", &[a])?;
+        if a.level != p.level {
+            return Err(FheError::LevelMismatch {
+                op: "mul_plain",
+                got: p.level,
+                want: a.level,
+            });
         }
+        let out = Ciphertext {
+            c0: self.rns().mul(&a.c0, &p.poly),
+            c1: self.rns().mul(&a.c1, &p.poly),
+            level: a.level,
+            scale: a.scale * p.scale,
+            noise_bits_est: self.est_mul_plain(a, p.scale),
+        };
+        let out = self.auto_rescale(out, p.scale)?;
+        self.guard_budget("mul_plain", &out)?;
+        Ok(out)
     }
 
     /// Multiplies a ciphertext by a plaintext. The scales multiply; a
@@ -67,50 +217,74 @@ impl CkksContext {
     ///
     /// # Panics
     ///
-    /// Panics if levels differ.
+    /// Panics if levels differ (see [`CkksContext::try_mul_plain`]).
+    #[must_use]
     pub fn mul_plain(&self, a: &Ciphertext, p: &Plaintext) -> Ciphertext {
-        assert_eq!(a.level, p.level, "level mismatch");
-        Ciphertext {
-            c0: self.rns().mul(&a.c0, &p.poly),
-            c1: self.rns().mul(&a.c1, &p.poly),
-            level: a.level,
-            scale: a.scale * p.scale,
+        self.try_mul_plain(a, p)
+            .unwrap_or_else(|e| panic!("mul_plain: {e}"))
+    }
+
+    /// Fallible scalar multiplication by an integer (no level consumed,
+    /// scale unchanged).
+    ///
+    /// # Errors
+    ///
+    /// Only guardrail failures.
+    pub fn try_mul_integer(&self, a: &Ciphertext, k: i64) -> FheResult<Ciphertext> {
+        self.guard_operands("mul_integer", &[a])?;
+        if k < 0 {
+            let pos = self.try_mul_integer(a, -k)?;
+            return self.try_neg_ct(&pos);
         }
+        let out = Ciphertext {
+            c0: self.rns().scalar_mul(&a.c0, k as u64),
+            c1: self.rns().scalar_mul(&a.c1, k as u64),
+            level: a.level,
+            scale: a.scale,
+            noise_bits_est: a.noise_bits_est + (k.unsigned_abs().max(1) as f64).log2(),
+        };
+        self.guard_budget("mul_integer", &out)?;
+        Ok(out)
     }
 
     /// Multiplies a ciphertext by an unencoded scalar without consuming a
-    /// level; the scalar is folded into the scale when it is a power of two,
-    /// otherwise encoded exactly at scale 1 (integer scalars only).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `k` is not representable as an integer.
+    /// level.
+    #[must_use]
     pub fn mul_integer(&self, a: &Ciphertext, k: i64) -> Ciphertext {
-        if k < 0 {
-            return self.neg_ct(&self.mul_integer(a, -k));
-        }
-        let scaled0 = self.rns().scalar_mul(&a.c0, k as u64);
-        let scaled1 = self.rns().scalar_mul(&a.c1, k as u64);
-        Ciphertext {
-            c0: scaled0,
-            c1: scaled1,
-            level: a.level,
-            scale: a.scale,
-        }
+        self.try_mul_integer(a, k)
+            .unwrap_or_else(|e| panic!("mul_integer: {e}"))
     }
 
-    /// Homomorphic multiplication with relinearization (Sec. 2.2): tensor
-    /// the two ciphertexts, then keyswitch the degree-2 component back to a
-    /// 2-polynomial ciphertext using the relinearization key.
+    /// Fallible homomorphic multiplication with relinearization (Sec.
+    /// 2.2): tensor the two ciphertexts, then keyswitch the degree-2
+    /// component back to a 2-polynomial ciphertext.
     ///
-    /// The output scale is the product of the input scales; a
-    /// [`CkksContext::rescale`] typically follows.
+    /// The output scale is the product of the input scales; a rescale
+    /// typically follows (inserted automatically under
+    /// [`GuardrailPolicy::AutoRescale`], which also aligns mismatched
+    /// operand levels).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if levels differ.
-    pub fn mul(&self, a: &Ciphertext, b: &Ciphertext, relin_key: &KeySwitchKey) -> Ciphertext {
-        assert_eq!(a.level, b.level, "level mismatch");
+    /// [`FheError::LevelMismatch`] when levels differ, plus any guardrail
+    /// failure (including [`FheError::CorruptKey`] for a tampered
+    /// relinearization key under [`GuardrailPolicy::Strict`]).
+    pub fn try_mul(
+        &self,
+        a: &Ciphertext,
+        b: &Ciphertext,
+        relin_key: &KeySwitchKey,
+    ) -> FheResult<Ciphertext> {
+        self.guard_operands("mul", &[a, b])?;
+        self.guard_key("mul", relin_key)?;
+        let (a, b) = self.align_levels(a, b);
+        if a.level != b.level {
+            return Err(FheError::LevelMismatch {
+                op: "mul",
+                got: b.level,
+                want: a.level,
+            });
+        }
         let rns = self.rns();
         // Tensor: (d0, d1, d2) = (a0 b0, a0 b1 + a1 b0, a1 b1).
         let d0 = rns.mul(&a.c0, &b.c0);
@@ -118,42 +292,80 @@ impl CkksContext {
         rns.mul_acc(&mut d1, &a.c1, &b.c0);
         let d2 = rns.mul(&a.c1, &b.c1);
         // Relinearize d2 (implicitly multiplied by s^2).
-        let (ks0, ks1) = self.keyswitch(&d2, relin_key);
-        let c0 = rns.add(&d0, &ks0);
-        let c1 = rns.add(&d1, &ks1);
-        Ciphertext {
-            c0,
-            c1,
+        let (ks0, ks1) = self.try_keyswitch(&d2, relin_key)?;
+        let out = Ciphertext {
+            c0: rns.add(&d0, &ks0),
+            c1: rns.add(&d1, &ks1),
             level: a.level,
             scale: a.scale * b.scale,
-        }
+            noise_bits_est: self.est_mul(&a, &b, relin_key),
+        };
+        let out = self.auto_rescale(out, b.scale)?;
+        self.guard_budget("mul", &out)?;
+        Ok(out)
     }
 
-    /// Squares a ciphertext (saves one polynomial product over
-    /// [`CkksContext::mul`]).
-    pub fn square(&self, a: &Ciphertext, relin_key: &KeySwitchKey) -> Ciphertext {
+    /// Homomorphic multiplication with relinearization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if levels differ (see [`CkksContext::try_mul`]).
+    #[must_use]
+    pub fn mul(&self, a: &Ciphertext, b: &Ciphertext, relin_key: &KeySwitchKey) -> Ciphertext {
+        self.try_mul(a, b, relin_key)
+            .unwrap_or_else(|e| panic!("mul: {e}"))
+    }
+
+    /// Fallible squaring (saves one polynomial product over
+    /// [`CkksContext::try_mul`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CkksContext::try_mul`].
+    pub fn try_square(&self, a: &Ciphertext, relin_key: &KeySwitchKey) -> FheResult<Ciphertext> {
+        self.guard_operands("square", &[a])?;
+        self.guard_key("square", relin_key)?;
         let rns = self.rns();
         let d0 = rns.mul(&a.c0, &a.c0);
         let cross = rns.mul(&a.c0, &a.c1);
         let d1 = rns.add(&cross, &cross);
         let d2 = rns.mul(&a.c1, &a.c1);
-        let (ks0, ks1) = self.keyswitch(&d2, relin_key);
-        Ciphertext {
+        let (ks0, ks1) = self.try_keyswitch(&d2, relin_key)?;
+        let out = Ciphertext {
             c0: rns.add(&d0, &ks0),
             c1: rns.add(&d1, &ks1),
             level: a.level,
             scale: a.scale * a.scale,
-        }
+            noise_bits_est: self.est_mul(a, a, relin_key),
+        };
+        let out = self.auto_rescale(out, a.scale)?;
+        self.guard_budget("square", &out)?;
+        Ok(out)
     }
 
-    /// Rescales: divides by the last modulus in the chain and drops a level
-    /// (Sec. 2.3). The scale shrinks by exactly that modulus.
+    /// Squares a ciphertext.
+    #[must_use]
+    pub fn square(&self, a: &Ciphertext, relin_key: &KeySwitchKey) -> Ciphertext {
+        self.try_square(a, relin_key)
+            .unwrap_or_else(|e| panic!("square: {e}"))
+    }
+
+    /// Fallible rescale: divides by the last modulus in the chain and
+    /// drops a level (Sec. 2.3). The scale shrinks by exactly that
+    /// modulus.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the ciphertext is at level 1.
-    pub fn rescale(&self, a: &Ciphertext) -> Ciphertext {
-        assert!(a.level >= 2, "cannot rescale a level-1 ciphertext");
+    /// [`FheError::InvalidParams`] at level 1 (no modulus left to drop),
+    /// plus any guardrail failure.
+    pub fn try_rescale(&self, a: &Ciphertext) -> FheResult<Ciphertext> {
+        self.guard_operands("rescale", &[a])?;
+        if a.level < 2 {
+            return Err(FheError::InvalidParams {
+                op: "rescale",
+                reason: "cannot rescale a level-1 ciphertext".into(),
+            });
+        }
         let rns = self.rns();
         let dropped = rns.modulus_value((a.level - 1) as u32) as f64;
         let mut c0 = a.c0.clone();
@@ -164,63 +376,137 @@ impl CkksContext {
         let mut r1 = rns_rescale(rns, &c1);
         rns.to_ntt(&mut r0);
         rns.to_ntt(&mut r1);
-        Ciphertext {
+        let out = Ciphertext {
             c0: r0,
             c1: r1,
             level: a.level - 1,
             scale: a.scale / dropped,
-        }
+            noise_bits_est: self.est_rescale(a),
+        };
+        self.guard_budget("rescale", &out)?;
+        Ok(out)
     }
 
-    /// Drops to a lower level without dividing (modulus switching used to
-    /// align operand levels). The scale is unchanged.
+    /// Rescales: divides by the last modulus and drops a level.
     ///
     /// # Panics
     ///
-    /// Panics if `level` is zero or above the current level.
-    pub fn mod_drop(&self, a: &Ciphertext, level: usize) -> Ciphertext {
-        assert!((1..=a.level).contains(&level), "bad target level");
+    /// Panics if the ciphertext is at level 1 (see
+    /// [`CkksContext::try_rescale`]).
+    #[must_use]
+    pub fn rescale(&self, a: &Ciphertext) -> Ciphertext {
+        self.try_rescale(a).unwrap_or_else(|e| panic!("rescale: {e}"))
+    }
+
+    /// Fallible modulus drop to a lower level without dividing (used to
+    /// align operand levels). The scale is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::InvalidParams`] when `level` is zero or above the
+    /// current level.
+    pub fn try_mod_drop(&self, a: &Ciphertext, level: usize) -> FheResult<Ciphertext> {
+        self.guard_operands("mod_drop", &[a])?;
+        if !(1..=a.level).contains(&level) {
+            return Err(FheError::InvalidParams {
+                op: "mod_drop",
+                reason: format!("target level {level} not in [1, {}]", a.level),
+            });
+        }
         if level == a.level {
-            return a.clone();
+            return Ok(a.clone());
         }
         let rns = self.rns();
         let target = rns.q_basis(level);
-        Ciphertext {
+        Ok(Ciphertext {
             c0: rns.restrict(&a.c0, &target),
             c1: rns.restrict(&a.c1, &target),
             level,
             scale: a.scale,
-        }
+            noise_bits_est: a.noise_bits_est,
+        })
     }
 
-    /// Homomorphic slot rotation by `steps` (Sec. 2.2): automorphism on both
-    /// polynomials, then a keyswitch of `c1` with the matching rotation key.
+    /// Drops to a lower level without dividing.
     ///
     /// # Panics
     ///
-    /// Panics if the key was generated for a different rotation amount (not
-    /// detectable here — the result simply decrypts wrong; the panic occurs
-    /// only for basis mismatches).
-    pub fn rotate(&self, a: &Ciphertext, steps: i64, rot_key: &KeySwitchKey) -> Ciphertext {
+    /// Panics if `level` is zero or above the current level (see
+    /// [`CkksContext::try_mod_drop`]).
+    #[must_use]
+    pub fn mod_drop(&self, a: &Ciphertext, level: usize) -> Ciphertext {
+        self.try_mod_drop(a, level)
+            .unwrap_or_else(|e| panic!("mod_drop: {e}"))
+    }
+
+    /// Fallible homomorphic slot rotation by `steps` (Sec. 2.2):
+    /// automorphism on both polynomials, then a keyswitch of `c1` with the
+    /// matching rotation key.
+    ///
+    /// # Errors
+    ///
+    /// Guardrail failures (including [`FheError::CorruptKey`] for a
+    /// tampered rotation key under [`GuardrailPolicy::Strict`]). A key
+    /// generated for a different rotation amount is not detectable here —
+    /// the result simply decrypts wrong.
+    pub fn try_rotate(
+        &self,
+        a: &Ciphertext,
+        steps: i64,
+        rot_key: &KeySwitchKey,
+    ) -> FheResult<Ciphertext> {
         let g = cl_math::galois_element_for_rotation(steps, self.params().ring_degree());
-        self.apply_galois(a, g, rot_key)
+        self.try_apply_galois("rotate", a, g, rot_key)
+    }
+
+    /// Homomorphic slot rotation by `steps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on basis mismatches (see [`CkksContext::try_rotate`]).
+    #[must_use]
+    pub fn rotate(&self, a: &Ciphertext, steps: i64, rot_key: &KeySwitchKey) -> Ciphertext {
+        self.try_rotate(a, steps, rot_key)
+            .unwrap_or_else(|e| panic!("rotate: {e}"))
+    }
+
+    /// Fallible homomorphic complex conjugation of all slots.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CkksContext::try_rotate`].
+    pub fn try_conjugate(&self, a: &Ciphertext, conj_key: &KeySwitchKey) -> FheResult<Ciphertext> {
+        let g = cl_math::galois_element_conjugate(self.params().ring_degree());
+        self.try_apply_galois("conjugate", a, g, conj_key)
     }
 
     /// Homomorphic complex conjugation of all slots.
+    #[must_use]
     pub fn conjugate(&self, a: &Ciphertext, conj_key: &KeySwitchKey) -> Ciphertext {
-        let g = cl_math::galois_element_conjugate(self.params().ring_degree());
-        self.apply_galois(a, g, conj_key)
+        self.try_conjugate(a, conj_key)
+            .unwrap_or_else(|e| panic!("conjugate: {e}"))
     }
 
-    fn apply_galois(&self, a: &Ciphertext, g: u64, key: &KeySwitchKey) -> Ciphertext {
+    fn try_apply_galois(
+        &self,
+        op: &'static str,
+        a: &Ciphertext,
+        g: u64,
+        key: &KeySwitchKey,
+    ) -> FheResult<Ciphertext> {
+        self.guard_operands(op, &[a])?;
+        self.guard_key(op, key)?;
         let rns = self.rns();
         let rotated = Ciphertext {
             c0: rns.apply_automorphism(&a.c0, g),
             c1: rns.apply_automorphism(&a.c1, g),
             level: a.level,
             scale: a.scale,
+            noise_bits_est: a.noise_bits_est,
         };
-        self.keyswitch_ciphertext(&rotated, key)
+        let out = self.try_keyswitch_ciphertext(&rotated, key)?;
+        self.guard_budget(op, &out)?;
+        Ok(out)
     }
 }
 
@@ -416,6 +702,158 @@ mod tests {
         for i in 0..slots {
             let expect = vals[(i + 2) % slots];
             assert!((got[i] - expect).abs() < 0.1, "slot {i}: {} vs {expect}", got[i]);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Error paths of the fallible API
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn try_add_reports_level_mismatch() {
+        let (ctx, sk, mut rng) = setup(3);
+        let a = ctx.encrypt(&ctx.encode(&[1.0], ctx.default_scale(), 3), &sk, &mut rng);
+        let b = ctx.encrypt(&ctx.encode(&[1.0], ctx.default_scale(), 2), &sk, &mut rng);
+        match ctx.try_add(&a, &b) {
+            Err(crate::FheError::LevelMismatch { op, got, want }) => {
+                assert_eq!(op, "add");
+                assert_eq!((got, want), (2, 3));
+            }
+            other => panic!("expected LevelMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_add_reports_scale_mismatch() {
+        let (ctx, sk, mut rng) = setup(2);
+        let a = ctx.encrypt(&ctx.encode(&[1.0], ctx.default_scale(), 2), &sk, &mut rng);
+        let b = ctx.encrypt(&ctx.encode(&[1.0], ctx.default_scale() * 2.0, 2), &sk, &mut rng);
+        match ctx.try_add(&a, &b) {
+            Err(crate::FheError::ScaleMismatch { rel, .. }) => {
+                assert!(rel > 0.4, "relative deviation {rel}");
+            }
+            other => panic!("expected ScaleMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_add_plain_respects_configured_tolerance() {
+        // A 1e-4 relative deviation fails at the default 1e-6 tolerance
+        // but passes once the parameter set allows it.
+        let build = |tol: Option<f64>| {
+            let mut b = CkksParams::builder()
+                .ring_degree(128)
+                .levels(2)
+                .special_limbs(2)
+                .limb_bits(40)
+                .scale_bits(32);
+            if let Some(t) = tol {
+                b = b.scale_rel_tolerance(t);
+            }
+            CkksContext::new(b.build().unwrap()).unwrap()
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let strict_tol = build(None);
+        let sk = strict_tol.keygen(&mut rng);
+        let scale = strict_tol.default_scale();
+        let ct = strict_tol.encrypt(&strict_tol.encode(&[1.0], scale, 2), &sk, &mut rng);
+        let p = strict_tol.encode(&[1.0], scale * (1.0 + 1e-4), 2);
+        match strict_tol.try_add_plain(&ct, &p) {
+            Err(crate::FheError::ScaleMismatch { got, want, rel, .. }) => {
+                assert!((got / want - 1.0).abs() < 1e-3);
+                assert!(rel > 5e-5 && rel < 2e-4, "rel {rel}");
+            }
+            other => panic!("expected ScaleMismatch, got {other:?}"),
+        }
+        let loose_tol = build(Some(1e-3));
+        let sk2 = loose_tol.keygen(&mut rng);
+        let ct2 = loose_tol.encrypt(&loose_tol.encode(&[1.0], scale, 2), &sk2, &mut rng);
+        let p2 = loose_tol.encode(&[1.0], scale * (1.0 + 1e-4), 2);
+        assert!(loose_tol.try_add_plain(&ct2, &p2).is_ok());
+    }
+
+    #[test]
+    fn try_mul_reports_level_mismatch() {
+        let (ctx, sk, mut rng) = setup(3);
+        let rlk = ctx.relin_keygen(&sk, KIND, &mut rng);
+        let a = ctx.encrypt(&ctx.encode(&[1.0], ctx.default_scale(), 3), &sk, &mut rng);
+        let b = ctx.encrypt(&ctx.encode(&[1.0], ctx.default_scale(), 2), &sk, &mut rng);
+        assert!(matches!(
+            ctx.try_mul(&a, &b, &rlk),
+            Err(crate::FheError::LevelMismatch { op: "mul", .. })
+        ));
+    }
+
+    #[test]
+    fn try_rescale_and_mod_drop_report_invalid_params() {
+        let (ctx, sk, mut rng) = setup(2);
+        let ct = ctx.encrypt(&ctx.encode(&[1.0], ctx.default_scale(), 1), &sk, &mut rng);
+        assert!(matches!(
+            ctx.try_rescale(&ct),
+            Err(crate::FheError::InvalidParams { op: "rescale", .. })
+        ));
+        assert!(matches!(
+            ctx.try_mod_drop(&ct, 0),
+            Err(crate::FheError::InvalidParams { op: "mod_drop", .. })
+        ));
+        assert!(matches!(
+            ctx.try_mod_drop(&ct, 2),
+            Err(crate::FheError::InvalidParams { op: "mod_drop", .. })
+        ));
+    }
+
+    #[test]
+    fn auto_rescale_policy_inserts_rescales_and_aligns_levels() {
+        use crate::GuardrailPolicy;
+        // scale == limb width, so each auto-inserted rescale brings the
+        // scale back to the default instead of letting it drift.
+        let params = CkksParams::builder()
+            .ring_degree(128)
+            .levels(4)
+            .special_limbs(4)
+            .limb_bits(40)
+            .scale_bits(40)
+            .build()
+            .unwrap();
+        let mut ctx = CkksContext::new(params).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(123);
+        let sk = ctx.keygen(&mut rng);
+        ctx.set_policy(GuardrailPolicy::AutoRescale);
+        let rlk = ctx.relin_keygen(&sk, KIND, &mut rng);
+        let a = vec![1.5, -0.5];
+        let b = vec![2.0, 3.0];
+        let cta = ctx.encrypt(&ctx.encode(&a, ctx.default_scale(), 4), &sk, &mut rng);
+        let ctb = ctx.encrypt(&ctx.encode(&b, ctx.default_scale(), 4), &sk, &mut rng);
+        // No manual rescales anywhere: the policy inserts them.
+        let prod = ctx.try_mul(&cta, &ctb, &rlk).unwrap();
+        assert_eq!(prod.level(), 3, "mul result must arrive rescaled");
+        // Operand levels differ (prod is deeper than cta): auto-aligned.
+        let prod2 = ctx.try_mul(&prod, &cta, &rlk).unwrap();
+        assert_eq!(prod2.level(), 2);
+        let got = ctx.decode(&ctx.decrypt(&prod2, &sk), 2);
+        for i in 0..2 {
+            let expect = a[i] * b[i] * a[i];
+            assert!((got[i] - expect).abs() < 1e-2, "{} vs {expect}", got[i]);
+        }
+    }
+
+    #[test]
+    fn strict_policy_flags_budget_exhaustion() {
+        use crate::GuardrailPolicy;
+        let (mut ctx, sk, mut rng) = setup(3);
+        ctx.set_policy(GuardrailPolicy::Strict { min_budget_bits: 0.0 });
+        let rlk = ctx.relin_keygen(&sk, KIND, &mut rng);
+        let ct = ctx.encrypt(&ctx.encode(&[0.9], ctx.default_scale(), 3), &sk, &mut rng);
+        // Squaring without rescaling squares the scale each time; the
+        // estimated budget collapses and the strict policy reports it
+        // before the result decrypts to garbage.
+        let once = ctx.try_square(&ct, &rlk).expect("one un-rescaled square fits");
+        match ctx.try_square(&once, &rlk) {
+            Err(crate::FheError::BudgetExhausted { op, budget_bits, .. }) => {
+                assert_eq!(op, "square");
+                assert!(budget_bits < 0.0, "budget {budget_bits} should be negative");
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
         }
     }
 }

@@ -1,0 +1,263 @@
+//! Fault-injection harness (test-only).
+//!
+//! Deliberately corrupts ciphertexts and keyswitch hints so tests can
+//! verify that the [`GuardrailPolicy::Strict`](crate::GuardrailPolicy)
+//! runtime checks catch each corruption class instead of silently
+//! producing garbage:
+//!
+//! | injected fault | detector | reported as |
+//! |---|---|---|
+//! | flipped limb word ([`flip_ciphertext_word`]) | residue-range scan in `validate_ciphertext` | [`FheError::CorruptCiphertext`](crate::FheError) |
+//! | dropped rescale / tampered scale ([`corrupt_scale`]) | signed noise-budget threshold | [`FheError::BudgetExhausted`](crate::FheError) |
+//! | corrupted hint ([`corrupt_hint_word`]) | keygen-time integrity digest | [`FheError::CorruptKey`](crate::FheError) |
+//!
+//! The module is compiled only for tests and under the `faults` cargo
+//! feature; production builds carry none of this code.
+
+use crate::{Ciphertext, KeySwitchKey};
+
+/// Bit flipped into a 64-bit residue word. Bit 62 is above every modulus
+/// this crate accepts (limb widths are < 62 bits), so the flipped residue
+/// always lands out of range — the worst case for silent corruption, and
+/// exactly what the conformance scan must catch.
+pub const FLIP_MASK: u64 = 1 << 62;
+
+/// Flips one residue word of a ciphertext polynomial in place.
+///
+/// `poly` selects `c0` (0) or `c1` (any other value); `limb` and `coeff`
+/// address the word. Models an SEU / DRAM bit flip in the ciphertext
+/// payload.
+///
+/// # Panics
+///
+/// Panics if `limb` or `coeff` is out of range.
+pub fn flip_ciphertext_word(ct: &mut Ciphertext, poly: usize, limb: usize, coeff: usize) {
+    let p = if poly == 0 { &mut ct.c0 } else { &mut ct.c1 };
+    p.limb_mut(limb)[coeff] ^= FLIP_MASK;
+}
+
+/// Multiplies the recorded scale by `factor` without touching the payload
+/// — the bookkeeping state a program is left with when a rescale is
+/// dropped (the payload scale and the recorded scale agree, but both are a
+/// factor `q_l` too large for the remaining modulus chain).
+pub fn corrupt_scale(ct: &mut Ciphertext, factor: f64) {
+    ct.scale *= factor;
+}
+
+/// Flips one residue word of a keyswitch hint in place.
+///
+/// `digit` selects the hint element, `half` selects `k0` (0) or `k1` (any
+/// other value). The keygen-time integrity digest is deliberately NOT
+/// recomputed — this models post-generation corruption (bit rot in hint
+/// storage, a truncated transfer), which
+/// [`KeySwitchKey::verify_integrity`] must detect.
+///
+/// # Panics
+///
+/// Panics if `digit`, `limb` or `coeff` is out of range.
+pub fn corrupt_hint_word(
+    ksk: &mut KeySwitchKey,
+    digit: usize,
+    half: usize,
+    limb: usize,
+    coeff: usize,
+) {
+    let (k0, k1) = &mut ksk.elems[digit];
+    let p = if half == 0 { k0 } else { k1 };
+    p.limb_mut(limb)[coeff] ^= FLIP_MASK;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CkksContext, CkksParams, FheError, GuardrailPolicy, KeySwitchKind, SecretKey};
+    use rand::SeedableRng;
+
+    fn setup(levels: usize) -> (CkksContext, SecretKey, rand::rngs::StdRng) {
+        let params = CkksParams::builder()
+            .ring_degree(128)
+            .levels(levels)
+            .special_limbs(levels)
+            .limb_bits(40)
+            .scale_bits(32)
+            .build()
+            .unwrap();
+        let ctx = CkksContext::new(params).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4242);
+        let sk = ctx.keygen(&mut rng);
+        (ctx, sk, rng)
+    }
+
+    const STRICT: GuardrailPolicy = GuardrailPolicy::Strict {
+        min_budget_bits: 0.0,
+    };
+
+    #[test]
+    fn bit_flip_in_ciphertext_is_caught_by_strict_guardrails() {
+        let (mut ctx, sk, mut rng) = setup(2);
+        let clean = ctx.encrypt(&ctx.encode(&[1.0, 2.0], ctx.default_scale(), 2), &sk, &mut rng);
+        let mut bad = clean.clone();
+        flip_ciphertext_word(&mut bad, 1, 0, 3);
+        // The conformance scan pinpoints the corruption...
+        assert!(matches!(
+            ctx.validate_ciphertext("audit", &bad),
+            Err(FheError::CorruptCiphertext { op: "audit", .. })
+        ));
+        // ...and under Strict every op runs it on its operands.
+        ctx.set_policy(STRICT);
+        match ctx.try_add(&clean, &bad) {
+            Err(FheError::CorruptCiphertext { op, reason }) => {
+                assert_eq!(op, "add");
+                assert!(reason.contains("limb"), "reason should locate the fault: {reason}");
+            }
+            other => panic!("expected CorruptCiphertext, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bit_flip_passes_through_under_permissive() {
+        // Permissive skips conformance scans (the legacy cost model): the
+        // corrupted operand clears the guard and flows into arithmetic —
+        // exactly the silent-garbage failure mode the strict policy
+        // exists to prevent. (The arithmetic itself is not run here: the
+        // out-of-range residue would trip cl-math's debug assertions long
+        // after the guardrail's chance to object has passed.)
+        let (ctx, sk, mut rng) = setup(2);
+        assert_eq!(ctx.policy(), GuardrailPolicy::Permissive);
+        let clean = ctx.encrypt(&ctx.encode(&[1.0, 2.0], ctx.default_scale(), 2), &sk, &mut rng);
+        let mut bad = clean.clone();
+        flip_ciphertext_word(&mut bad, 0, 0, 0);
+        assert!(ctx.guard_operands("add", &[&clean, &bad]).is_ok());
+        // The corruption is real — an explicit scan still sees it.
+        assert!(ctx.validate_ciphertext("audit", &bad).is_err());
+    }
+
+    #[test]
+    fn flip_is_reversible_and_flips_one_word() {
+        let (ctx, sk, mut rng) = setup(2);
+        let clean = ctx.encrypt(&ctx.encode(&[1.0], ctx.default_scale(), 2), &sk, &mut rng);
+        let mut ct = clean.clone();
+        flip_ciphertext_word(&mut ct, 1, 1, 7);
+        assert_ne!(ct, clean);
+        flip_ciphertext_word(&mut ct, 1, 1, 7);
+        assert_eq!(ct, clean);
+    }
+
+    #[test]
+    fn dropped_rescale_is_caught_as_budget_exhaustion() {
+        // 45-bit limbs over a 30-bit scale leave ample per-level headroom,
+        // so the properly rescaled pipeline keeps a comfortably positive
+        // budget while the faulty one collapses.
+        let params = CkksParams::builder()
+            .ring_degree(128)
+            .levels(3)
+            .special_limbs(3)
+            .limb_bits(45)
+            .scale_bits(30)
+            .build()
+            .unwrap();
+        let mut ctx = CkksContext::new(params).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4242);
+        let sk = ctx.keygen(&mut rng);
+        ctx.set_policy(STRICT);
+        let rlk = ctx.relin_keygen(&sk, KeySwitchKind::Boosted { digits: 1 }, &mut rng);
+        let ct = ctx.encrypt(&ctx.encode(&[0.5, 0.25], ctx.default_scale(), 3), &sk, &mut rng);
+        // Fault: the circuit "forgets" the rescale after a multiply. The
+        // first product fits; compounding it without rescaling pushes the
+        // scale past what the remaining modulus chain can represent, and
+        // the budget tracker reports exhaustion instead of wrapping.
+        let unrescaled = ctx.try_square(&ct, &rlk).expect("first square fits");
+        match ctx.try_square(&unrescaled, &rlk) {
+            Err(FheError::BudgetExhausted { op: "square", budget_bits, .. }) => {
+                assert!(budget_bits < 0.0);
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        // The properly rescaled pipeline sails through the same guardrails.
+        let rescaled = ctx.try_rescale(&unrescaled).unwrap();
+        assert!(ctx.try_square(&rescaled, &rlk).is_ok());
+    }
+
+    #[test]
+    fn tampered_scale_is_caught_as_budget_exhaustion() {
+        let (mut ctx, sk, mut rng) = setup(2);
+        ctx.set_policy(STRICT);
+        let clean = ctx.encrypt(&ctx.encode(&[1.0], ctx.default_scale(), 2), &sk, &mut rng);
+        let mut bad = clean.clone();
+        // A scale inflated by 2^50 claims far more precision than the
+        // modulus chain holds; the signed budget goes deeply negative.
+        corrupt_scale(&mut bad, (1u64 << 50) as f64);
+        assert!(ctx.try_add(&clean, &clean).is_ok(), "clean baseline must pass");
+        assert!(matches!(
+            ctx.try_neg_ct(&bad).and_then(|ct| ctx.guard_budget("audit", &ct)),
+            Err(FheError::BudgetExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn auto_rescale_policy_repairs_the_dropped_rescale_fault() {
+        // scale == limb width so the auto-inserted rescales return the
+        // scale to the default each time.
+        let params = CkksParams::builder()
+            .ring_degree(128)
+            .levels(3)
+            .special_limbs(3)
+            .limb_bits(40)
+            .scale_bits(40)
+            .build()
+            .unwrap();
+        let mut ctx = CkksContext::new(params).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4242);
+        let sk = ctx.keygen(&mut rng);
+        ctx.set_policy(GuardrailPolicy::AutoRescale);
+        let rlk = ctx.relin_keygen(&sk, KeySwitchKind::Boosted { digits: 1 }, &mut rng);
+        let vals = [0.5, 0.25];
+        let ct = ctx.encrypt(&ctx.encode(&vals, ctx.default_scale(), 3), &sk, &mut rng);
+        // Same faulty circuit as above (no explicit rescales anywhere):
+        // AutoRescale inserts them, so the chain survives and decrypts.
+        let a = ctx.try_square(&ct, &rlk).unwrap();
+        let b = ctx.try_square(&a, &rlk).unwrap();
+        assert_eq!(b.level(), 1);
+        let got = ctx.decode(&ctx.decrypt(&b, &sk), 2);
+        for (g, v) in got.iter().zip(&vals) {
+            let expect = v.powi(4);
+            assert!((g - expect).abs() < 0.05, "{g} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn corrupted_hint_is_caught_by_integrity_digest() {
+        let (mut ctx, sk, mut rng) = setup(3);
+        let rlk = ctx.relin_keygen(&sk, KeySwitchKind::Boosted { digits: 1 }, &mut rng);
+        let ct = ctx.encrypt(&ctx.encode(&[1.0, -1.0], ctx.default_scale(), 3), &sk, &mut rng);
+        let mut bad_key = rlk.clone();
+        corrupt_hint_word(&mut bad_key, 0, 0, 2, 5);
+        assert!(rlk.verify_integrity());
+        assert!(!bad_key.verify_integrity());
+        // Permissive trusts the key (legacy behaviour): the guard waves
+        // the tampered hint through...
+        assert!(ctx.guard_key("mul", &bad_key).is_ok());
+        // ...Strict refuses to use it.
+        ctx.set_policy(STRICT);
+        match ctx.try_mul(&ct, &ct, &bad_key) {
+            Err(FheError::CorruptKey { op, .. }) => assert_eq!(op, "mul"),
+            other => panic!("expected CorruptKey, got {other:?}"),
+        }
+        // The pristine key still passes the same strict checks.
+        assert!(ctx.try_mul(&ct, &ct, &rlk).is_ok());
+    }
+
+    #[test]
+    fn corrupted_rotation_key_is_caught_too() {
+        let (mut ctx, sk, mut rng) = setup(2);
+        ctx.set_policy(STRICT);
+        let mut rk = ctx.rotation_keygen(&sk, 1, KeySwitchKind::Boosted { digits: 1 }, &mut rng);
+        let ct = ctx.encrypt(&ctx.encode(&[1.0, 2.0], ctx.default_scale(), 2), &sk, &mut rng);
+        assert!(ctx.try_rotate(&ct, 1, &rk).is_ok());
+        corrupt_hint_word(&mut rk, 0, 1, 0, 0);
+        assert!(matches!(
+            ctx.try_rotate(&ct, 1, &rk),
+            Err(FheError::CorruptKey { op: "rotate", .. })
+        ));
+    }
+}

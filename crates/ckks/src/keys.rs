@@ -44,6 +44,14 @@ pub struct KeySwitchKey {
     pub(crate) digit_limbs: Vec<Vec<u32>>,
     /// Seed regenerating every `k1` (the pseudo-random half).
     pub(crate) seed: u64,
+    /// `log2` of the hint error magnitude (the sampler's σ times any
+    /// error scaling, e.g. BGV's plaintext modulus `t`) — consumed by the
+    /// analytic noise model.
+    pub(crate) error_bits: f64,
+    /// Integrity digest over the hint payload, computed at keygen; the
+    /// strict guardrail policy re-verifies it before every keyswitch so a
+    /// corrupted hint is caught instead of silently destroying the result.
+    pub(crate) digest: u64,
 }
 
 impl KeySwitchKey {
@@ -83,5 +91,49 @@ impl KeySwitchKey {
     /// Panics if `d` is out of range.
     pub fn digit_limbs(&self, d: usize) -> &[u32] {
         &self.digit_limbs[d]
+    }
+
+    /// The integrity digest computed over the hint payload at keygen.
+    pub fn integrity_digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Recomputes the payload digest and compares it against the one
+    /// stored at keygen. `false` means the hint was modified after
+    /// generation (bit flips, truncation, tampering).
+    pub fn verify_integrity(&self) -> bool {
+        self.compute_digest() == self.digest
+    }
+
+    /// FNV-1a over every word of the hint payload plus the structural
+    /// metadata (kind, digit partition, seed).
+    pub(crate) fn compute_digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |word: u64| {
+            for shift in [0u32, 32] {
+                h ^= (word >> shift) & 0xffff_ffff;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        mix(self.seed);
+        match self.kind {
+            KeySwitchKind::Standard => mix(0),
+            KeySwitchKind::Boosted { digits } => mix(1 + digits as u64),
+        }
+        for limbs in &self.digit_limbs {
+            for &l in limbs {
+                mix(l as u64);
+            }
+        }
+        for (k0, k1) in &self.elems {
+            for poly in [k0, k1] {
+                for k in 0..poly.num_limbs() {
+                    for &w in poly.limb(k) {
+                        mix(w);
+                    }
+                }
+            }
+        }
+        h
     }
 }

@@ -19,6 +19,8 @@
 use cl_rns::{mod_down, Basis, RnsPoly};
 use rand::{Rng, SeedableRng};
 
+use crate::error::{FheError, FheResult};
+use crate::noise::{log2_add, SIGMA};
 use crate::{Ciphertext, CkksContext, KeySwitchKey, SecretKey};
 
 /// Which keyswitching algorithm to use (and, for boosted, how many digits).
@@ -157,12 +159,16 @@ impl CkksContext {
             rns.add_assign(&mut k0, &payload);
             elems.push((k0, k1));
         }
-        KeySwitchKey {
+        let mut key = KeySwitchKey {
             kind,
             elems,
             digit_limbs,
             seed,
-        }
+            error_bits: (SIGMA * error_scale as f64).log2(),
+            digest: 0,
+        };
+        key.digest = key.compute_digest();
+        key
     }
 
     /// Regenerates the pseudo-random half of digit `d` of a keyswitch key
@@ -172,22 +178,42 @@ impl CkksContext {
         prandom_poly(self.rns(), &basis, ksk.seed, d as u64)
     }
 
-    /// Applies a keyswitch to a single polynomial `c` (NTT form, level-`L`
+    /// Fallible keyswitch of a single polynomial `c` (NTT form, level-`L`
     /// basis), returning the pair `(ks0, ks1)` such that
     /// `ks0 + ks1·s ≈ c·s'`.
     ///
     /// This is Listing 1 of the paper (for the boosted kinds).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `c` is not in NTT form or not over a prefix of the
-    /// ciphertext-modulus chain.
-    pub fn keyswitch(&self, c: &RnsPoly, ksk: &KeySwitchKey) -> (RnsPoly, RnsPoly) {
-        assert!(c.ntt_form(), "keyswitch input must be in NTT form");
+    /// [`FheError::InvalidParams`] when `c` is not in NTT form or not over
+    /// a prefix of the ciphertext-modulus chain;
+    /// [`FheError::CorruptKey`] when the hint fails its integrity check
+    /// under [`crate::GuardrailPolicy::Strict`].
+    pub fn try_keyswitch(
+        &self,
+        c: &RnsPoly,
+        ksk: &KeySwitchKey,
+    ) -> FheResult<(RnsPoly, RnsPoly)> {
+        self.guard_key("keyswitch", ksk)?;
+        if !c.ntt_form() {
+            return Err(FheError::InvalidParams {
+                op: "keyswitch",
+                reason: "input must be in NTT form".into(),
+            });
+        }
         let rns = self.rns();
         let level = c.num_limbs();
         let qb = rns.q_basis(level);
-        assert_eq!(c.basis(), &qb, "keyswitch input must be over q_1..q_L");
+        if c.basis() != &qb {
+            return Err(FheError::InvalidParams {
+                op: "keyswitch",
+                reason: format!(
+                    "input basis {:?} is not the q_1..q_{level} prefix",
+                    c.basis()
+                ),
+            });
+        }
         let special = self.special_for(ksk.kind);
         let target = if special == 0 {
             qb.clone()
@@ -224,14 +250,20 @@ impl CkksContext {
                     let src = if let Some(k) = digit_basis.0.iter().position(|&l| l == limb) {
                         c_d.limb(k)
                     } else {
-                        let k = ext_basis.0.iter().position(|&l| l == limb).unwrap();
+                        let k = ext_basis.0.iter().position(|&l| l == limb).expect(
+                            "target basis is the disjoint union of digit and extension bases",
+                        );
                         c_ext.limb(k)
                     };
                     c_full.limb_mut(pos).copy_from_slice(src);
                 }
             } else {
                 for (pos, &limb) in target.0.iter().enumerate() {
-                    let k = digit_basis.0.iter().position(|&l| l == limb).unwrap();
+                    let k = digit_basis
+                        .0
+                        .iter()
+                        .position(|&l| l == limb)
+                        .expect("with no extension basis the digit basis covers the target");
                     c_full.limb_mut(pos).copy_from_slice(c_d.limb(k));
                 }
             }
@@ -243,7 +275,7 @@ impl CkksContext {
             rns.mul_acc(&mut acc1, &c_full, &k1);
         }
         if special == 0 {
-            return (acc0, acc1);
+            return Ok((acc0, acc1));
         }
         // ModDown by P (Listing 1, lines 7-10).
         let pb = rns.p_basis(special);
@@ -254,7 +286,20 @@ impl CkksContext {
         let mut ks1 = mod_down(rns, &acc1, &qb, &pb, &conv);
         rns.to_ntt(&mut ks0);
         rns.to_ntt(&mut ks1);
-        (ks0, ks1)
+        Ok((ks0, ks1))
+    }
+
+    /// Applies a keyswitch to a single polynomial (panicking twin of
+    /// [`CkksContext::try_keyswitch`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is not in NTT form or not over a prefix of the
+    /// ciphertext-modulus chain.
+    #[must_use]
+    pub fn keyswitch(&self, c: &RnsPoly, ksk: &KeySwitchKey) -> (RnsPoly, RnsPoly) {
+        self.try_keyswitch(c, ksk)
+            .unwrap_or_else(|e| panic!("keyswitch: {e}"))
     }
 
     /// Generates a relinearization key (keyswitch key for `s^2 → s`).
@@ -296,16 +341,25 @@ impl CkksContext {
     }
 
     /// Applies a keyswitch to a full ciphertext whose `c1` is implicitly
-    /// under `s'`: returns `(c0 + ks0, ks1)`.
-    pub(crate) fn keyswitch_ciphertext(&self, ct: &Ciphertext, ksk: &KeySwitchKey) -> Ciphertext {
-        let (ks0, ks1) = self.keyswitch(&ct.c1, ksk);
+    /// under `s'`: returns `(c0 + ks0, ks1)`. The noise estimate grows by
+    /// the keyswitch error term.
+    pub(crate) fn try_keyswitch_ciphertext(
+        &self,
+        ct: &Ciphertext,
+        ksk: &KeySwitchKey,
+    ) -> FheResult<Ciphertext> {
+        let (ks0, ks1) = self.try_keyswitch(&ct.c1, ksk)?;
         let c0 = self.rns().add(&ct.c0, &ks0);
-        Ciphertext {
+        Ok(Ciphertext {
             c0,
             c1: ks1,
             level: ct.level,
             scale: ct.scale,
-        }
+            noise_bits_est: log2_add(
+                ct.noise_bits_est,
+                self.est_keyswitch_bits(ct.level, ksk),
+            ),
+        })
     }
 }
 

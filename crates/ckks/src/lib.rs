@@ -14,7 +14,12 @@
 //! - seeded generation of the pseudo-random half of each keyswitch hint
 //!   (the software analogue of the KSHGen unit, Sec. 5.2),
 //! - the security model mapping `(N, security level)` to a maximum
-//!   ciphertext-modulus width (our stand-in for the LWE estimator).
+//!   ciphertext-modulus width (our stand-in for the LWE estimator),
+//! - a fallible `try_*` evaluation API with a unified error type
+//!   ([`FheError`]), per-ciphertext analytic noise tracking, runtime
+//!   noise-budget guardrails ([`GuardrailPolicy`]), and a fault-injection
+//!   harness ([`faults`], test-only) that validates the guardrails catch
+//!   corrupted ciphertexts, dropped rescales and tampered hints.
 //!
 //! # Example
 //!
@@ -40,11 +45,17 @@
 //! ```
 
 #![warn(missing_docs)]
+// Library code must propagate failures (`FheResult`/`?`) or `expect` with
+// the violated invariant; tests are exempt. Enforced by scripts/verify.sh.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod bgv;
 mod ciphertext;
 mod context;
+mod error;
 mod eval;
+#[cfg(any(test, feature = "faults"))]
+pub mod faults;
 mod keys;
 mod keyswitch;
 mod noise;
@@ -52,7 +63,8 @@ mod params;
 pub mod security;
 
 pub use ciphertext::{Ciphertext, Plaintext};
-pub use context::{CkksContext, CkksError};
+pub use context::{CkksContext, CkksError, GuardrailPolicy};
+pub use error::{FheError, FheResult};
 pub use keys::{KeySwitchKey, PublicKey, SecretKey};
 pub use keyswitch::KeySwitchKind;
 pub use params::{CkksParams, CkksParamsBuilder};

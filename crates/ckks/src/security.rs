@@ -68,7 +68,7 @@ pub fn max_level(n: usize, sec: SecurityLevel, digits: usize, limb_bits: u32) ->
     let budget = max_log_qp(n, sec) as usize / limb_bits as usize;
     // Largest L with L + ceil(L/digits) <= budget.
     let mut l = 0usize;
-    while l + 1 + (l + 1 + digits - 1) / digits <= budget {
+    while l + 1 + (l + 1).div_ceil(digits) <= budget {
         l += 1;
     }
     l

@@ -42,7 +42,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for step in 0..iterations {
         if ct.level() < 2 {
             print!("  [budget exhausted at level {} -> bootstrapping...", ct.level());
-            ct = booter.bootstrap(&ctx, &ct, &keys);
+            // The fallible form reports MissingKey / InvalidParams /
+            // budget failures as a structured error instead of panicking.
+            ct = booter.try_bootstrap(&ctx, &ct, &keys)?;
             bootstraps += 1;
             println!(" refreshed to level {}]", ct.level());
         }

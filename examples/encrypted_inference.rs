@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --release --example encrypted_inference`
 
-use craterlake::ckks::{CkksContext, CkksParams, KeySwitchKind};
+use craterlake::ckks::{CkksContext, CkksParams, GuardrailPolicy, KeySwitchKind};
 
 /// Degree-3 least-squares approximation of the logistic function on
 /// [-4, 4]: sigma(x) ~ 0.5 + 0.197x - 0.004x^3.
@@ -14,14 +14,22 @@ fn sigmoid_approx(x: f64) -> f64 {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two spare levels beyond the circuit's depth: strict guardrails
+    // account the budget at each op's (pre-rescale) result, so the chain
+    // needs headroom above the scale even at the deepest multiply.
     let params = CkksParams::builder()
         .ring_degree(1 << 10)
-        .levels(6)
-        .special_limbs(6)
+        .levels(8)
+        .special_limbs(8)
         .limb_bits(45)
         .scale_bits(45)
         .build()?;
-    let ctx = CkksContext::new(params)?;
+    // A production server wants structured errors, not panics: strict
+    // guardrails validate operands and keys and track the noise budget on
+    // every fallible op.
+    let ctx = CkksContext::new(params)?.with_policy(GuardrailPolicy::Strict {
+        min_budget_bits: 0.0,
+    });
     let mut rng = rand::thread_rng();
     let sk = ctx.keygen(&mut rng);
     let kind = KeySwitchKind::Boosted { digits: 1 };
@@ -40,13 +48,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ct = ctx.encrypt(&pt, &sk, &mut rng);
 
     // Server: dot product = elementwise multiply + log-tree reduction.
+    // All compute goes through the fallible API: any level/scale misuse,
+    // corrupted operand, or exhausted budget surfaces as an `FheError`
+    // through `?` instead of a panic deep in the pipeline.
     let w_pt = ctx.encode(&weights, ctx.default_scale(), ct.level());
-    let mut acc = ctx.rescale(&ctx.mul_plain(&ct, &w_pt));
+    let mut acc = ctx.try_rescale(&ctx.try_mul_plain(&ct, &w_pt)?)?;
     let mut step = 4usize;
     while step >= 1 {
         let key = ctx.rotation_keygen(&sk, step as i64, kind, &mut rng);
-        let rot = ctx.rotate(&acc, step as i64, &key);
-        acc = ctx.add(&acc, &rot);
+        let rot = ctx.try_rotate(&acc, step as i64, &key)?;
+        acc = ctx.try_add(&acc, &rot)?;
         if step == 1 {
             break;
         }
@@ -54,22 +65,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     // Add the bias.
     let bias_pt = ctx.encode(&vec![bias; 8], acc.scale(), acc.level());
-    let z = ctx.add_plain(&acc, &bias_pt);
+    let z = ctx.try_add_plain(&acc, &bias_pt)?;
 
     // sigma(z) via the polynomial, factored for scale stability:
     // 0.5 + z * (0.197 - 0.004 z^2).
-    let z2 = ctx.rescale(&ctx.square(&z, &relin));
+    let z2 = ctx.try_rescale(&ctx.try_square(&z, &relin)?)?;
     // -0.004 z^2, encoding the constant at the scale of the modulus the
     // rescale drops so the ciphertext scale is preserved exactly.
     let q_drop = ctx.rns().modulus_value((z2.level() - 1) as u32) as f64;
     let c_pt = ctx.encode(&vec![-0.004; 8], q_drop, z2.level());
-    let w = ctx.rescale(&ctx.mul_plain(&z2, &c_pt));
+    let w = ctx.try_rescale(&ctx.try_mul_plain(&z2, &c_pt)?)?;
     let lin_pt = ctx.encode(&vec![0.197; 8], w.scale(), w.level());
-    let inner = ctx.add_plain(&w, &lin_pt);
-    let z_d = ctx.mod_drop(&z, inner.level());
-    let poly = ctx.rescale(&ctx.mul(&inner, &z_d, &relin));
+    let inner = ctx.try_add_plain(&w, &lin_pt)?;
+    let z_d = ctx.try_mod_drop(&z, inner.level())?;
+    let poly = ctx.try_rescale(&ctx.try_mul(&inner, &z_d, &relin)?)?;
     let half_pt = ctx.encode(&vec![0.5; 8], poly.scale(), poly.level());
-    let score_ct = ctx.add_plain(&poly, &half_pt);
+    let score_ct = ctx.try_add_plain(&poly, &half_pt)?;
+    println!(
+        "server-side noise budget after inference: {:.1} bits",
+        ctx.budget_bits(&score_ct)
+    );
 
     // Client decrypts. Slot 0 holds the full reduction.
     let score = ctx.decode(&ctx.decrypt(&score_ct, &sk), 1)[0];

@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use craterlake::baselines::craterlake_options;
-use craterlake::ckks::{CkksContext, CkksParams, KeySwitchKind};
+use craterlake::ckks::{CkksContext, CkksParams, GuardrailPolicy, KeySwitchKind};
 use craterlake::compiler::compile_and_run;
 use craterlake::isa::HeGraph;
 
@@ -20,7 +20,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .limb_bits(45)
         .scale_bits(45)
         .build()?;
-    let ctx = CkksContext::new(params)?;
+    // Run with strict guardrails: every `try_*` op validates its operands,
+    // verifies keyswitch-hint integrity, and fails cleanly (instead of
+    // decrypting garbage) if the tracked noise budget runs out.
+    let ctx = CkksContext::new(params)?.with_policy(GuardrailPolicy::Strict {
+        min_budget_bits: 0.0,
+    });
     let mut rng = rand::thread_rng();
     let sk = ctx.keygen(&mut rng);
     let relin = ctx.relin_keygen(&sk, KeySwitchKind::Boosted { digits: 1 }, &mut rng);
@@ -33,14 +38,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ct_x = ctx.encrypt(&pt_x, &sk, &mut rng);
     let ct_w = ctx.encrypt(&pt_w, &sk, &mut rng);
 
-    // y = (x * w) rotated by one slot, plus x.
-    let prod = ctx.rescale(&ctx.mul(&ct_x, &ct_w, &relin));
-    let rotated = ctx.rotate(&prod, 1, &rot1);
-    let x_aligned = ctx.mod_drop(&ct_x, rotated.level());
-    let sum = ctx.add(&rotated, &x_aligned.with_scale(rotated.scale()));
+    // y = (x * w) rotated by one slot, plus x. The fallible API (`try_*`)
+    // propagates structured `FheError`s through `?`.
+    let prod = ctx.try_rescale(&ctx.try_mul(&ct_x, &ct_w, &relin)?)?;
+    let rotated = ctx.try_rotate(&prod, 1, &rot1)?;
+    let x_aligned = ctx.try_mod_drop(&ct_x, rotated.level())?;
+    let sum = ctx.try_add(&rotated, &x_aligned.with_scale(rotated.scale()))?;
 
     let out = ctx.decode(&ctx.decrypt(&sum, &sk), 4);
     println!("homomorphic (x*w <<1) + x = {out:.3?}");
+    println!(
+        "remaining noise budget: {:.1} bits (estimated noise {:.1} bits)",
+        ctx.budget_bits(&sum),
+        sum.noise_estimate_bits()
+    );
     // The rotation is over all N/2 slots; the unfilled ones are zero, so
     // slot 3 receives the zero padding rather than wrapping to slot 0.
     let expect: Vec<f64> = (0..4)

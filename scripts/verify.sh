@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate.
+#
+#  1. Release build of the whole workspace.
+#  2. Full test suite.
+#  3. Lint gate on the cl-ckks / cl-boot *library* targets: warnings are
+#     errors and bare `unwrap()` is banned (tests and binaries are exempt —
+#     library code must name the violated invariant via `expect` or
+#     propagate with `?`/`FheResult`).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: tests =="
+cargo test -q
+
+echo "== tier-1: lint gate (library targets) =="
+cargo clippy -p cl-ckks -p cl-boot -p cl-apps -p cl-baselines --lib --no-deps -- \
+    -D warnings -D clippy::unwrap_used
+
+echo "tier-1 verify: OK"

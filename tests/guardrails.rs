@@ -1,0 +1,104 @@
+//! Workspace-level integration tests for the fallible evaluation API,
+//! the runtime guardrail policies, and the fault-injection harness —
+//! exercised through the public `cl-ckks` surface (with the `faults`
+//! feature) exactly as an external consumer would.
+
+use cl_ckks::{
+    faults, CkksContext, CkksParams, FheError, GuardrailPolicy, KeySwitchKind, SecretKey,
+};
+use rand::SeedableRng;
+
+fn setup() -> (CkksContext, SecretKey, rand::rngs::StdRng) {
+    let params = CkksParams::builder()
+        .ring_degree(128)
+        .levels(3)
+        .special_limbs(3)
+        .limb_bits(40)
+        .scale_bits(32)
+        .build()
+        .expect("test parameters are valid");
+    let ctx = CkksContext::new(params).expect("test context builds");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let sk = ctx.keygen(&mut rng);
+    (ctx, sk, rng)
+}
+
+#[test]
+fn strict_policy_catches_every_fault_class_through_the_public_api() {
+    let (mut ctx, sk, mut rng) = setup();
+    let relin = ctx.relin_keygen(&sk, KeySwitchKind::Boosted { digits: 1 }, &mut rng);
+    let pt = ctx.encode(&[1.0, -2.0, 0.5], ctx.default_scale(), 3);
+    let clean = ctx.encrypt(&pt, &sk, &mut rng);
+    ctx.set_policy(GuardrailPolicy::Strict {
+        min_budget_bits: 0.0,
+    });
+
+    // Class 1: limb-word bit flip -> conformance scan.
+    let mut flipped = clean.clone();
+    faults::flip_ciphertext_word(&mut flipped, 0, 1, 7);
+    assert!(matches!(
+        ctx.try_add(&clean, &flipped),
+        Err(FheError::CorruptCiphertext { op: "add", .. })
+    ));
+
+    // Class 2: tampered scale (a dropped rescale's bookkeeping state)
+    // -> signed-budget threshold.
+    let mut drifted = clean.clone();
+    faults::corrupt_scale(&mut drifted, 2f64.powi(60));
+    assert!(matches!(
+        ctx.try_square(&drifted, &relin),
+        Err(FheError::BudgetExhausted { .. })
+    ));
+
+    // Class 3: corrupted keyswitch hint -> integrity digest.
+    let mut bad_key = ctx.relin_keygen(&sk, KeySwitchKind::Boosted { digits: 1 }, &mut rng);
+    faults::corrupt_hint_word(&mut bad_key, 0, 0, 0, 0);
+    assert!(!bad_key.verify_integrity());
+    assert!(matches!(
+        ctx.try_mul(&clean, &clean, &bad_key),
+        Err(FheError::CorruptKey { op: "mul", .. })
+    ));
+
+    // The pristine pipeline still passes under Strict.
+    let sq = ctx
+        .try_square(&clean, &relin)
+        .expect("clean square passes strict guardrails");
+    let down = ctx.try_rescale(&sq).expect("rescale passes");
+    assert!(ctx.budget_bits(&down) >= 0.0);
+}
+
+#[test]
+fn auto_rescale_policy_manages_levels_for_the_caller() {
+    let (mut ctx, sk, mut rng) = setup();
+    let relin = ctx.relin_keygen(&sk, KeySwitchKind::Boosted { digits: 1 }, &mut rng);
+    ctx.set_policy(GuardrailPolicy::AutoRescale);
+    let pt = ctx.encode(&[0.5, 0.25], ctx.default_scale(), 3);
+    let ct = ctx.encrypt(&pt, &sk, &mut rng);
+    // Two chained squares with no manual rescale: the policy inserts them.
+    let a = ctx
+        .try_square(&ct, &relin)
+        .expect("auto-rescaled square succeeds");
+    assert_eq!(a.level(), 2, "policy must have consumed a level");
+    let got = ctx.decode(&ctx.decrypt(&a, &sk), 2);
+    assert!((got[0] - 0.25).abs() < 1e-2, "got {}", got[0]);
+}
+
+#[test]
+fn fallible_api_reports_structured_errors_across_the_workspace() {
+    let (ctx, sk, mut rng) = setup();
+    let a = ctx.encrypt(&ctx.encode(&[1.0], ctx.default_scale(), 3), &sk, &mut rng);
+    let b = ctx.encrypt(&ctx.encode(&[1.0], ctx.default_scale(), 2), &sk, &mut rng);
+    match ctx.try_add(&a, &b) {
+        Err(FheError::LevelMismatch { op, got, want }) => {
+            assert_eq!(op, "add");
+            // `got` is the second operand's level, `want` the first's.
+            assert_eq!((got, want), (2, 3));
+        }
+        other => panic!("expected LevelMismatch, got {other:?}"),
+    }
+    let low = ctx.encrypt(&ctx.encode(&[1.0], ctx.default_scale(), 1), &sk, &mut rng);
+    assert!(matches!(
+        ctx.try_rescale(&low),
+        Err(FheError::InvalidParams { op: "rescale", .. })
+    ));
+}

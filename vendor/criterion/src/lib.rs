@@ -1,0 +1,227 @@
+//! Offline stand-in for the `criterion` crate (API subset).
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides a minimal-but-functional timing harness with the API surface
+//! the workspace's benches use: `Criterion`, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `Bencher::iter`/`iter_batched`,
+//! `BenchmarkId`, `BatchSize`, and the `criterion_group!`/`criterion_main!`
+//! macros. Each benchmark is timed with `std::time::Instant` over a small
+//! fixed number of iterations and the mean is printed — no statistics,
+//! plots, or baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (same semantics).
+pub use std::hint::black_box;
+
+const WARMUP_ITERS: u64 = 2;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// Measurement iterations per benchmark (after warm-up).
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Parses CLI arguments (accepted and ignored in this stand-in).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Times a single closure-driven benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), self.sample_size, &mut f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n as u64);
+        self
+    }
+
+    fn effective_samples(&self) -> u64 {
+        self.sample_size.unwrap_or(self.criterion.sample_size)
+    }
+
+    /// Times one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let samples = self.effective_samples();
+        run_one(&label, samples, &mut f);
+        self
+    }
+
+    /// Times one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        let samples = self.effective_samples();
+        run_one(&label, samples, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Closes the group (reporting is per-benchmark in this stand-in).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus parameter value.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id labeled `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// How `iter_batched` amortizes setup cost (ignored: every stand-in batch
+/// is one iteration).
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+    /// Explicit batch count.
+    NumBatches(u64),
+    /// Explicit iteration count.
+    NumIterations(u64),
+}
+
+/// Passed to each benchmark closure; drives the timed routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` with untimed fresh inputs from `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..WARMUP_ITERS {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, samples: u64, f: &mut F) {
+    let mut b = Bencher {
+        iters: samples.max(1),
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let mean = b.elapsed.as_secs_f64() / b.iters as f64;
+    println!("bench: {label:<50} {:>12.3} us/iter (n={})", mean * 1e6, b.iters);
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut ran = 0u64;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function("count", |b| b.iter(|| ran += 1));
+            g.bench_with_input(BenchmarkId::new("with_input", 7), &7u64, |b, &x| {
+                b.iter_batched(|| x, |v| v * 2, BatchSize::SmallInput)
+            });
+            g.finish();
+        }
+        assert!(ran >= 3);
+    }
+}

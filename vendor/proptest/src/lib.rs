@@ -1,0 +1,332 @@
+//! Offline stand-in for the `proptest` crate (API subset).
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the subset of proptest this workspace uses: the `proptest!`
+//! macro (with optional `#![proptest_config(...)]`), `any::<T>()`, range
+//! strategies, tuple strategies, `collection::vec`, and the `prop_assert*`
+//! macros. Unlike real proptest there is no shrinking: a failing case
+//! panics immediately with the offending inputs left in the assertion
+//! message. Case generation is deterministic per test name, so failures
+//! reproduce across runs.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+// ---------------------------------------------------------------------------
+// Config
+// ---------------------------------------------------------------------------
+
+/// Subset of proptest's run configuration: the number of generated cases.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the suite fast while
+        // still exercising varied inputs.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Test RNG (self-contained; deterministic per test)
+// ---------------------------------------------------------------------------
+
+/// Deterministic test-case generator state.
+pub mod test_runner {
+    /// SplitMix64-based RNG seeded from the test's name.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator whose stream is a pure function of `name`.
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the test name.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next uniform 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value below `span` (`0 < span <= 2^64`).
+        pub fn below(&mut self, span: u128) -> u64 {
+            debug_assert!(span > 0);
+            ((self.next_u64() as u128 * span) >> 64) as u64
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+/// A generator of test-case values (no shrinking in this stand-in).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Full-range values for `any::<T>()`.
+pub trait Arbitrary: Sized {
+    /// Draws one value from the type's full range.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite values spanning a wide magnitude range.
+        let mag = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let exp = (rng.next_u64() % 61) as i32 - 30;
+        let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+        sign * mag * 2f64.powi(exp)
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// Strategy over a type's full value range.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy_unsigned {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as u128) - (self.start as u128);
+                assert!(span > 0, "empty range strategy");
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_range_strategy_signed {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i128) - (self.start as i128);
+                assert!(span > 0, "empty range strategy");
+                (self.start as i128 + rng.below(span as u128) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy_signed!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + (self.end - self.start) * u
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy!(
+    (A / 0),
+    (A / 0, B / 1),
+    (A / 0, B / 1, C / 2),
+    (A / 0, B / 1, C / 2, D / 3),
+    (A / 0, B / 1, C / 2, D / 3, E / 4),
+);
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for vectors with element strategy `S` and a size range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `Vec` strategy: `size.start..size.end` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u128;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($body:tt)*) => {
+        $crate::__proptest_fns! { cfg = $cfg; $($body)* }
+    };
+    ($($body:tt)*) => {
+        $crate::__proptest_fns! { cfg = $crate::ProptestConfig::default(); $($body)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::test_runner::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cfg.cases {
+                let ($($arg,)+) = ($($crate::Strategy::sample(&($strat), &mut __rng),)+);
+                $body
+            }
+        }
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+}
+
+/// Asserts a property holds (panics with the message on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts two values are equal (panics with both values on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts two values differ.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// The usual glob-import surface: strategies, config, and macros.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, Arbitrary, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in -5i64..5, f in -1.0..1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(v in collection::vec((any::<u8>(), any::<u8>()), 1..40)) {
+            prop_assert!(!v.is_empty() && v.len() < 40);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        use crate::test_runner::TestRng;
+        let mut a = TestRng::deterministic("t");
+        let mut b = TestRng::deterministic("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}
