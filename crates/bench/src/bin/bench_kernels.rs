@@ -1,0 +1,227 @@
+//! Kernel-level wall-clock benchmark emitting `BENCH_kernels.json`.
+//!
+//! Times the functional hot paths the parallel execution engine targets —
+//! NTT, RNS element-wise ops, base conversion, keyswitch, rescale, and one
+//! bootstrap step (an EvalMod square+rescale) — and writes ns/op as JSON so
+//! `scripts/bench.sh` can track the serial-vs-parallel trajectory across
+//! commits.
+//!
+//! Usage:
+//!   bench_kernels [--smoke] [--label NAME] [--out PATH]
+//!
+//! `--smoke` runs tiny shapes with one timed iteration each — just enough
+//! for `scripts/verify.sh` to prove the harness still builds and runs.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use cl_ckks::{CkksContext, CkksParams, KeySwitchKind};
+use cl_rns::{BaseConverter, RnsContext};
+use rand::SeedableRng;
+
+struct Config {
+    smoke: bool,
+    label: String,
+    out: Option<String>,
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        smoke: false,
+        label: "current".to_string(),
+        out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => cfg.smoke = true,
+            "--label" => cfg.label = args.next().expect("--label needs a value"),
+            "--out" => cfg.out = Some(args.next().expect("--out needs a value")),
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    cfg
+}
+
+/// Times `f` adaptively: warm up once, then run batches until the total
+/// exceeds ~0.3 s (or `min_iters`), reporting mean ns per call.
+fn time_ns(smoke: bool, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    if smoke {
+        let t = Instant::now();
+        f();
+        return t.elapsed().as_nanos() as f64;
+    }
+    let mut iters = 0u64;
+    let mut total_ns = 0u128;
+    let min_total: u128 = 300_000_000; // 0.3 s
+    while total_ns < min_total || iters < 5 {
+        let t = Instant::now();
+        f();
+        total_ns += t.elapsed().as_nanos();
+        iters += 1;
+        if iters >= 1000 {
+            break;
+        }
+    }
+    total_ns as f64 / iters as f64
+}
+
+fn main() {
+    let cfg = parse_args();
+    // Acceptance shapes: N >= 2^13, >= 8 limbs. Smoke: tiny.
+    let (n, limbs, bits) = if cfg.smoke { (256, 3, 30) } else { (1 << 13, 8, 50) };
+    let threads = std::env::var("CL_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        });
+    eprintln!(
+        "bench_kernels: label={} n={n} limbs={limbs} bits={bits} threads={threads} smoke={}",
+        cfg.label, cfg.smoke
+    );
+
+    let mut results: Vec<(&'static str, f64)> = Vec::new();
+
+    // --- RNS-level kernels -------------------------------------------------
+    {
+        let ctx = RnsContext::generate(n, limbs, limbs, bits).expect("rns context");
+        let basis = ctx.q_basis(limbs);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let a = ctx.sample_uniform(&basis, &mut rng);
+        let b = ctx.sample_uniform(&basis, &mut rng);
+        let mut coeff = a.clone();
+        ctx.from_ntt(&mut coeff);
+
+        results.push((
+            "ntt_forward",
+            time_ns(cfg.smoke, || {
+                let mut p = coeff.clone();
+                ctx.to_ntt(&mut p);
+                std::hint::black_box(&p);
+            }),
+        ));
+        results.push((
+            "ntt_inverse",
+            time_ns(cfg.smoke, || {
+                let mut p = a.clone();
+                ctx.from_ntt(&mut p);
+                std::hint::black_box(&p);
+            }),
+        ));
+        results.push((
+            "rns_add",
+            time_ns(cfg.smoke, || {
+                std::hint::black_box(ctx.add(&a, &b));
+            }),
+        ));
+        results.push((
+            "rns_mul",
+            time_ns(cfg.smoke, || {
+                std::hint::black_box(ctx.mul(&a, &b));
+            }),
+        ));
+        {
+            let mut acc = a.clone();
+            results.push((
+                "rns_mul_acc",
+                time_ns(cfg.smoke, || {
+                    ctx.mul_acc(&mut acc, &a, &b);
+                    std::hint::black_box(&acc);
+                }),
+            ));
+        }
+        let g = cl_math::galois_element_for_rotation(1, n);
+        results.push((
+            "automorphism_ntt",
+            time_ns(cfg.smoke, || {
+                std::hint::black_box(ctx.apply_automorphism(&a, g));
+            }),
+        ));
+        let conv = BaseConverter::new(&ctx, ctx.q_basis(limbs), ctx.p_basis(limbs));
+        results.push((
+            "base_conv",
+            time_ns(cfg.smoke, || {
+                std::hint::black_box(conv.convert(&ctx, &coeff));
+            }),
+        ));
+    }
+
+    // --- CKKS-level kernels ------------------------------------------------
+    {
+        let params = CkksParams::builder()
+            .ring_degree(n)
+            .levels(limbs)
+            .special_limbs(limbs)
+            .limb_bits(bits)
+            .scale_bits(bits - 4)
+            .build()
+            .expect("params");
+        let ctx = CkksContext::new(params).expect("ckks context");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let sk = ctx.keygen(&mut rng);
+        let relin = ctx.relin_keygen(&sk, KeySwitchKind::Boosted { digits: 1 }, &mut rng);
+        let rot = ctx.rotation_keygen(&sk, 1, KeySwitchKind::Boosted { digits: 1 }, &mut rng);
+        let vals: Vec<f64> = (0..16).map(|i| 0.01 * i as f64).collect();
+        let pt = ctx.encode(&vals, ctx.default_scale(), limbs);
+        let ct = ctx.encrypt(&pt, &sk, &mut rng);
+
+        let qb = ctx.rns().q_basis(limbs);
+        let signed: Vec<i64> = (0..n).map(|i| ((i as i64 * 37 + 11) % 1000) - 500).collect();
+        let mut msg = ctx.rns().from_signed_coeffs(&signed, &qb);
+        ctx.rns().to_ntt(&mut msg);
+        results.push((
+            "keyswitch",
+            time_ns(cfg.smoke, || {
+                std::hint::black_box(ctx.keyswitch(&msg, &relin));
+            }),
+        ));
+        results.push((
+            "rotate",
+            time_ns(cfg.smoke, || {
+                std::hint::black_box(ctx.rotate(&ct, 1, &rot));
+            }),
+        ));
+        results.push((
+            "rescale",
+            time_ns(cfg.smoke, || {
+                std::hint::black_box(ctx.rescale(&ct));
+            }),
+        ));
+        // One bootstrap step: the EvalMod inner loop is a squaring chain;
+        // each step is square + rescale.
+        results.push((
+            "bootstrap_step",
+            time_ns(cfg.smoke, || {
+                std::hint::black_box(ctx.rescale(&ctx.square(&ct, &relin)));
+            }),
+        ));
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"label\": \"{}\",", cfg.label);
+    let _ = writeln!(json, "  \"n\": {n},");
+    let _ = writeln!(json, "  \"limbs\": {limbs},");
+    let _ = writeln!(json, "  \"limb_bits\": {bits},");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"smoke\": {},", cfg.smoke);
+    let _ = writeln!(json, "  \"kernels_ns\": {{");
+    for (i, (name, ns)) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(json, "    \"{name}\": {ns:.0}{comma}");
+    }
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    for (name, ns) in &results {
+        println!("{name:>16}: {:>12.1} us/op", ns / 1000.0);
+    }
+    if let Some(path) = &cfg.out {
+        std::fs::write(path, &json).expect("write JSON output");
+        eprintln!("bench_kernels: wrote {path}");
+    } else {
+        println!("{json}");
+    }
+}

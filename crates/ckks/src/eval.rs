@@ -16,7 +16,7 @@
 
 use std::borrow::Cow;
 
-use cl_rns::rescale as rns_rescale;
+use cl_rns::{rescale_with, Basis};
 
 use crate::context::GuardrailPolicy;
 use crate::error::{FheError, FheResult};
@@ -372,8 +372,13 @@ impl CkksContext {
         let mut c1 = a.c1.clone();
         rns.from_ntt(&mut c0);
         rns.from_ntt(&mut c1);
-        let mut r0 = rns_rescale(rns, &c0);
-        let mut r1 = rns_rescale(rns, &c1);
+        // Reuse the cached drop-limb -> kept-limbs converter: rebuilding it
+        // per rescale puts big-integer products on the hot path.
+        let keep = rns.q_basis(a.level - 1);
+        let drop = Basis(vec![(a.level - 1) as u32]);
+        let conv = self.converter(&drop, &keep);
+        let mut r0 = rescale_with(rns, &c0, &conv);
+        let mut r1 = rescale_with(rns, &c1, &conv);
         rns.to_ntt(&mut r0);
         rns.to_ntt(&mut r1);
         let out = Ciphertext {

@@ -18,6 +18,7 @@
 
 use cl_rns::{mod_down, Basis, RnsPoly};
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 use crate::error::{FheError, FheResult};
 use crate::noise::{log2_add, SIGMA};
@@ -225,54 +226,68 @@ impl CkksContext {
         let mut acc0 = rns.zero(&target);
         acc0.set_ntt_form(true);
         let mut acc1 = acc0.clone();
-        for (d, limbs) in ksk.digit_limbs.iter().enumerate() {
-            let present: Vec<u32> = limbs.iter().copied().filter(|&l| (l as usize) < level).collect();
-            if present.is_empty() {
-                continue;
-            }
-            let digit_basis = Basis(present.clone());
-            let ext_basis = Basis(
-                target
-                    .0
-                    .iter()
-                    .copied()
-                    .filter(|l| !present.contains(l))
-                    .collect(),
-            );
-            let c_d = rns.restrict(&c_coeff, &digit_basis);
-            // ModUp: fast base conversion to the rest of the target basis
-            // (this is the changeRNSBase of Listing 1, line 3).
-            let mut c_full = rns.zero(&target);
-            if !ext_basis.is_empty() {
-                let conv = self.converter(&digit_basis, &ext_basis);
-                let c_ext = conv.convert(rns, &c_d);
-                for (pos, &limb) in target.0.iter().enumerate() {
-                    let src = if let Some(k) = digit_basis.0.iter().position(|&l| l == limb) {
-                        c_d.limb(k)
-                    } else {
-                        let k = ext_basis.0.iter().position(|&l| l == limb).expect(
-                            "target basis is the disjoint union of digit and extension bases",
-                        );
-                        c_ext.limb(k)
-                    };
-                    c_full.limb_mut(pos).copy_from_slice(src);
+        // ModUp each digit in parallel: every digit's restrict + base
+        // conversion + NTT is independent of the others (the CraterLake
+        // schedule overlaps them across functional units the same way).
+        let digit_polys: Vec<Option<RnsPoly>> = (0..ksk.digit_limbs.len())
+            .into_par_iter()
+            .map(|d| {
+                let limbs = &ksk.digit_limbs[d];
+                let present: Vec<u32> =
+                    limbs.iter().copied().filter(|&l| (l as usize) < level).collect();
+                if present.is_empty() {
+                    return None;
                 }
-            } else {
-                for (pos, &limb) in target.0.iter().enumerate() {
-                    let k = digit_basis
+                let digit_basis = Basis(present.clone());
+                let ext_basis = Basis(
+                    target
                         .0
                         .iter()
-                        .position(|&l| l == limb)
-                        .expect("with no extension basis the digit basis covers the target");
-                    c_full.limb_mut(pos).copy_from_slice(c_d.limb(k));
+                        .copied()
+                        .filter(|l| !present.contains(l))
+                        .collect(),
+                );
+                let c_d = rns.restrict(&c_coeff, &digit_basis);
+                // ModUp: fast base conversion to the rest of the target basis
+                // (this is the changeRNSBase of Listing 1, line 3).
+                let mut c_full = rns.zero(&target);
+                if !ext_basis.is_empty() {
+                    let conv = self.converter(&digit_basis, &ext_basis);
+                    let c_ext = conv.convert(rns, &c_d);
+                    for (pos, &limb) in target.0.iter().enumerate() {
+                        let src = if let Some(k) = digit_basis.0.iter().position(|&l| l == limb) {
+                            c_d.limb(k)
+                        } else {
+                            let k = ext_basis.0.iter().position(|&l| l == limb).expect(
+                                "target basis is the disjoint union of digit and extension bases",
+                            );
+                            c_ext.limb(k)
+                        };
+                        c_full.limb_mut(pos).copy_from_slice(src);
+                    }
+                } else {
+                    for (pos, &limb) in target.0.iter().enumerate() {
+                        let k = digit_basis
+                            .0
+                            .iter()
+                            .position(|&l| l == limb)
+                            .expect("with no extension basis the digit basis covers the target");
+                        c_full.limb_mut(pos).copy_from_slice(c_d.limb(k));
+                    }
                 }
-            }
-            rns.to_ntt(&mut c_full);
-            // Multiply by the hint and accumulate (Listing 1, line 6).
-            let k0 = rns.restrict(&ksk.elems[d].0, &target);
-            let k1 = rns.restrict(&ksk.elems[d].1, &target);
-            rns.mul_acc(&mut acc0, &c_full, &k0);
-            rns.mul_acc(&mut acc1, &c_full, &k1);
+                rns.to_ntt(&mut c_full);
+                Some(c_full)
+            })
+            .collect();
+        // Multiply by the hint and accumulate (Listing 1, line 6), serially
+        // and in digit order so the result is bit-identical at any thread
+        // count. The hint polys live over the full key basis (a superset of
+        // `target` at lower levels), so accumulate through the superset-aware
+        // kernel instead of materializing their restriction per digit.
+        for (d, c_full) in digit_polys.into_iter().enumerate() {
+            let Some(c_full) = c_full else { continue };
+            rns.mul_acc_superset(&mut acc0, &c_full, &ksk.elems[d].0);
+            rns.mul_acc_superset(&mut acc1, &c_full, &ksk.elems[d].1);
         }
         if special == 0 {
             return Ok((acc0, acc1));

@@ -117,7 +117,7 @@ impl CkksParamsBuilder {
         self
     }
 
-    /// Sets the RNS modulus width in bits (8..=61).
+    /// Sets the RNS modulus width in bits (8..=59).
     pub fn limb_bits(mut self, bits: u32) -> Self {
         self.limb_bits = Some(bits);
         self
@@ -155,9 +155,9 @@ impl CkksParamsBuilder {
         if levels == 0 {
             return Err(ParamsError("levels must be >= 1".into()));
         }
-        if !(8..=61).contains(&limb_bits) {
+        if !(8..=59).contains(&limb_bits) {
             return Err(ParamsError(format!(
-                "limb_bits must be in [8, 61], got {limb_bits}"
+                "limb_bits must be in [8, 59], got {limb_bits}"
             )));
         }
         if scale_bits as usize >= 2 * limb_bits as usize {

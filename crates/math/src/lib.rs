@@ -8,8 +8,10 @@
 //! integer used for exact CRT cross-checks in tests.
 //!
 //! The hardware described in the paper operates on 28-bit residues; this
-//! crate is generic over the modulus width (any prime below 2^62) so that the
-//! functional library can also run at higher-precision parameters in tests.
+//! crate is generic over the modulus width (any prime below 2^60 — the cap
+//! that keeps the lazy-reduction NTT's `[0, 4q)` operand range overflow-free)
+//! so that the functional library can also run at higher-precision parameters
+//! in tests.
 //!
 //! # Example
 //!
@@ -36,8 +38,8 @@ mod ntt;
 mod primes;
 
 pub use automorphism::{
-    apply_automorphism_coeff, apply_automorphism_ntt, galois_element_conjugate,
-    galois_element_for_rotation, AutomorphismTable,
+    apply_automorphism_coeff, apply_automorphism_ntt, apply_automorphism_ntt_into,
+    galois_element_conjugate, galois_element_for_rotation, AutomorphismTable,
 };
 pub use bigint::BigUint;
 pub use cfft::{Complex, SpecialFft};

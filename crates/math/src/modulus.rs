@@ -1,9 +1,13 @@
 //! Prime-field arithmetic over a word-sized modulus.
 
-/// A prime modulus `q < 2^62` with precomputed constants for fast reduction.
+/// A prime modulus `q < 2^60` with precomputed constants for fast reduction.
 ///
-/// All arithmetic methods expect operands already reduced to `[0, q)` and
-/// produce results in `[0, q)`.
+/// The strict arithmetic methods expect operands already reduced to `[0, q)`
+/// and produce results in `[0, q)`. The `*_lazy` methods implement the
+/// relaxed-range ("lazy reduction") arithmetic the NTT kernels use: values
+/// are allowed to drift up to `[0, 4q)` between corrections, which is why
+/// the modulus is capped at `2^60` — `4q` must fit in a `u64` with headroom
+/// for one addition.
 ///
 /// # Example
 ///
@@ -22,12 +26,16 @@ pub struct Modulus {
 }
 
 impl Modulus {
-    /// Creates a modulus. Returns `None` if `q < 2` or `q >= 2^62`.
+    /// Creates a modulus. Returns `None` if `q < 2` or `q >= 2^60`.
+    ///
+    /// The `2^60` cap (rather than the `2^62` a plain Barrett reduction would
+    /// allow) guarantees the lazy-reduction NTT invariant: butterfly operands
+    /// stay in `[0, 4q)` and `x + 2q - t` with `x, t < 4q` never overflows.
     ///
     /// Primality is not checked here; use [`crate::is_prime`] when a prime is
     /// required.
     pub fn new(q: u64) -> Option<Self> {
-        if q < 2 || q >= (1u64 << 62) {
+        if q < 2 || q >= (1u64 << 60) {
             return None;
         }
         // floor(2^128 / q) computed via 128-bit long division in two steps.
@@ -54,6 +62,44 @@ impl Modulus {
     #[inline]
     pub fn bits(&self) -> u32 {
         64 - self.q.leading_zeros()
+    }
+
+    /// Twice the modulus — the reduction bound for lazy operands.
+    #[inline]
+    pub fn two_q(&self) -> u64 {
+        self.q << 1
+    }
+
+    /// Lazy addition: plain `a + b` with no reduction. With both operands in
+    /// `[0, 2q)` the result stays in `[0, 4q)`, which the NTT butterflies
+    /// tolerate until the final correction sweep.
+    #[inline]
+    pub fn add_lazy(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.two_q() && b < self.two_q());
+        a + b
+    }
+
+    /// Conditionally subtracts `2q`, mapping `[0, 4q)` into `[0, 2q)`.
+    #[inline]
+    pub fn reduce_lazy(&self, a: u64) -> u64 {
+        debug_assert!(a < 4 * self.q);
+        let two_q = self.two_q();
+        if a >= two_q {
+            a - two_q
+        } else {
+            a
+        }
+    }
+
+    /// Final correction: maps a lazy value in `[0, 4q)` to canonical `[0, q)`.
+    #[inline]
+    pub fn correct_lazy(&self, a: u64) -> u64 {
+        debug_assert!(a < 4 * self.q);
+        let mut r = self.reduce_lazy(a);
+        if r >= self.q {
+            r -= self.q;
+        }
+        r
     }
 
     /// Modular addition.
@@ -170,6 +216,19 @@ impl Modulus {
         }
     }
 
+    /// Shoup multiplication without the final conditional subtraction.
+    ///
+    /// Accepts *any* `a < 2^64` (in particular lazy operands in `[0, 4q)`)
+    /// and returns a value congruent to `a * w (mod q)` in `[0, 2q)`: with
+    /// `hi = floor(a * w_shoup / 2^64)` the returned `a*w - hi*q` is
+    /// non-negative and bounded by `q * (1 + a/2^64) < 2q`.
+    #[inline]
+    pub fn mul_shoup_lazy(&self, a: u64, w: u64, w_shoup: u64) -> u64 {
+        debug_assert!(w < self.q);
+        let hi = ((a as u128 * w_shoup as u128) >> 64) as u64;
+        a.wrapping_mul(w).wrapping_sub(hi.wrapping_mul(self.q))
+    }
+
     /// Reduces an arbitrary `u64` into `[0, q)`.
     #[inline]
     pub fn reduce(&self, a: u64) -> u64 {
@@ -212,7 +271,9 @@ mod tests {
     fn new_rejects_out_of_range() {
         assert!(Modulus::new(0).is_none());
         assert!(Modulus::new(1).is_none());
+        assert!(Modulus::new(1u64 << 60).is_none());
         assert!(Modulus::new(1u64 << 62).is_none());
+        assert!(Modulus::new((1u64 << 60) - 1).is_some());
         assert!(Modulus::new(2).is_some());
     }
 
@@ -266,6 +327,23 @@ mod tests {
         fn add_sub_roundtrip(a in 0u64..Q28, b in 0u64..Q28) {
             let m = Modulus::new(Q28).unwrap();
             prop_assert_eq!(m.sub(m.add(a, b), b), a);
+        }
+
+        #[test]
+        fn mul_shoup_lazy_bound_and_congruence(a in 0u64..4 * Q59, w in 0u64..Q59) {
+            let m = Modulus::new(Q59).unwrap();
+            let ws = m.shoup_precompute(w);
+            let r = m.mul_shoup_lazy(a, w, ws);
+            prop_assert!(r < m.two_q());
+            prop_assert_eq!(r as u128 % Q59 as u128, (a as u128 * w as u128) % Q59 as u128);
+        }
+
+        #[test]
+        fn correct_lazy_canonicalizes(a in 0u64..4 * Q59) {
+            let m = Modulus::new(Q59).unwrap();
+            let r = m.correct_lazy(a);
+            prop_assert!(r < Q59);
+            prop_assert_eq!(r % Q59, a % Q59);
         }
     }
 }

@@ -4,6 +4,17 @@
 //! that polynomial multiplication — the convolution at the heart of
 //! homomorphic multiplication — becomes element-wise (Sec. 2.4). CraterLake
 //! devotes two dedicated functional units to this transform.
+//!
+//! The default [`NttTable::forward`]/[`NttTable::inverse`] kernels use
+//! Harvey-style lazy reduction: butterfly operands drift through `[0, 4q)`
+//! (forward) and `[0, 2q)` (inverse), with a single correction sweep at the
+//! end instead of per-butterfly conditional subtractions. The fully reduced
+//! reference kernels survive as [`NttTable::forward_strict`] and
+//! [`NttTable::inverse_strict`]; differential tests assert both paths are
+//! bit-identical.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::{bit_reverse, Modulus};
 
@@ -92,6 +103,39 @@ impl NttTable {
         })
     }
 
+    /// Returns the process-wide cached table for `(n, q)`, building it on
+    /// first use.
+    ///
+    /// RNS contexts at the same ring degree share moduli constantly (every
+    /// `CkksContext`, `BaseConverter`, and test fixture re-derives the same
+    /// primes), and table construction is `O(n log n)` modular arithmetic —
+    /// caching makes repeated context setup cheap and lets contexts share one
+    /// allocation per modulus.
+    ///
+    /// Returns `None` under the same conditions as [`NttTable::new`]. Failed
+    /// lookups are not cached.
+    pub fn cached(n: usize, q: u64) -> Option<Arc<NttTable>> {
+        static CACHE: OnceLock<Mutex<HashMap<(usize, u64), Arc<NttTable>>>> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        if let Some(t) = cache
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .get(&(n, q))
+        {
+            return Some(Arc::clone(t));
+        }
+        // Build outside the lock: construction is O(n log n) and must not
+        // serialize unrelated lookups. A racing builder just loses its copy.
+        let table = Arc::new(NttTable::new(n, q)?);
+        Some(Arc::clone(
+            cache
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .entry((n, q))
+                .or_insert(table),
+        ))
+    }
+
     /// Ring degree.
     #[inline]
     pub fn n(&self) -> usize {
@@ -104,15 +148,66 @@ impl NttTable {
         &self.modulus
     }
 
-    /// Forward negacyclic NTT, in place (Cooley-Tukey, decimation in time).
+    /// Forward negacyclic NTT, in place (Cooley-Tukey, decimation in time,
+    /// Harvey lazy reduction).
     ///
     /// Input in natural coefficient order, output in bit-reversed evaluation
-    /// order.
+    /// order. Intermediate values drift through `[0, 4q)`: each butterfly
+    /// conditionally reduces its top operand into `[0, 2q)`, computes the
+    /// twiddle product with [`Modulus::mul_shoup_lazy`] (result in `[0, 2q)`),
+    /// and writes `x + t` / `x + 2q - t` — both below `4q`, which fits in a
+    /// `u64` because [`Modulus::new`] caps `q` below `2^60`. A final sweep
+    /// restores canonical `[0, q)`, so output is bit-identical to
+    /// [`NttTable::forward_strict`].
     ///
     /// # Panics
     ///
     /// Panics if `a.len() != self.n()`.
     pub fn forward(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "polynomial length mismatch");
+        let m = &self.modulus;
+        let two_q = m.two_q();
+        let n = self.n;
+        let mut t = n;
+        let mut len = 1usize;
+        while len < n {
+            t >>= 1;
+            for i in 0..len {
+                // SAFETY: len + i < 2*len <= n == root_pows.len().
+                let (w, ws) = unsafe {
+                    (
+                        *self.root_pows.get_unchecked(len + i),
+                        *self.root_pows_shoup.get_unchecked(len + i),
+                    )
+                };
+                let j0 = 2 * i * t;
+                for j in j0..j0 + t {
+                    // SAFETY: j + t <= j0 + 2t - 1 = (2i + 2)t - 1 < 2*len*t = n.
+                    unsafe {
+                        let mut x = *a.get_unchecked(j);
+                        if x >= two_q {
+                            x -= two_q;
+                        }
+                        let v = m.mul_shoup_lazy(*a.get_unchecked(j + t), w, ws);
+                        *a.get_unchecked_mut(j) = x + v;
+                        *a.get_unchecked_mut(j + t) = x + two_q - v;
+                    }
+                }
+            }
+            len <<= 1;
+        }
+        for x in a.iter_mut() {
+            *x = m.correct_lazy(*x);
+        }
+    }
+
+    /// Fully reduced forward NTT — the pre-lazy reference kernel, kept for
+    /// differential testing against [`NttTable::forward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != self.n()`.
+    pub fn forward_strict(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "polynomial length mismatch");
         let m = &self.modulus;
         let n = self.n;
@@ -136,15 +231,71 @@ impl NttTable {
     }
 
     /// Inverse negacyclic NTT, in place (Gentleman-Sande, decimation in
-    /// frequency), including the `n^{-1}` scaling.
+    /// frequency, Harvey lazy reduction), including the `n^{-1}` scaling.
     ///
     /// Input in bit-reversed evaluation order, output in natural coefficient
-    /// order.
+    /// order. Intermediate values stay in `[0, 2q)`: each butterfly writes the
+    /// conditionally reduced sum `u + v` and the lazy twiddle product of
+    /// `u - v + 2q`. The closing `n^{-1}` sweep uses
+    /// [`Modulus::mul_shoup_lazy`] plus one conditional subtraction, so the
+    /// output is canonical and bit-identical to [`NttTable::inverse_strict`].
     ///
     /// # Panics
     ///
     /// Panics if `a.len() != self.n()`.
     pub fn inverse(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.n, "polynomial length mismatch");
+        let m = &self.modulus;
+        let q = m.value();
+        let two_q = m.two_q();
+        let n = self.n;
+        let mut t = 1usize;
+        let mut len = n >> 1;
+        while len >= 1 {
+            let mut j0 = 0usize;
+            for i in 0..len {
+                // SAFETY: len + i < 2*len <= n == inv_root_pows.len().
+                let (w, ws) = unsafe {
+                    (
+                        *self.inv_root_pows.get_unchecked(len + i),
+                        *self.inv_root_pows_shoup.get_unchecked(len + i),
+                    )
+                };
+                for j in j0..j0 + t {
+                    // SAFETY: the stage partitions [0, n) into disjoint
+                    // (j, j + t) pairs, so j + t < n.
+                    unsafe {
+                        let u = *a.get_unchecked(j);
+                        let v = *a.get_unchecked(j + t);
+                        let mut s = u + v;
+                        if s >= two_q {
+                            s -= two_q;
+                        }
+                        *a.get_unchecked_mut(j) = s;
+                        *a.get_unchecked_mut(j + t) = m.mul_shoup_lazy(u + two_q - v, w, ws);
+                    }
+                }
+                j0 += 2 * t;
+            }
+            t <<= 1;
+            len >>= 1;
+        }
+        for x in a.iter_mut() {
+            let mut v = m.mul_shoup_lazy(*x, self.n_inv, self.n_inv_shoup);
+            if v >= q {
+                v -= q;
+            }
+            *x = v;
+        }
+    }
+
+    /// Fully reduced inverse NTT — the pre-lazy reference kernel, kept for
+    /// differential testing against [`NttTable::inverse`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != self.n()`.
+    pub fn inverse_strict(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "polynomial length mismatch");
         let m = &self.modulus;
         let n = self.n;
@@ -296,8 +447,43 @@ mod tests {
         assert_eq!(fa, expect);
     }
 
+    #[test]
+    fn cached_returns_shared_table() {
+        let q = generate_ntt_primes(64, 28, 1).unwrap()[0];
+        let a = NttTable::cached(64, q).unwrap();
+        let b = NttTable::cached(64, q).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(NttTable::cached(64, 19).is_none());
+        // The cached table matches a freshly built one.
+        let fresh = NttTable::new(64, q).unwrap();
+        let mut x: Vec<u64> = (0..64).collect();
+        let mut y = x.clone();
+        a.forward(&mut x);
+        fresh.forward(&mut y);
+        assert_eq!(x, y);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn lazy_matches_strict(seed in any::<u64>()) {
+            for n in [8usize, 64, 256] {
+                let t = table(n, 40);
+                let q = t.modulus().value();
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                let a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+                let mut lazy = a.clone();
+                let mut strict = a.clone();
+                t.forward(&mut lazy);
+                t.forward_strict(&mut strict);
+                prop_assert_eq!(&lazy, &strict, "forward mismatch at n={}", n);
+                t.inverse(&mut lazy);
+                t.inverse_strict(&mut strict);
+                prop_assert_eq!(&lazy, &strict, "inverse mismatch at n={}", n);
+                prop_assert_eq!(&lazy, &a, "roundtrip mismatch at n={}", n);
+            }
+        }
+
         #[test]
         fn ntt_is_linear(seed in any::<u64>()) {
             let n = 32;

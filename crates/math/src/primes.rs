@@ -97,8 +97,9 @@ pub fn is_prime(n: u64) -> bool {
 /// # Errors
 ///
 /// Returns [`MathError::InvalidParameter`] if `n` is not a power of two or
-/// `bits` is outside `[8, 61]`, and [`MathError::NotEnoughPrimes`] if fewer
-/// than `count` such primes exist.
+/// `bits` is outside `[8, 59]` (primes must stay below the `2^60`
+/// [`crate::Modulus`] cap required by the lazy-reduction NTT), and
+/// [`MathError::NotEnoughPrimes`] if fewer than `count` such primes exist.
 ///
 /// # Example
 ///
@@ -114,9 +115,9 @@ pub fn generate_ntt_primes(n: usize, bits: u32, count: usize) -> Result<Vec<u64>
             "ring degree must be a power of two >= 2, got {n}"
         )));
     }
-    if !(8..=61).contains(&bits) {
+    if !(8..=59).contains(&bits) {
         return Err(MathError::InvalidParameter(format!(
-            "prime width must be in [8, 61] bits, got {bits}"
+            "prime width must be in [8, 59] bits, got {bits}"
         )));
     }
     let step = 2 * n as u64;
@@ -200,7 +201,7 @@ mod tests {
     #[test]
     fn rejects_bad_parameters() {
         assert!(generate_ntt_primes(1000, 28, 1).is_err()); // not a power of two
-        assert!(generate_ntt_primes(1024, 62, 1).is_err()); // too wide
+        assert!(generate_ntt_primes(1024, 60, 1).is_err()); // too wide
         assert!(generate_ntt_primes(1024, 4, 1).is_err()); // too narrow
     }
 }

@@ -15,7 +15,9 @@
 //!   `ModDown` and rescaling, where the result must be the centered value.
 
 use cl_math::BigUint;
+use rayon::prelude::*;
 
+use crate::scratch::with_scratch;
 use crate::{Basis, RnsContext, RnsPoly};
 
 /// Precomputed constants for converting polynomials from one RNS basis to
@@ -43,6 +45,8 @@ pub struct BaseConverter {
     punctured_mod_dst: Vec<Vec<u64>>,
     /// `Q mod b_j` for the alpha correction.
     q_mod_dst: Vec<u64>,
+    /// `[Q^{-1}]_{b_j}` — the source-product inverse `ModDown` multiplies by.
+    inv_q_mod_dst: Vec<u64>,
     /// `1/q_i` as f64 for the alpha estimate.
     inv_q_f64: Vec<f64>,
 }
@@ -71,10 +75,19 @@ impl BaseConverter {
                     .collect(),
             );
         }
-        let q_mod_dst = dst
+        let q_mod_dst: Vec<u64> = dst
             .0
             .iter()
             .map(|&l| q_big.rem_u64(ctx.modulus_value(l)))
+            .collect();
+        // When the bases are disjoint (the only configuration ModDown uses),
+        // Q is coprime to every destination modulus and the inverse exists;
+        // an overlapping destination limb divides Q, recorded as 0.
+        let inv_q_mod_dst = dst
+            .0
+            .iter()
+            .zip(&q_mod_dst)
+            .map(|(&l, &qm)| if qm == 0 { 0 } else { ctx.modulus(l).inv(qm) })
             .collect();
         let inv_q_f64 = src_moduli.iter().map(|&q| 1.0 / q as f64).collect();
         Self {
@@ -83,6 +96,7 @@ impl BaseConverter {
             inv_punctured,
             punctured_mod_dst,
             q_mod_dst,
+            inv_q_mod_dst,
             inv_q_f64,
         }
     }
@@ -97,6 +111,13 @@ impl BaseConverter {
         &self.dst
     }
 
+    /// `[Q^{-1}]_{b_j}` per destination limb (`Q` the source-basis product),
+    /// or 0 where a destination limb divides `Q`. Precomputed so `ModDown`
+    /// does not re-derive the inverses by modular exponentiation per call.
+    pub fn src_prod_inv_mod_dst(&self) -> &[u64] {
+        &self.inv_q_mod_dst
+    }
+
     fn convert_inner(&self, ctx: &RnsContext, poly: &RnsPoly, exact: bool) -> RnsPoly {
         assert_eq!(poly.basis(), &self.src, "polynomial not in source basis");
         assert!(
@@ -105,46 +126,59 @@ impl BaseConverter {
         );
         let n = poly.n();
         let l_src = self.src.len();
-        // y_i = [x_i * (Q/q_i)^{-1}]_{q_i}
-        let mut y = vec![0u64; l_src * n];
-        for i in 0..l_src {
-            let m = ctx.modulus(self.src.0[i]);
-            let inv = self.inv_punctured[i];
-            let src_limb = poly.limb(i);
-            for (t, &x) in y[i * n..(i + 1) * n].iter_mut().zip(src_limb) {
-                *t = m.mul(x, inv);
-            }
-        }
-        // alpha_j estimate (how many multiples of Q the floor sum overshoots by).
-        let mut alpha = vec![0u64; n];
-        if exact {
-            for c in 0..n {
-                let mut v = 0.0f64;
-                for i in 0..l_src {
-                    v += y[i * n + c] as f64 * self.inv_q_f64[i];
+        // Both temporaries come from the thread-local scratch pool: the
+        // punctured-product matrix `y` and the alpha row are the allocation
+        // hot spots of every keyswitch and rescale.
+        with_scratch(l_src * n, |y| {
+            // y_i = [x_i * (Q/q_i)^{-1}]_{q_i}, one task per source limb.
+            y.par_chunks_mut(n).enumerate().for_each(|(i, yi)| {
+                let m = ctx.modulus(self.src.0[i]);
+                let inv = self.inv_punctured[i];
+                for (t, &x) in yi.iter_mut().zip(poly.limb(i)) {
+                    *t = m.mul(x, inv);
                 }
-                alpha[c] = (v + 0.5).floor() as u64;
-            }
-        }
-        let mut out = RnsPoly::zero(n, self.dst.clone());
-        for (j, &dst_limb) in self.dst.0.iter().enumerate() {
-            let m = ctx.modulus(dst_limb);
-            let out_limb = out.limb_mut(j);
-            for i in 0..l_src {
-                let c = m.reduce(self.punctured_mod_dst[i][j]);
-                for (o, &yi) in out_limb.iter_mut().zip(&y[i * n..(i + 1) * n]) {
-                    *o = m.add(*o, m.mul(m.reduce(yi), c));
+            });
+            let y = &*y;
+            with_scratch(if exact { n } else { 0 }, |alpha| {
+                // alpha_c estimate (how many multiples of Q the floor sum
+                // overshoots by), via the Halevi-Polyakov-Shoup float trick.
+                if exact {
+                    for (c, a) in alpha.iter_mut().enumerate() {
+                        let mut v = 0.0f64;
+                        for i in 0..l_src {
+                            v += y[i * n + c] as f64 * self.inv_q_f64[i];
+                        }
+                        *a = (v + 0.5).floor() as u64;
+                    }
                 }
-            }
-            if exact {
-                let q_mod = self.q_mod_dst[j];
-                for (o, &a) in out_limb.iter_mut().zip(&alpha) {
-                    let corr = m.mul(m.reduce(a), q_mod);
-                    *o = m.sub(*o, corr);
+                let alpha = &*alpha;
+                let mut out = RnsPoly::zero(n, self.dst.clone());
+                {
+                    // One task per destination limb: the O(L_src * L_dst * n)
+                    // inner-product matrix is the dominant cost (the CRB
+                    // unit's workload).
+                    let (dst_basis, coeffs) = out.parts_mut();
+                    let dst_limbs = &dst_basis.0;
+                    coeffs.par_chunks_mut(n).enumerate().for_each(|(j, out_limb)| {
+                        let m = ctx.modulus(dst_limbs[j]);
+                        for i in 0..l_src {
+                            let c = m.reduce(self.punctured_mod_dst[i][j]);
+                            for (o, &yi) in out_limb.iter_mut().zip(&y[i * n..(i + 1) * n]) {
+                                *o = m.add(*o, m.mul(m.reduce(yi), c));
+                            }
+                        }
+                        if exact {
+                            let q_mod = self.q_mod_dst[j];
+                            for (o, &a) in out_limb.iter_mut().zip(alpha) {
+                                let corr = m.mul(m.reduce(a), q_mod);
+                                *o = m.sub(*o, corr);
+                            }
+                        }
+                    });
                 }
-            }
-        }
-        out
+                out
+            })
+        })
     }
 
     /// Approximate fast base conversion (the CRB operation): the result
@@ -201,22 +235,11 @@ pub fn mod_down(
     // c mod P, converted to base Q (centered representative).
     let c_p = ctx.restrict(poly, p_basis);
     let c_p_in_q = conv_p_to_q.convert_exact(ctx, &c_p);
-    let c_q = ctx.restrict(poly, q_basis);
-    let diff = ctx.sub(&c_q, &c_p_in_q);
-    // Multiply by P^{-1} mod each q_j.
-    let p_inv: Vec<u64> = q_basis
-        .0
-        .iter()
-        .map(|&l| {
-            let m = ctx.modulus(l);
-            let mut p_mod = 1u64;
-            for &pl in &p_basis.0 {
-                p_mod = m.mul(p_mod, m.reduce(ctx.modulus_value(pl)));
-            }
-            m.inv(p_mod)
-        })
-        .collect();
-    ctx.scalar_mul_per_limb(&diff, &p_inv)
+    let mut diff = ctx.restrict(poly, q_basis);
+    ctx.sub_assign(&mut diff, &c_p_in_q);
+    // Multiply by P^{-1} mod each q_j (precomputed by the converter).
+    ctx.scalar_mul_per_limb_assign(&mut diff, conv_p_to_q.src_prod_inv_mod_dst());
+    diff
 }
 
 /// Rescales a polynomial: divides by its last limb's modulus with rounding
@@ -227,11 +250,30 @@ pub fn mod_down(
 /// Panics if the polynomial has fewer than 2 limbs or is in NTT form.
 pub fn rescale(ctx: &RnsContext, poly: &RnsPoly) -> RnsPoly {
     assert!(poly.num_limbs() >= 2, "cannot rescale a 1-limb polynomial");
-    let basis = poly.basis().clone();
+    let basis = poly.basis();
     let keep = Basis(basis.0[..basis.len() - 1].to_vec());
     let drop = Basis(vec![basis.0[basis.len() - 1]]);
     let conv = BaseConverter::new(ctx, drop.clone(), keep.clone());
     mod_down(ctx, poly, &keep, &drop, &conv)
+}
+
+/// [`rescale`] with a caller-supplied converter, so hot paths can reuse a
+/// cached `BaseConverter` instead of rebuilding one (big-integer products
+/// and modular inversions) on every rescale.
+///
+/// # Panics
+///
+/// Panics if the polynomial has fewer than 2 limbs, is in NTT form, or if
+/// `conv` does not convert from the polynomial's last limb to its remaining
+/// limbs.
+pub fn rescale_with(ctx: &RnsContext, poly: &RnsPoly, conv: &BaseConverter) -> RnsPoly {
+    assert!(poly.num_limbs() >= 2, "cannot rescale a 1-limb polynomial");
+    let basis = poly.basis();
+    let keep = Basis(basis.0[..basis.len() - 1].to_vec());
+    let drop = Basis(vec![basis.0[basis.len() - 1]]);
+    assert_eq!(conv.src_basis(), &drop, "converter source must be the dropped limb");
+    assert_eq!(conv.dst_basis(), &keep, "converter destination must be the kept limbs");
+    mod_down(ctx, poly, &keep, &drop, conv)
 }
 
 #[cfg(test)]

@@ -1,9 +1,17 @@
 //! The RNS context: ring degree, modulus chains, and NTT tables.
+//!
+//! Every per-limb operation dispatches its limbs across the global worker
+//! pool (`CL_THREADS` threads; see `vendor/rayon`): limbs are fully
+//! data-independent — exactly the parallelism CraterLake exploits by
+//! streaming one residue polynomial per vector-lane group — so results are
+//! bit-identical at every thread count.
 
 use std::fmt;
+use std::sync::Arc;
 
 use cl_math::{generate_ntt_primes, MathError, Modulus, NttTable};
 use rand::Rng;
+use rayon::prelude::*;
 
 use crate::RnsPoly;
 
@@ -87,7 +95,10 @@ pub struct RnsContext {
     n: usize,
     moduli: Vec<u64>,
     modulus_structs: Vec<Modulus>,
-    tables: Vec<NttTable>,
+    /// Shared via the process-wide `(n, q)` cache: contexts over the same
+    /// chain (every test fixture, every `CkksContext`) reuse one table
+    /// allocation per modulus instead of rebuilding `O(n log n)` twiddles.
+    tables: Vec<Arc<NttTable>>,
     num_q: usize,
 }
 
@@ -112,7 +123,7 @@ impl RnsContext {
         let mut tables = Vec::with_capacity(moduli.len());
         let mut modulus_structs = Vec::with_capacity(moduli.len());
         for &q in &moduli {
-            let t = NttTable::new(n, q).ok_or_else(|| {
+            let t = NttTable::cached(n, q).ok_or_else(|| {
                 RnsError::InvalidParameter(format!("{q} is not an NTT-friendly prime for n={n}"))
             })?;
             modulus_structs.push(*t.modulus());
@@ -179,6 +190,12 @@ impl RnsContext {
         &self.tables[limb as usize]
     }
 
+    /// The shared (process-cached) NTT table for a global limb index.
+    #[inline]
+    pub fn ntt_table_arc(&self, limb: u32) -> Arc<NttTable> {
+        Arc::clone(&self.tables[limb as usize])
+    }
+
     /// The basis `q_1..q_level` (the first `level` ciphertext moduli).
     ///
     /// # Panics
@@ -202,6 +219,23 @@ impl RnsContext {
     /// Allocates an all-zero polynomial over `basis`, in NTT form.
     pub fn zero(&self, basis: &Basis) -> RnsPoly {
         RnsPoly::zero(self.n, basis.clone())
+    }
+
+    /// Runs `f(local index, global limb, limb data)` for every limb of `p`,
+    /// dispatching the disjoint `n`-word limb chunks across the worker pool.
+    ///
+    /// This is the limb-level execution engine: one task per residue
+    /// polynomial, mirroring how CraterLake schedules whole residue
+    /// polynomials onto its lane groups. Items are data-independent, so the
+    /// result is bit-identical at any thread count.
+    fn par_limbs(&self, p: &mut RnsPoly, f: impl Fn(usize, u32, &mut [u64]) + Sync) {
+        let n = self.n;
+        let (basis, coeffs) = p.parts_mut();
+        let limbs = &basis.0;
+        coeffs
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(k, chunk)| f(k, limbs[k], chunk));
     }
 
     /// Samples a polynomial with uniformly random residues (NTT form —
@@ -250,12 +284,12 @@ impl RnsContext {
     pub fn from_signed_coeffs(&self, signed: &[i64], basis: &Basis) -> RnsPoly {
         assert_eq!(signed.len(), self.n);
         let mut p = RnsPoly::zero(self.n, basis.clone());
-        for (k, &limb) in basis.0.iter().enumerate() {
+        self.par_limbs(&mut p, |_, limb, data| {
             let m = &self.modulus_structs[limb as usize];
-            for (c, &s) in p.limb_mut(k).iter_mut().zip(signed) {
+            for (c, &s) in data.iter_mut().zip(signed) {
                 *c = m.from_i64(s);
             }
-        }
+        });
         p
     }
 
@@ -264,9 +298,9 @@ impl RnsContext {
         if p.ntt_form() {
             return;
         }
-        for (k, &limb) in p.basis().0.clone().iter().enumerate() {
-            self.tables[limb as usize].forward(p.limb_mut(k));
-        }
+        self.par_limbs(p, |_, limb, data| {
+            self.tables[limb as usize].forward(data);
+        });
         p.set_ntt_form(true);
     }
 
@@ -276,9 +310,9 @@ impl RnsContext {
         if !p.ntt_form() {
             return;
         }
-        for (k, &limb) in p.basis().0.clone().iter().enumerate() {
-            self.tables[limb as usize].inverse(p.limb_mut(k));
-        }
+        self.par_limbs(p, |_, limb, data| {
+            self.tables[limb as usize].inverse(data);
+        });
         p.set_ntt_form(false);
     }
 
@@ -314,12 +348,12 @@ impl RnsContext {
     /// Panics if bases or domains differ.
     pub fn add_assign(&self, a: &mut RnsPoly, b: &RnsPoly) {
         self.check_compatible(a, b);
-        for (k, &limb) in a.basis().0.clone().iter().enumerate() {
+        self.par_limbs(a, |k, limb, data| {
             let m = self.modulus_structs[limb as usize];
-            for (x, &y) in a.limb_mut(k).iter_mut().zip(b.limb(k)) {
+            for (x, &y) in data.iter_mut().zip(b.limb(k)) {
                 *x = m.add(*x, y);
             }
-        }
+        });
     }
 
     /// Element-wise difference.
@@ -328,27 +362,41 @@ impl RnsContext {
     ///
     /// Panics if bases or domains differ.
     pub fn sub(&self, a: &RnsPoly, b: &RnsPoly) -> RnsPoly {
-        self.check_compatible(a, b);
         let mut out = a.clone();
-        for (k, &limb) in out.basis().0.clone().iter().enumerate() {
+        self.sub_assign(&mut out, b);
+        out
+    }
+
+    /// In-place element-wise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bases or domains differ.
+    pub fn sub_assign(&self, a: &mut RnsPoly, b: &RnsPoly) {
+        self.check_compatible(a, b);
+        self.par_limbs(a, |k, limb, data| {
             let m = self.modulus_structs[limb as usize];
-            for (x, &y) in out.limb_mut(k).iter_mut().zip(b.limb(k)) {
+            for (x, &y) in data.iter_mut().zip(b.limb(k)) {
                 *x = m.sub(*x, y);
             }
-        }
-        out
+        });
     }
 
     /// Element-wise negation.
     pub fn neg(&self, a: &RnsPoly) -> RnsPoly {
         let mut out = a.clone();
-        for (k, &limb) in out.basis().0.clone().iter().enumerate() {
+        self.neg_assign(&mut out);
+        out
+    }
+
+    /// In-place element-wise negation.
+    pub fn neg_assign(&self, a: &mut RnsPoly) {
+        self.par_limbs(a, |_, limb, data| {
             let m = self.modulus_structs[limb as usize];
-            for x in out.limb_mut(k).iter_mut() {
+            for x in data.iter_mut() {
                 *x = m.neg(*x);
             }
-        }
-        out
+        });
     }
 
     /// Polynomial product. Both operands must be in NTT form.
@@ -372,12 +420,12 @@ impl RnsContext {
     pub fn mul_assign(&self, a: &mut RnsPoly, b: &RnsPoly) {
         self.check_compatible(a, b);
         assert!(a.ntt_form(), "polynomial product requires NTT form");
-        for (k, &limb) in a.basis().0.clone().iter().enumerate() {
+        self.par_limbs(a, |k, limb, data| {
             let m = self.modulus_structs[limb as usize];
-            for (x, &y) in a.limb_mut(k).iter_mut().zip(b.limb(k)) {
+            for (x, &y) in data.iter_mut().zip(b.limb(k)) {
                 *x = m.mul(*x, y);
             }
-        }
+        });
     }
 
     /// Multiply-accumulate: `acc += a * b` (all NTT form, same basis).
@@ -389,60 +437,112 @@ impl RnsContext {
         self.check_compatible(a, b);
         self.check_compatible(acc, a);
         assert!(acc.ntt_form(), "mul_acc requires NTT form");
-        for (k, &limb) in acc.basis().0.clone().iter().enumerate() {
+        self.par_limbs(acc, |k, limb, data| {
             let m = self.modulus_structs[limb as usize];
-            let (acc_limb, a_limb, b_limb) = (acc.limb_mut(k), a.limb(k), b.limb(k));
-            for i in 0..acc_limb.len() {
-                acc_limb[i] = m.add(acc_limb[i], m.mul(a_limb[i], b_limb[i]));
+            let (a_limb, b_limb) = (a.limb(k), b.limb(k));
+            for i in 0..data.len() {
+                data[i] = m.add(data[i], m.mul(a_limb[i], b_limb[i]));
             }
-        }
+        });
+    }
+
+    /// Multiply-accumulate against a wider polynomial: `acc += a * b`,
+    /// where `b` lives in a superset of `acc`'s basis (e.g. a keyswitch
+    /// hint over the full chain applied at a lower level). Avoids
+    /// materializing `b`'s restriction to the narrower basis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acc` and `a` differ in basis or domain, any operand is in
+    /// coefficient form, or `b` is missing one of `acc`'s limbs.
+    pub fn mul_acc_superset(&self, acc: &mut RnsPoly, a: &RnsPoly, b: &RnsPoly) {
+        self.check_compatible(acc, a);
+        assert!(acc.ntt_form() && b.ntt_form(), "mul_acc requires NTT form");
+        let b_basis = &b.basis().0;
+        self.par_limbs(acc, |k, limb, data| {
+            let m = self.modulus_structs[limb as usize];
+            let bk = b_basis
+                .iter()
+                .position(|&l| l == limb)
+                .expect("b's basis must contain every limb of acc");
+            let (a_limb, b_limb) = (a.limb(k), b.limb(bk));
+            for i in 0..data.len() {
+                data[i] = m.add(data[i], m.mul(a_limb[i], b_limb[i]));
+            }
+        });
     }
 
     /// Multiplies every coefficient by a small scalar.
     pub fn scalar_mul(&self, a: &RnsPoly, s: u64) -> RnsPoly {
         let mut out = a.clone();
-        for (k, &limb) in out.basis().0.clone().iter().enumerate() {
+        self.scalar_mul_assign(&mut out, s);
+        out
+    }
+
+    /// In-place scalar multiplication.
+    pub fn scalar_mul_assign(&self, a: &mut RnsPoly, s: u64) {
+        self.par_limbs(a, |_, limb, data| {
             let m = self.modulus_structs[limb as usize];
             let s_red = m.reduce(s);
-            for x in out.limb_mut(k).iter_mut() {
+            for x in data.iter_mut() {
                 *x = m.mul(*x, s_red);
             }
-        }
-        out
+        });
     }
 
     /// Multiplies limb `k` of `a` by a per-limb constant already reduced
     /// modulo that limb.
     pub fn scalar_mul_per_limb(&self, a: &RnsPoly, consts: &[u64]) -> RnsPoly {
-        assert_eq!(consts.len(), a.basis().len());
         let mut out = a.clone();
-        for (k, &limb) in out.basis().0.clone().iter().enumerate() {
+        self.scalar_mul_per_limb_assign(&mut out, consts);
+        out
+    }
+
+    /// In-place per-limb scalar multiplication.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `consts.len()` differs from the number of limbs.
+    pub fn scalar_mul_per_limb_assign(&self, a: &mut RnsPoly, consts: &[u64]) {
+        assert_eq!(consts.len(), a.basis().len());
+        self.par_limbs(a, |k, limb, data| {
             let m = self.modulus_structs[limb as usize];
-            for x in out.limb_mut(k).iter_mut() {
+            for x in data.iter_mut() {
                 *x = m.mul(*x, consts[k]);
             }
-        }
-        out
+        });
     }
 
     /// Applies the automorphism `X → X^k` to a polynomial, in either domain.
     pub fn apply_automorphism(&self, a: &RnsPoly, galois: u64) -> RnsPoly {
         let mut out = RnsPoly::zero(self.n, a.basis().clone());
         out.set_ntt_form(a.ntt_form());
+        self.apply_automorphism_into(a, galois, &mut out);
+        out
+    }
+
+    /// Allocation-free automorphism: writes `σ_galois(a)` into `out`, which
+    /// must have the same basis and ring degree (its domain flag is set to
+    /// match `a`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out`'s basis differs from `a`'s.
+    pub fn apply_automorphism_into(&self, a: &RnsPoly, galois: u64, out: &mut RnsPoly) {
+        assert_eq!(a.basis(), out.basis(), "automorphism output basis mismatch");
+        out.set_ntt_form(a.ntt_form());
         if a.ntt_form() {
-            let table = cl_math::AutomorphismTable::new(self.n, galois);
-            for (k, _) in a.basis().0.iter().enumerate() {
-                let mapped = cl_math::apply_automorphism_ntt(a.limb(k), &table);
-                out.limb_mut(k).copy_from_slice(&mapped);
-            }
+            let table = cl_math::AutomorphismTable::cached(self.n, galois);
+            self.par_limbs(out, |k, _, data| {
+                cl_math::apply_automorphism_ntt_into(a.limb(k), &table, data);
+            });
         } else {
-            for (k, &limb) in a.basis().0.clone().iter().enumerate() {
+            self.par_limbs(out, |k, limb, data| {
                 let m = &self.modulus_structs[limb as usize];
                 let mapped = cl_math::apply_automorphism_coeff(a.limb(k), galois, m);
-                out.limb_mut(k).copy_from_slice(&mapped);
-            }
+                data.copy_from_slice(&mapped);
+            });
         }
-        out
     }
 
     /// Restricts a polynomial to a sub-basis (drops limbs not in `target`).

@@ -30,7 +30,9 @@
 mod baseconv;
 mod context;
 mod poly;
+mod scratch;
 
-pub use baseconv::{mod_down, rescale, BaseConverter};
+pub use baseconv::{mod_down, rescale, rescale_with, BaseConverter};
 pub use context::{Basis, RnsContext, RnsError};
 pub use poly::RnsPoly;
+pub use scratch::with_scratch;

@@ -16,17 +16,32 @@ pub struct RnsPoly {
     basis: Basis,
     coeffs: Vec<u64>,
     ntt_form: bool,
+    /// Bitmap of global limb indices `< 128` present in `basis`, kept in sync
+    /// by the constructors and [`RnsPoly::push_limb`]. Makes the duplicate
+    /// check in `push_limb` O(1) for the common case instead of an O(limbs)
+    /// scan per pushed limb.
+    limb_mask: u128,
+}
+
+fn mask_of(basis: &Basis) -> u128 {
+    basis
+        .0
+        .iter()
+        .filter(|&&l| l < 128)
+        .fold(0u128, |acc, &l| acc | (1u128 << l))
 }
 
 impl RnsPoly {
     /// An all-zero polynomial over `basis` in coefficient form.
     pub fn zero(n: usize, basis: Basis) -> Self {
         let len = n * basis.len();
+        let limb_mask = mask_of(&basis);
         Self {
             n,
             basis,
             coeffs: vec![0; len],
             ntt_form: false,
+            limb_mask,
         }
     }
 
@@ -89,6 +104,22 @@ impl RnsPoly {
             .zip(self.coeffs.chunks_exact(self.n))
     }
 
+    /// The full limb-major coefficient slab.
+    #[inline]
+    pub fn coeffs(&self) -> &[u64] {
+        &self.coeffs
+    }
+
+    /// Splits the polynomial into its basis and the mutable coefficient slab.
+    ///
+    /// The parallel execution engine needs to read the basis (to look up
+    /// per-limb moduli) while handing disjoint `n`-word chunks of the slab to
+    /// worker threads; a plain `&mut self` borrow would forbid that.
+    #[inline]
+    pub fn parts_mut(&mut self) -> (&Basis, &mut [u64]) {
+        (&self.basis, &mut self.coeffs)
+    }
+
     /// Appends a residue polynomial for global limb `limb`.
     ///
     /// # Panics
@@ -96,10 +127,18 @@ impl RnsPoly {
     /// Panics if `data.len() != self.n()` or the limb is already present.
     pub fn push_limb(&mut self, limb: u32, data: &[u64]) {
         assert_eq!(data.len(), self.n);
-        assert!(
-            !self.basis.0.contains(&limb),
-            "limb {limb} already present"
-        );
+        // O(1) membership via the cached bitmap for global indices < 128
+        // (q-limbs then p-limbs — always small in practice); indices beyond
+        // the bitmap fall back to an exact scan.
+        let dup = if limb < 128 {
+            self.limb_mask & (1u128 << limb) != 0
+        } else {
+            self.basis.0.contains(&limb)
+        };
+        assert!(!dup, "limb {limb} already present");
+        if limb < 128 {
+            self.limb_mask |= 1u128 << limb;
+        }
         self.basis.0.push(limb);
         self.coeffs.extend_from_slice(data);
     }

@@ -1,0 +1,81 @@
+//! Thread-local scratch buffers for allocation-free hot paths.
+//!
+//! Base conversion and boosted keyswitching need short-lived `u64` slabs
+//! (the converted-limb matrix, the floating-point correction row, the
+//! assembled extended polynomial). Allocating them per call puts `malloc`
+//! on the critical path of every rescale and keyswitch; this module keeps a
+//! small per-thread pool of reusable buffers instead.
+//!
+//! Buffers are handed out via [`with_scratch`], which passes a zeroed
+//! `&mut Vec<u64>` of the requested length to the closure and returns the
+//! buffer to the pool afterwards. Nested calls get distinct buffers, so
+//! callers can freely compose (e.g. base conversion inside keyswitching).
+
+use std::cell::RefCell;
+
+thread_local! {
+    static POOL: RefCell<Vec<Vec<u64>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Maximum number of idle buffers retained per thread. More simultaneous
+/// buffers than this still work — the extras are simply freed on return.
+const MAX_POOLED: usize = 8;
+
+/// Runs `f` with a zeroed scratch buffer of exactly `len` words.
+///
+/// The buffer is recycled from (and returned to) a thread-local pool, so
+/// steady-state hot loops perform no heap allocation. The closure may resize
+/// the vector; it is re-trimmed when pooled.
+pub fn with_scratch<R>(len: usize, f: impl FnOnce(&mut Vec<u64>) -> R) -> R {
+    let mut buf = POOL
+        .with(|p| p.borrow_mut().pop())
+        .unwrap_or_default();
+    buf.clear();
+    buf.resize(len, 0);
+    let out = f(&mut buf);
+    POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < MAX_POOLED {
+            pool.push(buf);
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_is_zeroed_and_sized() {
+        with_scratch(16, |b| {
+            assert_eq!(b.len(), 16);
+            assert!(b.iter().all(|&x| x == 0));
+            b[0] = 7;
+        });
+        // The dirtied buffer comes back zeroed.
+        with_scratch(16, |b| {
+            assert!(b.iter().all(|&x| x == 0));
+        });
+    }
+
+    #[test]
+    fn nested_scratch_buffers_are_distinct() {
+        with_scratch(8, |outer| {
+            outer[0] = 1;
+            with_scratch(8, |inner| {
+                assert_eq!(inner[0], 0);
+                inner[0] = 2;
+            });
+            assert_eq!(outer[0], 1);
+        });
+    }
+
+    #[test]
+    fn reuses_capacity_across_calls() {
+        let ptr1 = with_scratch(1024, |b| b.as_ptr() as usize);
+        let ptr2 = with_scratch(512, |b| b.as_ptr() as usize);
+        // Same thread, same pooled allocation (capacity 1024 covers 512).
+        assert_eq!(ptr1, ptr2);
+    }
+}

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Kernel benchmark driver.
+#
+# Runs the bench_kernels binary (NTT, RNS mul, base conversion, keyswitch,
+# rotate, rescale, one bootstrap step) at CL_THREADS=1 and CL_THREADS=4 and
+# merges both runs with the checked-in seed baseline
+# (benchmarks/BENCH_kernels_seed.json) into benchmarks/BENCH_kernels.json,
+# including per-kernel speedup ratios vs the seed.
+#
+# Usage: scripts/bench.sh [--smoke]
+#   --smoke  tiny shapes, one iteration per kernel (harness health check)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE=""
+if [[ "${1:-}" == "--smoke" ]]; then
+    SMOKE="--smoke"
+fi
+
+cargo build --release -p cl-bench
+
+BIN=target/release/bench_kernels
+OUT_DIR=benchmarks
+mkdir -p "$OUT_DIR"
+
+label=$(git rev-parse --short HEAD 2>/dev/null || echo current)
+
+echo "== bench: serial (CL_THREADS=1) =="
+CL_THREADS=1 "$BIN" $SMOKE --label "serial-$label" --out "$OUT_DIR/BENCH_kernels_t1.json"
+
+echo "== bench: parallel (CL_THREADS=4) =="
+CL_THREADS=4 "$BIN" $SMOKE --label "parallel-$label" --out "$OUT_DIR/BENCH_kernels_t4.json"
+
+echo "== bench: merge =="
+python3 - "$OUT_DIR" <<'EOF'
+import json, os, sys
+
+out_dir = sys.argv[1]
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+t1 = load(os.path.join(out_dir, "BENCH_kernels_t1.json"))
+t4 = load(os.path.join(out_dir, "BENCH_kernels_t4.json"))
+seed_path = os.path.join(out_dir, "BENCH_kernels_seed.json")
+seed = load(seed_path) if os.path.exists(seed_path) else None
+
+merged = {
+    "shape": {k: t1[k] for k in ("n", "limbs", "limb_bits", "smoke")},
+    "seed": seed,
+    "serial": t1,
+    "parallel": t4,
+    "speedup_vs_seed": {},
+}
+if seed and seed.get("smoke") == t1.get("smoke"):
+    for k, ns in seed["kernels_ns"].items():
+        cur = t4["kernels_ns"].get(k)
+        if cur:
+            merged["speedup_vs_seed"][k] = round(ns / cur, 2)
+
+path = os.path.join(out_dir, "BENCH_kernels.json")
+with open(path, "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+print(f"wrote {path}")
+for k, s in sorted(merged["speedup_vs_seed"].items()):
+    print(f"  {k:>16}: {s:6.2f}x vs seed")
+EOF

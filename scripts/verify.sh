@@ -16,6 +16,11 @@ cargo build --release
 echo "== tier-1: tests =="
 cargo test -q
 
+echo "== tier-1: bench harness smoke =="
+cargo build --release -p cl-bench
+CL_THREADS=2 target/release/bench_kernels --smoke --label verify-smoke \
+    --out target/BENCH_kernels_smoke.json
+
 echo "== tier-1: lint gate (library targets) =="
 cargo clippy -p cl-ckks -p cl-boot -p cl-apps -p cl-baselines --lib --no-deps -- \
     -D warnings -D clippy::unwrap_used

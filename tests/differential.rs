@@ -1,0 +1,181 @@
+//! Differential tests for the parallel limb-level execution engine and the
+//! lazy-reduction NTT kernels.
+//!
+//! The performance paths introduced alongside the execution engine must be
+//! *bit-exact* with their reference counterparts:
+//!
+//! - every `RnsContext` operation dispatched over the worker pool must
+//!   produce byte-identical polynomials at any thread count (limb-level work
+//!   is data-independent, so scheduling cannot change results),
+//! - the lazy `[0,4q)` Harvey butterflies must match the strict
+//!   always-canonical kernels exactly after the final correction sweep,
+//! - a full encrypt → mul → rotate → rescale → decrypt pipeline must be
+//!   deterministic across thread settings (given a fixed RNG seed).
+//!
+//! Thread-count mutation is process-global, so every test that touches it
+//! serializes on [`THREADS`].
+
+use std::sync::Mutex;
+
+use cl_ckks::{CkksContext, CkksParams, KeySwitchKind};
+use cl_math::NttTable;
+use cl_rns::{Basis, RnsContext, RnsPoly};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+/// Guards the process-global rayon thread-count while a differential pair
+/// runs. Poisoning is irrelevant — the guard only sequences tests.
+static THREADS: Mutex<()> = Mutex::new(());
+
+/// Runs `f` once with 1 thread and once with `n` threads, returning both
+/// results, with the global thread count restored to 1 afterwards.
+fn serial_vs_parallel<R>(n: usize, mut f: impl FnMut() -> R) -> (R, R) {
+    let _guard = THREADS.lock().unwrap_or_else(|p| p.into_inner());
+    rayon::set_num_threads(1);
+    let serial = f();
+    rayon::set_num_threads(n);
+    let parallel = f();
+    rayon::set_num_threads(1);
+    (serial, parallel)
+}
+
+/// Contexts at a few degrees; NTT tables are shared via the process-wide
+/// `(n, q)` cache, so regenerating per test case is cheap.
+fn rns_ctx(n: usize) -> RnsContext {
+    RnsContext::generate(n, 6, 3, 36).expect("test context")
+}
+
+/// An arbitrary but deterministic polynomial over `basis`.
+fn poly_from_seed(ctx: &RnsContext, basis: &Basis, seed: u64) -> RnsPoly {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    ctx.sample_uniform(basis, &mut rng)
+}
+
+/// One step of an RNS op sequence, chosen by a small opcode. Both operands
+/// stay in NTT form throughout ([`RnsContext::sample_uniform`] yields NTT
+/// form); opcode 5 roundtrips through the coefficient domain.
+fn apply_op(ctx: &RnsContext, acc: &mut RnsPoly, other: &RnsPoly, op: u8) {
+    match op % 6 {
+        0 => ctx.add_assign(acc, other),
+        1 => ctx.sub_assign(acc, other),
+        2 => ctx.neg_assign(acc),
+        3 => ctx.mul_assign(acc, other),
+        4 => ctx.scalar_mul_assign(acc, 0x1234_5678_9abc),
+        _ => {
+            ctx.from_ntt(acc);
+            ctx.to_ntt(acc);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any sequence of RNS ops, over random degrees and bases, is
+    /// bit-identical at 1 vs 4 threads.
+    #[test]
+    fn rns_op_sequence_thread_invariant(
+        seed in any::<u64>(),
+        n_log in 5u32..9,
+        limbs in 1usize..7,
+        ops in proptest::collection::vec(0u8..6, 1..12),
+    ) {
+        let ctx = rns_ctx(1 << n_log);
+        let basis = ctx.q_basis(limbs);
+        let (serial, parallel) = serial_vs_parallel(4, || {
+            let mut acc = poly_from_seed(&ctx, &basis, seed);
+            let other = poly_from_seed(&ctx, &basis, seed ^ 0xdead_beef);
+            for &op in &ops {
+                apply_op(&ctx, &mut acc, &other, op);
+            }
+            acc
+        });
+        prop_assert_eq!(serial, parallel);
+    }
+
+    /// Lazy-reduction NTT kernels match the strict reference kernels
+    /// bit-for-bit at production-like shapes.
+    #[test]
+    fn lazy_ntt_matches_strict_large(seed in any::<u64>()) {
+        for n in [1usize << 10, 1 << 12] {
+            let q = cl_math::generate_ntt_primes(n, 59, 1).expect("59-bit prime")[0];
+            let table = NttTable::cached(n, q).expect("NTT-friendly prime");
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let data: Vec<u64> = (0..n).map(|_| rand::Rng::gen_range(&mut rng, 0..q)).collect();
+
+            let mut lazy = data.clone();
+            let mut strict = data.clone();
+            table.forward(&mut lazy);
+            table.forward_strict(&mut strict);
+            prop_assert_eq!(&lazy, &strict, "forward mismatch at n={}", n);
+
+            table.inverse(&mut lazy);
+            table.inverse_strict(&mut strict);
+            prop_assert_eq!(&lazy, &strict, "inverse mismatch at n={}", n);
+            prop_assert_eq!(&lazy, &data, "roundtrip mismatch at n={}", n);
+        }
+    }
+}
+
+/// Full CKKS pipeline (encrypt → mul → rotate → rescale → decrypt) produces
+/// byte-identical ciphertexts and identical decodes at 1 vs 4 threads.
+#[test]
+fn ckks_pipeline_thread_invariant() {
+    let run = || {
+        let params = CkksParams::builder()
+            .ring_degree(256)
+            .levels(4)
+            .special_limbs(4)
+            .limb_bits(36)
+            .scale_bits(30)
+            .build()
+            .expect("valid params");
+        let ctx = CkksContext::new(params).expect("context");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0FFEE);
+        let sk = ctx.keygen(&mut rng);
+        let relin = ctx.relin_keygen(&sk, KeySwitchKind::Boosted { digits: 2 }, &mut rng);
+        let rot = ctx.rotation_keygen(&sk, 1, KeySwitchKind::Boosted { digits: 2 }, &mut rng);
+
+        let vals: Vec<f64> = (0..8).map(|i| (i as f64) * 0.25 - 1.0).collect();
+        let pt = ctx.encode(&vals, ctx.default_scale(), ctx.max_level());
+        let ct = ctx.encrypt(&pt, &sk, &mut rng);
+        let prod = ctx.mul(&ct, &ct, &relin);
+        let rotated = ctx.rotate(&prod, 1, &rot);
+        let rescaled = ctx.rescale(&rotated);
+        let decoded = ctx.decode(&ctx.decrypt(&rescaled, &sk), vals.len());
+        (rescaled, decoded)
+    };
+    let ((ct_s, dec_s), (ct_p, dec_p)) = serial_vs_parallel(4, run);
+    assert_eq!(ct_s.c0(), ct_p.c0(), "c0 differs across thread counts");
+    assert_eq!(ct_s.c1(), ct_p.c1(), "c1 differs across thread counts");
+    assert_eq!(dec_s, dec_p, "decoded values differ across thread counts");
+}
+
+/// The keyswitch digit loop (parallel ModUp + superset accumulate) is
+/// thread-invariant even below the key's max level, where the hint basis is
+/// a strict superset of the target basis.
+#[test]
+fn keyswitch_below_max_level_thread_invariant() {
+    let run = || {
+        let params = CkksParams::builder()
+            .ring_degree(128)
+            .levels(4)
+            .special_limbs(2)
+            .limb_bits(36)
+            .scale_bits(30)
+            .build()
+            .expect("valid params");
+        let ctx = CkksContext::new(params).expect("context");
+        let rns = ctx.rns();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let sk = ctx.keygen(&mut rng);
+        let ksk = ctx.relin_keygen(&sk, KeySwitchKind::Boosted { digits: 2 }, &mut rng);
+        let qb = rns.q_basis(2); // below max level 4
+        let signed: Vec<i64> = (0..128).map(|i| (i % 23) - 11).collect();
+        let mut msg = rns.from_signed_coeffs(&signed, &qb);
+        rns.to_ntt(&mut msg);
+        ctx.try_keyswitch(&msg, &ksk).expect("keyswitch")
+    };
+    let (serial, parallel) = serial_vs_parallel(4, run);
+    assert_eq!(serial, parallel);
+}

@@ -1,0 +1,686 @@
+//! Offline stand-in for the `rayon` crate (API subset).
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides the small slice of rayon's API the workspace uses, backed by a
+//! persistent worker pool:
+//!
+//! - [`prelude`] with `par_chunks` / `par_chunks_mut` on slices and
+//!   `into_par_iter()` on `Range<usize>`, supporting `enumerate`, `map`,
+//!   `for_each`, and `collect::<Vec<_>>()`;
+//! - [`join`] for two-way fork-join;
+//! - [`current_num_threads`] / [`ThreadPoolBuilder`] (and a direct
+//!   [`set_num_threads`] extension) for thread-count control.
+//!
+//! # Pool model
+//!
+//! A single process-wide pool of worker threads is spawned lazily on first
+//! parallel call. The worker count defaults to `CL_THREADS` (if set) or the
+//! machine's available parallelism. Work is dispatched as an indexed task
+//! set `{0, .., len-1}`; the calling thread participates, and workers claim
+//! indices from a shared atomic counter, so an idle pool costs nothing and
+//! load imbalance between items self-corrects. One parallel region runs at
+//! a time; parallel calls made *from inside* a worker run inline (no nested
+//! pools, no deadlock).
+//!
+//! With an effective thread count of 1 every operation runs inline on the
+//! caller — byte-for-byte the serial execution order. Since all uses in
+//! this workspace dispatch data-independent items (limb-level loops),
+//! results are bit-identical for every thread count; the workspace's
+//! differential property tests enforce this.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+// ---------------------------------------------------------------------------
+// The persistent pool
+// ---------------------------------------------------------------------------
+
+/// A type-erased indexed job: call `func(i)` for every claimed index `i`.
+struct Job {
+    /// Borrowed closure transmuted to `'static`; valid only while the
+    /// dispatching call is blocked in [`Pool::run`], which does not return
+    /// until every worker has exited the job.
+    func: *const (dyn Fn(usize) + Sync),
+    len: usize,
+}
+// SAFETY: the pointee is `Sync` and the dispatch protocol guarantees it
+// outlives every access (see `Pool::run`).
+unsafe impl Send for Job {}
+
+struct PoolState {
+    /// Monotonically increasing id of the current job; workers sleep until
+    /// it changes.
+    generation: u64,
+    job: Option<Job>,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    /// Wakes workers when a new job is published.
+    job_ready: Condvar,
+    /// Wakes the dispatcher when the last worker leaves a job.
+    job_done: Condvar,
+    /// Next unclaimed index of the current job.
+    cursor: AtomicUsize,
+    /// Workers currently inside the current job.
+    active: AtomicUsize,
+    /// Set when a task panicked; the dispatcher re-raises.
+    panicked: AtomicBool,
+    /// Number of spawned worker threads.
+    workers: AtomicUsize,
+    /// Serializes dispatchers (one parallel region at a time).
+    dispatch: Mutex<()>,
+}
+
+thread_local! {
+    /// True on pool worker threads: parallel calls from inside run inline.
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Requested thread count; 0 = take the default lazily.
+static REQUESTED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+fn default_threads() -> usize {
+    // Cached: this sits on every dispatch path and `std::env::var` takes a
+    // process-global lock. `CL_THREADS` is read once; later changes go
+    // through `set_num_threads`.
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("CL_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(PoolState {
+            generation: 0,
+            job: None,
+        }),
+        job_ready: Condvar::new(),
+        job_done: Condvar::new(),
+        cursor: AtomicUsize::new(0),
+        active: AtomicUsize::new(0),
+        panicked: AtomicBool::new(false),
+        workers: AtomicUsize::new(0),
+        dispatch: Mutex::new(()),
+    })
+}
+
+impl Pool {
+    /// Ensures at least `n` worker threads exist (the caller counts as one
+    /// executor, so `n` threads total means `n - 1` workers).
+    fn ensure_workers(&'static self, n: usize) {
+        let want = n.saturating_sub(1);
+        loop {
+            let have = self.workers.load(Ordering::Acquire);
+            if have >= want {
+                return;
+            }
+            if self
+                .workers
+                .compare_exchange(have, have + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue;
+            }
+            std::thread::Builder::new()
+                .name(format!("cl-par-{}", have + 1))
+                .spawn(move || self.worker_loop())
+                .expect("failed to spawn pool worker");
+        }
+    }
+
+    fn worker_loop(&'static self) {
+        IN_WORKER.with(|w| w.set(true));
+        let mut seen_generation = 0u64;
+        loop {
+            let job = {
+                let mut state = self
+                    .state
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner());
+                loop {
+                    if state.generation != seen_generation {
+                        seen_generation = state.generation;
+                        if let Some(job) = &state.job {
+                            // Register in `active` BEFORE releasing the
+                            // state lock: the dispatcher retires the job
+                            // under the same lock and only returns (freeing
+                            // the borrowed closure) once `active` drains,
+                            // so this ordering is what keeps `func` alive.
+                            self.active.fetch_add(1, Ordering::AcqRel);
+                            break Job {
+                                func: job.func,
+                                len: job.len,
+                            };
+                        }
+                    }
+                    state = self
+                        .job_ready
+                        .wait(state)
+                        .unwrap_or_else(|p| p.into_inner());
+                }
+            };
+            self.run_job(&job);
+            if self.active.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Take the state lock before notifying so the wakeup cannot
+                // slip between the dispatcher's `active` check and its wait.
+                drop(self.state.lock().unwrap_or_else(|p| p.into_inner()));
+                self.job_done.notify_all();
+            }
+        }
+    }
+
+    fn run_job(&self, job: &Job) {
+        // SAFETY: the dispatcher blocks until `active == 0`, so the borrowed
+        // closure behind `func` is still alive for the duration of this call.
+        let f = unsafe { &*job.func };
+        loop {
+            let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= job.len {
+                break;
+            }
+            if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i))).is_err() {
+                self.panicked.store(true, Ordering::Release);
+            }
+        }
+    }
+
+    /// Runs `f(i)` for every `i in 0..len`, using up to the configured
+    /// thread count. Falls back to an inline serial loop when parallelism
+    /// is unavailable or pointless.
+    fn run(&'static self, len: usize, f: &(dyn Fn(usize) + Sync)) {
+        let threads = current_num_threads();
+        if len <= 1 || threads <= 1 || IN_WORKER.with(|w| w.get()) {
+            for i in 0..len {
+                f(i);
+            }
+            return;
+        }
+        self.ensure_workers(threads);
+        let _region = self
+            .dispatch
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        // SAFETY: we erase the closure's lifetime to hand it to 'static
+        // workers. The protocol below does not return until every worker
+        // has left `run_job`, so the borrow outlives all uses.
+        let func: *const (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(f) };
+        self.cursor.store(0, Ordering::Release);
+        self.panicked.store(false, Ordering::Release);
+        let job = Job { func, len };
+        {
+            let mut state = self
+                .state
+                .lock()
+                .unwrap_or_else(|p| p.into_inner());
+            state.generation = state.generation.wrapping_add(1);
+            state.job = Some(job);
+            self.job_ready.notify_all();
+        }
+        // The dispatcher participates too. While it executes job items it
+        // counts as a pool thread: nested parallel calls made from inside
+        // an item must run inline rather than re-enter the (non-reentrant)
+        // dispatch lock.
+        let was_worker = IN_WORKER.with(|w| w.replace(true));
+        self.run_job(&Job { func, len });
+        IN_WORKER.with(|w| w.set(was_worker));
+        // Retire the job and wait for stragglers before releasing the borrow.
+        {
+            let mut state = self
+                .state
+                .lock()
+                .unwrap_or_else(|p| p.into_inner());
+            state.job = None;
+            while self.active.load(Ordering::Acquire) != 0 {
+                state = self
+                    .job_done
+                    .wait(state)
+                    .unwrap_or_else(|p| p.into_inner());
+            }
+        }
+        if self.panicked.swap(false, Ordering::AcqRel) {
+            panic!("a rayon task panicked");
+        }
+    }
+}
+
+/// Runs `f(i)` for each `i in 0..len` on the global pool (crate-internal
+/// primitive behind the iterator facade).
+fn run_indexed(len: usize, f: &(dyn Fn(usize) + Sync)) {
+    pool().run(len, f);
+}
+
+// ---------------------------------------------------------------------------
+// Public thread-count control
+// ---------------------------------------------------------------------------
+
+/// Number of threads parallel operations may use (callers + workers).
+pub fn current_num_threads() -> usize {
+    let req = REQUESTED_THREADS.load(Ordering::Acquire);
+    if req != 0 {
+        req
+    } else {
+        default_threads()
+    }
+}
+
+/// Overrides the global thread count at runtime (extension over real rayon,
+/// which fixes the global pool size at first use; here the pool grows on
+/// demand and shrinking just idles workers).
+pub fn set_num_threads(n: usize) {
+    REQUESTED_THREADS.store(n.max(1), Ordering::Release);
+}
+
+/// Builder matching `rayon::ThreadPoolBuilder` for the global pool.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of threads.
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Applies the configuration to the global pool. Unlike real rayon this
+    /// never fails and may be called repeatedly.
+    pub fn build_global(self) -> Result<(), std::convert::Infallible> {
+        if let Some(n) = self.num_threads {
+            set_num_threads(n);
+        }
+        Ok(())
+    }
+}
+
+/// Two-way fork-join: runs both closures, potentially in parallel, and
+/// returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let mut ra: Option<RA> = None;
+    let mut rb: Option<RB> = None;
+    {
+        let cell_a = Mutex::new((Some(a), &mut ra));
+        let cell_b = Mutex::new((Some(b), &mut rb));
+        run_indexed(2, &|i| {
+            if i == 0 {
+                let mut guard = cell_a.lock().unwrap_or_else(|p| p.into_inner());
+                let f = guard.0.take().expect("join closure runs once");
+                *guard.1 = Some(f());
+            } else {
+                let mut guard = cell_b.lock().unwrap_or_else(|p| p.into_inner());
+                let f = guard.0.take().expect("join closure runs once");
+                *guard.1 = Some(f());
+            }
+        });
+    }
+    (
+        ra.expect("join closure a completed"),
+        rb.expect("join closure b completed"),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Iterator facade
+// ---------------------------------------------------------------------------
+
+/// The traits and adaptors user code imports (`use rayon::prelude::*`).
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+/// Minimal parallel-iterator adaptors over indexed task sets.
+pub mod iter {
+    use super::run_indexed;
+    use std::ops::Range;
+
+    /// Send-able wrapper for a raw pointer used to hand disjoint chunks to
+    /// workers.
+    struct SyncPtr<T>(*mut T);
+    unsafe impl<T> Sync for SyncPtr<T> {}
+    unsafe impl<T> Send for SyncPtr<T> {}
+
+    impl<T> SyncPtr<T> {
+        /// Accessor that forces closures to capture the whole wrapper (2021
+        /// edition closures would otherwise capture the raw-pointer field,
+        /// which is not `Sync`).
+        fn get(&self) -> *mut T {
+            self.0
+        }
+    }
+
+    /// Conversion into a parallel iterator (subset of rayon's trait).
+    pub trait IntoParallelIterator {
+        /// The parallel iterator type.
+        type Iter;
+        /// Converts `self`.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl IntoParallelIterator for Range<usize> {
+        type Iter = ParRange;
+        fn into_par_iter(self) -> ParRange {
+            ParRange { range: self }
+        }
+    }
+
+    /// Terminal parallel-iterator operations (subset: `for_each`).
+    pub trait ParallelIterator {
+        /// The item type.
+        type Item;
+        /// Consumes the iterator, running `f` on every item in parallel.
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(Self::Item) + Sync + Send;
+    }
+
+    /// Parallel iterator over `Range<usize>`.
+    pub struct ParRange {
+        range: Range<usize>,
+    }
+
+    impl ParRange {
+        /// Maps each index through `f`.
+        pub fn map<T, F>(self, f: F) -> ParRangeMap<F>
+        where
+            F: Fn(usize) -> T + Sync,
+            T: Send,
+        {
+            ParRangeMap {
+                range: self.range,
+                f,
+            }
+        }
+    }
+
+    impl ParallelIterator for ParRange {
+        type Item = usize;
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(usize) + Sync + Send,
+        {
+            let start = self.range.start;
+            let len = self.range.end.saturating_sub(start);
+            run_indexed(len, &|i| f(start + i));
+        }
+    }
+
+    /// A mapped parallel range (`(0..n).into_par_iter().map(f)`).
+    pub struct ParRangeMap<F> {
+        range: Range<usize>,
+        f: F,
+    }
+
+    impl<T: Send, F: Fn(usize) -> T + Sync> ParRangeMap<F> {
+        /// Collects the mapped items in index order.
+        pub fn collect<C: From<Vec<T>>>(self) -> C {
+            let start = self.range.start;
+            let len = self.range.end.saturating_sub(start);
+            let mut slots: Vec<Option<T>> = Vec::with_capacity(len);
+            slots.resize_with(len, || None);
+            {
+                let ptr = SyncPtr(slots.as_mut_ptr());
+                let f = &self.f;
+                run_indexed(len, &|i| {
+                    let v = f(start + i);
+                    // SAFETY: each index is claimed exactly once, so writes
+                    // land in disjoint, initialized (None) slots.
+                    unsafe { *ptr.get().add(i) = Some(v) };
+                });
+            }
+            C::from(
+                slots
+                    .into_iter()
+                    .map(|s| s.expect("every index produced a value"))
+                    .collect::<Vec<T>>(),
+            )
+        }
+    }
+
+    impl<T: Send, F: Fn(usize) -> T + Sync> ParallelIterator for ParRangeMap<F> {
+        type Item = T;
+        fn for_each<G>(self, g: G)
+        where
+            G: Fn(T) + Sync + Send,
+        {
+            let start = self.range.start;
+            let len = self.range.end.saturating_sub(start);
+            let f = &self.f;
+            run_indexed(len, &|i| g(f(start + i)));
+        }
+    }
+
+    /// `par_chunks` on slices.
+    pub trait ParallelSlice<T: Sync> {
+        /// Parallel iterator over `size`-sized chunks.
+        fn par_chunks(&self, size: usize) -> ParChunks<'_, T>;
+    }
+
+    impl<T: Sync> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, size: usize) -> ParChunks<'_, T> {
+            assert!(size != 0, "chunk size must be non-zero");
+            ParChunks { slice: self, size }
+        }
+    }
+
+    /// Parallel iterator over immutable chunks.
+    pub struct ParChunks<'a, T> {
+        slice: &'a [T],
+        size: usize,
+    }
+
+    impl<'a, T: Sync> ParChunks<'a, T> {
+        /// Pairs each chunk with its index.
+        pub fn enumerate(self) -> ParChunksEnum<'a, T> {
+            ParChunksEnum {
+                slice: self.slice,
+                size: self.size,
+            }
+        }
+    }
+
+    impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
+        type Item = &'a [T];
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(&'a [T]) + Sync + Send,
+        {
+            self.enumerate().for_each(|(_, c)| f(c));
+        }
+    }
+
+    /// Enumerated immutable chunks.
+    pub struct ParChunksEnum<'a, T> {
+        slice: &'a [T],
+        size: usize,
+    }
+
+    impl<'a, T: Sync> ParallelIterator for ParChunksEnum<'a, T> {
+        type Item = (usize, &'a [T]);
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn((usize, &'a [T])) + Sync + Send,
+        {
+            let len = self.slice.len();
+            let size = self.size;
+            let n_chunks = len.div_ceil(size);
+            let slice = self.slice;
+            run_indexed(n_chunks, &|i| {
+                let start = i * size;
+                let end = (start + size).min(len);
+                f((i, &slice[start..end]));
+            });
+        }
+    }
+
+    /// `par_chunks_mut` on slices.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Parallel iterator over mutable `size`-sized chunks.
+        fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+            assert!(size != 0, "chunk size must be non-zero");
+            ParChunksMut { slice: self, size }
+        }
+    }
+
+    /// Parallel iterator over mutable chunks.
+    pub struct ParChunksMut<'a, T> {
+        slice: &'a mut [T],
+        size: usize,
+    }
+
+    impl<'a, T: Send> ParChunksMut<'a, T> {
+        /// Pairs each chunk with its index.
+        pub fn enumerate(self) -> ParChunksMutEnum<'a, T> {
+            ParChunksMutEnum {
+                slice: self.slice,
+                size: self.size,
+            }
+        }
+    }
+
+    impl<'a, T: Send + Sync> ParallelIterator for ParChunksMut<'a, T> {
+        type Item = &'a mut [T];
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(&'a mut [T]) + Sync + Send,
+        {
+            self.enumerate().for_each(|(_, c)| f(c));
+        }
+    }
+
+    /// Enumerated mutable chunks.
+    pub struct ParChunksMutEnum<'a, T> {
+        slice: &'a mut [T],
+        size: usize,
+    }
+
+    impl<'a, T: Send + Sync> ParallelIterator for ParChunksMutEnum<'a, T> {
+        type Item = (usize, &'a mut [T]);
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn((usize, &'a mut [T])) + Sync + Send,
+        {
+            let len = self.slice.len();
+            let size = self.size;
+            let n_chunks = len.div_ceil(size);
+            let ptr = SyncPtr(self.slice.as_mut_ptr());
+            run_indexed(n_chunks, &|i| {
+                let start = i * size;
+                let end = (start + size).min(len);
+                // SAFETY: chunk ranges are disjoint and each index is
+                // claimed exactly once, so the mutable borrows never alias.
+                let chunk =
+                    unsafe { std::slice::from_raw_parts_mut(ptr.get().add(start), end - start) };
+                f((i, chunk));
+            });
+        }
+    }
+}
+
+pub use iter::{IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut};
+
+/// Convenience re-export of the range adaptor for `Range<usize>` (used via
+/// `(0..n).into_par_iter()`).
+pub type ParRange = iter::ParRange;
+
+#[allow(unused_imports)]
+use std::ops::Range as _RangeDocOnly;
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn par_chunks_mut_matches_serial() {
+        let mut par = vec![0u64; 1000];
+        let mut ser = vec![0u64; 1000];
+        set_num_threads(4);
+        par.par_chunks_mut(100)
+            .enumerate()
+            .for_each(|(k, chunk)| {
+                for (i, x) in chunk.iter_mut().enumerate() {
+                    *x = (k * 1_000_003 + i) as u64;
+                }
+            });
+        for (k, chunk) in ser.chunks_mut(100).enumerate() {
+            for (i, x) in chunk.iter_mut().enumerate() {
+                *x = (k * 1_000_003 + i) as u64;
+            }
+        }
+        assert_eq!(par, ser);
+        set_num_threads(1);
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        set_num_threads(3);
+        let v: Vec<usize> = (0..257usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(v, (0..257).map(|i| i * i).collect::<Vec<_>>());
+        set_num_threads(1);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!((a, b), (4, "ok"));
+    }
+
+    #[test]
+    fn nested_parallel_calls_run_inline() {
+        set_num_threads(4);
+        let acc = std::sync::atomic::AtomicUsize::new(0);
+        (0..8usize).into_par_iter().for_each(|_| {
+            (0..8usize)
+                .into_par_iter()
+                .for_each(|_| {
+                    acc.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                });
+        });
+        assert_eq!(acc.load(std::sync::atomic::Ordering::Relaxed), 64);
+        set_num_threads(1);
+    }
+
+    #[test]
+    fn task_panic_propagates() {
+        set_num_threads(2);
+        let res = std::panic::catch_unwind(|| {
+            (0..16usize).into_par_iter().for_each(|i| {
+                if i == 7 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(res.is_err());
+        set_num_threads(1);
+    }
+}
