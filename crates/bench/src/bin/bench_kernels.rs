@@ -15,7 +15,9 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use cl_ckks::{CkksContext, CkksParams, KeySwitchKind};
+use cl_boot::{try_bsgs_transform, BootstrapKeys, PrecomputedTransform};
+use cl_ckks::{Ciphertext, CkksContext, CkksParams, KeySwitchKey, KeySwitchKind};
+use cl_math::Complex;
 use cl_rns::{BaseConverter, RnsContext};
 use rand::SeedableRng;
 
@@ -189,6 +191,99 @@ fn main() {
                 std::hint::black_box(ctx.rescale(&ct));
             }),
         ));
+        // Hoisted vs naive batch rotation: the same 8 rotations of one
+        // ciphertext, naively (one ModUp per rotation) and hoisted (one
+        // shared ModUp). Standard keyswitching decomposes into one digit
+        // per limb, so its ModUp is O(L^2) NTT work and dominates each
+        // rotation — the classic setting where hoisting pays.
+        {
+            let hoist_kind = KeySwitchKind::Standard;
+            let steps: Vec<i64> = (1..=8).collect();
+            let keys: Vec<KeySwitchKey> = steps
+                .iter()
+                .map(|&s| ctx.rotation_keygen(&sk, s, hoist_kind, &mut rng))
+                .collect();
+            let key_refs: Vec<&KeySwitchKey> = keys.iter().collect();
+            results.push((
+                "rotate_naive_x8",
+                time_ns(cfg.smoke, || {
+                    for (&s, k) in steps.iter().zip(&keys) {
+                        std::hint::black_box(ctx.rotate(&ct, s, k));
+                    }
+                }),
+            ));
+            results.push((
+                "rotate_hoisted_x8",
+                time_ns(cfg.smoke, || {
+                    std::hint::black_box(
+                        ctx.try_rotate_hoisted_many(&ct, &steps, &key_refs)
+                            .expect("hoisted rotations"),
+                    );
+                }),
+            ));
+        }
+        // BSGS vs naive linear transform: a 16-diagonal band matrix (the
+        // shape of one bootstrap CoeffToSlot radix stage) applied with
+        // per-diagonal rotations vs the precomputed double-hoisted BSGS
+        // path.
+        {
+            let m = ctx.params().slots();
+            let level = limbs;
+            let kind = KeySwitchKind::Standard;
+            let n_diags = 16.min(m);
+            let mut drng = rand::rngs::StdRng::seed_from_u64(11);
+            let diags: Vec<(i64, Vec<Complex>)> = (0..n_diags as i64)
+                .map(|d| {
+                    let v: Vec<Complex> = (0..m)
+                        .map(|_| {
+                            Complex::new(
+                                rand::Rng::gen_range(&mut drng, -0.5..0.5),
+                                rand::Rng::gen_range(&mut drng, -0.5..0.5),
+                            )
+                        })
+                        .collect();
+                    (d, v)
+                })
+                .collect();
+            let pre = PrecomputedTransform::new(&ctx, &diags, level);
+            let mut steps = pre.required_steps();
+            steps.extend(diags.iter().map(|(d, _)| *d));
+            let keys = BootstrapKeys::generate(&ctx, &sk, kind, &steps, &mut rng);
+            let pt_scale = ctx.rns().modulus_value((level - 1) as u32) as f64;
+            let diag_pts: Vec<(i64, cl_ckks::Plaintext)> = diags
+                .iter()
+                .map(|(d, v)| (*d, ctx.encode_complex(v, pt_scale, level)))
+                .collect();
+            results.push((
+                "linear_transform_naive",
+                time_ns(cfg.smoke, || {
+                    let mut acc: Option<Ciphertext> = None;
+                    for (d, pt) in &diag_pts {
+                        let rotated = if *d == 0 {
+                            ct.clone()
+                        } else {
+                            ctx.try_rotate(&ct, *d, keys.try_rot_key(*d).expect("diag key"))
+                                .expect("rotate")
+                        };
+                        let term = ctx.try_mul_plain(&rotated, pt).expect("mul_plain");
+                        acc = Some(match acc {
+                            None => term,
+                            Some(a) => ctx.try_add(&a, &term).expect("add"),
+                        });
+                    }
+                    let out = ctx.try_rescale(&acc.expect("diags")).expect("rescale");
+                    std::hint::black_box(out);
+                }),
+            ));
+            results.push((
+                "linear_transform_bsgs",
+                time_ns(cfg.smoke, || {
+                    std::hint::black_box(
+                        try_bsgs_transform(&ctx, &ct, &pre, &keys).expect("bsgs transform"),
+                    );
+                }),
+            ));
+        }
         // One bootstrap step: the EvalMod inner loop is a squaring chain;
         // each step is square + rescale.
         results.push((

@@ -21,19 +21,71 @@
 //! The result is a ciphertext of the *same message* at a much higher level
 //! — a refreshed multiplicative budget (Fig. 2).
 
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::{Arc, Mutex};
+
 use cl_ckks::{
-    Ciphertext, CkksContext, FheError, FheResult, GuardrailPolicy, KeySwitchKey, SecretKey,
+    Ciphertext, CkksContext, FheError, FheResult, GuardrailPolicy, KeySwitchKey, Plaintext,
+    SecretKey,
 };
 use cl_math::Complex;
 use rand::Rng;
 
-/// Key material for one bootstrapping configuration: rotation keys for all
-/// transform diagonals, a conjugation key, and a relinearization key.
+/// Key material for one bootstrapping configuration: rotation keys for the
+/// BSGS baby/giant steps, a conjugation key, and a relinearization key.
 #[derive(Debug)]
 pub struct BootstrapKeys {
     relin: KeySwitchKey,
     conj: KeySwitchKey,
-    rotations: Vec<(i64, KeySwitchKey)>,
+    rotations: HashMap<i64, KeySwitchKey>,
+}
+
+impl BootstrapKeys {
+    /// Generates keyswitch keys for an explicit set of rotation steps (plus
+    /// the relinearization and conjugation keys every bootstrap needs).
+    /// Step 0 is skipped — the identity rotation needs no key.
+    pub fn generate<R: Rng + ?Sized>(
+        ctx: &CkksContext,
+        sk: &SecretKey,
+        kind: cl_ckks::KeySwitchKind,
+        steps: &[i64],
+        rng: &mut R,
+    ) -> Self {
+        let mut uniq: Vec<i64> = steps.iter().copied().filter(|&d| d != 0).collect();
+        uniq.sort_unstable();
+        uniq.dedup();
+        let rotations = uniq
+            .into_iter()
+            .map(|d| (d, ctx.rotation_keygen(sk, d, kind, rng)))
+            .collect();
+        Self {
+            relin: ctx.relin_keygen(sk, kind, rng),
+            conj: ctx.conjugation_keygen(sk, kind, rng),
+            rotations,
+        }
+    }
+
+    /// The rotation key for `step`, in O(1).
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::MissingKey`] naming the step when no key was generated
+    /// for it.
+    pub fn try_rot_key(&self, step: i64) -> FheResult<&KeySwitchKey> {
+        self.rotations.get(&step).ok_or_else(|| FheError::MissingKey {
+            what: format!("rotation key for step {step}"),
+        })
+    }
+
+    /// The relinearization key.
+    pub fn relin(&self) -> &KeySwitchKey {
+        &self.relin
+    }
+
+    /// The conjugation key.
+    pub fn conj(&self) -> &KeySwitchKey {
+        &self.conj
+    }
 }
 
 /// A functional bootstrapper: precomputed transform matrices plus the
@@ -49,6 +101,8 @@ pub struct Bootstrapper {
     taylor_degree: usize,
     /// Input range bound `|y| <= k` for EvalMod.
     k_bound: f64,
+    /// Encoded transform plaintexts, cached per `(stage, level)`.
+    precompute: BootstrapPrecompute,
 }
 
 impl std::fmt::Debug for Bootstrapper {
@@ -59,6 +113,236 @@ impl std::fmt::Debug for Bootstrapper {
             .field("k_bound", &self.k_bound)
             .finish()
     }
+}
+
+/// Which of the two bootstrap linear transforms a cached precompute
+/// belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransformStage {
+    /// The inverse special-FFT (coefficients into slots).
+    CoeffToSlot,
+    /// The forward special-FFT (slots back into coefficients).
+    SlotToCoeff,
+}
+
+/// A linear transform arranged for baby-step/giant-step evaluation, with
+/// every diagonal plaintext already encoded at a fixed level.
+///
+/// Writing each diagonal index `d = j·b + i` with `b =
+/// ceil(sqrt(#diagonals))`, the dense sum `Σ_d diag_d ⊙ rot_d(v)`
+/// regroups as
+/// `Σ_j rot_{j·b}( Σ_i pt_{j,i} ⊙ rot_i(v) )` where
+/// `pt_{j,i}[s] = diag_{j·b+i}[(s − j·b) mod m]` — only `b` baby
+/// rotations of the input plus one giant rotation per group, instead of
+/// one rotation per diagonal. The plaintexts are encoded once at
+/// construction (scale = the modulus the closing rescale drops), so
+/// applying the transform does no encoding at all.
+pub struct PrecomputedTransform {
+    level: usize,
+    /// Distinct baby offsets `i` (may include 0 = the input itself).
+    baby_steps: Vec<i64>,
+    /// Giant groups: `(giant rotation j·b, [(baby offset i, plaintext)])`.
+    giants: Vec<(i64, Vec<(i64, Plaintext)>)>,
+}
+
+impl std::fmt::Debug for PrecomputedTransform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PrecomputedTransform")
+            .field("level", &self.level)
+            .field("baby_steps", &self.baby_steps)
+            .field("giants", &self.giants.len())
+            .finish()
+    }
+}
+
+/// The BSGS baby-step count for a transform with `n_diags` nonzero
+/// diagonals: `ceil(sqrt(n_diags))` (matching
+/// `BootstrapPlan::bsgs_rotations`), independent of level so the
+/// rotation-key set is stable across the modulus chain.
+fn bsgs_baby(n_diags: usize) -> i64 {
+    ((n_diags as f64).sqrt().ceil() as i64).max(1)
+}
+
+impl PrecomputedTransform {
+    /// Encodes `diags` (generalized diagonals, indices in `[0, m)`) for
+    /// BSGS evaluation on level-`level` ciphertexts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level < 2` (the transform's closing rescale needs a
+    /// modulus to drop) or a diagonal's length differs from the slot count.
+    pub fn new(ctx: &CkksContext, diags: &[(i64, Vec<Complex>)], level: usize) -> Self {
+        assert!(level >= 2, "BSGS transform needs a level to rescale into");
+        let m = ctx.params().slots();
+        let baby = bsgs_baby(diags.len());
+        // Encoded at exactly the scale of the modulus the closing rescale
+        // drops: the transform then preserves the ciphertext scale exactly
+        // (any deviation would be amplified exponentially by EvalMod's
+        // squaring chain).
+        let scale = ctx.rns().modulus_value((level - 1) as u32) as f64;
+        let mut baby_set = BTreeSet::new();
+        let mut groups: BTreeMap<i64, Vec<(i64, Plaintext)>> = BTreeMap::new();
+        for (d, diag) in diags {
+            assert_eq!(diag.len(), m, "diagonal length must equal the slot count");
+            let i = d % baby;
+            let jb = d - i;
+            baby_set.insert(i);
+            // pt[s] = diag[(s − j·b) mod m]: the giant rotation moves the
+            // plaintext weights back over the right slots.
+            let shift = (jb as usize) % m;
+            let rot: Vec<Complex> = (0..m).map(|s| diag[(s + m - shift) % m]).collect();
+            groups
+                .entry(jb)
+                .or_default()
+                .push((i, ctx.encode_complex(&rot, scale, level)));
+        }
+        Self {
+            level,
+            baby_steps: baby_set.into_iter().collect(),
+            giants: groups.into_iter().collect(),
+        }
+    }
+
+    /// The ciphertext level this precompute was encoded for.
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Every nonzero rotation step the transform needs a key for (baby
+    /// offsets plus giant steps), sorted.
+    pub fn required_steps(&self) -> Vec<i64> {
+        let mut steps: BTreeSet<i64> = self.baby_steps.iter().copied().collect();
+        steps.extend(self.giants.iter().map(|(jb, _)| *jb));
+        steps.remove(&0);
+        steps.into_iter().collect()
+    }
+}
+
+/// Cache of [`PrecomputedTransform`]s keyed by `(stage, level)`. Filled
+/// eagerly at [`Bootstrapper::keygen`] for the two levels
+/// [`Bootstrapper::try_bootstrap`] visits; misses (e.g. a transform applied
+/// at a non-standard level) build and cache lazily.
+#[derive(Default)]
+pub struct BootstrapPrecompute {
+    cache: Mutex<HashMap<(TransformStage, usize), Arc<PrecomputedTransform>>>,
+}
+
+impl std::fmt::Debug for BootstrapPrecompute {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.cache.lock().map(|c| c.len()).unwrap_or(0);
+        f.debug_struct("BootstrapPrecompute").field("entries", &n).finish()
+    }
+}
+
+impl BootstrapPrecompute {
+    /// Returns the cached precompute for `(stage, level)`, building and
+    /// inserting it from `diags` on a miss.
+    pub fn get_or_build(
+        &self,
+        ctx: &CkksContext,
+        stage: TransformStage,
+        level: usize,
+        diags: &[(i64, Vec<Complex>)],
+    ) -> Arc<PrecomputedTransform> {
+        let key = (stage, level);
+        if let Some(hit) = self.lock().get(&key) {
+            return hit.clone();
+        }
+        // Encode outside the lock; a racing builder just wastes one encode.
+        let built = Arc::new(PrecomputedTransform::new(ctx, diags, level));
+        self.lock().entry(key).or_insert(built).clone()
+    }
+
+    /// Number of cached `(stage, level)` entries.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<(TransformStage, usize), Arc<PrecomputedTransform>>> {
+        self.cache
+            .lock()
+            .expect("precompute cache poisoned: a panic while encoding plaintexts")
+    }
+}
+
+/// Applies a precomputed BSGS linear transform to `ct` and rescales.
+/// Consumes one level.
+///
+/// All baby rotations share one hoisted decomposition of the input
+/// ([`CkksContext::try_rotate_hoisted_many`]), and the giant-step outputs
+/// are accumulated in the extended basis with a single closing ModDown
+/// ([`CkksContext::try_rotate_sum`]) — the double-hoisted evaluation
+/// CraterLake's bootstrap schedule amortizes its keyswitch traffic with
+/// (Sec. 6).
+///
+/// # Errors
+///
+/// [`FheError::LevelMismatch`] when `ct.level() != pre.level()`;
+/// [`FheError::MissingKey`] when `keys` lacks a needed baby/giant step;
+/// [`FheError::InvalidParams`] on a transform with no diagonals; plus any
+/// guardrail failure from the underlying ops.
+pub fn try_bsgs_transform(
+    ctx: &CkksContext,
+    ct: &Ciphertext,
+    pre: &PrecomputedTransform,
+    keys: &BootstrapKeys,
+) -> FheResult<Ciphertext> {
+    const OP: &str = "linear_transform";
+    if ct.level() != pre.level {
+        return Err(FheError::LevelMismatch {
+            op: OP,
+            got: ct.level(),
+            want: pre.level,
+        });
+    }
+    if pre.giants.is_empty() {
+        return Err(FheError::InvalidParams {
+            op: OP,
+            reason: "transform has no nonzero diagonals".into(),
+        });
+    }
+    // Baby rotations: one hoisted ModUp serves every step.
+    let nonzero: Vec<i64> = pre.baby_steps.iter().copied().filter(|&i| i != 0).collect();
+    let baby_keys: Vec<&KeySwitchKey> = nonzero
+        .iter()
+        .map(|&i| keys.try_rot_key(i))
+        .collect::<FheResult<_>>()?;
+    let rotated = ctx.try_rotate_hoisted_many(ct, &nonzero, &baby_keys)?;
+    let mut babies: HashMap<i64, &Ciphertext> =
+        nonzero.iter().copied().zip(rotated.iter()).collect();
+    babies.insert(0, ct);
+    // Inner sums: plaintext-multiply each baby into its giant group.
+    let mut inners: Vec<(Ciphertext, i64)> = Vec::with_capacity(pre.giants.len());
+    for (jb, terms) in &pre.giants {
+        let mut acc: Option<Ciphertext> = None;
+        for (i, pt) in terms {
+            let baby = babies
+                .get(i)
+                .expect("baby offsets and giant groups come from the same diagonal split");
+            let term = ctx.try_mul_plain(baby, pt)?;
+            acc = Some(match acc {
+                None => term,
+                Some(a) => ctx.try_add(&a, &term)?,
+            });
+        }
+        let inner = acc.expect("giant groups are non-empty by construction");
+        inners.push((inner, *jb));
+    }
+    // Giant rotations: extended-basis accumulation, one closing ModDown.
+    let giant_terms: Vec<(&Ciphertext, i64, Option<&KeySwitchKey>)> = inners
+        .iter()
+        .map(|(inner, jb)| {
+            let key = if *jb == 0 { None } else { Some(keys.try_rot_key(*jb)?) };
+            Ok((inner, *jb, key))
+        })
+        .collect::<FheResult<_>>()?;
+    let summed = ctx.try_rotate_sum(&giant_terms)?;
+    ctx.try_rescale(&summed)
 }
 
 /// Extracts the generalized diagonals of an `m x m` complex matrix given as
@@ -124,6 +408,7 @@ impl Bootstrapper {
             r,
             taylor_degree: 7,
             k_bound,
+            precompute: BootstrapPrecompute::default(),
         }
     }
 
@@ -134,7 +419,11 @@ impl Bootstrapper {
         7 + self.r as usize
     }
 
-    /// Generates the keyswitch keys bootstrapping needs.
+    /// Generates the keyswitch keys bootstrapping needs — only the BSGS
+    /// baby/giant steps of the two transforms, not one key per diagonal —
+    /// and eagerly fills the [`BootstrapPrecompute`] cache for the two
+    /// levels [`Bootstrapper::try_bootstrap`] visits, so no transform
+    /// plaintext is encoded on the bootstrap hot path.
     pub fn keygen<R: Rng + ?Sized>(
         &self,
         ctx: &CkksContext,
@@ -142,71 +431,57 @@ impl Bootstrapper {
         kind: cl_ckks::KeySwitchKind,
         rng: &mut R,
     ) -> BootstrapKeys {
-        let mut steps: Vec<i64> = self
-            .cts_diags
-            .iter()
-            .chain(&self.sts_diags)
-            .map(|(d, _)| *d)
-            .filter(|&d| d != 0)
-            .collect();
-        steps.sort_unstable();
-        steps.dedup();
-        let rotations = steps
-            .iter()
-            .map(|&d| (d, ctx.rotation_keygen(sk, d, kind, rng)))
-            .collect();
-        BootstrapKeys {
-            relin: ctx.relin_keygen(sk, kind, rng),
-            conj: ctx.conjugation_keygen(sk, kind, rng),
-            rotations,
+        let mut steps = BTreeSet::new();
+        for diags in [&self.cts_diags, &self.sts_diags] {
+            let baby = bsgs_baby(diags.len());
+            for (d, _) in diags {
+                let i = d % baby;
+                steps.insert(i);
+                steps.insert(d - i);
+            }
         }
+        steps.remove(&0);
+        let l_max = ctx.max_level();
+        if l_max > self.depth() + 1 {
+            // CoeffToSlot runs on the raised ciphertext at `l_max`;
+            // SlotToCoeff after the full EvalMod depth.
+            self.precomputed(ctx, TransformStage::CoeffToSlot, l_max);
+            self.precomputed(ctx, TransformStage::SlotToCoeff, l_max - self.depth() - 1);
+        }
+        let steps: Vec<i64> = steps.into_iter().collect();
+        BootstrapKeys::generate(ctx, sk, kind, &steps, rng)
     }
 
-    fn try_rot_key(keys: &BootstrapKeys, d: i64) -> FheResult<&KeySwitchKey> {
-        keys.rotations
-            .iter()
-            .find(|(s, _)| *s == d)
-            .map(|(_, k)| k)
-            .ok_or_else(|| FheError::MissingKey {
-                what: format!("rotation key for step {d}"),
-            })
+    /// Read access to the `(stage, level)` plaintext cache.
+    pub fn precompute(&self) -> &BootstrapPrecompute {
+        &self.precompute
     }
 
-    /// Homomorphic dense linear transform: `Σ_d diag_d ⊙ rot_d(ct)`.
+    fn precomputed(
+        &self,
+        ctx: &CkksContext,
+        stage: TransformStage,
+        level: usize,
+    ) -> Arc<PrecomputedTransform> {
+        let diags = match stage {
+            TransformStage::CoeffToSlot => &self.cts_diags,
+            TransformStage::SlotToCoeff => &self.sts_diags,
+        };
+        self.precompute.get_or_build(ctx, stage, level, diags)
+    }
+
+    /// Homomorphic dense linear transform: `Σ_d diag_d ⊙ rot_d(ct)`,
+    /// evaluated in BSGS form over cached precomputed plaintexts.
     /// Consumes one level.
     fn try_linear_transform(
         &self,
         ctx: &CkksContext,
         ct: &Ciphertext,
-        diags: &[(i64, Vec<Complex>)],
+        stage: TransformStage,
         keys: &BootstrapKeys,
     ) -> FheResult<Ciphertext> {
-        let level = ct.level();
-        // Encode the diagonals at exactly the scale of the modulus the
-        // closing rescale will drop: the transform then preserves the
-        // ciphertext scale exactly (standard scale-management practice —
-        // any deviation would be amplified exponentially by EvalMod's
-        // squaring chain).
-        let scale = ctx.rns().modulus_value((level - 1) as u32) as f64;
-        let mut acc: Option<Ciphertext> = None;
-        for (d, diag) in diags {
-            let rotated = if *d == 0 {
-                ct.clone()
-            } else {
-                ctx.try_rotate(ct, *d, Self::try_rot_key(keys, *d)?)?
-            };
-            let pt = ctx.encode_complex(diag, scale, level);
-            let term = ctx.try_mul_plain(&rotated, &pt)?;
-            acc = Some(match acc {
-                None => term,
-                Some(a) => ctx.try_add(&a, &term)?,
-            });
-        }
-        let acc = acc.ok_or_else(|| FheError::InvalidParams {
-            op: "linear_transform",
-            reason: "transform has no nonzero diagonals".into(),
-        })?;
-        ctx.try_rescale(&acc)
+        let pre = self.precomputed(ctx, stage, ct.level());
+        try_bsgs_transform(ctx, ct, &pre, keys)
     }
 
     /// EvalMod on the *real part* interpretation: input `ct` decodes to
@@ -355,7 +630,7 @@ impl Bootstrapper {
         // are the raised polynomial's coefficients (value m·Δ + q0·I).
         // The factor n/2 from the unnormalized embedding is absorbed by
         // the transform matrix itself (it is exactly the encoder's iFFT).
-        let u = self.try_linear_transform(ctx, &raised, &self.cts_diags, keys)?;
+        let u = self.try_linear_transform(ctx, &raised, TransformStage::CoeffToSlot, keys)?;
         // Reinterpret: record the scale as q0·(old/old)… the true slot
         // values are (m·Δ + q0·I); dividing the recorded scale by
         // (Δ_in/ q0)·(old_scale/Δ_in)... concretely: decoded = true/scale.
@@ -399,7 +674,7 @@ impl Bootstrapper {
         // multiplying by the input scale.
         let restored = combined.clone().with_scale(combined.scale() * ct.scale() / q0);
         // ---- SlotToCoeff.
-        let out = self.try_linear_transform(ctx, &restored, &self.sts_diags, keys)?;
+        let out = self.try_linear_transform(ctx, &restored, TransformStage::SlotToCoeff, keys)?;
         // EvalMod removed the `q0·I` term the analytic estimate has been
         // carrying since ModRaise; the refreshed ciphertext's error is
         // dominated by the sine-approximation instead (a degree-d Taylor
@@ -473,7 +748,7 @@ mod tests {
         let pt = ctx.encode_complex(&vals, ctx.default_scale(), 5);
         let ct = ctx.encrypt(&pt, &sk, &mut rng);
         let out = booter
-            .try_linear_transform(&ctx, &ct, &booter.cts_diags, &keys)
+            .try_linear_transform(&ctx, &ct, TransformStage::CoeffToSlot, &keys)
             .expect("transform on well-formed inputs");
         let got = ctx.decode_complex(&ctx.decrypt(&out, &sk), slots);
         let fft = cl_math::SpecialFft::new(slots);
@@ -481,6 +756,33 @@ mod tests {
         fft.inverse(&mut expect);
         for (g, e) in got.iter().zip(&expect) {
             assert!((*g - *e).abs() < 1e-2, "{g:?} vs {e:?}");
+        }
+    }
+
+    #[test]
+    fn keygen_fills_precompute_and_shrinks_key_set() {
+        let ctx = boot_ctx();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let sk = ctx.keygen_sparse(8, &mut rng);
+        let booter = Bootstrapper::new(&ctx, 8);
+        assert!(booter.precompute().is_empty());
+        let keys = booter.keygen(&ctx, &sk, KeySwitchKind::Boosted { digits: 1 }, &mut rng);
+        // Both transform levels are encoded eagerly at keygen.
+        assert_eq!(booter.precompute().len(), 2);
+        // BSGS needs ~2·sqrt(m) rotation keys; the dense special-FFT
+        // matrices have m nonzero diagonals each, so the per-diagonal
+        // scheme would need m-1.
+        let m = ctx.params().slots();
+        assert!(
+            keys.rotations.len() < m - 1,
+            "BSGS key set must be smaller than per-diagonal: {} vs {}",
+            keys.rotations.len(),
+            m - 1
+        );
+        for (_, pre) in booter.precompute.lock().iter() {
+            for step in pre.required_steps() {
+                assert!(keys.rotations.contains_key(&step), "missing key for step {step}");
+            }
         }
     }
 
@@ -518,8 +820,10 @@ mod tests {
         let sk = ctx.keygen_sparse(8, &mut rng);
         let booter = Bootstrapper::new(&ctx, 8);
         let mut keys = booter.keygen(&ctx, &sk, KeySwitchKind::Boosted { digits: 1 }, &mut rng);
-        // Drop one rotation key the CoeffToSlot transform needs.
-        let (dropped, _) = keys.rotations.remove(0);
+        // Drop one rotation key the CoeffToSlot transform needs (the
+        // smallest step is a baby step the dense transform always uses).
+        let dropped = *keys.rotations.keys().min().expect("bootstrap needs rotation keys");
+        keys.rotations.remove(&dropped);
         let slots = ctx.params().slots();
         let pt = ctx.encode(&vec![0.25; slots], ctx.default_scale(), 1);
         let ct = ctx.encrypt(&pt, &sk, &mut rng);

@@ -23,5 +23,8 @@
 pub mod functional;
 mod plan;
 
-pub use functional::{BootstrapKeys, Bootstrapper};
+pub use functional::{
+    try_bsgs_transform, BootstrapKeys, BootstrapPrecompute, Bootstrapper, PrecomputedTransform,
+    TransformStage,
+};
 pub use plan::BootstrapPlan;

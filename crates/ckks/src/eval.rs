@@ -16,11 +16,12 @@
 
 use std::borrow::Cow;
 
-use cl_rns::{rescale_with, Basis};
+use cl_rns::{mod_down_ntt, Basis, RnsPoly};
 
 use crate::context::GuardrailPolicy;
 use crate::error::{FheError, FheResult};
-use crate::{Ciphertext, CkksContext, KeySwitchKey, Plaintext};
+use crate::noise::log2_add;
+use crate::{Ciphertext, CkksContext, HoistedDecomposition, KeySwitchKey, Plaintext};
 
 impl CkksContext {
     /// Under [`GuardrailPolicy::AutoRescale`], aligns two operands to a
@@ -368,19 +369,15 @@ impl CkksContext {
         }
         let rns = self.rns();
         let dropped = rns.modulus_value((a.level - 1) as u32) as f64;
-        let mut c0 = a.c0.clone();
-        let mut c1 = a.c1.clone();
-        rns.from_ntt(&mut c0);
-        rns.from_ntt(&mut c1);
-        // Reuse the cached drop-limb -> kept-limbs converter: rebuilding it
-        // per rescale puts big-integer products on the hot path.
+        // NTT-domain rescale through the cached drop-limb -> kept-limbs
+        // converter: only the dropped limb leaves the NTT domain and only
+        // the converted correction re-enters it, instead of round-tripping
+        // all `level` limbs per polynomial.
         let keep = rns.q_basis(a.level - 1);
         let drop = Basis(vec![(a.level - 1) as u32]);
         let conv = self.converter(&drop, &keep);
-        let mut r0 = rescale_with(rns, &c0, &conv);
-        let mut r1 = rescale_with(rns, &c1, &conv);
-        rns.to_ntt(&mut r0);
-        rns.to_ntt(&mut r1);
+        let r0 = mod_down_ntt(rns, &a.c0, &keep, &drop, &conv);
+        let r1 = mod_down_ntt(rns, &a.c1, &keep, &drop, &conv);
         let out = Ciphertext {
             c0: r0,
             c1: r1,
@@ -502,15 +499,179 @@ impl CkksContext {
         self.guard_operands(op, &[a])?;
         self.guard_key(op, key)?;
         let rns = self.rns();
-        let rotated = Ciphertext {
-            c0: rns.apply_automorphism(&a.c0, g),
-            c1: rns.apply_automorphism(&a.c1, g),
+        // Hoisted order: decompose `c1` first, then apply the automorphism
+        // to the already-decomposed digits. A single rotation costs the
+        // same either way, but routing everything through one path keeps
+        // `try_rotate` bit-identical to the batched
+        // [`CkksContext::try_rotate_hoisted_many`] (the approximate ModUp
+        // conversion does not commute bit-exactly with the automorphism,
+        // so the two orders differ in the low noise bits).
+        let dec = self.hoist_impl(op, &a.c1, key.kind())?;
+        let (ks0, ks1) = dec.apply_galois(self, g, key)?;
+        let out = Ciphertext {
+            c0: rns.add(&rns.apply_automorphism(&a.c0, g), &ks0),
+            c1: ks1,
             level: a.level,
             scale: a.scale,
-            noise_bits_est: a.noise_bits_est,
+            noise_bits_est: log2_add(
+                a.noise_bits_est,
+                self.est_keyswitch_bits(a.level, key),
+            ),
         };
-        let out = self.try_keyswitch_ciphertext(&rotated, key)?;
         self.guard_budget(op, &out)?;
+        Ok(out)
+    }
+
+    /// Fallible batch rotation from a single hoisted decomposition: all
+    /// `steps` rotations of `a` share one ModUp (digit decomposition + base
+    /// extension) instead of paying it once per rotation — the dominant
+    /// saving of CraterLake's amortized boosted keyswitching across BSGS
+    /// rotations (Sec. 6).
+    ///
+    /// `keys[i]` must be the rotation key for `steps[i]`, and all keys must
+    /// share one keyswitch kind (they apply to the same decomposition).
+    /// Results are bit-identical to calling [`CkksContext::try_rotate`]
+    /// once per step, noise estimates included.
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::InvalidParams`] when `steps` and `keys` have different
+    /// lengths or a key's kind differs from the first key's, plus the
+    /// per-rotation contract of [`CkksContext::try_rotate`].
+    pub fn try_rotate_hoisted_many(
+        &self,
+        a: &Ciphertext,
+        steps: &[i64],
+        keys: &[&KeySwitchKey],
+    ) -> FheResult<Vec<Ciphertext>> {
+        const OP: &str = "rotate_hoisted";
+        if steps.len() != keys.len() {
+            return Err(FheError::InvalidParams {
+                op: OP,
+                reason: format!("{} steps but {} keys", steps.len(), keys.len()),
+            });
+        }
+        self.guard_operands(OP, &[a])?;
+        let Some(first) = keys.first() else {
+            return Ok(Vec::new());
+        };
+        let rns = self.rns();
+        let n = self.params().ring_degree();
+        let dec = self.hoist_impl(OP, &a.c1, first.kind())?;
+        steps
+            .iter()
+            .zip(keys)
+            .map(|(&k, key)| {
+                let g = cl_math::galois_element_for_rotation(k, n);
+                let (ks0, ks1) = dec.apply_galois(self, g, key)?;
+                let out = Ciphertext {
+                    c0: rns.add(&rns.apply_automorphism(&a.c0, g), &ks0),
+                    c1: ks1,
+                    level: a.level,
+                    scale: a.scale,
+                    noise_bits_est: log2_add(
+                        a.noise_bits_est,
+                        self.est_keyswitch_bits(a.level, key),
+                    ),
+                };
+                self.guard_budget(OP, &out)?;
+                Ok(out)
+            })
+            .collect()
+    }
+
+    /// Fallible rotate-and-sum `Σ_j rot_{k_j}(ct_j)` with *double
+    /// hoisting*: every nonzero-step term is hoisted, its automorphism
+    /// applied to the decomposed digits, and its hint inner product
+    /// accumulated in the extended basis `Q·P`; a single closing ModDown
+    /// serves the whole sum. ModDown is linear up to the ±1 conversion
+    /// rounding per term, which the noise model's rounding floor already
+    /// covers — this is the extended-basis accumulation the BSGS
+    /// giant-step loop of `cl-boot` runs on.
+    ///
+    /// Terms with step 0 are added directly (no key needed; a key given
+    /// for step 0 is ignored). All terms must share level and scale, and
+    /// all keys one keyswitch kind.
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::InvalidParams`] on an empty term list or mixed key
+    /// kinds; [`FheError::MissingKey`] when a nonzero step has no key;
+    /// [`FheError::LevelMismatch`] / [`FheError::ScaleMismatch`] when the
+    /// term shapes differ; plus any guardrail failure.
+    pub fn try_rotate_sum(
+        &self,
+        terms: &[(&Ciphertext, i64, Option<&KeySwitchKey>)],
+    ) -> FheResult<Ciphertext> {
+        const OP: &str = "rotate_sum";
+        let Some(&(head, ..)) = terms.first() else {
+            return Err(FheError::InvalidParams {
+                op: OP,
+                reason: "empty term list".into(),
+            });
+        };
+        let rns = self.rns();
+        let n = self.params().ring_degree();
+        let level = head.level;
+        let qb = rns.q_basis(level);
+        let mut base0 = rns.zero(&qb);
+        base0.set_ntt_form(true);
+        let mut base1 = base0.clone();
+        let mut noise = f64::NEG_INFINITY;
+        let mut acc: Option<(HoistedDecomposition, RnsPoly, RnsPoly)> = None;
+        for &(ct, k, key) in terms {
+            self.guard_operands(OP, &[ct])?;
+            self.try_check_same_shape(OP, head, ct)?;
+            if k == 0 {
+                rns.add_assign(&mut base0, &ct.c0);
+                rns.add_assign(&mut base1, &ct.c1);
+                noise = log2_add(noise, ct.noise_bits_est);
+                continue;
+            }
+            let Some(key) = key else {
+                return Err(FheError::MissingKey {
+                    what: format!("rotation key for step {k}"),
+                });
+            };
+            let g = cl_math::galois_element_for_rotation(k, n);
+            let dec = self.hoist_impl(OP, &ct.c1, key.kind())?;
+            let (e0, e1) = dec.apply_galois_ext(self, g, key)?;
+            match &mut acc {
+                None => acc = Some((dec, e0, e1)),
+                Some((head_dec, a0, a1)) => {
+                    if head_dec.kind() != key.kind() {
+                        return Err(FheError::InvalidParams {
+                            op: OP,
+                            reason: format!(
+                                "mixed keyswitch kinds {:?} and {:?} in one rotate-sum",
+                                head_dec.kind(),
+                                key.kind()
+                            ),
+                        });
+                    }
+                    rns.add_assign(a0, &e0);
+                    rns.add_assign(a1, &e1);
+                }
+            }
+            rns.add_assign(&mut base0, &rns.apply_automorphism(&ct.c0, g));
+            noise = log2_add(
+                noise,
+                log2_add(ct.noise_bits_est, self.est_keyswitch_bits(level, key)),
+            );
+        }
+        if let Some((dec, a0, a1)) = acc {
+            let (ks0, ks1) = dec.mod_down_pair(self, a0, a1);
+            rns.add_assign(&mut base0, &ks0);
+            rns.add_assign(&mut base1, &ks1);
+        }
+        let out = Ciphertext {
+            c0: base0,
+            c1: base1,
+            level,
+            scale: head.scale,
+            noise_bits_est: noise,
+        };
+        self.guard_budget(OP, &out)?;
         Ok(out)
     }
 }
@@ -707,6 +868,77 @@ mod tests {
         for i in 0..slots {
             let expect = vals[(i + 2) % slots];
             assert!((got[i] - expect).abs() < 0.1, "slot {i}: {} vs {expect}", got[i]);
+        }
+    }
+
+    #[test]
+    fn hoisted_many_matches_naive_rotations() {
+        let (ctx, sk, mut rng) = setup(3);
+        let slots = ctx.params().slots();
+        let vals: Vec<f64> = (0..slots).map(|i| (i as f64) * 0.5 - 3.0).collect();
+        let steps = [1i64, -2, 5, 0];
+        let keys: Vec<_> = steps
+            .iter()
+            .map(|&s| ctx.rotation_keygen(&sk, s, KIND, &mut rng))
+            .collect();
+        let key_refs: Vec<&crate::KeySwitchKey> = keys.iter().collect();
+        let ct = ctx.encrypt(&ctx.encode(&vals, ctx.default_scale(), 3), &sk, &mut rng);
+        let batch = ctx.try_rotate_hoisted_many(&ct, &steps, &key_refs).unwrap();
+        assert_eq!(batch.len(), steps.len());
+        for ((&s, key), hoisted) in steps.iter().zip(&keys).zip(&batch) {
+            let naive = ctx.try_rotate(&ct, s, key).unwrap();
+            assert_eq!(hoisted.c0(), naive.c0(), "step {s}: c0 differs");
+            assert_eq!(hoisted.c1(), naive.c1(), "step {s}: c1 differs");
+            assert_eq!(
+                hoisted.noise_estimate_bits(),
+                naive.noise_estimate_bits(),
+                "step {s}: noise estimate differs"
+            );
+        }
+    }
+
+    #[test]
+    fn hoisted_many_rejects_length_mismatch() {
+        let (ctx, sk, mut rng) = setup(2);
+        let key = ctx.rotation_keygen(&sk, 1, KIND, &mut rng);
+        let ct = ctx.encrypt(&ctx.encode(&[1.0], ctx.default_scale(), 2), &sk, &mut rng);
+        assert!(matches!(
+            ctx.try_rotate_hoisted_many(&ct, &[1, 2], &[&key]),
+            Err(crate::FheError::InvalidParams { op: "rotate_hoisted", .. })
+        ));
+    }
+
+    #[test]
+    fn rotate_sum_matches_sum_of_rotations() {
+        let (ctx, sk, mut rng) = setup(3);
+        let slots = ctx.params().slots();
+        let vals: Vec<f64> = (0..slots).map(|i| ((i * 7 % 5) as f64) - 2.0).collect();
+        let k1 = ctx.rotation_keygen(&sk, 1, KIND, &mut rng);
+        let k3 = ctx.rotation_keygen(&sk, 3, KIND, &mut rng);
+        let ct = ctx.encrypt(&ctx.encode(&vals, ctx.default_scale(), 3), &sk, &mut rng);
+        let sum = ctx
+            .try_rotate_sum(&[(&ct, 0, None), (&ct, 1, Some(&k1)), (&ct, 3, Some(&k3))])
+            .unwrap();
+        let got = ctx.decode(&ctx.decrypt(&sum, &sk), slots);
+        for i in 0..slots {
+            let expect = vals[i] + vals[(i + 1) % slots] + vals[(i + 3) % slots];
+            assert!(
+                (got[i] - expect).abs() < 1e-2,
+                "slot {i}: {} vs {expect}",
+                got[i]
+            );
+        }
+    }
+
+    #[test]
+    fn rotate_sum_requires_key_for_nonzero_step() {
+        let (ctx, sk, mut rng) = setup(2);
+        let ct = ctx.encrypt(&ctx.encode(&[1.0], ctx.default_scale(), 2), &sk, &mut rng);
+        match ctx.try_rotate_sum(&[(&ct, 2, None)]) {
+            Err(crate::FheError::MissingKey { what }) => {
+                assert!(what.contains("step 2"), "message: {what}");
+            }
+            other => panic!("expected MissingKey, got {other:?}"),
         }
     }
 

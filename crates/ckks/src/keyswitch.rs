@@ -16,13 +16,13 @@
 //!   input to base `Q·P` via fast base conversion, applies a hint that is
 //!   only `t+1` ciphertexts big, and divides by `P`. `O(L)` NTTs.
 
-use cl_rns::{mod_down, Basis, RnsPoly};
+use cl_rns::{mod_down_ntt, Basis, RnsPoly};
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 
 use crate::error::{FheError, FheResult};
-use crate::noise::{log2_add, SIGMA};
-use crate::{Ciphertext, CkksContext, KeySwitchKey, SecretKey};
+use crate::noise::SIGMA;
+use crate::{CkksContext, KeySwitchKey, SecretKey};
 
 /// Which keyswitching algorithm to use (and, for boosted, how many digits).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -197,9 +197,49 @@ impl CkksContext {
         ksk: &KeySwitchKey,
     ) -> FheResult<(RnsPoly, RnsPoly)> {
         self.guard_key("keyswitch", ksk)?;
+        let dec = self.hoist_impl("keyswitch", c, ksk.kind)?;
+        let (acc0, acc1) = dec.inner_product(self, None, ksk);
+        Ok(dec.mod_down_pair(self, acc0, acc1))
+    }
+
+    /// Phase one of keyswitching, split out so it can be *hoisted*: digit
+    /// decomposition plus ModUp base extension of `c` (NTT form, level-`L`
+    /// prefix basis). The result depends only on the polynomial and the
+    /// keyswitch kind — not on which key is applied — so one decomposition
+    /// can feed many [`HoistedDecomposition::apply_rotation`] calls.
+    ///
+    /// This is Listing 1, lines 1-3, amortized the way CraterLake amortizes
+    /// boosted keyswitching across the BSGS rotations of its bootstrapping
+    /// linear transforms (Sec. 6).
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::InvalidParams`] when `c` is not in NTT form or not over
+    /// a prefix of the ciphertext-modulus chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters do not provide enough special limbs for
+    /// `kind` (the same precondition as key generation).
+    pub fn try_hoist(
+        &self,
+        c: &RnsPoly,
+        kind: KeySwitchKind,
+    ) -> FheResult<HoistedDecomposition> {
+        self.hoist_impl("hoist", c, kind)
+    }
+
+    /// [`CkksContext::try_hoist`] with the caller's operation name on error
+    /// reports.
+    pub(crate) fn hoist_impl(
+        &self,
+        op: &'static str,
+        c: &RnsPoly,
+        kind: KeySwitchKind,
+    ) -> FheResult<HoistedDecomposition> {
         if !c.ntt_form() {
             return Err(FheError::InvalidParams {
-                op: "keyswitch",
+                op,
                 reason: "input must be in NTT form".into(),
             });
         }
@@ -208,14 +248,15 @@ impl CkksContext {
         let qb = rns.q_basis(level);
         if c.basis() != &qb {
             return Err(FheError::InvalidParams {
-                op: "keyswitch",
+                op,
                 reason: format!(
                     "input basis {:?} is not the q_1..q_{level} prefix",
                     c.basis()
                 ),
             });
         }
-        let special = self.special_for(ksk.kind);
+        let digit_limbs = self.digit_partition(kind);
+        let special = self.special_for(kind);
         let target = if special == 0 {
             qb.clone()
         } else {
@@ -223,16 +264,13 @@ impl CkksContext {
         };
         let mut c_coeff = c.clone();
         rns.from_ntt(&mut c_coeff);
-        let mut acc0 = rns.zero(&target);
-        acc0.set_ntt_form(true);
-        let mut acc1 = acc0.clone();
         // ModUp each digit in parallel: every digit's restrict + base
         // conversion + NTT is independent of the others (the CraterLake
         // schedule overlaps them across functional units the same way).
-        let digit_polys: Vec<Option<RnsPoly>> = (0..ksk.digit_limbs.len())
+        let digits: Vec<Option<RnsPoly>> = (0..digit_limbs.len())
             .into_par_iter()
             .map(|d| {
-                let limbs = &ksk.digit_limbs[d];
+                let limbs = &digit_limbs[d];
                 let present: Vec<u32> =
                     limbs.iter().copied().filter(|&l| (l as usize) < level).collect();
                 if present.is_empty() {
@@ -279,29 +317,13 @@ impl CkksContext {
                 Some(c_full)
             })
             .collect();
-        // Multiply by the hint and accumulate (Listing 1, line 6), serially
-        // and in digit order so the result is bit-identical at any thread
-        // count. The hint polys live over the full key basis (a superset of
-        // `target` at lower levels), so accumulate through the superset-aware
-        // kernel instead of materializing their restriction per digit.
-        for (d, c_full) in digit_polys.into_iter().enumerate() {
-            let Some(c_full) = c_full else { continue };
-            rns.mul_acc_superset(&mut acc0, &c_full, &ksk.elems[d].0);
-            rns.mul_acc_superset(&mut acc1, &c_full, &ksk.elems[d].1);
-        }
-        if special == 0 {
-            return Ok((acc0, acc1));
-        }
-        // ModDown by P (Listing 1, lines 7-10).
-        let pb = rns.p_basis(special);
-        let conv = self.converter(&pb, &qb);
-        rns.from_ntt(&mut acc0);
-        rns.from_ntt(&mut acc1);
-        let mut ks0 = mod_down(rns, &acc0, &qb, &pb, &conv);
-        let mut ks1 = mod_down(rns, &acc1, &qb, &pb, &conv);
-        rns.to_ntt(&mut ks0);
-        rns.to_ntt(&mut ks1);
-        Ok((ks0, ks1))
+        Ok(HoistedDecomposition {
+            kind,
+            level,
+            special,
+            target,
+            digits,
+        })
     }
 
     /// Applies a keyswitch to a single polynomial (panicking twin of
@@ -355,26 +377,187 @@ impl CkksContext {
         self.keyswitch_keygen(&s_conj, sk, kind, rng)
     }
 
-    /// Applies a keyswitch to a full ciphertext whose `c1` is implicitly
-    /// under `s'`: returns `(c0 + ks0, ks1)`. The noise estimate grows by
-    /// the keyswitch error term.
-    pub(crate) fn try_keyswitch_ciphertext(
+}
+
+/// Phase one of the two-phase keyswitch: the digit decomposition and ModUp
+/// base extension of one polynomial, reusable across many keyswitch
+/// applications (*hoisting*).
+///
+/// Validity of rotating *after* decomposition: an automorphism `σ` is a
+/// ring automorphism of `R_{QP}` and each extended digit represents
+/// `x_d + α·Q_d` as a ring element, so `σ(x_d + α·Q_d) = σ(x_d) + σ(α)·Q_d`
+/// — still the digit value plus a multiple of `Q_d`, which is exactly the
+/// ambiguity class the hint construction and the closing ModDown absorb.
+/// The noise bound is unchanged because `σ` permutes coefficients without
+/// growing them. In the NTT domain `σ` is a pure index permutation, fused
+/// into the hint inner product as a gather
+/// ([`cl_rns::RnsContext::mul_acc_superset_automorph`]).
+///
+/// Obtain one via [`CkksContext::try_hoist`]; apply it with
+/// [`HoistedDecomposition::apply`] (plain keyswitch) or
+/// [`HoistedDecomposition::apply_rotation`] (rotation keyswitch with the
+/// automorphism applied per-limb to the already-decomposed digits).
+#[derive(Debug, Clone)]
+pub struct HoistedDecomposition {
+    kind: KeySwitchKind,
+    level: usize,
+    special: usize,
+    target: Basis,
+    /// ModUp'd digit polynomials over `target`, NTT form; `None` for
+    /// digits whose limbs all lie above `level`.
+    digits: Vec<Option<RnsPoly>>,
+}
+
+impl HoistedDecomposition {
+    /// The keyswitch kind this decomposition was computed for.
+    pub fn kind(&self) -> KeySwitchKind {
+        self.kind
+    }
+
+    /// The level (limb count) of the decomposed polynomial.
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    fn check_key(&self, op: &'static str, ksk: &KeySwitchKey) -> FheResult<()> {
+        if ksk.kind != self.kind || ksk.digit_limbs.len() != self.digits.len() {
+            return Err(FheError::InvalidParams {
+                op,
+                reason: format!(
+                    "keyswitch key kind {:?} does not match the hoisted decomposition kind {:?}",
+                    ksk.kind, self.kind
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Hint inner product over the extended basis (Listing 1, line 6),
+    /// optionally with `σ_galois` fused onto the digits. Accumulation is
+    /// serial in digit order so the result is bit-identical at any thread
+    /// count; the limb loops inside each `mul_acc` kernel still run on the
+    /// worker pool.
+    fn inner_product(
         &self,
-        ct: &Ciphertext,
+        ctx: &CkksContext,
+        galois: Option<u64>,
         ksk: &KeySwitchKey,
-    ) -> FheResult<Ciphertext> {
-        let (ks0, ks1) = self.try_keyswitch(&ct.c1, ksk)?;
-        let c0 = self.rns().add(&ct.c0, &ks0);
-        Ok(Ciphertext {
-            c0,
-            c1: ks1,
-            level: ct.level,
-            scale: ct.scale,
-            noise_bits_est: log2_add(
-                ct.noise_bits_est,
-                self.est_keyswitch_bits(ct.level, ksk),
-            ),
-        })
+    ) -> (RnsPoly, RnsPoly) {
+        let rns = ctx.rns();
+        let mut acc0 = rns.zero(&self.target);
+        acc0.set_ntt_form(true);
+        let mut acc1 = acc0.clone();
+        for (d, digit) in self.digits.iter().enumerate() {
+            let Some(c_full) = digit else { continue };
+            rns.mul_acc_pair_superset(
+                &mut acc0,
+                &mut acc1,
+                c_full,
+                galois,
+                &ksk.elems[d].0,
+                &ksk.elems[d].1,
+            );
+        }
+        (acc0, acc1)
+    }
+
+    /// Closing ModDown of both accumulators (Listing 1, lines 7-10),
+    /// entirely in the NTT domain.
+    pub(crate) fn mod_down_pair(
+        &self,
+        ctx: &CkksContext,
+        acc0: RnsPoly,
+        acc1: RnsPoly,
+    ) -> (RnsPoly, RnsPoly) {
+        if self.special == 0 {
+            return (acc0, acc1);
+        }
+        let rns = ctx.rns();
+        let qb = rns.q_basis(self.level);
+        let pb = rns.p_basis(self.special);
+        let conv = ctx.converter(&pb, &qb);
+        let ks0 = mod_down_ntt(rns, &acc0, &qb, &pb, &conv);
+        let ks1 = mod_down_ntt(rns, &acc1, &qb, &pb, &conv);
+        (ks0, ks1)
+    }
+
+    /// Phase two, no automorphism: hint inner product plus the single
+    /// closing ModDown. Bit-identical to [`CkksContext::try_keyswitch`] on
+    /// the same polynomial.
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::InvalidParams`] when the key's kind does not match the
+    /// decomposition; [`FheError::CorruptKey`] under
+    /// [`crate::GuardrailPolicy::Strict`] for a tampered hint.
+    pub fn apply(
+        &self,
+        ctx: &CkksContext,
+        ksk: &KeySwitchKey,
+    ) -> FheResult<(RnsPoly, RnsPoly)> {
+        self.apply_impl(ctx, "keyswitch_hoisted", None, ksk)
+    }
+
+    /// Phase two for a rotation by `k` slots: per-limb automorphism on the
+    /// already-decomposed digits (a gather fused into the inner product),
+    /// then the single closing ModDown. Returns the keyswitched pair for
+    /// `σ(c)`; the caller adds `σ(c0)` separately.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`HoistedDecomposition::apply`].
+    pub fn apply_rotation(
+        &self,
+        ctx: &CkksContext,
+        k: i64,
+        rot_key: &KeySwitchKey,
+    ) -> FheResult<(RnsPoly, RnsPoly)> {
+        let g = cl_math::galois_element_for_rotation(k, ctx.params().ring_degree());
+        self.apply_galois(ctx, g, rot_key)
+    }
+
+    /// Phase two for an arbitrary Galois element (rotations and
+    /// conjugation).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`HoistedDecomposition::apply`].
+    pub fn apply_galois(
+        &self,
+        ctx: &CkksContext,
+        galois: u64,
+        ksk: &KeySwitchKey,
+    ) -> FheResult<(RnsPoly, RnsPoly)> {
+        self.apply_impl(ctx, "keyswitch_hoisted", Some(galois), ksk)
+    }
+
+    fn apply_impl(
+        &self,
+        ctx: &CkksContext,
+        op: &'static str,
+        galois: Option<u64>,
+        ksk: &KeySwitchKey,
+    ) -> FheResult<(RnsPoly, RnsPoly)> {
+        ctx.guard_key(op, ksk)?;
+        self.check_key(op, ksk)?;
+        let (acc0, acc1) = self.inner_product(ctx, galois, ksk);
+        Ok(self.mod_down_pair(ctx, acc0, acc1))
+    }
+
+    /// Phase two *without* the closing ModDown: returns the hint inner
+    /// product accumulators over the extended basis `Q·P`, still scaled by
+    /// `P`. Double hoisting sums many of these (ModDown is linear up to the
+    /// ±1 conversion rounding, which the noise model's rounding floor
+    /// already covers) and pays one ModDown for the whole sum.
+    pub(crate) fn apply_galois_ext(
+        &self,
+        ctx: &CkksContext,
+        galois: u64,
+        ksk: &KeySwitchKey,
+    ) -> FheResult<(RnsPoly, RnsPoly)> {
+        ctx.guard_key("rotate_sum", ksk)?;
+        self.check_key("rotate_sum", ksk)?;
+        Ok(self.inner_product(ctx, Some(galois), ksk))
     }
 }
 

@@ -66,5 +66,5 @@ pub use ciphertext::{Ciphertext, Plaintext};
 pub use context::{CkksContext, CkksError, GuardrailPolicy};
 pub use error::{FheError, FheResult};
 pub use keys::{KeySwitchKey, PublicKey, SecretKey};
-pub use keyswitch::KeySwitchKind;
+pub use keyswitch::{HoistedDecomposition, KeySwitchKind};
 pub use params::{CkksParams, CkksParamsBuilder};

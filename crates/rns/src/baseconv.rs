@@ -242,6 +242,43 @@ pub fn mod_down(
     diff
 }
 
+/// NTT-domain [`mod_down`]: same arithmetic, bit-for-bit, but takes and
+/// returns NTT-form polynomials. Only the `P` limbs are transformed down to
+/// the coefficient domain (the exact conversion needs true coefficients)
+/// and only the converted `Q`-limb correction is transformed back up, so
+/// the full-width inverse NTT over `Q ∪ P` that the coefficient path pays
+/// per accumulator disappears: `|P|` inverse + `|Q|` forward NTTs instead
+/// of `|Q|+|P|` inverse + `|Q|` forward.
+///
+/// Bit-exactness with `to_ntt(mod_down(from_ntt(x)))` follows from the NTT
+/// being a `Z_q`-linear bijection: subtraction and the per-limb scalar
+/// multiplication by `P^{-1}` commute with it exactly.
+///
+/// # Panics
+///
+/// Panics if `poly`'s basis is not exactly `q_basis ∪ p_basis`, or if the
+/// polynomial is not in NTT form.
+pub fn mod_down_ntt(
+    ctx: &RnsContext,
+    poly: &RnsPoly,
+    q_basis: &Basis,
+    p_basis: &Basis,
+    conv_p_to_q: &BaseConverter,
+) -> RnsPoly {
+    assert!(poly.ntt_form(), "mod_down_ntt operates in the NTT domain");
+    assert_eq!(poly.basis(), &q_basis.union(p_basis), "basis mismatch");
+    assert_eq!(conv_p_to_q.src_basis(), p_basis);
+    assert_eq!(conv_p_to_q.dst_basis(), q_basis);
+    let mut c_p = ctx.restrict(poly, p_basis);
+    ctx.from_ntt(&mut c_p);
+    let mut c_p_in_q = conv_p_to_q.convert_exact(ctx, &c_p);
+    ctx.to_ntt(&mut c_p_in_q);
+    let mut diff = ctx.restrict(poly, q_basis);
+    ctx.sub_assign(&mut diff, &c_p_in_q);
+    ctx.scalar_mul_per_limb_assign(&mut diff, conv_p_to_q.src_prod_inv_mod_dst());
+    diff
+}
+
 /// Rescales a polynomial: divides by its last limb's modulus with rounding
 /// and drops that limb (the CKKS rescale of Sec. 2.3). Coefficient domain.
 ///
@@ -400,6 +437,24 @@ mod tests {
                 assert!(ok, "coefficient {i} limb {limb}: got {got}, expect ~{expect}");
             }
         }
+    }
+
+    #[test]
+    fn mod_down_ntt_matches_coefficient_path() {
+        let c = ctx();
+        let qb = c.q_basis(3);
+        let pb = c.p_basis(2);
+        let full = qb.union(&pb);
+        let conv = BaseConverter::new(&c, pb.clone(), qb.clone());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let x_ntt = c.sample_uniform(&full, &mut rng);
+        let mut x_coeff = x_ntt.clone();
+        c.from_ntt(&mut x_coeff);
+        let mut expect = mod_down(&c, &x_coeff, &qb, &pb, &conv);
+        c.to_ntt(&mut expect);
+        let got = mod_down_ntt(&c, &x_ntt, &qb, &pb, &conv);
+        assert!(got.ntt_form());
+        assert_eq!(got, expect, "NTT-domain ModDown must be bit-exact");
     }
 
     #[test]

@@ -472,6 +472,122 @@ impl RnsContext {
         });
     }
 
+    /// Like [`RnsContext::mul_acc_superset`], but multiplies the hint by
+    /// `σ_galois(a)` instead of `a`, with the automorphism fused into the
+    /// accumulation as a gather (`acc[i] += a[perm[i]] * b[i]`).
+    ///
+    /// In NTT form an automorphism is a pure index permutation, so hoisted
+    /// rotation keyswitching can rotate the already-decomposed digit
+    /// polynomials without ever materializing the permuted copies. The
+    /// result is bit-identical to `mul_acc_superset(acc,
+    /// apply_automorphism(a, galois), b)`.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`RnsContext::mul_acc_superset`].
+    pub fn mul_acc_superset_automorph(
+        &self,
+        acc: &mut RnsPoly,
+        a: &RnsPoly,
+        galois: u64,
+        b: &RnsPoly,
+    ) {
+        self.check_compatible(acc, a);
+        assert!(acc.ntt_form() && b.ntt_form(), "mul_acc requires NTT form");
+        let table = cl_math::AutomorphismTable::cached(self.n, galois);
+        let perm = table.permutation();
+        let b_basis = &b.basis().0;
+        self.par_limbs(acc, |k, limb, data| {
+            let m = self.modulus_structs[limb as usize];
+            let bk = b_basis
+                .iter()
+                .position(|&l| l == limb)
+                .expect("b's basis must contain every limb of acc");
+            let (a_limb, b_limb) = (a.limb(k), b.limb(bk));
+            for (i, &src) in perm.iter().enumerate() {
+                data[i] = m.add(data[i], m.mul(a_limb[src as usize], b_limb[i]));
+            }
+        });
+    }
+
+    /// Fused pair accumulation `acc0[i] += σ(a)[i]·b0[i]` and
+    /// `acc1[i] += σ(a)[i]·b1[i]` — the keyswitch inner-product shape,
+    /// where both hint halves multiply the *same* decomposed digit. One
+    /// pass per limb shares the (scattered, cache-unfriendly) gather of
+    /// `σ(a)` between both accumulators instead of paying it twice.
+    /// `galois` of `None` means the identity automorphism. Bit-identical
+    /// to two [`RnsContext::mul_acc_superset`] /
+    /// [`RnsContext::mul_acc_superset_automorph`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`RnsContext::mul_acc_superset`] for each
+    /// accumulator; additionally `acc0` and `acc1` must share a basis.
+    pub fn mul_acc_pair_superset(
+        &self,
+        acc0: &mut RnsPoly,
+        acc1: &mut RnsPoly,
+        a: &RnsPoly,
+        galois: Option<u64>,
+        b0: &RnsPoly,
+        b1: &RnsPoly,
+    ) {
+        self.check_compatible(acc0, a);
+        self.check_compatible(acc1, a);
+        assert_eq!(acc0.basis(), acc1.basis(), "accumulators must share a basis");
+        assert!(
+            acc0.ntt_form() && acc1.ntt_form() && b0.ntt_form() && b1.ntt_form(),
+            "mul_acc requires NTT form"
+        );
+        let table = galois.map(|g| cl_math::AutomorphismTable::cached(self.n, g));
+        let n = self.n;
+        let b0_basis = &b0.basis().0;
+        let b1_basis = &b1.basis().0;
+        /// `*mut u64` wrapper the limb tasks can capture (the vendored
+        /// rayon subset has no `zip`, so the second accumulator is reached
+        /// through a raw pointer into its disjoint per-limb chunks).
+        struct SyncPtr(*mut u64);
+        unsafe impl Send for SyncPtr {}
+        unsafe impl Sync for SyncPtr {}
+        impl SyncPtr {
+            fn get(&self) -> *mut u64 {
+                self.0
+            }
+        }
+        let ptr1 = SyncPtr(acc1.parts_mut().1.as_mut_ptr());
+        self.par_limbs(acc0, |k, limb, d0| {
+            let m = self.modulus_structs[limb as usize];
+            let bk0 = b0_basis
+                .iter()
+                .position(|&l| l == limb)
+                .expect("b0's basis must contain every limb of acc");
+            let bk1 = b1_basis
+                .iter()
+                .position(|&l| l == limb)
+                .expect("b1's basis must contain every limb of acc");
+            let (a_limb, b0_limb, b1_limb) = (a.limb(k), b0.limb(bk0), b1.limb(bk1));
+            // SAFETY: acc0 and acc1 share a basis, so acc1's limb `k` is a
+            // disjoint n-word chunk owned by exactly this task.
+            let d1 = unsafe { std::slice::from_raw_parts_mut(ptr1.get().add(k * n), n) };
+            match &table {
+                Some(t) => {
+                    for (i, &src) in t.permutation().iter().enumerate() {
+                        let v = a_limb[src as usize];
+                        d0[i] = m.add(d0[i], m.mul(v, b0_limb[i]));
+                        d1[i] = m.add(d1[i], m.mul(v, b1_limb[i]));
+                    }
+                }
+                None => {
+                    for i in 0..d0.len() {
+                        let v = a_limb[i];
+                        d0[i] = m.add(d0[i], m.mul(v, b0_limb[i]));
+                        d1[i] = m.add(d1[i], m.mul(v, b1_limb[i]));
+                    }
+                }
+            }
+        });
+    }
+
     /// Multiplies every coefficient by a small scalar.
     pub fn scalar_mul(&self, a: &RnsPoly, s: u64) -> RnsPoly {
         let mut out = a.clone();
@@ -573,6 +689,54 @@ mod tests {
 
     fn ctx() -> RnsContext {
         RnsContext::generate(32, 3, 2, 28).unwrap()
+    }
+
+    #[test]
+    fn mul_acc_superset_automorph_matches_unfused() {
+        let c = ctx();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let sub = c.q_basis(2);
+        let full = c.q_basis(3).union(&c.p_basis(2));
+        let a = c.sample_uniform(&sub, &mut rng);
+        let b = c.sample_uniform(&full, &mut rng);
+        let mut fused = c.zero(&sub);
+        fused.set_ntt_form(true);
+        let mut unfused = fused.clone();
+        c.mul_acc_superset_automorph(&mut fused, &a, 5, &b);
+        let rotated = c.apply_automorphism(&a, 5);
+        c.mul_acc_superset(&mut unfused, &rotated, &b);
+        assert_eq!(fused, unfused, "fused automorphism gather must be bit-exact");
+    }
+
+    #[test]
+    fn mul_acc_pair_matches_two_single_calls() {
+        let c = ctx();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let sub = c.q_basis(2);
+        let full = c.q_basis(3).union(&c.p_basis(2));
+        let a = c.sample_uniform(&sub, &mut rng);
+        let b0 = c.sample_uniform(&full, &mut rng);
+        let b1 = c.sample_uniform(&full, &mut rng);
+        for galois in [None, Some(5u64)] {
+            let mut p0 = c.zero(&sub);
+            p0.set_ntt_form(true);
+            let mut p1 = p0.clone();
+            let mut s0 = p0.clone();
+            let mut s1 = p0.clone();
+            c.mul_acc_pair_superset(&mut p0, &mut p1, &a, galois, &b0, &b1);
+            match galois {
+                Some(g) => {
+                    c.mul_acc_superset_automorph(&mut s0, &a, g, &b0);
+                    c.mul_acc_superset_automorph(&mut s1, &a, g, &b1);
+                }
+                None => {
+                    c.mul_acc_superset(&mut s0, &a, &b0);
+                    c.mul_acc_superset(&mut s1, &a, &b1);
+                }
+            }
+            assert_eq!(p0, s0, "paired acc0 must be bit-exact (galois={galois:?})");
+            assert_eq!(p1, s1, "paired acc1 must be bit-exact (galois={galois:?})");
+        }
     }
 
     #[test]

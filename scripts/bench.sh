@@ -2,25 +2,41 @@
 # Kernel benchmark driver.
 #
 # Runs the bench_kernels binary (NTT, RNS mul, base conversion, keyswitch,
-# rotate, rescale, one bootstrap step) at CL_THREADS=1 and CL_THREADS=4 and
-# merges both runs with the checked-in seed baseline
-# (benchmarks/BENCH_kernels_seed.json) into benchmarks/BENCH_kernels.json,
-# including per-kernel speedup ratios vs the seed.
+# rotate, hoisted rotation, rescale, BSGS linear transform, one bootstrap
+# step) at CL_THREADS=1 and CL_THREADS=4 and merges both runs with the
+# checked-in seed baseline (benchmarks/BENCH_kernels_seed.json) into
+# benchmarks/BENCH_kernels.json, including per-kernel speedup ratios vs the
+# seed.
 #
-# Usage: scripts/bench.sh [--smoke]
-#   --smoke  tiny shapes, one iteration per kernel (harness health check)
+# Usage: scripts/bench.sh [--smoke] [--check]
+#   --smoke  tiny shapes, one iteration per kernel (harness health check);
+#            results go to target/bench_smoke/, never benchmarks/
+#   --check  compare against the recorded baseline benchmarks/BENCH_kernels.json:
+#            - full mode: fail if any kernel is >25% slower than recorded
+#            - smoke mode: only verify every recorded kernel is present and
+#              timed (single-iteration smoke timings are too noisy to gate on)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SMOKE=""
-if [[ "${1:-}" == "--smoke" ]]; then
-    SMOKE="--smoke"
-fi
+CHECK=0
+for arg in "$@"; do
+    case "$arg" in
+        --smoke) SMOKE="--smoke" ;;
+        --check) CHECK=1 ;;
+        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
 
 cargo build --release -p cl-bench
 
 BIN=target/release/bench_kernels
-OUT_DIR=benchmarks
+if [[ -n "$SMOKE" ]]; then
+    # Smoke shapes must never overwrite the committed full-shape results.
+    OUT_DIR=target/bench_smoke
+else
+    OUT_DIR=benchmarks
+fi
 mkdir -p "$OUT_DIR"
 
 label=$(git rev-parse --short HEAD 2>/dev/null || echo current)
@@ -43,7 +59,7 @@ def load(path):
 
 t1 = load(os.path.join(out_dir, "BENCH_kernels_t1.json"))
 t4 = load(os.path.join(out_dir, "BENCH_kernels_t4.json"))
-seed_path = os.path.join(out_dir, "BENCH_kernels_seed.json")
+seed_path = os.path.join("benchmarks", "BENCH_kernels_seed.json")
 seed = load(seed_path) if os.path.exists(seed_path) else None
 
 merged = {
@@ -67,3 +83,46 @@ print(f"wrote {path}")
 for k, s in sorted(merged["speedup_vs_seed"].items()):
     print(f"  {k:>16}: {s:6.2f}x vs seed")
 EOF
+
+if [[ "$CHECK" == 1 ]]; then
+    echo "== bench: check vs recorded baseline =="
+    python3 - "$OUT_DIR" "$SMOKE" <<'EOF'
+import json, os, sys
+
+out_dir, smoke = sys.argv[1], sys.argv[2] == "--smoke"
+baseline_path = os.path.join("benchmarks", "BENCH_kernels.json")
+if not os.path.exists(baseline_path):
+    sys.exit("bench check: no recorded baseline at " + baseline_path)
+with open(baseline_path) as f:
+    baseline = json.load(f)
+with open(os.path.join(out_dir, "BENCH_kernels_t4.json")) as f:
+    current = json.load(f)["kernels_ns"]
+
+recorded = baseline["parallel"]["kernels_ns"]
+missing = [k for k in recorded if k not in current]
+bogus = [k for k, ns in current.items() if not ns > 0]
+if missing:
+    sys.exit(f"bench check: kernels missing from current run: {missing}")
+if bogus:
+    sys.exit(f"bench check: non-positive timings: {bogus}")
+
+if smoke:
+    # Single-iteration smoke timings are too noisy to compare; presence
+    # and sanity are the gate.
+    print(f"bench check (smoke): all {len(recorded)} recorded kernels present: OK")
+    sys.exit(0)
+
+THRESHOLD = 1.25
+failures = []
+for k, ref in sorted(recorded.items()):
+    cur = current[k]
+    ratio = cur / ref
+    flag = "REGRESSION" if ratio > THRESHOLD else "ok"
+    print(f"  {k:>24}: {ref/1e6:9.2f} ms -> {cur/1e6:9.2f} ms ({ratio:5.2f}x) {flag}")
+    if ratio > THRESHOLD:
+        failures.append(k)
+if failures:
+    sys.exit(f"bench check: kernels regressed >25% vs recorded baseline: {failures}")
+print("bench check: no kernel regressed >25% vs recorded baseline: OK")
+EOF
+fi

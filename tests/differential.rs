@@ -17,11 +17,12 @@
 
 use std::sync::Mutex;
 
-use cl_ckks::{CkksContext, CkksParams, KeySwitchKind};
-use cl_math::NttTable;
+use cl_boot::{try_bsgs_transform, BootstrapKeys, PrecomputedTransform};
+use cl_ckks::{Ciphertext, CkksContext, CkksParams, KeySwitchKey, KeySwitchKind};
+use cl_math::{Complex, NttTable};
 use cl_rns::{Basis, RnsContext, RnsPoly};
 use proptest::prelude::*;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// Guards the process-global rayon thread-count while a differential pair
 /// runs. Poisoning is irrelevant — the guard only sequences tests.
@@ -113,6 +114,163 @@ proptest! {
             table.inverse_strict(&mut strict);
             prop_assert_eq!(&lazy, &strict, "inverse mismatch at n={}", n);
             prop_assert_eq!(&lazy, &data, "roundtrip mismatch at n={}", n);
+        }
+    }
+}
+
+/// A small CKKS context for the hoisting/BSGS differential tests.
+fn hoist_ctx() -> CkksContext {
+    let params = CkksParams::builder()
+        .ring_degree(128)
+        .levels(4)
+        .special_limbs(4)
+        .limb_bits(36)
+        .scale_bits(30)
+        .build()
+        .expect("valid params");
+    CkksContext::new(params).expect("context")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// `try_rotate_hoisted_many` (one shared ModUp) is *bit-identical* to
+    /// the naive one-keyswitch-per-rotation path — ciphertext polynomials
+    /// and analytic noise estimates — across random steps, levels, digit
+    /// counts and thread counts.
+    #[test]
+    fn hoisted_rotations_match_naive(
+        seed in any::<u64>(),
+        level in 2usize..5,
+        digits in 1usize..3,
+        raw_steps in proptest::collection::vec(-8i64..9, 1..5),
+    ) {
+        // Map the raw draws to nonzero rotation steps (0 needs no key).
+        let steps: Vec<i64> = raw_steps.iter().map(|&s| if s == 0 { 1 } else { s }).collect();
+        let run = || {
+            let ctx = hoist_ctx();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let sk = ctx.keygen(&mut rng);
+            let kind = KeySwitchKind::Boosted { digits };
+            let keys: Vec<KeySwitchKey> = steps
+                .iter()
+                .map(|&s| ctx.rotation_keygen(&sk, s, kind, &mut rng))
+                .collect();
+            let vals: Vec<f64> = (0..64).map(|i| ((i * 13 % 29) as f64) / 29.0 - 0.5).collect();
+            let pt = ctx.encode(&vals, ctx.default_scale(), level);
+            let ct = ctx.encrypt(&pt, &sk, &mut rng);
+            let key_refs: Vec<&KeySwitchKey> = keys.iter().collect();
+            let hoisted = ctx
+                .try_rotate_hoisted_many(&ct, &steps, &key_refs)
+                .expect("hoisted rotations");
+            let naive: Vec<Ciphertext> = steps
+                .iter()
+                .zip(&keys)
+                .map(|(&s, k)| ctx.try_rotate(&ct, s, k).expect("naive rotation"))
+                .collect();
+            (hoisted, naive)
+        };
+        let ((h_s, n_s), (h_p, n_p)) = serial_vs_parallel(4, run);
+        for i in 0..steps.len() {
+            prop_assert_eq!(h_s[i].c0(), n_s[i].c0(), "hoisted c0 != naive c0 at step {}", steps[i]);
+            prop_assert_eq!(h_s[i].c1(), n_s[i].c1(), "hoisted c1 != naive c1 at step {}", steps[i]);
+            prop_assert_eq!(
+                h_s[i].noise_estimate_bits().to_bits(),
+                n_s[i].noise_estimate_bits().to_bits(),
+                "noise estimates must be identical at step {}", steps[i]
+            );
+            // Thread invariance of both paths.
+            prop_assert_eq!(h_s[i].c0(), h_p[i].c0());
+            prop_assert_eq!(h_s[i].c1(), h_p[i].c1());
+            prop_assert_eq!(n_s[i].c0(), n_p[i].c0());
+        }
+    }
+
+    /// The double-hoisted BSGS linear transform computes the same map as
+    /// the naive per-diagonal rotate-multiply-accumulate, on random sparse
+    /// matrices, and is thread-invariant.
+    #[test]
+    fn bsgs_transform_matches_naive_diagonal_sum(
+        seed in any::<u64>(),
+        raw_idx in proptest::collection::vec(0i64..64, 1..6),
+    ) {
+        let mut diag_idx = raw_idx.clone();
+        diag_idx.sort_unstable();
+        diag_idx.dedup();
+        let level = 3usize;
+        let run = || {
+            let ctx = hoist_ctx();
+            let m = ctx.params().slots();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let sk = ctx.keygen(&mut rng);
+            let diags: Vec<(i64, Vec<Complex>)> = diag_idx
+                .iter()
+                .map(|&d| {
+                    let v: Vec<Complex> = (0..m)
+                        .map(|_| Complex::new(rng.gen_range(-0.5..0.5), rng.gen_range(-0.5..0.5)))
+                        .collect();
+                    (d, v)
+                })
+                .collect();
+            let pre = PrecomputedTransform::new(&ctx, &diags, level);
+            // The BSGS path needs baby/giant keys; the naive reference
+            // needs one key per diagonal. Generate the union.
+            let mut steps = pre.required_steps();
+            steps.extend(diags.iter().map(|(d, _)| *d));
+            let keys = BootstrapKeys::generate(
+                &ctx, &sk, KeySwitchKind::Boosted { digits: 1 }, &steps, &mut rng);
+            let vals: Vec<Complex> = (0..m)
+                .map(|_| Complex::new(rng.gen_range(-0.5..0.5), rng.gen_range(-0.5..0.5)))
+                .collect();
+            let pt = ctx.encode_complex(&vals, ctx.default_scale(), level);
+            let ct = ctx.encrypt(&pt, &sk, &mut rng);
+
+            let bsgs = try_bsgs_transform(&ctx, &ct, &pre, &keys).expect("bsgs transform");
+
+            // Naive reference: Σ_d diag_d ⊙ rot_d(ct), then rescale.
+            let pt_scale = ctx.rns().modulus_value((level - 1) as u32) as f64;
+            let mut acc: Option<Ciphertext> = None;
+            for (d, diag) in &diags {
+                let rotated = if *d == 0 {
+                    ct.clone()
+                } else {
+                    ctx.try_rotate(&ct, *d, keys.try_rot_key(*d).expect("diag key"))
+                        .expect("naive rotation")
+                };
+                let ptd = ctx.encode_complex(diag, pt_scale, level);
+                let term = ctx.try_mul_plain(&rotated, &ptd).expect("mul_plain");
+                acc = Some(match acc {
+                    None => term,
+                    Some(a) => ctx.try_add(&a, &term).expect("add"),
+                });
+            }
+            let naive = ctx.try_rescale(&acc.expect("nonempty diags")).expect("rescale");
+
+            // Plaintext reference: out[t] = Σ_d diag_d[t] · v[(t+d) mod m].
+            let expect: Vec<Complex> = (0..m)
+                .map(|t| {
+                    diags.iter().fold(Complex::default(), |s, (d, diag)| {
+                        s + diag[t] * vals[(t + *d as usize) % m]
+                    })
+                })
+                .collect();
+            let got_bsgs = ctx.decode_complex(&ctx.decrypt(&bsgs, &sk), m);
+            let got_naive = ctx.decode_complex(&ctx.decrypt(&naive, &sk), m);
+            (bsgs, got_bsgs, got_naive, expect)
+        };
+        let ((ct_s, bsgs_s, naive_s, expect), (ct_p, _, _, _)) = serial_vs_parallel(4, run);
+        assert_eq!(ct_s.c0(), ct_p.c0(), "BSGS output differs across thread counts");
+        assert_eq!(ct_s.c1(), ct_p.c1(), "BSGS output differs across thread counts");
+        for t in 0..expect.len() {
+            prop_assert!(
+                (bsgs_s[t] - naive_s[t]).abs() < 1e-2,
+                "BSGS vs naive mismatch at slot {}: {:?} vs {:?}", t, bsgs_s[t], naive_s[t]
+            );
+            prop_assert!(
+                (bsgs_s[t] - expect[t]).abs() < 1e-2,
+                "BSGS vs plaintext reference mismatch at slot {}: {:?} vs {:?}",
+                t, bsgs_s[t], expect[t]
+            );
         }
     }
 }
