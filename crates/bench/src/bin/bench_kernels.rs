@@ -294,6 +294,77 @@ fn main() {
         ));
     }
 
+    // --- Pipeline executor: checkpointing overhead ------------------------
+    // The same declared program through the cl-runtime executor with
+    // durable checkpoints every 4 micro-ops vs checkpoints disabled.
+    // `scripts/bench.sh --check` gates the ratio at <= ~10%.
+    {
+        use cl_ckks::GuardrailPolicy;
+        use cl_runtime::{ExecutorConfig, PipelineExecutor, PipelineOp, Program, RunOutcome};
+
+        let params = CkksParams::builder()
+            .ring_degree(n)
+            .levels(limbs)
+            .special_limbs(limbs)
+            .limb_bits(bits)
+            .scale_bits(bits - 4)
+            .build()
+            .expect("params");
+        let ctx = CkksContext::new(params)
+            .expect("ckks context")
+            .with_policy(GuardrailPolicy::Strict {
+                min_budget_bits: -200.0,
+            });
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let sk = ctx.keygen(&mut rng);
+        let keys = cl_boot::BootstrapKeys::generate(
+            &ctx,
+            &sk,
+            KeySwitchKind::Boosted { digits: 1 },
+            &[1],
+            &mut rng,
+        );
+        let pt = ctx.encode(&[0.5, -0.25], ctx.default_scale(), ctx.max_level());
+        let ct = ctx.encrypt(&pt, &sk, &mut rng);
+        let mut program = Program::new();
+        for _ in 0..(limbs - 1).min(3) {
+            program = program
+                .then(PipelineOp::Square)
+                .then(PipelineOp::Rescale)
+                .then(PipelineOp::Rotate(1))
+                .then(PipelineOp::AddPlain(vec![0.1, 0.2]));
+        }
+        let ckpt_dir = std::env::temp_dir().join(format!("cl_bench_ckpt_{}", std::process::id()));
+        let run = |config: ExecutorConfig| {
+            let mut exec = PipelineExecutor::new(&ctx, &keys, config).expect("executor");
+            match exec.run(&ct, &program).expect("pipeline run") {
+                RunOutcome::Completed(out) => out,
+                RunOutcome::Crashed => unreachable!("no fault plan"),
+            }
+        };
+        results.push((
+            "pipeline_baseline",
+            time_ns(cfg.smoke, || {
+                std::hint::black_box(run(ExecutorConfig {
+                    checkpoint_every: 0,
+                    max_retries: 0,
+                    checkpoint_dir: None,
+                }));
+            }),
+        ));
+        results.push((
+            "pipeline_checkpoint",
+            time_ns(cfg.smoke, || {
+                std::hint::black_box(run(ExecutorConfig {
+                    checkpoint_every: 4,
+                    max_retries: 0,
+                    checkpoint_dir: Some(ckpt_dir.clone()),
+                }));
+            }),
+        ));
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+    }
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"label\": \"{}\",", cfg.label);

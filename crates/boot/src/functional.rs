@@ -86,6 +86,339 @@ impl BootstrapKeys {
     pub fn conj(&self) -> &KeySwitchKey {
         &self.conj
     }
+
+    /// Every rotation step this bundle holds a key for, sorted.
+    pub fn rotation_steps(&self) -> Vec<i64> {
+        let mut steps: Vec<i64> = self.rotations.keys().copied().collect();
+        steps.sort_unstable();
+        steps
+    }
+
+    /// Serializes the bundle: a checksummed framing section (rotation
+    /// steps and nested blob lengths) followed by one seeded
+    /// [`KeySwitchKey`] blob per key (relin, conjugation, then rotations in
+    /// step order). Every nested blob carries its own header, fingerprint,
+    /// and per-limb checksums.
+    pub fn serialize(&self, ctx: &CkksContext) -> Vec<u8> {
+        use cl_ckks::serialize::{fnv1a, put_i64, put_u32, put_u64, write_header, ObjectTag};
+        let steps = self.rotation_steps();
+        let relin = ctx.serialize_keyswitch_key(&self.relin);
+        let conj = ctx.serialize_keyswitch_key(&self.conj);
+        let rots: Vec<Vec<u8>> = steps
+            .iter()
+            .map(|s| {
+                ctx.serialize_keyswitch_key(
+                    self.rotations
+                        .get(s)
+                        .expect("steps enumerate this map's keys"),
+                )
+            })
+            .collect();
+        let mut out = Vec::new();
+        write_header(&mut out, ObjectTag::BootstrapKeys, ctx.params_fingerprint());
+        let meta_start = out.len();
+        put_u32(&mut out, steps.len() as u32);
+        for &s in &steps {
+            put_i64(&mut out, s);
+        }
+        put_u32(&mut out, relin.len() as u32);
+        put_u32(&mut out, conj.len() as u32);
+        for blob in &rots {
+            put_u32(&mut out, blob.len() as u32);
+        }
+        let cksum = fnv1a(&out[meta_start..]);
+        put_u64(&mut out, cksum);
+        out.extend_from_slice(&relin);
+        out.extend_from_slice(&conj);
+        for blob in &rots {
+            out.extend_from_slice(blob);
+        }
+        out
+    }
+
+    /// Loads a bundle written by [`BootstrapKeys::serialize`], verifying
+    /// the framing checksum and every nested key's fingerprint, limb
+    /// checksums, and integrity digest.
+    ///
+    /// # Errors
+    ///
+    /// [`cl_ckks::FheError::Serialization`],
+    /// [`cl_ckks::FheError::ChecksumMismatch`], or
+    /// [`cl_ckks::FheError::ParamsMismatch`].
+    pub fn try_deserialize(ctx: &CkksContext, bytes: &[u8]) -> FheResult<Self> {
+        use cl_ckks::serialize::{fnv1a, ObjectTag, Reader};
+        let mut r = Reader::new("load_bootstrap_keys", bytes);
+        r.read_header(ObjectTag::BootstrapKeys, ctx.params_fingerprint())?;
+        let meta_start = r.pos();
+        let num_rot = r.u32()? as usize;
+        let mut steps = Vec::with_capacity(num_rot);
+        for _ in 0..num_rot {
+            steps.push(r.i64()?);
+        }
+        let relin_len = r.u32()? as usize;
+        let conj_len = r.u32()? as usize;
+        let mut rot_lens = Vec::with_capacity(num_rot);
+        for _ in 0..num_rot {
+            rot_lens.push(r.u32()? as usize);
+        }
+        let computed = fnv1a(r.region_since(meta_start));
+        let stored = r.u64()?;
+        if stored != computed {
+            return Err(FheError::ChecksumMismatch {
+                op: "load_bootstrap_keys",
+                section: "bundle framing".into(),
+                stored,
+                computed,
+            });
+        }
+        let relin = ctx.try_deserialize_keyswitch_key(r.take(relin_len)?)?;
+        let conj = ctx.try_deserialize_keyswitch_key(r.take(conj_len)?)?;
+        let mut rotations = HashMap::with_capacity(num_rot);
+        for (step, len) in steps.into_iter().zip(rot_lens) {
+            rotations.insert(step, ctx.try_deserialize_keyswitch_key(r.take(len)?)?);
+        }
+        r.finish()?;
+        Ok(Self {
+            relin,
+            conj,
+            rotations,
+        })
+    }
+}
+
+/// The bootstrap pipeline as an explicit state machine.
+///
+/// [`Bootstrapper::try_step`] advances one stage per call:
+///
+/// `Start → Raised → Split → EvalRe → EvalBoth → Done`
+///
+/// Each state owns only ciphertexts plus the input scale, so it can be
+/// serialized at any stage boundary ([`BootState::serialize`]) — the unit
+/// of progress the cl-runtime checkpoint/resume executor persists, letting
+/// a killed process resume a half-finished bootstrap instead of repeating
+/// its full depth.
+#[derive(Debug, Clone)]
+pub enum BootState {
+    /// Input: an exhausted ciphertext awaiting ModRaise.
+    Start {
+        /// The level-1 ciphertext to refresh.
+        ct: Ciphertext,
+    },
+    /// After ModRaise: lifted to the full modulus chain.
+    Raised {
+        /// The raised ciphertext (decrypts to `m·Δ + q0·I`).
+        raised: Ciphertext,
+        /// The input ciphertext's scale `Δ` (needed to undo the `q0`
+        /// normalization at the end).
+        orig_scale: f64,
+    },
+    /// After CoeffToSlot and the real/imaginary split.
+    Split {
+        /// Real slot component, normalized to `y = value/q0`.
+        y_re: Ciphertext,
+        /// Imaginary slot component, same normalization.
+        y_im: Ciphertext,
+        /// The input scale.
+        orig_scale: f64,
+    },
+    /// After EvalMod on the real component.
+    EvalRe {
+        /// `sin`-reduced real component.
+        m_re: Ciphertext,
+        /// Imaginary component still awaiting EvalMod.
+        y_im: Ciphertext,
+        /// The input scale.
+        orig_scale: f64,
+    },
+    /// After EvalMod on both components.
+    EvalBoth {
+        /// `sin`-reduced real component.
+        m_re: Ciphertext,
+        /// `sin`-reduced imaginary component.
+        m_im: Ciphertext,
+        /// The input scale.
+        orig_scale: f64,
+    },
+    /// Pipeline complete.
+    Done {
+        /// The refreshed ciphertext.
+        ct: Ciphertext,
+    },
+}
+
+impl BootState {
+    /// Number of `try_step` transitions from [`BootState::Start`] to
+    /// [`BootState::Done`].
+    pub const NUM_STAGES: usize = 5;
+
+    /// 0-based index of the current stage (`Start` = 0, `Done` = 5).
+    pub fn stage_index(&self) -> usize {
+        match self {
+            BootState::Start { .. } => 0,
+            BootState::Raised { .. } => 1,
+            BootState::Split { .. } => 2,
+            BootState::EvalRe { .. } => 3,
+            BootState::EvalBoth { .. } => 4,
+            BootState::Done { .. } => 5,
+        }
+    }
+
+    /// Human-readable stage name for telemetry and errors.
+    pub fn stage_name(&self) -> &'static str {
+        match self {
+            BootState::Start { .. } => "Start",
+            BootState::Raised { .. } => "Raised",
+            BootState::Split { .. } => "Split",
+            BootState::EvalRe { .. } => "EvalRe",
+            BootState::EvalBoth { .. } => "EvalBoth",
+            BootState::Done { .. } => "Done",
+        }
+    }
+
+    /// Whether the pipeline has produced its output.
+    pub fn is_done(&self) -> bool {
+        matches!(self, BootState::Done { .. })
+    }
+
+    /// The ciphertexts this state owns, in a stage-defined order.
+    pub fn ciphertexts(&self) -> Vec<&Ciphertext> {
+        match self {
+            BootState::Start { ct } | BootState::Done { ct } => vec![ct],
+            BootState::Raised { raised, .. } => vec![raised],
+            BootState::Split { y_re, y_im, .. } => vec![y_re, y_im],
+            BootState::EvalRe { m_re, y_im, .. } => vec![m_re, y_im],
+            BootState::EvalBoth { m_re, m_im, .. } => vec![m_re, m_im],
+        }
+    }
+
+    /// Mutable access to the state's ciphertexts (same order as
+    /// [`BootState::ciphertexts`]). Exists for fault-injection harnesses
+    /// that corrupt in-flight bootstrap state.
+    pub fn ciphertexts_mut(&mut self) -> Vec<&mut Ciphertext> {
+        match self {
+            BootState::Start { ct } | BootState::Done { ct } => vec![ct],
+            BootState::Raised { raised, .. } => vec![raised],
+            BootState::Split { y_re, y_im, .. } => vec![y_re, y_im],
+            BootState::EvalRe { m_re, y_im, .. } => vec![m_re, y_im],
+            BootState::EvalBoth { m_re, m_im, .. } => vec![m_re, m_im],
+        }
+    }
+
+    fn orig_scale(&self) -> f64 {
+        match self {
+            BootState::Start { .. } | BootState::Done { .. } => 0.0,
+            BootState::Raised { orig_scale, .. }
+            | BootState::Split { orig_scale, .. }
+            | BootState::EvalRe { orig_scale, .. }
+            | BootState::EvalBoth { orig_scale, .. } => *orig_scale,
+        }
+    }
+
+    /// Serializes the state: a checksummed `(stage, orig_scale, blob
+    /// lengths)` framing section followed by the stage's ciphertext blobs
+    /// (each self-checking; see [`CkksContext::serialize_ciphertext`]).
+    /// Headerless — designed to be embedded in a larger checkpoint record.
+    pub fn serialize(&self, ctx: &CkksContext) -> Vec<u8> {
+        use cl_ckks::serialize::{fnv1a, put_f64, put_u32, put_u64, put_u8};
+        let blobs: Vec<Vec<u8>> = self
+            .ciphertexts()
+            .iter()
+            .map(|ct| ctx.serialize_ciphertext(ct))
+            .collect();
+        let mut out = Vec::new();
+        let meta_start = out.len();
+        put_u8(&mut out, self.stage_index() as u8);
+        put_f64(&mut out, self.orig_scale());
+        put_u8(&mut out, blobs.len() as u8);
+        for blob in &blobs {
+            put_u32(&mut out, blob.len() as u32);
+        }
+        let cksum = fnv1a(&out[meta_start..]);
+        put_u64(&mut out, cksum);
+        for blob in &blobs {
+            out.extend_from_slice(blob);
+        }
+        out
+    }
+
+    /// Loads a state written by [`BootState::serialize`].
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::Serialization`], [`FheError::ChecksumMismatch`], or
+    /// [`FheError::ParamsMismatch`].
+    pub fn try_deserialize(ctx: &CkksContext, bytes: &[u8]) -> FheResult<Self> {
+        use cl_ckks::serialize::{fnv1a, Reader};
+        let mut r = Reader::new("load_boot_state", bytes);
+        let meta_start = r.pos();
+        let stage = r.u8()?;
+        let orig_scale = r.f64()?;
+        let count = r.u8()? as usize;
+        let mut lens = Vec::with_capacity(count);
+        for _ in 0..count {
+            lens.push(r.u32()? as usize);
+        }
+        let computed = fnv1a(r.region_since(meta_start));
+        let stored = r.u64()?;
+        if stored != computed {
+            return Err(FheError::ChecksumMismatch {
+                op: "load_boot_state",
+                section: "boot-state framing".into(),
+                stored,
+                computed,
+            });
+        }
+        let mut cts = Vec::with_capacity(count);
+        for len in lens {
+            cts.push(ctx.try_deserialize_ciphertext(r.take(len)?)?);
+        }
+        r.finish()?;
+        let want = match stage {
+            0 | 5 => 1,
+            1 => 1,
+            2..=4 => 2,
+            _ => {
+                return Err(FheError::Serialization {
+                    op: "load_boot_state",
+                    reason: format!("unknown bootstrap stage {stage}"),
+                })
+            }
+        };
+        if cts.len() != want {
+            return Err(FheError::Serialization {
+                op: "load_boot_state",
+                reason: format!(
+                    "stage {stage} carries {} ciphertexts, expected {want}",
+                    cts.len()
+                ),
+            });
+        }
+        let mut it = cts.into_iter();
+        let mut next = || it.next().expect("count checked above");
+        Ok(match stage {
+            0 => BootState::Start { ct: next() },
+            1 => BootState::Raised {
+                raised: next(),
+                orig_scale,
+            },
+            2 => BootState::Split {
+                y_re: next(),
+                y_im: next(),
+                orig_scale,
+            },
+            3 => BootState::EvalRe {
+                m_re: next(),
+                y_im: next(),
+                orig_scale,
+            },
+            4 => BootState::EvalBoth {
+                m_re: next(),
+                m_im: next(),
+                orig_scale,
+            },
+            _ => BootState::Done { ct: next() },
+        })
+    }
 }
 
 /// A functional bootstrapper: precomputed transform matrices plus the
@@ -566,7 +899,13 @@ impl Bootstrapper {
         ctx.try_add(&w, &wc)
     }
 
-    /// Bootstraps `ct` (level 1, fully consumed) back to a high level.
+    /// Advances a bootstrap by exactly one stage.
+    ///
+    /// This is the checkpointable unit of the pipeline: a caller (e.g. the
+    /// cl-runtime executor) can serialize the returned [`BootState`]
+    /// between stages, survive a crash mid-bootstrap, and resume at the
+    /// stage boundary instead of restarting the whole pipeline. Passing a
+    /// [`BootState::Done`] state returns it unchanged.
     ///
     /// # Errors
     ///
@@ -579,12 +918,57 @@ impl Bootstrapper {
     ///   diagonal is absent from `keys`.
     /// - Any error the underlying homomorphic ops report under the
     ///   context's guardrail policy.
-    pub fn try_bootstrap(
+    pub fn try_step(
         &self,
         ctx: &CkksContext,
-        ct: &Ciphertext,
+        state: BootState,
         keys: &BootstrapKeys,
-    ) -> FheResult<Ciphertext> {
+    ) -> FheResult<BootState> {
+        match state {
+            BootState::Start { ct } => self.step_mod_raise(ctx, ct),
+            BootState::Raised { raised, orig_scale } => {
+                self.step_coeff_to_slot_split(ctx, raised, orig_scale, keys)
+            }
+            BootState::Split {
+                y_re,
+                y_im,
+                orig_scale,
+            } => {
+                // ---- EvalMod on the real component.
+                let m_re = self.try_eval_sin(ctx, &y_re, keys)?;
+                Ok(BootState::EvalRe {
+                    m_re,
+                    y_im,
+                    orig_scale,
+                })
+            }
+            BootState::EvalRe {
+                m_re,
+                y_im,
+                orig_scale,
+            } => {
+                // ---- EvalMod on the imaginary component, aligned below
+                // the real one so the recombine's mod-drops are forward.
+                let y_im_aligned =
+                    ctx.try_mod_drop(&y_im, m_re.level() + self.r as usize + 4)?;
+                let m_im = self.try_eval_sin(ctx, &y_im_aligned, keys)?;
+                Ok(BootState::EvalBoth {
+                    m_re,
+                    m_im,
+                    orig_scale,
+                })
+            }
+            BootState::EvalBoth {
+                m_re,
+                m_im,
+                orig_scale,
+            } => self.step_recombine(ctx, m_re, m_im, orig_scale, keys),
+            done @ BootState::Done { .. } => Ok(done),
+        }
+    }
+
+    /// Stage 1 — ModRaise: lift residues mod q0 to the full chain.
+    fn step_mod_raise(&self, ctx: &CkksContext, ct: Ciphertext) -> FheResult<BootState> {
         if matches!(ctx.policy(), GuardrailPolicy::AutoRescale) {
             return Err(FheError::InvalidParams {
                 op: "bootstrap",
@@ -606,7 +990,6 @@ impl Bootstrapper {
         }
         let rns = ctx.rns();
         let q0 = rns.modulus_value(0) as f64;
-        // ---- ModRaise: lift residues mod q0 to the full chain.
         let raise = |poly: &cl_rns::RnsPoly| {
             let mut p = poly.clone();
             rns.from_ntt(&mut p);
@@ -626,17 +1009,30 @@ impl Bootstrapper {
                 ct.noise_estimate_bits()
                     .max(q0.log2() + self.k_bound.log2()),
             );
+        Ok(BootState::Raised {
+            raised,
+            orig_scale: ct.scale(),
+        })
+    }
+
+    /// Stage 2 — CoeffToSlot, reinterpretation, and the real/imaginary
+    /// split.
+    fn step_coeff_to_slot_split(
+        &self,
+        ctx: &CkksContext,
+        raised: Ciphertext,
+        orig_scale: f64,
+        keys: &BootstrapKeys,
+    ) -> FheResult<BootState> {
+        let q0 = ctx.rns().modulus_value(0) as f64;
         // ---- CoeffToSlot: slots become u_j = c_j + i·c_{j+slots}, where c
         // are the raised polynomial's coefficients (value m·Δ + q0·I).
         // The factor n/2 from the unnormalized embedding is absorbed by
         // the transform matrix itself (it is exactly the encoder's iFFT).
         let u = self.try_linear_transform(ctx, &raised, TransformStage::CoeffToSlot, keys)?;
-        // Reinterpret: record the scale as q0·(old/old)… the true slot
-        // values are (m·Δ + q0·I); dividing the recorded scale by
-        // (Δ_in/ q0)·(old_scale/Δ_in)... concretely: decoded = true/scale.
-        // We want decoded y = true/q0, so set scale := q0 * (u.scale/u.scale) = q0,
-        // adjusted by the ratio the transform introduced.
-        let y_full = u.clone().with_scale(u.scale() * q0 / ct.scale());
+        // Reinterpret: the true slot values are (m·Δ + q0·I) and EvalMod
+        // wants y = true/q0, so record the scale as u.scale·q0/Δ_in.
+        let y_full = u.clone().with_scale(u.scale() * q0 / orig_scale);
         // ---- Split real/imaginary parts.
         let conj = ctx.try_conjugate(&y_full, &keys.conj)?;
         // y_re = (u + conj)/2: the division by 2 is a free scale bump.
@@ -651,10 +1047,24 @@ impl Bootstrapper {
             diff.level(),
         );
         let y_im = ctx.try_rescale(&ctx.try_mul_plain(&diff, &half_i)?)?;
-        // ---- EvalMod both components: result decodes to (mΔ)_component/q0.
-        let m_re = self.try_eval_sin(ctx, &y_re, keys)?;
-        let y_im_aligned = ctx.try_mod_drop(&y_im, m_re.level() + self.r as usize + 4)?;
-        let m_im = self.try_eval_sin(ctx, &y_im_aligned, keys)?;
+        Ok(BootState::Split {
+            y_re,
+            y_im,
+            orig_scale,
+        })
+    }
+
+    /// Stage 5 — recombine the EvalMod outputs and SlotToCoeff back.
+    fn step_recombine(
+        &self,
+        ctx: &CkksContext,
+        m_re: Ciphertext,
+        m_im: Ciphertext,
+        orig_scale: f64,
+        keys: &BootstrapKeys,
+    ) -> FheResult<BootState> {
+        let q0 = ctx.rns().modulus_value(0) as f64;
+        let slots = ctx.params().slots();
         // Recombine: m = m_re + i·m_im.
         let lvl = m_re.level().min(m_im.level());
         let m_re = ctx.try_mod_drop(&m_re, lvl)?;
@@ -672,7 +1082,9 @@ impl Bootstrapper {
         // Undo the /q0 normalization: the slots now hold (m·Δ)/q0 at the
         // recorded scale; restore by dividing the recorded scale by q0 and
         // multiplying by the input scale.
-        let restored = combined.clone().with_scale(combined.scale() * ct.scale() / q0);
+        let restored = combined
+            .clone()
+            .with_scale(combined.scale() * orig_scale / q0);
         // ---- SlotToCoeff.
         let out = self.try_linear_transform(ctx, &restored, TransformStage::SlotToCoeff, keys)?;
         // EvalMod removed the `q0·I` term the analytic estimate has been
@@ -684,7 +1096,38 @@ impl Bootstrapper {
         // bound.
         let approx_bits = out.scale().log2() - self.taylor_degree as f64;
         let est = out.noise_estimate_bits().min(approx_bits);
-        Ok(out.with_noise_bits(est))
+        Ok(BootState::Done {
+            ct: out.with_noise_bits(est),
+        })
+    }
+
+    /// Bootstraps `ct` (level 1, fully consumed) back to a high level by
+    /// running the [`BootState`] machine to completion.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Bootstrapper::try_step`].
+    pub fn try_bootstrap(
+        &self,
+        ctx: &CkksContext,
+        ct: &Ciphertext,
+        keys: &BootstrapKeys,
+    ) -> FheResult<Ciphertext> {
+        let mut state = BootState::Start { ct: ct.clone() };
+        for _ in 0..BootState::NUM_STAGES {
+            state = self.try_step(ctx, state, keys)?;
+        }
+        match state {
+            BootState::Done { ct } => Ok(ct),
+            other => Err(FheError::InvalidParams {
+                op: "bootstrap",
+                reason: format!(
+                    "state machine did not reach Done after {} stages (at {})",
+                    BootState::NUM_STAGES,
+                    other.stage_name()
+                ),
+            }),
+        }
     }
 
     /// Panicking convenience wrapper around [`Bootstrapper::try_bootstrap`].
@@ -879,6 +1322,98 @@ mod tests {
             }
             other => panic!("expected InvalidParams for shallow budget, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn stepwise_bootstrap_matches_monolithic_and_roundtrips_state() {
+        let ctx = boot_ctx();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let sk = ctx.keygen_sparse(8, &mut rng);
+        let booter = Bootstrapper::new(&ctx, 8);
+        let keys = booter.keygen(&ctx, &sk, KeySwitchKind::Boosted { digits: 1 }, &mut rng);
+        let slots = ctx.params().slots();
+        let vals: Vec<f64> = (0..slots).map(|i| ((i * 5 % 11) as f64 / 11.0) - 0.5).collect();
+        let pt = ctx.encode(&vals, ctx.default_scale(), 1);
+        let ct = ctx.encrypt(&pt, &sk, &mut rng);
+        let direct = booter.try_bootstrap(&ctx, &ct, &keys).unwrap();
+        // Drive the machine manually, serializing the state at every stage
+        // boundary — the exact path the checkpointing executor takes.
+        let mut state = BootState::Start { ct: ct.clone() };
+        let mut stages = Vec::new();
+        while !state.is_done() {
+            stages.push(state.stage_index());
+            let blob = state.serialize(&ctx);
+            let restored = BootState::try_deserialize(&ctx, &blob).unwrap();
+            assert_eq!(restored.stage_index(), state.stage_index());
+            for (a, b) in state.ciphertexts().iter().zip(restored.ciphertexts()) {
+                assert_eq!(*a, b, "roundtrip must be bit-identical");
+            }
+            state = booter.try_step(&ctx, restored, &keys).unwrap();
+        }
+        assert_eq!(stages, vec![0, 1, 2, 3, 4]);
+        match state {
+            BootState::Done { ct: stepped } => {
+                assert_eq!(stepped, direct, "stepwise result must be bit-identical");
+            }
+            other => panic!("expected Done, got {}", other.stage_name()),
+        }
+    }
+
+    #[test]
+    fn boot_state_rejects_corrupted_blob() {
+        let ctx = boot_ctx();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(18);
+        let sk = ctx.keygen_sparse(8, &mut rng);
+        let pt = ctx.encode(&[0.5], ctx.default_scale(), 1);
+        let ct = ctx.encrypt(&pt, &sk, &mut rng);
+        let state = BootState::Start { ct };
+        let blob = state.serialize(&ctx);
+        // Framing byte.
+        let mut bad = blob.clone();
+        bad[0] ^= 1;
+        assert!(BootState::try_deserialize(&ctx, &bad).is_err());
+        // Payload byte deep in the ciphertext blob.
+        let mut bad = blob.clone();
+        let off = blob.len() - 20;
+        bad[off] ^= 0x10;
+        assert!(BootState::try_deserialize(&ctx, &bad).is_err());
+    }
+
+    #[test]
+    fn bootstrap_keys_roundtrip_through_serialization() {
+        let ctx = boot_ctx();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(19);
+        let sk = ctx.keygen_sparse(8, &mut rng);
+        let booter = Bootstrapper::new(&ctx, 8);
+        let keys = booter.keygen(&ctx, &sk, KeySwitchKind::Boosted { digits: 1 }, &mut rng);
+        let blob = keys.serialize(&ctx);
+        let back = BootstrapKeys::try_deserialize(&ctx, &blob).unwrap();
+        assert_eq!(back.rotation_steps(), keys.rotation_steps());
+        assert!(back.relin().verify_integrity());
+        assert!(back.conj().verify_integrity());
+        assert_eq!(back.relin().integrity_digest(), keys.relin().integrity_digest());
+        assert_eq!(back.conj().integrity_digest(), keys.conj().integrity_digest());
+        for step in keys.rotation_steps() {
+            assert_eq!(
+                back.try_rot_key(step).unwrap().integrity_digest(),
+                keys.try_rot_key(step).unwrap().integrity_digest()
+            );
+        }
+        // The loaded bundle actually bootstraps.
+        let slots = ctx.params().slots();
+        let pt = ctx.encode(&vec![0.25; slots], ctx.default_scale(), 1);
+        let ct = ctx.encrypt(&pt, &sk, &mut rng);
+        let a = booter.try_bootstrap(&ctx, &ct, &keys).unwrap();
+        let b = booter.try_bootstrap(&ctx, &ct, &back).unwrap();
+        assert_eq!(a, b);
+        // Single-byte corruption anywhere in the bundle is rejected.
+        let mut bad = blob.clone();
+        bad[30] ^= 0x80; // framing region
+        assert!(BootstrapKeys::try_deserialize(&ctx, &bad).is_err());
+        let mut bad = blob.clone();
+        let off = blob.len() / 2; // some nested key's payload
+        bad[off] ^= 0x01;
+        assert!(BootstrapKeys::try_deserialize(&ctx, &bad).is_err());
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub mod functional;
 mod plan;
 
 pub use functional::{
-    try_bsgs_transform, BootstrapKeys, BootstrapPrecompute, Bootstrapper, PrecomputedTransform,
-    TransformStage,
+    try_bsgs_transform, BootState, BootstrapKeys, BootstrapPrecompute, Bootstrapper,
+    PrecomputedTransform, TransformStage,
 };
 pub use plan::BootstrapPlan;

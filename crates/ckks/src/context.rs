@@ -158,6 +158,35 @@ impl CkksContext {
         self.params.levels
     }
 
+    /// A 64-bit fingerprint of the parameters that determine wire-format
+    /// compatibility: ring degree, the full modulus chain (ciphertext and
+    /// special limbs, in order), the default scale, and the digit budget
+    /// implied by the special-limb count.
+    ///
+    /// Serialized blobs record this fingerprint; load paths reject blobs
+    /// whose fingerprint differs from the loading context's
+    /// ([`FheError::ParamsMismatch`]). FNV-1a over the parameter words, same
+    /// construction as the keyswitch-hint integrity digest.
+    pub fn params_fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |word: u64| {
+            for half in [word as u32 as u64, word >> 32] {
+                h ^= half;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.params.n as u64);
+        mix(self.params.levels as u64);
+        mix(self.params.special_limbs as u64);
+        mix(self.params.scale().to_bits());
+        for limb in 0..self.rns.num_q() + self.rns.num_p() {
+            mix(self.rns.modulus_value(limb as u32));
+        }
+        h
+    }
+
     /// Fetches (or builds and caches) the base converter from `src` to
     /// `dst`.
     pub fn converter(&self, src: &Basis, dst: &Basis) -> Arc<BaseConverter> {

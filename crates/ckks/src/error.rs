@@ -23,6 +23,7 @@ pub type FheResult<T> = Result<T, FheError>;
 /// vs. actual levels/scales, budget figures) for a caller to decide whether
 /// to realign operands, insert a rescale or bootstrap, or abort.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum FheError {
     /// A wrapped CKKS-layer error (parameters or operand incompatibility).
     Ckks(CkksError),
@@ -90,6 +91,36 @@ pub enum FheError {
         /// Description of the missing key.
         what: String,
     },
+    /// A serialized blob is structurally invalid: bad magic, unsupported
+    /// format version, truncated payload, or a malformed section.
+    Serialization {
+        /// The load or store operation that failed.
+        op: &'static str,
+        /// What the codec found.
+        reason: String,
+    },
+    /// A stored checksum does not match the recomputed one — the blob was
+    /// corrupted after it was written.
+    ChecksumMismatch {
+        /// The load operation that detected the corruption.
+        op: &'static str,
+        /// Which section failed (header metadata, or a specific limb).
+        section: String,
+        /// The checksum recorded in the blob.
+        stored: u64,
+        /// The checksum recomputed over the payload.
+        computed: u64,
+    },
+    /// A serialized object was produced under different CKKS parameters
+    /// (ring degree, moduli chain, scale, or decomposition digits).
+    ParamsMismatch {
+        /// The load operation that detected the mismatch.
+        op: &'static str,
+        /// The fingerprint recorded in the blob.
+        got: u64,
+        /// The fingerprint of the loading context.
+        want: u64,
+    },
 }
 
 impl fmt::Display for FheError {
@@ -124,6 +155,24 @@ impl fmt::Display for FheError {
                 write!(f, "{op}: corrupt keyswitch hint: {reason}")
             }
             FheError::MissingKey { what } => write!(f, "missing key material: {what}"),
+            FheError::Serialization { op, reason } => {
+                write!(f, "{op}: serialization failure: {reason}")
+            }
+            FheError::ChecksumMismatch {
+                op,
+                section,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "{op}: checksum mismatch in {section} \
+                 (stored {stored:#018x}, computed {computed:#018x})"
+            ),
+            FheError::ParamsMismatch { op, got, want } => write!(
+                f,
+                "{op}: params fingerprint mismatch \
+                 (blob written under {got:#018x}, context is {want:#018x})"
+            ),
         }
     }
 }
@@ -183,6 +232,116 @@ mod tests {
             required_bits: 10.0,
         };
         assert!(e.to_string().contains("-4.5"));
+    }
+
+    #[test]
+    fn every_variant_display_names_failing_component() {
+        // One instance of every variant, paired with the component keyword
+        // its message must name. Adding a variant without extending this list
+        // is caught by review, not the compiler (`#[non_exhaustive]` enums
+        // cannot be exhaustively enumerated by value), so keep it current.
+        let cases: Vec<(FheError, &str)> = vec![
+            (
+                FheError::Ckks(CkksError::Params(ParamsError("bad levels".into()))),
+                "bad levels",
+            ),
+            (
+                FheError::Rns(RnsError::InvalidParameter("bad basis".into())),
+                "bad basis",
+            ),
+            (
+                FheError::Math(cl_math::MathError::NotEnoughPrimes {
+                    requested: 3,
+                    found: 1,
+                    bits: 28,
+                }),
+                "prime",
+            ),
+            (
+                FheError::LevelMismatch {
+                    op: "add",
+                    got: 3,
+                    want: 2,
+                },
+                "add",
+            ),
+            (
+                FheError::ScaleMismatch {
+                    op: "mul",
+                    got: 1.0,
+                    want: 2.0,
+                    rel: 0.5,
+                },
+                "mul",
+            ),
+            (
+                FheError::BudgetExhausted {
+                    op: "square",
+                    budget_bits: -1.0,
+                    required_bits: 0.0,
+                },
+                "square",
+            ),
+            (
+                FheError::InvalidParams {
+                    op: "rescale",
+                    reason: "level 1".into(),
+                },
+                "rescale",
+            ),
+            (
+                FheError::CorruptCiphertext {
+                    op: "validate",
+                    reason: "residue out of range".into(),
+                },
+                "ciphertext",
+            ),
+            (
+                FheError::CorruptKey {
+                    op: "keyswitch",
+                    reason: "digest".into(),
+                },
+                "keyswitch",
+            ),
+            (
+                FheError::MissingKey {
+                    what: "rotation key 5".into(),
+                },
+                "key",
+            ),
+            (
+                FheError::Serialization {
+                    op: "load_ciphertext",
+                    reason: "truncated".into(),
+                },
+                "load_ciphertext",
+            ),
+            (
+                FheError::ChecksumMismatch {
+                    op: "load_ciphertext",
+                    section: "limb 3".into(),
+                    stored: 1,
+                    computed: 2,
+                },
+                "limb 3",
+            ),
+            (
+                FheError::ParamsMismatch {
+                    op: "load_key",
+                    got: 0xdead,
+                    want: 0xbeef,
+                },
+                "fingerprint",
+            ),
+        ];
+        for (err, component) in cases {
+            let msg = err.to_string();
+            assert!(!msg.is_empty(), "{err:?} renders empty");
+            assert!(
+                msg.contains(component),
+                "{err:?} message {msg:?} does not name {component:?}"
+            );
+        }
     }
 
     #[test]

@@ -11,8 +11,16 @@
 //! | dropped rescale / tampered scale ([`corrupt_scale`]) | signed noise-budget threshold | [`FheError::BudgetExhausted`](crate::FheError) |
 //! | corrupted hint ([`corrupt_hint_word`]) | keygen-time integrity digest | [`FheError::CorruptKey`](crate::FheError) |
 //!
+//! On top of the deterministic primitives, [`FaultPlan`] is a seeded
+//! probabilistic injector for soak-style testing: intermittent bit flips at
+//! a configurable per-op rate plus *kill points* that simulate a process
+//! crash between ops — the fault model the cl-runtime pipeline executor's
+//! checkpoint/restore loop is validated against.
+//!
 //! The module is compiled only for tests and under the `faults` cargo
 //! feature; production builds carry none of this code.
+
+use std::collections::BTreeSet;
 
 use crate::{Ciphertext, KeySwitchKey};
 
@@ -65,6 +73,127 @@ pub fn corrupt_hint_word(
     let (k0, k1) = &mut ksk.elems[digit];
     let p = if half == 0 { k0 } else { k1 };
     p.limb_mut(limb)[coeff] ^= FLIP_MASK;
+}
+
+/// What a [`FaultPlan`] did to the ciphertext it was consulted about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// No fault this op.
+    None,
+    /// One residue word was flipped in place (an intermittent SEU).
+    Flipped {
+        /// `c0` (0) or `c1` (1).
+        poly: usize,
+        /// Limb position within the polynomial.
+        limb: usize,
+        /// Coefficient index within the limb.
+        coeff: usize,
+    },
+    /// A kill point fired: the process "crashes" between ops. The caller
+    /// must abandon in-memory state and resume from durable checkpoints.
+    Kill,
+}
+
+/// A seeded probabilistic fault injector.
+///
+/// Each call to [`FaultPlan::on_op`] advances a deterministic splitmix64
+/// stream, so a given `(seed, flip_rate, kill points)` triple replays the
+/// exact same fault schedule on every run — tests can assert precise
+/// telemetry. The op counter is monotonic across retries: a retried op sees
+/// fresh draws, so a bounded retry loop converges with probability 1 for
+/// any `flip_rate < 1`.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    state: u64,
+    flip_rate: f64,
+    kill_points: BTreeSet<u64>,
+    ops_seen: u64,
+    injected: u64,
+    kills: u64,
+}
+
+impl FaultPlan {
+    /// A plan flipping one ciphertext word per op with probability
+    /// `flip_rate`, driven by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= flip_rate < 1.0` (a rate of 1 would defeat
+    /// any retry budget).
+    pub fn new(seed: u64, flip_rate: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&flip_rate),
+            "flip_rate must be in [0, 1)"
+        );
+        Self {
+            state: seed,
+            flip_rate,
+            kill_points: BTreeSet::new(),
+            ops_seen: 0,
+            injected: 0,
+            kills: 0,
+        }
+    }
+
+    /// Adds a kill point: the `op`-th consultation (0-based, counting
+    /// every retry) simulates a crash instead of running. Each kill point
+    /// fires once.
+    #[must_use]
+    pub fn with_kill_point(mut self, op: u64) -> Self {
+        self.kill_points.insert(op);
+        self
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // splitmix64: tiny, seedable, and good enough for fault schedules.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Consults the plan before an op on `ct`: possibly flips one word in
+    /// place, or fires a pending kill point. Returns what happened.
+    pub fn on_op(&mut self, ct: &mut Ciphertext) -> FaultAction {
+        let op = self.ops_seen;
+        self.ops_seen += 1;
+        if self.kill_points.remove(&op) {
+            self.kills += 1;
+            return FaultAction::Kill;
+        }
+        let draw = self.next_u64() as f64 / (u64::MAX as f64 + 1.0);
+        if draw >= self.flip_rate {
+            return FaultAction::None;
+        }
+        let poly = (self.next_u64() % 2) as usize;
+        let target = if poly == 0 { &ct.c0 } else { &ct.c1 };
+        let limb = (self.next_u64() % target.num_limbs() as u64) as usize;
+        let coeff = (self.next_u64() % target.n() as u64) as usize;
+        flip_ciphertext_word(ct, poly, limb, coeff);
+        self.injected += 1;
+        FaultAction::Flipped { poly, limb, coeff }
+    }
+
+    /// Total consultations so far (including retried ops).
+    pub fn ops_seen(&self) -> u64 {
+        self.ops_seen
+    }
+
+    /// Number of bit flips injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Number of kill points fired so far.
+    pub fn kills(&self) -> u64 {
+        self.kills
+    }
+
+    /// Kill points that have not fired yet.
+    pub fn pending_kills(&self) -> usize {
+        self.kill_points.len()
+    }
 }
 
 #[cfg(test)]
@@ -245,6 +374,61 @@ mod tests {
         }
         // The pristine key still passes the same strict checks.
         assert!(ctx.try_mul(&ct, &ct, &rlk).is_ok());
+    }
+
+    #[test]
+    fn fault_plan_is_deterministic_and_counts_events() {
+        let (ctx, sk, mut rng) = setup(2);
+        let clean = ctx.encrypt(&ctx.encode(&[1.0], ctx.default_scale(), 2), &sk, &mut rng);
+        let run = |seed: u64| {
+            let mut plan = FaultPlan::new(seed, 0.5).with_kill_point(3);
+            let mut ct = clean.clone();
+            let actions: Vec<FaultAction> = (0..16).map(|_| plan.on_op(&mut ct)).collect();
+            (actions, plan.injected(), plan.kills(), ct)
+        };
+        let (a1, inj1, kills1, ct1) = run(99);
+        let (a2, inj2, kills2, ct2) = run(99);
+        assert_eq!(a1, a2, "same seed must replay the same schedule");
+        assert_eq!((inj1, kills1), (inj2, kills2));
+        assert_eq!(ct1, ct2);
+        assert_eq!(a1[3], FaultAction::Kill);
+        assert_eq!(kills1, 1);
+        assert!(inj1 > 0, "rate 0.5 over 15 draws should flip at least once");
+        assert_eq!(
+            inj1,
+            a1.iter()
+                .filter(|a| matches!(a, FaultAction::Flipped { .. }))
+                .count() as u64
+        );
+        let (a3, ..) = run(100);
+        assert_ne!(a1, a3, "different seeds should differ");
+    }
+
+    #[test]
+    fn fault_plan_flips_are_caught_by_strict_validation() {
+        let (ctx, sk, mut rng) = setup(2);
+        let clean = ctx.encrypt(&ctx.encode(&[1.0], ctx.default_scale(), 2), &sk, &mut rng);
+        let mut plan = FaultPlan::new(7, 0.999);
+        let mut ct = clean.clone();
+        match plan.on_op(&mut ct) {
+            FaultAction::Flipped { .. } => {
+                assert!(ctx.validate_ciphertext("audit", &ct).is_err());
+            }
+            other => panic!("rate ~1 must flip on the first op, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_rate_plan_never_flips() {
+        let (ctx, sk, mut rng) = setup(2);
+        let clean = ctx.encrypt(&ctx.encode(&[1.0], ctx.default_scale(), 2), &sk, &mut rng);
+        let mut plan = FaultPlan::new(1, 0.0);
+        let mut ct = clean.clone();
+        for _ in 0..64 {
+            assert_eq!(plan.on_op(&mut ct), FaultAction::None);
+        }
+        assert_eq!(ct, clean);
+        assert_eq!(plan.injected(), 0);
     }
 
     #[test]

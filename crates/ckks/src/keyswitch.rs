@@ -563,7 +563,7 @@ impl HoistedDecomposition {
 
 /// Deterministic uniform polynomial from `(seed, digit)` over `basis`, NTT
 /// form — the pseudo-random hint half.
-fn prandom_poly(
+pub(crate) fn prandom_poly(
     rns: &cl_rns::RnsContext,
     basis: &Basis,
     seed: u64,

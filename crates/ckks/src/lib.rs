@@ -61,6 +61,7 @@ mod keyswitch;
 mod noise;
 mod params;
 pub mod security;
+pub mod serialize;
 
 pub use ciphertext::{Ciphertext, Plaintext};
 pub use context::{CkksContext, CkksError, GuardrailPolicy};

@@ -35,7 +35,7 @@ impl Modulus {
     /// Primality is not checked here; use [`crate::is_prime`] when a prime is
     /// required.
     pub fn new(q: u64) -> Option<Self> {
-        if q < 2 || q >= (1u64 << 60) {
+        if !(2..(1u64 << 60)).contains(&q) {
             return None;
         }
         // floor(2^128 / q) computed via 128-bit long division in two steps.

@@ -61,7 +61,7 @@ impl NttTable {
             return None;
         }
         let modulus = Modulus::new(q)?;
-        if (q - 1) % (2 * n as u64) != 0 || !crate::is_prime(q) {
+        if !(q - 1).is_multiple_of(2 * n as u64) || !crate::is_prime(q) {
             return None;
         }
         let psi = find_primitive_root(&modulus, 2 * n as u64)?;
@@ -115,7 +115,8 @@ impl NttTable {
     /// Returns `None` under the same conditions as [`NttTable::new`]. Failed
     /// lookups are not cached.
     pub fn cached(n: usize, q: u64) -> Option<Arc<NttTable>> {
-        static CACHE: OnceLock<Mutex<HashMap<(usize, u64), Arc<NttTable>>>> = OnceLock::new();
+        type Cache = Mutex<HashMap<(usize, u64), Arc<NttTable>>>;
+        static CACHE: OnceLock<Cache> = OnceLock::new();
         let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
         if let Some(t) = cache
             .lock()
@@ -342,13 +343,13 @@ impl NttTable {
         assert_eq!(b.len(), self.n);
         let m = &self.modulus;
         let mut c = vec![0u64; self.n];
-        for i in 0..self.n {
-            if a[i] == 0 {
+        for (i, &ai) in a.iter().enumerate() {
+            if ai == 0 {
                 continue;
             }
-            for j in 0..self.n {
+            for (j, &bj) in b.iter().enumerate() {
                 let k = i + j;
-                let prod = m.mul(a[i], b[j]);
+                let prod = m.mul(ai, bj);
                 if k < self.n {
                     c[k] = m.add(c[k], prod);
                 } else {
@@ -363,7 +364,7 @@ impl NttTable {
 /// Finds a primitive `order`-th root of unity modulo a prime.
 fn find_primitive_root(m: &Modulus, order: u64) -> Option<u64> {
     let q = m.value();
-    if (q - 1) % order != 0 {
+    if !(q - 1).is_multiple_of(order) {
         return None;
     }
     let cofactor = (q - 1) / order;

@@ -1,6 +1,6 @@
 //! The residue polynomial container.
 
-use crate::Basis;
+use crate::{Basis, RnsError};
 
 /// A polynomial over a sub-basis of an [`crate::RnsContext`]'s moduli.
 ///
@@ -43,6 +43,59 @@ impl RnsPoly {
             ntt_form: false,
             limb_mask,
         }
+    }
+
+    /// Rebuilds a polynomial from previously extracted raw parts.
+    ///
+    /// This is the fallible constructor used by deserialization: it validates
+    /// that the coefficient slab length matches `n * basis.len()` and that the
+    /// basis contains no duplicate limbs, returning
+    /// [`RnsError::InvalidParameter`] otherwise. It does **not** check residue
+    /// ranges — callers that need that (e.g. ciphertext loaders) validate
+    /// against their modulus chain separately.
+    pub fn from_raw_parts(
+        n: usize,
+        basis: Basis,
+        coeffs: Vec<u64>,
+        ntt_form: bool,
+    ) -> Result<Self, RnsError> {
+        if n == 0 {
+            return Err(RnsError::InvalidParameter(
+                "ring degree must be non-zero".into(),
+            ));
+        }
+        if coeffs.len() != n * basis.len() {
+            return Err(RnsError::InvalidParameter(format!(
+                "coefficient slab has {} words, expected {} (n={} x {} limbs)",
+                coeffs.len(),
+                n * basis.len(),
+                n,
+                basis.len()
+            )));
+        }
+        let limb_mask = mask_of(&basis);
+        // The bitmap covers global indices < 128; a duplicate collapses two
+        // bits into one, so a popcount mismatch detects it. Indices >= 128
+        // (never produced by our parameter sets) get an exact scan.
+        let small = basis.0.iter().filter(|&&l| l < 128).count();
+        let mut dup = limb_mask.count_ones() as usize != small;
+        if !dup && small != basis.len() {
+            let mut seen = basis.0.clone();
+            seen.sort_unstable();
+            dup = seen.windows(2).any(|w| w[0] == w[1]);
+        }
+        if dup {
+            return Err(RnsError::InvalidParameter(
+                "basis contains a duplicate limb".into(),
+            ));
+        }
+        Ok(Self {
+            n,
+            basis,
+            coeffs,
+            ntt_form,
+            limb_mask,
+        })
     }
 
     /// Ring degree.
@@ -187,6 +240,19 @@ mod tests {
     fn push_duplicate_limb_panics() {
         let mut p = RnsPoly::zero(4, Basis(vec![0]));
         p.push_limb(0, &[1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn from_raw_parts_validates_shape() {
+        let p = RnsPoly::from_raw_parts(2, Basis(vec![0, 3]), vec![1, 2, 3, 4], true).unwrap();
+        assert_eq!(p.limb(1), &[3, 4]);
+        assert!(p.ntt_form());
+        // Wrong slab length.
+        assert!(RnsPoly::from_raw_parts(2, Basis(vec![0, 3]), vec![1, 2, 3], true).is_err());
+        // Duplicate limb.
+        assert!(RnsPoly::from_raw_parts(2, Basis(vec![3, 3]), vec![1, 2, 3, 4], false).is_err());
+        // Zero degree.
+        assert!(RnsPoly::from_raw_parts(0, Basis(vec![]), vec![], false).is_err());
     }
 
     #[test]

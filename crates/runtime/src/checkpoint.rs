@@ -1,0 +1,330 @@
+//! Durable, integrity-checked checkpoint records.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use cl_boot::BootState;
+use cl_ckks::serialize::{fnv1a, put_u32, put_u64, put_u8, write_header, ObjectTag, Reader};
+use cl_ckks::{Ciphertext, CkksContext, FheError, FheResult};
+
+/// The in-flight state of a pipeline at a micro-op boundary: either a
+/// plain ciphertext or a mid-bootstrap [`BootState`].
+#[derive(Debug, Clone)]
+pub enum WorkState {
+    /// Between ordinary ops.
+    Ct(Ciphertext),
+    /// Mid-bootstrap, at a stage boundary (boxed: a bootstrap stage
+    /// carries up to two ciphertexts, dwarfing the `Ct` variant).
+    Boot(Box<BootState>),
+}
+
+impl WorkState {
+    /// The ciphertext a fault injector corrupts and integrity checks
+    /// validate first: the plain ciphertext, or the first ciphertext of a
+    /// bootstrap stage.
+    pub fn primary_mut(&mut self) -> &mut Ciphertext {
+        match self {
+            WorkState::Ct(ct) => ct,
+            WorkState::Boot(state) => {
+                let mut cts = state.ciphertexts_mut();
+                cts.swap_remove(0)
+            }
+        }
+    }
+
+    /// Conformance-validates every ciphertext this state carries against
+    /// the context (residue ranges, basis, NTT form). The executor runs
+    /// this *before* persisting a checkpoint, so a corrupted state is
+    /// never written as "good".
+    pub fn validate(&self, ctx: &CkksContext) -> FheResult<()> {
+        match self {
+            WorkState::Ct(ct) => ctx.validate_ciphertext("checkpoint", ct),
+            WorkState::Boot(state) => {
+                for ct in state.ciphertexts() {
+                    ctx.validate_ciphertext("checkpoint", ct)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn kind_byte(&self) -> u8 {
+        match self {
+            WorkState::Ct(_) => 0,
+            WorkState::Boot(_) => 1,
+        }
+    }
+
+    fn serialize(&self, ctx: &CkksContext) -> Vec<u8> {
+        match self {
+            WorkState::Ct(ct) => ctx.serialize_ciphertext(ct),
+            WorkState::Boot(state) => state.serialize(ctx),
+        }
+    }
+}
+
+/// One checkpoint record: the micro program counter plus the work state at
+/// that boundary.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Micro-op index the pipeline resumes at.
+    pub pc: u64,
+    /// The state to resume from.
+    pub state: WorkState,
+}
+
+/// Durable checkpoint storage: two rotating slot files in a directory,
+/// each written atomically (tmp file + rename) so a crash mid-write never
+/// corrupts the previous good record. Loads verify the wire format's
+/// fingerprint and checksums and fall back to the other slot when one is
+/// damaged.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    slots: [PathBuf; 2],
+    tmp: PathBuf,
+    next_slot: usize,
+    bytes_written: u64,
+    writes: u64,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a store in `dir`.
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::Serialization`] when the directory cannot be created.
+    pub fn open(dir: &Path) -> FheResult<Self> {
+        fs::create_dir_all(dir).map_err(|e| FheError::Serialization {
+            op: "checkpoint_open",
+            reason: format!("cannot create {}: {e}", dir.display()),
+        })?;
+        Ok(Self {
+            slots: [dir.join("ckpt_a.bin"), dir.join("ckpt_b.bin")],
+            tmp: dir.join("ckpt.tmp"),
+            next_slot: 0,
+            bytes_written: 0,
+            writes: 0,
+        })
+    }
+
+    /// Total bytes written across all checkpoints.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Number of checkpoint records written.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    fn encode(ctx: &CkksContext, cp: &Checkpoint) -> Vec<u8> {
+        let payload = cp.state.serialize(ctx);
+        let mut out = Vec::with_capacity(32 + payload.len());
+        write_header(&mut out, ObjectTag::Checkpoint, ctx.params_fingerprint());
+        let meta_start = out.len();
+        put_u64(&mut out, cp.pc);
+        put_u8(&mut out, cp.state.kind_byte());
+        put_u32(&mut out, payload.len() as u32);
+        let cksum = fnv1a(&out[meta_start..]);
+        put_u64(&mut out, cksum);
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    fn decode(ctx: &CkksContext, bytes: &[u8]) -> FheResult<Checkpoint> {
+        let mut r = Reader::new("load_checkpoint", bytes);
+        r.read_header(ObjectTag::Checkpoint, ctx.params_fingerprint())?;
+        let meta_start = r.pos();
+        let pc = r.u64()?;
+        let kind = r.u8()?;
+        let payload_len = r.u32()? as usize;
+        let computed = fnv1a(r.region_since(meta_start));
+        let stored = r.u64()?;
+        if stored != computed {
+            return Err(FheError::ChecksumMismatch {
+                op: "load_checkpoint",
+                section: "checkpoint metadata".into(),
+                stored,
+                computed,
+            });
+        }
+        let payload = r.take(payload_len)?;
+        r.finish()?;
+        let state = match kind {
+            0 => WorkState::Ct(ctx.try_deserialize_ciphertext(payload)?),
+            1 => WorkState::Boot(Box::new(BootState::try_deserialize(ctx, payload)?)),
+            other => {
+                return Err(FheError::Serialization {
+                    op: "load_checkpoint",
+                    reason: format!("unknown work-state kind {other}"),
+                })
+            }
+        };
+        Ok(Checkpoint { pc, state })
+    }
+
+    /// Atomically persists a checkpoint into the next rotating slot.
+    /// Returns the record size in bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::Serialization`] on any I/O failure.
+    pub fn write(&mut self, ctx: &CkksContext, cp: &Checkpoint) -> FheResult<u64> {
+        let bytes = Self::encode(ctx, cp);
+        let io_err = |what: &str, e: std::io::Error| FheError::Serialization {
+            op: "checkpoint_write",
+            reason: format!("{what}: {e}"),
+        };
+        fs::write(&self.tmp, &bytes).map_err(|e| io_err("write tmp", e))?;
+        let slot = &self.slots[self.next_slot];
+        fs::rename(&self.tmp, slot).map_err(|e| io_err("rename into slot", e))?;
+        self.next_slot = 1 - self.next_slot;
+        self.bytes_written += bytes.len() as u64;
+        self.writes += 1;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Loads one slot file, end to end (header, fingerprint, checksums).
+    fn load_slot(&self, ctx: &CkksContext, path: &Path) -> FheResult<Checkpoint> {
+        let bytes = fs::read(path).map_err(|e| FheError::Serialization {
+            op: "load_checkpoint",
+            reason: format!("cannot read {}: {e}", path.display()),
+        })?;
+        Self::decode(ctx, &bytes)
+    }
+
+    /// Returns the newest (highest program counter) valid checkpoint, plus
+    /// the number of slots that existed but were *rejected* by integrity
+    /// checks. `Ok(None)` means no slot file exists yet.
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::ChecksumMismatch`]/[`FheError::ParamsMismatch`]/
+    /// [`FheError::Serialization`] only when every existing slot is
+    /// damaged — a damaged slot with a healthy sibling is skipped (and
+    /// counted), not fatal.
+    pub fn load_latest(&self, ctx: &CkksContext) -> FheResult<(Option<Checkpoint>, u64)> {
+        let mut best: Option<Checkpoint> = None;
+        let mut rejects = 0u64;
+        let mut first_err: Option<FheError> = None;
+        let mut existing = 0;
+        for path in &self.slots {
+            if !path.exists() {
+                continue;
+            }
+            existing += 1;
+            match self.load_slot(ctx, path) {
+                Ok(cp) => {
+                    if best.as_ref().is_none_or(|b| cp.pc > b.pc) {
+                        best = Some(cp);
+                    }
+                }
+                Err(e) => {
+                    rejects += 1;
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        match (best, first_err) {
+            (Some(cp), _) => Ok((Some(cp), rejects)),
+            (None, Some(e)) if existing > 0 => Err(e),
+            _ => Ok((None, rejects)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cl_ckks::CkksParams;
+    use rand::SeedableRng;
+
+    fn ctx() -> CkksContext {
+        let params = CkksParams::builder()
+            .ring_degree(64)
+            .levels(4)
+            .special_limbs(4)
+            .limb_bits(40)
+            .scale_bits(32)
+            .build()
+            .unwrap();
+        CkksContext::new(params).unwrap()
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("cl-runtime-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_and_rotation() {
+        let c = ctx();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let sk = c.keygen(&mut rng);
+        let ct = c.encrypt(&c.encode(&[1.0, 2.0], c.default_scale(), 3), &sk, &mut rng);
+        let dir = tmpdir("rotation");
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        assert!(store.load_latest(&c).unwrap().0.is_none());
+        for pc in 0..3u64 {
+            store
+                .write(
+                    &c,
+                    &Checkpoint {
+                        pc,
+                        state: WorkState::Ct(ct.clone()),
+                    },
+                )
+                .unwrap();
+        }
+        let (latest, rejects) = store.load_latest(&c).unwrap();
+        assert_eq!(rejects, 0);
+        let latest = latest.unwrap();
+        assert_eq!(latest.pc, 2);
+        match latest.state {
+            WorkState::Ct(back) => assert_eq!(back, ct),
+            WorkState::Boot(_) => panic!("expected Ct state"),
+        }
+        assert_eq!(store.writes(), 3);
+        assert!(store.bytes_written() > 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_slot_falls_back_to_sibling() {
+        let c = ctx();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let sk = c.keygen(&mut rng);
+        let ct = c.encrypt(&c.encode(&[3.0], c.default_scale(), 2), &sk, &mut rng);
+        let dir = tmpdir("fallback");
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        for pc in [5u64, 6u64] {
+            store
+                .write(
+                    &c,
+                    &Checkpoint {
+                        pc,
+                        state: WorkState::Ct(ct.clone()),
+                    },
+                )
+                .unwrap();
+        }
+        // pc=6 landed in slot b (second write). Corrupt it: the load must
+        // reject it and fall back to pc=5 in slot a.
+        let victim = dir.join("ckpt_b.bin");
+        let mut bytes = fs::read(&victim).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        fs::write(&victim, &bytes).unwrap();
+        let (latest, rejects) = store.load_latest(&c).unwrap();
+        assert_eq!(rejects, 1);
+        assert_eq!(latest.unwrap().pc, 5);
+        // Both slots corrupted: the load surfaces the integrity error.
+        let victim = dir.join("ckpt_a.bin");
+        let mut bytes = fs::read(&victim).unwrap();
+        bytes[10] ^= 0xff;
+        fs::write(&victim, &bytes).unwrap();
+        assert!(store.load_latest(&c).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,593 @@
+//! The resilient pipeline executor: strict guardrails, periodic durable
+//! checkpoints, and restore-and-retry recovery with a bounded budget.
+
+use std::path::PathBuf;
+
+use cl_boot::{BootState, Bootstrapper, BootstrapKeys};
+use cl_ckks::{Ciphertext, CkksContext, FheError, FheResult, GuardrailPolicy};
+
+#[cfg(any(test, feature = "faults"))]
+use cl_ckks::faults::{FaultAction, FaultPlan};
+
+use crate::checkpoint::{Checkpoint, CheckpointStore, WorkState};
+use crate::program::{PipelineOp, Program};
+
+/// Executor configuration.
+#[derive(Debug, Clone)]
+pub struct ExecutorConfig {
+    /// Checkpoint every N micro-ops (plus once at completion). `0`
+    /// disables durable checkpoints; recovery then uses only the
+    /// in-memory last-good state and [`PipelineExecutor::resume`] restarts
+    /// from the input.
+    pub checkpoint_every: u64,
+    /// Total restore-and-retry attempts allowed per run before the
+    /// executor gives up and surfaces the fault.
+    pub max_retries: u32,
+    /// Directory for checkpoint slot files. Required when
+    /// `checkpoint_every > 0`.
+    pub checkpoint_dir: Option<PathBuf>,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        Self {
+            checkpoint_every: 4,
+            max_retries: 8,
+            checkpoint_dir: None,
+        }
+    }
+}
+
+/// Counters describing what the recovery machinery did during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryTelemetry {
+    /// Faults injected by the attached [`FaultPlan`] (0 without one).
+    pub faults_injected: u64,
+    /// Faults *detected*: op failures under the strict policy, plus
+    /// pre-checkpoint validation failures.
+    pub faults_detected: u64,
+    /// Restore-and-retry attempts consumed.
+    pub retries: u64,
+    /// Restores satisfied from a durable on-disk checkpoint (the rest
+    /// fell back to the in-memory last-good state).
+    pub restores: u64,
+    /// Checkpoint records written to disk.
+    pub checkpoints_written: u64,
+    /// Total checkpoint bytes written to disk.
+    pub bytes_written: u64,
+    /// Simulated crashes (fault-plan kill points) honoured.
+    pub crashes: u64,
+    /// Micro-ops that executed successfully (including re-executions
+    /// after a restore).
+    pub ops_executed: u64,
+}
+
+/// How a run ended (when it did not fail outright).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunOutcome {
+    /// The program ran to completion; here is the final ciphertext.
+    Completed(Ciphertext),
+    /// A fault-plan kill point fired: the process "died", abandoning all
+    /// in-memory state. Call [`PipelineExecutor::resume`] to pick the
+    /// pipeline back up from the newest durable checkpoint.
+    Crashed,
+}
+
+/// Runs a declared [`Program`] under [`GuardrailPolicy::Strict`],
+/// checkpointing to disk and recovering from detected faults by restoring
+/// the last good state and re-executing (deterministic ops make the retry
+/// converge bit-identically).
+pub struct PipelineExecutor<'a> {
+    ctx: &'a CkksContext,
+    keys: &'a BootstrapKeys,
+    booter: Option<&'a Bootstrapper>,
+    config: ExecutorConfig,
+    store: Option<CheckpointStore>,
+    telemetry: RecoveryTelemetry,
+    #[cfg(any(test, feature = "faults"))]
+    plan: Option<FaultPlan>,
+}
+
+impl<'a> PipelineExecutor<'a> {
+    /// Creates an executor for `ctx` using the key bundle `keys`.
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::InvalidParams`] unless the context runs
+    /// [`GuardrailPolicy::Strict`] (without strict validation, injected
+    /// faults would propagate silently instead of being detected and
+    /// retried), or when durable checkpointing is requested without a
+    /// directory. [`FheError::Serialization`] when the checkpoint
+    /// directory cannot be created.
+    pub fn new(
+        ctx: &'a CkksContext,
+        keys: &'a BootstrapKeys,
+        config: ExecutorConfig,
+    ) -> FheResult<Self> {
+        if !matches!(ctx.policy(), GuardrailPolicy::Strict { .. }) {
+            return Err(FheError::InvalidParams {
+                op: "executor",
+                reason: "fault recovery requires GuardrailPolicy::Strict (faults must be \
+                         detected to be retried)"
+                    .into(),
+            });
+        }
+        let store = match (&config.checkpoint_dir, config.checkpoint_every) {
+            (_, 0) => None,
+            (Some(dir), _) => Some(CheckpointStore::open(dir)?),
+            (None, _) => {
+                return Err(FheError::InvalidParams {
+                    op: "executor",
+                    reason: "checkpoint_every > 0 requires a checkpoint_dir".into(),
+                })
+            }
+        };
+        Ok(Self {
+            ctx,
+            keys,
+            booter: None,
+            config,
+            store,
+            telemetry: RecoveryTelemetry::default(),
+            #[cfg(any(test, feature = "faults"))]
+            plan: None,
+        })
+    }
+
+    /// Attaches the bootstrapper required for programs containing
+    /// [`PipelineOp::Bootstrap`].
+    #[must_use]
+    pub fn with_bootstrapper(mut self, booter: &'a Bootstrapper) -> Self {
+        self.booter = Some(booter);
+        self
+    }
+
+    /// Attaches a seeded fault plan. The plan is consulted before every
+    /// micro-op and survives a simulated crash, so the fault stream is one
+    /// continuous deterministic sequence across run + resume.
+    #[cfg(any(test, feature = "faults"))]
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.plan = Some(plan);
+    }
+
+    /// Recovery counters accumulated so far (across run *and* resume).
+    pub fn telemetry(&self) -> RecoveryTelemetry {
+        self.telemetry
+    }
+
+    /// Runs `program` on `input` from the start.
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::InvalidParams`] for a program needing a bootstrapper
+    /// when none is attached; otherwise the fault that exhausted the retry
+    /// budget, or a checkpoint I/O failure.
+    pub fn run(&mut self, input: &Ciphertext, program: &Program) -> FheResult<RunOutcome> {
+        self.check_program(program)?;
+        self.drive(0, WorkState::Ct(input.clone()), program)
+    }
+
+    /// Resumes `program` after a crash: reloads the newest valid durable
+    /// checkpoint and continues from its program counter, restarting from
+    /// `input` when no usable checkpoint exists. Slots rejected by the
+    /// integrity checks are counted as detected faults.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PipelineExecutor::run`].
+    pub fn resume(&mut self, input: &Ciphertext, program: &Program) -> FheResult<RunOutcome> {
+        self.check_program(program)?;
+        let (start_pc, state) = match &self.store {
+            Some(store) => match store.load_latest(self.ctx) {
+                Ok((found, rejects)) => {
+                    self.telemetry.faults_detected += rejects;
+                    match found {
+                        Some(cp) => {
+                            self.telemetry.restores += 1;
+                            (cp.pc, cp.state)
+                        }
+                        None => (0, WorkState::Ct(input.clone())),
+                    }
+                }
+                // Every slot on disk is damaged: surface it as a detected
+                // fault and restart from the input.
+                Err(_) => {
+                    self.telemetry.faults_detected += 1;
+                    (0, WorkState::Ct(input.clone()))
+                }
+            },
+            None => (0, WorkState::Ct(input.clone())),
+        };
+        self.drive(start_pc, state, program)
+    }
+
+    fn check_program(&self, program: &Program) -> FheResult<()> {
+        if program.needs_bootstrapper() && self.booter.is_none() {
+            return Err(FheError::InvalidParams {
+                op: "executor",
+                reason: "program contains a bootstrap but no Bootstrapper is attached".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The main loop: execute micro-ops from `pc`, checkpointing on the
+    /// configured cadence and recovering detected faults by restoring the
+    /// last good state (preferring the durable copy) and re-executing.
+    fn drive(
+        &mut self,
+        mut pc: u64,
+        mut state: WorkState,
+        program: &Program,
+    ) -> FheResult<RunOutcome> {
+        let schedule = program.micro_schedule();
+        let end = schedule.len() as u64;
+        if pc > end {
+            return Err(FheError::InvalidParams {
+                op: "executor",
+                reason: format!("checkpoint pc {pc} beyond program end {end}"),
+            });
+        }
+        let mut last_good: (u64, WorkState) = (pc, state.clone());
+        let mut retries_left = self.config.max_retries;
+
+        while pc < end {
+            #[cfg(any(test, feature = "faults"))]
+            if let Some(plan) = self.plan.as_mut() {
+                let action = plan.on_op(state.primary_mut());
+                self.telemetry.faults_injected = plan.injected();
+                if matches!(action, FaultAction::Kill) {
+                    // Simulated process death: everything in memory is
+                    // gone; only the durable slots survive for resume().
+                    self.telemetry.crashes += 1;
+                    return Ok(RunOutcome::Crashed);
+                }
+            }
+
+            let (op_idx, stage) = schedule[pc as usize];
+            let step = self
+                .exec_micro(&program.ops()[op_idx], stage, state.clone())
+                // A successful op can still hand a corrupted state to the
+                // *next* op; validating here bounds detection latency to
+                // one micro-op and keeps checkpoints clean.
+                .and_then(|next| {
+                    next.validate(self.ctx)?;
+                    Ok(next)
+                });
+            match step {
+                Ok(next) => {
+                    state = next;
+                    pc += 1;
+                    self.telemetry.ops_executed += 1;
+                    let due = self.config.checkpoint_every > 0
+                        && (pc.is_multiple_of(self.config.checkpoint_every) || pc == end);
+                    if due {
+                        self.persist(pc, &state)?;
+                    }
+                    last_good = (pc, state.clone());
+                }
+                Err(fault) => {
+                    self.telemetry.faults_detected += 1;
+                    if retries_left == 0 {
+                        return Err(fault);
+                    }
+                    retries_left -= 1;
+                    self.telemetry.retries += 1;
+                    (pc, state) = self.restore(&last_good);
+                }
+            }
+        }
+        match state {
+            WorkState::Ct(ct) => Ok(RunOutcome::Completed(ct)),
+            WorkState::Boot(_) => Err(FheError::InvalidParams {
+                op: "executor",
+                reason: "program ended mid-bootstrap".into(),
+            }),
+        }
+    }
+
+    /// Restores the last good execution point, preferring the durable
+    /// on-disk copy when it is at least as fresh (this exercises the full
+    /// load path — fingerprint and checksum verification — on every
+    /// recovery), falling back to the in-memory clone.
+    fn restore(&mut self, last_good: &(u64, WorkState)) -> (u64, WorkState) {
+        if let Some(store) = &self.store {
+            if let Ok((Some(cp), _)) = store.load_latest(self.ctx) {
+                if cp.pc >= last_good.0 {
+                    self.telemetry.restores += 1;
+                    return (cp.pc, cp.state);
+                }
+            }
+        }
+        last_good.clone()
+    }
+
+    /// Validates and durably writes a checkpoint. A state that fails
+    /// validation is *not* written (the previous slots stay intact) —
+    /// the caller sees the validation error through the normal fault path.
+    fn persist(&mut self, pc: u64, state: &WorkState) -> FheResult<()> {
+        let store = self
+            .store
+            .as_mut()
+            .expect("persist is only called when checkpointing is configured");
+        let bytes = store.write(
+            self.ctx,
+            &Checkpoint {
+                pc,
+                state: state.clone(),
+            },
+        )?;
+        self.telemetry.checkpoints_written += 1;
+        self.telemetry.bytes_written += bytes;
+        Ok(())
+    }
+
+    /// Executes one micro-op.
+    fn exec_micro(&self, op: &PipelineOp, stage: usize, state: WorkState) -> FheResult<WorkState> {
+        // Bootstrap stages operate on (and may produce) a BootState; every
+        // other op needs a plain ciphertext.
+        if let PipelineOp::Bootstrap = op {
+            let booter = self.booter.ok_or(FheError::InvalidParams {
+                op: "executor",
+                reason: "bootstrap stage without a Bootstrapper".into(),
+            })?;
+            let boot_state = match (stage, state) {
+                (0, WorkState::Ct(ct)) => BootState::Start { ct },
+                (_, WorkState::Boot(s)) => *s,
+                (s, WorkState::Ct(_)) => {
+                    return Err(FheError::InvalidParams {
+                        op: "executor",
+                        reason: format!("bootstrap stage {s} reached with a plain ciphertext"),
+                    })
+                }
+            };
+            let next = booter.try_step(self.ctx, boot_state, self.keys)?;
+            return Ok(match next {
+                BootState::Done { ct } => WorkState::Ct(ct),
+                mid => WorkState::Boot(Box::new(mid)),
+            });
+        }
+
+        let ct = match state {
+            WorkState::Ct(ct) => ct,
+            WorkState::Boot(_) => {
+                return Err(FheError::InvalidParams {
+                    op: "executor",
+                    reason: format!("op {} reached mid-bootstrap", op.name()),
+                })
+            }
+        };
+        let out = match op {
+            PipelineOp::Square => self.ctx.try_square(&ct, self.keys.relin())?,
+            PipelineOp::Rescale => self.ctx.try_rescale(&ct)?,
+            PipelineOp::AddPlain(vals) => {
+                let p = self.ctx.encode(vals, ct.scale(), ct.level());
+                self.ctx.try_add_plain(&ct, &p)?
+            }
+            PipelineOp::MulPlainRescale(vals) => {
+                // Encode at exactly the dropped modulus' value so the
+                // rescale lands back on the original scale.
+                if ct.level() < 2 {
+                    return Err(FheError::LevelMismatch {
+                        op: "mul_plain_rescale",
+                        got: ct.level(),
+                        want: 2,
+                    });
+                }
+                let q_drop = self.ctx.rns().modulus_value((ct.level() - 1) as u32) as f64;
+                let p = self.ctx.encode(vals, q_drop, ct.level());
+                let prod = self.ctx.try_mul_plain(&ct, &p)?;
+                self.ctx.try_rescale(&prod)?
+            }
+            PipelineOp::Rotate(steps) => {
+                let key = self.keys.try_rot_key(*steps)?;
+                self.ctx.try_rotate(&ct, *steps, key)?
+            }
+            PipelineOp::Conjugate => self.ctx.try_conjugate(&ct, self.keys.conj())?,
+            PipelineOp::Bootstrap => unreachable!("handled above"),
+        };
+        Ok(WorkState::Ct(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cl_boot::Bootstrapper;
+    use cl_ckks::CkksParams;
+    use rand::SeedableRng;
+    use std::path::Path;
+
+    fn strict_ctx() -> CkksContext {
+        let params = CkksParams::builder()
+            .ring_degree(64)
+            .levels(6)
+            .special_limbs(6)
+            .limb_bits(45)
+            .scale_bits(40)
+            .build()
+            .unwrap();
+        CkksContext::new(params)
+            .unwrap()
+            .with_policy(GuardrailPolicy::Strict {
+                min_budget_bits: -60.0,
+            })
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("cl-exec-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn setup(
+        ctx: &CkksContext,
+        dir: &Path,
+        every: u64,
+    ) -> (cl_ckks::SecretKey, BootstrapKeys, Ciphertext, ExecutorConfig) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let sk = ctx.keygen_sparse(8, &mut rng);
+        let booter = Bootstrapper::new(ctx, 8);
+        let keys = booter.keygen(ctx, &sk, cl_ckks::KeySwitchKind::Standard, &mut rng);
+        let pt = ctx.encode(&[0.5, -0.25, 0.125], ctx.default_scale(), ctx.max_level());
+        let ct = ctx.encrypt(&pt, &sk, &mut rng);
+        let config = ExecutorConfig {
+            checkpoint_every: every,
+            max_retries: 8,
+            checkpoint_dir: Some(dir.to_path_buf()),
+        };
+        (sk, keys, ct, config)
+    }
+
+    #[test]
+    fn executor_requires_strict_policy() {
+        let params = CkksParams::builder()
+            .ring_degree(64)
+            .levels(3)
+            .special_limbs(3)
+            .limb_bits(40)
+            .scale_bits(32)
+            .build()
+            .unwrap();
+        let ctx = CkksContext::new(params).unwrap(); // Permissive
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let sk = ctx.keygen_sparse(8, &mut rng);
+        let booter = Bootstrapper::new(&ctx, 8);
+        let keys = booter.keygen(&ctx, &sk, cl_ckks::KeySwitchKind::Standard, &mut rng);
+        let err = PipelineExecutor::new(&ctx, &keys, ExecutorConfig::default()).err();
+        assert!(matches!(err, Some(FheError::InvalidParams { .. })));
+    }
+
+    #[test]
+    fn clean_run_matches_direct_evaluation() {
+        let ctx = strict_ctx();
+        let dir = tmpdir("clean");
+        let (_sk, keys, ct, config) = setup(&ctx, &dir, 2);
+        let program = Program::new()
+            .then(PipelineOp::Square)
+            .then(PipelineOp::Rescale)
+            .then(PipelineOp::AddPlain(vec![0.1, 0.2, 0.3]))
+            .then(PipelineOp::Rotate(1))
+            .then(PipelineOp::Conjugate);
+
+        let mut exec = PipelineExecutor::new(&ctx, &keys, config).unwrap();
+        let out = match exec.run(&ct, &program).unwrap() {
+            RunOutcome::Completed(ct) => ct,
+            RunOutcome::Crashed => panic!("no fault plan attached"),
+        };
+
+        // Direct evaluation with the same ops must agree bit-for-bit.
+        let sq = ctx.try_square(&ct, keys.relin()).unwrap();
+        let rs = ctx.try_rescale(&sq).unwrap();
+        let p = ctx.encode(&[0.1, 0.2, 0.3], rs.scale(), rs.level());
+        let added = ctx.try_add_plain(&rs, &p).unwrap();
+        let rot = ctx
+            .try_rotate(&added, 1, keys.try_rot_key(1).unwrap())
+            .unwrap();
+        let expect = ctx.try_conjugate(&rot, keys.conj()).unwrap();
+        assert_eq!(out, expect);
+
+        let t = exec.telemetry();
+        assert_eq!(t.faults_detected, 0);
+        assert_eq!(t.ops_executed, 5);
+        // pc 2, 4, and the end (5).
+        assert_eq!(t.checkpoints_written, 3);
+        assert!(t.bytes_written > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_flips_are_detected_and_retried_to_the_clean_result() {
+        let ctx = strict_ctx();
+        let dir_clean = tmpdir("flips-clean");
+        let dir_faulty = tmpdir("flips-faulty");
+        let (_sk, keys, ct, config) = setup(&ctx, &dir_clean, 2);
+        let program = Program::new()
+            .then(PipelineOp::Square)
+            .then(PipelineOp::Rescale)
+            .then(PipelineOp::Square)
+            .then(PipelineOp::Rescale)
+            .then(PipelineOp::AddPlain(vec![1.0]));
+
+        let mut clean = PipelineExecutor::new(&ctx, &keys, config.clone()).unwrap();
+        let want = match clean.run(&ct, &program).unwrap() {
+            RunOutcome::Completed(c) => c,
+            RunOutcome::Crashed => unreachable!(),
+        };
+
+        let mut faulty_config = config;
+        faulty_config.checkpoint_dir = Some(dir_faulty.clone());
+        let mut faulty = PipelineExecutor::new(&ctx, &keys, faulty_config).unwrap();
+        faulty.set_fault_plan(FaultPlan::new(0xC0FFEE, 0.45));
+        let got = match faulty.run(&ct, &program).unwrap() {
+            RunOutcome::Completed(c) => c,
+            RunOutcome::Crashed => unreachable!("no kill points in this plan"),
+        };
+        assert_eq!(got, want, "recovered run must be bit-identical");
+        let t = faulty.telemetry();
+        assert!(t.faults_injected > 0, "plan at 30% should fire: {t:?}");
+        assert!(t.faults_detected >= t.faults_injected);
+        assert!(t.retries >= 1);
+        let _ = std::fs::remove_dir_all(&dir_clean);
+        let _ = std::fs::remove_dir_all(&dir_faulty);
+    }
+
+    #[test]
+    fn kill_point_crashes_and_resume_completes_from_disk() {
+        let ctx = strict_ctx();
+        let dir = tmpdir("kill");
+        let (_sk, keys, ct, config) = setup(&ctx, &dir, 1);
+        let program = Program::new()
+            .then(PipelineOp::Square)
+            .then(PipelineOp::Rescale)
+            .then(PipelineOp::Square)
+            .then(PipelineOp::Rescale);
+
+        let dir_clean = tmpdir("kill-clean");
+        let mut clean_config = config.clone();
+        clean_config.checkpoint_dir = Some(dir_clean.clone());
+        let mut clean = PipelineExecutor::new(&ctx, &keys, clean_config).unwrap();
+        let want = match clean.run(&ct, &program).unwrap() {
+            RunOutcome::Completed(c) => c,
+            RunOutcome::Crashed => unreachable!(),
+        };
+
+        let mut exec = PipelineExecutor::new(&ctx, &keys, config).unwrap();
+        exec.set_fault_plan(FaultPlan::new(7, 0.0).with_kill_point(2));
+        assert!(matches!(
+            exec.run(&ct, &program).unwrap(),
+            RunOutcome::Crashed
+        ));
+        assert_eq!(exec.telemetry().crashes, 1);
+
+        // The resumed run must pick up the pc=2 checkpoint, not restart.
+        let got = match exec.resume(&ct, &program).unwrap() {
+            RunOutcome::Completed(c) => c,
+            RunOutcome::Crashed => panic!("kill point already consumed"),
+        };
+        assert_eq!(got, want);
+        let t = exec.telemetry();
+        assert!(t.restores >= 1, "resume must load the durable checkpoint");
+        assert_eq!(t.ops_executed, 4, "2 before the crash + 2 after resume");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&dir_clean);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_surfaces_the_fault() {
+        let ctx = strict_ctx();
+        let dir = tmpdir("budget");
+        let (_sk, keys, ct, mut config) = setup(&ctx, &dir, 0);
+        config.checkpoint_dir = None;
+        config.max_retries = 2;
+        let program = Program::new().then(PipelineOp::Square);
+        let mut exec = PipelineExecutor::new(&ctx, &keys, config).unwrap();
+        // Flip on (essentially) every op: each retry is re-corrupted, so
+        // the budget must run out and the underlying fault must surface.
+        exec.set_fault_plan(FaultPlan::new(3, 0.999));
+        let err = exec.run(&ct, &program);
+        assert!(err.is_err(), "retry budget of 2 cannot beat a 99.9% rate");
+        assert_eq!(exec.telemetry().retries, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

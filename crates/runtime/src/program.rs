@@ -1,0 +1,147 @@
+//! Declared pipelines: the unit of work the executor runs and checkpoints.
+
+use cl_boot::BootState;
+
+/// One homomorphic operation in a declared pipeline.
+///
+/// Ops are deterministic (no randomness), so re-executing a suffix after a
+/// checkpoint restore reproduces bit-identical results — the property the
+/// recovery loop's convergence proof rests on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineOp {
+    /// Homomorphic squaring (relinearized with the bundle's relin key).
+    Square,
+    /// Rescale: drop one modulus, dividing the scale by it.
+    Rescale,
+    /// Add an encoded plaintext vector (at the ciphertext's scale/level).
+    AddPlain(Vec<f64>),
+    /// Multiply by an encoded plaintext vector and rescale. The plaintext
+    /// is encoded at exactly the dropped modulus' scale, so the
+    /// ciphertext scale is preserved.
+    MulPlainRescale(Vec<f64>),
+    /// Rotate slots by the given step (needs a matching rotation key).
+    Rotate(i64),
+    /// Complex-conjugate the slots.
+    Conjugate,
+    /// Full bootstrap, expanded into [`BootState::NUM_STAGES`] micro-ops
+    /// so a crash mid-bootstrap resumes at a stage boundary.
+    Bootstrap,
+}
+
+impl PipelineOp {
+    /// How many checkpointable micro-ops this op expands to.
+    pub fn micro_ops(&self) -> usize {
+        match self {
+            PipelineOp::Bootstrap => BootState::NUM_STAGES,
+            _ => 1,
+        }
+    }
+
+    /// Short name for telemetry and errors.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PipelineOp::Square => "square",
+            PipelineOp::Rescale => "rescale",
+            PipelineOp::AddPlain(_) => "add_plain",
+            PipelineOp::MulPlainRescale(_) => "mul_plain_rescale",
+            PipelineOp::Rotate(_) => "rotate",
+            PipelineOp::Conjugate => "conjugate",
+            PipelineOp::Bootstrap => "bootstrap",
+        }
+    }
+}
+
+/// A declared sequence of pipeline ops.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    ops: Vec<PipelineOp>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a program from an op list.
+    pub fn from_ops(ops: Vec<PipelineOp>) -> Self {
+        Self { ops }
+    }
+
+    /// Appends an op (builder style).
+    #[must_use]
+    pub fn then(mut self, op: PipelineOp) -> Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// Appends `n` repetitions of `op` (builder style).
+    #[must_use]
+    pub fn then_repeat(mut self, op: PipelineOp, n: usize) -> Self {
+        for _ in 0..n {
+            self.ops.push(op.clone());
+        }
+        self
+    }
+
+    /// The op list.
+    pub fn ops(&self) -> &[PipelineOp] {
+        &self.ops
+    }
+
+    /// Number of declared ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Whether the program contains a bootstrap (and therefore needs a
+    /// [`cl_boot::Bootstrapper`]).
+    pub fn needs_bootstrapper(&self) -> bool {
+        self.ops.iter().any(|op| matches!(op, PipelineOp::Bootstrap))
+    }
+
+    /// Total micro-op count (ops with bootstraps expanded into stages) —
+    /// the unit of the executor's program counter and checkpoint cadence.
+    pub fn num_micro_ops(&self) -> usize {
+        self.ops.iter().map(PipelineOp::micro_ops).sum()
+    }
+
+    /// Flattens the program into `(op index, stage within op)` pairs, one
+    /// per micro-op. The micro program counter indexes this list.
+    pub fn micro_schedule(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(self.num_micro_ops());
+        for (i, op) in self.ops.iter().enumerate() {
+            for s in 0..op.micro_ops() {
+                out.push((i, s));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_schedule_expands_bootstraps() {
+        let p = Program::new()
+            .then(PipelineOp::Square)
+            .then(PipelineOp::Bootstrap)
+            .then(PipelineOp::Rescale);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.num_micro_ops(), 2 + BootState::NUM_STAGES);
+        let sched = p.micro_schedule();
+        assert_eq!(sched[0], (0, 0));
+        assert_eq!(sched[1], (1, 0));
+        assert_eq!(sched[BootState::NUM_STAGES], (1, BootState::NUM_STAGES - 1));
+        assert_eq!(sched[BootState::NUM_STAGES + 1], (2, 0));
+        assert!(p.needs_bootstrapper());
+        assert!(!Program::new().then(PipelineOp::Square).needs_bootstrapper());
+    }
+}

@@ -124,5 +124,20 @@ for k, ref in sorted(recorded.items()):
 if failures:
     sys.exit(f"bench check: kernels regressed >25% vs recorded baseline: {failures}")
 print("bench check: no kernel regressed >25% vs recorded baseline: OK")
+
+# Checkpointing must stay cheap: the pipeline_checkpoint kernel (durable
+# checkpoint every 4 micro-ops) may cost at most ~10% over the identical
+# pipeline with checkpoints disabled.
+CKPT_OVERHEAD = 1.10
+base, ckpt = current.get("pipeline_baseline"), current.get("pipeline_checkpoint")
+if base and ckpt:
+    ratio = ckpt / base
+    print(f"bench check: checkpoint overhead {ratio:.3f}x "
+          f"({base/1e6:.2f} ms -> {ckpt/1e6:.2f} ms)")
+    if ratio > CKPT_OVERHEAD:
+        sys.exit(f"bench check: checkpointing overhead {ratio:.2f}x exceeds "
+                 f"{CKPT_OVERHEAD:.2f}x budget")
+else:
+    sys.exit("bench check: pipeline_baseline/pipeline_checkpoint kernels missing")
 EOF
 fi

@@ -3,10 +3,13 @@
 #
 #  1. Release build of the whole workspace.
 #  2. Full test suite.
-#  3. Lint gate on the cl-ckks / cl-boot *library* targets: warnings are
-#     errors and bare `unwrap()` is banned (tests and binaries are exempt —
-#     library code must name the violated invariant via `expect` or
-#     propagate with `?`/`FheResult`).
+#  3. Fault-recovery smoke: a bootstrapped pipeline under a fixed-seed
+#     fault plan must converge, with >= 1 recorded recovery, to the clean
+#     run's bit-identical output (examples/fault_recovery_smoke.rs).
+#  4. Lint gate on the library targets (math/rns/ckks/boot/runtime/apps/
+#     baselines): warnings are errors and bare `unwrap()` is banned (tests
+#     and binaries are exempt — library code must name the violated
+#     invariant via `expect` or propagate with `?`/`FheResult`).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,8 +25,12 @@ echo "== tier-1: bench harness smoke =="
 # single-iteration smoke timings are too noisy to gate on).
 scripts/bench.sh --smoke --check
 
+echo "== tier-1: fault-recovery smoke =="
+cargo run --release --example fault_recovery_smoke
+
 echo "== tier-1: lint gate (library targets) =="
-cargo clippy -p cl-ckks -p cl-boot -p cl-apps -p cl-baselines --lib --no-deps -- \
+cargo clippy -p cl-math -p cl-rns -p cl-ckks -p cl-boot -p cl-runtime \
+    -p cl-apps -p cl-baselines --lib --no-deps -- \
     -D warnings -D clippy::unwrap_used
 
 echo "tier-1 verify: OK"

@@ -10,6 +10,7 @@
 //! - [`rns`] — residue-number-system polynomials and fast base conversion
 //! - [`ckks`] — the CKKS FHE scheme with standard and boosted keyswitching
 //! - [`boot`] — packed CKKS bootstrapping (functional + analytic plan)
+//! - [`runtime`] — checkpoint/resume pipeline executor with fault recovery
 //! - [`isa`] — the HE dataflow IR and the paper's cost formulas
 //! - [`core`] — the CraterLake machine model (timing, energy, area)
 //! - [`compiler`] — lowering and static scheduling
@@ -34,3 +35,4 @@ pub use cl_core as core;
 pub use cl_isa as isa;
 pub use cl_math as math;
 pub use cl_rns as rns;
+pub use cl_runtime as runtime;

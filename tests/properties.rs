@@ -4,6 +4,7 @@
 //! data through the functional library must round-trip.
 
 use proptest::prelude::*;
+use rand::SeedableRng as _;
 
 use craterlake::baselines::craterlake_options;
 use craterlake::compiler::{compile_and_run, CompileOptions};
@@ -44,6 +45,59 @@ fn random_graph(ops: &[(u8, u8)], level: usize) -> HeGraph {
     let last = *pool.last().unwrap();
     g.output(last);
     g
+}
+
+/// Small context shared by the serialization properties: 4 levels so
+/// random ciphertext levels and digit counts have room to vary.
+fn serialization_ctx() -> craterlake::ckks::CkksContext {
+    use craterlake::ckks::{CkksContext, CkksParams};
+    let params = CkksParams::builder()
+        .ring_degree(128)
+        .levels(4)
+        .special_limbs(4)
+        .limb_bits(45)
+        .scale_bits(40)
+        .build()
+        .unwrap();
+    CkksContext::new(params).unwrap()
+}
+
+/// A load result counts as an integrity rejection only for the three
+/// serialization error variants — damage must be *diagnosed*, not just
+/// fail somehow.
+fn is_integrity_rejection<T>(r: &Result<T, craterlake::ckks::FheError>) -> bool {
+    use craterlake::ckks::FheError;
+    matches!(
+        r,
+        Err(FheError::Serialization { .. }
+            | FheError::ChecksumMismatch { .. }
+            | FheError::ParamsMismatch { .. })
+    )
+}
+
+/// Exhaustive companion to the sampled corruption property: *every* byte
+/// position of one ciphertext blob, flipped one at a time, must be
+/// rejected. This nails the sections random sampling rarely lands on
+/// (magic, version, reserved byte, the checksum fields themselves).
+#[test]
+fn every_single_byte_flip_of_a_ciphertext_blob_is_rejected() {
+    use rand::SeedableRng;
+    let ctx = serialization_ctx();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xD15C);
+    let sk = ctx.keygen(&mut rng);
+    let pt = ctx.encode(&[0.25, -0.75, 3.0], ctx.default_scale(), 2);
+    let ct = ctx.encrypt(&pt, &sk, &mut rng);
+    let blob = ctx.serialize_ciphertext(&ct);
+    for i in 0..blob.len() {
+        let mut bad = blob.clone();
+        bad[i] ^= 0x01;
+        let r = ctx.try_deserialize_ciphertext(&bad);
+        assert!(
+            is_integrity_rejection(&r),
+            "byte {i} of {} flipped without rejection",
+            blob.len()
+        );
+    }
 }
 
 proptest! {
@@ -134,6 +188,77 @@ proptest! {
         for (a, b) in back.iter().zip(&vals) {
             prop_assert!((a - b).abs() < 1e-3, "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn serialized_ciphertexts_roundtrip_bit_identically(
+        seed in any::<u64>(),
+        level in 1usize..5,
+    ) {
+        let ctx = serialization_ctx();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sk = ctx.keygen(&mut rng);
+        let vals: Vec<f64> = (0..32)
+            .map(|_| rand::Rng::gen_range(&mut rng, -10.0..10.0))
+            .collect();
+        let pt = ctx.encode(&vals, ctx.default_scale(), level);
+        let ct = ctx.encrypt(&pt, &sk, &mut rng);
+        let blob = ctx.serialize_ciphertext(&ct);
+        let back = ctx.try_deserialize_ciphertext(&blob).unwrap();
+        prop_assert_eq!(&back, &ct, "limb words, level, scale, and noise must survive");
+        // Re-serialization is byte-identical: the format has one encoding.
+        prop_assert_eq!(ctx.serialize_ciphertext(&back), blob);
+    }
+
+    #[test]
+    fn serialized_keyswitch_hints_roundtrip(
+        seed in any::<u64>(),
+        digits in 1usize..4,
+        standard in any::<bool>(),
+    ) {
+        use craterlake::ckks::KeySwitchKind;
+        let ctx = serialization_ctx();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sk = ctx.keygen(&mut rng);
+        let kind = if standard {
+            KeySwitchKind::Standard
+        } else {
+            KeySwitchKind::Boosted { digits }
+        };
+        let ksk = ctx.relin_keygen(&sk, kind, &mut rng);
+        let blob = ctx.serialize_keyswitch_key(&ksk);
+        let back = ctx.try_deserialize_keyswitch_key(&blob).unwrap();
+        prop_assert!(back.verify_integrity(), "regenerated hint must pass its digest");
+        prop_assert_eq!(ctx.serialize_keyswitch_key(&back), blob);
+    }
+
+    #[test]
+    fn corrupting_any_single_byte_of_a_blob_is_rejected(
+        seed in any::<u64>(),
+        ct_byte in any::<u64>(),
+        ksk_byte in any::<u64>(),
+    ) {
+        let ctx = serialization_ctx();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sk = ctx.keygen(&mut rng);
+        let pt = ctx.encode(&[1.5, -2.5], ctx.default_scale(), 2);
+        let ct = ctx.encrypt(&pt, &sk, &mut rng);
+        let mut blob = ctx.serialize_ciphertext(&ct);
+        let i = (ct_byte as usize) % blob.len();
+        blob[i] ^= 0x01;
+        prop_assert!(
+            is_integrity_rejection(&ctx.try_deserialize_ciphertext(&blob)),
+            "flipping ciphertext byte {i} was not rejected"
+        );
+
+        let ksk = ctx.relin_keygen(&sk, craterlake::ckks::KeySwitchKind::Standard, &mut rng);
+        let mut blob = ctx.serialize_keyswitch_key(&ksk);
+        let i = (ksk_byte as usize) % blob.len();
+        blob[i] ^= 0x01;
+        prop_assert!(
+            is_integrity_rejection(&ctx.try_deserialize_keyswitch_key(&blob)),
+            "flipping keyswitch-hint byte {i} was not rejected"
+        );
     }
 
     #[test]

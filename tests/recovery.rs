@@ -1,0 +1,209 @@
+//! Acceptance test for the checkpoint/resume runtime: a deep bootstrapped
+//! pipeline (16 multiplicative levels around one bootstrap) under a seeded
+//! fault plan — probabilistic bit flips plus one simulated process kill —
+//! must converge to the limb-bit-identical output of a fault-free run,
+//! with every injected fault detected and retried, and the same class of
+//! corruption rejected at load time by the wire format's checksum and
+//! fingerprint checks.
+
+use craterlake::boot::Bootstrapper;
+use craterlake::ckks::faults::FaultPlan;
+use craterlake::ckks::{
+    CkksContext, CkksParams, FheError, GuardrailPolicy, KeySwitchKind, SecretKey,
+};
+use craterlake::runtime::{ExecutorConfig, PipelineExecutor, PipelineOp, Program, RunOutcome};
+use rand::SeedableRng;
+
+fn deep_ctx() -> CkksContext {
+    let params = CkksParams::builder()
+        .ring_degree(64)
+        .levels(20)
+        .special_limbs(20)
+        .limb_bits(45)
+        .scale_bits(45)
+        .build()
+        .unwrap();
+    // Strict conformance validation is the fault detector; the budget
+    // floor sits below the deep chain's legitimate worst case at these
+    // test-scale parameters so it never false-positives.
+    CkksContext::new(params)
+        .unwrap()
+        .with_policy(GuardrailPolicy::Strict {
+            min_budget_bits: -5000.0,
+        })
+}
+
+/// 12 squaring levels, one bootstrap (5 checkpointable stages), 4 more
+/// squaring levels: 16 multiplicative levels, 37 micro-ops.
+fn deep_program() -> Program {
+    let mut p = Program::new();
+    for _ in 0..12 {
+        p = p.then(PipelineOp::Square).then(PipelineOp::Rescale);
+    }
+    p = p.then(PipelineOp::Bootstrap);
+    for _ in 0..4 {
+        p = p.then(PipelineOp::Square).then(PipelineOp::Rescale);
+    }
+    p
+}
+
+struct Fixture {
+    ctx: CkksContext,
+    sk: SecretKey,
+    booter: Bootstrapper,
+    keys: craterlake::boot::BootstrapKeys,
+}
+
+fn fixture() -> Fixture {
+    let ctx = deep_ctx();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xACCE);
+    let sk = ctx.keygen_sparse(8, &mut rng);
+    let booter = Bootstrapper::new(&ctx, 8);
+    let keys = booter.keygen(&ctx, &sk, KeySwitchKind::Boosted { digits: 1 }, &mut rng);
+    Fixture {
+        ctx,
+        sk,
+        booter,
+        keys,
+    }
+}
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("cl-recovery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn deep_faulty_pipeline_converges_bit_identically_after_crash_and_flips() {
+    let f = fixture();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xACCE + 1);
+    let pt = f
+        .ctx
+        .encode(&[0.9, -0.8, 0.7], f.ctx.default_scale(), f.ctx.max_level());
+    let ct = f.ctx.encrypt(&pt, &f.sk, &mut rng);
+    let program = deep_program();
+    assert_eq!(program.num_micro_ops(), 37);
+
+    // --- Fault-free reference run.
+    let dir_clean = tmpdir("clean");
+    let mut clean = PipelineExecutor::new(
+        &f.ctx,
+        &f.keys,
+        ExecutorConfig {
+            checkpoint_every: 4,
+            max_retries: 0,
+            checkpoint_dir: Some(dir_clean.clone()),
+        },
+    )
+    .unwrap()
+    .with_bootstrapper(&f.booter);
+    let expected = match clean.run(&ct, &program).unwrap() {
+        RunOutcome::Completed(out) => out,
+        RunOutcome::Crashed => unreachable!("no fault plan on the clean run"),
+    };
+    let tc = clean.telemetry();
+    assert_eq!(tc.faults_detected, 0);
+    assert_eq!(tc.ops_executed, 37);
+    assert!(tc.checkpoints_written >= 9, "every 4 ops plus completion");
+
+    // --- Faulty run: seeded bit flips plus one kill mid-bootstrap
+    // (micro-op 26 is bootstrap stage 2 of this program).
+    let dir_faulty = tmpdir("faulty");
+    let mut faulty = PipelineExecutor::new(
+        &f.ctx,
+        &f.keys,
+        ExecutorConfig {
+            checkpoint_every: 4,
+            max_retries: 32,
+            checkpoint_dir: Some(dir_faulty.clone()),
+        },
+    )
+    .unwrap()
+    .with_bootstrapper(&f.booter);
+    faulty.set_fault_plan(FaultPlan::new(0xBAD5EED, 0.08).with_kill_point(26));
+    let first = faulty.run(&ct, &program).unwrap();
+    assert!(
+        matches!(first, RunOutcome::Crashed),
+        "the kill point at micro-op 26 must fire"
+    );
+    assert_eq!(faulty.telemetry().crashes, 1);
+    let ops_before_crash = faulty.telemetry().ops_executed;
+    assert!(ops_before_crash >= 4, "crash came after real progress");
+
+    // Resume after the "process restart": only the durable checkpoints
+    // survive, and the run must finish from them.
+    let recovered = match faulty.resume(&ct, &program).unwrap() {
+        RunOutcome::Completed(out) => out,
+        RunOutcome::Crashed => panic!("the only kill point was already consumed"),
+    };
+
+    assert_eq!(
+        recovered, expected,
+        "recovered pipeline output must be limb-bit-identical to the clean run"
+    );
+
+    let t = faulty.telemetry();
+    assert!(t.faults_injected >= 2, "seeded plan must fire: {t:?}");
+    assert!(
+        t.faults_detected >= t.faults_injected,
+        "every injected fault must be detected: {t:?}"
+    );
+    assert!(t.retries >= t.faults_injected, "each detection retries: {t:?}");
+    assert!(t.restores >= 1, "resume must load a durable checkpoint: {t:?}");
+    assert!(t.checkpoints_written >= 9, "{t:?}");
+    assert!(t.bytes_written > 0, "{t:?}");
+    assert!(
+        t.ops_executed > ops_before_crash,
+        "resume continued, not restarted from scratch: {t:?}"
+    );
+
+    // Decrypting the recovered result agrees with the plaintext chain:
+    // ((0.9)^2)^2... — 16 squarings of values <1 underflow to ~0, so just
+    // check it decodes to finite values (bit-identity above is the real
+    // assertion; this guards against a "identical but garbage" regression
+    // in the harness itself).
+    let back = f.ctx.decode(&f.ctx.decrypt(&recovered, &f.sk), 4);
+    assert!(back.iter().all(|v| v.is_finite()));
+
+    let _ = std::fs::remove_dir_all(&dir_clean);
+    let _ = std::fs::remove_dir_all(&dir_faulty);
+}
+
+#[test]
+fn the_same_corruption_is_rejected_at_load_time() {
+    let f = fixture();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xACCE + 2);
+    let pt = f.ctx.encode(&[1.25, -0.5], f.ctx.default_scale(), 6);
+    let ct = f.ctx.encrypt(&pt, &f.sk, &mut rng);
+    let blob = f.ctx.serialize_ciphertext(&ct);
+
+    // The fault plan's in-memory corruption is a flipped limb word; the
+    // same flip applied to the serialized form must be caught by the
+    // per-limb checksum, not silently loaded.
+    let mut corrupt = blob.clone();
+    let word = blob.len() - 16; // inside the last limb's payload
+    corrupt[word] ^= 1 << 3;
+    match f.ctx.try_deserialize_ciphertext(&corrupt) {
+        Err(FheError::ChecksumMismatch { section, .. }) => {
+            assert!(section.contains("limb"), "section was {section:?}")
+        }
+        other => panic!("flipped limb word must fail the limb checksum, got {other:?}"),
+    }
+
+    // A context with a different moduli chain must reject the blob by
+    // fingerprint before touching the payload.
+    let other_params = CkksParams::builder()
+        .ring_degree(64)
+        .levels(20)
+        .special_limbs(20)
+        .limb_bits(44)
+        .scale_bits(40)
+        .build()
+        .unwrap();
+    let other_ctx = CkksContext::new(other_params).unwrap();
+    assert!(matches!(
+        other_ctx.try_deserialize_ciphertext(&blob),
+        Err(FheError::ParamsMismatch { .. })
+    ));
+}
