@@ -826,6 +826,7 @@ impl Bootstrapper {
         ct: &Ciphertext,
         keys: &BootstrapKeys,
     ) -> FheResult<Ciphertext> {
+        let _span = cl_trace::span("eval_mod");
         let two_pi = 2.0 * std::f64::consts::PI;
         let theta = two_pi / 2f64.powi(self.r as i32);
         // Taylor coefficients of exp(i·theta·y) in y.
@@ -969,6 +970,7 @@ impl Bootstrapper {
 
     /// Stage 1 — ModRaise: lift residues mod q0 to the full chain.
     fn step_mod_raise(&self, ctx: &CkksContext, ct: Ciphertext) -> FheResult<BootState> {
+        let _span = cl_trace::span("mod_raise");
         if matches!(ctx.policy(), GuardrailPolicy::AutoRescale) {
             return Err(FheError::InvalidParams {
                 op: "bootstrap",
@@ -1024,6 +1026,7 @@ impl Bootstrapper {
         orig_scale: f64,
         keys: &BootstrapKeys,
     ) -> FheResult<BootState> {
+        let _span = cl_trace::span("coeff_to_slot");
         let q0 = ctx.rns().modulus_value(0) as f64;
         // ---- CoeffToSlot: slots become u_j = c_j + i·c_{j+slots}, where c
         // are the raised polynomial's coefficients (value m·Δ + q0·I).
@@ -1063,6 +1066,7 @@ impl Bootstrapper {
         orig_scale: f64,
         keys: &BootstrapKeys,
     ) -> FheResult<BootState> {
+        let _span = cl_trace::span("slot_to_coeff");
         let q0 = ctx.rns().modulus_value(0) as f64;
         let slots = ctx.params().slots();
         // Recombine: m = m_re + i·m_im.
@@ -1113,6 +1117,7 @@ impl Bootstrapper {
         ct: &Ciphertext,
         keys: &BootstrapKeys,
     ) -> FheResult<Ciphertext> {
+        let _span = cl_trace::span("bootstrap");
         let mut state = BootState::Start { ct: ct.clone() };
         for _ in 0..BootState::NUM_STAGES {
             state = self.try_step(ctx, state, keys)?;

@@ -193,6 +193,7 @@ impl CkksContext {
     /// [`FheError::LevelMismatch`] when the plaintext's level differs,
     /// plus any guardrail failure.
     pub fn try_mul_plain(&self, a: &Ciphertext, p: &Plaintext) -> FheResult<Ciphertext> {
+        cl_trace::record_pt_mult();
         self.guard_operands("mul_plain", &[a])?;
         if a.level != p.level {
             return Err(FheError::LevelMismatch {
@@ -276,6 +277,7 @@ impl CkksContext {
         b: &Ciphertext,
         relin_key: &KeySwitchKey,
     ) -> FheResult<Ciphertext> {
+        cl_trace::record_ct_mult();
         self.guard_operands("mul", &[a, b])?;
         self.guard_key("mul", relin_key)?;
         let (a, b) = self.align_levels(a, b);
@@ -324,6 +326,7 @@ impl CkksContext {
     ///
     /// Same contract as [`CkksContext::try_mul`].
     pub fn try_square(&self, a: &Ciphertext, relin_key: &KeySwitchKey) -> FheResult<Ciphertext> {
+        cl_trace::record_ct_mult();
         self.guard_operands("square", &[a])?;
         self.guard_key("square", relin_key)?;
         let rns = self.rns();
@@ -360,6 +363,7 @@ impl CkksContext {
     /// [`FheError::InvalidParams`] at level 1 (no modulus left to drop),
     /// plus any guardrail failure.
     pub fn try_rescale(&self, a: &Ciphertext) -> FheResult<Ciphertext> {
+        let _span = cl_trace::span("rescale");
         self.guard_operands("rescale", &[a])?;
         if a.level < 2 {
             return Err(FheError::InvalidParams {
@@ -496,6 +500,8 @@ impl CkksContext {
         g: u64,
         key: &KeySwitchKey,
     ) -> FheResult<Ciphertext> {
+        let _span = cl_trace::span("rotate");
+        cl_trace::record_rotation();
         self.guard_operands(op, &[a])?;
         self.guard_key(op, key)?;
         let rns = self.rns();
@@ -562,6 +568,7 @@ impl CkksContext {
             .iter()
             .zip(keys)
             .map(|(&k, key)| {
+                cl_trace::record_rotation();
                 let g = cl_math::galois_element_for_rotation(k, n);
                 let (ks0, ks1) = dec.apply_galois(self, g, key)?;
                 let out = Ciphertext {
@@ -633,6 +640,7 @@ impl CkksContext {
                     what: format!("rotation key for step {k}"),
                 });
             };
+            cl_trace::record_rotation();
             let g = cl_math::galois_element_for_rotation(k, n);
             let dec = self.hoist_impl(OP, &ct.c1, key.kind())?;
             let (e0, e1) = dec.apply_galois_ext(self, g, key)?;

@@ -196,6 +196,7 @@ impl CkksContext {
         c: &RnsPoly,
         ksk: &KeySwitchKey,
     ) -> FheResult<(RnsPoly, RnsPoly)> {
+        let _span = cl_trace::span("keyswitch");
         self.guard_key("keyswitch", ksk)?;
         let dec = self.hoist_impl("keyswitch", c, ksk.kind)?;
         let (acc0, acc1) = dec.inner_product(self, None, ksk);
@@ -287,14 +288,22 @@ impl CkksContext {
                 );
                 let c_d = rns.restrict(&c_coeff, &digit_basis);
                 // ModUp: fast base conversion to the rest of the target basis
-                // (this is the changeRNSBase of Listing 1, line 3).
+                // (this is the changeRNSBase of Listing 1, line 3). Only the
+                // converted extension limbs need a forward NTT: the digit's
+                // own limbs are copied from the original NTT-form input —
+                // the INTT→NTT roundtrip is exact, so this is bit-identical
+                // and brings the ModUp NTT count down to the paper's t·L.
                 let mut c_full = rns.zero(&target);
                 if !ext_basis.is_empty() {
                     let conv = self.converter(&digit_basis, &ext_basis);
-                    let c_ext = conv.convert(rns, &c_d);
+                    let mut c_ext = conv.convert(rns, &c_d);
+                    rns.to_ntt(&mut c_ext);
                     for (pos, &limb) in target.0.iter().enumerate() {
-                        let src = if let Some(k) = digit_basis.0.iter().position(|&l| l == limb) {
-                            c_d.limb(k)
+                        let src = if digit_basis.0.contains(&limb) {
+                            let k = qb.0.iter().position(|&l| l == limb).expect(
+                                "every digit limb lies in the level-L prefix basis",
+                            );
+                            c.limb(k)
                         } else {
                             let k = ext_basis.0.iter().position(|&l| l == limb).expect(
                                 "target basis is the disjoint union of digit and extension bases",
@@ -305,15 +314,15 @@ impl CkksContext {
                     }
                 } else {
                     for (pos, &limb) in target.0.iter().enumerate() {
-                        let k = digit_basis
+                        let k = qb
                             .0
                             .iter()
                             .position(|&l| l == limb)
                             .expect("with no extension basis the digit basis covers the target");
-                        c_full.limb_mut(pos).copy_from_slice(c_d.limb(k));
+                        c_full.limb_mut(pos).copy_from_slice(c.limb(k));
                     }
                 }
-                rns.to_ntt(&mut c_full);
+                c_full.set_ntt_form(true);
                 Some(c_full)
             })
             .collect();

@@ -1,7 +1,7 @@
 //! Scheduling: drives the machine through a graph in order, with next-use
 //! chains for Belady residency and per-level keyswitch-variant selection.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use cl_ckks::security::{min_digits_for_level, SecurityLevel};
 use cl_core::{ArchConfig, Machine, Stats, ValueClass};
@@ -143,7 +143,7 @@ pub fn compile_and_run(graph: &HeGraph, arch: &ArchConfig, opts: &CompileOptions
     // ---- Pass 2: declare values and execute in order.
     let mut machine = Machine::new(arch.clone());
     // Hint sizes: seeded (KSHGen) hints store only half.
-    let mut declared_ksh: HashMap<ValueId, bool> = HashMap::new();
+    let mut declared_ksh: HashSet<ValueId> = HashSet::new();
     let ct_words = |level: usize| 2 * level as u64 * n as u64;
     for &id in &order {
         let node = graph.node(id);
@@ -158,7 +158,7 @@ pub fn compile_and_run(graph: &HeGraph, arch: &ArchConfig, opts: &CompileOptions
         };
         machine.declare(node_value(id), words, class);
         if let Some(&ksh) = ksh_of_node.get(&id.0) {
-            if !declared_ksh.contains_key(&ksh) {
+            if declared_ksh.insert(ksh) {
                 // Size the hint for the highest level it serves; uses at
                 // lower levels read a subset of the same object.
                 let lmax = ksh_max_level[&ksh] as u64;
@@ -175,7 +175,6 @@ pub fn compile_and_run(graph: &HeGraph, arch: &ArchConfig, opts: &CompileOptions
                     }
                 };
                 machine.declare(ksh, ksh_words, ValueClass::Backed(TrafficClass::Ksh));
-                declared_ksh.insert(ksh, true);
             }
         }
     }

@@ -153,13 +153,16 @@ impl Machine {
                     };
                     score(a)
                         .partial_cmp(&score(b))
-                        .unwrap()
+                        .expect("eviction scores are distances or +inf, never NaN")
                         .then(a.words.cmp(&b.words))
                 })
                 .map(|(id, _)| *id)
                 .expect("capacity exceeded but nothing resident");
             let (words, class) = {
-                let v = self.values.get_mut(&victim).unwrap();
+                let v = self
+                    .values
+                    .get_mut(&victim)
+                    .expect("eviction victim was selected from the value table");
                 v.resident = false;
                 (v.words, v.class)
             };
@@ -190,7 +193,10 @@ impl Machine {
             (v.resident, v.words, v.class, v.ready, v.materialized)
         };
         if resident {
-            let v = self.values.get_mut(&id).unwrap();
+            let v = self
+                .values
+                .get_mut(&id)
+                .expect("value was just read from the table");
             v.next_use = next_use;
             return ready;
         }
@@ -212,7 +218,10 @@ impl Machine {
         let done = self.hbm_free + dma_cycles;
         self.hbm_free = done;
         self.stats.hbm_busy += dma_cycles;
-        let v = self.values.get_mut(&id).unwrap();
+        let v = self
+            .values
+            .get_mut(&id)
+            .expect("value was just read from the table");
         v.resident = true;
         v.ready = done;
         v.next_use = next_use;
@@ -319,7 +328,10 @@ impl Machine {
         *self.stats.phase_cycles.entry(label).or_insert(0.0) += dur;
         // 4. Record outputs.
         for &(id, first_use) in writes {
-            let v = self.values.get_mut(&id).unwrap();
+            let v = self
+                .values
+                .get_mut(&id)
+                .expect("write target must be declared before execution");
             if !v.resident {
                 v.resident = true;
                 self.resident_words += v.words;

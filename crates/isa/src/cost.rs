@@ -19,7 +19,18 @@ pub struct OpCounts {
 impl OpCounts {
     /// Scalar multiplications for ring degree `n` (NTTs cost
     /// `(n/2)·log2(n)` butterflies, one multiply each).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n` is a power of two: negacyclic NTTs only exist for
+    /// power-of-two ring degrees, and the butterfly count `(n/2)·log2(n)`
+    /// is meaningless otherwise (`trailing_zeros` would silently
+    /// undercount).
     pub fn scalar_muls(&self, n: usize) -> u64 {
+        assert!(
+            n.is_power_of_two(),
+            "ring degree must be a power of two, got {n}"
+        );
         let ntt_muls = (n as u64 / 2) * (n.trailing_zeros() as u64);
         self.mult * n as u64 + self.ntt * ntt_muls
     }
@@ -134,7 +145,13 @@ pub fn boosted_crossover_level(n: usize) -> usize {
 /// Residue-polynomial passes of auxiliary (non-keyswitch) work in one
 /// homomorphic multiplication at budget `l`: the tensor products and the
 /// rescale.
+///
+/// # Panics
+///
+/// Panics when `l = 0`: a multiplication needs at least one limb, and the
+/// rescale term `2(l-1)` would otherwise underflow.
 pub fn mul_aux_ops(l: usize) -> OpCounts {
+    assert!(l >= 1, "multiplicative budget must be >= 1, got 0");
     let l = l as u64;
     OpCounts {
         // Tensor: 4 limb-wise products (d0, two cross terms, d2) plus the
@@ -270,6 +287,35 @@ mod tests {
         };
         // n=16: 2*16 + 1*(8*4) = 64.
         assert_eq!(c.scalar_muls(16), 64);
+    }
+
+    #[test]
+    fn mul_aux_is_defined_down_to_one_limb() {
+        // l=1: tensor still runs; the rescale terms 2(l-1) vanish.
+        let c = mul_aux_ops(1);
+        assert_eq!(c.mult, 4);
+        assert_eq!(c.add, 3);
+        assert_eq!(c.ntt, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget must be >= 1")]
+    fn mul_aux_rejects_zero_limbs() {
+        // Regression: l=0 used to underflow `l - 1` in release-mode wrapping
+        // (and panic only in debug) instead of reporting the misuse.
+        let _ = mul_aux_ops(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn scalar_muls_rejects_non_power_of_two_degree() {
+        // Regression: trailing_zeros(24) = 3 silently stood in for log2.
+        let c = OpCounts {
+            mult: 1,
+            add: 1,
+            ntt: 1,
+        };
+        let _ = c.scalar_muls(24);
     }
 
     #[test]

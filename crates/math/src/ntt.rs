@@ -166,6 +166,7 @@ impl NttTable {
     /// Panics if `a.len() != self.n()`.
     pub fn forward(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "polynomial length mismatch");
+        cl_trace::record_ntt(1, self.n);
         let m = &self.modulus;
         let two_q = m.two_q();
         let n = self.n;
@@ -210,6 +211,7 @@ impl NttTable {
     /// Panics if `a.len() != self.n()`.
     pub fn forward_strict(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "polynomial length mismatch");
+        cl_trace::record_ntt(1, self.n);
         let m = &self.modulus;
         let n = self.n;
         let mut t = n;
@@ -246,6 +248,7 @@ impl NttTable {
     /// Panics if `a.len() != self.n()`.
     pub fn inverse(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "polynomial length mismatch");
+        cl_trace::record_intt(1, self.n);
         let m = &self.modulus;
         let q = m.value();
         let two_q = m.two_q();
@@ -298,6 +301,7 @@ impl NttTable {
     /// Panics if `a.len() != self.n()`.
     pub fn inverse_strict(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "polynomial length mismatch");
+        cl_trace::record_intt(1, self.n);
         let m = &self.modulus;
         let n = self.n;
         let mut t = 1usize;
@@ -331,6 +335,7 @@ impl NttTable {
     pub fn pointwise_mul(&self, a: &mut [u64], b: &[u64]) {
         assert_eq!(a.len(), self.n);
         assert_eq!(b.len(), self.n);
+        cl_trace::record_mult(1, self.n);
         for (x, &y) in a.iter_mut().zip(b) {
             *x = self.modulus.mul(*x, y);
         }

@@ -126,6 +126,17 @@ impl BaseConverter {
         );
         let n = poly.n();
         let l_src = self.src.len();
+        let l_dst = self.dst.len();
+        // The y-scaling pass is an element-wise mult per source limb; the
+        // inner-product matrix is the CRB unit's workload (one pass per
+        // (src, dst) limb pair); the exact correction is a fused mult+sub
+        // per destination limb.
+        cl_trace::record_mult(l_src as u64, n);
+        cl_trace::record_base_conv((l_src * l_dst) as u64, n);
+        if exact {
+            cl_trace::record_mult(l_dst as u64, n);
+            cl_trace::record_add(l_dst as u64, n);
+        }
         // Both temporaries come from the thread-local scratch pool: the
         // punctured-product matrix `y` and the alpha row are the allocation
         // hot spots of every keyswitch and rescale.

@@ -348,6 +348,7 @@ impl RnsContext {
     /// Panics if bases or domains differ.
     pub fn add_assign(&self, a: &mut RnsPoly, b: &RnsPoly) {
         self.check_compatible(a, b);
+        cl_trace::record_add(a.basis().len() as u64, self.n);
         self.par_limbs(a, |k, limb, data| {
             let m = self.modulus_structs[limb as usize];
             for (x, &y) in data.iter_mut().zip(b.limb(k)) {
@@ -374,6 +375,7 @@ impl RnsContext {
     /// Panics if bases or domains differ.
     pub fn sub_assign(&self, a: &mut RnsPoly, b: &RnsPoly) {
         self.check_compatible(a, b);
+        cl_trace::record_add(a.basis().len() as u64, self.n);
         self.par_limbs(a, |k, limb, data| {
             let m = self.modulus_structs[limb as usize];
             for (x, &y) in data.iter_mut().zip(b.limb(k)) {
@@ -391,6 +393,7 @@ impl RnsContext {
 
     /// In-place element-wise negation.
     pub fn neg_assign(&self, a: &mut RnsPoly) {
+        cl_trace::record_add(a.basis().len() as u64, self.n);
         self.par_limbs(a, |_, limb, data| {
             let m = self.modulus_structs[limb as usize];
             for x in data.iter_mut() {
@@ -420,6 +423,7 @@ impl RnsContext {
     pub fn mul_assign(&self, a: &mut RnsPoly, b: &RnsPoly) {
         self.check_compatible(a, b);
         assert!(a.ntt_form(), "polynomial product requires NTT form");
+        cl_trace::record_mult(a.basis().len() as u64, self.n);
         self.par_limbs(a, |k, limb, data| {
             let m = self.modulus_structs[limb as usize];
             for (x, &y) in data.iter_mut().zip(b.limb(k)) {
@@ -437,6 +441,8 @@ impl RnsContext {
         self.check_compatible(a, b);
         self.check_compatible(acc, a);
         assert!(acc.ntt_form(), "mul_acc requires NTT form");
+        cl_trace::record_mult(acc.basis().len() as u64, self.n);
+        cl_trace::record_add(acc.basis().len() as u64, self.n);
         self.par_limbs(acc, |k, limb, data| {
             let m = self.modulus_structs[limb as usize];
             let (a_limb, b_limb) = (a.limb(k), b.limb(k));
@@ -458,6 +464,8 @@ impl RnsContext {
     pub fn mul_acc_superset(&self, acc: &mut RnsPoly, a: &RnsPoly, b: &RnsPoly) {
         self.check_compatible(acc, a);
         assert!(acc.ntt_form() && b.ntt_form(), "mul_acc requires NTT form");
+        cl_trace::record_mult(acc.basis().len() as u64, self.n);
+        cl_trace::record_add(acc.basis().len() as u64, self.n);
         let b_basis = &b.basis().0;
         self.par_limbs(acc, |k, limb, data| {
             let m = self.modulus_structs[limb as usize];
@@ -494,6 +502,9 @@ impl RnsContext {
     ) {
         self.check_compatible(acc, a);
         assert!(acc.ntt_form() && b.ntt_form(), "mul_acc requires NTT form");
+        cl_trace::record_mult(acc.basis().len() as u64, self.n);
+        cl_trace::record_add(acc.basis().len() as u64, self.n);
+        cl_trace::record_automorph(acc.basis().len() as u64, self.n);
         let table = cl_math::AutomorphismTable::cached(self.n, galois);
         let perm = table.permutation();
         let b_basis = &b.basis().0;
@@ -539,6 +550,11 @@ impl RnsContext {
             acc0.ntt_form() && acc1.ntt_form() && b0.ntt_form() && b1.ntt_form(),
             "mul_acc requires NTT form"
         );
+        cl_trace::record_mult(2 * acc0.basis().len() as u64, self.n);
+        cl_trace::record_add(2 * acc0.basis().len() as u64, self.n);
+        if galois.is_some() {
+            cl_trace::record_automorph(acc0.basis().len() as u64, self.n);
+        }
         let table = galois.map(|g| cl_math::AutomorphismTable::cached(self.n, g));
         let n = self.n;
         let b0_basis = &b0.basis().0;
@@ -597,6 +613,7 @@ impl RnsContext {
 
     /// In-place scalar multiplication.
     pub fn scalar_mul_assign(&self, a: &mut RnsPoly, s: u64) {
+        cl_trace::record_mult(a.basis().len() as u64, self.n);
         self.par_limbs(a, |_, limb, data| {
             let m = self.modulus_structs[limb as usize];
             let s_red = m.reduce(s);
@@ -621,6 +638,7 @@ impl RnsContext {
     /// Panics if `consts.len()` differs from the number of limbs.
     pub fn scalar_mul_per_limb_assign(&self, a: &mut RnsPoly, consts: &[u64]) {
         assert_eq!(consts.len(), a.basis().len());
+        cl_trace::record_mult(a.basis().len() as u64, self.n);
         self.par_limbs(a, |k, limb, data| {
             let m = self.modulus_structs[limb as usize];
             for x in data.iter_mut() {

@@ -36,6 +36,13 @@ pub fn with_scratch<R>(len: usize, f: impl FnOnce(&mut Vec<u64>) -> R) -> R {
     POOL.with(|p| {
         let mut pool = p.borrow_mut();
         if pool.len() < MAX_POOLED {
+            // Re-trim before pooling: a closure that grew the vector beyond
+            // the requested length must not pin that larger allocation in
+            // the pool for the rest of the thread's life. Capacity that
+            // came from the request itself (`len`) is kept — that is the
+            // reuse the pool exists for.
+            buf.truncate(len);
+            buf.shrink_to(len);
             pool.push(buf);
         }
     });
@@ -68,6 +75,22 @@ mod tests {
                 inner[0] = 2;
             });
             assert_eq!(outer[0], 1);
+        });
+    }
+
+    #[test]
+    fn closure_grown_capacity_is_not_retained() {
+        // Regression: a closure that grows its buffer far beyond the
+        // requested length used to pin that allocation in the pool forever.
+        with_scratch(8, |b| {
+            b.resize(1 << 20, 0);
+        });
+        with_scratch(8, |b| {
+            assert!(
+                b.capacity() < 1 << 20,
+                "pool retained a closure-grown {}-word buffer for an 8-word request",
+                b.capacity()
+            );
         });
     }
 

@@ -60,6 +60,12 @@ pub struct RecoveryTelemetry {
     /// Micro-ops that executed successfully (including re-executions
     /// after a restore).
     pub ops_executed: u64,
+    /// Primitive-op counters accumulated while the executor was driving
+    /// (NTT passes, element-wise mults/adds, base conversions, ...). All
+    /// zero unless the `trace` feature of `cl-trace` is enabled. Counters
+    /// are process-global, so this is only attributable to the run when no
+    /// other FHE work executes concurrently.
+    pub ops: cl_trace::OpSnapshot,
 }
 
 /// How a run ended (when it did not fail outright).
@@ -215,6 +221,19 @@ impl<'a> PipelineExecutor<'a> {
     /// configured cadence and recovering detected faults by restoring the
     /// last good state (preferring the durable copy) and re-executing.
     fn drive(
+        &mut self,
+        pc: u64,
+        state: WorkState,
+        program: &Program,
+    ) -> FheResult<RunOutcome> {
+        let at_entry = cl_trace::OpSnapshot::capture();
+        let out = self.drive_inner(pc, state, program);
+        let delta = cl_trace::OpSnapshot::capture().delta_since(&at_entry);
+        self.telemetry.ops = self.telemetry.ops.plus(&delta);
+        out
+    }
+
+    fn drive_inner(
         &mut self,
         mut pc: u64,
         mut state: WorkState,

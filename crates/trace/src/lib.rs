@@ -1,0 +1,589 @@
+//! Op-level telemetry for the CraterLake reproduction.
+//!
+//! The paper's entire evaluation rests on *operation accounting*: Table 1's
+//! keyswitch formulas and the cycle-level machine model assume the workload
+//! performs exactly the operation counts the closed forms predict. This
+//! crate is the measurement side of that story — a lightweight, thread-aware
+//! subsystem that counts primitive operations at residue-polynomial
+//! granularity as the functional substrate (`cl-math`/`cl-rns`/`cl-ckks`/
+//! `cl-boot`) executes:
+//!
+//! - **Counters** ([`OpSnapshot`]): forward NTT passes, inverse NTT passes,
+//!   element-wise multiplication passes, addition/subtraction passes,
+//!   base-conversion limb conversions (the CRB unit's workload),
+//!   automorphism applications, bytes of polynomial data touched, and
+//!   high-level homomorphic ops (rotations, ciphertext and plaintext
+//!   multiplications). One "pass" is one sweep over one `N`-coefficient
+//!   residue polynomial — the same unit `cl_isa::cost` counts in.
+//! - **Spans** ([`span`]): named scopes (`keyswitch`, `rescale`, `rotate`,
+//!   the bootstrap stages) that record wall time and the counter deltas
+//!   accumulated while they were open.
+//! - **Export** ([`profile_json`]): the counters and span registry as a
+//!   JSON document, wired into `scripts/bench.sh` and
+//!   `cl-runtime`'s `RecoveryTelemetry`.
+//!
+//! # Feature gating
+//!
+//! Everything compiles to nothing unless the `trace` feature is enabled:
+//! the recording functions are empty `#[inline(always)]` bodies, the span
+//! guard is a zero-sized type, and [`OpSnapshot::capture`] returns zeros.
+//! Instrumentation call sites therefore stay in the hot paths permanently
+//! at zero cost (verified by the `bench.sh --check` regression gate).
+//!
+//! # Thread-awareness and determinism
+//!
+//! Counters are process-global relaxed atomics. Every counted pass is
+//! data-independent work dispatched over the `cl-rns` limb engine, so the
+//! *totals* are bit-identical at any `CL_THREADS` setting — only the
+//! interleaving differs, which relaxed addition is insensitive to. This is
+//! tested in `tests/differential.rs`. Span *deltas* attribute those global
+//! totals to the span that was open; they are exact when homomorphic ops
+//! are not issued concurrently from multiple threads (the repo's execution
+//! model: one op at a time, limb-parallel inside).
+
+#![warn(missing_docs)]
+// Library code must propagate failures or `expect` with the violated
+// invariant; tests are exempt. Enforced by scripts/verify.sh.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+/// Accumulated operation counts, captured with [`OpSnapshot::capture`].
+///
+/// All fields count *residue-polynomial passes* (one pass = one sweep over
+/// one `N`-coefficient residue polynomial) except `bytes`, which counts
+/// `8·N` bytes per pass, and the high-level `rotations`/`ct_mults`/
+/// `pt_mults`, which count whole homomorphic operations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpSnapshot {
+    /// Forward NTT passes.
+    pub ntt: u64,
+    /// Inverse NTT passes.
+    pub intt: u64,
+    /// Element-wise multiplication passes (including scalar and per-limb
+    /// constant multiplications; excluding base-conversion matrix work,
+    /// which is counted in `base_conv`).
+    pub mult: u64,
+    /// Element-wise addition/subtraction/negation passes (excluding
+    /// base-conversion matrix work).
+    pub add: u64,
+    /// Base-conversion limb conversions: one per (source limb → destination
+    /// limb) multiply-accumulate pass of `changeRNSBase` — the CRB
+    /// functional unit's workload, `cl_isa::cost::boosted_keyswitch_crb_mult`.
+    pub base_conv: u64,
+    /// Automorphism applications (per residue polynomial, including gathers
+    /// fused into keyswitch inner products).
+    pub automorph: u64,
+    /// Bytes of polynomial data touched: `8·N` per counted pass.
+    pub bytes: u64,
+    /// Homomorphic rotations/conjugations (whole-ciphertext ops).
+    pub rotations: u64,
+    /// Homomorphic ciphertext-ciphertext multiplications (incl. squares).
+    pub ct_mults: u64,
+    /// Homomorphic plaintext multiplications.
+    pub pt_mults: u64,
+}
+
+impl OpSnapshot {
+    /// Field-wise difference `self - earlier` (saturating, though counters
+    /// are monotone so a later capture is never smaller).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &OpSnapshot) -> OpSnapshot {
+        OpSnapshot {
+            ntt: self.ntt.saturating_sub(earlier.ntt),
+            intt: self.intt.saturating_sub(earlier.intt),
+            mult: self.mult.saturating_sub(earlier.mult),
+            add: self.add.saturating_sub(earlier.add),
+            base_conv: self.base_conv.saturating_sub(earlier.base_conv),
+            automorph: self.automorph.saturating_sub(earlier.automorph),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+            rotations: self.rotations.saturating_sub(earlier.rotations),
+            ct_mults: self.ct_mults.saturating_sub(earlier.ct_mults),
+            pt_mults: self.pt_mults.saturating_sub(earlier.pt_mults),
+        }
+    }
+
+    /// Field-wise sum.
+    #[must_use]
+    pub fn plus(&self, other: &OpSnapshot) -> OpSnapshot {
+        OpSnapshot {
+            ntt: self.ntt + other.ntt,
+            intt: self.intt + other.intt,
+            mult: self.mult + other.mult,
+            add: self.add + other.add,
+            base_conv: self.base_conv + other.base_conv,
+            automorph: self.automorph + other.automorph,
+            bytes: self.bytes + other.bytes,
+            rotations: self.rotations + other.rotations,
+            ct_mults: self.ct_mults + other.ct_mults,
+            pt_mults: self.pt_mults + other.pt_mults,
+        }
+    }
+
+    /// True when every counter is zero (always the case with `trace` off).
+    pub fn is_zero(&self) -> bool {
+        *self == OpSnapshot::default()
+    }
+
+    /// Total NTT passes in either direction (`ntt + intt`) — the unit the
+    /// `cl_isa::cost` formulas call "ntt".
+    pub fn ntt_total(&self) -> u64 {
+        self.ntt + self.intt
+    }
+
+    /// The snapshot as a JSON object string (stable key order).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"ntt\": {}, \"intt\": {}, \"mult\": {}, \"add\": {}, \
+             \"base_conv\": {}, \"automorph\": {}, \"bytes\": {}, \
+             \"rotations\": {}, \"ct_mults\": {}, \"pt_mults\": {}}}",
+            self.ntt,
+            self.intt,
+            self.mult,
+            self.add,
+            self.base_conv,
+            self.automorph,
+            self.bytes,
+            self.rotations,
+            self.ct_mults,
+            self.pt_mults
+        )
+    }
+
+    /// Captures the current global counter values (all zero with `trace`
+    /// disabled).
+    pub fn capture() -> OpSnapshot {
+        imp::capture()
+    }
+}
+
+/// True when the crate was compiled with the `trace` feature.
+pub const fn enabled() -> bool {
+    cfg!(feature = "trace")
+}
+
+/// Records `passes` forward-NTT passes over `n`-coefficient polynomials.
+#[inline(always)]
+pub fn record_ntt(passes: u64, n: usize) {
+    imp::record_ntt(passes, n);
+}
+
+/// Records `passes` inverse-NTT passes over `n`-coefficient polynomials.
+#[inline(always)]
+pub fn record_intt(passes: u64, n: usize) {
+    imp::record_intt(passes, n);
+}
+
+/// Records `passes` element-wise multiplication passes.
+#[inline(always)]
+pub fn record_mult(passes: u64, n: usize) {
+    imp::record_mult(passes, n);
+}
+
+/// Records `passes` element-wise addition/subtraction passes.
+#[inline(always)]
+pub fn record_add(passes: u64, n: usize) {
+    imp::record_add(passes, n);
+}
+
+/// Records `passes` base-conversion limb conversions (source limb →
+/// destination limb multiply-accumulate passes).
+#[inline(always)]
+pub fn record_base_conv(passes: u64, n: usize) {
+    imp::record_base_conv(passes, n);
+}
+
+/// Records `passes` automorphism applications.
+#[inline(always)]
+pub fn record_automorph(passes: u64, n: usize) {
+    imp::record_automorph(passes, n);
+}
+
+/// Records one homomorphic rotation or conjugation.
+#[inline(always)]
+pub fn record_rotation() {
+    imp::record_rotation();
+}
+
+/// Records one homomorphic ciphertext-ciphertext multiplication.
+#[inline(always)]
+pub fn record_ct_mult() {
+    imp::record_ct_mult();
+}
+
+/// Records one homomorphic plaintext multiplication.
+#[inline(always)]
+pub fn record_pt_mult() {
+    imp::record_pt_mult();
+}
+
+/// Opens a named span: wall time and counter deltas accumulate into the
+/// span registry until the returned guard drops. With `trace` disabled the
+/// guard is a zero-sized no-op.
+///
+/// Spans with the same name aggregate (invocation count, total ns, summed
+/// op deltas). Nested spans each see the full counter deltas of their
+/// scope, so an outer `bootstrap` span includes the work of inner
+/// `keyswitch` spans.
+#[must_use = "the span records on drop; binding it to `_` ends it immediately"]
+#[inline(always)]
+pub fn span(name: &'static str) -> SpanGuard {
+    imp::span(name)
+}
+
+/// Resets all global counters and clears the span registry. Intended for
+/// test and benchmark harnesses that measure deltas from a clean slate.
+pub fn reset() {
+    imp::reset();
+}
+
+/// Aggregated statistics for one span name.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Number of completed invocations.
+    pub count: u64,
+    /// Total wall time across invocations, in nanoseconds.
+    pub total_ns: u64,
+    /// Summed counter deltas across invocations.
+    pub ops: OpSnapshot,
+}
+
+/// The current span registry as `(name, stats)` pairs, sorted by name.
+pub fn span_stats() -> Vec<(&'static str, SpanStats)> {
+    imp::span_stats()
+}
+
+/// The full profile — global counters plus the span registry — as a JSON
+/// document:
+///
+/// ```json
+/// {
+///   "enabled": true,
+///   "totals": {"ntt": 0, "intt": 0, ...},
+///   "spans": {"keyswitch": {"count": 1, "total_ns": 12345, "ops": {...}}}
+/// }
+/// ```
+pub fn profile_json() -> String {
+    let totals = OpSnapshot::capture();
+    let mut out = String::with_capacity(256);
+    out.push_str("{\n  \"enabled\": ");
+    out.push_str(if enabled() { "true" } else { "false" });
+    out.push_str(",\n  \"totals\": ");
+    out.push_str(&totals.to_json());
+    out.push_str(",\n  \"spans\": {");
+    let spans = span_stats();
+    for (i, (name, s)) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    \"{name}\": {{\"count\": {}, \"total_ns\": {}, \"ops\": {}}}",
+            s.count,
+            s.total_ns,
+            s.ops.to_json()
+        ));
+    }
+    if !spans.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("}\n}");
+    out
+}
+
+pub use imp::SpanGuard;
+
+#[cfg(feature = "trace")]
+mod imp {
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Mutex, OnceLock};
+    use std::time::Instant;
+
+    use crate::{OpSnapshot, SpanStats};
+
+    static NTT: AtomicU64 = AtomicU64::new(0);
+    static INTT: AtomicU64 = AtomicU64::new(0);
+    static MULT: AtomicU64 = AtomicU64::new(0);
+    static ADD: AtomicU64 = AtomicU64::new(0);
+    static BASE_CONV: AtomicU64 = AtomicU64::new(0);
+    static AUTOMORPH: AtomicU64 = AtomicU64::new(0);
+    static BYTES: AtomicU64 = AtomicU64::new(0);
+    static ROTATIONS: AtomicU64 = AtomicU64::new(0);
+    static CT_MULTS: AtomicU64 = AtomicU64::new(0);
+    static PT_MULTS: AtomicU64 = AtomicU64::new(0);
+
+    type Registry = Mutex<BTreeMap<&'static str, SpanStats>>;
+
+    fn registry() -> &'static Registry {
+        static REGISTRY: OnceLock<Registry> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+    }
+
+    #[inline(always)]
+    fn bump(counter: &AtomicU64, passes: u64, n: usize) {
+        counter.fetch_add(passes, Ordering::Relaxed);
+        BYTES.fetch_add(passes * 8 * n as u64, Ordering::Relaxed);
+    }
+
+    #[inline(always)]
+    pub fn record_ntt(passes: u64, n: usize) {
+        bump(&NTT, passes, n);
+    }
+
+    #[inline(always)]
+    pub fn record_intt(passes: u64, n: usize) {
+        bump(&INTT, passes, n);
+    }
+
+    #[inline(always)]
+    pub fn record_mult(passes: u64, n: usize) {
+        bump(&MULT, passes, n);
+    }
+
+    #[inline(always)]
+    pub fn record_add(passes: u64, n: usize) {
+        bump(&ADD, passes, n);
+    }
+
+    #[inline(always)]
+    pub fn record_base_conv(passes: u64, n: usize) {
+        bump(&BASE_CONV, passes, n);
+    }
+
+    #[inline(always)]
+    pub fn record_automorph(passes: u64, n: usize) {
+        bump(&AUTOMORPH, passes, n);
+    }
+
+    #[inline(always)]
+    pub fn record_rotation() {
+        ROTATIONS.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline(always)]
+    pub fn record_ct_mult() {
+        CT_MULTS.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline(always)]
+    pub fn record_pt_mult() {
+        PT_MULTS.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn capture() -> OpSnapshot {
+        OpSnapshot {
+            ntt: NTT.load(Ordering::Relaxed),
+            intt: INTT.load(Ordering::Relaxed),
+            mult: MULT.load(Ordering::Relaxed),
+            add: ADD.load(Ordering::Relaxed),
+            base_conv: BASE_CONV.load(Ordering::Relaxed),
+            automorph: AUTOMORPH.load(Ordering::Relaxed),
+            bytes: BYTES.load(Ordering::Relaxed),
+            rotations: ROTATIONS.load(Ordering::Relaxed),
+            ct_mults: CT_MULTS.load(Ordering::Relaxed),
+            pt_mults: PT_MULTS.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn reset() {
+        for c in [
+            &NTT, &INTT, &MULT, &ADD, &BASE_CONV, &AUTOMORPH, &BYTES, &ROTATIONS, &CT_MULTS,
+            &PT_MULTS,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+        registry()
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .clear();
+    }
+
+    pub fn span_stats() -> Vec<(&'static str, SpanStats)> {
+        registry()
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .collect()
+    }
+
+    /// Live span: records elapsed wall time and counter deltas into the
+    /// registry when dropped.
+    pub struct SpanGuard {
+        name: &'static str,
+        start: Instant,
+        at_open: OpSnapshot,
+    }
+
+    pub fn span(name: &'static str) -> SpanGuard {
+        SpanGuard {
+            name,
+            start: Instant::now(),
+            at_open: capture(),
+        }
+    }
+
+    impl Drop for SpanGuard {
+        fn drop(&mut self) {
+            let elapsed = self.start.elapsed().as_nanos() as u64;
+            let delta = capture().delta_since(&self.at_open);
+            let mut reg = registry()
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            let s = reg.entry(self.name).or_default();
+            s.count += 1;
+            s.total_ns += elapsed;
+            s.ops = s.ops.plus(&delta);
+        }
+    }
+}
+
+#[cfg(not(feature = "trace"))]
+mod imp {
+    use crate::{OpSnapshot, SpanStats};
+
+    #[inline(always)]
+    pub fn record_ntt(_passes: u64, _n: usize) {}
+    #[inline(always)]
+    pub fn record_intt(_passes: u64, _n: usize) {}
+    #[inline(always)]
+    pub fn record_mult(_passes: u64, _n: usize) {}
+    #[inline(always)]
+    pub fn record_add(_passes: u64, _n: usize) {}
+    #[inline(always)]
+    pub fn record_base_conv(_passes: u64, _n: usize) {}
+    #[inline(always)]
+    pub fn record_automorph(_passes: u64, _n: usize) {}
+    #[inline(always)]
+    pub fn record_rotation() {}
+    #[inline(always)]
+    pub fn record_ct_mult() {}
+    #[inline(always)]
+    pub fn record_pt_mult() {}
+
+    #[inline(always)]
+    pub fn capture() -> OpSnapshot {
+        OpSnapshot::default()
+    }
+
+    #[inline(always)]
+    pub fn reset() {}
+
+    #[inline(always)]
+    pub fn span_stats() -> Vec<(&'static str, SpanStats)> {
+        Vec::new()
+    }
+
+    /// Disabled span: a zero-sized type whose construction and drop compile
+    /// to nothing.
+    pub struct SpanGuard;
+
+    #[inline(always)]
+    pub fn span(_name: &'static str) -> SpanGuard {
+        SpanGuard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The enabled- and disabled-path tests are mutually exclusive on the
+    // `trace` feature; `scripts/verify.sh` runs this crate's tests both
+    // ways (`cargo test -p cl-trace` and the workspace test run, which
+    // enables `trace` through the root crate's dev-dependencies).
+
+    #[cfg(not(feature = "trace"))]
+    mod disabled {
+        use super::super::*;
+
+        #[test]
+        fn recording_is_a_no_op() {
+            record_ntt(10, 64);
+            record_mult(10, 64);
+            record_rotation();
+            assert!(OpSnapshot::capture().is_zero());
+            assert!(!enabled());
+        }
+
+        #[test]
+        fn span_guard_is_zero_sized_and_records_nothing() {
+            assert_eq!(std::mem::size_of::<SpanGuard>(), 0);
+            {
+                let _g = span("keyswitch");
+                record_add(5, 32);
+            }
+            assert!(span_stats().is_empty());
+        }
+
+        #[test]
+        fn profile_json_reports_disabled() {
+            let json = profile_json();
+            assert!(json.contains("\"enabled\": false"), "{json}");
+        }
+    }
+
+    #[cfg(feature = "trace")]
+    mod enabled {
+        use super::super::*;
+        use std::sync::Mutex;
+
+        // Counter tests share the process-global counters; serialize them.
+        static LOCK: Mutex<()> = Mutex::new(());
+
+        fn locked() -> std::sync::MutexGuard<'static, ()> {
+            LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+        }
+
+        #[test]
+        fn counters_accumulate_and_delta() {
+            let _l = locked();
+            let before = OpSnapshot::capture();
+            record_ntt(3, 16);
+            record_intt(1, 16);
+            record_mult(5, 16);
+            record_add(2, 16);
+            record_base_conv(7, 16);
+            record_automorph(4, 16);
+            record_rotation();
+            record_ct_mult();
+            record_pt_mult();
+            let d = OpSnapshot::capture().delta_since(&before);
+            assert_eq!(
+                (d.ntt, d.intt, d.mult, d.add, d.base_conv, d.automorph),
+                (3, 1, 5, 2, 7, 4)
+            );
+            assert_eq!((d.rotations, d.ct_mults, d.pt_mults), (1, 1, 1));
+            assert_eq!(d.bytes, (3 + 1 + 5 + 2 + 7 + 4) * 8 * 16);
+            assert_eq!(d.ntt_total(), 4);
+            assert!(enabled());
+        }
+
+        #[test]
+        fn spans_aggregate_counts_time_and_ops() {
+            let _l = locked();
+            for _ in 0..2 {
+                let _g = span("test_span_agg");
+                record_mult(3, 8);
+            }
+            let stats = span_stats();
+            let (_, s) = stats
+                .iter()
+                .find(|(n, _)| *n == "test_span_agg")
+                .expect("span recorded");
+            assert_eq!(s.count, 2);
+            assert_eq!(s.ops.mult, 6);
+        }
+
+        #[test]
+        fn profile_json_contains_totals_and_spans() {
+            let _l = locked();
+            {
+                let _g = span("test_span_json");
+                record_ntt(1, 8);
+            }
+            let json = profile_json();
+            assert!(json.contains("\"enabled\": true"), "{json}");
+            assert!(json.contains("\"test_span_json\""), "{json}");
+            assert!(json.contains("\"totals\""), "{json}");
+        }
+    }
+}

@@ -6,10 +6,10 @@
 #  3. Fault-recovery smoke: a bootstrapped pipeline under a fixed-seed
 #     fault plan must converge, with >= 1 recorded recovery, to the clean
 #     run's bit-identical output (examples/fault_recovery_smoke.rs).
-#  4. Lint gate on the library targets (math/rns/ckks/boot/runtime/apps/
-#     baselines): warnings are errors and bare `unwrap()` is banned (tests
-#     and binaries are exempt — library code must name the violated
-#     invariant via `expect` or propagate with `?`/`FheResult`).
+#  4. Lint gate on every library target: warnings are errors and bare
+#     `unwrap()` is banned (tests and binaries are exempt — library code
+#     must name the violated invariant via `expect` or propagate with
+#     `?`/`FheResult`).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,6 +18,12 @@ cargo build --release
 
 echo "== tier-1: tests =="
 cargo test -q
+
+echo "== tier-1: trace-disabled tests =="
+# The workspace test run lights the `trace` feature through the root
+# dev-dependency; this standalone run exercises the no-op counter path
+# (zero-size span guards, all-zero snapshots).
+cargo test -q -p cl-trace
 
 echo "== tier-1: bench harness smoke =="
 # Smoke shapes + presence check vs the recorded kernel baseline (timing
@@ -30,7 +36,8 @@ cargo run --release --example fault_recovery_smoke
 
 echo "== tier-1: lint gate (library targets) =="
 cargo clippy -p cl-math -p cl-rns -p cl-ckks -p cl-boot -p cl-runtime \
-    -p cl-apps -p cl-baselines --lib --no-deps -- \
+    -p cl-apps -p cl-baselines -p cl-compiler -p cl-core -p cl-isa \
+    -p cl-trace --lib --no-deps -- \
     -D warnings -D clippy::unwrap_used
 
 echo "tier-1 verify: OK"

@@ -309,6 +309,43 @@ fn ckks_pipeline_thread_invariant() {
     assert_eq!(dec_s, dec_p, "decoded values differ across thread counts");
 }
 
+/// The op-level telemetry totals are bit-identical at any thread count:
+/// every counted pass is data-independent limb work dispatched over the
+/// worker pool, so scheduling changes the interleaving but never the
+/// counts. (Relies on all counter-bumping tests in this binary doing their
+/// work under the [`THREADS`] lock, which `serial_vs_parallel` holds.)
+#[test]
+fn op_counters_are_thread_invariant() {
+    let run = || {
+        let ctx = hoist_ctx();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x7AC3);
+        let sk = ctx.keygen(&mut rng);
+        let kind = KeySwitchKind::Boosted { digits: 2 };
+        let relin = ctx.relin_keygen(&sk, kind, &mut rng);
+        let rot = ctx.rotation_keygen(&sk, 3, kind, &mut rng);
+        let pt = ctx.encode(&[0.5, -0.25, 0.125], ctx.default_scale(), ctx.max_level());
+        let ct = ctx.encrypt(&pt, &sk, &mut rng);
+        // Measure only the fixed homomorphic workload, not the setup.
+        let before = cl_trace::OpSnapshot::capture();
+        let prod = ctx.try_mul(&ct, &ct, &relin).expect("mul");
+        let rescaled = ctx.try_rescale(&prod).expect("rescale");
+        let _ = ctx.try_rotate(&rescaled, 3, &rot).expect("rotate");
+        cl_trace::OpSnapshot::capture().delta_since(&before)
+    };
+    let (serial, parallel) = serial_vs_parallel(4, run);
+    assert_eq!(
+        serial, parallel,
+        "op counters must not depend on the thread count"
+    );
+    if cl_trace::enabled() {
+        assert!(!serial.is_zero(), "the workload must have been counted");
+        assert!(serial.ntt + serial.intt > 0);
+        assert!(serial.mult > 0 && serial.add > 0 && serial.base_conv > 0);
+        assert_eq!(serial.ct_mults, 1);
+        assert_eq!(serial.rotations, 1);
+    }
+}
+
 /// The keyswitch digit loop (parallel ModUp + superset accumulate) is
 /// thread-invariant even below the key's max level, where the hint basis is
 /// a strict superset of the target basis.
