@@ -519,11 +519,15 @@ fn main() {
             .scale_bits(bits - 4)
             .build()
             .expect("params");
-        let ctx = CkksContext::new(params)
-            .expect("ckks context")
-            .with_policy(GuardrailPolicy::Strict {
-                min_budget_bits: -200.0,
-            });
+        // Arc'd because the job-server kernels below register the same
+        // context as a tenant.
+        let ctx = std::sync::Arc::new(
+            CkksContext::new(params)
+                .expect("ckks context")
+                .with_policy(GuardrailPolicy::Strict {
+                    min_budget_bits: -200.0,
+                }),
+        );
         let mut rng = rand::rngs::StdRng::seed_from_u64(13);
         let sk = ctx.keygen(&mut rng);
         let keys = cl_boot::BootstrapKeys::generate(
@@ -572,6 +576,73 @@ fn main() {
             }),
         ));
         let _ = std::fs::remove_dir_all(&ckpt_dir);
+
+        // --- Job server: scheduling overhead and scaling -------------------
+        // The same batch of jobs three ways: straight through the executor
+        // (no server), through a 1-worker JobServer (pure admission/queue/
+        // dispatch overhead — `scripts/bench.sh --check` gates this ratio at
+        // <= ~10%), and through a CL_THREADS-worker server (throughput
+        // scaling). Checkpointing is off in all three so the delta is
+        // scheduling alone. Each timed call is a full server lifecycle:
+        // start, register, submit the batch, drain, shut down.
+        {
+            use std::sync::Arc;
+
+            use cl_server::{JobServer, JobSpec, ServerConfig};
+
+            let jobs = if cfg.smoke { 2 } else { 8 };
+            let fp = ctx.params_fingerprint();
+            let program_blob = program.serialize(fp);
+            let input_blob = ctx.serialize_ciphertext(&ct);
+            let key_blob = keys.serialize(&ctx);
+            let root =
+                std::env::temp_dir().join(format!("cl_bench_server_{}", std::process::id()));
+            let serve = |workers: usize| {
+                let server = JobServer::start(ServerConfig {
+                    workers,
+                    queue_capacity: jobs.max(16),
+                    tenant_queue_capacity: jobs.max(16),
+                    checkpoint_root: root.clone(),
+                    checkpoint_every: 0,
+                    backoff_base_ms: 0,
+                    ..ServerConfig::default()
+                })
+                .expect("server start");
+                server
+                    .register_tenant("bench", Arc::clone(&ctx))
+                    .expect("register tenant");
+                for _ in 0..jobs {
+                    server
+                        .submit(JobSpec::new(
+                            "bench",
+                            program_blob.clone(),
+                            input_blob.clone(),
+                            key_blob.clone(),
+                        ))
+                        .expect("queue sized for the whole batch");
+                }
+                let outcomes = server.shutdown();
+                assert!(
+                    outcomes.iter().all(cl_server::JobOutcome::is_ok),
+                    "bench jobs must all complete"
+                );
+            };
+            results.push((
+                "server_seq_baseline",
+                time_ns(cfg.smoke, || {
+                    for _ in 0..jobs {
+                        std::hint::black_box(run(ExecutorConfig {
+                            checkpoint_every: 0,
+                            max_retries: 0,
+                            checkpoint_dir: None,
+                        }));
+                    }
+                }),
+            ));
+            results.push(("server_jobs_1w", time_ns(cfg.smoke, || serve(1))));
+            results.push(("server_jobs_mt", time_ns(cfg.smoke, || serve(threads.max(1)))));
+            let _ = std::fs::remove_dir_all(&root);
+        }
     }
 
     let mut json = String::new();

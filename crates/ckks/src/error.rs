@@ -121,6 +121,30 @@ pub enum FheError {
         /// The fingerprint of the loading context.
         want: u64,
     },
+    /// A serving layer refused new work because its admission queue is at
+    /// capacity. The request was *not* enqueued; retry after the hinted
+    /// delay (explicit backpressure, never unbounded memory growth).
+    Overloaded {
+        /// The admitting component that shed the request.
+        op: &'static str,
+        /// Suggested client backoff before resubmitting, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// A job ran past its deadline and was aborted at a micro-op boundary.
+    DeadlineExceeded {
+        /// The component that enforced the deadline.
+        op: &'static str,
+        /// The configured deadline, in milliseconds.
+        deadline_ms: u64,
+        /// Wall time actually elapsed when the check fired, in milliseconds.
+        elapsed_ms: u64,
+    },
+    /// The job was cancelled by an explicit request; execution stopped at
+    /// the next micro-op boundary.
+    Cancelled {
+        /// The component that observed the cancellation.
+        op: &'static str,
+    },
 }
 
 impl fmt::Display for FheError {
@@ -173,6 +197,19 @@ impl fmt::Display for FheError {
                 "{op}: params fingerprint mismatch \
                  (blob written under {got:#018x}, context is {want:#018x})"
             ),
+            FheError::Overloaded { op, retry_after_ms } => write!(
+                f,
+                "{op}: overloaded, request shed (retry after {retry_after_ms} ms)"
+            ),
+            FheError::DeadlineExceeded {
+                op,
+                deadline_ms,
+                elapsed_ms,
+            } => write!(
+                f,
+                "{op}: deadline exceeded ({elapsed_ms} ms elapsed, deadline {deadline_ms} ms)"
+            ),
+            FheError::Cancelled { op } => write!(f, "{op}: cancelled"),
         }
     }
 }
@@ -332,6 +369,25 @@ mod tests {
                     want: 0xbeef,
                 },
                 "fingerprint",
+            ),
+            (
+                FheError::Overloaded {
+                    op: "submit",
+                    retry_after_ms: 40,
+                },
+                "retry after 40 ms",
+            ),
+            (
+                FheError::DeadlineExceeded {
+                    op: "pipeline",
+                    deadline_ms: 100,
+                    elapsed_ms: 250,
+                },
+                "deadline",
+            ),
+            (
+                FheError::Cancelled { op: "pipeline" },
+                "cancelled",
             ),
         ];
         for (err, component) in cases {

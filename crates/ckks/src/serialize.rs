@@ -56,6 +56,23 @@ pub enum ObjectTag {
     BootstrapKeys = 4,
     /// A pipeline-executor checkpoint (cl-runtime).
     Checkpoint = 5,
+    /// A declared pipeline program (cl-runtime).
+    Program = 6,
+}
+
+impl ObjectTag {
+    /// Maps a wire byte back to its tag, or `None` for unknown bytes.
+    pub fn from_u8(b: u8) -> Option<Self> {
+        match b {
+            1 => Some(ObjectTag::RnsPoly),
+            2 => Some(ObjectTag::Ciphertext),
+            3 => Some(ObjectTag::KeySwitchKey),
+            4 => Some(ObjectTag::BootstrapKeys),
+            5 => Some(ObjectTag::Checkpoint),
+            6 => Some(ObjectTag::Program),
+            _ => None,
+        }
+    }
 }
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -119,6 +136,42 @@ pub fn write_header(out: &mut Vec<u8>, tag: ObjectTag, fingerprint: u64) {
     put_u8(out, tag as u8);
     put_u8(out, 0); // reserved
     put_u64(out, fingerprint);
+}
+
+/// Inspects an untrusted blob's header without parsing the payload:
+/// returns `(tag, fingerprint)` after validating magic, format version,
+/// and the reserved byte. This is the cheap admission-path pre-check a
+/// serving front-end runs before accepting a blob into a queue — it
+/// classifies the object and lets the caller match the fingerprint
+/// against the submitting tenant's parameters, while full structural and
+/// checksum validation stays deferred to the real load.
+///
+/// # Errors
+///
+/// [`FheError::Serialization`] for a blob too short to hold a header, bad
+/// magic, an unsupported version, an unknown object tag, or a nonzero
+/// reserved byte.
+pub fn peek_header(op: &'static str, bytes: &[u8]) -> FheResult<(ObjectTag, u64)> {
+    let mut r = Reader::new(op, bytes);
+    let magic = r.take(4)?;
+    if magic != MAGIC {
+        return Err(r.err(format!("bad magic {magic:02x?}, expected {MAGIC:02x?}")));
+    }
+    let version = r.u16()?;
+    if version != FORMAT_VERSION {
+        return Err(r.err(format!(
+            "unsupported format version {version} (this build reads {FORMAT_VERSION})"
+        )));
+    }
+    let tag_byte = r.u8()?;
+    let tag = ObjectTag::from_u8(tag_byte)
+        .ok_or_else(|| r.err(format!("unknown object tag {tag_byte}")))?;
+    let reserved = r.u8()?;
+    if reserved != 0 {
+        return Err(r.err(format!("reserved header byte is {reserved}, must be 0")));
+    }
+    let fp = r.u64()?;
+    Ok((tag, fp))
 }
 
 // ---------------------------------------------------------------------
@@ -576,6 +629,34 @@ mod tests {
             .build()
             .unwrap();
         CkksContext::new(params).unwrap()
+    }
+
+    #[test]
+    fn peek_header_classifies_without_full_parse() {
+        let c = ctx();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let sk = c.keygen(&mut rng);
+        let ct = c.encrypt(&c.encode(&[1.0], c.default_scale(), 2), &sk, &mut rng);
+        let blob = c.serialize_ciphertext(&ct);
+        let (tag, fp) = peek_header("peek", &blob).unwrap();
+        assert_eq!(tag, ObjectTag::Ciphertext);
+        assert_eq!(fp, c.params_fingerprint());
+        // A flipped *payload* byte is invisible to the peek (full loads
+        // catch it); a damaged header is not.
+        let mut payload_flip = blob.clone();
+        let last = payload_flip.len() - 1;
+        payload_flip[last] ^= 0xff;
+        assert!(peek_header("peek", &payload_flip).is_ok());
+        for (i, expect_kind) in [(0usize, "magic"), (4, "version"), (6, "tag"), (7, "reserved")] {
+            let mut bad = blob.clone();
+            bad[i] ^= 0xff;
+            let err = peek_header("peek", &bad).expect_err(expect_kind);
+            assert!(matches!(err, FheError::Serialization { op: "peek", .. }), "{expect_kind}");
+        }
+        // Truncation anywhere inside the 16-byte header is a structured error.
+        for len in 0..16 {
+            assert!(peek_header("peek", &blob[..len]).is_err());
+        }
     }
 
     #[test]

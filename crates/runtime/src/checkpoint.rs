@@ -64,11 +64,17 @@ impl WorkState {
 }
 
 /// One checkpoint record: the micro program counter plus the work state at
-/// that boundary.
+/// that boundary, bound to the job that wrote it.
 #[derive(Debug, Clone)]
 pub struct Checkpoint {
     /// Micro-op index the pipeline resumes at.
     pub pc: u64,
+    /// Content digest of the `(program, input)` pair this record belongs
+    /// to. A store directory outlives individual jobs (a server reuses
+    /// one per worker), and a resume must never splice a *different*
+    /// job's mid-state into the current program — loads filter on this
+    /// binding, so stale records are skipped, not resumed.
+    pub binding: u64,
     /// The state to resume from.
     pub state: WorkState,
 }
@@ -78,33 +84,122 @@ pub struct Checkpoint {
 /// corrupts the previous good record. Loads verify the wire format's
 /// fingerprint and checksums and fall back to the other slot when one is
 /// damaged.
+///
+/// A store *owns* its directory for its lifetime: [`CheckpointStore::open`]
+/// takes an exclusive advisory lock (an owner file recording this process'
+/// pid) so two live executors can never interleave writes into the same
+/// slot files. Locks abandoned by a dead process are detected (the pid no
+/// longer exists) and reclaimed; orphaned `ckpt.tmp` files left by a crash
+/// mid-write are swept at open.
 #[derive(Debug)]
 pub struct CheckpointStore {
     slots: [PathBuf; 2],
     tmp: PathBuf,
+    lock: PathBuf,
     next_slot: usize,
     bytes_written: u64,
     writes: u64,
 }
 
+/// Whether `pid` names a process that is currently alive. Used to decide
+/// if an owner file is a live conflict or a stale leftover. On platforms
+/// without a procfs we cannot tell, so we conservatively report alive —
+/// a crashed owner then requires manual lock removal rather than risking
+/// two live writers.
+fn pid_alive(pid: u32) -> bool {
+    if cfg!(target_os = "linux") {
+        Path::new(&format!("/proc/{pid}")).exists()
+    } else {
+        true
+    }
+}
+
 impl CheckpointStore {
-    /// Opens (creating if needed) a store in `dir`.
+    /// Opens (creating if needed) a store in `dir`, sweeping any orphaned
+    /// tmp file and taking the directory's owner lock.
     ///
     /// # Errors
     ///
-    /// [`FheError::Serialization`] when the directory cannot be created.
+    /// [`FheError::Serialization`] when the directory cannot be created,
+    /// or when another *live* store already owns it (two executors must
+    /// never share slot files — each job needs its own directory).
     pub fn open(dir: &Path) -> FheResult<Self> {
         fs::create_dir_all(dir).map_err(|e| FheError::Serialization {
             op: "checkpoint_open",
             reason: format!("cannot create {}: {e}", dir.display()),
         })?;
+        let tmp = dir.join("ckpt.tmp");
+        let lock = dir.join("ckpt.lock");
+        Self::acquire_lock(&lock)?;
+        // With the lock held, a leftover tmp file can only be debris from
+        // a previous owner that died mid-`write` (the atomic rename never
+        // ran). The slot files are still intact; the debris just wastes
+        // space and could mask a future torn write, so sweep it.
+        if tmp.exists() {
+            let _ = fs::remove_file(&tmp);
+        }
         Ok(Self {
             slots: [dir.join("ckpt_a.bin"), dir.join("ckpt_b.bin")],
-            tmp: dir.join("ckpt.tmp"),
+            tmp,
+            lock,
             next_slot: 0,
             bytes_written: 0,
             writes: 0,
         })
+    }
+
+    /// Creates the owner file exclusively, stealing it only from a holder
+    /// whose pid is provably dead.
+    fn acquire_lock(lock: &Path) -> FheResult<()> {
+        use std::io::Write as _;
+        // Two rounds: create, or (stale holder) reclaim once and re-create.
+        for attempt in 0..2 {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(lock)
+            {
+                Ok(mut f) => {
+                    let _ = write!(f, "{}", std::process::id());
+                    return Ok(());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let holder = fs::read_to_string(lock)
+                        .ok()
+                        .and_then(|s| s.trim().parse::<u32>().ok());
+                    let stale = match holder {
+                        // Our own pid means a live store in this process
+                        // owns the directory — that is exactly the
+                        // double-open this lock exists to prevent.
+                        Some(pid) => pid != std::process::id() && !pid_alive(pid),
+                        // Unreadable/empty owner file: a crash between
+                        // create and write. No live holder can exist
+                        // (they write before returning), so reclaim.
+                        None => true,
+                    };
+                    if stale && attempt == 0 {
+                        let _ = fs::remove_file(lock);
+                        continue;
+                    }
+                    return Err(FheError::Serialization {
+                        op: "checkpoint_open",
+                        reason: format!(
+                            "checkpoint dir is locked by live owner {} ({}); every \
+                             executor needs its own checkpoint directory",
+                            holder.map_or_else(|| "unknown".into(), |p| p.to_string()),
+                            lock.display()
+                        ),
+                    });
+                }
+                Err(e) => {
+                    return Err(FheError::Serialization {
+                        op: "checkpoint_open",
+                        reason: format!("cannot create lock {}: {e}", lock.display()),
+                    })
+                }
+            }
+        }
+        unreachable!("acquire_lock: both attempts fell through without returning")
     }
 
     /// Total bytes written across all checkpoints.
@@ -123,6 +218,7 @@ impl CheckpointStore {
         write_header(&mut out, ObjectTag::Checkpoint, ctx.params_fingerprint());
         let meta_start = out.len();
         put_u64(&mut out, cp.pc);
+        put_u64(&mut out, cp.binding);
         put_u8(&mut out, cp.state.kind_byte());
         put_u32(&mut out, payload.len() as u32);
         let cksum = fnv1a(&out[meta_start..]);
@@ -136,6 +232,7 @@ impl CheckpointStore {
         r.read_header(ObjectTag::Checkpoint, ctx.params_fingerprint())?;
         let meta_start = r.pos();
         let pc = r.u64()?;
+        let binding = r.u64()?;
         let kind = r.u8()?;
         let payload_len = r.u32()? as usize;
         let computed = fnv1a(r.region_since(meta_start));
@@ -160,7 +257,7 @@ impl CheckpointStore {
                 })
             }
         };
-        Ok(Checkpoint { pc, state })
+        Ok(Checkpoint { pc, binding, state })
     }
 
     /// Atomically persists a checkpoint into the next rotating slot.
@@ -193,9 +290,12 @@ impl CheckpointStore {
         Self::decode(ctx, &bytes)
     }
 
-    /// Returns the newest (highest program counter) valid checkpoint, plus
-    /// the number of slots that existed but were *rejected* by integrity
-    /// checks. `Ok(None)` means no slot file exists yet.
+    /// Returns the newest (highest program counter) valid checkpoint
+    /// *belonging to* `binding`, plus the number of slots that existed
+    /// but were *rejected* by integrity checks. `Ok(None)` means no slot
+    /// file exists yet. Intact records written by a different job (their
+    /// binding differs) are skipped silently — they are healthy leftovers
+    /// in a reused directory, not corruption.
     ///
     /// # Errors
     ///
@@ -203,7 +303,11 @@ impl CheckpointStore {
     /// [`FheError::Serialization`] only when every existing slot is
     /// damaged — a damaged slot with a healthy sibling is skipped (and
     /// counted), not fatal.
-    pub fn load_latest(&self, ctx: &CkksContext) -> FheResult<(Option<Checkpoint>, u64)> {
+    pub fn load_latest(
+        &self,
+        ctx: &CkksContext,
+        binding: u64,
+    ) -> FheResult<(Option<Checkpoint>, u64)> {
         let mut best: Option<Checkpoint> = None;
         let mut rejects = 0u64;
         let mut first_err: Option<FheError> = None;
@@ -215,7 +319,7 @@ impl CheckpointStore {
             existing += 1;
             match self.load_slot(ctx, path) {
                 Ok(cp) => {
-                    if best.as_ref().is_none_or(|b| cp.pc > b.pc) {
+                    if cp.binding == binding && best.as_ref().is_none_or(|b| cp.pc > b.pc) {
                         best = Some(cp);
                     }
                 }
@@ -230,6 +334,14 @@ impl CheckpointStore {
             (None, Some(e)) if existing > 0 => Err(e),
             _ => Ok((None, rejects)),
         }
+    }
+}
+
+impl Drop for CheckpointStore {
+    /// Releases the directory's owner lock. The slot files stay — they are
+    /// the durable state a later store (or a resume after a crash) loads.
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.lock);
     }
 }
 
@@ -265,19 +377,20 @@ mod tests {
         let ct = c.encrypt(&c.encode(&[1.0, 2.0], c.default_scale(), 3), &sk, &mut rng);
         let dir = tmpdir("rotation");
         let mut store = CheckpointStore::open(&dir).unwrap();
-        assert!(store.load_latest(&c).unwrap().0.is_none());
+        assert!(store.load_latest(&c, 0xB1D1).unwrap().0.is_none());
         for pc in 0..3u64 {
             store
                 .write(
                     &c,
                     &Checkpoint {
                         pc,
+                        binding: 0xB1D1,
                         state: WorkState::Ct(ct.clone()),
                     },
                 )
                 .unwrap();
         }
-        let (latest, rejects) = store.load_latest(&c).unwrap();
+        let (latest, rejects) = store.load_latest(&c, 0xB1D1).unwrap();
         assert_eq!(rejects, 0);
         let latest = latest.unwrap();
         assert_eq!(latest.pc, 2);
@@ -287,6 +400,77 @@ mod tests {
         }
         assert_eq!(store.writes(), 3);
         assert!(store.bytes_written() > 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lock_file_prevents_two_live_stores_on_one_dir() {
+        let dir = tmpdir("lock");
+        let first = CheckpointStore::open(&dir).unwrap();
+        // A second open while the first store is alive must fail and must
+        // say why.
+        let err = CheckpointStore::open(&dir).expect_err("double open");
+        assert!(
+            err.to_string().contains("locked"),
+            "error should name the lock: {err}"
+        );
+        // The failed open must not have broken the holder's lock.
+        assert!(dir.join("ckpt.lock").exists());
+        // Dropping the owner releases the directory for the next store.
+        drop(first);
+        assert!(!dir.join("ckpt.lock").exists());
+        let _second = CheckpointStore::open(&dir).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_lock_from_dead_owner_is_reclaimed() {
+        let dir = tmpdir("stale-lock");
+        fs::create_dir_all(&dir).unwrap();
+        // Far above any real pid_max: provably not a live process.
+        fs::write(dir.join("ckpt.lock"), format!("{}", u32::MAX)).unwrap();
+        let store = CheckpointStore::open(&dir).expect("stale lock must be reclaimed");
+        drop(store);
+        // An owner file that never got its pid written (crash between
+        // create and write) is also reclaimable.
+        fs::write(dir.join("ckpt.lock"), "").unwrap();
+        assert!(CheckpointStore::open(&dir).is_ok());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn orphaned_tmp_file_is_swept_at_open() {
+        let c = ctx();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let sk = c.keygen(&mut rng);
+        let ct = c.encrypt(&c.encode(&[1.5], c.default_scale(), 2), &sk, &mut rng);
+        let dir = tmpdir("orphan-tmp");
+        // A crash mid-`write` leaves a partial tmp file behind (and, with
+        // the owner dead, a stale lock). The next open must sweep the
+        // debris and still load the intact slots.
+        {
+            let mut store = CheckpointStore::open(&dir).unwrap();
+            store
+                .write(
+                    &c,
+                    &Checkpoint {
+                        pc: 9,
+                        binding: 0xB1D1,
+                        state: WorkState::Ct(ct.clone()),
+                    },
+                )
+                .unwrap();
+        }
+        fs::write(dir.join("ckpt.tmp"), b"torn half-written checkpoint").unwrap();
+        fs::write(dir.join("ckpt.lock"), format!("{}", u32::MAX)).unwrap();
+        let store = CheckpointStore::open(&dir).unwrap();
+        assert!(
+            !dir.join("ckpt.tmp").exists(),
+            "orphaned tmp must be swept at open"
+        );
+        let (latest, rejects) = store.load_latest(&c, 0xB1D1).unwrap();
+        assert_eq!(rejects, 0);
+        assert_eq!(latest.unwrap().pc, 9);
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -304,6 +488,7 @@ mod tests {
                     &c,
                     &Checkpoint {
                         pc,
+                        binding: 0xB1D1,
                         state: WorkState::Ct(ct.clone()),
                     },
                 )
@@ -316,7 +501,7 @@ mod tests {
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xff;
         fs::write(&victim, &bytes).unwrap();
-        let (latest, rejects) = store.load_latest(&c).unwrap();
+        let (latest, rejects) = store.load_latest(&c, 0xB1D1).unwrap();
         assert_eq!(rejects, 1);
         assert_eq!(latest.unwrap().pc, 5);
         // Both slots corrupted: the load surfaces the integrity error.
@@ -324,7 +509,7 @@ mod tests {
         let mut bytes = fs::read(&victim).unwrap();
         bytes[10] ^= 0xff;
         fs::write(&victim, &bytes).unwrap();
-        assert!(store.load_latest(&c).is_err());
+        assert!(store.load_latest(&c, 0xB1D1).is_err());
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -2,6 +2,9 @@
 //! checkpoints, and restore-and-retry recovery with a bounded budget.
 
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use cl_boot::{BootState, Bootstrapper, BootstrapKeys};
 use cl_ckks::{Ciphertext, CkksContext, FheError, FheResult, GuardrailPolicy};
@@ -38,6 +41,87 @@ impl Default for ExecutorConfig {
     }
 }
 
+/// A shared handle controlling one job's execution from outside: cancel it,
+/// or bound its wall time with a deadline. The executor consults the
+/// control at every micro-op boundary, so an abort lands within one op of
+/// the request and never mid-kernel.
+///
+/// Cancellation and deadline expiry are *not* faults: they bypass the
+/// restore-and-retry machinery and surface immediately as
+/// [`FheError::Cancelled`] / [`FheError::DeadlineExceeded`]. Cloning shares
+/// the same underlying state (a queue can hold one clone, the executor
+/// another).
+#[derive(Debug, Clone, Default)]
+pub struct RunControl {
+    inner: Arc<ControlState>,
+}
+
+#[derive(Debug, Default)]
+struct ControlState {
+    cancelled: AtomicBool,
+    /// `(armed_at, budget)` — fixed when the control is created, so the
+    /// deadline clock includes time spent queued, not just executing.
+    deadline: Option<(Instant, Duration)>,
+}
+
+impl RunControl {
+    /// A control with no deadline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A control whose job must finish within `budget` of *now*.
+    pub fn with_deadline(budget: Duration) -> Self {
+        Self {
+            inner: Arc::new(ControlState {
+                cancelled: AtomicBool::new(false),
+                deadline: Some((Instant::now(), budget)),
+            }),
+        }
+    }
+
+    /// Requests cancellation: the next micro-op boundary aborts the run.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Whether the deadline (if any) has already passed.
+    pub fn is_past_deadline(&self) -> bool {
+        self.inner
+            .deadline
+            .is_some_and(|(armed, budget)| armed.elapsed() > budget)
+    }
+
+    /// The abort check the executor runs at every micro-op boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::Cancelled`] after [`RunControl::cancel`];
+    /// [`FheError::DeadlineExceeded`] once the wall clock passes the
+    /// deadline.
+    pub fn check(&self, op: &'static str) -> FheResult<()> {
+        if self.is_cancelled() {
+            return Err(FheError::Cancelled { op });
+        }
+        if let Some((armed, budget)) = self.inner.deadline {
+            let elapsed = armed.elapsed();
+            if elapsed > budget {
+                return Err(FheError::DeadlineExceeded {
+                    op,
+                    deadline_ms: budget.as_millis() as u64,
+                    elapsed_ms: elapsed.as_millis() as u64,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Counters describing what the recovery machinery did during a run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RecoveryTelemetry {
@@ -68,6 +152,23 @@ pub struct RecoveryTelemetry {
     pub ops: cl_trace::OpSnapshot,
 }
 
+impl RecoveryTelemetry {
+    /// Accumulates `other` into `self` — e.g. a job server summing the
+    /// per-attempt telemetry of one job, or per-job telemetry into a
+    /// per-tenant aggregate.
+    pub fn merge(&mut self, other: &RecoveryTelemetry) {
+        self.faults_injected += other.faults_injected;
+        self.faults_detected += other.faults_detected;
+        self.retries += other.retries;
+        self.restores += other.restores;
+        self.checkpoints_written += other.checkpoints_written;
+        self.bytes_written += other.bytes_written;
+        self.crashes += other.crashes;
+        self.ops_executed += other.ops_executed;
+        self.ops = self.ops.plus(&other.ops);
+    }
+}
+
 /// How a run ended (when it did not fail outright).
 #[derive(Debug, Clone, PartialEq)]
 pub enum RunOutcome {
@@ -90,6 +191,11 @@ pub struct PipelineExecutor<'a> {
     config: ExecutorConfig,
     store: Option<CheckpointStore>,
     telemetry: RecoveryTelemetry,
+    control: Option<RunControl>,
+    /// Digest of the `(program, input)` pair currently driving; written
+    /// into every checkpoint and required back at load, so a reused
+    /// checkpoint directory can never resume another job's state.
+    binding: u64,
     #[cfg(any(test, feature = "faults"))]
     plan: Option<FaultPlan>,
 }
@@ -135,9 +241,18 @@ impl<'a> PipelineExecutor<'a> {
             config,
             store,
             telemetry: RecoveryTelemetry::default(),
+            control: None,
+            binding: 0,
             #[cfg(any(test, feature = "faults"))]
             plan: None,
         })
+    }
+
+    /// Attaches an external control handle (cancellation + deadline),
+    /// consulted at every micro-op boundary. A job server hands one clone
+    /// to the executor and keeps another to cancel the job from outside.
+    pub fn set_control(&mut self, control: RunControl) {
+        self.control = Some(control);
     }
 
     /// Attaches the bootstrapper required for programs containing
@@ -156,9 +271,26 @@ impl<'a> PipelineExecutor<'a> {
         self.plan = Some(plan);
     }
 
+    /// Detaches the fault plan, preserving its advanced op counter. A
+    /// server retrying a job on a fresh executor re-attaches the returned
+    /// plan so the fault stream stays one continuous deterministic
+    /// sequence across attempts (fired kill points do not re-fire).
+    #[cfg(any(test, feature = "faults"))]
+    pub fn take_fault_plan(&mut self) -> Option<FaultPlan> {
+        self.plan.take()
+    }
+
     /// Recovery counters accumulated so far (across run *and* resume).
     pub fn telemetry(&self) -> RecoveryTelemetry {
         self.telemetry
+    }
+
+    /// Returns the accumulated telemetry and resets the counters — the
+    /// handover point when one executor is reused across jobs (the open
+    /// checkpoint store, its directory lock, and the attached key material
+    /// all stay warm; only the per-job accounting restarts).
+    pub fn take_telemetry(&mut self) -> RecoveryTelemetry {
+        std::mem::take(&mut self.telemetry)
     }
 
     /// Runs `program` on `input` from the start.
@@ -170,6 +302,7 @@ impl<'a> PipelineExecutor<'a> {
     /// budget, or a checkpoint I/O failure.
     pub fn run(&mut self, input: &Ciphertext, program: &Program) -> FheResult<RunOutcome> {
         self.check_program(program)?;
+        self.binding = self.job_binding(input, program);
         self.drive(0, WorkState::Ct(input.clone()), program)
     }
 
@@ -183,8 +316,9 @@ impl<'a> PipelineExecutor<'a> {
     /// Same contract as [`PipelineExecutor::run`].
     pub fn resume(&mut self, input: &Ciphertext, program: &Program) -> FheResult<RunOutcome> {
         self.check_program(program)?;
+        self.binding = self.job_binding(input, program);
         let (start_pc, state) = match &self.store {
-            Some(store) => match store.load_latest(self.ctx) {
+            Some(store) => match store.load_latest(self.ctx, self.binding) {
                 Ok((found, rejects)) => {
                     self.telemetry.faults_detected += rejects;
                     match found {
@@ -205,6 +339,16 @@ impl<'a> PipelineExecutor<'a> {
             None => (0, WorkState::Ct(input.clone())),
         };
         self.drive(start_pc, state, program)
+    }
+
+    /// Content digest binding checkpoints to this exact `(program,
+    /// input)` pair. Derived from the serialized forms (which carry the
+    /// params fingerprint), so it is stable across processes — a genuine
+    /// crash/restart of the same job still resumes its own checkpoints.
+    fn job_binding(&self, input: &Ciphertext, program: &Program) -> u64 {
+        use cl_ckks::serialize::{fnv1a, fnv1a_chain};
+        let h = fnv1a(&self.ctx.serialize_ciphertext(input));
+        fnv1a_chain(h, &program.serialize(self.ctx.params_fingerprint()))
     }
 
     fn check_program(&self, program: &Program) -> FheResult<()> {
@@ -251,6 +395,14 @@ impl<'a> PipelineExecutor<'a> {
         let mut retries_left = self.config.max_retries;
 
         while pc < end {
+            // Abort requests are checked first, before any fault injection
+            // or execution: cancellation and deadline expiry are verdicts,
+            // not faults, so they return directly instead of burning the
+            // retry budget.
+            if let Some(control) = &self.control {
+                control.check("pipeline")?;
+            }
+
             #[cfg(any(test, feature = "faults"))]
             if let Some(plan) = self.plan.as_mut() {
                 let action = plan.on_op(state.primary_mut());
@@ -286,6 +438,14 @@ impl<'a> PipelineExecutor<'a> {
                     last_good = (pc, state.clone());
                 }
                 Err(fault) => {
+                    // Abort verdicts escaping through an op are terminal,
+                    // never retried.
+                    if matches!(
+                        fault,
+                        FheError::Cancelled { .. } | FheError::DeadlineExceeded { .. }
+                    ) {
+                        return Err(fault);
+                    }
                     self.telemetry.faults_detected += 1;
                     if retries_left == 0 {
                         return Err(fault);
@@ -311,7 +471,7 @@ impl<'a> PipelineExecutor<'a> {
     /// recovery), falling back to the in-memory clone.
     fn restore(&mut self, last_good: &(u64, WorkState)) -> (u64, WorkState) {
         if let Some(store) = &self.store {
-            if let Ok((Some(cp), _)) = store.load_latest(self.ctx) {
+            if let Ok((Some(cp), _)) = store.load_latest(self.ctx, self.binding) {
                 if cp.pc >= last_good.0 {
                     self.telemetry.restores += 1;
                     return (cp.pc, cp.state);
@@ -333,6 +493,7 @@ impl<'a> PipelineExecutor<'a> {
             self.ctx,
             &Checkpoint {
                 pc,
+                binding: self.binding,
                 state: state.clone(),
             },
         )?;
@@ -590,6 +751,135 @@ mod tests {
         assert_eq!(t.ops_executed, 4, "2 before the crash + 2 after resume");
         let _ = std::fs::remove_dir_all(&dir);
         let _ = std::fs::remove_dir_all(&dir_clean);
+    }
+
+    #[test]
+    fn stale_checkpoint_from_a_previous_job_is_never_resumed() {
+        let ctx = strict_ctx();
+        let dir = tmpdir("stale-binding");
+        let (_sk, keys, ct, config) = setup(&ctx, &dir, 1);
+        // Job A: runs to completion, leaving durable slots at its final pc.
+        let program_a = Program::new()
+            .then(PipelineOp::Square)
+            .then(PipelineOp::Rescale)
+            .then(PipelineOp::Rotate(1));
+        {
+            let mut exec = PipelineExecutor::new(&ctx, &keys, config.clone()).unwrap();
+            assert!(matches!(
+                exec.run(&ct, &program_a).unwrap(),
+                RunOutcome::Completed(_)
+            ));
+        }
+        // Job B: different program, same directory, entered via resume()
+        // (the server's crash-retry path). It must ignore job A's
+        // leftover records — resuming A's pc-3 state into B would both
+        // skip B's ops and splice in foreign data.
+        let program_b = Program::new().then(PipelineOp::Conjugate);
+        let expected = {
+            let mut clean = PipelineExecutor::new(
+                &ctx,
+                &keys,
+                ExecutorConfig {
+                    checkpoint_every: 0,
+                    max_retries: 1,
+                    checkpoint_dir: None,
+                },
+            )
+            .unwrap();
+            match clean.run(&ct, &program_b).unwrap() {
+                RunOutcome::Completed(out) => out,
+                other => panic!("clean run did not complete: {other:?}"),
+            }
+        };
+        let mut exec = PipelineExecutor::new(&ctx, &keys, config).unwrap();
+        let got = match exec.resume(&ct, &program_b).unwrap() {
+            RunOutcome::Completed(out) => out,
+            other => panic!("resume did not complete: {other:?}"),
+        };
+        assert_eq!(
+            ctx.serialize_ciphertext(&got),
+            ctx.serialize_ciphertext(&expected),
+            "job B must restart from its own input, not job A's checkpoint"
+        );
+        assert_eq!(
+            exec.telemetry().restores,
+            0,
+            "no checkpoint of job B exists, so nothing may be restored"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cancellation_aborts_without_consuming_retries() {
+        let ctx = strict_ctx();
+        let dir = tmpdir("cancel");
+        let (_sk, keys, ct, mut config) = setup(&ctx, &dir, 0);
+        config.checkpoint_dir = None;
+        let program = Program::new()
+            .then(PipelineOp::Square)
+            .then(PipelineOp::Rescale);
+        let mut exec = PipelineExecutor::new(&ctx, &keys, config).unwrap();
+        let control = RunControl::new();
+        control.cancel();
+        exec.set_control(control.clone());
+        assert!(control.is_cancelled());
+        match exec.run(&ct, &program) {
+            Err(FheError::Cancelled { .. }) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        let t = exec.telemetry();
+        assert_eq!(t.ops_executed, 0, "cancel before op 0 must run nothing");
+        assert_eq!(t.retries, 0, "cancellation is a verdict, not a fault");
+        assert_eq!(t.faults_detected, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn expired_deadline_aborts_at_an_op_boundary() {
+        let ctx = strict_ctx();
+        let dir = tmpdir("deadline");
+        let (_sk, keys, ct, mut config) = setup(&ctx, &dir, 0);
+        config.checkpoint_dir = None;
+        let program = Program::new()
+            .then(PipelineOp::Square)
+            .then(PipelineOp::Rescale);
+        let mut exec = PipelineExecutor::new(&ctx, &keys, config).unwrap();
+        let control = RunControl::with_deadline(Duration::ZERO);
+        // A zero budget armed in the past is already expired by the first
+        // boundary check.
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(control.is_past_deadline());
+        exec.set_control(control);
+        match exec.run(&ct, &program) {
+            Err(FheError::DeadlineExceeded { elapsed_ms, .. }) => {
+                assert!(elapsed_ms >= 1, "elapsed clock must be reported");
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert_eq!(exec.telemetry().retries, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn generous_deadline_does_not_disturb_a_clean_run() {
+        let ctx = strict_ctx();
+        let dir = tmpdir("deadline-ok");
+        let (_sk, keys, ct, config) = setup(&ctx, &dir, 2);
+        let program = Program::new()
+            .then(PipelineOp::Square)
+            .then(PipelineOp::Rescale);
+        let mut exec = PipelineExecutor::new(&ctx, &keys, config).unwrap();
+        exec.set_control(RunControl::with_deadline(Duration::from_secs(3600)));
+        assert!(matches!(
+            exec.run(&ct, &program).unwrap(),
+            RunOutcome::Completed(_)
+        ));
+        // take_telemetry hands the counters over and resets for the next
+        // job on a reused executor.
+        let t = exec.take_telemetry();
+        assert_eq!(t.ops_executed, 2);
+        assert_eq!(exec.telemetry(), RecoveryTelemetry::default());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -38,5 +38,7 @@ mod executor;
 mod program;
 
 pub use checkpoint::{Checkpoint, CheckpointStore, WorkState};
-pub use executor::{ExecutorConfig, PipelineExecutor, RecoveryTelemetry, RunOutcome};
-pub use program::{PipelineOp, Program};
+pub use executor::{
+    ExecutorConfig, PipelineExecutor, RecoveryTelemetry, RunControl, RunOutcome,
+};
+pub use program::{PipelineOp, Program, MAX_PLAIN_VALUES, MAX_PROGRAM_OPS};

@@ -1,6 +1,19 @@
 //! Declared pipelines: the unit of work the executor runs and checkpoints.
 
 use cl_boot::BootState;
+use cl_ckks::serialize::{
+    fnv1a, peek_header, put_f64, put_i64, put_u32, put_u64, put_u8, write_header, ObjectTag,
+    Reader,
+};
+use cl_ckks::{FheError, FheResult};
+
+/// Hard cap on the declared op count of a deserialized program. A hostile
+/// length prefix must not be able to drive allocation; real pipelines are
+/// orders of magnitude below this.
+pub const MAX_PROGRAM_OPS: usize = 65_536;
+
+/// Hard cap on the element count of one plaintext operand vector.
+pub const MAX_PLAIN_VALUES: usize = 1 << 20;
 
 /// One homomorphic operation in a declared pipeline.
 ///
@@ -122,6 +135,145 @@ impl Program {
         }
         out
     }
+
+    /// Serializes the program in the workspace wire format
+    /// ([`ObjectTag::Program`]), stamped with `fingerprint` — callers bind
+    /// a program to the parameter set it was authored for, so a job queue
+    /// can reject a program submitted against the wrong tenant context
+    /// before any homomorphic work runs.
+    pub fn serialize(&self, fingerprint: u64) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + 16 * self.ops.len());
+        write_header(&mut out, ObjectTag::Program, fingerprint);
+        let body_start = out.len();
+        put_u32(&mut out, self.ops.len() as u32);
+        for op in &self.ops {
+            match op {
+                PipelineOp::Square => put_u8(&mut out, 0),
+                PipelineOp::Rescale => put_u8(&mut out, 1),
+                PipelineOp::AddPlain(vals) => {
+                    put_u8(&mut out, 2);
+                    put_u32(&mut out, vals.len() as u32);
+                    for v in vals {
+                        put_f64(&mut out, *v);
+                    }
+                }
+                PipelineOp::MulPlainRescale(vals) => {
+                    put_u8(&mut out, 3);
+                    put_u32(&mut out, vals.len() as u32);
+                    for v in vals {
+                        put_f64(&mut out, *v);
+                    }
+                }
+                PipelineOp::Rotate(steps) => {
+                    put_u8(&mut out, 4);
+                    put_i64(&mut out, *steps);
+                }
+                PipelineOp::Conjugate => put_u8(&mut out, 5),
+                PipelineOp::Bootstrap => put_u8(&mut out, 6),
+            }
+        }
+        let cksum = fnv1a(&out[body_start..]);
+        put_u64(&mut out, cksum);
+        out
+    }
+
+    /// Loads a program written by [`Program::serialize`], treating the blob
+    /// as untrusted: header, fingerprint, op-count and vector-length caps,
+    /// finiteness of plaintext operands, and the trailing body checksum are
+    /// all verified before a [`Program`] is returned.
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::Serialization`] for structural damage (truncation,
+    /// unknown op tags, hostile lengths, non-finite operands),
+    /// [`FheError::ParamsMismatch`] for a foreign fingerprint, and
+    /// [`FheError::ChecksumMismatch`] for a blob corrupted after writing.
+    pub fn try_deserialize(bytes: &[u8], want_fingerprint: u64) -> FheResult<Self> {
+        let mut r = Reader::new("load_program", bytes);
+        r.read_header(ObjectTag::Program, want_fingerprint)?;
+        let body_start = r.pos();
+        let count = r.u32()? as usize;
+        if count > MAX_PROGRAM_OPS {
+            return Err(r.err(format!(
+                "declared op count {count} exceeds the {MAX_PROGRAM_OPS} cap"
+            )));
+        }
+        let mut ops = Vec::with_capacity(count);
+        for i in 0..count {
+            let tag = r.u8()?;
+            let op = match tag {
+                0 => PipelineOp::Square,
+                1 => PipelineOp::Rescale,
+                2 | 3 => {
+                    let len = r.u32()? as usize;
+                    if len > MAX_PLAIN_VALUES {
+                        return Err(r.err(format!(
+                            "op {i}: plaintext vector length {len} exceeds the \
+                             {MAX_PLAIN_VALUES} cap"
+                        )));
+                    }
+                    let mut vals = Vec::with_capacity(len);
+                    for j in 0..len {
+                        let v = r.f64()?;
+                        if !v.is_finite() {
+                            return Err(r.err(format!(
+                                "op {i}: plaintext value {j} is not finite ({v})"
+                            )));
+                        }
+                        vals.push(v);
+                    }
+                    if tag == 2 {
+                        PipelineOp::AddPlain(vals)
+                    } else {
+                        PipelineOp::MulPlainRescale(vals)
+                    }
+                }
+                4 => PipelineOp::Rotate(r.i64()?),
+                5 => PipelineOp::Conjugate,
+                6 => PipelineOp::Bootstrap,
+                other => return Err(r.err(format!("op {i}: unknown op tag {other}"))),
+            };
+            ops.push(op);
+        }
+        let computed = fnv1a(r.region_since(body_start));
+        let stored = r.u64()?;
+        if stored != computed {
+            return Err(FheError::ChecksumMismatch {
+                op: "load_program",
+                section: "program body".into(),
+                stored,
+                computed,
+            });
+        }
+        r.finish()?;
+        Ok(Self { ops })
+    }
+
+    /// Cheap admission pre-check for an untrusted blob that should contain
+    /// a program: validates the header shape, the object tag, and the
+    /// params fingerprint — without parsing (or allocating for) the body.
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::Serialization`] for a malformed header or a non-program
+    /// tag, [`FheError::ParamsMismatch`] for a foreign fingerprint.
+    pub fn peek(bytes: &[u8], want_fingerprint: u64) -> FheResult<()> {
+        let (tag, fp) = peek_header("peek_program", bytes)?;
+        if tag != ObjectTag::Program {
+            return Err(FheError::Serialization {
+                op: "peek_program",
+                reason: format!("blob holds a {tag:?}, not a Program"),
+            });
+        }
+        if fp != want_fingerprint {
+            return Err(FheError::ParamsMismatch {
+                op: "peek_program",
+                got: fp,
+                want: want_fingerprint,
+            });
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -143,5 +295,101 @@ mod tests {
         assert_eq!(sched[BootState::NUM_STAGES + 1], (2, 0));
         assert!(p.needs_bootstrapper());
         assert!(!Program::new().then(PipelineOp::Square).needs_bootstrapper());
+    }
+
+    const FP: u64 = 0xD15EA5E_u64;
+
+    fn sample_program() -> Program {
+        Program::new()
+            .then(PipelineOp::Square)
+            .then(PipelineOp::Rescale)
+            .then(PipelineOp::AddPlain(vec![0.25, -1.5]))
+            .then(PipelineOp::MulPlainRescale(vec![2.0]))
+            .then(PipelineOp::Rotate(-3))
+            .then(PipelineOp::Conjugate)
+            .then(PipelineOp::Bootstrap)
+    }
+
+    #[test]
+    fn program_roundtrips_bit_exactly() {
+        let p = sample_program();
+        let blob = p.serialize(FP);
+        assert!(Program::peek(&blob, FP).is_ok());
+        let back = Program::try_deserialize(&blob, FP).unwrap();
+        assert_eq!(back, p);
+        // Empty programs roundtrip too.
+        let empty = Program::new();
+        assert_eq!(
+            Program::try_deserialize(&empty.serialize(FP), FP).unwrap(),
+            empty
+        );
+    }
+
+    #[test]
+    fn program_load_rejects_every_single_byte_flip() {
+        let blob = sample_program().serialize(FP);
+        for i in 0..blob.len() {
+            let mut bad = blob.clone();
+            bad[i] ^= 0xff;
+            assert!(
+                Program::try_deserialize(&bad, FP).is_err(),
+                "flip at byte {i} must not load"
+            );
+        }
+    }
+
+    #[test]
+    fn program_load_rejects_truncation_and_wrong_fingerprint() {
+        let blob = sample_program().serialize(FP);
+        for len in 0..blob.len() {
+            assert!(
+                Program::try_deserialize(&blob[..len], FP).is_err(),
+                "truncation to {len} bytes must not load"
+            );
+        }
+        assert!(matches!(
+            Program::try_deserialize(&blob, FP + 1),
+            Err(FheError::ParamsMismatch { .. })
+        ));
+        assert!(matches!(
+            Program::peek(&blob, FP + 1),
+            Err(FheError::ParamsMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn program_load_rejects_hostile_lengths_and_values() {
+        // A declared op count beyond the cap must be rejected before any
+        // allocation happens (the blob is nowhere near large enough).
+        let mut blob = Vec::new();
+        write_header(&mut blob, ObjectTag::Program, FP);
+        put_u32(&mut blob, (MAX_PROGRAM_OPS + 1) as u32);
+        let err = Program::try_deserialize(&blob, FP).expect_err("hostile op count");
+        assert!(err.to_string().contains("cap"), "{err}");
+
+        // Same for a hostile plaintext vector length.
+        let mut blob = Vec::new();
+        write_header(&mut blob, ObjectTag::Program, FP);
+        let body = blob.len();
+        put_u32(&mut blob, 1);
+        put_u8(&mut blob, 2); // AddPlain
+        put_u32(&mut blob, (MAX_PLAIN_VALUES + 1) as u32);
+        let cksum = fnv1a(&blob[body..]);
+        put_u64(&mut blob, cksum);
+        assert!(Program::try_deserialize(&blob, FP).is_err());
+
+        // Non-finite plaintext operands are data-plane poison: rejected.
+        let p = Program::new().then(PipelineOp::AddPlain(vec![f64::NAN]));
+        let blob = p.serialize(FP);
+        let err = Program::try_deserialize(&blob, FP).expect_err("NaN operand");
+        assert!(err.to_string().contains("finite"), "{err}");
+    }
+
+    #[test]
+    fn program_peek_rejects_non_program_objects() {
+        // A ciphertext-tagged header must not pass the program peek.
+        let mut blob = Vec::new();
+        write_header(&mut blob, ObjectTag::Ciphertext, FP);
+        assert!(Program::peek(&blob, FP).is_err());
     }
 }

@@ -1,0 +1,48 @@
+//! Multi-tenant FHE job serving for the CraterLake reproduction.
+//!
+//! CraterLake's deployment story (Sec. 2 of the paper) is an accelerator
+//! *shared* by mutually distrusting clients: many tenants stream deep,
+//! bootstrapped pipelines at one machine, and the operator must bound
+//! memory, bound latency, and guarantee that one tenant's hostile or
+//! unlucky job cannot perturb another's results. This crate supplies
+//! that serving layer over the `cl-runtime` executor:
+//!
+//! - [`JobServer`]: a fixed worker pool over a *bounded*, tenant-fair
+//!   [`AdmissionQueue`] — overload is shed synchronously with
+//!   [`cl_ckks::FheError::Overloaded`] and a retry-after hint, never
+//!   absorbed as unbounded queue growth;
+//! - per-job [`RunControl`] deadlines (the clock starts at admission, so
+//!   queue wait counts) and cancellation, enforced at micro-op
+//!   boundaries inside the executor;
+//! - server-level retry with exponential backoff layered on the
+//!   executor's restore-and-retry, metered by a per-tenant retry budget;
+//! - tenant isolation: per-tenant params fingerprints (checked at
+//!   admission *and* on every deep parse), per-tenant LRU [`KeyCache`]s,
+//!   and disjoint per-`(tenant, worker)` checkpoint directories guarded
+//!   by the `CheckpointStore` owner lock;
+//! - structured outcomes: every failure maps to a stable
+//!   [`OutcomeCode`], with per-tenant [`TenantReport`] accounting
+//!   (job counts, shed counts, retry spend, recovery telemetry, op
+//!   deltas).
+//!
+//! The isolation contract is validated in `tests/server_chaos.rs`: under
+//! seeded fault injection, cancellations, deadline kills, and a poisoned
+//! tenant, every surviving job's output is limb-bit-identical to a
+//! serial fault-free run.
+//!
+//! [`RunControl`]: cl_runtime::RunControl
+
+#![warn(missing_docs)]
+// Library code must propagate failures (`FheResult`/`?`) or `expect` with
+// the violated invariant; tests are exempt. Enforced by scripts/verify.sh.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+mod job;
+mod queue;
+mod server;
+mod tenant;
+
+pub use job::{JobId, JobOutcome, JobSpec, OutcomeCode};
+pub use queue::{AdmissionQueue, ShedReason};
+pub use server::{JobHandle, JobServer, ServerConfig};
+pub use tenant::{KeyCache, KeyCacheStats, TenantReport, TenantState};

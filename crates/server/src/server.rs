@@ -1,0 +1,809 @@
+//! The multi-tenant job server.
+//!
+//! A fixed pool of worker threads drains a bounded, tenant-fair
+//! [`AdmissionQueue`]; every job runs on a [`PipelineExecutor`] under
+//! [`cl_ckks::GuardrailPolicy::Strict`] with durable checkpoints, an
+//! attached [`RunControl`] (cancellation + deadline), and a server-level
+//! retry loop on top of the executor's own restore-and-retry:
+//!
+//! - an executor attempt that *crashes* (fault-plan kill point) or gives
+//!   up with an integrity failure is resumed on a fresh executor from the
+//!   newest durable checkpoint, after an exponential backoff, while the
+//!   tenant's retry budget lasts;
+//! - deterministic rejections (malformed blobs, foreign fingerprints,
+//!   guardrail verdicts, cancellation, deadline expiry) fail exactly
+//!   once — retrying them would burn budget to reproduce the verdict.
+//!
+//! Worker threads submit *nothing* across tenant boundaries: the job
+//! carries its tenant's context, key cache, and per-`(tenant, worker)`
+//! checkpoint directory, so one tenant's corrupt blob, injected faults,
+//! or mid-job kill cannot perturb another tenant's results (asserted
+//! bit-exactly in `tests/server_chaos.rs`).
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use cl_ckks::serialize::{peek_header, ObjectTag};
+use cl_ckks::{CkksContext, FheError, FheResult, GuardrailPolicy};
+use cl_runtime::{
+    ExecutorConfig, PipelineExecutor, Program, RecoveryTelemetry, RunControl, RunOutcome,
+};
+use cl_trace::OpSnapshot;
+
+use crate::job::{JobId, JobOutcome, JobSpec, OutcomeCode};
+use crate::queue::{AdmissionQueue, ShedReason};
+use crate::tenant::{TenantRegistry, TenantReport, TenantState};
+
+/// Base unit for the retry-after hint returned with an
+/// [`FheError::Overloaded`] rejection; scaled by queue pressure.
+const RETRY_AFTER_BASE_MS: u64 = 10;
+
+/// Server configuration. The defaults suit tests and smoke runs; a real
+/// deployment sizes the queue and budgets to its SLO.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads draining the queue (min 1).
+    pub workers: usize,
+    /// Global admission bound: queued jobs across all tenants. This is
+    /// the server's memory bound — blobs are only held while queued or
+    /// running.
+    pub queue_capacity: usize,
+    /// Per-tenant admission bound (tenant-fair shedding).
+    pub tenant_queue_capacity: usize,
+    /// Root directory; tenant checkpoint dirs are created beneath it.
+    pub checkpoint_root: PathBuf,
+    /// Checkpoint cadence forwarded to [`ExecutorConfig`]. `0` disables
+    /// durable checkpoints (server retries then restart from the input).
+    pub checkpoint_every: u64,
+    /// Restore-and-retry budget *inside* one executor attempt.
+    pub executor_retries: u32,
+    /// Server-level retry units granted to each tenant at registration
+    /// (shared across that tenant's jobs).
+    pub tenant_retry_budget: u32,
+    /// Cap on server-level attempts for a single job, independent of the
+    /// tenant budget.
+    pub max_job_retries: u32,
+    /// Parsed key bundles kept per tenant (LRU beyond this).
+    pub key_cache_capacity: usize,
+    /// Deadline applied when a [`JobSpec`] does not set one. `None`
+    /// means no deadline.
+    pub default_deadline: Option<Duration>,
+    /// First backoff sleep before a server-level retry; doubles per
+    /// attempt (capped at 2^6 multiples).
+    pub backoff_base_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 1,
+            queue_capacity: 64,
+            tenant_queue_capacity: 16,
+            checkpoint_root: std::env::temp_dir().join("cl-server"),
+            checkpoint_every: 4,
+            executor_retries: 8,
+            tenant_retry_budget: 16,
+            max_job_retries: 3,
+            key_cache_capacity: 4,
+            default_deadline: None,
+            backoff_base_ms: 1,
+        }
+    }
+}
+
+/// A submitted job's handle: its id plus the shared [`RunControl`], so
+/// the submitter can cancel while the job is queued or mid-run.
+#[derive(Debug, Clone)]
+pub struct JobHandle {
+    /// The server-assigned job id.
+    pub id: JobId,
+    control: RunControl,
+}
+
+impl JobHandle {
+    /// Requests cancellation; takes effect at the next micro-op boundary
+    /// (or immediately if the job is still queued).
+    pub fn cancel(&self) {
+        self.control.cancel();
+    }
+}
+
+struct QueuedJob {
+    id: JobId,
+    spec: JobSpec,
+    control: RunControl,
+    tenant: Arc<TenantState>,
+}
+
+struct Shared {
+    config: ServerConfig,
+    queue: Mutex<AdmissionQueue<QueuedJob>>,
+    work_cv: Condvar,
+    registry: TenantRegistry,
+    /// Completed outcomes by raw job id; pending decrements happen under
+    /// this lock so `wait`/`wait_idle` never miss a wakeup.
+    outcomes: Mutex<HashMap<u64, JobOutcome>>,
+    done_cv: Condvar,
+    /// Jobs admitted but not yet finished (queued + running).
+    pending: AtomicUsize,
+    shutdown: AtomicBool,
+}
+
+/// The multi-tenant job server. See the module docs for the scheduling
+/// and isolation model.
+pub struct JobServer {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl JobServer {
+    /// Starts the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::Serialization`] when the checkpoint root cannot be
+    /// created.
+    pub fn start(config: ServerConfig) -> FheResult<Self> {
+        std::fs::create_dir_all(&config.checkpoint_root).map_err(|e| {
+            FheError::Serialization {
+                op: "server_start",
+                reason: format!(
+                    "cannot create checkpoint root {}: {e}",
+                    config.checkpoint_root.display()
+                ),
+            }
+        })?;
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(AdmissionQueue::new(
+                config.queue_capacity,
+                config.tenant_queue_capacity,
+            )),
+            work_cv: Condvar::new(),
+            registry: TenantRegistry::default(),
+            outcomes: Mutex::new(HashMap::new()),
+            done_cv: Condvar::new(),
+            pending: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            config,
+        });
+        let handles = (0..workers)
+            .map(|widx| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("cl-server-w{widx}"))
+                    .spawn(move || worker_loop(&shared, widx))
+                    .map_err(|e| FheError::Serialization {
+                        op: "server_start",
+                        reason: format!("cannot spawn worker {widx}: {e}"),
+                    })
+            })
+            .collect::<FheResult<Vec<_>>>()?;
+        Ok(Self {
+            shared,
+            workers: handles,
+            next_id: AtomicU64::new(0),
+        })
+    }
+
+    /// Registers a tenant under `id` with its parameter context. The
+    /// context fixes the fingerprint every blob the tenant submits must
+    /// carry.
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::InvalidParams`] for a duplicate id, an id that is not
+    /// directory-name safe (`[A-Za-z0-9._-]+`), or a context not running
+    /// [`GuardrailPolicy::Strict`] (the executor refuses anything else).
+    /// [`FheError::Serialization`] when the tenant checkpoint directory
+    /// cannot be created.
+    pub fn register_tenant(&self, id: &str, ctx: Arc<CkksContext>) -> FheResult<()> {
+        if id.is_empty()
+            || !id
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+        {
+            return Err(FheError::InvalidParams {
+                op: "register_tenant",
+                reason: format!("tenant id {id:?} is not directory-name safe"),
+            });
+        }
+        if !matches!(ctx.policy(), GuardrailPolicy::Strict { .. }) {
+            return Err(FheError::InvalidParams {
+                op: "register_tenant",
+                reason: "served contexts must run GuardrailPolicy::Strict \
+                         (fault recovery needs detection)"
+                    .into(),
+            });
+        }
+        let root = self.shared.config.checkpoint_root.join(id);
+        std::fs::create_dir_all(&root).map_err(|e| FheError::Serialization {
+            op: "register_tenant",
+            reason: format!("cannot create tenant dir {}: {e}", root.display()),
+        })?;
+        let state = Arc::new(TenantState::new(
+            id.to_string(),
+            ctx,
+            root,
+            self.shared.config.key_cache_capacity,
+            self.shared.config.tenant_retry_budget,
+        ));
+        if !self.shared.registry.insert(state) {
+            return Err(FheError::InvalidParams {
+                op: "register_tenant",
+                reason: format!("tenant {id:?} is already registered"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Submits a job. Admission is synchronous and cheap: tenant lookup,
+    /// header pre-checks on all three blobs (magic, tag, fingerprint —
+    /// no payload parse), then a bounded enqueue. The deadline clock
+    /// starts *now*, so queue wait counts against it.
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::Overloaded`] with a retry-after hint when the global
+    /// or per-tenant queue bound is hit (the job was not enqueued and no
+    /// memory is retained); [`FheError::InvalidParams`] for an unknown
+    /// tenant; [`FheError::Serialization`] /
+    /// [`FheError::ParamsMismatch`] when a blob header fails the
+    /// pre-check.
+    pub fn submit(&self, spec: JobSpec) -> FheResult<JobHandle> {
+        let shared = &self.shared;
+        let tenant = shared.registry.get(&spec.tenant).ok_or_else(|| {
+            FheError::InvalidParams {
+                op: "submit",
+                reason: format!("unknown tenant {:?}", spec.tenant),
+            }
+        })?;
+        Program::peek(&spec.program_blob, tenant.fingerprint)?;
+        check_blob_header("submit_input", &spec.input_blob, ObjectTag::Ciphertext, &tenant)?;
+        check_blob_header("submit_keys", &spec.key_blob, ObjectTag::BootstrapKeys, &tenant)?;
+
+        let budget = spec.deadline.or(shared.config.default_deadline);
+        let control = match budget {
+            Some(d) => RunControl::with_deadline(d),
+            None => RunControl::new(),
+        };
+        let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let job = QueuedJob {
+            id,
+            spec,
+            control: control.clone(),
+            tenant: Arc::clone(&tenant),
+        };
+        {
+            let mut queue = lock_queue(shared);
+            if let Err((_, reason)) = queue.try_push(&tenant.id, job) {
+                let qlen = queue.len();
+                drop(queue);
+                tenant.record_shed();
+                let op = match reason {
+                    ShedReason::GlobalFull => "submit",
+                    ShedReason::TenantFull => "submit_tenant",
+                };
+                return Err(FheError::Overloaded {
+                    op,
+                    retry_after_ms: retry_after_hint(qlen, shared.config.workers),
+                });
+            }
+        }
+        shared.pending.fetch_add(1, Ordering::AcqRel);
+        shared.work_cv.notify_one();
+        Ok(JobHandle { id, control })
+    }
+
+    /// Blocks until job `id` finishes and returns its outcome. Returns
+    /// immediately if it already finished. Panics-free: an id this server
+    /// never issued blocks forever, so callers pass handles they got from
+    /// [`JobServer::submit`].
+    pub fn wait(&self, id: JobId) -> JobOutcome {
+        let mut outcomes = lock_outcomes(&self.shared);
+        loop {
+            if let Some(out) = outcomes.get(&id.0) {
+                return out.clone();
+            }
+            outcomes = self
+                .shared
+                .done_cv
+                .wait(outcomes)
+                .expect("outcome map poisoned: a holder panicked mid-update");
+        }
+    }
+
+    /// Blocks until every admitted job has an outcome.
+    pub fn wait_idle(&self) {
+        let mut outcomes = lock_outcomes(&self.shared);
+        while self.shared.pending.load(Ordering::Acquire) > 0 {
+            outcomes = self
+                .shared
+                .done_cv
+                .wait(outcomes)
+                .expect("outcome map poisoned: a holder panicked mid-update");
+        }
+        drop(outcomes);
+    }
+
+    /// The outcome of `id`, if it has finished.
+    pub fn outcome(&self, id: JobId) -> Option<JobOutcome> {
+        lock_outcomes(&self.shared).get(&id.0).cloned()
+    }
+
+    /// Jobs admitted but not yet finished.
+    pub fn pending(&self) -> usize {
+        self.shared.pending.load(Ordering::Acquire)
+    }
+
+    /// Jobs currently queued (admitted, not yet picked up).
+    pub fn queued(&self) -> usize {
+        lock_queue(&self.shared).len()
+    }
+
+    /// The accounting report for `tenant`, if registered.
+    pub fn tenant_report(&self, tenant: &str) -> Option<TenantReport> {
+        self.shared.registry.get(tenant).map(|t| t.report())
+    }
+
+    /// All registered tenant ids, sorted.
+    pub fn tenants(&self) -> Vec<String> {
+        self.shared.registry.ids()
+    }
+
+    /// Graceful shutdown: waits for every admitted job to finish, stops
+    /// the workers, and returns all outcomes in submission order.
+    pub fn shutdown(mut self) -> Vec<JobOutcome> {
+        self.wait_idle();
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.work_cv.notify_all();
+        for handle in self.workers.drain(..) {
+            // A worker that panicked outside the catch_unwind guard has
+            // already lost its jobs; joining the poisoned handle must not
+            // take the server down with it.
+            let _ = handle.join();
+        }
+        let outcomes = lock_outcomes(&self.shared);
+        let mut all: Vec<JobOutcome> = outcomes.values().cloned().collect();
+        all.sort_by_key(|o| o.id);
+        all
+    }
+}
+
+fn retry_after_hint(queue_len: usize, workers: usize) -> u64 {
+    // Deterministic pressure-proportional hint: one base unit per queued
+    // job per worker. Clients treat it as a floor, not a promise.
+    RETRY_AFTER_BASE_MS * (1 + queue_len as u64 / workers.max(1) as u64)
+}
+
+fn check_blob_header(
+    op: &'static str,
+    bytes: &[u8],
+    want_tag: ObjectTag,
+    tenant: &TenantState,
+) -> FheResult<()> {
+    let (tag, fingerprint) = peek_header(op, bytes)?;
+    if tag != want_tag {
+        return Err(FheError::Serialization {
+            op,
+            reason: format!("expected a {want_tag:?} blob, found {tag:?}"),
+        });
+    }
+    if fingerprint != tenant.fingerprint {
+        return Err(FheError::ParamsMismatch {
+            op,
+            got: fingerprint,
+            want: tenant.fingerprint,
+        });
+    }
+    Ok(())
+}
+
+fn lock_queue(shared: &Shared) -> std::sync::MutexGuard<'_, AdmissionQueue<QueuedJob>> {
+    shared
+        .queue
+        .lock()
+        .expect("admission queue poisoned: a holder panicked mid-update")
+}
+
+fn lock_outcomes(shared: &Shared) -> std::sync::MutexGuard<'_, HashMap<u64, JobOutcome>> {
+    shared
+        .outcomes
+        .lock()
+        .expect("outcome map poisoned: a holder panicked mid-update")
+}
+
+fn worker_loop(shared: &Shared, widx: usize) {
+    loop {
+        let job = {
+            let mut queue = lock_queue(shared);
+            loop {
+                if let Some((_, job)) = queue.pop_fair() {
+                    break job;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = shared
+                    .work_cv
+                    .wait(queue)
+                    .expect("admission queue poisoned: a holder panicked mid-update");
+            }
+        };
+        let outcome = execute_job(shared, widx, job);
+        let mut outcomes = lock_outcomes(shared);
+        outcomes.insert(outcome.id.0, outcome);
+        shared.pending.fetch_sub(1, Ordering::AcqRel);
+        shared.done_cv.notify_all();
+    }
+}
+
+/// Runs one job to a structured outcome. Nothing escapes: errors map to
+/// outcome codes, and a panic in the FHE stack (which would otherwise
+/// kill the worker and strand the queue) is contained as
+/// [`OutcomeCode::Internal`].
+fn execute_job(shared: &Shared, widx: usize, job: QueuedJob) -> JobOutcome {
+    let tenant = Arc::clone(&job.tenant);
+    let id = job.id;
+    let ops_before = OpSnapshot::capture();
+    let mut recovery = RecoveryTelemetry::default();
+    let mut retries = 0u32;
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        run_attempts(shared, widx, &job, &mut recovery, &mut retries)
+    }))
+    .unwrap_or_else(|_| {
+        Err((
+            OutcomeCode::Internal,
+            "worker panicked while executing the job; contained".to_string(),
+        ))
+    });
+    // Op deltas are attributed from the process-global counters: exact
+    // with one worker, approximate (interleaved) with several.
+    let ops_delta = OpSnapshot::capture().delta_since(&ops_before);
+    tenant.absorb(recovery, ops_delta);
+    match result {
+        Ok(output) => {
+            tenant.record_ok();
+            JobOutcome {
+                id,
+                tenant: tenant.id.clone(),
+                code: OutcomeCode::Ok,
+                output: Some(output),
+                detail: String::new(),
+                recovery,
+                retries,
+            }
+        }
+        Err((code, detail)) => {
+            tenant.record_failed();
+            JobOutcome {
+                id,
+                tenant: tenant.id.clone(),
+                code,
+                output: None,
+                detail,
+                recovery,
+                retries,
+            }
+        }
+    }
+}
+
+type AttemptError = (OutcomeCode, String);
+
+fn classify(err: &FheError) -> AttemptError {
+    (OutcomeCode::from_error(err), err.to_string())
+}
+
+fn run_attempts(
+    shared: &Shared,
+    widx: usize,
+    job: &QueuedJob,
+    recovery: &mut RecoveryTelemetry,
+    retries: &mut u32,
+) -> Result<Vec<u8>, AttemptError> {
+    let tenant = &job.tenant;
+    let ctx = &*tenant.ctx;
+    // The control is checked before any parsing: a job cancelled while
+    // queued, or whose deadline elapsed waiting, spends no compute.
+    job.control.check("dequeue").map_err(|e| classify(&e))?;
+
+    let program = Program::try_deserialize(&job.spec.program_blob, tenant.fingerprint)
+        .map_err(|e| classify(&e))?;
+    if program.needs_bootstrapper() {
+        return Err((
+            OutcomeCode::Unsupported,
+            "this server does not host a bootstrapper; bootstrap programs are not served"
+                .to_string(),
+        ));
+    }
+    let input = ctx
+        .try_deserialize_ciphertext(&job.spec.input_blob)
+        .map_err(|e| classify(&e))?;
+    let keys = tenant
+        .keys
+        .get_or_load(ctx, &job.spec.key_blob)
+        .map_err(|e| classify(&e))?;
+
+    // Disjoint per-(tenant, worker) directory: the CheckpointStore owner
+    // lock never contends across tenants or workers.
+    let dir = tenant.checkpoint_root.join(format!("w{widx}"));
+    #[cfg(feature = "faults")]
+    let mut plan = job.spec.fault_plan.clone();
+
+    let mut attempt = 0u32;
+    loop {
+        job.control.check("attempt").map_err(|e| classify(&e))?;
+        let config = ExecutorConfig {
+            checkpoint_every: shared.config.checkpoint_every,
+            max_retries: shared.config.executor_retries,
+            checkpoint_dir: (shared.config.checkpoint_every > 0).then(|| dir.clone()),
+        };
+        let mut exec =
+            PipelineExecutor::new(ctx, &keys, config).map_err(|e| classify(&e))?;
+        exec.set_control(job.control.clone());
+        #[cfg(feature = "faults")]
+        if let Some(p) = plan.take() {
+            exec.set_fault_plan(p);
+        }
+        let res = if attempt == 0 {
+            exec.run(&input, &program)
+        } else {
+            exec.resume(&input, &program)
+        };
+        #[cfg(feature = "faults")]
+        {
+            // Preserve the advanced fault stream across attempts; fired
+            // kill points stay fired.
+            plan = exec.take_fault_plan();
+        }
+        recovery.merge(&exec.take_telemetry());
+        drop(exec); // releases the checkpoint-dir owner lock
+
+        let verdict: Option<AttemptError> = match res {
+            Ok(RunOutcome::Completed(ct)) => return Ok(ctx.serialize_ciphertext(&ct)),
+            Ok(RunOutcome::Crashed) => None, // always worth a resume
+            Err(err) => {
+                let classified = classify(&err);
+                if !classified.0.retryable() {
+                    return Err(classified);
+                }
+                Some(classified)
+            }
+        };
+        let exhausted = |why: &str, last: Option<AttemptError>| {
+            last.map_or_else(
+                || {
+                    (
+                        OutcomeCode::RetryBudgetExhausted,
+                        format!("crashed and {why} before converging"),
+                    )
+                },
+                |(_, detail)| {
+                    (
+                        OutcomeCode::RetryBudgetExhausted,
+                        format!("{why}; last error: {detail}"),
+                    )
+                },
+            )
+        };
+        if attempt >= shared.config.max_job_retries {
+            return Err(exhausted("hit the per-job retry cap", verdict));
+        }
+        if !tenant.try_spend_retry() {
+            return Err(exhausted("exhausted the tenant retry budget", verdict));
+        }
+        *retries += 1;
+        // Exponential backoff, attempt-indexed and bounded; the deadline
+        // check at the top of the loop bounds the total wait.
+        let backoff = shared.config.backoff_base_ms << attempt.min(6);
+        if backoff > 0 {
+            std::thread::sleep(Duration::from_millis(backoff));
+        }
+        attempt += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cl_boot::BootstrapKeys;
+    use cl_ckks::{CkksParams, KeySwitchKind};
+    use cl_runtime::PipelineOp;
+    use rand::SeedableRng;
+
+    fn strict_ctx(limb_bits: u32) -> CkksContext {
+        let params = CkksParams::builder()
+            .ring_degree(64)
+            .levels(4)
+            .special_limbs(4)
+            .limb_bits(limb_bits)
+            .scale_bits(40)
+            .build()
+            .unwrap();
+        CkksContext::new(params)
+            .unwrap()
+            .with_policy(GuardrailPolicy::Strict {
+                min_budget_bits: -60.0,
+            })
+    }
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("cl-server-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    struct Fixture {
+        ctx: Arc<CkksContext>,
+        program: Program,
+        program_blob: Vec<u8>,
+        input_blob: Vec<u8>,
+        key_blob: Vec<u8>,
+        expected: Vec<u8>,
+    }
+
+    fn fixture(seed: u64) -> Fixture {
+        let ctx = Arc::new(strict_ctx(45));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sk = ctx.keygen_sparse(8, &mut rng);
+        let keys = BootstrapKeys::generate(&ctx, &sk, KeySwitchKind::Standard, &[1], &mut rng);
+        let pt = ctx.encode(&[0.5, -0.25, 0.125], ctx.default_scale(), ctx.max_level());
+        let ct = ctx.encrypt(&pt, &sk, &mut rng);
+        let program = Program::new()
+            .then(PipelineOp::Square)
+            .then(PipelineOp::Rescale)
+            .then(PipelineOp::Rotate(1));
+        // Serial clean reference on a private executor.
+        let mut exec = PipelineExecutor::new(
+            &ctx,
+            &keys,
+            ExecutorConfig {
+                checkpoint_every: 0,
+                max_retries: 1,
+                checkpoint_dir: None,
+            },
+        )
+        .unwrap();
+        let expected = match exec.run(&ct, &program).unwrap() {
+            RunOutcome::Completed(out) => ctx.serialize_ciphertext(&out),
+            other => panic!("reference run did not complete: {other:?}"),
+        };
+        Fixture {
+            program_blob: program.serialize(ctx.params_fingerprint()),
+            input_blob: ctx.serialize_ciphertext(&ct),
+            key_blob: keys.serialize(&ctx),
+            expected,
+            ctx,
+            program,
+        }
+    }
+
+    #[test]
+    fn submitted_job_completes_bit_identical_to_serial_run() {
+        let fx = fixture(11);
+        let root = tmp_root("e2e");
+        let server = JobServer::start(ServerConfig {
+            workers: 2,
+            checkpoint_root: root.clone(),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        server.register_tenant("alice", Arc::clone(&fx.ctx)).unwrap();
+        let handle = server
+            .submit(JobSpec::new(
+                "alice",
+                fx.program_blob.clone(),
+                fx.input_blob.clone(),
+                fx.key_blob.clone(),
+            ))
+            .unwrap();
+        let outcome = server.wait(handle.id);
+        assert_eq!(outcome.code, OutcomeCode::Ok, "{}", outcome.detail);
+        assert_eq!(outcome.output.as_deref(), Some(fx.expected.as_slice()));
+        assert_eq!(
+            outcome.recovery.ops_executed,
+            fx.program.num_micro_ops() as u64
+        );
+        let report = server.tenant_report("alice").unwrap();
+        assert_eq!(report.jobs_ok, 1);
+        assert_eq!(report.jobs_failed, 0);
+        assert_eq!(report.key_cache.misses, 1);
+        let all = server.shutdown();
+        assert_eq!(all.len(), 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn admission_rejects_unknown_tenants_and_foreign_blobs() {
+        let fx = fixture(13);
+        let root = tmp_root("admission");
+        let server = JobServer::start(ServerConfig {
+            checkpoint_root: root.clone(),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        server.register_tenant("alice", Arc::clone(&fx.ctx)).unwrap();
+
+        let spec = JobSpec::new(
+            "nobody",
+            fx.program_blob.clone(),
+            fx.input_blob.clone(),
+            fx.key_blob.clone(),
+        );
+        assert!(matches!(
+            server.submit(spec),
+            Err(FheError::InvalidParams { .. })
+        ));
+
+        // A program written under another parameter set is refused at the
+        // front door, before any payload parse.
+        let foreign = fx.program.serialize(fx.ctx.params_fingerprint() ^ 1);
+        let spec = JobSpec::new("alice", foreign, fx.input_blob.clone(), fx.key_blob.clone());
+        assert!(matches!(
+            server.submit(spec),
+            Err(FheError::ParamsMismatch { .. })
+        ));
+
+        // A ciphertext blob in the program slot is a tag mismatch.
+        let spec = JobSpec::new(
+            "alice",
+            fx.input_blob.clone(),
+            fx.input_blob.clone(),
+            fx.key_blob.clone(),
+        );
+        assert!(matches!(
+            server.submit(spec),
+            Err(FheError::Serialization { .. })
+        ));
+
+        assert!(server.shutdown().is_empty());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn tenant_registration_enforces_ids_policy_and_uniqueness() {
+        let root = tmp_root("register");
+        let server = JobServer::start(ServerConfig {
+            checkpoint_root: root.clone(),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let strict = Arc::new(strict_ctx(45));
+        server.register_tenant("t-1", Arc::clone(&strict)).unwrap();
+        assert!(matches!(
+            server.register_tenant("t-1", Arc::clone(&strict)),
+            Err(FheError::InvalidParams { .. })
+        ));
+        assert!(matches!(
+            server.register_tenant("../escape", Arc::clone(&strict)),
+            Err(FheError::InvalidParams { .. })
+        ));
+        let permissive = Arc::new(
+            CkksContext::new(
+                CkksParams::builder()
+                    .ring_degree(64)
+                    .levels(3)
+                    .special_limbs(3)
+                    .limb_bits(40)
+                    .scale_bits(32)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap(),
+        );
+        assert!(matches!(
+            server.register_tenant("perm", permissive),
+            Err(FheError::InvalidParams { .. })
+        ));
+        assert_eq!(server.tenants(), vec!["t-1".to_string()]);
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,376 @@
+//! Tenant state: parameter fingerprints, key caches, and accounting.
+//!
+//! Isolation between tenants is structural, not cooperative:
+//!
+//! - every tenant's blobs are validated against *its own* registered
+//!   params fingerprint, so a blob from tenant A (or a stale deployment)
+//!   can never be decoded into tenant B's job;
+//! - key bundles live in a per-tenant LRU cache keyed by blob digest —
+//!   one tenant's churn evicts only its own entries;
+//! - checkpoint directories are disjoint per `(tenant, worker)` pair, so
+//!   the `CheckpointStore` owner lock never contends across tenants and a
+//!   corrupt checkpoint poisons at most one tenant's retry path.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use cl_boot::BootstrapKeys;
+use cl_ckks::serialize::fnv1a;
+use cl_ckks::{CkksContext, FheResult};
+use cl_runtime::RecoveryTelemetry;
+use cl_trace::OpSnapshot;
+
+/// Key-cache counters for one tenant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KeyCacheStats {
+    /// Lookups served from the parsed cache.
+    pub hits: u64,
+    /// Lookups that had to deserialize (and integrity-check) the blob.
+    pub misses: u64,
+    /// Parsed bundles dropped to stay within the cache bound.
+    pub evictions: u64,
+}
+
+/// A bounded cache of parsed [`BootstrapKeys`] bundles, keyed by the
+/// FNV-1a digest of the serialized blob and evicted least-recently-used.
+/// Deserialization (with full checksum/fingerprint verification) is paid
+/// once per distinct blob while it stays resident.
+#[derive(Debug)]
+pub struct KeyCache {
+    inner: Mutex<KeyCacheInner>,
+}
+
+#[derive(Debug)]
+struct KeyCacheInner {
+    /// Most-recently-used first.
+    entries: Vec<(u64, Arc<BootstrapKeys>)>,
+    capacity: usize,
+    stats: KeyCacheStats,
+}
+
+impl KeyCache {
+    /// A cache holding at most `capacity` parsed bundles (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(KeyCacheInner {
+                entries: Vec::new(),
+                capacity: capacity.max(1),
+                stats: KeyCacheStats::default(),
+            }),
+        }
+    }
+
+    /// Returns the parsed bundle for `blob`, deserializing on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`BootstrapKeys::try_deserialize`] rejects: structural
+    /// damage, checksum mismatch, or a foreign params fingerprint. A
+    /// rejected blob is *not* cached — the next attempt revalidates.
+    pub fn get_or_load(&self, ctx: &CkksContext, blob: &[u8]) -> FheResult<Arc<BootstrapKeys>> {
+        let digest = fnv1a(blob);
+        {
+            let mut inner = self.lock();
+            if let Some(pos) = inner.entries.iter().position(|(d, _)| *d == digest) {
+                inner.stats.hits += 1;
+                let entry = inner.entries.remove(pos);
+                let keys = Arc::clone(&entry.1);
+                inner.entries.insert(0, entry);
+                return Ok(keys);
+            }
+        }
+        // Parse outside the lock: deserialization verifies every nested
+        // key and dominates the cost; other jobs keep hitting the cache.
+        let keys = Arc::new(BootstrapKeys::try_deserialize(ctx, blob)?);
+        let mut inner = self.lock();
+        inner.stats.misses += 1;
+        if let Some(pos) = inner.entries.iter().position(|(d, _)| *d == digest) {
+            // Another worker parsed the same blob concurrently; keep the
+            // resident copy and refresh its recency.
+            let entry = inner.entries.remove(pos);
+            let resident = Arc::clone(&entry.1);
+            inner.entries.insert(0, entry);
+            return Ok(resident);
+        }
+        inner.entries.insert(0, (digest, Arc::clone(&keys)));
+        while inner.entries.len() > inner.capacity {
+            inner.entries.pop();
+            inner.stats.evictions += 1;
+        }
+        Ok(keys)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> KeyCacheStats {
+        self.lock().stats
+    }
+
+    /// Parsed bundles currently resident.
+    pub fn resident(&self) -> usize {
+        self.lock().entries.len()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, KeyCacheInner> {
+        self.inner
+            .lock()
+            .expect("key cache poisoned: a holder panicked mid-update")
+    }
+}
+
+/// Everything the server holds for one registered tenant.
+#[derive(Debug)]
+pub struct TenantState {
+    /// Tenant identifier (directory-name safe by registration check).
+    pub id: String,
+    /// The tenant's parameter context (shared with its workers).
+    pub ctx: Arc<CkksContext>,
+    /// Fingerprint every one of this tenant's blobs must carry.
+    pub fingerprint: u64,
+    /// Parsed key bundles, LRU-bounded.
+    pub keys: KeyCache,
+    /// Root under which this tenant's per-worker checkpoint dirs live.
+    pub checkpoint_root: PathBuf,
+    /// Server-level retry units remaining (shared across the tenant's
+    /// jobs; each restore-and-resume attempt burns one).
+    pub retry_budget: AtomicU32,
+    jobs_ok: AtomicU64,
+    jobs_failed: AtomicU64,
+    jobs_shed: AtomicU64,
+    retries_spent: AtomicU64,
+    recovery: Mutex<RecoveryTelemetry>,
+    ops: Mutex<OpSnapshot>,
+}
+
+impl TenantState {
+    pub(crate) fn new(
+        id: String,
+        ctx: Arc<CkksContext>,
+        checkpoint_root: PathBuf,
+        key_cache_capacity: usize,
+        retry_budget: u32,
+    ) -> Self {
+        let fingerprint = ctx.params_fingerprint();
+        Self {
+            id,
+            ctx,
+            fingerprint,
+            keys: KeyCache::new(key_cache_capacity),
+            checkpoint_root,
+            retry_budget: AtomicU32::new(retry_budget),
+            jobs_ok: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            jobs_shed: AtomicU64::new(0),
+            retries_spent: AtomicU64::new(0),
+            recovery: Mutex::new(RecoveryTelemetry::default()),
+            ops: Mutex::new(OpSnapshot::default()),
+        }
+    }
+
+    /// Tries to consume one retry unit; `false` when the budget is spent.
+    pub fn try_spend_retry(&self) -> bool {
+        self.retry_budget
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |b| b.checked_sub(1))
+            .map(|_| {
+                self.retries_spent.fetch_add(1, Ordering::Relaxed);
+            })
+            .is_ok()
+    }
+
+    pub(crate) fn record_ok(&self) {
+        self.jobs_ok.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_failed(&self) {
+        self.jobs_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_shed(&self) {
+        self.jobs_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn absorb(&self, recovery: RecoveryTelemetry, ops: OpSnapshot) {
+        let mut agg = self
+            .recovery
+            .lock()
+            .expect("tenant telemetry poisoned: a holder panicked mid-update");
+        agg.merge(&recovery);
+        drop(agg);
+        let mut agg_ops = self
+            .ops
+            .lock()
+            .expect("tenant op ledger poisoned: a holder panicked mid-update");
+        *agg_ops = agg_ops.plus(&ops);
+    }
+
+    /// A point-in-time accounting snapshot for this tenant.
+    pub fn report(&self) -> TenantReport {
+        TenantReport {
+            tenant: self.id.clone(),
+            jobs_ok: self.jobs_ok.load(Ordering::Relaxed),
+            jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
+            jobs_shed: self.jobs_shed.load(Ordering::Relaxed),
+            retries_spent: self.retries_spent.load(Ordering::Relaxed),
+            retry_budget_left: self.retry_budget.load(Ordering::Acquire),
+            recovery: *self
+                .recovery
+                .lock()
+                .expect("tenant telemetry poisoned: a holder panicked mid-update"),
+            ops: *self
+                .ops
+                .lock()
+                .expect("tenant op ledger poisoned: a holder panicked mid-update"),
+            key_cache: self.keys.stats(),
+        }
+    }
+}
+
+/// Per-tenant accounting: job counts, retry spend, recovery counters,
+/// and (with the `trace` feature) homomorphic-op deltas attributed to
+/// this tenant's jobs.
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    /// Tenant identifier.
+    pub tenant: String,
+    /// Jobs that completed with an output.
+    pub jobs_ok: u64,
+    /// Jobs that ended with a failure outcome.
+    pub jobs_failed: u64,
+    /// Submissions refused at admission (overload shedding).
+    pub jobs_shed: u64,
+    /// Server-level retry units consumed.
+    pub retries_spent: u64,
+    /// Retry units remaining.
+    pub retry_budget_left: u32,
+    /// Executor recovery counters summed over every attempt.
+    pub recovery: RecoveryTelemetry,
+    /// Homomorphic-op counters attributed to this tenant (zeros unless
+    /// built with `--features trace`).
+    pub ops: OpSnapshot,
+    /// Key-cache behaviour.
+    pub key_cache: KeyCacheStats,
+}
+
+/// The registry mapping tenant ids to their state.
+#[derive(Debug, Default)]
+pub(crate) struct TenantRegistry {
+    tenants: Mutex<HashMap<String, Arc<TenantState>>>,
+}
+
+impl TenantRegistry {
+    pub(crate) fn insert(&self, state: Arc<TenantState>) -> bool {
+        let mut map = self.lock();
+        if map.contains_key(&state.id) {
+            return false;
+        }
+        map.insert(state.id.clone(), state);
+        true
+    }
+
+    pub(crate) fn get(&self, id: &str) -> Option<Arc<TenantState>> {
+        self.lock().get(id).cloned()
+    }
+
+    pub(crate) fn ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self.lock().keys().cloned().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, Arc<TenantState>>> {
+        self.tenants
+            .lock()
+            .expect("tenant registry poisoned: a holder panicked mid-update")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cl_ckks::{CkksParams, GuardrailPolicy, KeySwitchKind};
+    use rand::SeedableRng;
+
+    fn ctx() -> CkksContext {
+        let params = CkksParams::builder()
+            .ring_degree(64)
+            .levels(4)
+            .special_limbs(4)
+            .limb_bits(45)
+            .scale_bits(40)
+            .build()
+            .unwrap();
+        CkksContext::new(params)
+            .unwrap()
+            .with_policy(GuardrailPolicy::Strict {
+                min_budget_bits: -60.0,
+            })
+    }
+
+    fn key_blob(ctx: &CkksContext, seed: u64) -> Vec<u8> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sk = ctx.keygen_sparse(8, &mut rng);
+        let keys = BootstrapKeys::generate(ctx, &sk, KeySwitchKind::Standard, &[1], &mut rng);
+        keys.serialize(ctx)
+    }
+
+    #[test]
+    fn key_cache_hits_after_first_load_and_evicts_lru() {
+        let ctx = ctx();
+        let blob_a = key_blob(&ctx, 1);
+        let blob_b = key_blob(&ctx, 2);
+        let blob_c = key_blob(&ctx, 3);
+        let cache = KeyCache::new(2);
+
+        cache.get_or_load(&ctx, &blob_a).unwrap();
+        cache.get_or_load(&ctx, &blob_a).unwrap();
+        assert_eq!(
+            cache.stats(),
+            KeyCacheStats { hits: 1, misses: 1, evictions: 0 }
+        );
+
+        cache.get_or_load(&ctx, &blob_b).unwrap();
+        // `a` was touched more recently than nothing — order is now b, a.
+        // Loading `c` evicts the least recent (`a`).
+        cache.get_or_load(&ctx, &blob_c).unwrap();
+        assert_eq!(cache.resident(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        // `a` must be reparsed (a fresh miss), `c` is a hit.
+        cache.get_or_load(&ctx, &blob_c).unwrap();
+        cache.get_or_load(&ctx, &blob_a).unwrap();
+        assert_eq!(cache.stats().misses, 4);
+        assert_eq!(cache.stats().hits, 2);
+    }
+
+    #[test]
+    fn corrupt_key_blob_is_rejected_and_never_cached() {
+        let ctx = ctx();
+        let mut blob = key_blob(&ctx, 7);
+        let mid = blob.len() / 2;
+        blob[mid] ^= 0x40;
+        let cache = KeyCache::new(2);
+        assert!(cache.get_or_load(&ctx, &blob).is_err());
+        assert_eq!(cache.resident(), 0);
+        // Misses only count *successful* parses; the reject is not billed
+        // as cache traffic.
+        assert_eq!(cache.stats().misses, 0);
+    }
+
+    #[test]
+    fn retry_budget_is_finite_and_thread_safe() {
+        let t = TenantState::new(
+            "t0".into(),
+            Arc::new(ctx()),
+            std::env::temp_dir().join("cl-server-tenant-test"),
+            2,
+            3,
+        );
+        assert!(t.try_spend_retry());
+        assert!(t.try_spend_retry());
+        assert!(t.try_spend_retry());
+        assert!(!t.try_spend_retry(), "budget of 3 allows exactly 3 spends");
+        let report = t.report();
+        assert_eq!(report.retries_spent, 3);
+        assert_eq!(report.retry_budget_left, 0);
+    }
+}

@@ -160,6 +160,75 @@ pub const fn enabled() -> bool {
     cfg!(feature = "trace")
 }
 
+/// Thread-safe accumulation of [`OpSnapshot`] deltas into named buckets.
+///
+/// The global counters attribute work to the *process*; a serving layer
+/// needs to attribute it to a *tenant* (or job class, or worker). A ledger
+/// is the bridge: capture a snapshot around a unit of work, then
+/// [`SnapshotLedger::add`] the delta under the owner's label. Buckets are
+/// created on first use and only ever grow, so totals are monotone and safe
+/// to read concurrently with writers.
+///
+/// With the `trace` feature disabled every delta is zero, so the ledger
+/// stays structurally valid (labels appear, counts are zero) at no cost.
+#[derive(Debug, Default)]
+pub struct SnapshotLedger {
+    buckets: std::sync::Mutex<std::collections::BTreeMap<String, OpSnapshot>>,
+}
+
+impl SnapshotLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, std::collections::BTreeMap<String, OpSnapshot>> {
+        self.buckets
+            .lock()
+            .expect("ledger poisoned: a holder panicked mid-update")
+    }
+
+    /// Accumulates `delta` into the bucket named `label` (created on first
+    /// use).
+    pub fn add(&self, label: &str, delta: &OpSnapshot) {
+        let mut buckets = self.lock();
+        match buckets.get_mut(label) {
+            Some(acc) => *acc = acc.plus(delta),
+            None => {
+                buckets.insert(label.to_string(), *delta);
+            }
+        }
+    }
+
+    /// The accumulated snapshot for `label` (zeros for an unknown label).
+    pub fn get(&self, label: &str) -> OpSnapshot {
+        self.lock().get(label).copied().unwrap_or_default()
+    }
+
+    /// All labels with a bucket, in sorted order.
+    pub fn labels(&self) -> Vec<String> {
+        self.lock().keys().cloned().collect()
+    }
+
+    /// Field-wise sum across every bucket.
+    pub fn total(&self) -> OpSnapshot {
+        self.lock()
+            .values()
+            .fold(OpSnapshot::default(), |acc, s| acc.plus(s))
+    }
+
+    /// The ledger as a JSON object string: `{label: snapshot, ...}` in
+    /// sorted label order.
+    pub fn to_json(&self) -> String {
+        let buckets = self.lock();
+        let entries: Vec<String> = buckets
+            .iter()
+            .map(|(label, snap)| format!("\"{}\": {}", label.replace('"', "'"), snap.to_json()))
+            .collect();
+        format!("{{{}}}", entries.join(", "))
+    }
+}
+
 /// Records `passes` forward-NTT passes over `n`-coefficient polynomials.
 #[inline(always)]
 pub fn record_ntt(passes: u64, n: usize) {
@@ -490,6 +559,59 @@ mod tests {
     // `trace` feature; `scripts/verify.sh` runs this crate's tests both
     // ways (`cargo test -p cl-trace` and the workspace test run, which
     // enables `trace` through the root crate's dev-dependencies).
+
+    #[test]
+    fn ledger_accumulates_per_label() {
+        let ledger = SnapshotLedger::new();
+        let a = OpSnapshot {
+            ntt: 3,
+            mult: 2,
+            ..OpSnapshot::default()
+        };
+        let b = OpSnapshot {
+            ntt: 1,
+            add: 5,
+            ..OpSnapshot::default()
+        };
+        ledger.add("tenant-a", &a);
+        ledger.add("tenant-a", &b);
+        ledger.add("tenant-b", &b);
+        assert_eq!(ledger.get("tenant-a").ntt, 4);
+        assert_eq!(ledger.get("tenant-a").mult, 2);
+        assert_eq!(ledger.get("tenant-a").add, 5);
+        assert_eq!(ledger.get("tenant-b").ntt, 1);
+        assert!(ledger.get("tenant-c").is_zero());
+        assert_eq!(ledger.labels(), vec!["tenant-a", "tenant-b"]);
+        assert_eq!(ledger.total().ntt, 5);
+        let json = ledger.to_json();
+        assert!(json.contains("\"tenant-a\""), "{json}");
+        assert!(json.contains("\"tenant-b\""), "{json}");
+    }
+
+    #[test]
+    fn ledger_is_shareable_across_threads() {
+        let ledger = std::sync::Arc::new(SnapshotLedger::new());
+        let one = OpSnapshot {
+            mult: 1,
+            ..OpSnapshot::default()
+        };
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let l = ledger.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        l.add(if i % 2 == 0 { "even" } else { "odd" }, &one);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("ledger writer panicked");
+        }
+        assert_eq!(ledger.get("even").mult, 200);
+        assert_eq!(ledger.get("odd").mult, 200);
+        assert_eq!(ledger.total().mult, 400);
+    }
 
     #[cfg(not(feature = "trace"))]
     mod disabled {

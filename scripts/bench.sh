@@ -184,5 +184,21 @@ if base and ckpt:
                  f"{CKPT_OVERHEAD:.2f}x budget")
 else:
     sys.exit("bench check: pipeline_baseline/pipeline_checkpoint kernels missing")
+
+# The job server must stay a thin shim: the same batch of jobs through a
+# 1-worker server (admission parsing, queueing, dispatch, outcome
+# collection, one full server lifecycle) may cost at most ~10% over
+# running them straight through the executor.
+SCHED_OVERHEAD = 1.10
+seq, one_w = current.get("server_seq_baseline"), current.get("server_jobs_1w")
+if seq and one_w:
+    ratio = one_w / seq
+    print(f"bench check: server scheduling overhead {ratio:.3f}x "
+          f"({seq/1e6:.2f} ms -> {one_w/1e6:.2f} ms per batch)")
+    if ratio > SCHED_OVERHEAD:
+        sys.exit(f"bench check: server scheduling overhead {ratio:.2f}x exceeds "
+                 f"{SCHED_OVERHEAD:.2f}x budget")
+else:
+    sys.exit("bench check: server_seq_baseline/server_jobs_1w kernels missing")
 EOF
 fi

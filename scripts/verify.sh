@@ -34,10 +34,16 @@ scripts/bench.sh --smoke --check
 echo "== tier-1: fault-recovery smoke =="
 cargo run --release --example fault_recovery_smoke
 
+echo "== tier-1: server smoke =="
+# Multi-tenant load with one poisoned tenant: clean tenants must stay
+# bit-identical to their serial references, poisoned failures must land
+# as structured outcomes (examples/server_smoke.rs).
+cargo run --release --example server_smoke
+
 echo "== tier-1: lint gate (library targets) =="
 cargo clippy -p cl-math -p cl-rns -p cl-ckks -p cl-boot -p cl-runtime \
     -p cl-apps -p cl-baselines -p cl-compiler -p cl-core -p cl-isa \
-    -p cl-trace --lib --no-deps -- \
+    -p cl-trace -p cl-server --lib --no-deps -- \
     -D warnings -D clippy::unwrap_used
 
 echo "tier-1 verify: OK"

@@ -11,6 +11,7 @@
 //! - [`ckks`] — the CKKS FHE scheme with standard and boosted keyswitching
 //! - [`boot`] — packed CKKS bootstrapping (functional + analytic plan)
 //! - [`runtime`] — checkpoint/resume pipeline executor with fault recovery
+//! - [`server`] — multi-tenant job server: bounded queue, deadlines, isolation
 //! - [`isa`] — the HE dataflow IR and the paper's cost formulas
 //! - [`core`] — the CraterLake machine model (timing, energy, area)
 //! - [`compiler`] — lowering and static scheduling
@@ -36,3 +37,4 @@ pub use cl_isa as isa;
 pub use cl_math as math;
 pub use cl_rns as rns;
 pub use cl_runtime as runtime;
+pub use cl_server as server;

@@ -1,0 +1,500 @@
+//! Acceptance test for the multi-tenant job server: 8 tenants × 16 jobs
+//! under seeded fault injection, with one poisoned tenant (bit flips,
+//! simulated crashes, corrupted input blobs), random cancellations, a
+//! deadline-zero job, and a deliberately undersized admission queue.
+//!
+//! The contract under test:
+//! - every *surviving* job's output is limb-bit-identical to a serial,
+//!   fault-free reference run;
+//! - every failure is a structured outcome (a stable code + detail),
+//!   never a panic and never `Internal`;
+//! - clean tenants are completely unaffected by the poisoned tenant;
+//! - the queue never holds more than its configured capacity, and every
+//!   overload rejection is an `FheError::Overloaded` with a retry hint.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use craterlake::boot::BootstrapKeys;
+use craterlake::ckks::faults::FaultPlan;
+use craterlake::ckks::{CkksContext, CkksParams, FheError, GuardrailPolicy, KeySwitchKind};
+use craterlake::runtime::{ExecutorConfig, PipelineExecutor, PipelineOp, Program, RunOutcome};
+use craterlake::server::{JobId, JobServer, JobSpec, OutcomeCode, ServerConfig};
+use rand::SeedableRng;
+
+const NUM_TENANTS: usize = 8;
+const JOBS_PER_TENANT: usize = 16;
+/// Tenant 0 is poisoned: its jobs carry fault plans, and some of its
+/// input blobs are corrupted in flight.
+const POISONED: usize = 0;
+/// Tenant 1's job 0 is submitted with a zero deadline.
+const DEADLINE_TENANT: usize = 1;
+/// Tenant 2 has a subset of its jobs cancelled right after submission.
+const CANCEL_TENANT: usize = 2;
+/// Tenant 7 runs a *different* parameter set (distinct fingerprint).
+const FOREIGN_PARAMS: usize = 7;
+
+fn strict_ctx(levels: usize) -> CkksContext {
+    let params = CkksParams::builder()
+        .ring_degree(64)
+        .levels(levels)
+        .special_limbs(levels)
+        .limb_bits(45)
+        .scale_bits(40)
+        .build()
+        .unwrap();
+    CkksContext::new(params)
+        .unwrap()
+        .with_policy(GuardrailPolicy::Strict {
+            min_budget_bits: -200.0,
+        })
+}
+
+/// Four program shapes cycled by `(tenant + job)`; all need only
+/// rotation steps {1, 2} and at most one rescale.
+fn program_for(t: usize, j: usize) -> Program {
+    match (t + j) % 4 {
+        0 => Program::new()
+            .then(PipelineOp::Square)
+            .then(PipelineOp::Rescale)
+            .then(PipelineOp::Rotate(1)),
+        1 => Program::new()
+            .then(PipelineOp::AddPlain(vec![0.1, -0.2]))
+            .then(PipelineOp::Conjugate)
+            .then(PipelineOp::Rotate(2)),
+        2 => Program::new()
+            .then(PipelineOp::Square)
+            .then(PipelineOp::Rescale)
+            .then(PipelineOp::AddPlain(vec![0.05]))
+            .then(PipelineOp::Rotate(1)),
+        _ => Program::new()
+            .then(PipelineOp::Rotate(2))
+            .then(PipelineOp::Conjugate)
+            .then(PipelineOp::AddPlain(vec![0.3, 0.3, 0.3])),
+    }
+}
+
+struct TenantFx {
+    id: String,
+    ctx: Arc<CkksContext>,
+    key_blob: Vec<u8>,
+    input_blob: Vec<u8>,
+    /// Serial fault-free reference output per job, serialized.
+    expected: Vec<Vec<u8>>,
+}
+
+fn build_tenant(t: usize) -> TenantFx {
+    let levels = if t == FOREIGN_PARAMS { 5 } else { 4 };
+    let ctx = Arc::new(strict_ctx(levels));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x7E4A + t as u64);
+    let sk = ctx.keygen_sparse(8, &mut rng);
+    let keys = BootstrapKeys::generate(&ctx, &sk, KeySwitchKind::Standard, &[1, 2], &mut rng);
+    let pt = ctx.encode(
+        &[0.4 - 0.01 * t as f64, -0.3, 0.2],
+        ctx.default_scale(),
+        ctx.max_level(),
+    );
+    let ct = ctx.encrypt(&pt, &sk, &mut rng);
+
+    let mut exec = PipelineExecutor::new(
+        &ctx,
+        &keys,
+        ExecutorConfig {
+            checkpoint_every: 0,
+            max_retries: 1,
+            checkpoint_dir: None,
+        },
+    )
+    .unwrap();
+    let expected = (0..JOBS_PER_TENANT)
+        .map(|j| match exec.run(&ct, &program_for(t, j)).unwrap() {
+            RunOutcome::Completed(out) => ctx.serialize_ciphertext(&out),
+            other => panic!("reference run t{t} j{j} did not complete: {other:?}"),
+        })
+        .collect();
+    TenantFx {
+        id: format!("tenant-{t}"),
+        key_blob: keys.serialize(&ctx),
+        input_blob: ctx.serialize_ciphertext(&ct),
+        expected,
+        ctx,
+    }
+}
+
+fn flip_body_byte(blob: &[u8]) -> Vec<u8> {
+    let mut out = blob.to_vec();
+    // Past the 16-byte header, so the admission peek still passes and the
+    // corruption is caught by the worker's deep parse.
+    let pos = 16 + (out.len() - 16) / 2;
+    out[pos] ^= 0x20;
+    out
+}
+
+#[test]
+fn chaos_multi_tenant_isolation_and_bit_exactness() {
+    let tenants: Vec<TenantFx> = (0..NUM_TENANTS).map(build_tenant).collect();
+
+    let root = std::env::temp_dir().join(format!("cl-server-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let queue_capacity = 24;
+    let server = JobServer::start(ServerConfig {
+        workers: 3,
+        queue_capacity,
+        tenant_queue_capacity: 6,
+        checkpoint_root: root.clone(),
+        checkpoint_every: 2,
+        executor_retries: 6,
+        tenant_retry_budget: 24,
+        max_job_retries: 4,
+        key_cache_capacity: 2,
+        default_deadline: None,
+        backoff_base_ms: 0,
+    })
+    .unwrap();
+    for fx in &tenants {
+        server.register_tenant(&fx.id, Arc::clone(&fx.ctx)).unwrap();
+    }
+
+    // Cross-tenant fingerprint isolation: tenant-7's params differ, so a
+    // blob serialized under tenant-0's context is refused at admission.
+    {
+        let fx0 = &tenants[0];
+        let spec = JobSpec::new(
+            &tenants[FOREIGN_PARAMS].id,
+            program_for(0, 0).serialize(fx0.ctx.params_fingerprint()),
+            fx0.input_blob.clone(),
+            fx0.key_blob.clone(),
+        );
+        assert!(matches!(
+            server.submit(spec),
+            Err(FheError::ParamsMismatch { .. })
+        ));
+    }
+
+    let mut handles: Vec<Vec<(JobId, Kind)>> = (0..NUM_TENANTS).map(|_| Vec::new()).collect();
+    let mut overloads = 0u64;
+    let mut max_queued = 0usize;
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum Kind {
+        Clean,
+        Faulted,
+        CorruptBlob,
+        DeadlineZero,
+        Cancelled,
+    }
+
+    // Interleave submissions job-major so every tenant competes for the
+    // undersized queue at the same time.
+    for j in 0..JOBS_PER_TENANT {
+        for (t, fx) in tenants.iter().enumerate() {
+            let mut kind = Kind::Clean;
+            let mut spec = JobSpec::new(
+                &fx.id,
+                program_for(t, j).serialize(fx.ctx.params_fingerprint()),
+                fx.input_blob.clone(),
+                fx.key_blob.clone(),
+            );
+            if t == POISONED {
+                if j % 7 == 3 {
+                    kind = Kind::CorruptBlob;
+                    spec.input_blob = flip_body_byte(&fx.input_blob);
+                } else {
+                    kind = Kind::Faulted;
+                    let seed = 0x5EED ^ (t as u64 * 1000 + j as u64);
+                    let mut plan = FaultPlan::new(seed, 0.2);
+                    if j % 5 == 0 {
+                        plan = plan.with_kill_point(2);
+                    }
+                    spec.fault_plan = Some(plan);
+                }
+            }
+            if t == DEADLINE_TENANT && j == 0 {
+                kind = Kind::DeadlineZero;
+                spec.deadline = Some(Duration::ZERO);
+            }
+            if t == CANCEL_TENANT && j % 5 == 4 {
+                kind = Kind::Cancelled;
+            }
+            // Admission with explicit backpressure: shed submissions are
+            // retried until a slot frees up. The queue bound holds the
+            // whole time.
+            let handle = loop {
+                max_queued = max_queued.max(server.queued());
+                match server.submit(spec.clone()) {
+                    Ok(h) => break h,
+                    Err(FheError::Overloaded { retry_after_ms, .. }) => {
+                        overloads += 1;
+                        assert!(retry_after_ms > 0, "retry hint must be actionable");
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(other) => panic!("unexpected admission error: {other}"),
+                }
+            };
+            if kind == Kind::Cancelled {
+                handle.cancel();
+            }
+            handles[t].push((handle.id, kind));
+        }
+    }
+    assert!(
+        max_queued <= queue_capacity,
+        "queue grew past its bound: {max_queued} > {queue_capacity}"
+    );
+    assert!(
+        overloads > 0,
+        "an undersized queue under 128 rapid submissions must shed at least once"
+    );
+
+    server.wait_idle();
+    let reports: Vec<_> = tenants
+        .iter()
+        .map(|fx| server.tenant_report(&fx.id).unwrap())
+        .collect();
+    let outcomes = server.shutdown();
+    assert_eq!(outcomes.len(), NUM_TENANTS * JOBS_PER_TENANT);
+
+    let mut cancelled_seen = 0u64;
+    for (t, fx) in tenants.iter().enumerate() {
+        for (j, &(id, kind)) in handles[t].iter().enumerate() {
+            let outcome = outcomes
+                .iter()
+                .find(|o| o.id == id)
+                .unwrap_or_else(|| panic!("missing outcome for t{t} j{j}"));
+            assert_eq!(outcome.tenant, fx.id);
+            // Universal invariants: failures are structured, successes
+            // are bit-exact.
+            assert_ne!(
+                outcome.code,
+                OutcomeCode::Internal,
+                "t{t} j{j}: unstructured failure: {}",
+                outcome.detail
+            );
+            if outcome.is_ok() {
+                assert_eq!(
+                    outcome.output.as_deref(),
+                    Some(fx.expected[j].as_slice()),
+                    "t{t} j{j}: surviving output must be limb-bit-identical to the serial reference"
+                );
+            } else {
+                assert!(outcome.output.is_none());
+                assert!(!outcome.detail.is_empty(), "t{t} j{j}: failure needs detail");
+            }
+            match kind {
+                Kind::Clean => assert!(
+                    outcome.is_ok(),
+                    "t{t} j{j}: clean job failed: {:?} {}",
+                    outcome.code,
+                    outcome.detail
+                ),
+                Kind::CorruptBlob => assert!(
+                    matches!(
+                        outcome.code,
+                        OutcomeCode::IntegrityFailure | OutcomeCode::Malformed
+                    ),
+                    "t{t} j{j}: corrupt blob classified as {:?}",
+                    outcome.code
+                ),
+                Kind::DeadlineZero => assert_eq!(
+                    outcome.code,
+                    OutcomeCode::DeadlineExceeded,
+                    "a zero deadline can never be met"
+                ),
+                Kind::Cancelled => {
+                    // The cancel races the workers: either it landed
+                    // (Cancelled) or the job finished first (then it must
+                    // still be bit-exact, which the block above checked).
+                    if outcome.code == OutcomeCode::Cancelled {
+                        cancelled_seen += 1;
+                    } else {
+                        assert!(outcome.is_ok(), "t{t} j{j}: {:?}", outcome.code);
+                    }
+                }
+                Kind::Faulted => {
+                    // A faulted job either converged (bit-exact, checked
+                    // above) or died structured after its retries.
+                    if !outcome.is_ok() {
+                        assert!(
+                            matches!(
+                                outcome.code,
+                                OutcomeCode::RetryBudgetExhausted
+                                    | OutcomeCode::IntegrityFailure
+                                    | OutcomeCode::GuardrailRejected
+                            ),
+                            "t{t} j{j}: fault surfaced as {:?}",
+                            outcome.code
+                        );
+                    }
+                }
+            }
+        }
+    }
+    // `cancelled_seen` is informational: with 3 busy workers and a full
+    // queue most cancels land, but the test only requires that whichever
+    // side wins the race, the result is structured/correct.
+    let _ = cancelled_seen;
+
+    // Per-tenant accounting and isolation.
+    let poisoned_report = &reports[POISONED];
+    assert!(
+        poisoned_report.recovery.faults_injected > 0,
+        "the fault plans must actually have fired"
+    );
+    assert!(
+        poisoned_report.recovery.faults_detected > 0,
+        "injected faults must be detected, not absorbed"
+    );
+    for (t, report) in reports.iter().enumerate() {
+        assert_eq!(
+            report.jobs_ok + report.jobs_failed,
+            JOBS_PER_TENANT as u64,
+            "t{t}: every job must be accounted exactly once"
+        );
+        if t != POISONED {
+            assert_eq!(
+                report.recovery.faults_injected, 0,
+                "t{t}: fault injection must stay inside the poisoned tenant"
+            );
+            assert_eq!(report.key_cache.misses, 1, "t{t}: one key blob, parsed once");
+        }
+        if t != POISONED && t != DEADLINE_TENANT && t != CANCEL_TENANT {
+            assert_eq!(
+                report.jobs_failed, 0,
+                "t{t}: clean tenant must be untouched by the chaos"
+            );
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Fuzz-style untrusted-input sweep: truncations, bit flips, and foreign
+/// fingerprints across all three blob kinds are rejected structurally —
+/// at admission (header damage) or in the worker (payload damage) —
+/// while an interleaved stream of good jobs completes bit-exactly.
+#[test]
+fn fuzzed_blobs_are_rejected_without_collateral_damage() {
+    let fx = build_tenant(3);
+    let root = std::env::temp_dir().join(format!("cl-server-fuzz-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let server = JobServer::start(ServerConfig {
+        workers: 2,
+        queue_capacity: 256,
+        tenant_queue_capacity: 256,
+        checkpoint_root: root.clone(),
+        backoff_base_ms: 0,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    server.register_tenant(&fx.id, Arc::clone(&fx.ctx)).unwrap();
+
+    let program_blob = program_for(3, 0).serialize(fx.ctx.params_fingerprint());
+    let good = || {
+        JobSpec::new(
+            &fx.id,
+            program_blob.clone(),
+            fx.input_blob.clone(),
+            fx.key_blob.clone(),
+        )
+    };
+
+    // Background stream of good jobs, interleaved with the hostile ones.
+    let mut good_ids = vec![server.submit(good()).unwrap().id];
+
+    let blobs: [(&str, &[u8]); 3] = [
+        ("program", &program_blob),
+        ("input", &fx.input_blob),
+        ("keys", &fx.key_blob),
+    ];
+    let mut hostile = 0u64;
+    for (slot, blob) in blobs {
+        // Truncations: a header-length prefix sweep plus payload cuts.
+        let cuts = [0usize, 1, 7, 15, 16, 17, blob.len() / 2, blob.len() - 1];
+        for &cut in cuts.iter().filter(|&&c| c < blob.len()) {
+            let mut spec = good();
+            let truncated = blob[..cut].to_vec();
+            match slot {
+                "program" => spec.program_blob = truncated,
+                "input" => spec.input_blob = truncated,
+                _ => spec.key_blob = truncated,
+            }
+            submit_hostile(&server, spec, &mut hostile, &mut good_ids, &good);
+        }
+        // Bit flips spread across the blob, including header bytes.
+        for i in 0..8 {
+            let pos = (blob.len() - 1) * i / 7;
+            let mut flipped = blob.to_vec();
+            flipped[pos] ^= 1 << (i % 8);
+            let mut spec = good();
+            match slot {
+                "program" => spec.program_blob = flipped,
+                "input" => spec.input_blob = flipped,
+                _ => spec.key_blob = flipped,
+            }
+            submit_hostile(&server, spec, &mut hostile, &mut good_ids, &good);
+        }
+    }
+    // Foreign fingerprint on the program blob.
+    {
+        let mut spec = good();
+        spec.program_blob = program_for(3, 0).serialize(fx.ctx.params_fingerprint() ^ 0xFFFF);
+        submit_hostile(&server, spec, &mut hostile, &mut good_ids, &good);
+    }
+    assert!(hostile >= 40, "sweep must cover a meaningful surface: {hostile}");
+
+    let outcomes = server.shutdown();
+    for id in good_ids {
+        let outcome = outcomes.iter().find(|o| o.id == id).expect("good job outcome");
+        assert!(
+            outcome.is_ok(),
+            "good job {id} collateral-damaged: {:?} {}",
+            outcome.code,
+            outcome.detail
+        );
+        assert_eq!(
+            outcome.output.as_deref(),
+            Some(fx.expected[0].as_slice()),
+            "good job {id} must stay bit-exact amid hostile traffic"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Submits one hostile spec: it must be refused at admission or fail as a
+/// structured non-`Ok`, non-`Internal` outcome — and never disturb the
+/// good jobs interleaved after it.
+fn submit_hostile(
+    server: &JobServer,
+    spec: JobSpec,
+    hostile: &mut u64,
+    good_ids: &mut Vec<JobId>,
+    good: &impl Fn() -> JobSpec,
+) {
+    *hostile += 1;
+    match server.submit(spec) {
+        // Rejected at the front door: structured error, nothing queued.
+        Err(
+            FheError::Serialization { .. }
+            | FheError::ChecksumMismatch { .. }
+            | FheError::ParamsMismatch { .. },
+        ) => {}
+        Err(other) => panic!("hostile blob rejected with unexpected class: {other}"),
+        // Admitted: the deep parse in the worker must fail it cleanly.
+        Ok(handle) => {
+            let outcome = server.wait(handle.id);
+            assert!(
+                matches!(
+                    outcome.code,
+                    OutcomeCode::Malformed
+                        | OutcomeCode::IntegrityFailure
+                        | OutcomeCode::ParamsMismatch
+                ),
+                "hostile blob produced {:?}: {}",
+                outcome.code,
+                outcome.detail
+            );
+        }
+    }
+    // Interleave a fresh good job behind every hostile one.
+    good_ids.push(server.submit(good()).unwrap().id);
+}
