@@ -234,6 +234,7 @@ fn run_op_counts(cfg: &Config, n: usize, limbs: usize, bits: u32) {
     let _ = writeln!(json, "  \"n\": {n},");
     let _ = writeln!(json, "  \"limbs\": {limbs},");
     let _ = writeln!(json, "  \"limb_bits\": {bits},");
+    let _ = writeln!(json, "  \"backend\": \"{}\",", cl_math::active_backend());
     let _ = writeln!(json, "  \"smoke\": {},", cfg.smoke);
     let _ = writeln!(json, "  \"kernels\": {{");
     for (i, (name, measured, expected)) in kernels.iter().enumerate() {
@@ -289,8 +290,10 @@ fn main() {
             std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
         });
     eprintln!(
-        "bench_kernels: label={} n={n} limbs={limbs} bits={bits} threads={threads} smoke={}",
-        cfg.label, cfg.smoke
+        "bench_kernels: label={} n={n} limbs={limbs} bits={bits} threads={threads} backend={} smoke={}",
+        cfg.label,
+        cl_math::active_backend(),
+        cfg.smoke
     );
 
     let mut results: Vec<(&'static str, f64)> = Vec::new();
@@ -652,6 +655,12 @@ fn main() {
     let _ = writeln!(json, "  \"limbs\": {limbs},");
     let _ = writeln!(json, "  \"limb_bits\": {bits},");
     let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"backend\": \"{}\",", cl_math::active_backend());
+    let feats: Vec<String> = cl_math::cpu_features()
+        .iter()
+        .map(|(name, on)| format!("\"{name}\": {on}"))
+        .collect();
+    let _ = writeln!(json, "  \"cpu_features\": {{{}}},", feats.join(", "));
     let _ = writeln!(json, "  \"smoke\": {},", cfg.smoke);
     let _ = writeln!(json, "  \"kernels_ns\": {{");
     for (i, (name, ns)) in results.iter().enumerate() {

@@ -39,7 +39,12 @@ pub const MAGIC: [u8; 4] = *b"CLFH";
 
 /// Current wire-format version. Bump on any layout change; loaders reject
 /// versions they do not understand instead of misparsing.
-pub const FORMAT_VERSION: u16 = 1;
+///
+/// v2: residue-limb payload checksums switched from byte-wise FNV-1a to
+/// the word-wise variant ([`fnv1a_words_chain`]) — 8 bytes per step
+/// instead of 1, which takes the checksum off the checkpoint hot path
+/// while still rejecting any single-byte corruption.
+pub const FORMAT_VERSION: u16 = 2;
 
 /// Discriminates what a blob contains, so a ciphertext cannot be loaded as
 /// a key (or vice versa) even when the sizes happen to line up.
@@ -94,6 +99,35 @@ pub fn fnv1a_chain(mut h: u64, bytes: &[u8]) -> u64 {
     h
 }
 
+/// Word-wise FNV-1a continuation: absorbs one little-endian `u64` per
+/// step instead of one byte. ~8x fewer serial multiply steps than
+/// [`fnv1a_chain`] over the same data, so it is the checksum for the
+/// megabyte-scale residue-limb payloads (format v2); any single flipped
+/// byte still changes the absorbed word and therefore the digest.
+/// Byte-wise FNV-1a remains in use for the small metadata regions.
+pub fn fnv1a_words_chain(mut h: u64, words: &[u64]) -> u64 {
+    for &w in words {
+        h ^= w;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Fast digest over an arbitrary byte slice: word-wise FNV-1a over the
+/// 8-byte-aligned prefix, byte-wise over the tail. NOT equal to
+/// [`fnv1a`] over the same bytes — use it for internal content digests
+/// (job bindings, cache keys), never where the wire format specifies the
+/// byte-wise checksum.
+pub fn fnv1a_fast(bytes: &[u8]) -> u64 {
+    let (words, tail) = bytes.as_chunks::<8>();
+    let mut h = FNV_OFFSET;
+    for c in words {
+        h ^= u64::from_le_bytes(*c);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    fnv1a_chain(h, tail)
+}
+
 // ---------------------------------------------------------------------
 // Little-endian write helpers
 // ---------------------------------------------------------------------
@@ -121,6 +155,27 @@ pub fn put_u64(out: &mut Vec<u8>, v: u64) {
 /// Appends a little-endian `i64`.
 pub fn put_i64(out: &mut Vec<u8>, v: i64) {
     out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a slice of `u64` words, little-endian, in one bulk copy on
+/// little-endian hosts (a per-word loop elsewhere). The limb payloads
+/// this serves are the bulk of every ciphertext/checkpoint blob, so this
+/// runs at memcpy speed instead of one `Vec` push per word.
+pub fn put_u64_slice(out: &mut Vec<u8>, words: &[u64]) {
+    #[cfg(target_endian = "little")]
+    {
+        // SAFETY: `u64` has no padding, every byte pattern is a valid
+        // `u8`, and on a little-endian host the in-memory bytes of the
+        // slice are exactly the wire encoding.
+        let bytes: &[u8] = unsafe {
+            std::slice::from_raw_parts(words.as_ptr().cast::<u8>(), std::mem::size_of_val(words))
+        };
+        out.extend_from_slice(bytes);
+    }
+    #[cfg(not(target_endian = "little"))]
+    for &w in words {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
 }
 
 /// Appends an `f64` as its IEEE-754 bit pattern (little-endian).
@@ -338,16 +393,10 @@ pub fn write_poly(out: &mut Vec<u8>, p: &RnsPoly) {
     let meta_cksum = fnv1a(&out[meta_start..]);
     put_u64(out, meta_cksum);
     for (k, (idx, words)) in p.limbs().enumerate() {
-        let limb_start = out.len();
         put_u32(out, idx);
-        for &w in words {
-            put_u64(out, w);
-        }
-        let cksum = fnv1a_chain(
-            fnv1a(&(k as u32).to_le_bytes()),
-            &out[limb_start..],
-        );
-        put_u64(out, cksum);
+        put_u64_slice(out, words);
+        let h = fnv1a_chain(fnv1a(&(k as u32).to_le_bytes()), &idx.to_le_bytes());
+        put_u64(out, fnv1a_words_chain(h, words));
     }
 }
 
@@ -374,10 +423,18 @@ pub fn read_poly(r: &mut Reader<'_>) -> FheResult<RnsPoly> {
     let mut basis = Vec::with_capacity(num_limbs);
     let mut coeffs = Vec::with_capacity(n * num_limbs);
     for k in 0..num_limbs {
-        let limb_start = r.pos();
         let idx = r.u32()?;
         let words = r.take(n * 8)?;
-        let computed = fnv1a_chain(fnv1a(&(k as u32).to_le_bytes()), r.region_since(limb_start));
+        // Decode the words first, then checksum the decoded form — one
+        // pass over the limb instead of a byte-wise pass plus a decode.
+        let limb_start = coeffs.len();
+        coeffs.extend(words.chunks_exact(8).map(|c| {
+            let mut w = [0u8; 8];
+            w.copy_from_slice(c);
+            u64::from_le_bytes(w)
+        }));
+        let h = fnv1a_chain(fnv1a(&(k as u32).to_le_bytes()), &idx.to_le_bytes());
+        let computed = fnv1a_words_chain(h, &coeffs[limb_start..]);
         let stored = r.u64()?;
         if stored != computed {
             return Err(FheError::ChecksumMismatch {
@@ -388,11 +445,6 @@ pub fn read_poly(r: &mut Reader<'_>) -> FheResult<RnsPoly> {
             });
         }
         basis.push(idx);
-        coeffs.extend(words.chunks_exact(8).map(|c| {
-            let mut w = [0u8; 8];
-            w.copy_from_slice(c);
-            u64::from_le_bytes(w)
-        }));
     }
     RnsPoly::from_raw_parts(n, Basis(basis), coeffs, ntt_byte == 1)
         .map_err(|e| r.err(format!("rejected polynomial parts: {e}")))

@@ -1,0 +1,189 @@
+//! 64-byte-aligned buffers for SIMD-friendly precomputed tables.
+//!
+//! The vector backends ([`crate::backend`]) stream twiddle factors, Shoup
+//! constants, and permutation indices with 256/512-bit loads. `Vec`'s global
+//! allocator only guarantees the alignment of the element type (8 bytes for
+//! `u64`), so a plain `Vec<u64>` twiddle table can straddle cache lines and
+//! force the hot NTT path onto split loads. [`AlignedVec`] allocates at
+//! [`SIMD_ALIGN`] so every vector load of a table starts cache-line aligned.
+
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::ops::{Deref, DerefMut};
+use std::ptr::NonNull;
+
+/// Alignment (bytes) used for all SIMD-visible tables: one cache line, which
+/// also satisfies the strictest vector load width (64-byte ZMM).
+pub const SIMD_ALIGN: usize = 64;
+
+/// A fixed-length, heap-allocated buffer of `Copy` elements aligned to
+/// [`SIMD_ALIGN`] bytes.
+///
+/// Behaves like a boxed slice: it derefs to `[T]`, clones deeply, and frees
+/// its allocation on drop. Unlike `Vec` it cannot grow — tables are built
+/// once and then only read.
+///
+/// # Example
+///
+/// ```
+/// use cl_math::AlignedVec;
+/// let v = AlignedVec::from_slice(&[1u64, 2, 3]);
+/// assert_eq!(&v[..], &[1, 2, 3]);
+/// assert_eq!(v.as_ptr() as usize % cl_math::SIMD_ALIGN, 0);
+/// ```
+pub struct AlignedVec<T: Copy> {
+    ptr: NonNull<T>,
+    len: usize,
+}
+
+// SAFETY: AlignedVec owns its allocation exclusively (no aliasing, no
+// interior mutability), so sending or sharing it across threads is exactly as
+// safe as for the element type itself.
+unsafe impl<T: Copy + Send> Send for AlignedVec<T> {}
+// SAFETY: see the Send impl — shared access is read-only through &self.
+unsafe impl<T: Copy + Sync> Sync for AlignedVec<T> {}
+
+impl<T: Copy> AlignedVec<T> {
+    fn layout(len: usize) -> Layout {
+        // Element alignment never exceeds SIMD_ALIGN for the word-sized
+        // types the tables store, so rounding the array layout up to
+        // SIMD_ALIGN is always valid.
+        Layout::array::<T>(len)
+            .and_then(|l| l.align_to(SIMD_ALIGN))
+            .expect("table size overflows the address space")
+    }
+
+    /// Allocates a zero-initialized buffer of `len` elements.
+    pub fn new_zeroed(len: usize) -> Self {
+        if len == 0 || std::mem::size_of::<T>() == 0 {
+            return Self {
+                ptr: NonNull::dangling(),
+                len,
+            };
+        }
+        let layout = Self::layout(len);
+        // SAFETY: layout has non-zero size (len > 0 and T is not a ZST).
+        let raw = unsafe { alloc_zeroed(layout) };
+        let Some(ptr) = NonNull::new(raw.cast::<T>()) else {
+            handle_alloc_error(layout)
+        };
+        Self { ptr, len }
+    }
+
+    /// Allocates an aligned copy of `src`.
+    ///
+    /// All-zero-bytes is a valid `T` for the plain integer types stored here,
+    /// so the zeroed allocation followed by an element-wise copy is sound.
+    pub fn from_slice(src: &[T]) -> Self {
+        let mut v = Self::new_zeroed(src.len());
+        v.as_mut_slice().copy_from_slice(src);
+        v
+    }
+
+    /// The buffer as an immutable slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        // SAFETY: ptr is valid for len initialized elements (or dangling
+        // with len == 0, for which from_raw_parts is still defined).
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// The buffer as a mutable slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        // SAFETY: as as_slice, plus &mut self guarantees exclusive access.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl<T: Copy> Drop for AlignedVec<T> {
+    fn drop(&mut self) {
+        if self.len == 0 || std::mem::size_of::<T>() == 0 {
+            return;
+        }
+        // SAFETY: ptr was allocated in new_zeroed with exactly this layout.
+        unsafe { dealloc(self.ptr.as_ptr().cast(), Self::layout(self.len)) };
+    }
+}
+
+impl<T: Copy> Deref for AlignedVec<T> {
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy> DerefMut for AlignedVec<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Copy> Clone for AlignedVec<T> {
+    fn clone(&self) -> Self {
+        Self::from_slice(self.as_slice())
+    }
+}
+
+impl<T: Copy + std::fmt::Debug> std::fmt::Debug for AlignedVec<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl<T: Copy + PartialEq> PartialEq for AlignedVec<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Eq> Eq for AlignedVec<T> {}
+
+impl<T: Copy> From<Vec<T>> for AlignedVec<T> {
+    fn from(v: Vec<T>) -> Self {
+        Self::from_slice(&v)
+    }
+}
+
+impl<T: Copy> FromIterator<T> for AlignedVec<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Self::from_slice(&iter.into_iter().collect::<Vec<T>>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_contents() {
+        for len in [0usize, 1, 7, 64, 1000] {
+            let src: Vec<u64> = (0..len as u64).map(|i| i.wrapping_mul(0x9e37)).collect();
+            let v = AlignedVec::from_slice(&src);
+            assert_eq!(&v[..], &src[..]);
+            if len > 0 {
+                assert_eq!(v.as_ptr() as usize % SIMD_ALIGN, 0);
+            }
+            let w = v.clone();
+            assert_eq!(v, w);
+        }
+    }
+
+    #[test]
+    fn u32_elements() {
+        let v: AlignedVec<u32> = (0..257u32).collect();
+        assert_eq!(v.len(), 257);
+        assert_eq!(v[256], 256);
+        assert_eq!(v.as_ptr() as usize % SIMD_ALIGN, 0);
+    }
+
+    #[test]
+    fn mutation_through_deref() {
+        let mut v = AlignedVec::from_slice(&[0u64; 16]);
+        v[3] = 42;
+        v.as_mut_slice()[4] = 43;
+        assert_eq!(v[3], 42);
+        assert_eq!(v[4], 43);
+    }
+}

@@ -1,0 +1,638 @@
+//! AVX2 kernels: 4 residues per instruction.
+//!
+//! AVX2 has no 64-bit unsigned compare, no 64-bit full multiply, and no
+//! 512-bit registers, so these kernels build everything from `vpmuludq`
+//! 32×32→64 partial products, sign-flipped signed compares, and 128-bit lane
+//! shuffles. They run the exact scalar algorithms lane-parallel, so even
+//! lazy intermediates match the scalar backend word-for-word.
+
+#![allow(clippy::missing_safety_doc)] // SAFETY contracts are on the `unsafe` blocks
+
+use core::arch::x86_64::*;
+
+use super::scalar;
+use crate::{Modulus, NttTable};
+
+const LANES: usize = 4;
+
+// ---------------------------------------------------------------------------
+// Element helpers.
+// ---------------------------------------------------------------------------
+
+#[inline]
+#[target_feature(enable = "avx2")]
+fn splat(x: u64) -> __m256i {
+    _mm256_set1_epi64x(x as i64)
+}
+
+#[inline]
+#[target_feature(enable = "avx2")]
+fn sign_bit() -> __m256i {
+    splat(1u64 << 63)
+}
+
+/// Subtracts `b` from lanes where `x >= b` (unsigned, via sign-flipped signed
+/// compare). `bs` must be `b ^ sign_bit()`.
+#[inline]
+#[target_feature(enable = "avx2")]
+fn cond_sub(x: __m256i, b: __m256i, bs: __m256i, sign: __m256i) -> __m256i {
+    let xs = _mm256_xor_si256(x, sign);
+    let lt = _mm256_cmpgt_epi64(bs, xs); // b > x (unsigned)
+    _mm256_sub_epi64(x, _mm256_andnot_si256(lt, b))
+}
+
+/// High 64 bits of the unsigned 64×64 product via four 32×32 partials.
+#[inline]
+#[target_feature(enable = "avx2")]
+fn mulhi64(a: __m256i, b: __m256i) -> __m256i {
+    let mask32 = splat(0xffff_ffff);
+    let a_hi = _mm256_srli_epi64::<32>(a);
+    let b_hi = _mm256_srli_epi64::<32>(b);
+    let ll = _mm256_mul_epu32(a, b);
+    let lh = _mm256_mul_epu32(a, b_hi);
+    let hl = _mm256_mul_epu32(a_hi, b);
+    let hh = _mm256_mul_epu32(a_hi, b_hi);
+    let cross = _mm256_add_epi64(hl, _mm256_srli_epi64::<32>(ll));
+    let cross2 = _mm256_add_epi64(lh, _mm256_and_si256(cross, mask32));
+    _mm256_add_epi64(
+        hh,
+        _mm256_add_epi64(_mm256_srli_epi64::<32>(cross), _mm256_srli_epi64::<32>(cross2)),
+    )
+}
+
+/// Low 64 bits of the unsigned 64×64 product.
+#[inline]
+#[target_feature(enable = "avx2")]
+fn mullo64(a: __m256i, b: __m256i) -> __m256i {
+    let a_hi = _mm256_srli_epi64::<32>(a);
+    let b_hi = _mm256_srli_epi64::<32>(b);
+    let ll = _mm256_mul_epu32(a, b);
+    let mid = _mm256_add_epi64(_mm256_mul_epu32(a, b_hi), _mm256_mul_epu32(a_hi, b));
+    _mm256_add_epi64(ll, _mm256_slli_epi64::<32>(mid))
+}
+
+/// Shoup product without correction: `a*w - floor(a*ws / 2^64) * q` in
+/// `[0, 2q)` for any `a` — the scalar `mul_shoup_lazy`, lane-parallel.
+#[inline]
+#[target_feature(enable = "avx2")]
+fn mul_shoup_lazy_v(a: __m256i, w: __m256i, ws: __m256i, q: __m256i) -> __m256i {
+    let hi = mulhi64(a, ws);
+    _mm256_sub_epi64(mullo64(a, w), mullo64(hi, q))
+}
+
+/// Broadcast constants for lane-parallel Barrett reduction (same derivation
+/// as the AVX-512 backend: quotient seed `x >> (k-1)`, `mu = floor(2^2k/q)`,
+/// remainder below `3q`).
+#[derive(Clone, Copy)]
+struct Barrett {
+    q: __m256i,
+    q_s: __m256i,
+    two_q: __m256i,
+    two_q_s: __m256i,
+    sign: __m256i,
+    mu: __m256i,
+    sh_lo: __m256i,
+    sh_hi: __m256i,
+    sh_qlo: __m256i,
+    sh_qhi: __m256i,
+}
+
+#[inline]
+#[target_feature(enable = "avx2")]
+fn barrett(m: &Modulus) -> Barrett {
+    let k = m.barrett_k() as u64;
+    let sign = sign_bit();
+    let q = splat(m.value());
+    let two_q = splat(m.two_q());
+    Barrett {
+        q,
+        q_s: _mm256_xor_si256(q, sign),
+        two_q,
+        two_q_s: _mm256_xor_si256(two_q, sign),
+        sign,
+        mu: splat(m.barrett_mu()),
+        sh_lo: splat(k - 1),
+        sh_hi: splat(65 - k),
+        sh_qlo: splat(k + 1),
+        sh_qhi: splat(63 - k),
+    }
+}
+
+/// Canonical product `a * b mod q` for canonical lanes.
+#[inline]
+#[target_feature(enable = "avx2")]
+fn barrett_mul(c: Barrett, a: __m256i, b: __m256i) -> __m256i {
+    let lo = mullo64(a, b);
+    let hi = mulhi64(a, b);
+    let c1 = _mm256_or_si256(_mm256_sllv_epi64(hi, c.sh_hi), _mm256_srlv_epi64(lo, c.sh_lo));
+    let mlo = mullo64(c1, c.mu);
+    let mhi = mulhi64(c1, c.mu);
+    let qhat = _mm256_or_si256(_mm256_sllv_epi64(mhi, c.sh_qhi), _mm256_srlv_epi64(mlo, c.sh_qlo));
+    let r = _mm256_sub_epi64(lo, mullo64(qhat, c.q));
+    let r = cond_sub(r, c.two_q, c.two_q_s, c.sign);
+    cond_sub(r, c.q, c.q_s, c.sign)
+}
+
+#[inline]
+#[target_feature(enable = "avx2")]
+fn add_mod_v(c: Barrett, a: __m256i, b: __m256i) -> __m256i {
+    cond_sub(_mm256_add_epi64(a, b), c.q, c.q_s, c.sign)
+}
+
+// ---------------------------------------------------------------------------
+// Slice kernels.
+// ---------------------------------------------------------------------------
+
+#[target_feature(enable = "avx2")]
+pub(crate) fn add_mod_slice(m: &Modulus, a: &mut [u64], b: &[u64]) {
+    let c = barrett(m);
+    let n = a.len() - a.len() % LANES;
+    let (pa, pb) = (a.as_mut_ptr(), b.as_ptr());
+    for i in (0..n).step_by(LANES) {
+        // SAFETY: i + LANES <= n <= a.len() == b.len().
+        unsafe {
+            let x = _mm256_loadu_si256(pa.add(i).cast());
+            let y = _mm256_loadu_si256(pb.add(i).cast());
+            _mm256_storeu_si256(pa.add(i).cast(), add_mod_v(c, x, y));
+        }
+    }
+    scalar::add_mod_slice(m, &mut a[n..], &b[n..]);
+}
+
+#[target_feature(enable = "avx2")]
+pub(crate) fn sub_mod_slice(m: &Modulus, a: &mut [u64], b: &[u64]) {
+    let c = barrett(m);
+    let n = a.len() - a.len() % LANES;
+    let (pa, pb) = (a.as_mut_ptr(), b.as_ptr());
+    for i in (0..n).step_by(LANES) {
+        // SAFETY: i + LANES <= n <= a.len() == b.len().
+        unsafe {
+            let x = _mm256_loadu_si256(pa.add(i).cast());
+            let y = _mm256_loadu_si256(pb.add(i).cast());
+            let r = _mm256_sub_epi64(_mm256_add_epi64(x, c.q), y);
+            _mm256_storeu_si256(pa.add(i).cast(), cond_sub(r, c.q, c.q_s, c.sign));
+        }
+    }
+    scalar::sub_mod_slice(m, &mut a[n..], &b[n..]);
+}
+
+#[target_feature(enable = "avx2")]
+pub(crate) fn neg_mod_slice(m: &Modulus, a: &mut [u64]) {
+    let c = barrett(m);
+    let n = a.len() - a.len() % LANES;
+    let pa = a.as_mut_ptr();
+    for i in (0..n).step_by(LANES) {
+        // SAFETY: i + LANES <= n <= a.len().
+        unsafe {
+            let x = _mm256_loadu_si256(pa.add(i).cast());
+            let r = _mm256_sub_epi64(c.q, x);
+            _mm256_storeu_si256(pa.add(i).cast(), cond_sub(r, c.q, c.q_s, c.sign));
+        }
+    }
+    scalar::neg_mod_slice(m, &mut a[n..]);
+}
+
+#[target_feature(enable = "avx2")]
+pub(crate) fn mul_mod_slice(m: &Modulus, a: &mut [u64], b: &[u64]) {
+    let c = barrett(m);
+    let n = a.len() - a.len() % LANES;
+    let (pa, pb) = (a.as_mut_ptr(), b.as_ptr());
+    for i in (0..n).step_by(LANES) {
+        // SAFETY: i + LANES <= n <= a.len() == b.len().
+        unsafe {
+            let x = _mm256_loadu_si256(pa.add(i).cast());
+            let y = _mm256_loadu_si256(pb.add(i).cast());
+            _mm256_storeu_si256(pa.add(i).cast(), barrett_mul(c, x, y));
+        }
+    }
+    scalar::mul_mod_slice(m, &mut a[n..], &b[n..]);
+}
+
+#[target_feature(enable = "avx2")]
+pub(crate) fn mul_acc_mod_slice(m: &Modulus, acc: &mut [u64], a: &[u64], b: &[u64]) {
+    let c = barrett(m);
+    let n = acc.len() - acc.len() % LANES;
+    let (pacc, pa, pb) = (acc.as_mut_ptr(), a.as_ptr(), b.as_ptr());
+    for i in (0..n).step_by(LANES) {
+        // SAFETY: i + LANES <= n and all three slices have equal length.
+        unsafe {
+            let s = _mm256_loadu_si256(pacc.add(i).cast());
+            let x = _mm256_loadu_si256(pa.add(i).cast());
+            let y = _mm256_loadu_si256(pb.add(i).cast());
+            let p = barrett_mul(c, x, y);
+            _mm256_storeu_si256(pacc.add(i).cast(), add_mod_v(c, s, p));
+        }
+    }
+    scalar::mul_acc_mod_slice(m, &mut acc[n..], &a[n..], &b[n..]);
+}
+
+#[target_feature(enable = "avx2")]
+pub(crate) fn mul_scalar_shoup_slice(m: &Modulus, a: &mut [u64], w: u64, w_shoup: u64) {
+    let c = barrett(m);
+    let wv = splat(w);
+    let wsv = splat(w_shoup);
+    let n = a.len() - a.len() % LANES;
+    let pa = a.as_mut_ptr();
+    for i in (0..n).step_by(LANES) {
+        // SAFETY: i + LANES <= n <= a.len().
+        unsafe {
+            let x = _mm256_loadu_si256(pa.add(i).cast());
+            let v = mul_shoup_lazy_v(x, wv, wsv, c.q);
+            _mm256_storeu_si256(pa.add(i).cast(), cond_sub(v, c.q, c.q_s, c.sign));
+        }
+    }
+    scalar::mul_scalar_shoup_slice(m, &mut a[n..], w, w_shoup);
+}
+
+#[target_feature(enable = "avx2")]
+pub(crate) fn mul_shoup_lazy_acc_slice(m: &Modulus, acc: &mut [u64], x: &[u64], w: u64, w_shoup: u64) {
+    let c = barrett(m);
+    let wv = splat(w);
+    let wsv = splat(w_shoup);
+    let n = acc.len() - acc.len() % LANES;
+    let (pacc, px) = (acc.as_mut_ptr(), x.as_ptr());
+    for i in (0..n).step_by(LANES) {
+        // SAFETY: i + LANES <= n <= acc.len() == x.len().
+        unsafe {
+            let s = _mm256_loadu_si256(pacc.add(i).cast());
+            let xi = _mm256_loadu_si256(px.add(i).cast());
+            let v = mul_shoup_lazy_v(xi, wv, wsv, c.q);
+            let r = cond_sub(_mm256_add_epi64(s, v), c.two_q, c.two_q_s, c.sign);
+            _mm256_storeu_si256(pacc.add(i).cast(), r);
+        }
+    }
+    scalar::mul_shoup_lazy_acc_slice(m, &mut acc[n..], &x[n..], w, w_shoup);
+}
+
+#[target_feature(enable = "avx2")]
+pub(crate) fn mul_shoup_sub_correct_slice(m: &Modulus, out: &mut [u64], alpha: &[u64], w: u64, w_shoup: u64) {
+    let c = barrett(m);
+    let wv = splat(w);
+    let wsv = splat(w_shoup);
+    let n = out.len() - out.len() % LANES;
+    let (po, pal) = (out.as_mut_ptr(), alpha.as_ptr());
+    for i in (0..n).step_by(LANES) {
+        // SAFETY: i + LANES <= n <= out.len() == alpha.len().
+        unsafe {
+            let o = _mm256_loadu_si256(po.add(i).cast());
+            let al = _mm256_loadu_si256(pal.add(i).cast());
+            let v = mul_shoup_lazy_v(al, wv, wsv, c.q);
+            let r = _mm256_sub_epi64(_mm256_add_epi64(o, c.two_q), v);
+            let r = cond_sub(r, c.two_q, c.two_q_s, c.sign);
+            _mm256_storeu_si256(po.add(i).cast(), cond_sub(r, c.q, c.q_s, c.sign));
+        }
+    }
+    scalar::mul_shoup_sub_correct_slice(m, &mut out[n..], &alpha[n..], w, w_shoup);
+}
+
+#[target_feature(enable = "avx2")]
+pub(crate) fn correct_lazy_slice(m: &Modulus, a: &mut [u64]) {
+    let c = barrett(m);
+    let n = a.len() - a.len() % LANES;
+    let pa = a.as_mut_ptr();
+    for i in (0..n).step_by(LANES) {
+        // SAFETY: i + LANES <= n <= a.len().
+        unsafe {
+            let x = _mm256_loadu_si256(pa.add(i).cast());
+            let r = cond_sub(x, c.two_q, c.two_q_s, c.sign);
+            _mm256_storeu_si256(pa.add(i).cast(), cond_sub(r, c.q, c.q_s, c.sign));
+        }
+    }
+    scalar::correct_lazy_slice(m, &mut a[n..]);
+}
+
+#[target_feature(enable = "avx2")]
+pub(crate) fn gather_slice(out: &mut [u64], src: &[u64], perm: &[u32]) {
+    let n = out.len() - out.len() % LANES;
+    let (po, pp) = (out.as_mut_ptr(), perm.as_ptr());
+    for i in (0..n).step_by(LANES) {
+        // SAFETY: i + LANES <= n <= out.len() == perm.len(); every perm value
+        // indexes src (AutomorphismTable construction invariant).
+        unsafe {
+            let idx = _mm_loadu_si128(pp.add(i).cast());
+            let v = _mm256_i32gather_epi64::<8>(src.as_ptr().cast(), idx);
+            _mm256_storeu_si256(po.add(i).cast(), v);
+        }
+    }
+    scalar::gather_slice(&mut out[n..], src, &perm[n..]);
+}
+
+#[target_feature(enable = "avx2")]
+pub(crate) fn gather_mul_acc_slice(m: &Modulus, acc: &mut [u64], src: &[u64], perm: &[u32], b: &[u64]) {
+    let c = barrett(m);
+    let n = acc.len() - acc.len() % LANES;
+    let (pacc, pp, pb) = (acc.as_mut_ptr(), perm.as_ptr(), b.as_ptr());
+    for i in (0..n).step_by(LANES) {
+        // SAFETY: i + LANES <= n; slice lengths asserted equal by the
+        // dispatcher; perm values index src by table construction.
+        unsafe {
+            let idx = _mm_loadu_si128(pp.add(i).cast());
+            let v = _mm256_i32gather_epi64::<8>(src.as_ptr().cast(), idx);
+            let y = _mm256_loadu_si256(pb.add(i).cast());
+            let s = _mm256_loadu_si256(pacc.add(i).cast());
+            let p = barrett_mul(c, v, y);
+            _mm256_storeu_si256(pacc.add(i).cast(), add_mod_v(c, s, p));
+        }
+    }
+    scalar::gather_mul_acc_slice(m, &mut acc[n..], src, &perm[n..], &b[n..]);
+}
+
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2")]
+pub(crate) fn gather_mul_acc_pair_slice(
+    m: &Modulus,
+    acc0: &mut [u64],
+    acc1: &mut [u64],
+    src: &[u64],
+    perm: &[u32],
+    b0: &[u64],
+    b1: &[u64],
+) {
+    let c = barrett(m);
+    let n = acc0.len() - acc0.len() % LANES;
+    let (pa0, pa1, pp, pb0, pb1) = (
+        acc0.as_mut_ptr(),
+        acc1.as_mut_ptr(),
+        perm.as_ptr(),
+        b0.as_ptr(),
+        b1.as_ptr(),
+    );
+    for i in (0..n).step_by(LANES) {
+        // SAFETY: i + LANES <= n; slice lengths asserted equal by the
+        // dispatcher; perm values index src by table construction.
+        unsafe {
+            let idx = _mm_loadu_si128(pp.add(i).cast());
+            let v = _mm256_i32gather_epi64::<8>(src.as_ptr().cast(), idx);
+            let y0 = _mm256_loadu_si256(pb0.add(i).cast());
+            let y1 = _mm256_loadu_si256(pb1.add(i).cast());
+            let s0 = _mm256_loadu_si256(pa0.add(i).cast());
+            let s1 = _mm256_loadu_si256(pa1.add(i).cast());
+            _mm256_storeu_si256(pa0.add(i).cast(), add_mod_v(c, s0, barrett_mul(c, v, y0)));
+            _mm256_storeu_si256(pa1.add(i).cast(), add_mod_v(c, s1, barrett_mul(c, v, y1)));
+        }
+    }
+    scalar::gather_mul_acc_pair_slice(m, &mut acc0[n..], &mut acc1[n..], src, &perm[n..], &b0[n..], &b1[n..]);
+}
+
+// ---------------------------------------------------------------------------
+// NTT: cache-blocked drivers + butterfly stage kernels.
+// ---------------------------------------------------------------------------
+
+const BLOCK: usize = 4096;
+
+#[derive(Clone, Copy)]
+struct NttConsts {
+    q: __m256i,
+    two_q: __m256i,
+    two_q_s: __m256i,
+    sign: __m256i,
+}
+
+#[inline]
+#[target_feature(enable = "avx2")]
+fn ntt_consts(m: &Modulus) -> NttConsts {
+    let sign = sign_bit();
+    let q = splat(m.value());
+    let two_q = splat(m.two_q());
+    NttConsts {
+        q,
+        two_q,
+        two_q_s: _mm256_xor_si256(two_q, sign),
+        sign,
+    }
+}
+
+/// Forward butterfly: operands in `[0, 4q)`, outputs in `[0, 4q)`.
+#[inline]
+#[target_feature(enable = "avx2")]
+fn fwd_butterfly(c: NttConsts, x: __m256i, y: __m256i, w: __m256i, ws: __m256i) -> (__m256i, __m256i) {
+    let xr = cond_sub(x, c.two_q, c.two_q_s, c.sign);
+    let v = mul_shoup_lazy_v(y, w, ws, c.q);
+    (
+        _mm256_add_epi64(xr, v),
+        _mm256_sub_epi64(_mm256_add_epi64(xr, c.two_q), v),
+    )
+}
+
+/// Inverse butterfly: operands in `[0, 2q)`, outputs in `[0, 2q)`.
+#[inline]
+#[target_feature(enable = "avx2")]
+fn inv_butterfly(c: NttConsts, u: __m256i, v: __m256i, w: __m256i, ws: __m256i) -> (__m256i, __m256i) {
+    let s = cond_sub(_mm256_add_epi64(u, v), c.two_q, c.two_q_s, c.sign);
+    let d = _mm256_sub_epi64(_mm256_add_epi64(u, c.two_q), v);
+    (s, mul_shoup_lazy_v(d, w, ws, c.q))
+}
+
+/// # Safety
+///
+/// `x` and `y` must each be valid for `t` reads/writes and must not overlap.
+#[target_feature(enable = "avx2")]
+unsafe fn fwd_pass_large(c: NttConsts, x: *mut u64, y: *mut u64, t: usize, w: u64, ws: u64) {
+    let wv = splat(w);
+    let wsv = splat(ws);
+    debug_assert!(t.is_multiple_of(LANES));
+    for j in (0..t).step_by(LANES) {
+        // SAFETY: j + LANES <= t; caller guarantees both ranges valid.
+        unsafe {
+            let xv = _mm256_loadu_si256(x.add(j).cast());
+            let yv = _mm256_loadu_si256(y.add(j).cast());
+            let (nx, ny) = fwd_butterfly(c, xv, yv, wv, wsv);
+            _mm256_storeu_si256(x.add(j).cast(), nx);
+            _mm256_storeu_si256(y.add(j).cast(), ny);
+        }
+    }
+}
+
+/// # Safety
+///
+/// As [`fwd_pass_large`].
+#[target_feature(enable = "avx2")]
+unsafe fn inv_pass_large(c: NttConsts, x: *mut u64, y: *mut u64, t: usize, w: u64, ws: u64) {
+    let wv = splat(w);
+    let wsv = splat(ws);
+    debug_assert!(t.is_multiple_of(LANES));
+    for j in (0..t).step_by(LANES) {
+        // SAFETY: j + LANES <= t; caller guarantees both ranges valid.
+        unsafe {
+            let xv = _mm256_loadu_si256(x.add(j).cast());
+            let yv = _mm256_loadu_si256(y.add(j).cast());
+            let (nx, ny) = inv_butterfly(c, xv, yv, wv, wsv);
+            _mm256_storeu_si256(x.add(j).cast(), nx);
+            _mm256_storeu_si256(y.add(j).cast(), ny);
+        }
+    }
+}
+
+/// One stage with `t in {1, 2}` over a whole block, 8 elements (4
+/// butterflies) per iteration via 128-bit lane shuffles.
+#[target_feature(enable = "avx2")]
+fn stage_small(
+    c: NttConsts,
+    forward: bool,
+    block: &mut [u64],
+    t: usize,
+    tw: &[u64],
+    tws: &[u64],
+    tw_base: usize,
+) {
+    debug_assert!(matches!(t, 1 | 2));
+    let len = block.len();
+    let run = 2 * LANES;
+    debug_assert_eq!(len % run, 0, "small stages require 8-element blocks");
+    let p = block.as_mut_ptr();
+    let mut j = 0;
+    while j < len {
+        let g0 = j / (2 * t);
+        // SAFETY: j + 8 <= len; twiddle loads read only this run's group
+        // entries, all in-bounds.
+        unsafe {
+            let v0 = _mm256_loadu_si256(p.add(j).cast());
+            let v1 = _mm256_loadu_si256(p.add(j + LANES).cast());
+            let (x, y, wv, wsv) = if t == 1 {
+                // v0 = [x0 y0 x1 y1], v1 = [x2 y2 x3 y3]
+                // unpack gives x = [x0 x2 x1 x3] — twiddles follow with the
+                // matching [0 2 1 3] permutation.
+                let x = _mm256_unpacklo_epi64(v0, v1);
+                let y = _mm256_unpackhi_epi64(v0, v1);
+                let wv = _mm256_permute4x64_epi64::<0xD8>(_mm256_loadu_si256(tw.as_ptr().add(tw_base + g0).cast()));
+                let wsv = _mm256_permute4x64_epi64::<0xD8>(_mm256_loadu_si256(tws.as_ptr().add(tw_base + g0).cast()));
+                (x, y, wv, wsv)
+            } else {
+                // v0 = [x0 x1 y0 y1] (group g0), v1 = group g0 + 1.
+                let x = _mm256_permute2x128_si256::<0x20>(v0, v1);
+                let y = _mm256_permute2x128_si256::<0x31>(v0, v1);
+                let wpair = _mm256_castsi128_si256(_mm_loadu_si128(tw.as_ptr().add(tw_base + g0).cast()));
+                let wspair = _mm256_castsi128_si256(_mm_loadu_si128(tws.as_ptr().add(tw_base + g0).cast()));
+                let wv = _mm256_permute4x64_epi64::<0x50>(wpair);
+                let wsv = _mm256_permute4x64_epi64::<0x50>(wspair);
+                (x, y, wv, wsv)
+            };
+            let (nx, ny) = if forward {
+                fwd_butterfly(c, x, y, wv, wsv)
+            } else {
+                inv_butterfly(c, x, y, wv, wsv)
+            };
+            let (o0, o1) = if t == 1 {
+                (_mm256_unpacklo_epi64(nx, ny), _mm256_unpackhi_epi64(nx, ny))
+            } else {
+                (
+                    _mm256_permute2x128_si256::<0x20>(nx, ny),
+                    _mm256_permute2x128_si256::<0x31>(nx, ny),
+                )
+            };
+            _mm256_storeu_si256(p.add(j).cast(), o0);
+            _mm256_storeu_si256(p.add(j + LANES).cast(), o1);
+        }
+        j += run;
+    }
+}
+
+/// Forward lazy NTT: strided stages above [`BLOCK`], blocked completion,
+/// correction sweep. Same stage schedule as the AVX-512 driver.
+#[target_feature(enable = "avx2")]
+pub(crate) fn ntt_forward(table: &NttTable, a: &mut [u64]) {
+    let n = table.n();
+    if n < 2 * LANES {
+        return scalar::ntt_forward(table, a);
+    }
+    let m = table.modulus();
+    let tw = table.root_pows();
+    let tws = table.root_pows_shoup();
+    let c = ntt_consts(m);
+    let p = a.as_mut_ptr();
+
+    let bsize = n.min(BLOCK);
+    let mut t = n;
+    let mut len = 1usize;
+    while len < n {
+        let half = t >> 1;
+        if 2 * half <= bsize {
+            break;
+        }
+        for i in 0..len {
+            let j0 = 2 * i * half;
+            let k = len + i;
+            // SAFETY: disjoint in-bounds halves (j0 + 2*half <= n).
+            unsafe { fwd_pass_large(c, p.add(j0), p.add(j0 + half), half, tw[k], tws[k]) };
+        }
+        t = half;
+        len <<= 1;
+    }
+    if len < n {
+        let t0 = t >> 1;
+        let len0 = len;
+        for (b, block) in a.chunks_exact_mut(bsize).enumerate() {
+            let bp = block.as_mut_ptr();
+            let mut lt = t0;
+            let mut llen = len0;
+            while llen < n {
+                let gpb = bsize / (2 * lt);
+                let tw_base = llen + b * gpb;
+                if lt >= LANES {
+                    for g in 0..gpb {
+                        let j0 = 2 * g * lt;
+                        let k = tw_base + g;
+                        // SAFETY: disjoint in-bounds halves of this block.
+                        unsafe { fwd_pass_large(c, bp.add(j0), bp.add(j0 + lt), lt, tw[k], tws[k]) };
+                    }
+                } else {
+                    stage_small(c, true, block, lt, tw, tws, tw_base);
+                }
+                llen <<= 1;
+                lt >>= 1;
+            }
+        }
+    }
+    correct_lazy_slice(m, a);
+}
+
+/// Inverse lazy NTT: blocked opening stages, strided closing stages, fused
+/// `n^{-1}` sweep.
+#[target_feature(enable = "avx2")]
+pub(crate) fn ntt_inverse(table: &NttTable, a: &mut [u64]) {
+    let n = table.n();
+    if n < 2 * LANES {
+        return scalar::ntt_inverse(table, a);
+    }
+    let m = table.modulus();
+    let tw = table.inv_root_pows();
+    let tws = table.inv_root_pows_shoup();
+    let c = ntt_consts(m);
+
+    let bsize = n.min(BLOCK);
+    for (b, block) in a.chunks_exact_mut(bsize).enumerate() {
+        let bp = block.as_mut_ptr();
+        let mut lt = 1usize;
+        let mut llen = n >> 1;
+        while 2 * lt <= bsize {
+            let gpb = bsize / (2 * lt);
+            let tw_base = llen + b * gpb;
+            if lt >= LANES {
+                for g in 0..gpb {
+                    let j0 = 2 * g * lt;
+                    let k = tw_base + g;
+                    // SAFETY: disjoint in-bounds halves of this block.
+                    unsafe { inv_pass_large(c, bp.add(j0), bp.add(j0 + lt), lt, tw[k], tws[k]) };
+                }
+            } else {
+                stage_small(c, false, block, lt, tw, tws, tw_base);
+            }
+            lt <<= 1;
+            llen >>= 1;
+        }
+    }
+    let p = a.as_mut_ptr();
+    let mut t = bsize;
+    let mut len = n / (2 * bsize);
+    while len >= 1 {
+        for i in 0..len {
+            let j0 = 2 * i * t;
+            let k = len + i;
+            // SAFETY: disjoint in-bounds ranges (j0 + 2t <= n).
+            unsafe { inv_pass_large(c, p.add(j0), p.add(j0 + t), t, tw[k], tws[k]) };
+        }
+        t <<= 1;
+        len >>= 1;
+    }
+    mul_scalar_shoup_slice(m, a, table.n_inv(), table.n_inv_shoup());
+}

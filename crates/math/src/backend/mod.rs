@@ -1,0 +1,465 @@
+//! Runtime-dispatched SIMD backends for the hot kernels.
+//!
+//! This is the software analogue of CraterLake's vector-lane datapath: the
+//! limb pool (`CL_THREADS`) parallelizes *across* residue polynomials, and
+//! the backend selected here parallelizes *within* one — Harvey butterflies,
+//! Shoup multiplies, Barrett products, and automorphism gathers all process
+//! 4 (AVX2) or 8 (AVX-512) residues per instruction.
+//!
+//! A backend is chosen once per process from `is_x86_feature_detected!`,
+//! overridable with `CL_BACKEND=scalar|avx2|avx512` (tests can also switch
+//! in-process via [`set_active`]). Every backend is bit-exact: kernels with
+//! canonical `[0, q)` outputs return identical words on all backends, and
+//! lazy kernels obey the same `[0, 4q)` / `[0, 2q)` drift bounds the scalar
+//! reference does, so the final correction sweeps land on identical words
+//! too. Op-level telemetry (`cl-trace`) is recorded at the public entry
+//! points, above the dispatch, so counts are backend-invariant by
+//! construction.
+
+pub(crate) mod scalar;
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod avx2;
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod avx512;
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use crate::Modulus;
+
+/// The kernel implementations the dispatcher can route to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum BackendKind {
+    /// Portable scalar reference kernels (always available).
+    Scalar,
+    /// 256-bit AVX2 kernels, 4 residues per instruction.
+    Avx2,
+    /// 512-bit AVX-512 (F+DQ+VL) kernels, 8 residues per instruction, with a
+    /// 52-bit IFMA fast path for moduli below `2^50` when the CPU has
+    /// `avx512ifma`.
+    Avx512,
+}
+
+impl BackendKind {
+    /// Stable lowercase name, matching the `CL_BACKEND` values.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Scalar => "scalar",
+            BackendKind::Avx2 => "avx2",
+            BackendKind::Avx512 => "avx512",
+        }
+    }
+
+    /// Parses a `CL_BACKEND` value.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "scalar" => Some(BackendKind::Scalar),
+            "avx2" => Some(BackendKind::Avx2),
+            "avx512" => Some(BackendKind::Avx512),
+            _ => None,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            BackendKind::Scalar => 0,
+            BackendKind::Avx2 => 1,
+            BackendKind::Avx512 => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Self {
+        match v {
+            1 => BackendKind::Avx2,
+            2 => BackendKind::Avx512,
+            _ => BackendKind::Scalar,
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Backends usable on this host, best-first. Always ends with `Scalar`.
+pub fn supported_backends() -> Vec<BackendKind> {
+    let mut v = Vec::new();
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx512f")
+            && is_x86_feature_detected!("avx512dq")
+            && is_x86_feature_detected!("avx512vl")
+        {
+            v.push(BackendKind::Avx512);
+        }
+        if is_x86_feature_detected!("avx2") {
+            v.push(BackendKind::Avx2);
+        }
+    }
+    v.push(BackendKind::Scalar);
+    v
+}
+
+/// Host vector-ISA feature flags relevant to backend selection, for bench
+/// metadata and diagnostics.
+pub fn cpu_features() -> Vec<(&'static str, bool)> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        vec![
+            ("avx2", is_x86_feature_detected!("avx2")),
+            ("avx512f", is_x86_feature_detected!("avx512f")),
+            ("avx512dq", is_x86_feature_detected!("avx512dq")),
+            ("avx512vl", is_x86_feature_detected!("avx512vl")),
+            ("avx512ifma", is_x86_feature_detected!("avx512ifma")),
+        ]
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        vec![
+            ("avx2", false),
+            ("avx512f", false),
+            ("avx512dq", false),
+            ("avx512vl", false),
+            ("avx512ifma", false),
+        ]
+    }
+}
+
+const ACTIVE_UNSET: u8 = u8::MAX;
+static ACTIVE: AtomicU8 = AtomicU8::new(ACTIVE_UNSET);
+
+fn init_active() -> BackendKind {
+    let supported = supported_backends();
+    let chosen = match std::env::var("CL_BACKEND") {
+        Ok(name) => match BackendKind::from_name(name.trim()) {
+            Some(k) if supported.contains(&k) => k,
+            Some(k) => {
+                eprintln!(
+                    "cl-math: CL_BACKEND={} not supported on this CPU; using {}",
+                    k.name(),
+                    supported[0].name()
+                );
+                supported[0]
+            }
+            None => {
+                eprintln!(
+                    "cl-math: unknown CL_BACKEND value {name:?} (expected scalar|avx2|avx512); \
+                     using {}",
+                    supported[0].name()
+                );
+                supported[0]
+            }
+        },
+        Err(_) => supported[0],
+    };
+    // A racing initializer computes the same value; last store wins.
+    ACTIVE.store(chosen.as_u8(), Ordering::Relaxed);
+    chosen
+}
+
+/// The backend all dispatched kernels currently route to.
+///
+/// First call resolves `CL_BACKEND` (falling back to the best supported
+/// backend); later calls are a single atomic load.
+#[inline]
+pub fn active_backend() -> BackendKind {
+    let v = ACTIVE.load(Ordering::Relaxed);
+    if v == ACTIVE_UNSET {
+        init_active()
+    } else {
+        BackendKind::from_u8(v)
+    }
+}
+
+/// Forces the dispatcher to `kind` for the rest of the process (or until the
+/// next call). Intended for tests and benchmarks; returns `Err` with the
+/// supported set if this host cannot run `kind`.
+///
+/// Because every backend is bit-exact, flipping the backend mid-run changes
+/// performance only, never results — concurrent threads may observe either
+/// backend during the switch and still compute identical values.
+pub fn set_active_backend(kind: BackendKind) -> Result<(), Vec<BackendKind>> {
+    let supported = supported_backends();
+    if !supported.contains(&kind) {
+        return Err(supported);
+    }
+    ACTIVE.store(kind.as_u8(), Ordering::Relaxed);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Dispatched slice kernels.
+//
+// Each wrapper asserts slice-length agreement once, then routes to the
+// active backend. The scalar implementations in `scalar.rs` are the
+// semantic reference; the SAFETY obligation discharged at every `unsafe`
+// call below is "the required target features were runtime-detected",
+// which `active_backend()` guarantees: Avx2/Avx512 are only ever stored
+// after `supported_backends()` confirmed the features.
+// ---------------------------------------------------------------------------
+
+macro_rules! dispatch {
+    ($backend_fn:ident($($arg:expr),*); $kind:expr) => {
+        match $kind {
+            BackendKind::Scalar => scalar::$backend_fn($($arg),*),
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: Avx2 is only active when runtime detection confirmed
+            // the avx2 feature (see active_backend/set_active_backend).
+            BackendKind::Avx2 => unsafe { avx2::$backend_fn($($arg),*) },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: Avx512 is only active when runtime detection confirmed
+            // avx512f+dq+vl (see active_backend/set_active_backend).
+            BackendKind::Avx512 => unsafe { avx512::$backend_fn($($arg),*) },
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => scalar::$backend_fn($($arg),*),
+        }
+    };
+}
+
+/// `a[i] = (a[i] + b[i]) mod q`, canonical operands and output.
+#[inline]
+pub(crate) fn add_mod_slice(m: &Modulus, a: &mut [u64], b: &[u64]) {
+    assert_eq!(a.len(), b.len(), "slice length mismatch");
+    dispatch!(add_mod_slice(m, a, b); active_backend())
+}
+
+/// `a[i] = (a[i] - b[i]) mod q`, canonical operands and output.
+#[inline]
+pub(crate) fn sub_mod_slice(m: &Modulus, a: &mut [u64], b: &[u64]) {
+    assert_eq!(a.len(), b.len(), "slice length mismatch");
+    dispatch!(sub_mod_slice(m, a, b); active_backend())
+}
+
+/// `a[i] = -a[i] mod q`, canonical operand and output.
+#[inline]
+pub(crate) fn neg_mod_slice(m: &Modulus, a: &mut [u64]) {
+    dispatch!(neg_mod_slice(m, a); active_backend())
+}
+
+/// `a[i] = a[i] * b[i] mod q` (variable × variable Barrett), canonical.
+#[inline]
+pub(crate) fn mul_mod_slice(m: &Modulus, a: &mut [u64], b: &[u64]) {
+    assert_eq!(a.len(), b.len(), "slice length mismatch");
+    dispatch!(mul_mod_slice(m, a, b); active_backend())
+}
+
+/// `acc[i] = (acc[i] + a[i] * b[i]) mod q`, canonical.
+#[inline]
+pub(crate) fn mul_acc_mod_slice(m: &Modulus, acc: &mut [u64], a: &[u64], b: &[u64]) {
+    assert_eq!(acc.len(), a.len(), "slice length mismatch");
+    assert_eq!(acc.len(), b.len(), "slice length mismatch");
+    dispatch!(mul_acc_mod_slice(m, acc, a, b); active_backend())
+}
+
+/// `a[i] = a[i] * w mod q` for a fixed `w` with precomputed Shoup constant,
+/// canonical output. Accepts lazy inputs below `2^63` (the Shoup product
+/// itself tolerates any `u64`; the closing correction handles `[0, 2q)`).
+#[inline]
+pub(crate) fn mul_scalar_shoup_slice(m: &Modulus, a: &mut [u64], w: u64, w_shoup: u64) {
+    dispatch!(mul_scalar_shoup_slice(m, a, w, w_shoup); active_backend())
+}
+
+/// `acc[i] = reduce_lazy(acc[i] + mul_shoup_lazy(x[i], w, w_shoup))`.
+///
+/// The base-conversion inner loop: `acc` stays in `[0, 2q)` across repeated
+/// calls, `x` may be any `u64` (residues of a foreign modulus).
+#[inline]
+pub(crate) fn mul_shoup_lazy_acc_slice(m: &Modulus, acc: &mut [u64], x: &[u64], w: u64, w_shoup: u64) {
+    assert_eq!(acc.len(), x.len(), "slice length mismatch");
+    dispatch!(mul_shoup_lazy_acc_slice(m, acc, x, w, w_shoup); active_backend())
+}
+
+/// `out[i] = correct_lazy(out[i] + 2q - mul_shoup_lazy(alpha[i], w, w_shoup))`.
+///
+/// The exact base-conversion correction: subtracts `alpha[i] * w` from a lazy
+/// accumulator in `[0, 2q)` and canonicalizes in the same pass.
+#[inline]
+pub(crate) fn mul_shoup_sub_correct_slice(m: &Modulus, out: &mut [u64], alpha: &[u64], w: u64, w_shoup: u64) {
+    assert_eq!(out.len(), alpha.len(), "slice length mismatch");
+    dispatch!(mul_shoup_sub_correct_slice(m, out, alpha, w, w_shoup); active_backend())
+}
+
+/// `a[i] = correct_lazy(a[i])`: maps lazy `[0, 4q)` words to canonical.
+#[inline]
+pub(crate) fn correct_lazy_slice(m: &Modulus, a: &mut [u64]) {
+    dispatch!(correct_lazy_slice(m, a); active_backend())
+}
+
+/// `out[i] = src[perm[i]]` — the NTT-domain automorphism gather.
+#[inline]
+pub(crate) fn gather_slice(out: &mut [u64], src: &[u64], perm: &[u32]) {
+    assert_eq!(out.len(), perm.len(), "slice length mismatch");
+    dispatch!(gather_slice(out, src, perm); active_backend())
+}
+
+/// Fused automorphism + multiply-accumulate:
+/// `acc[i] = (acc[i] + src[perm[i]] * b[i]) mod q`, canonical.
+#[inline]
+pub(crate) fn gather_mul_acc_slice(m: &Modulus, acc: &mut [u64], src: &[u64], perm: &[u32], b: &[u64]) {
+    assert_eq!(acc.len(), perm.len(), "slice length mismatch");
+    assert_eq!(acc.len(), b.len(), "slice length mismatch");
+    dispatch!(gather_mul_acc_slice(m, acc, src, perm, b); active_backend())
+}
+
+/// Paired fused automorphism + multiply-accumulate, sharing one gather:
+/// `acc0[i] += src[perm[i]] * b0[i]`, `acc1[i] += src[perm[i]] * b1[i]`,
+/// both mod q, canonical.
+#[inline]
+pub(crate) fn gather_mul_acc_pair_slice(
+    m: &Modulus,
+    acc0: &mut [u64],
+    acc1: &mut [u64],
+    src: &[u64],
+    perm: &[u32],
+    b0: &[u64],
+    b1: &[u64],
+) {
+    assert_eq!(acc0.len(), perm.len(), "slice length mismatch");
+    assert_eq!(acc1.len(), perm.len(), "slice length mismatch");
+    assert_eq!(acc0.len(), b0.len(), "slice length mismatch");
+    assert_eq!(acc1.len(), b1.len(), "slice length mismatch");
+    dispatch!(gather_mul_acc_pair_slice(m, acc0, acc1, src, perm, b0, b1); active_backend())
+}
+
+/// Forward lazy NTT pass over `a` using `table`, excluding telemetry (the
+/// caller records it). Output canonical, bit-identical across backends.
+#[inline]
+pub(crate) fn ntt_forward(table: &crate::NttTable, a: &mut [u64]) {
+    dispatch!(ntt_forward(table, a); active_backend())
+}
+
+/// Inverse lazy NTT pass (including the `n^{-1}` sweep), telemetry excluded.
+#[inline]
+pub(crate) fn ntt_inverse(table: &crate::NttTable, a: &mut [u64]) {
+    dispatch!(ntt_inverse(table, a); active_backend())
+}
+
+/// Test-only dispatch with an explicit backend, so differential tests can
+/// exercise every compiled backend without touching the process-wide choice.
+/// Callers must only pass kinds from [`supported_backends`].
+#[cfg(test)]
+pub(crate) mod forced {
+    use super::*;
+
+    pub(crate) fn add_mod_slice(kind: BackendKind, m: &Modulus, a: &mut [u64], b: &[u64]) {
+        dispatch!(add_mod_slice(m, a, b); kind)
+    }
+
+    pub(crate) fn sub_mod_slice(kind: BackendKind, m: &Modulus, a: &mut [u64], b: &[u64]) {
+        dispatch!(sub_mod_slice(m, a, b); kind)
+    }
+
+    pub(crate) fn neg_mod_slice(kind: BackendKind, m: &Modulus, a: &mut [u64]) {
+        dispatch!(neg_mod_slice(m, a); kind)
+    }
+
+    pub(crate) fn mul_mod_slice(kind: BackendKind, m: &Modulus, a: &mut [u64], b: &[u64]) {
+        dispatch!(mul_mod_slice(m, a, b); kind)
+    }
+
+    pub(crate) fn mul_acc_mod_slice(kind: BackendKind, m: &Modulus, acc: &mut [u64], a: &[u64], b: &[u64]) {
+        dispatch!(mul_acc_mod_slice(m, acc, a, b); kind)
+    }
+
+    pub(crate) fn mul_scalar_shoup_slice(kind: BackendKind, m: &Modulus, a: &mut [u64], w: u64, ws: u64) {
+        dispatch!(mul_scalar_shoup_slice(m, a, w, ws); kind)
+    }
+
+    pub(crate) fn mul_shoup_lazy_acc_slice(
+        kind: BackendKind,
+        m: &Modulus,
+        acc: &mut [u64],
+        x: &[u64],
+        w: u64,
+        ws: u64,
+    ) {
+        dispatch!(mul_shoup_lazy_acc_slice(m, acc, x, w, ws); kind)
+    }
+
+    pub(crate) fn mul_shoup_sub_correct_slice(
+        kind: BackendKind,
+        m: &Modulus,
+        out: &mut [u64],
+        alpha: &[u64],
+        w: u64,
+        ws: u64,
+    ) {
+        dispatch!(mul_shoup_sub_correct_slice(m, out, alpha, w, ws); kind)
+    }
+
+    pub(crate) fn correct_lazy_slice(kind: BackendKind, m: &Modulus, a: &mut [u64]) {
+        dispatch!(correct_lazy_slice(m, a); kind)
+    }
+
+    pub(crate) fn gather_slice(kind: BackendKind, out: &mut [u64], src: &[u64], perm: &[u32]) {
+        dispatch!(gather_slice(out, src, perm); kind)
+    }
+
+    pub(crate) fn gather_mul_acc_slice(
+        kind: BackendKind,
+        m: &Modulus,
+        acc: &mut [u64],
+        src: &[u64],
+        perm: &[u32],
+        b: &[u64],
+    ) {
+        dispatch!(gather_mul_acc_slice(m, acc, src, perm, b); kind)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn gather_mul_acc_pair_slice(
+        kind: BackendKind,
+        m: &Modulus,
+        acc0: &mut [u64],
+        acc1: &mut [u64],
+        src: &[u64],
+        perm: &[u32],
+        b0: &[u64],
+        b1: &[u64],
+    ) {
+        dispatch!(gather_mul_acc_pair_slice(m, acc0, acc1, src, perm, b0, b1); kind)
+    }
+
+    pub(crate) fn ntt_forward(kind: BackendKind, table: &crate::NttTable, a: &mut [u64]) {
+        dispatch!(ntt_forward(table, a); kind)
+    }
+
+    pub(crate) fn ntt_inverse(kind: BackendKind, table: &crate::NttTable, a: &mut [u64]) {
+        dispatch!(ntt_inverse(table, a); kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for k in [BackendKind::Scalar, BackendKind::Avx2, BackendKind::Avx512] {
+            assert_eq!(BackendKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(BackendKind::from_name("neon"), None);
+    }
+
+    #[test]
+    fn supported_always_includes_scalar() {
+        let s = supported_backends();
+        assert_eq!(s.last(), Some(&BackendKind::Scalar));
+        // Best-first ordering: the active default is the head.
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn set_active_rejects_unsupported_only() {
+        let supported = supported_backends();
+        for k in [BackendKind::Scalar, BackendKind::Avx2, BackendKind::Avx512] {
+            let r = set_active_backend(k);
+            assert_eq!(r.is_ok(), supported.contains(&k), "backend {k}");
+        }
+        // Restore the default for other tests in this process.
+        set_active_backend(supported[0]).expect("default backend must be supported");
+    }
+}

@@ -29,19 +29,24 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+mod aligned;
 mod automorphism;
+pub mod backend;
 mod bigint;
 mod cfft;
 mod modulus;
 mod ntt;
 mod primes;
 
+pub use aligned::{AlignedVec, SIMD_ALIGN};
 pub use automorphism::{
     apply_automorphism_coeff, apply_automorphism_ntt, apply_automorphism_ntt_into,
     galois_element_conjugate, galois_element_for_rotation, AutomorphismTable,
 };
+pub use backend::{active_backend, cpu_features, set_active_backend, supported_backends, BackendKind};
 pub use bigint::BigUint;
 pub use cfft::{Complex, SpecialFft};
 pub use modulus::Modulus;

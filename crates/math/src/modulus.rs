@@ -23,6 +23,12 @@ pub struct Modulus {
     /// floor(2^128 / q), split into hi/lo 64-bit words (Barrett constant).
     barrett_hi: u64,
     barrett_lo: u64,
+    /// bit width of `q` (the `k` of the word-sized Barrett constant below).
+    barrett_k: u32,
+    /// floor(2^{2k} / q) — single-word Barrett constant used by the vector
+    /// backends, where the 128-bit constant above would need four extra
+    /// multiplies per lane.
+    barrett_mu: u64,
 }
 
 impl Modulus {
@@ -45,10 +51,14 @@ impl Modulus {
         // an odd factor. q=2^k would be the only problem and is not prime for k>1.
         let barrett_hi = (hi >> 64) as u64;
         let barrett_lo = hi as u64;
+        let barrett_k = 64 - q.leading_zeros();
+        let barrett_mu = ((1u128 << (2 * barrett_k)) / q as u128) as u64;
         Some(Self {
             q,
             barrett_hi,
             barrett_lo,
+            barrett_k,
+            barrett_mu,
         })
     }
 
@@ -257,6 +267,114 @@ impl Modulus {
         let r = a.rem_euclid(self.q as i64);
         r as u64
     }
+
+    /// Bit width of `q` — the `k` in the word-sized Barrett constant.
+    #[inline]
+    pub(crate) fn barrett_k(&self) -> u32 {
+        self.barrett_k
+    }
+
+    /// `floor(2^{2k} / q)` for the vector Barrett reduction.
+    #[inline]
+    pub(crate) fn barrett_mu(&self) -> u64 {
+        self.barrett_mu
+    }
+
+    // -----------------------------------------------------------------------
+    // Slice kernels. These dispatch to the active SIMD backend
+    // ([`crate::backend`]); the scalar backend applies the element methods
+    // above in a plain loop, and every vector backend is bit-exact against
+    // it. Canonical-range kernels expect and produce `[0, q)`; the `lazy`
+    // kernels document their own ranges.
+    // -----------------------------------------------------------------------
+
+    /// Element-wise `a[i] = (a[i] + b[i]) mod q`, canonical operands.
+    #[inline]
+    pub fn add_mod_slice(&self, a: &mut [u64], b: &[u64]) {
+        crate::backend::add_mod_slice(self, a, b);
+    }
+
+    /// Element-wise `a[i] = (a[i] - b[i]) mod q`, canonical operands.
+    #[inline]
+    pub fn sub_mod_slice(&self, a: &mut [u64], b: &[u64]) {
+        crate::backend::sub_mod_slice(self, a, b);
+    }
+
+    /// Element-wise `a[i] = -a[i] mod q`, canonical operands.
+    #[inline]
+    pub fn neg_mod_slice(&self, a: &mut [u64]) {
+        crate::backend::neg_mod_slice(self, a);
+    }
+
+    /// Element-wise `a[i] = a[i] * b[i] mod q`, canonical operands.
+    #[inline]
+    pub fn mul_mod_slice(&self, a: &mut [u64], b: &[u64]) {
+        crate::backend::mul_mod_slice(self, a, b);
+    }
+
+    /// Element-wise `acc[i] = (acc[i] + a[i] * b[i]) mod q`, canonical
+    /// operands.
+    #[inline]
+    pub fn mul_acc_mod_slice(&self, acc: &mut [u64], a: &[u64], b: &[u64]) {
+        crate::backend::mul_acc_mod_slice(self, acc, a, b);
+    }
+
+    /// Element-wise `a[i] = a[i] * w mod q` by Shoup multiplication with the
+    /// fixed operand `w` and its precomputed constant
+    /// ([`Modulus::shoup_precompute`]). Accepts canonical `a`, produces
+    /// canonical output.
+    #[inline]
+    pub fn mul_scalar_shoup_slice(&self, a: &mut [u64], w: u64, w_shoup: u64) {
+        crate::backend::mul_scalar_shoup_slice(self, a, w, w_shoup);
+    }
+
+    /// Element-wise lazy multiply-accumulate with a fixed Shoup operand:
+    /// `acc[i] = reduce_lazy(acc[i] + mul_shoup_lazy(x[i], w, w_shoup))`.
+    ///
+    /// `acc` must be in `[0, 2q)` and stays in `[0, 2q)`; `x` may be any
+    /// `u64` (Shoup-lazy accepts unreduced operands).
+    #[inline]
+    pub fn mul_shoup_lazy_acc_slice(&self, acc: &mut [u64], x: &[u64], w: u64, w_shoup: u64) {
+        crate::backend::mul_shoup_lazy_acc_slice(self, acc, x, w, w_shoup);
+    }
+
+    /// Element-wise `out[i] = correct_lazy(out[i] + 2q - mul_shoup_lazy(alpha[i], w, w_shoup))`:
+    /// subtract a Shoup product and canonicalize in one pass. `out` must be
+    /// in `[0, 2q)`; output is canonical.
+    #[inline]
+    pub fn mul_shoup_sub_correct_slice(&self, out: &mut [u64], alpha: &[u64], w: u64, w_shoup: u64) {
+        crate::backend::mul_shoup_sub_correct_slice(self, out, alpha, w, w_shoup);
+    }
+
+    /// Element-wise [`Modulus::correct_lazy`]: maps `[0, 4q)` to canonical
+    /// `[0, q)`.
+    #[inline]
+    pub fn correct_lazy_slice(&self, a: &mut [u64]) {
+        crate::backend::correct_lazy_slice(self, a);
+    }
+
+    /// `acc[i] = (acc[i] + src[perm[i]] * b[i]) mod q` — fused gather +
+    /// multiply-accumulate, the automorphism hot path. All values canonical;
+    /// every `perm[i]` must index `src`.
+    #[inline]
+    pub fn gather_mul_acc_slice(&self, acc: &mut [u64], src: &[u64], perm: &[u32], b: &[u64]) {
+        crate::backend::gather_mul_acc_slice(self, acc, src, perm, b);
+    }
+
+    /// Like [`Modulus::gather_mul_acc_slice`] but feeds one gather into two
+    /// accumulators (the two halves of a key-switch key).
+    #[inline]
+    pub fn gather_mul_acc_pair_slice(
+        &self,
+        acc0: &mut [u64],
+        acc1: &mut [u64],
+        src: &[u64],
+        perm: &[u32],
+        b0: &[u64],
+        b1: &[u64],
+    ) {
+        crate::backend::gather_mul_acc_pair_slice(self, acc0, acc1, src, perm, b0, b1);
+    }
 }
 
 #[cfg(test)]
@@ -344,6 +462,170 @@ mod tests {
             let r = m.correct_lazy(a);
             prop_assert!(r < Q59);
             prop_assert_eq!(r % Q59, a % Q59);
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // Backend slice-kernel invariants (one run per compiled backend).
+    //
+    // Canonical kernels must match the scalar reference word-for-word;
+    // lazy kernels must additionally respect the documented drift bounds
+    // ([0, 2q) after reduce_lazy, [0, q) after correction).
+    // -----------------------------------------------------------------------
+
+    use crate::backend::{forced, supported_backends};
+
+    proptest! {
+        #[test]
+        fn backends_match_scalar_canonical_kernels(
+            q_idx in 0usize..3,
+            seed in any::<u64>(),
+            // Lengths off the lane multiple force the vector kernels through
+            // their scalar tails.
+            len in 0usize..67,
+        ) {
+            let q = [Q28, Q59, (1u64 << 60) - 93][q_idx];
+            let m = Modulus::new(q).unwrap();
+            let gen = |salt: u64| -> Vec<u64> {
+                (0..len as u64)
+                    .map(|i| (seed ^ salt).wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(i.wrapping_mul(0x2545_f491_4f6c_dd1d)) % q)
+                    .collect()
+            };
+            let a0 = gen(1);
+            let b = gen(2);
+            let acc0 = gen(3);
+            for kind in supported_backends() {
+                // add
+                let mut a = a0.clone();
+                let mut r = a0.clone();
+                forced::add_mod_slice(crate::backend::BackendKind::Scalar, &m, &mut r, &b);
+                forced::add_mod_slice(kind, &m, &mut a, &b);
+                prop_assert_eq!(&a, &r, "add_mod_slice diverged on {}", kind);
+                // sub
+                let mut a = a0.clone();
+                let mut r = a0.clone();
+                forced::sub_mod_slice(crate::backend::BackendKind::Scalar, &m, &mut r, &b);
+                forced::sub_mod_slice(kind, &m, &mut a, &b);
+                prop_assert_eq!(&a, &r, "sub_mod_slice diverged on {}", kind);
+                // neg
+                let mut a = a0.clone();
+                let mut r = a0.clone();
+                forced::neg_mod_slice(crate::backend::BackendKind::Scalar, &m, &mut r);
+                forced::neg_mod_slice(kind, &m, &mut a);
+                prop_assert_eq!(&a, &r, "neg_mod_slice diverged on {}", kind);
+                // mul
+                let mut a = a0.clone();
+                let mut r = a0.clone();
+                forced::mul_mod_slice(crate::backend::BackendKind::Scalar, &m, &mut r, &b);
+                forced::mul_mod_slice(kind, &m, &mut a, &b);
+                prop_assert_eq!(&a, &r, "mul_mod_slice diverged on {}", kind);
+                for (x, (&ai, &bi)) in a.iter().zip(a0.iter().zip(&b)) {
+                    prop_assert_eq!(*x as u128, (ai as u128 * bi as u128) % q as u128);
+                }
+                // mul_acc
+                let mut acc = acc0.clone();
+                let mut r = acc0.clone();
+                forced::mul_acc_mod_slice(crate::backend::BackendKind::Scalar, &m, &mut r, &a0, &b);
+                forced::mul_acc_mod_slice(kind, &m, &mut acc, &a0, &b);
+                prop_assert_eq!(&acc, &r, "mul_acc_mod_slice diverged on {}", kind);
+                prop_assert!(acc.iter().all(|&x| x < q));
+            }
+        }
+
+        #[test]
+        fn backends_match_scalar_shoup_kernels(
+            a0 in collection::vec(0u64..Q59, 0..67),
+            w in 0u64..Q59,
+        ) {
+            let m = Modulus::new(Q59).unwrap();
+            let ws = m.shoup_precompute(w);
+            let two_q = m.two_q();
+            // Lazy accumulator input in [0, 2q); x input arbitrary lazy [0, 4q).
+            let acc0: Vec<u64> = a0.iter().map(|&x| x.wrapping_mul(3) % two_q).collect();
+            let x0: Vec<u64> = a0.iter().map(|&x| x.wrapping_mul(7) % (4 * Q59)).collect();
+            for kind in supported_backends() {
+                // mul_scalar_shoup: canonical output, bit-equal to scalar.
+                let mut a = a0.clone();
+                let mut r = a0.clone();
+                forced::mul_scalar_shoup_slice(crate::backend::BackendKind::Scalar, &m, &mut r, w, ws);
+                forced::mul_scalar_shoup_slice(kind, &m, &mut a, w, ws);
+                prop_assert_eq!(&a, &r, "mul_scalar_shoup_slice diverged on {}", kind);
+                prop_assert!(a.iter().all(|&x| x < Q59), "canonical bound violated on {}", kind);
+
+                // mul_shoup_lazy_acc: [0, 2q) bound + congruence + bit-equality.
+                let mut acc = acc0.clone();
+                let mut r = acc0.clone();
+                forced::mul_shoup_lazy_acc_slice(crate::backend::BackendKind::Scalar, &m, &mut r, &x0, w, ws);
+                forced::mul_shoup_lazy_acc_slice(kind, &m, &mut acc, &x0, w, ws);
+                prop_assert_eq!(&acc, &r, "mul_shoup_lazy_acc_slice diverged on {}", kind);
+                for (i, &v) in acc.iter().enumerate() {
+                    prop_assert!(v < two_q, "lazy bound violated on {}", kind);
+                    let expect = (acc0[i] as u128 + x0[i] as u128 * w as u128) % Q59 as u128;
+                    prop_assert_eq!(v as u128 % Q59 as u128, expect);
+                }
+
+                // mul_shoup_sub_correct: canonical output + congruence.
+                let mut out = acc0.clone();
+                let mut r = acc0.clone();
+                forced::mul_shoup_sub_correct_slice(crate::backend::BackendKind::Scalar, &m, &mut r, &a0, w, ws);
+                forced::mul_shoup_sub_correct_slice(kind, &m, &mut out, &a0, w, ws);
+                prop_assert_eq!(&out, &r, "mul_shoup_sub_correct_slice diverged on {}", kind);
+                for (i, &v) in out.iter().enumerate() {
+                    prop_assert!(v < Q59, "canonical bound violated on {}", kind);
+                    let prod = (a0[i] as u128 * w as u128) % Q59 as u128;
+                    let expect = (acc0[i] as u128 + 2 * Q59 as u128 - prod % Q59 as u128) % Q59 as u128;
+                    prop_assert_eq!(v as u128 % Q59 as u128, expect % Q59 as u128);
+                }
+
+                // correct_lazy over the full [0, 4q) range.
+                let mut lazy = x0.clone();
+                let mut r = x0.clone();
+                forced::correct_lazy_slice(crate::backend::BackendKind::Scalar, &m, &mut r);
+                forced::correct_lazy_slice(kind, &m, &mut lazy);
+                prop_assert_eq!(&lazy, &r, "correct_lazy_slice diverged on {}", kind);
+                prop_assert!(lazy.iter().all(|&x| x < Q59));
+            }
+        }
+
+        #[test]
+        fn backends_match_scalar_gather_kernels(
+            seed in any::<u64>(),
+            len in 0usize..67,
+        ) {
+            let m = Modulus::new(Q28).unwrap();
+            let src: Vec<u64> = (0..len.max(1) as u64)
+                .map(|i| seed.wrapping_mul(0x9e37).wrapping_add(i * 0x85eb) % Q28)
+                .collect();
+            let perm: Vec<u32> = (0..len as u64)
+                .map(|i| ((seed.wrapping_add(i * 31)) % src.len() as u64) as u32)
+                .collect();
+            let b: Vec<u64> = (0..len as u64).map(|i| (seed ^ i).wrapping_mul(11) % Q28).collect();
+            let b1: Vec<u64> = (0..len as u64).map(|i| (seed ^ i).wrapping_mul(13) % Q28).collect();
+            let acc_init: Vec<u64> = (0..len as u64).map(|i| (seed ^ i).wrapping_mul(17) % Q28).collect();
+            for kind in supported_backends() {
+                let mut out = vec![0u64; len];
+                let mut r = vec![0u64; len];
+                forced::gather_slice(crate::backend::BackendKind::Scalar, &mut r, &src, &perm);
+                forced::gather_slice(kind, &mut out, &src, &perm);
+                prop_assert_eq!(&out, &r, "gather_slice diverged on {}", kind);
+
+                let mut acc = acc_init.clone();
+                let mut racc = acc_init.clone();
+                forced::gather_mul_acc_slice(crate::backend::BackendKind::Scalar, &m, &mut racc, &src, &perm, &b);
+                forced::gather_mul_acc_slice(kind, &m, &mut acc, &src, &perm, &b);
+                prop_assert_eq!(&acc, &racc, "gather_mul_acc_slice diverged on {}", kind);
+
+                let mut p0 = acc_init.clone();
+                let mut p1 = b1.clone();
+                let mut r0 = acc_init.clone();
+                let mut r1 = b1.clone();
+                forced::gather_mul_acc_pair_slice(
+                    crate::backend::BackendKind::Scalar, &m, &mut r0, &mut r1, &src, &perm, &b, &b1,
+                );
+                forced::gather_mul_acc_pair_slice(kind, &m, &mut p0, &mut p1, &src, &perm, &b, &b1);
+                prop_assert_eq!(&p0, &r0, "gather_mul_acc_pair_slice acc0 diverged on {}", kind);
+                prop_assert_eq!(&p1, &r1, "gather_mul_acc_pair_slice acc1 diverged on {}", kind);
+            }
         }
     }
 }

@@ -16,7 +16,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
-use crate::{bit_reverse, Modulus};
+use crate::{bit_reverse, AlignedVec, Modulus};
 
 /// Precomputed tables for the degree-`N` negacyclic NTT over one modulus.
 ///
@@ -41,11 +41,17 @@ pub struct NttTable {
     n: usize,
     modulus: Modulus,
     /// psi^br(i) in bit-reversed order, psi a primitive 2N-th root of unity.
-    root_pows: Vec<u64>,
-    root_pows_shoup: Vec<u64>,
+    /// All twiddle tables are 64-byte aligned ([`AlignedVec`]) so the vector
+    /// backends stream them with aligned full-width loads.
+    root_pows: AlignedVec<u64>,
+    root_pows_shoup: AlignedVec<u64>,
     /// psi^{-br(i)} in bit-reversed order.
-    inv_root_pows: Vec<u64>,
-    inv_root_pows_shoup: Vec<u64>,
+    inv_root_pows: AlignedVec<u64>,
+    inv_root_pows_shoup: AlignedVec<u64>,
+    /// `floor(w * 2^52 / q)` Shoup constants for the AVX-512 IFMA path,
+    /// built only when `q < 2^50` (so `4q` fits the 52-bit product radix).
+    root_pows_shoup52: Option<AlignedVec<u64>>,
+    inv_root_pows_shoup52: Option<AlignedVec<u64>>,
     /// n^{-1} mod q and its Shoup constant.
     n_inv: u64,
     n_inv_shoup: u64,
@@ -84,20 +90,35 @@ impl NttTable {
             root_pows[i] = pows[j];
             inv_root_pows[i] = inv_pows[j];
         }
-        let root_pows_shoup = root_pows.iter().map(|&w| modulus.shoup_precompute(w)).collect();
-        let inv_root_pows_shoup = inv_root_pows
+        let root_pows_shoup: AlignedVec<u64> =
+            root_pows.iter().map(|&w| modulus.shoup_precompute(w)).collect();
+        let inv_root_pows_shoup: AlignedVec<u64> = inv_root_pows
             .iter()
             .map(|&w| modulus.shoup_precompute(w))
             .collect();
+        // 52-bit Shoup constants for the IFMA multiply path: only valid when
+        // 4q fits in 52 bits, i.e. q < 2^50. Built whenever eligible (the
+        // backend additionally checks for avx512ifma at dispatch time).
+        let shoup52 = |w: u64| (((w as u128) << 52) / q as u128) as u64;
+        let (root_pows_shoup52, inv_root_pows_shoup52) = if q < (1u64 << 50) {
+            (
+                Some(root_pows.iter().map(|&w| shoup52(w)).collect()),
+                Some(inv_root_pows.iter().map(|&w| shoup52(w)).collect()),
+            )
+        } else {
+            (None, None)
+        };
         let n_inv = modulus.inv(n as u64 % q);
         let n_inv_shoup = modulus.shoup_precompute(n_inv);
         Some(Self {
             n,
             modulus,
-            root_pows,
+            root_pows: AlignedVec::from(root_pows),
             root_pows_shoup,
-            inv_root_pows,
+            inv_root_pows: AlignedVec::from(inv_root_pows),
             inv_root_pows_shoup,
+            root_pows_shoup52,
+            inv_root_pows_shoup52,
             n_inv,
             n_inv_shoup,
         })
@@ -149,6 +170,51 @@ impl NttTable {
         &self.modulus
     }
 
+    // Table accessors for the backend kernels ([`crate::backend`]).
+
+    #[inline]
+    pub(crate) fn root_pows(&self) -> &[u64] {
+        &self.root_pows
+    }
+
+    #[inline]
+    pub(crate) fn root_pows_shoup(&self) -> &[u64] {
+        &self.root_pows_shoup
+    }
+
+    #[inline]
+    pub(crate) fn inv_root_pows(&self) -> &[u64] {
+        &self.inv_root_pows
+    }
+
+    #[inline]
+    pub(crate) fn inv_root_pows_shoup(&self) -> &[u64] {
+        &self.inv_root_pows_shoup
+    }
+
+    /// 52-bit Shoup constants for the forward twiddles (IFMA path), present
+    /// only when `q < 2^50`.
+    #[inline]
+    pub(crate) fn root_pows_shoup52(&self) -> Option<&[u64]> {
+        self.root_pows_shoup52.as_deref()
+    }
+
+    /// 52-bit Shoup constants for the inverse twiddles (IFMA path).
+    #[inline]
+    pub(crate) fn inv_root_pows_shoup52(&self) -> Option<&[u64]> {
+        self.inv_root_pows_shoup52.as_deref()
+    }
+
+    #[inline]
+    pub(crate) fn n_inv(&self) -> u64 {
+        self.n_inv
+    }
+
+    #[inline]
+    pub(crate) fn n_inv_shoup(&self) -> u64 {
+        self.n_inv_shoup
+    }
+
     /// Forward negacyclic NTT, in place (Cooley-Tukey, decimation in time,
     /// Harvey lazy reduction).
     ///
@@ -161,46 +227,17 @@ impl NttTable {
     /// restores canonical `[0, q)`, so output is bit-identical to
     /// [`NttTable::forward_strict`].
     ///
+    /// Routed through the active SIMD backend ([`crate::backend`]); every
+    /// backend produces identical output words. Telemetry is recorded here,
+    /// above the dispatch, so op counts are backend-invariant.
+    ///
     /// # Panics
     ///
     /// Panics if `a.len() != self.n()`.
     pub fn forward(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "polynomial length mismatch");
         cl_trace::record_ntt(1, self.n);
-        let m = &self.modulus;
-        let two_q = m.two_q();
-        let n = self.n;
-        let mut t = n;
-        let mut len = 1usize;
-        while len < n {
-            t >>= 1;
-            for i in 0..len {
-                // SAFETY: len + i < 2*len <= n == root_pows.len().
-                let (w, ws) = unsafe {
-                    (
-                        *self.root_pows.get_unchecked(len + i),
-                        *self.root_pows_shoup.get_unchecked(len + i),
-                    )
-                };
-                let j0 = 2 * i * t;
-                for j in j0..j0 + t {
-                    // SAFETY: j + t <= j0 + 2t - 1 = (2i + 2)t - 1 < 2*len*t = n.
-                    unsafe {
-                        let mut x = *a.get_unchecked(j);
-                        if x >= two_q {
-                            x -= two_q;
-                        }
-                        let v = m.mul_shoup_lazy(*a.get_unchecked(j + t), w, ws);
-                        *a.get_unchecked_mut(j) = x + v;
-                        *a.get_unchecked_mut(j + t) = x + two_q - v;
-                    }
-                }
-            }
-            len <<= 1;
-        }
-        for x in a.iter_mut() {
-            *x = m.correct_lazy(*x);
-        }
+        crate::backend::ntt_forward(self, a);
     }
 
     /// Fully reduced forward NTT — the pre-lazy reference kernel, kept for
@@ -243,54 +280,16 @@ impl NttTable {
     /// [`Modulus::mul_shoup_lazy`] plus one conditional subtraction, so the
     /// output is canonical and bit-identical to [`NttTable::inverse_strict`].
     ///
+    /// Routed through the active SIMD backend ([`crate::backend`]), like
+    /// [`NttTable::forward`].
+    ///
     /// # Panics
     ///
     /// Panics if `a.len() != self.n()`.
     pub fn inverse(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.n, "polynomial length mismatch");
         cl_trace::record_intt(1, self.n);
-        let m = &self.modulus;
-        let q = m.value();
-        let two_q = m.two_q();
-        let n = self.n;
-        let mut t = 1usize;
-        let mut len = n >> 1;
-        while len >= 1 {
-            let mut j0 = 0usize;
-            for i in 0..len {
-                // SAFETY: len + i < 2*len <= n == inv_root_pows.len().
-                let (w, ws) = unsafe {
-                    (
-                        *self.inv_root_pows.get_unchecked(len + i),
-                        *self.inv_root_pows_shoup.get_unchecked(len + i),
-                    )
-                };
-                for j in j0..j0 + t {
-                    // SAFETY: the stage partitions [0, n) into disjoint
-                    // (j, j + t) pairs, so j + t < n.
-                    unsafe {
-                        let u = *a.get_unchecked(j);
-                        let v = *a.get_unchecked(j + t);
-                        let mut s = u + v;
-                        if s >= two_q {
-                            s -= two_q;
-                        }
-                        *a.get_unchecked_mut(j) = s;
-                        *a.get_unchecked_mut(j + t) = m.mul_shoup_lazy(u + two_q - v, w, ws);
-                    }
-                }
-                j0 += 2 * t;
-            }
-            t <<= 1;
-            len >>= 1;
-        }
-        for x in a.iter_mut() {
-            let mut v = m.mul_shoup_lazy(*x, self.n_inv, self.n_inv_shoup);
-            if v >= q {
-                v -= q;
-            }
-            *x = v;
-        }
+        crate::backend::ntt_inverse(self, a);
     }
 
     /// Fully reduced inverse NTT — the pre-lazy reference kernel, kept for
@@ -336,9 +335,7 @@ impl NttTable {
         assert_eq!(a.len(), self.n);
         assert_eq!(b.len(), self.n);
         cl_trace::record_mult(1, self.n);
-        for (x, &y) in a.iter_mut().zip(b) {
-            *x = self.modulus.mul(*x, y);
-        }
+        crate::backend::mul_mod_slice(&self.modulus, a, b);
     }
 
     /// Reference negacyclic convolution in the coefficient domain, `O(N^2)`.
@@ -467,6 +464,45 @@ mod tests {
         a.forward(&mut x);
         fresh.forward(&mut y);
         assert_eq!(x, y);
+    }
+
+    /// Every compiled backend must produce words identical to the strict
+    /// reference kernels, across the driver's structural regimes: pure
+    /// scalar fallback (n < 16), all-blocked (n <= 4096), and the
+    /// strided+blocked split (n = 8192 crosses one strided stage, n = 16384
+    /// crosses two). 50-bit and 28-bit moduli exercise the IFMA path where
+    /// available; 59-bit forces the generic 64-bit path.
+    #[test]
+    fn backends_match_strict() {
+        use crate::backend::{forced, supported_backends};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xC0FFEE);
+        for (n, bits) in [
+            (8usize, 28u32),
+            (32, 50),
+            (64, 28),
+            (256, 59),
+            (1024, 50),
+            (4096, 50),
+            (8192, 50),
+            (8192, 59),
+            (16384, 50),
+        ] {
+            let t = table(n, bits);
+            let q = t.modulus().value();
+            let a: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+            let mut strict_f = a.clone();
+            t.forward_strict(&mut strict_f);
+            let mut strict_i = strict_f.clone();
+            t.inverse_strict(&mut strict_i);
+            assert_eq!(strict_i, a);
+            for kind in supported_backends() {
+                let mut x = a.clone();
+                forced::ntt_forward(kind, &t, &mut x);
+                assert_eq!(x, strict_f, "forward diverged on {kind} at n={n}/{bits}b");
+                forced::ntt_inverse(kind, &t, &mut x);
+                assert_eq!(x, a, "roundtrip diverged on {kind} at n={n}/{bits}b");
+            }
+        }
     }
 
     proptest! {

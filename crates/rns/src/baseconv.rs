@@ -41,10 +41,16 @@ pub struct BaseConverter {
     dst: Basis,
     /// `[(Q/q_i)^{-1}]_{q_i}` for each source limb.
     inv_punctured: Vec<u64>,
+    /// Shoup companions of `inv_punctured` (w.r.t. `q_i`).
+    inv_punctured_shoup: Vec<u64>,
     /// `(Q/q_i) mod b_j`, indexed `[i][j]`.
     punctured_mod_dst: Vec<Vec<u64>>,
+    /// Shoup companions of `punctured_mod_dst` (w.r.t. `b_j`).
+    punctured_shoup_dst: Vec<Vec<u64>>,
     /// `Q mod b_j` for the alpha correction.
     q_mod_dst: Vec<u64>,
+    /// Shoup companions of `q_mod_dst` (w.r.t. `b_j`).
+    q_mod_dst_shoup: Vec<u64>,
     /// `[Q^{-1}]_{b_j}` — the source-product inverse `ModDown` multiplies by.
     inv_q_mod_dst: Vec<u64>,
     /// `1/q_i` as f64 for the alpha estimate.
@@ -62,16 +68,27 @@ impl BaseConverter {
         let src_moduli: Vec<u64> = src.0.iter().map(|&l| ctx.modulus_value(l)).collect();
         let q_big = BigUint::product(&src_moduli);
         let mut inv_punctured = Vec::with_capacity(src.len());
-        let mut punctured_mod_dst = Vec::with_capacity(src.len());
+        let mut inv_punctured_shoup = Vec::with_capacity(src.len());
+        let mut punctured_mod_dst: Vec<Vec<u64>> = Vec::with_capacity(src.len());
+        let mut punctured_shoup_dst = Vec::with_capacity(src.len());
         for (i, &qi) in src_moduli.iter().enumerate() {
             let (qi_hat, rem) = q_big.div_rem_u64(qi);
             debug_assert_eq!(rem, 0);
             let m = ctx.modulus(src.0[i]);
-            inv_punctured.push(m.inv(qi_hat.rem_u64(qi)));
+            let inv = m.inv(qi_hat.rem_u64(qi));
+            inv_punctured.push(inv);
+            inv_punctured_shoup.push(m.shoup_precompute(inv));
             punctured_mod_dst.push(
                 dst.0
                     .iter()
                     .map(|&l| qi_hat.rem_u64(ctx.modulus_value(l)))
+                    .collect(),
+            );
+            punctured_shoup_dst.push(
+                dst.0
+                    .iter()
+                    .zip(punctured_mod_dst[i].iter())
+                    .map(|(&l, &w)| ctx.modulus(l).shoup_precompute(w))
                     .collect(),
             );
         }
@@ -79,6 +96,12 @@ impl BaseConverter {
             .0
             .iter()
             .map(|&l| q_big.rem_u64(ctx.modulus_value(l)))
+            .collect();
+        let q_mod_dst_shoup: Vec<u64> = dst
+            .0
+            .iter()
+            .zip(&q_mod_dst)
+            .map(|(&l, &w)| ctx.modulus(l).shoup_precompute(w))
             .collect();
         // When the bases are disjoint (the only configuration ModDown uses),
         // Q is coprime to every destination modulus and the inverse exists;
@@ -94,8 +117,11 @@ impl BaseConverter {
             src,
             dst,
             inv_punctured,
+            inv_punctured_shoup,
             punctured_mod_dst,
+            punctured_shoup_dst,
             q_mod_dst,
+            q_mod_dst_shoup,
             inv_q_mod_dst,
             inv_q_f64,
         }
@@ -144,10 +170,8 @@ impl BaseConverter {
             // y_i = [x_i * (Q/q_i)^{-1}]_{q_i}, one task per source limb.
             y.par_chunks_mut(n).enumerate().for_each(|(i, yi)| {
                 let m = ctx.modulus(self.src.0[i]);
-                let inv = self.inv_punctured[i];
-                for (t, &x) in yi.iter_mut().zip(poly.limb(i)) {
-                    *t = m.mul(x, inv);
-                }
+                yi.copy_from_slice(poly.limb(i));
+                m.mul_scalar_shoup_slice(yi, self.inv_punctured[i], self.inv_punctured_shoup[i]);
             });
             let y = &*y;
             with_scratch(if exact { n } else { 0 }, |alpha| {
@@ -172,18 +196,28 @@ impl BaseConverter {
                     let dst_limbs = &dst_basis.0;
                     coeffs.par_chunks_mut(n).enumerate().for_each(|(j, out_limb)| {
                         let m = ctx.modulus(dst_limbs[j]);
+                        // Shoup-lazy accumulation keeps the running sum in
+                        // [0, 2q) across all source limbs; a single fused
+                        // corrective pass canonicalizes at the end (and
+                        // subtracts the alpha*Q term on the exact path)
+                        // instead of reducing per term.
                         for i in 0..l_src {
-                            let c = m.reduce(self.punctured_mod_dst[i][j]);
-                            for (o, &yi) in out_limb.iter_mut().zip(&y[i * n..(i + 1) * n]) {
-                                *o = m.add(*o, m.mul(m.reduce(yi), c));
-                            }
+                            m.mul_shoup_lazy_acc_slice(
+                                out_limb,
+                                &y[i * n..(i + 1) * n],
+                                self.punctured_mod_dst[i][j],
+                                self.punctured_shoup_dst[i][j],
+                            );
                         }
                         if exact {
-                            let q_mod = self.q_mod_dst[j];
-                            for (o, &a) in out_limb.iter_mut().zip(alpha) {
-                                let corr = m.mul(m.reduce(a), q_mod);
-                                *o = m.sub(*o, corr);
-                            }
+                            m.mul_shoup_sub_correct_slice(
+                                out_limb,
+                                alpha,
+                                self.q_mod_dst[j],
+                                self.q_mod_dst_shoup[j],
+                            );
+                        } else {
+                            m.correct_lazy_slice(out_limb);
                         }
                     });
                 }

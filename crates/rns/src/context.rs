@@ -351,9 +351,7 @@ impl RnsContext {
         cl_trace::record_add(a.basis().len() as u64, self.n);
         self.par_limbs(a, |k, limb, data| {
             let m = self.modulus_structs[limb as usize];
-            for (x, &y) in data.iter_mut().zip(b.limb(k)) {
-                *x = m.add(*x, y);
-            }
+            m.add_mod_slice(data, b.limb(k));
         });
     }
 
@@ -378,9 +376,7 @@ impl RnsContext {
         cl_trace::record_add(a.basis().len() as u64, self.n);
         self.par_limbs(a, |k, limb, data| {
             let m = self.modulus_structs[limb as usize];
-            for (x, &y) in data.iter_mut().zip(b.limb(k)) {
-                *x = m.sub(*x, y);
-            }
+            m.sub_mod_slice(data, b.limb(k));
         });
     }
 
@@ -396,9 +392,7 @@ impl RnsContext {
         cl_trace::record_add(a.basis().len() as u64, self.n);
         self.par_limbs(a, |_, limb, data| {
             let m = self.modulus_structs[limb as usize];
-            for x in data.iter_mut() {
-                *x = m.neg(*x);
-            }
+            m.neg_mod_slice(data);
         });
     }
 
@@ -426,9 +420,7 @@ impl RnsContext {
         cl_trace::record_mult(a.basis().len() as u64, self.n);
         self.par_limbs(a, |k, limb, data| {
             let m = self.modulus_structs[limb as usize];
-            for (x, &y) in data.iter_mut().zip(b.limb(k)) {
-                *x = m.mul(*x, y);
-            }
+            m.mul_mod_slice(data, b.limb(k));
         });
     }
 
@@ -445,10 +437,7 @@ impl RnsContext {
         cl_trace::record_add(acc.basis().len() as u64, self.n);
         self.par_limbs(acc, |k, limb, data| {
             let m = self.modulus_structs[limb as usize];
-            let (a_limb, b_limb) = (a.limb(k), b.limb(k));
-            for i in 0..data.len() {
-                data[i] = m.add(data[i], m.mul(a_limb[i], b_limb[i]));
-            }
+            m.mul_acc_mod_slice(data, a.limb(k), b.limb(k));
         });
     }
 
@@ -473,10 +462,7 @@ impl RnsContext {
                 .iter()
                 .position(|&l| l == limb)
                 .expect("b's basis must contain every limb of acc");
-            let (a_limb, b_limb) = (a.limb(k), b.limb(bk));
-            for i in 0..data.len() {
-                data[i] = m.add(data[i], m.mul(a_limb[i], b_limb[i]));
-            }
+            m.mul_acc_mod_slice(data, a.limb(k), b.limb(bk));
         });
     }
 
@@ -514,10 +500,7 @@ impl RnsContext {
                 .iter()
                 .position(|&l| l == limb)
                 .expect("b's basis must contain every limb of acc");
-            let (a_limb, b_limb) = (a.limb(k), b.limb(bk));
-            for (i, &src) in perm.iter().enumerate() {
-                data[i] = m.add(data[i], m.mul(a_limb[src as usize], b_limb[i]));
-            }
+            m.gather_mul_acc_slice(data, a.limb(k), perm, b.limb(bk));
         });
     }
 
@@ -587,18 +570,11 @@ impl RnsContext {
             let d1 = unsafe { std::slice::from_raw_parts_mut(ptr1.get().add(k * n), n) };
             match &table {
                 Some(t) => {
-                    for (i, &src) in t.permutation().iter().enumerate() {
-                        let v = a_limb[src as usize];
-                        d0[i] = m.add(d0[i], m.mul(v, b0_limb[i]));
-                        d1[i] = m.add(d1[i], m.mul(v, b1_limb[i]));
-                    }
+                    m.gather_mul_acc_pair_slice(d0, d1, a_limb, t.permutation(), b0_limb, b1_limb);
                 }
                 None => {
-                    for i in 0..d0.len() {
-                        let v = a_limb[i];
-                        d0[i] = m.add(d0[i], m.mul(v, b0_limb[i]));
-                        d1[i] = m.add(d1[i], m.mul(v, b1_limb[i]));
-                    }
+                    m.mul_acc_mod_slice(d0, a_limb, b0_limb);
+                    m.mul_acc_mod_slice(d1, a_limb, b1_limb);
                 }
             }
         });
@@ -617,9 +593,7 @@ impl RnsContext {
         self.par_limbs(a, |_, limb, data| {
             let m = self.modulus_structs[limb as usize];
             let s_red = m.reduce(s);
-            for x in data.iter_mut() {
-                *x = m.mul(*x, s_red);
-            }
+            m.mul_scalar_shoup_slice(data, s_red, m.shoup_precompute(s_red));
         });
     }
 
@@ -641,9 +615,7 @@ impl RnsContext {
         cl_trace::record_mult(a.basis().len() as u64, self.n);
         self.par_limbs(a, |k, limb, data| {
             let m = self.modulus_structs[limb as usize];
-            for x in data.iter_mut() {
-                *x = m.mul(*x, consts[k]);
-            }
+            m.mul_scalar_shoup_slice(data, consts[k], m.shoup_precompute(consts[k]));
         });
     }
 

@@ -85,6 +85,20 @@ pub struct Checkpoint {
 /// fingerprint and checksums and fall back to the other slot when one is
 /// damaged.
 ///
+/// Writes are **overlapped**: [`CheckpointStore::write`] encodes
+/// synchronously (the record is a consistent snapshot no matter what the
+/// pipeline does next) but hands the file I/O to a background thread, so
+/// the compute path pays encode cost, not disk cost — the software
+/// analogue of the paper's decoupled data orchestration. At most one
+/// write is in flight: the next `write` (or any load, [`sync`], or drop)
+/// joins it first, which both bounds memory and keeps slot rotation
+/// strictly ordered. The durability contract weakens only by that one
+/// in-flight record: a crash can lose the newest checkpoint, never a
+/// previously acknowledged one — exactly the window the executor's
+/// in-memory `last_good` fallback already covers. A failed background
+/// write surfaces on the *next* store call.
+///
+/// [`sync`]: CheckpointStore::sync
 /// A store *owns* its directory for its lifetime: [`CheckpointStore::open`]
 /// takes an exclusive advisory lock (an owner file recording this process'
 /// pid) so two live executors can never interleave writes into the same
@@ -99,6 +113,9 @@ pub struct CheckpointStore {
     next_slot: usize,
     bytes_written: u64,
     writes: u64,
+    /// The at-most-one in-flight background write (its tmp-write + rename),
+    /// carrying any I/O error to the next store call.
+    inflight: Option<std::thread::JoinHandle<Result<(), String>>>,
 }
 
 /// Whether `pid` names a process that is currently alive. Used to decide
@@ -145,6 +162,7 @@ impl CheckpointStore {
             next_slot: 0,
             bytes_written: 0,
             writes: 0,
+            inflight: None,
         })
     }
 
@@ -260,25 +278,56 @@ impl CheckpointStore {
         Ok(Checkpoint { pc, binding, state })
     }
 
-    /// Atomically persists a checkpoint into the next rotating slot.
+    /// Persists a checkpoint into the next rotating slot: the record is
+    /// encoded now (a consistent snapshot), the atomic tmp-write + rename
+    /// runs on a background thread and is joined by the next store call.
     /// Returns the record size in bytes.
     ///
     /// # Errors
     ///
-    /// [`FheError::Serialization`] on any I/O failure.
+    /// [`FheError::Serialization`] on any I/O failure — of the *previous*
+    /// write, which is joined before this one is handed off. This write's
+    /// own I/O outcome surfaces on the next `write`/load/[`sync`].
+    ///
+    /// [`sync`]: CheckpointStore::sync
     pub fn write(&mut self, ctx: &CkksContext, cp: &Checkpoint) -> FheResult<u64> {
         let bytes = Self::encode(ctx, cp);
-        let io_err = |what: &str, e: std::io::Error| FheError::Serialization {
-            op: "checkpoint_write",
-            reason: format!("{what}: {e}"),
-        };
-        fs::write(&self.tmp, &bytes).map_err(|e| io_err("write tmp", e))?;
-        let slot = &self.slots[self.next_slot];
-        fs::rename(&self.tmp, slot).map_err(|e| io_err("rename into slot", e))?;
+        // One outstanding write max: also guarantees exclusive use of the
+        // shared tmp path and in-order slot rotation.
+        self.join_inflight()?;
+        let tmp = self.tmp.clone();
+        let slot = self.slots[self.next_slot].clone();
+        let len = bytes.len() as u64;
+        self.inflight = Some(std::thread::spawn(move || {
+            fs::write(&tmp, &bytes).map_err(|e| format!("write tmp: {e}"))?;
+            fs::rename(&tmp, &slot).map_err(|e| format!("rename into slot: {e}"))
+        }));
         self.next_slot = 1 - self.next_slot;
-        self.bytes_written += bytes.len() as u64;
+        self.bytes_written += len;
         self.writes += 1;
-        Ok(bytes.len() as u64)
+        Ok(len)
+    }
+
+    /// Blocks until the last accepted checkpoint is durably in its slot.
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::Serialization`] if that background write failed.
+    pub fn sync(&mut self) -> FheResult<()> {
+        self.join_inflight()
+    }
+
+    fn join_inflight(&mut self) -> FheResult<()> {
+        let Some(handle) = self.inflight.take() else {
+            return Ok(());
+        };
+        let outcome = handle.join().unwrap_or_else(|_| {
+            Err("background checkpoint writer panicked".into())
+        });
+        outcome.map_err(|reason| FheError::Serialization {
+            op: "checkpoint_write",
+            reason,
+        })
     }
 
     /// Loads one slot file, end to end (header, fingerprint, checksums).
@@ -304,10 +353,13 @@ impl CheckpointStore {
     /// damaged — a damaged slot with a healthy sibling is skipped (and
     /// counted), not fatal.
     pub fn load_latest(
-        &self,
+        &mut self,
         ctx: &CkksContext,
         binding: u64,
     ) -> FheResult<(Option<Checkpoint>, u64)> {
+        // Reads must observe every accepted write: drain the in-flight one
+        // (a failed background write is reported here rather than lost).
+        self.sync()?;
         let mut best: Option<Checkpoint> = None;
         let mut rejects = 0u64;
         let mut first_err: Option<FheError> = None;
@@ -338,9 +390,12 @@ impl CheckpointStore {
 }
 
 impl Drop for CheckpointStore {
-    /// Releases the directory's owner lock. The slot files stay — they are
-    /// the durable state a later store (or a resume after a crash) loads.
+    /// Joins any in-flight background write (the lock must not be released
+    /// while a writer still owns the slot files), then releases the
+    /// directory's owner lock. The slot files stay — they are the durable
+    /// state a later store (or a resume after a crash) loads.
     fn drop(&mut self) {
+        let _ = self.join_inflight();
         let _ = fs::remove_file(&self.lock);
     }
 }
@@ -463,7 +518,7 @@ mod tests {
         }
         fs::write(dir.join("ckpt.tmp"), b"torn half-written checkpoint").unwrap();
         fs::write(dir.join("ckpt.lock"), format!("{}", u32::MAX)).unwrap();
-        let store = CheckpointStore::open(&dir).unwrap();
+        let mut store = CheckpointStore::open(&dir).unwrap();
         assert!(
             !dir.join("ckpt.tmp").exists(),
             "orphaned tmp must be swept at open"
@@ -494,6 +549,9 @@ mod tests {
                 )
                 .unwrap();
         }
+        // Writes are durable only after sync — required before touching
+        // the slot files behind the store's back.
+        store.sync().unwrap();
         // pc=6 landed in slot b (second write). Corrupt it: the load must
         // reject it and fall back to pc=5 in slot a.
         let victim = dir.join("ckpt_b.bin");

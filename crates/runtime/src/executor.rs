@@ -317,7 +317,7 @@ impl<'a> PipelineExecutor<'a> {
     pub fn resume(&mut self, input: &Ciphertext, program: &Program) -> FheResult<RunOutcome> {
         self.check_program(program)?;
         self.binding = self.job_binding(input, program);
-        let (start_pc, state) = match &self.store {
+        let (start_pc, state) = match &mut self.store {
             Some(store) => match store.load_latest(self.ctx, self.binding) {
                 Ok((found, rejects)) => {
                     self.telemetry.faults_detected += rejects;
@@ -346,8 +346,11 @@ impl<'a> PipelineExecutor<'a> {
     /// params fingerprint), so it is stable across processes — a genuine
     /// crash/restart of the same job still resumes its own checkpoints.
     fn job_binding(&self, input: &Ciphertext, program: &Program) -> u64 {
-        use cl_ckks::serialize::{fnv1a, fnv1a_chain};
-        let h = fnv1a(&self.ctx.serialize_ciphertext(input));
+        use cl_ckks::serialize::{fnv1a_chain, fnv1a_fast};
+        // fnv1a_fast: this digest is internal to the store, not part of
+        // the wire format, so it can take the word-wise fast path over the
+        // megabyte-scale ciphertext blob.
+        let h = fnv1a_fast(&self.ctx.serialize_ciphertext(input));
         fnv1a_chain(h, &program.serialize(self.ctx.params_fingerprint()))
     }
 
@@ -470,7 +473,7 @@ impl<'a> PipelineExecutor<'a> {
     /// load path — fingerprint and checksum verification — on every
     /// recovery), falling back to the in-memory clone.
     fn restore(&mut self, last_good: &(u64, WorkState)) -> (u64, WorkState) {
-        if let Some(store) = &self.store {
+        if let Some(store) = &mut self.store {
             if let Ok((Some(cp), _)) = store.load_latest(self.ctx, self.binding) {
                 if cp.pc >= last_good.0 {
                     self.telemetry.restores += 1;

@@ -17,7 +17,7 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use cl_boot::BootstrapKeys;
-use cl_ckks::serialize::fnv1a;
+use cl_ckks::serialize::fnv1a_fast;
 use cl_ckks::{CkksContext, FheResult};
 use cl_runtime::RecoveryTelemetry;
 use cl_trace::OpSnapshot;
@@ -70,7 +70,7 @@ impl KeyCache {
     /// damage, checksum mismatch, or a foreign params fingerprint. A
     /// rejected blob is *not* cached — the next attempt revalidates.
     pub fn get_or_load(&self, ctx: &CkksContext, blob: &[u8]) -> FheResult<Arc<BootstrapKeys>> {
-        let digest = fnv1a(blob);
+        let digest = fnv1a_fast(blob);
         {
             let mut inner = self.lock();
             if let Some(pos) = inner.entries.iter().position(|(d, _)| *d == digest) {

@@ -79,6 +79,10 @@ seed = load(seed_path) if os.path.exists(seed_path) else None
 
 merged = {
     "shape": {k: t1[k] for k in ("n", "limbs", "limb_bits", "smoke")},
+    "host": {
+        "backend": t1.get("backend"),
+        "cpu_features": t1.get("cpu_features"),
+    },
     "seed": seed,
     "serial": t1,
     "parallel": t4,

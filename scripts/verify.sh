@@ -19,6 +19,13 @@ cargo build --release
 echo "== tier-1: tests =="
 cargo test -q
 
+echo "== tier-1: tests (forced scalar backend) =="
+# Every SIMD backend must be bit-exact with the portable scalar reference.
+# Rerunning the suite with CL_BACKEND=scalar pins the dispatcher to the
+# reference kernels, so a backend-specific miscompare fails one of the two
+# passes instead of hiding behind whichever backend the host auto-selects.
+CL_BACKEND=scalar cargo test -q
+
 echo "== tier-1: trace-disabled tests =="
 # The workspace test run lights the `trace` feature through the root
 # dev-dependency; this standalone run exercises the no-op counter path

@@ -19,7 +19,7 @@ use std::sync::Mutex;
 
 use cl_boot::{try_bsgs_transform, BootstrapKeys, PrecomputedTransform};
 use cl_ckks::{Ciphertext, CkksContext, CkksParams, KeySwitchKey, KeySwitchKind};
-use cl_math::{Complex, NttTable};
+use cl_math::{set_active_backend, supported_backends, BackendKind, Complex, NttTable};
 use cl_rns::{Basis, RnsContext, RnsPoly};
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
@@ -344,6 +344,101 @@ fn op_counters_are_thread_invariant() {
         assert_eq!(serial.ct_mults, 1);
         assert_eq!(serial.rotations, 1);
     }
+}
+
+/// Runs `f` once with the scalar backend at 1 thread (the reference), then
+/// re-runs it under every supported SIMD backend at 1 and 4 threads,
+/// asserting every result is bit-identical to the reference.
+///
+/// Backend selection is process-global like the thread count, so the whole
+/// matrix runs under the [`THREADS`] lock and restores the default backend
+/// before returning.
+fn assert_backend_invariant<R: PartialEq + std::fmt::Debug>(f: impl Fn() -> R) {
+    let _guard = THREADS.lock().unwrap_or_else(|p| p.into_inner());
+    let supported = supported_backends();
+    set_active_backend(BackendKind::Scalar).expect("scalar is always supported");
+    rayon::set_num_threads(1);
+    let reference = f();
+    for &kind in &supported {
+        for threads in [1usize, 4] {
+            set_active_backend(kind).expect("listed backend must be supported");
+            rayon::set_num_threads(threads);
+            let got = f();
+            assert_eq!(
+                got, reference,
+                "backend {kind} at {threads} threads diverged from the scalar serial reference"
+            );
+        }
+    }
+    rayon::set_num_threads(1);
+    set_active_backend(supported[0]).expect("default backend must be supported");
+}
+
+/// NTT forward / inverse outputs are bit-identical on every backend, at
+/// both a 50-bit modulus (exercising the AVX-512 IFMA 52-bit path) and a
+/// 59-bit modulus (the generic vector path), across thread counts.
+#[test]
+fn ntt_roundtrip_backend_invariant() {
+    for (n, bits) in [(1usize << 10, 50u32), (1 << 13, 50), (1 << 12, 59)] {
+        let q = cl_math::generate_ntt_primes(n, bits, 1).expect("prime")[0];
+        let table = NttTable::cached(n, q).expect("NTT-friendly prime");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xBACC ^ n as u64);
+        let data: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+        assert_backend_invariant(|| {
+            let mut fwd = data.clone();
+            table.forward(&mut fwd);
+            let mut inv = fwd.clone();
+            table.inverse(&mut inv);
+            assert_eq!(inv, data, "roundtrip must recover the input");
+            fwd
+        });
+    }
+}
+
+/// A keyswitch (ModUp, digit inner product over the gather/mul-acc kernels,
+/// ModDown) lands on identical polynomials on every backend and thread
+/// count.
+#[test]
+fn keyswitch_backend_invariant() {
+    let params = CkksParams::builder()
+        .ring_degree(128)
+        .levels(4)
+        .special_limbs(2)
+        .limb_bits(36)
+        .scale_bits(30)
+        .build()
+        .expect("valid params");
+    let ctx = CkksContext::new(params).expect("context");
+    let rns = ctx.rns();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(43);
+    let sk = ctx.keygen(&mut rng);
+    let ksk = ctx.relin_keygen(&sk, KeySwitchKind::Boosted { digits: 2 }, &mut rng);
+    let qb = rns.q_basis(3);
+    let signed: Vec<i64> = (0..128).map(|i| (i % 31) - 15).collect();
+    let mut msg = rns.from_signed_coeffs(&signed, &qb);
+    rns.to_ntt(&mut msg);
+    assert_backend_invariant(|| ctx.try_keyswitch(&msg, &ksk).expect("keyswitch"));
+}
+
+/// One bootstrap step (EvalMod square + rescale) is bit-identical across
+/// backends and thread counts, and its op-level telemetry counts are
+/// backend-invariant (counters are recorded above the dispatch layer).
+#[test]
+fn bootstrap_step_backend_invariant() {
+    let ctx = hoist_ctx();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xB007);
+    let sk = ctx.keygen(&mut rng);
+    let relin = ctx.relin_keygen(&sk, KeySwitchKind::Boosted { digits: 2 }, &mut rng);
+    let pt = ctx.encode(&[0.5, -0.25, 0.125, 0.375], ctx.default_scale(), ctx.max_level());
+    let ct = ctx.encrypt(&pt, &sk, &mut rng);
+    assert_backend_invariant(|| {
+        let before = cl_trace::OpSnapshot::capture();
+        let stepped = ctx
+            .try_rescale(&ctx.try_mul(&ct, &ct, &relin).expect("square"))
+            .expect("rescale");
+        let ops = cl_trace::OpSnapshot::capture().delta_since(&before);
+        (stepped.c0().clone(), stepped.c1().clone(), ops)
+    });
 }
 
 /// The keyswitch digit loop (parallel ModUp + superset accumulate) is
