@@ -25,25 +25,37 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::{Arc, Mutex};
 
 use cl_ckks::{
-    Ciphertext, CkksContext, FheError, FheResult, GuardrailPolicy, KeySwitchKey, Plaintext,
-    SecretKey,
+    Ciphertext, CkksContext, CompactKeySwitchKey, FheError, FheResult, GuardrailPolicy,
+    HintCache, HintId, KeySwitchKey, Plaintext, SecretKey,
 };
 use cl_math::Complex;
 use rand::Rng;
 
 /// Key material for one bootstrapping configuration: rotation keys for the
 /// BSGS baby/giant steps, a conjugation key, and a relinearization key.
+///
+/// Every key is held in its **compact** resident form
+/// ([`CompactKeySwitchKey`]: seed + `k0` halves); the materialized form a
+/// keyswitch actually consumes is expanded on demand through a bounded
+/// [`HintCache`] — by default the process-wide [`HintCache::global`], so
+/// concurrent bootstraps (and tenants) share one hot-hint budget. The
+/// accessors therefore return `Arc<KeySwitchKey>` and are fallible: a
+/// cache miss runs the seeded generator and re-verifies the integrity
+/// digest end to end.
 #[derive(Debug)]
 pub struct BootstrapKeys {
-    relin: KeySwitchKey,
-    conj: KeySwitchKey,
-    rotations: HashMap<i64, KeySwitchKey>,
+    relin: CompactKeySwitchKey,
+    conj: CompactKeySwitchKey,
+    rotations: HashMap<i64, CompactKeySwitchKey>,
+    /// `None` = the process-wide [`HintCache::global`].
+    cache: Option<Arc<HintCache>>,
 }
 
 impl BootstrapKeys {
     /// Generates keyswitch keys for an explicit set of rotation steps (plus
-    /// the relinearization and conjugation keys every bootstrap needs).
-    /// Step 0 is skipped — the identity rotation needs no key.
+    /// the relinearization and conjugation keys every bootstrap needs),
+    /// keeping only the compact form resident. Step 0 is skipped — the
+    /// identity rotation needs no key.
     pub fn generate<R: Rng + ?Sized>(
         ctx: &CkksContext,
         sk: &SecretKey,
@@ -56,35 +68,82 @@ impl BootstrapKeys {
         uniq.dedup();
         let rotations = uniq
             .into_iter()
-            .map(|d| (d, ctx.rotation_keygen(sk, d, kind, rng)))
+            .map(|d| (d, ctx.rotation_keygen(sk, d, kind, rng).to_compact()))
             .collect();
         Self {
-            relin: ctx.relin_keygen(sk, kind, rng),
-            conj: ctx.conjugation_keygen(sk, kind, rng),
+            relin: ctx.relin_keygen(sk, kind, rng).to_compact(),
+            conj: ctx.conjugation_keygen(sk, kind, rng).to_compact(),
             rotations,
+            cache: None,
         }
     }
 
-    /// The rotation key for `step`, in O(1).
+    /// Routes this bundle's expansions through `cache` instead of the
+    /// process-wide [`HintCache::global`] — for tests and benches that need
+    /// an isolated budget.
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<HintCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The hot-hint cache this bundle expands through.
+    pub fn hint_cache(&self) -> &HintCache {
+        match &self.cache {
+            Some(c) => c,
+            None => HintCache::global(),
+        }
+    }
+
+    /// The materialized rotation key for `step`, from the hot-hint cache.
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::MissingKey`] naming the step when no key was generated
+    /// for it; [`FheError::CorruptKey`] when expansion fails the integrity
+    /// digest.
+    pub fn try_rot_key(&self, ctx: &CkksContext, step: i64) -> FheResult<Arc<KeySwitchKey>> {
+        self.hint_cache().get_or_expand(ctx, self.rot_compact(step)?)
+    }
+
+    /// The materialized relinearization key, from the hot-hint cache.
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::CorruptKey`] when expansion fails the integrity digest.
+    pub fn try_relin(&self, ctx: &CkksContext) -> FheResult<Arc<KeySwitchKey>> {
+        self.hint_cache().get_or_expand(ctx, &self.relin)
+    }
+
+    /// The materialized conjugation key, from the hot-hint cache.
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::CorruptKey`] when expansion fails the integrity digest.
+    pub fn try_conj(&self, ctx: &CkksContext) -> FheResult<Arc<KeySwitchKey>> {
+        self.hint_cache().get_or_expand(ctx, &self.conj)
+    }
+
+    /// The compact relinearization key.
+    pub fn relin_compact(&self) -> &CompactKeySwitchKey {
+        &self.relin
+    }
+
+    /// The compact conjugation key.
+    pub fn conj_compact(&self) -> &CompactKeySwitchKey {
+        &self.conj
+    }
+
+    /// The compact rotation key for `step`, in O(1).
     ///
     /// # Errors
     ///
     /// [`FheError::MissingKey`] naming the step when no key was generated
     /// for it.
-    pub fn try_rot_key(&self, step: i64) -> FheResult<&KeySwitchKey> {
+    pub fn rot_compact(&self, step: i64) -> FheResult<&CompactKeySwitchKey> {
         self.rotations.get(&step).ok_or_else(|| FheError::MissingKey {
             what: format!("rotation key for step {step}"),
         })
-    }
-
-    /// The relinearization key.
-    pub fn relin(&self) -> &KeySwitchKey {
-        &self.relin
-    }
-
-    /// The conjugation key.
-    pub fn conj(&self) -> &KeySwitchKey {
-        &self.conj
     }
 
     /// Every rotation step this bundle holds a key for, sorted.
@@ -92,6 +151,15 @@ impl BootstrapKeys {
         let mut steps: Vec<i64> = self.rotations.keys().copied().collect();
         steps.sort_unstable();
         steps
+    }
+
+    /// Bytes the bundle keeps resident in compact form (`k0` halves only,
+    /// across every key). The materialized working set on top of this is
+    /// whatever the hot-hint cache currently holds.
+    pub fn compact_resident_bytes(&self) -> usize {
+        self.relin.resident_bytes()
+            + self.conj.resident_bytes()
+            + self.rotations.values().map(|k| k.resident_bytes()).sum::<usize>()
     }
 
     /// Serializes the bundle: a checksummed framing section (rotation
@@ -102,12 +170,12 @@ impl BootstrapKeys {
     pub fn serialize(&self, ctx: &CkksContext) -> Vec<u8> {
         use cl_ckks::serialize::{fnv1a, put_i64, put_u32, put_u64, write_header, ObjectTag};
         let steps = self.rotation_steps();
-        let relin = ctx.serialize_keyswitch_key(&self.relin);
-        let conj = ctx.serialize_keyswitch_key(&self.conj);
+        let relin = ctx.serialize_compact_keyswitch_key(&self.relin);
+        let conj = ctx.serialize_compact_keyswitch_key(&self.conj);
         let rots: Vec<Vec<u8>> = steps
             .iter()
             .map(|s| {
-                ctx.serialize_keyswitch_key(
+                ctx.serialize_compact_keyswitch_key(
                     self.rotations
                         .get(s)
                         .expect("steps enumerate this map's keys"),
@@ -137,8 +205,10 @@ impl BootstrapKeys {
     }
 
     /// Loads a bundle written by [`BootstrapKeys::serialize`], verifying
-    /// the framing checksum and every nested key's fingerprint, limb
-    /// checksums, and integrity digest.
+    /// the framing checksum and every nested key's fingerprint and limb
+    /// checksums. Keys load straight into compact form — no pseudo-random
+    /// half is regenerated here; each key's end-to-end integrity digest is
+    /// verified on first expansion instead.
     ///
     /// # Errors
     ///
@@ -171,17 +241,18 @@ impl BootstrapKeys {
                 computed,
             });
         }
-        let relin = ctx.try_deserialize_keyswitch_key(r.take(relin_len)?)?;
-        let conj = ctx.try_deserialize_keyswitch_key(r.take(conj_len)?)?;
+        let relin = ctx.try_deserialize_compact_keyswitch_key(r.take(relin_len)?)?;
+        let conj = ctx.try_deserialize_compact_keyswitch_key(r.take(conj_len)?)?;
         let mut rotations = HashMap::with_capacity(num_rot);
         for (step, len) in steps.into_iter().zip(rot_lens) {
-            rotations.insert(step, ctx.try_deserialize_keyswitch_key(r.take(len)?)?);
+            rotations.insert(step, ctx.try_deserialize_compact_keyswitch_key(r.take(len)?)?);
         }
         r.finish()?;
         Ok(Self {
             relin,
             conj,
             rotations,
+            cache: None,
         })
     }
 }
@@ -613,12 +684,20 @@ impl BootstrapPrecompute {
 /// CraterLake's bootstrap schedule amortizes its keyswitch traffic with
 /// (Sec. 6).
 ///
+/// The transform's rotation schedule is known up front (babies, then
+/// giants), so it is installed into the bundle's [`HintCache`] as a Belady
+/// eviction oracle, and the giant-group hints are prefetched right after
+/// the hoisted baby rotations fetch theirs — the next hoisted-rotation
+/// group's hints are warm before the inner sums ask for them, and eviction
+/// under pressure discards hints the remaining schedule proves dead.
+///
 /// # Errors
 ///
 /// [`FheError::LevelMismatch`] when `ct.level() != pre.level()`;
 /// [`FheError::MissingKey`] when `keys` lacks a needed baby/giant step;
-/// [`FheError::InvalidParams`] on a transform with no diagonals; plus any
-/// guardrail failure from the underlying ops.
+/// [`FheError::InvalidParams`] on a transform with no diagonals;
+/// [`FheError::CorruptKey`] when a hint expansion fails its integrity
+/// digest; plus any guardrail failure from the underlying ops.
 pub fn try_bsgs_transform(
     ctx: &CkksContext,
     ct: &Ciphertext,
@@ -639,13 +718,35 @@ pub fn try_bsgs_transform(
             reason: "transform has no nonzero diagonals".into(),
         });
     }
-    // Baby rotations: one hoisted ModUp serves every step.
     let nonzero: Vec<i64> = pre.baby_steps.iter().copied().filter(|&i| i != 0).collect();
-    let baby_keys: Vec<&KeySwitchKey> = nonzero
+    let giant_steps: Vec<i64> = pre
+        .giants
         .iter()
-        .map(|&i| keys.try_rot_key(i))
+        .map(|(jb, _)| *jb)
+        .filter(|&jb| jb != 0)
+        .collect();
+    // The full access schedule is known before the first fetch: install it
+    // as the cache's Belady oracle.
+    let cache = keys.hint_cache();
+    let mut schedule: Vec<HintId> = Vec::with_capacity(nonzero.len() + giant_steps.len());
+    for &step in nonzero.iter().chain(&giant_steps) {
+        schedule.push(HintCache::hint_id(ctx, keys.rot_compact(step)?));
+    }
+    cache.plan(schedule);
+    // Baby rotations: one hoisted ModUp serves every step.
+    let baby_arcs: Vec<Arc<KeySwitchKey>> = nonzero
+        .iter()
+        .map(|&i| keys.try_rot_key(ctx, i))
         .collect::<FheResult<_>>()?;
+    let baby_keys: Vec<&KeySwitchKey> = baby_arcs.iter().map(Arc::as_ref).collect();
     let rotated = ctx.try_rotate_hoisted_many(ct, &nonzero, &baby_keys)?;
+    drop(baby_keys);
+    drop(baby_arcs);
+    // The babies are done with their hints; warm the next hoisted-rotation
+    // group (the giant steps) before the inner sums run.
+    for &jb in &giant_steps {
+        cache.prefetch(ctx, keys.rot_compact(jb)?)?;
+    }
     let mut babies: HashMap<i64, &Ciphertext> =
         nonzero.iter().copied().zip(rotated.iter()).collect();
     babies.insert(0, ct);
@@ -667,14 +768,23 @@ pub fn try_bsgs_transform(
         inners.push((inner, *jb));
     }
     // Giant rotations: extended-basis accumulation, one closing ModDown.
-    let giant_terms: Vec<(&Ciphertext, i64, Option<&KeySwitchKey>)> = inners
+    let giant_arcs: Vec<Option<Arc<KeySwitchKey>>> = inners
         .iter()
-        .map(|(inner, jb)| {
-            let key = if *jb == 0 { None } else { Some(keys.try_rot_key(*jb)?) };
-            Ok((inner, *jb, key))
+        .map(|(_, jb)| {
+            Ok(if *jb == 0 {
+                None
+            } else {
+                Some(keys.try_rot_key(ctx, *jb)?)
+            })
         })
         .collect::<FheResult<_>>()?;
+    let giant_terms: Vec<(&Ciphertext, i64, Option<&KeySwitchKey>)> = inners
+        .iter()
+        .zip(&giant_arcs)
+        .map(|((inner, jb), key)| (inner, *jb, key.as_deref()))
+        .collect();
     let summed = ctx.try_rotate_sum(&giant_terms)?;
+    cache.clear_plan();
     ctx.try_rescale(&summed)
 }
 
@@ -827,6 +937,9 @@ impl Bootstrapper {
         keys: &BootstrapKeys,
     ) -> FheResult<Ciphertext> {
         let _span = cl_trace::span("eval_mod");
+        // One cache fetch serves the whole squaring chain.
+        let relin = keys.try_relin(ctx)?;
+        let relin = relin.as_ref();
         let two_pi = 2.0 * std::f64::consts::PI;
         let theta = two_pi / 2f64.powi(self.r as i32);
         // Taylor coefficients of exp(i·theta·y) in y.
@@ -840,17 +953,17 @@ impl Bootstrapper {
         // Powers y^1..y^7 with depth 3: y2=y*y, y3=y*y2, y4=y2*y2,
         // y5=y2*y3, y6=y3*y3, y7=y3*y4.
         let y1 = ct.clone();
-        let y2 = ctx.try_rescale(&ctx.try_mul(&y1, &y1, &keys.relin)?)?;
+        let y2 = ctx.try_rescale(&ctx.try_mul(&y1, &y1, relin)?)?;
         let y3 =
-            ctx.try_rescale(&ctx.try_mul(&ctx.try_mod_drop(&y1, y2.level())?, &y2, &keys.relin)?)?;
+            ctx.try_rescale(&ctx.try_mul(&ctx.try_mod_drop(&y1, y2.level())?, &y2, relin)?)?;
         let y4 =
-            ctx.try_rescale(&ctx.try_mul(&ctx.try_mod_drop(&y2, y2.level())?, &y2, &keys.relin)?)?;
+            ctx.try_rescale(&ctx.try_mul(&ctx.try_mod_drop(&y2, y2.level())?, &y2, relin)?)?;
         let y5 =
-            ctx.try_rescale(&ctx.try_mul(&ctx.try_mod_drop(&y2, y3.level())?, &y3, &keys.relin)?)?;
+            ctx.try_rescale(&ctx.try_mul(&ctx.try_mod_drop(&y2, y3.level())?, &y3, relin)?)?;
         let y6 =
-            ctx.try_rescale(&ctx.try_mul(&ctx.try_mod_drop(&y3, y3.level())?, &y3, &keys.relin)?)?;
+            ctx.try_rescale(&ctx.try_mul(&ctx.try_mod_drop(&y3, y3.level())?, &y3, relin)?)?;
         let y7 =
-            ctx.try_rescale(&ctx.try_mul(&ctx.try_mod_drop(&y3, y4.level())?, &y4, &keys.relin)?)?;
+            ctx.try_rescale(&ctx.try_mul(&ctx.try_mod_drop(&y3, y4.level())?, &y4, relin)?)?;
         // Align all powers at the deepest level/scale and combine:
         // E0 = sum_k coeffs[k] * y^k.
         let target_level = y7.level();
@@ -881,7 +994,7 @@ impl Bootstrapper {
         e = ctx.try_add_plain(&e, &pt1)?;
         // Double-angle: square r times => exp(2πi·y).
         for _ in 0..self.r {
-            e = ctx.try_rescale(&ctx.try_square(&e, &keys.relin)?)?;
+            e = ctx.try_rescale(&ctx.try_square(&e, relin)?)?;
         }
         // sin(2πy)/(2π) = Re(E * (-i/2π)) * 2 = w + conj(w),
         // w = E * (-i/(4π))... : sin = (E - conj E)/(2i);
@@ -896,7 +1009,7 @@ impl Bootstrapper {
             e.level(),
         );
         let w = ctx.try_rescale(&ctx.try_mul_plain(&e, &pt)?)?;
-        let wc = ctx.try_conjugate(&w, &keys.conj)?;
+        let wc = ctx.try_conjugate(&w, keys.try_conj(ctx)?.as_ref())?;
         ctx.try_add(&w, &wc)
     }
 
@@ -1037,7 +1150,7 @@ impl Bootstrapper {
         // wants y = true/q0, so record the scale as u.scale·q0/Δ_in.
         let y_full = u.clone().with_scale(u.scale() * q0 / orig_scale);
         // ---- Split real/imaginary parts.
-        let conj = ctx.try_conjugate(&y_full, &keys.conj)?;
+        let conj = ctx.try_conjugate(&y_full, keys.try_conj(ctx)?.as_ref())?;
         // y_re = (u + conj)/2: the division by 2 is a free scale bump.
         let sum = ctx.try_add(&y_full, &conj)?;
         let y_re = sum.clone().with_scale(sum.scale() * 2.0);
@@ -1394,14 +1507,21 @@ mod tests {
         let blob = keys.serialize(&ctx);
         let back = BootstrapKeys::try_deserialize(&ctx, &blob).unwrap();
         assert_eq!(back.rotation_steps(), keys.rotation_steps());
-        assert!(back.relin().verify_integrity());
-        assert!(back.conj().verify_integrity());
-        assert_eq!(back.relin().integrity_digest(), keys.relin().integrity_digest());
-        assert_eq!(back.conj().integrity_digest(), keys.conj().integrity_digest());
+        // Compact load defers the end-to-end digest check to expansion.
+        assert!(back.try_relin(&ctx).unwrap().verify_integrity());
+        assert!(back.try_conj(&ctx).unwrap().verify_integrity());
+        assert_eq!(
+            back.relin_compact().integrity_digest(),
+            keys.relin_compact().integrity_digest()
+        );
+        assert_eq!(
+            back.conj_compact().integrity_digest(),
+            keys.conj_compact().integrity_digest()
+        );
         for step in keys.rotation_steps() {
             assert_eq!(
-                back.try_rot_key(step).unwrap().integrity_digest(),
-                keys.try_rot_key(step).unwrap().integrity_digest()
+                back.rot_compact(step).unwrap().integrity_digest(),
+                keys.rot_compact(step).unwrap().integrity_digest()
             );
         }
         // The loaded bundle actually bootstraps.
@@ -1419,6 +1539,33 @@ mod tests {
         let off = blob.len() / 2; // some nested key's payload
         bad[off] ^= 0x01;
         assert!(BootstrapKeys::try_deserialize(&ctx, &bad).is_err());
+    }
+
+    #[test]
+    fn bootstrap_under_thrashing_hint_cache_is_bit_identical() {
+        // A budget of 1 byte forces every hint to be evicted and
+        // re-expanded mid-pipeline (one resident at a time); the result
+        // must be bit-identical to a cache that never evicts.
+        let ctx = boot_ctx();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let sk = ctx.keygen_sparse(8, &mut rng);
+        let booter = Bootstrapper::new(&ctx, 8);
+        let keys = booter
+            .keygen(&ctx, &sk, KeySwitchKind::Boosted { digits: 1 }, &mut rng)
+            .with_cache(Arc::new(HintCache::new(usize::MAX)));
+        let slots = ctx.params().slots();
+        let pt = ctx.encode(&vec![0.125; slots], ctx.default_scale(), 1);
+        let ct = ctx.encrypt(&pt, &sk, &mut rng);
+        let roomy = booter.try_bootstrap(&ctx, &ct, &keys).unwrap();
+        let tiny_cache = Arc::new(HintCache::new(1));
+        let keys = keys.with_cache(tiny_cache.clone());
+        let thrashed = booter.try_bootstrap(&ctx, &ct, &keys).unwrap();
+        assert_eq!(thrashed, roomy, "eviction must never change results");
+        let stats = tiny_cache.stats();
+        assert!(
+            stats.evictions > 0,
+            "a 1-byte budget must actually thrash: {stats:?}"
+        );
     }
 
     #[test]

@@ -1,8 +1,11 @@
-//! Key material: secret keys, public keys, and keyswitch keys (hints).
+//! Key material: secret keys, public keys, and keyswitch keys (hints) in
+//! both materialized and compact (seeded) resident forms.
 
 use cl_rns::RnsPoly;
 
+use crate::error::{FheError, FheResult};
 use crate::keyswitch::KeySwitchKind;
+use crate::CkksContext;
 
 /// A secret key: a ternary polynomial over the full modulus chain
 /// (ciphertext moduli and special moduli), kept in NTT form.
@@ -105,6 +108,27 @@ impl KeySwitchKey {
         self.compute_digest() == self.digest
     }
 
+    /// Bytes this key keeps resident when fully materialized (both hint
+    /// halves).
+    pub fn resident_bytes(&self) -> usize {
+        self.num_words_full() * 8
+    }
+
+    /// Drops the pseudo-random halves, keeping only what cannot be
+    /// regenerated: the seed, the `k0` halves, and the digit metadata. The
+    /// inverse is [`CompactKeySwitchKey::expand`], which reproduces this key
+    /// bit-for-bit (verified through the integrity digest).
+    pub fn to_compact(&self) -> CompactKeySwitchKey {
+        CompactKeySwitchKey {
+            kind: self.kind,
+            k0: self.elems.iter().map(|(k0, _)| k0.clone()).collect(),
+            digit_limbs: self.digit_limbs.clone(),
+            seed: self.seed,
+            error_bits: self.error_bits,
+            digest: self.digest,
+        }
+    }
+
     /// FNV-1a over every word of the hint payload plus the structural
     /// metadata (kind, digit partition, seed).
     pub(crate) fn compute_digest(&self) -> u64 {
@@ -135,5 +159,105 @@ impl KeySwitchKey {
             }
         }
         h
+    }
+}
+
+/// The compact resident form of a keyswitch hint: the seed, the non-random
+/// `k0` halves, and the digit metadata — everything the pseudorandom halves
+/// can be regenerated *from*, and nothing they can be regenerated *to*.
+///
+/// This is the form keys live in at rest (ARK's compressed keys, the
+/// payload CraterLake streams from HBM); [`CompactKeySwitchKey::expand`]
+/// plays the KSHGen functional unit, materializing the `k1` halves through
+/// the vectorized seeded generator on demand. The stored `digest` is the
+/// digest of the *materialized* key, so expansion re-verifies end to end
+/// that regeneration reproduced exactly the hint keygen produced.
+#[derive(Debug, Clone)]
+pub struct CompactKeySwitchKey {
+    pub(crate) kind: KeySwitchKind,
+    /// The non-random halves (`k0` per digit), NTT form, over the key basis.
+    pub(crate) k0: Vec<RnsPoly>,
+    /// Ciphertext-modulus limbs covered by each digit.
+    pub(crate) digit_limbs: Vec<Vec<u32>>,
+    /// Seed regenerating every `k1`.
+    pub(crate) seed: u64,
+    /// `log2` of the hint error magnitude (see [`KeySwitchKey`]).
+    pub(crate) error_bits: f64,
+    /// Integrity digest of the fully materialized key.
+    pub(crate) digest: u64,
+}
+
+impl CompactKeySwitchKey {
+    /// The keyswitching algorithm this key is for.
+    pub fn kind(&self) -> KeySwitchKind {
+        self.kind
+    }
+
+    /// Number of digits.
+    pub fn num_digits(&self) -> usize {
+        self.k0.len()
+    }
+
+    /// The seed from which the pseudo-random halves are derived.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The integrity digest of the materialized key this compact form
+    /// expands to.
+    pub fn integrity_digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Total size in machine words of the resident payload (`k0` only).
+    pub fn num_words(&self) -> usize {
+        self.k0.iter().map(RnsPoly::num_words).sum()
+    }
+
+    /// Bytes this compact key keeps resident.
+    pub fn resident_bytes(&self) -> usize {
+        self.num_words() * 8
+    }
+
+    /// Materializes the full keyswitch key: regenerates every pseudo-random
+    /// half from the seed through the vectorized seeded generator, then
+    /// verifies the result against the stored integrity digest.
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::CorruptKey`] when the materialized key's digest does not
+    /// match — either the compact payload was corrupted or the generator
+    /// diverged from the one keygen used.
+    pub fn expand(&self, ctx: &CkksContext) -> FheResult<KeySwitchKey> {
+        let rns = ctx.rns();
+        let elems = self
+            .k0
+            .iter()
+            .enumerate()
+            .map(|(d, k0)| {
+                let k1 = crate::keyswitch::prandom_poly(rns, k0.basis(), self.seed, d as u64);
+                (k0.clone(), k1)
+            })
+            .collect();
+        let key = KeySwitchKey {
+            kind: self.kind,
+            elems,
+            digit_limbs: self.digit_limbs.clone(),
+            seed: self.seed,
+            error_bits: self.error_bits,
+            digest: self.digest,
+        };
+        if !key.verify_integrity() {
+            return Err(FheError::CorruptKey {
+                op: "expand_compact_key",
+                reason: format!(
+                    "materialized hint digest {:#018x} does not match the stored {:#018x}: \
+                     compact payload corrupted or generator mismatch",
+                    key.compute_digest(),
+                    self.digest
+                ),
+            });
+        }
+        Ok(key)
     }
 }

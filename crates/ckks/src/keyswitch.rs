@@ -17,7 +17,7 @@
 //!   only `t+1` ciphertexts big, and divides by `P`. `O(L)` NTTs.
 
 use cl_rns::{mod_down_ntt, Basis, RnsPoly};
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use rayon::prelude::*;
 
 use crate::error::{FheError, FheResult};
@@ -572,14 +572,21 @@ impl HoistedDecomposition {
 
 /// Deterministic uniform polynomial from `(seed, digit)` over `basis`, NTT
 /// form — the pseudo-random hint half.
+///
+/// Every consumer of a hint seed funnels through here — keygen, the
+/// serialization loader, and lazy hot-cache expansion — so they all agree on
+/// the generator: per-limb splitmix64 counter streams reduced through the
+/// vectorized [`cl_math::Modulus::reduce_raw_slice`] backend kernel
+/// ([`cl_rns::RnsContext::sample_uniform_seeded`]). The expansion is
+/// bit-identical across backends and thread counts, and each call records a
+/// `hint_regen` pass per limb in `cl-trace`.
 pub(crate) fn prandom_poly(
     rns: &cl_rns::RnsContext,
     basis: &Basis,
     seed: u64,
     digit: u64,
 ) -> RnsPoly {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ digit.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    rns.sample_uniform(basis, &mut rng)
+    rns.sample_uniform_seeded(basis, seed, digit)
 }
 
 #[cfg(test)]

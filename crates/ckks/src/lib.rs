@@ -12,7 +12,9 @@
 //!   number of digits `t` (Sec. 3, Listing 1) — the algorithm CraterLake is
 //!   designed for,
 //! - seeded generation of the pseudo-random half of each keyswitch hint
-//!   (the software analogue of the KSHGen unit, Sec. 5.2),
+//!   (the software analogue of the KSHGen unit, Sec. 5.2), with a compact
+//!   resident key form ([`CompactKeySwitchKey`]) and a bytes-bounded
+//!   hot-hint cache ([`HintCache`]) that materializes hints lazily,
 //! - the security model mapping `(N, security level)` to a maximum
 //!   ciphertext-modulus width (our stand-in for the LWE estimator),
 //! - a fallible `try_*` evaluation API with a unified error type
@@ -56,6 +58,7 @@ mod error;
 mod eval;
 #[cfg(any(test, feature = "faults"))]
 pub mod faults;
+mod hint_cache;
 mod keys;
 mod keyswitch;
 mod noise;
@@ -66,6 +69,7 @@ pub mod serialize;
 pub use ciphertext::{Ciphertext, Plaintext};
 pub use context::{CkksContext, CkksError, GuardrailPolicy};
 pub use error::{FheError, FheResult};
-pub use keys::{KeySwitchKey, PublicKey, SecretKey};
+pub use hint_cache::{HintCache, HintCacheStats, HintId, DEFAULT_HINT_CACHE_BYTES};
+pub use keys::{CompactKeySwitchKey, KeySwitchKey, PublicKey, SecretKey};
 pub use keyswitch::{HoistedDecomposition, KeySwitchKind};
 pub use params::{CkksParams, CkksParamsBuilder};

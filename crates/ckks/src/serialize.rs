@@ -31,7 +31,7 @@ use cl_rns::{Basis, RnsPoly};
 use crate::ciphertext::Ciphertext;
 use crate::context::CkksContext;
 use crate::error::{FheError, FheResult};
-use crate::keys::KeySwitchKey;
+use crate::keys::{CompactKeySwitchKey, KeySwitchKey};
 use crate::keyswitch::{self, KeySwitchKind};
 
 /// File magic: the first four bytes of every blob.
@@ -561,30 +561,38 @@ impl CkksContext {
     pub fn serialize_keyswitch_key(&self, ksk: &KeySwitchKey) -> Vec<u8> {
         let mut out = Vec::with_capacity(64 + ksk.num_words_seeded() * 8);
         write_header(&mut out, ObjectTag::KeySwitchKey, self.params_fingerprint());
-        let meta_start = out.len();
-        match ksk.kind {
-            KeySwitchKind::Standard => {
-                put_u8(&mut out, 0);
-                put_u32(&mut out, 0);
-            }
-            KeySwitchKind::Boosted { digits } => {
-                put_u8(&mut out, 1);
-                put_u32(&mut out, digits as u32);
-            }
-        }
-        put_u32(&mut out, ksk.elems.len() as u32);
-        put_u64(&mut out, ksk.seed);
-        put_f64(&mut out, ksk.error_bits);
-        put_u64(&mut out, ksk.digest);
-        for limbs in &ksk.digit_limbs {
-            put_u32(&mut out, limbs.len() as u32);
-            for &l in limbs {
-                put_u32(&mut out, l);
-            }
-        }
-        let cksum = fnv1a(&out[meta_start..]);
-        put_u64(&mut out, cksum);
+        write_ksk_metadata(
+            &mut out,
+            ksk.kind,
+            ksk.seed,
+            ksk.error_bits,
+            ksk.digest,
+            &ksk.digit_limbs,
+        );
         for (k0, _) in &ksk.elems {
+            write_poly(&mut out, k0);
+        }
+        out
+    }
+
+    /// Serializes a compact keyswitch hint. The wire bytes are **identical**
+    /// to [`CkksContext::serialize_keyswitch_key`] of the materialized key —
+    /// the seeded wire format already carries exactly the compact payload —
+    /// so full and compact blobs are interchangeable; only the load path
+    /// differs (a compact load defers `k1` regeneration to
+    /// [`CompactKeySwitchKey::expand`]).
+    pub fn serialize_compact_keyswitch_key(&self, key: &CompactKeySwitchKey) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + key.num_words() * 8);
+        write_header(&mut out, ObjectTag::KeySwitchKey, self.params_fingerprint());
+        write_ksk_metadata(
+            &mut out,
+            key.kind,
+            key.seed,
+            key.error_bits,
+            key.digest,
+            &key.digit_limbs,
+        );
+        for k0 in &key.k0 {
             write_poly(&mut out, k0);
         }
         out
@@ -602,55 +610,21 @@ impl CkksContext {
     pub fn try_deserialize_keyswitch_key(&self, bytes: &[u8]) -> FheResult<KeySwitchKey> {
         let mut r = Reader::new("load_keyswitch_key", bytes);
         r.read_header(ObjectTag::KeySwitchKey, self.params_fingerprint())?;
-        let meta_start = r.pos();
-        let kind_byte = r.u8()?;
-        let digits = r.u32()? as usize;
-        let num_digits = r.u32()? as usize;
-        let seed = r.u64()?;
-        let error_bits = r.f64()?;
-        let digest = r.u64()?;
-        let mut digit_limbs = Vec::with_capacity(num_digits);
-        for _ in 0..num_digits {
-            let count = r.u32()? as usize;
-            let mut limbs = Vec::with_capacity(count);
-            for _ in 0..count {
-                limbs.push(r.u32()?);
-            }
-            digit_limbs.push(limbs);
-        }
-        let computed = fnv1a(r.region_since(meta_start));
-        let stored = r.u64()?;
-        if stored != computed {
-            return Err(FheError::ChecksumMismatch {
-                op: r.op(),
-                section: "keyswitch metadata".into(),
-                stored,
-                computed,
-            });
-        }
-        let kind = match (kind_byte, digits) {
-            (0, 0) => KeySwitchKind::Standard,
-            (1, d) if d >= 1 => KeySwitchKind::Boosted { digits: d },
-            _ => {
-                return Err(r.err(format!(
-                    "invalid kind encoding (kind byte {kind_byte}, digits {digits})"
-                )))
-            }
-        };
-        let mut elems = Vec::with_capacity(num_digits);
-        for d in 0..num_digits {
+        let meta = read_ksk_metadata(&mut r)?;
+        let mut elems = Vec::with_capacity(meta.digit_limbs.len());
+        for d in 0..meta.digit_limbs.len() {
             let k0 = read_poly(&mut r)?;
-            let k1 = keyswitch::prandom_poly(self.rns(), k0.basis(), seed, d as u64);
+            let k1 = keyswitch::prandom_poly(self.rns(), k0.basis(), meta.seed, d as u64);
             elems.push((k0, k1));
         }
         r.finish()?;
         let ksk = KeySwitchKey {
-            kind,
+            kind: meta.kind,
             elems,
-            digit_limbs,
-            seed,
-            error_bits,
-            digest,
+            digit_limbs: meta.digit_limbs,
+            seed: meta.seed,
+            error_bits: meta.error_bits,
+            digest: meta.digest,
         };
         let computed = ksk.compute_digest();
         if computed != ksk.digest {
@@ -663,6 +637,128 @@ impl CkksContext {
         }
         Ok(ksk)
     }
+
+    /// Loads a keyswitch hint blob into its **compact** resident form
+    /// without regenerating the pseudo-random halves — the cheap load path
+    /// for a key cache that materializes lazily. Structural validation, the
+    /// metadata checksum, and every per-limb payload checksum still run
+    /// (single-byte corruption is rejected here); the end-to-end integrity
+    /// digest is deferred to [`CompactKeySwitchKey::expand`], which is the
+    /// first point the materialized payload exists to digest.
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::Serialization`], [`FheError::ChecksumMismatch`], or
+    /// [`FheError::ParamsMismatch`] as described in the module docs.
+    pub fn try_deserialize_compact_keyswitch_key(
+        &self,
+        bytes: &[u8],
+    ) -> FheResult<CompactKeySwitchKey> {
+        let mut r = Reader::new("load_compact_keyswitch_key", bytes);
+        r.read_header(ObjectTag::KeySwitchKey, self.params_fingerprint())?;
+        let meta = read_ksk_metadata(&mut r)?;
+        let mut k0 = Vec::with_capacity(meta.digit_limbs.len());
+        for _ in 0..meta.digit_limbs.len() {
+            k0.push(read_poly(&mut r)?);
+        }
+        r.finish()?;
+        Ok(CompactKeySwitchKey {
+            kind: meta.kind,
+            k0,
+            digit_limbs: meta.digit_limbs,
+            seed: meta.seed,
+            error_bits: meta.error_bits,
+            digest: meta.digest,
+        })
+    }
+}
+
+/// The checksummed metadata region shared by the full and compact
+/// keyswitch-hint blobs.
+struct KskMetadata {
+    kind: KeySwitchKind,
+    seed: u64,
+    error_bits: f64,
+    digest: u64,
+    digit_limbs: Vec<Vec<u32>>,
+}
+
+fn write_ksk_metadata(
+    out: &mut Vec<u8>,
+    kind: KeySwitchKind,
+    seed: u64,
+    error_bits: f64,
+    digest: u64,
+    digit_limbs: &[Vec<u32>],
+) {
+    let meta_start = out.len();
+    match kind {
+        KeySwitchKind::Standard => {
+            put_u8(out, 0);
+            put_u32(out, 0);
+        }
+        KeySwitchKind::Boosted { digits } => {
+            put_u8(out, 1);
+            put_u32(out, digits as u32);
+        }
+    }
+    put_u32(out, digit_limbs.len() as u32);
+    put_u64(out, seed);
+    put_f64(out, error_bits);
+    put_u64(out, digest);
+    for limbs in digit_limbs {
+        put_u32(out, limbs.len() as u32);
+        for &l in limbs {
+            put_u32(out, l);
+        }
+    }
+    let cksum = fnv1a(&out[meta_start..]);
+    put_u64(out, cksum);
+}
+
+fn read_ksk_metadata(r: &mut Reader<'_>) -> FheResult<KskMetadata> {
+    let meta_start = r.pos();
+    let kind_byte = r.u8()?;
+    let digits = r.u32()? as usize;
+    let num_digits = r.u32()? as usize;
+    let seed = r.u64()?;
+    let error_bits = r.f64()?;
+    let digest = r.u64()?;
+    let mut digit_limbs = Vec::with_capacity(num_digits);
+    for _ in 0..num_digits {
+        let count = r.u32()? as usize;
+        let mut limbs = Vec::with_capacity(count);
+        for _ in 0..count {
+            limbs.push(r.u32()?);
+        }
+        digit_limbs.push(limbs);
+    }
+    let computed = fnv1a(r.region_since(meta_start));
+    let stored = r.u64()?;
+    if stored != computed {
+        return Err(FheError::ChecksumMismatch {
+            op: r.op(),
+            section: "keyswitch metadata".into(),
+            stored,
+            computed,
+        });
+    }
+    let kind = match (kind_byte, digits) {
+        (0, 0) => KeySwitchKind::Standard,
+        (1, d) if d >= 1 => KeySwitchKind::Boosted { digits: d },
+        _ => {
+            return Err(r.err(format!(
+                "invalid kind encoding (kind byte {kind_byte}, digits {digits})"
+            )))
+        }
+    };
+    Ok(KskMetadata {
+        kind,
+        seed,
+        error_bits,
+        digest,
+        digit_limbs,
+    })
 }
 
 #[cfg(test)]
@@ -775,6 +871,53 @@ mod tests {
                 assert_eq!(a.1, b.1);
             }
         }
+    }
+
+    #[test]
+    fn compact_blob_is_bytes_identical_and_interchangeable() {
+        let c = ctx();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let sk = c.keygen(&mut rng);
+        let ksk = c.relin_keygen(&sk, KeySwitchKind::Boosted { digits: 2 }, &mut rng);
+        let compact = ksk.to_compact();
+        let full_blob = c.serialize_keyswitch_key(&ksk);
+        let compact_blob = c.serialize_compact_keyswitch_key(&compact);
+        assert_eq!(full_blob, compact_blob, "one wire format, two load paths");
+        // Compact load skips k1 regen; expansion then reproduces the key.
+        let back = c.try_deserialize_compact_keyswitch_key(&full_blob).unwrap();
+        assert_eq!(back.integrity_digest(), ksk.integrity_digest());
+        assert_eq!(back.resident_bytes() * 2, ksk.resident_bytes());
+        let expanded = back.expand(&c).unwrap();
+        assert!(expanded.verify_integrity());
+        for (a, b) in ksk.elems.iter().zip(expanded.elems.iter()) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1, b.1);
+        }
+    }
+
+    #[test]
+    fn corrupted_compact_payload_is_rejected_at_load_or_expand() {
+        let c = ctx();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(14);
+        let sk = c.keygen(&mut rng);
+        let ksk = c.relin_keygen(&sk, KeySwitchKind::Boosted { digits: 2 }, &mut rng);
+        let blob = c.serialize_compact_keyswitch_key(&ksk.to_compact());
+        // A flipped payload byte trips the per-limb checksum at load time.
+        let mut flipped = blob.clone();
+        let off = flipped.len() - 64;
+        flipped[off] ^= 0x01;
+        assert!(matches!(
+            c.try_deserialize_compact_keyswitch_key(&flipped),
+            Err(FheError::ChecksumMismatch { .. })
+        ));
+        // A compact key whose digest no longer matches its payload (e.g. a
+        // wrong seed smuggled past the wire checks) fails at expand.
+        let mut tampered = c.try_deserialize_compact_keyswitch_key(&blob).unwrap();
+        tampered.seed ^= 1;
+        assert!(matches!(
+            tampered.expand(&c),
+            Err(FheError::CorruptKey { .. })
+        ));
     }
 
     #[test]

@@ -226,6 +226,35 @@ pub(crate) fn mul_acc_mod_slice(m: &Modulus, acc: &mut [u64], a: &[u64], b: &[u6
     scalar::mul_acc_mod_slice(m, &mut acc[n..], &a[n..], &b[n..]);
 }
 
+/// Reduces arbitrary `u64` words into canonical `[0, q)`.
+///
+/// Quotient estimate with `minv = floor(2^64 / q)`: `qhat = mulhi64(x, minv)`
+/// underestimates `floor(x/q)` by at most 1 (the discarded term
+/// `x * (2^64 mod q) / (q * 2^64)` is below 1), so `x - qhat*q < 2q` and one
+/// conditional subtract canonicalizes. The word-sized `barrett_mu` constant
+/// cannot be used here: it only bounds inputs below `2^{2k}`, which is less
+/// than `2^64` for small moduli.
+#[target_feature(enable = "avx2")]
+pub(crate) fn reduce_raw_slice(m: &Modulus, a: &mut [u64]) {
+    let minv = ((1u128 << 64) / m.value() as u128) as u64;
+    let sign = sign_bit();
+    let q = splat(m.value());
+    let q_s = _mm256_xor_si256(q, sign);
+    let vminv = splat(minv);
+    let n = a.len() - a.len() % LANES;
+    let pa = a.as_mut_ptr();
+    for i in (0..n).step_by(LANES) {
+        // SAFETY: i + LANES <= n <= a.len().
+        unsafe {
+            let x = _mm256_loadu_si256(pa.add(i).cast());
+            let qhat = mulhi64(x, vminv);
+            let r = _mm256_sub_epi64(x, mullo64(qhat, q));
+            _mm256_storeu_si256(pa.add(i).cast(), cond_sub(r, q, q_s, sign));
+        }
+    }
+    scalar::reduce_raw_slice(m, &mut a[n..]);
+}
+
 #[target_feature(enable = "avx2")]
 pub(crate) fn mul_scalar_shoup_slice(m: &Modulus, a: &mut [u64], w: u64, w_shoup: u64) {
     let c = barrett(m);
@@ -375,14 +404,13 @@ pub(crate) fn gather_mul_acc_pair_slice(
 }
 
 // ---------------------------------------------------------------------------
-// NTT: cache-blocked drivers + butterfly stage kernels.
+// NTT: greedy multi-stage drivers + fused sub-vector tail/head.
 // ---------------------------------------------------------------------------
-
-const BLOCK: usize = 4096;
 
 #[derive(Clone, Copy)]
 struct NttConsts {
     q: __m256i,
+    q_s: __m256i,
     two_q: __m256i,
     two_q_s: __m256i,
     sign: __m256i,
@@ -396,6 +424,7 @@ fn ntt_consts(m: &Modulus) -> NttConsts {
     let two_q = splat(m.two_q());
     NttConsts {
         q,
+        q_s: _mm256_xor_si256(q, sign),
         two_q,
         two_q_s: _mm256_xor_si256(two_q, sign),
         sign,
@@ -423,22 +452,129 @@ fn inv_butterfly(c: NttConsts, u: __m256i, v: __m256i, w: __m256i, ws: __m256i) 
     (s, mul_shoup_lazy_v(d, w, ws, c.q))
 }
 
+/// One stage's broadcast twiddle pair, pre-splat so the fused multi-stage
+/// passes load each table entry once per tile instead of once per vector.
+#[derive(Clone, Copy)]
+struct Tw {
+    w: __m256i,
+    ws: __m256i,
+}
+
+#[inline]
+#[target_feature(enable = "avx2")]
+fn load_tw(tw: &[u64], tws: &[u64], k: usize) -> Tw {
+    Tw {
+        w: splat(tw[k]),
+        ws: splat(tws[k]),
+    }
+}
+
+/// One butterfly group with stride `t >= LANES`: `x`/`y` point at the two
+/// disjoint `t`-element halves, single twiddle.
+///
 /// # Safety
 ///
 /// `x` and `y` must each be valid for `t` reads/writes and must not overlap.
 #[target_feature(enable = "avx2")]
-unsafe fn fwd_pass_large(c: NttConsts, x: *mut u64, y: *mut u64, t: usize, w: u64, ws: u64) {
-    let wv = splat(w);
-    let wsv = splat(ws);
+unsafe fn fwd_pass_large(c: NttConsts, x: *mut u64, y: *mut u64, t: usize, wt: Tw) {
     debug_assert!(t.is_multiple_of(LANES));
     for j in (0..t).step_by(LANES) {
         // SAFETY: j + LANES <= t; caller guarantees both ranges valid.
         unsafe {
             let xv = _mm256_loadu_si256(x.add(j).cast());
             let yv = _mm256_loadu_si256(y.add(j).cast());
-            let (nx, ny) = fwd_butterfly(c, xv, yv, wv, wsv);
+            let (nx, ny) = fwd_butterfly(c, xv, yv, wt.w, wt.ws);
             _mm256_storeu_si256(x.add(j).cast(), nx);
             _mm256_storeu_si256(y.add(j).cast(), ny);
+        }
+    }
+}
+
+/// Two fused forward stages over one stage-A group of `2t` elements held in
+/// registers: stage A pairs quarters `(0,2)`/`(1,3)` at stride `t`, stage B
+/// finishes both halves at stride `t/2` — half the loads/stores of two
+/// separate passes.
+///
+/// # Safety
+///
+/// `p` must be valid for `2t` reads/writes; `t >= 2 * LANES`.
+#[target_feature(enable = "avx2")]
+unsafe fn fwd_pass_large2(c: NttConsts, p: *mut u64, t: usize, wa: Tw, wb0: Tw, wb1: Tw) {
+    let h = t / 2;
+    debug_assert!(h.is_multiple_of(LANES));
+    for j in (0..h).step_by(LANES) {
+        // SAFETY: j + t + h + LANES <= 2t; the four quarter slots are
+        // disjoint in-bounds ranges of the caller-guaranteed 2t span.
+        unsafe {
+            let mut v0 = _mm256_loadu_si256(p.add(j).cast());
+            let mut v1 = _mm256_loadu_si256(p.add(j + h).cast());
+            let mut v2 = _mm256_loadu_si256(p.add(j + t).cast());
+            let mut v3 = _mm256_loadu_si256(p.add(j + t + h).cast());
+            (v0, v2) = fwd_butterfly(c, v0, v2, wa.w, wa.ws);
+            (v1, v3) = fwd_butterfly(c, v1, v3, wa.w, wa.ws);
+            (v0, v1) = fwd_butterfly(c, v0, v1, wb0.w, wb0.ws);
+            (v2, v3) = fwd_butterfly(c, v2, v3, wb1.w, wb1.ws);
+            _mm256_storeu_si256(p.add(j).cast(), v0);
+            _mm256_storeu_si256(p.add(j + h).cast(), v1);
+            _mm256_storeu_si256(p.add(j + t).cast(), v2);
+            _mm256_storeu_si256(p.add(j + t + h).cast(), v3);
+        }
+    }
+}
+
+/// Three fused forward stages over one stage-A group of `8e` elements
+/// (`e` = the stage-C stride `lt/4`): stage A at stride `4e`, stage B at
+/// `2e`, stage C at `e`, all on eight vectors held in registers.
+///
+/// # Safety
+///
+/// `p` must be valid for `8e` reads/writes; `e >= LANES`.
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2")]
+unsafe fn fwd_pass_large3(
+    c: NttConsts,
+    p: *mut u64,
+    e: usize,
+    wa: Tw,
+    wb0: Tw,
+    wb1: Tw,
+    wc0: Tw,
+    wc1: Tw,
+    wc2: Tw,
+    wc3: Tw,
+) {
+    debug_assert!(e.is_multiple_of(LANES));
+    for j in (0..e).step_by(LANES) {
+        // SAFETY: j + 7e + LANES <= 8e; eight disjoint in-bounds octants.
+        unsafe {
+            let mut v0 = _mm256_loadu_si256(p.add(j).cast());
+            let mut v1 = _mm256_loadu_si256(p.add(j + e).cast());
+            let mut v2 = _mm256_loadu_si256(p.add(j + 2 * e).cast());
+            let mut v3 = _mm256_loadu_si256(p.add(j + 3 * e).cast());
+            let mut v4 = _mm256_loadu_si256(p.add(j + 4 * e).cast());
+            let mut v5 = _mm256_loadu_si256(p.add(j + 5 * e).cast());
+            let mut v6 = _mm256_loadu_si256(p.add(j + 6 * e).cast());
+            let mut v7 = _mm256_loadu_si256(p.add(j + 7 * e).cast());
+            (v0, v4) = fwd_butterfly(c, v0, v4, wa.w, wa.ws);
+            (v1, v5) = fwd_butterfly(c, v1, v5, wa.w, wa.ws);
+            (v2, v6) = fwd_butterfly(c, v2, v6, wa.w, wa.ws);
+            (v3, v7) = fwd_butterfly(c, v3, v7, wa.w, wa.ws);
+            (v0, v2) = fwd_butterfly(c, v0, v2, wb0.w, wb0.ws);
+            (v1, v3) = fwd_butterfly(c, v1, v3, wb0.w, wb0.ws);
+            (v4, v6) = fwd_butterfly(c, v4, v6, wb1.w, wb1.ws);
+            (v5, v7) = fwd_butterfly(c, v5, v7, wb1.w, wb1.ws);
+            (v0, v1) = fwd_butterfly(c, v0, v1, wc0.w, wc0.ws);
+            (v2, v3) = fwd_butterfly(c, v2, v3, wc1.w, wc1.ws);
+            (v4, v5) = fwd_butterfly(c, v4, v5, wc2.w, wc2.ws);
+            (v6, v7) = fwd_butterfly(c, v6, v7, wc3.w, wc3.ws);
+            _mm256_storeu_si256(p.add(j).cast(), v0);
+            _mm256_storeu_si256(p.add(j + e).cast(), v1);
+            _mm256_storeu_si256(p.add(j + 2 * e).cast(), v2);
+            _mm256_storeu_si256(p.add(j + 3 * e).cast(), v3);
+            _mm256_storeu_si256(p.add(j + 4 * e).cast(), v4);
+            _mm256_storeu_si256(p.add(j + 5 * e).cast(), v5);
+            _mm256_storeu_si256(p.add(j + 6 * e).cast(), v6);
+            _mm256_storeu_si256(p.add(j + 7 * e).cast(), v7);
         }
     }
 }
@@ -447,88 +583,321 @@ unsafe fn fwd_pass_large(c: NttConsts, x: *mut u64, y: *mut u64, t: usize, w: u6
 ///
 /// As [`fwd_pass_large`].
 #[target_feature(enable = "avx2")]
-unsafe fn inv_pass_large(c: NttConsts, x: *mut u64, y: *mut u64, t: usize, w: u64, ws: u64) {
-    let wv = splat(w);
-    let wsv = splat(ws);
+unsafe fn inv_pass_large(c: NttConsts, x: *mut u64, y: *mut u64, t: usize, wt: Tw) {
     debug_assert!(t.is_multiple_of(LANES));
     for j in (0..t).step_by(LANES) {
         // SAFETY: j + LANES <= t; caller guarantees both ranges valid.
         unsafe {
             let xv = _mm256_loadu_si256(x.add(j).cast());
             let yv = _mm256_loadu_si256(y.add(j).cast());
-            let (nx, ny) = inv_butterfly(c, xv, yv, wv, wsv);
+            let (nx, ny) = inv_butterfly(c, xv, yv, wt.w, wt.ws);
             _mm256_storeu_si256(x.add(j).cast(), nx);
             _mm256_storeu_si256(y.add(j).cast(), ny);
         }
     }
 }
 
-/// One stage with `t in {1, 2}` over a whole block, 8 elements (4
-/// butterflies) per iteration via 128-bit lane shuffles.
+/// Two fused inverse stages over one stage-B group of `4t` elements: stage A
+/// pairs quarters `(0,1)`/`(2,3)` at stride `t`, stage B pairs `(0,2)`/`(1,3)`
+/// at stride `2t`.
+///
+/// # Safety
+///
+/// `p` must be valid for `4t` reads/writes; `t >= LANES`.
 #[target_feature(enable = "avx2")]
-fn stage_small(
-    c: NttConsts,
-    forward: bool,
-    block: &mut [u64],
-    t: usize,
-    tw: &[u64],
-    tws: &[u64],
-    tw_base: usize,
-) {
-    debug_assert!(matches!(t, 1 | 2));
-    let len = block.len();
-    let run = 2 * LANES;
-    debug_assert_eq!(len % run, 0, "small stages require 8-element blocks");
-    let p = block.as_mut_ptr();
-    let mut j = 0;
-    while j < len {
-        let g0 = j / (2 * t);
-        // SAFETY: j + 8 <= len; twiddle loads read only this run's group
-        // entries, all in-bounds.
+unsafe fn inv_pass_large2(c: NttConsts, p: *mut u64, t: usize, wa0: Tw, wa1: Tw, wb: Tw) {
+    debug_assert!(t.is_multiple_of(LANES));
+    for j in (0..t).step_by(LANES) {
+        // SAFETY: j + 3t + LANES <= 4t; four disjoint in-bounds quarters.
         unsafe {
-            let v0 = _mm256_loadu_si256(p.add(j).cast());
-            let v1 = _mm256_loadu_si256(p.add(j + LANES).cast());
-            let (x, y, wv, wsv) = if t == 1 {
-                // v0 = [x0 y0 x1 y1], v1 = [x2 y2 x3 y3]
-                // unpack gives x = [x0 x2 x1 x3] — twiddles follow with the
-                // matching [0 2 1 3] permutation.
-                let x = _mm256_unpacklo_epi64(v0, v1);
-                let y = _mm256_unpackhi_epi64(v0, v1);
-                let wv = _mm256_permute4x64_epi64::<0xD8>(_mm256_loadu_si256(tw.as_ptr().add(tw_base + g0).cast()));
-                let wsv = _mm256_permute4x64_epi64::<0xD8>(_mm256_loadu_si256(tws.as_ptr().add(tw_base + g0).cast()));
-                (x, y, wv, wsv)
-            } else {
-                // v0 = [x0 x1 y0 y1] (group g0), v1 = group g0 + 1.
-                let x = _mm256_permute2x128_si256::<0x20>(v0, v1);
-                let y = _mm256_permute2x128_si256::<0x31>(v0, v1);
-                let wpair = _mm256_castsi128_si256(_mm_loadu_si128(tw.as_ptr().add(tw_base + g0).cast()));
-                let wspair = _mm256_castsi128_si256(_mm_loadu_si128(tws.as_ptr().add(tw_base + g0).cast()));
-                let wv = _mm256_permute4x64_epi64::<0x50>(wpair);
-                let wsv = _mm256_permute4x64_epi64::<0x50>(wspair);
-                (x, y, wv, wsv)
-            };
-            let (nx, ny) = if forward {
-                fwd_butterfly(c, x, y, wv, wsv)
-            } else {
-                inv_butterfly(c, x, y, wv, wsv)
-            };
-            let (o0, o1) = if t == 1 {
-                (_mm256_unpacklo_epi64(nx, ny), _mm256_unpackhi_epi64(nx, ny))
-            } else {
-                (
-                    _mm256_permute2x128_si256::<0x20>(nx, ny),
-                    _mm256_permute2x128_si256::<0x31>(nx, ny),
-                )
-            };
-            _mm256_storeu_si256(p.add(j).cast(), o0);
-            _mm256_storeu_si256(p.add(j + LANES).cast(), o1);
+            let mut v0 = _mm256_loadu_si256(p.add(j).cast());
+            let mut v1 = _mm256_loadu_si256(p.add(j + t).cast());
+            let mut v2 = _mm256_loadu_si256(p.add(j + 2 * t).cast());
+            let mut v3 = _mm256_loadu_si256(p.add(j + 3 * t).cast());
+            (v0, v1) = inv_butterfly(c, v0, v1, wa0.w, wa0.ws);
+            (v2, v3) = inv_butterfly(c, v2, v3, wa1.w, wa1.ws);
+            (v0, v2) = inv_butterfly(c, v0, v2, wb.w, wb.ws);
+            (v1, v3) = inv_butterfly(c, v1, v3, wb.w, wb.ws);
+            _mm256_storeu_si256(p.add(j).cast(), v0);
+            _mm256_storeu_si256(p.add(j + t).cast(), v1);
+            _mm256_storeu_si256(p.add(j + 2 * t).cast(), v2);
+            _mm256_storeu_si256(p.add(j + 3 * t).cast(), v3);
         }
-        j += run;
     }
 }
 
-/// Forward lazy NTT: strided stages above [`BLOCK`], blocked completion,
-/// correction sweep. Same stage schedule as the AVX-512 driver.
+/// Three fused inverse stages over one stage-C group of `8e` elements
+/// (`e` = the stage-A stride `lt`): stage A at stride `e`, stage B at `2e`,
+/// stage C at `4e`; mirror of [`fwd_pass_large3`].
+///
+/// # Safety
+///
+/// `p` must be valid for `8e` reads/writes; `e >= LANES`.
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2")]
+unsafe fn inv_pass_large3(
+    c: NttConsts,
+    p: *mut u64,
+    e: usize,
+    wa0: Tw,
+    wa1: Tw,
+    wa2: Tw,
+    wa3: Tw,
+    wb0: Tw,
+    wb1: Tw,
+    wc: Tw,
+) {
+    debug_assert!(e.is_multiple_of(LANES));
+    for j in (0..e).step_by(LANES) {
+        // SAFETY: j + 7e + LANES <= 8e; eight disjoint in-bounds octants.
+        unsafe {
+            let mut v0 = _mm256_loadu_si256(p.add(j).cast());
+            let mut v1 = _mm256_loadu_si256(p.add(j + e).cast());
+            let mut v2 = _mm256_loadu_si256(p.add(j + 2 * e).cast());
+            let mut v3 = _mm256_loadu_si256(p.add(j + 3 * e).cast());
+            let mut v4 = _mm256_loadu_si256(p.add(j + 4 * e).cast());
+            let mut v5 = _mm256_loadu_si256(p.add(j + 5 * e).cast());
+            let mut v6 = _mm256_loadu_si256(p.add(j + 6 * e).cast());
+            let mut v7 = _mm256_loadu_si256(p.add(j + 7 * e).cast());
+            (v0, v1) = inv_butterfly(c, v0, v1, wa0.w, wa0.ws);
+            (v2, v3) = inv_butterfly(c, v2, v3, wa1.w, wa1.ws);
+            (v4, v5) = inv_butterfly(c, v4, v5, wa2.w, wa2.ws);
+            (v6, v7) = inv_butterfly(c, v6, v7, wa3.w, wa3.ws);
+            (v0, v2) = inv_butterfly(c, v0, v2, wb0.w, wb0.ws);
+            (v1, v3) = inv_butterfly(c, v1, v3, wb0.w, wb0.ws);
+            (v4, v6) = inv_butterfly(c, v4, v6, wb1.w, wb1.ws);
+            (v5, v7) = inv_butterfly(c, v5, v7, wb1.w, wb1.ws);
+            (v0, v4) = inv_butterfly(c, v0, v4, wc.w, wc.ws);
+            (v1, v5) = inv_butterfly(c, v1, v5, wc.w, wc.ws);
+            (v2, v6) = inv_butterfly(c, v2, v6, wc.w, wc.ws);
+            (v3, v7) = inv_butterfly(c, v3, v7, wc.w, wc.ws);
+            _mm256_storeu_si256(p.add(j).cast(), v0);
+            _mm256_storeu_si256(p.add(j + e).cast(), v1);
+            _mm256_storeu_si256(p.add(j + 2 * e).cast(), v2);
+            _mm256_storeu_si256(p.add(j + 3 * e).cast(), v3);
+            _mm256_storeu_si256(p.add(j + 4 * e).cast(), v4);
+            _mm256_storeu_si256(p.add(j + 5 * e).cast(), v5);
+            _mm256_storeu_si256(p.add(j + 6 * e).cast(), v6);
+            _mm256_storeu_si256(p.add(j + 7 * e).cast(), v7);
+        }
+    }
+}
+
+/// The final inverse stage (stride `n/2`, single twiddle) fused with the
+/// `n^{-1}` sweep: the sum path multiplies by `n^{-1}` directly, the
+/// difference path by the precombined `w_1 * n^{-1}`, and both outputs are
+/// canonicalized in-register. Saves the whole closing `n^{-1}` pass; output
+/// is canonical, hence bit-identical to the unfused sequence.
+///
+/// # Safety
+///
+/// As [`fwd_pass_large`].
+#[target_feature(enable = "avx2")]
+unsafe fn inv_final_pass(c: NttConsts, x: *mut u64, y: *mut u64, t: usize, wd: Tw, wn: Tw) {
+    debug_assert!(t.is_multiple_of(LANES));
+    for j in (0..t).step_by(LANES) {
+        // SAFETY: j + LANES <= t; caller guarantees both ranges valid.
+        unsafe {
+            let u = _mm256_loadu_si256(x.add(j).cast());
+            let v = _mm256_loadu_si256(y.add(j).cast());
+            // Butterfly exactly as inv_butterfly, but the products fold in
+            // n^{-1}.
+            let s = cond_sub(_mm256_add_epi64(u, v), c.two_q, c.two_q_s, c.sign);
+            let d = _mm256_sub_epi64(_mm256_add_epi64(u, c.two_q), v);
+            let sx = mul_shoup_lazy_v(s, wn.w, wn.ws, c.q);
+            let dy = mul_shoup_lazy_v(d, wd.w, wd.ws, c.q);
+            _mm256_storeu_si256(x.add(j).cast(), cond_sub(sx, c.q, c.q_s, c.sign));
+            _mm256_storeu_si256(y.add(j).cast(), cond_sub(dy, c.q, c.q_s, c.sign));
+        }
+    }
+}
+
+/// One forward sub-vector stage (`t in {1, 2}`) applied to an 8-element run
+/// already held in `(v0, v1)`: shuffle the halves together via 128-bit lane
+/// permutes (AVX2 has no `permutex2var`), butterfly with per-lane twiddles,
+/// knit back. With `correct` set (the global `t = 1` final stage) outputs
+/// are reduced from `[0, 4q)` to canonical.
+///
+/// # Safety
+///
+/// `k0 + 4/t <= tw.len()` and likewise for `tws` (the stage reads one
+/// twiddle per group, `4/t` groups per run).
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2")]
+unsafe fn fwd_sub_stage(
+    c: NttConsts,
+    v0: __m256i,
+    v1: __m256i,
+    t: usize,
+    tw: &[u64],
+    tws: &[u64],
+    k0: usize,
+    correct: bool,
+) -> (__m256i, __m256i) {
+    debug_assert!(matches!(t, 1 | 2));
+    // SAFETY: caller guarantees 4/t entries from k0 are in-bounds.
+    let (x, y, wv, wsv) = unsafe { sub_split(v0, v1, t, tw, tws, k0) };
+    let (mut nx, mut ny) = fwd_butterfly(c, x, y, wv, wsv);
+    if correct {
+        nx = cond_sub(cond_sub(nx, c.two_q, c.two_q_s, c.sign), c.q, c.q_s, c.sign);
+        ny = cond_sub(cond_sub(ny, c.two_q, c.two_q_s, c.sign), c.q, c.q_s, c.sign);
+    }
+    sub_knit(nx, ny, t)
+}
+
+/// Inverse counterpart of [`fwd_sub_stage`].
+///
+/// # Safety
+///
+/// As [`fwd_sub_stage`].
+#[target_feature(enable = "avx2")]
+unsafe fn inv_sub_stage(
+    c: NttConsts,
+    v0: __m256i,
+    v1: __m256i,
+    t: usize,
+    tw: &[u64],
+    tws: &[u64],
+    k0: usize,
+) -> (__m256i, __m256i) {
+    debug_assert!(matches!(t, 1 | 2));
+    // SAFETY: caller guarantees 4/t entries from k0 are in-bounds.
+    let (u, v, wv, wsv) = unsafe { sub_split(v0, v1, t, tw, tws, k0) };
+    let (nu, nv) = inv_butterfly(c, u, v, wv, wsv);
+    sub_knit(nu, nv, t)
+}
+
+/// Splits an 8-element run `(v0, v1)` into all-`x`/all-`y` vectors for
+/// sub-vector stride `t` and loads the matching per-lane twiddles.
+///
+/// # Safety
+///
+/// `k0 + 4/t <= tw.len()` and likewise for `tws`.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn sub_split(
+    v0: __m256i,
+    v1: __m256i,
+    t: usize,
+    tw: &[u64],
+    tws: &[u64],
+    k0: usize,
+) -> (__m256i, __m256i, __m256i, __m256i) {
+    // SAFETY: caller guarantees the twiddle loads are in-bounds.
+    unsafe {
+        if t == 1 {
+            // v0 = [x0 y0 x1 y1], v1 = [x2 y2 x3 y3]: unpack gives
+            // x = [x0 x2 x1 x3] — twiddles follow with the matching
+            // [0 2 1 3] permutation.
+            let x = _mm256_unpacklo_epi64(v0, v1);
+            let y = _mm256_unpackhi_epi64(v0, v1);
+            let wv = _mm256_permute4x64_epi64::<0xD8>(_mm256_loadu_si256(tw.as_ptr().add(k0).cast()));
+            let wsv = _mm256_permute4x64_epi64::<0xD8>(_mm256_loadu_si256(tws.as_ptr().add(k0).cast()));
+            (x, y, wv, wsv)
+        } else {
+            // v0 = [x0 x1 y0 y1] (one group), v1 = the next group.
+            let x = _mm256_permute2x128_si256::<0x20>(v0, v1);
+            let y = _mm256_permute2x128_si256::<0x31>(v0, v1);
+            let wpair = _mm256_castsi128_si256(_mm_loadu_si128(tw.as_ptr().add(k0).cast()));
+            let wspair = _mm256_castsi128_si256(_mm_loadu_si128(tws.as_ptr().add(k0).cast()));
+            let wv = _mm256_permute4x64_epi64::<0x50>(wpair);
+            let wsv = _mm256_permute4x64_epi64::<0x50>(wspair);
+            (x, y, wv, wsv)
+        }
+    }
+}
+
+/// Inverse shuffle of [`sub_split`]: knits butterfly outputs back into run
+/// order.
+#[inline]
+#[target_feature(enable = "avx2")]
+fn sub_knit(nx: __m256i, ny: __m256i, t: usize) -> (__m256i, __m256i) {
+    if t == 1 {
+        (_mm256_unpacklo_epi64(nx, ny), _mm256_unpackhi_epi64(nx, ny))
+    } else {
+        (
+            _mm256_permute2x128_si256::<0x20>(nx, ny),
+            _mm256_permute2x128_si256::<0x31>(nx, ny),
+        )
+    }
+}
+
+/// All trailing forward stages (`t = 4, 2, 1`) in a single load/store round
+/// trip per 8-element run. The `t = 4` stage is lane-aligned (whole vectors,
+/// broadcast twiddle), the sub-vector stages shuffle in-register, and the
+/// final stage folds in the canonical correction — replacing three separate
+/// passes plus a correction sweep.
+///
+/// `base4..base1` are the twiddle-table offsets of each stage (stage `t`
+/// uses entries `base_t + groups-before-this-run`).
+#[target_feature(enable = "avx2")]
+fn fwd_tail(c: NttConsts, a: &mut [u64], tw: &[u64], tws: &[u64], base4: usize, base2: usize, base1: usize) {
+    let len = a.len();
+    debug_assert_eq!(len % (2 * LANES), 0);
+    let p = a.as_mut_ptr();
+    for r in 0..len / (2 * LANES) {
+        let j = 2 * LANES * r;
+        // SAFETY: j + 8 <= len; every twiddle load ends within the n-entry
+        // tables (the deepest stage's last 4-entry load ends exactly at
+        // entry n - 1).
+        unsafe {
+            let mut v0 = _mm256_loadu_si256(p.add(j).cast());
+            let mut v1 = _mm256_loadu_si256(p.add(j + LANES).cast());
+            let w4 = splat(tw[base4 + r]);
+            let s4 = splat(tws[base4 + r]);
+            (v0, v1) = fwd_butterfly(c, v0, v1, w4, s4);
+            (v0, v1) = fwd_sub_stage(c, v0, v1, 2, tw, tws, base2 + 2 * r, false);
+            (v0, v1) = fwd_sub_stage(c, v0, v1, 1, tw, tws, base1 + 4 * r, true);
+            _mm256_storeu_si256(p.add(j).cast(), v0);
+            _mm256_storeu_si256(p.add(j + LANES).cast(), v1);
+        }
+    }
+}
+
+/// All leading inverse stages (`t = 1, 2` and, unless it is the global final
+/// stage, `t = 4`) in a single round trip per 8-element run; mirror of
+/// [`fwd_tail`].
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2")]
+fn inv_head(
+    c: NttConsts,
+    a: &mut [u64],
+    tw: &[u64],
+    tws: &[u64],
+    base1: usize,
+    base2: usize,
+    base4: usize,
+    with_t4: bool,
+) {
+    let len = a.len();
+    debug_assert_eq!(len % (2 * LANES), 0);
+    let p = a.as_mut_ptr();
+    for r in 0..len / (2 * LANES) {
+        let j = 2 * LANES * r;
+        // SAFETY: as fwd_tail.
+        unsafe {
+            let mut v0 = _mm256_loadu_si256(p.add(j).cast());
+            let mut v1 = _mm256_loadu_si256(p.add(j + LANES).cast());
+            (v0, v1) = inv_sub_stage(c, v0, v1, 1, tw, tws, base1 + 4 * r);
+            (v0, v1) = inv_sub_stage(c, v0, v1, 2, tw, tws, base2 + 2 * r);
+            if with_t4 {
+                let w4 = splat(tw[base4 + r]);
+                let s4 = splat(tws[base4 + r]);
+                (v0, v1) = inv_butterfly(c, v0, v1, w4, s4);
+            }
+            _mm256_storeu_si256(p.add(j).cast(), v0);
+            _mm256_storeu_si256(p.add(j + LANES).cast(), v1);
+        }
+    }
+}
+
+/// Forward lazy NTT as a greedy multi-stage descent: each pass over the
+/// array retires up to three vector-wide stages (all tiles of one pass
+/// complete their stage group before the next pass starts), and the last
+/// three sub-vector stages plus the canonical correction run in the fused
+/// [`fwd_tail`]. Multi-stage tiles double as cache blocks, so no separate
+/// strided/blocked split is needed. Same stage schedule as the AVX-512
+/// driver at half the lane width.
 #[target_feature(enable = "avx2")]
 pub(crate) fn ntt_forward(table: &NttTable, a: &mut [u64]) {
     let n = table.n();
@@ -541,53 +910,65 @@ pub(crate) fn ntt_forward(table: &NttTable, a: &mut [u64]) {
     let c = ntt_consts(m);
     let p = a.as_mut_ptr();
 
-    let bsize = n.min(BLOCK);
-    let mut t = n;
-    let mut len = 1usize;
-    while len < n {
-        let half = t >> 1;
-        if 2 * half <= bsize {
-            break;
-        }
-        for i in 0..len {
-            let j0 = 2 * i * half;
-            let k = len + i;
-            // SAFETY: disjoint in-bounds halves (j0 + 2*half <= n).
-            unsafe { fwd_pass_large(c, p.add(j0), p.add(j0 + half), half, tw[k], tws[k]) };
-        }
-        t = half;
-        len <<= 1;
-    }
-    if len < n {
-        let t0 = t >> 1;
-        let len0 = len;
-        for (b, block) in a.chunks_exact_mut(bsize).enumerate() {
-            let bp = block.as_mut_ptr();
-            let mut lt = t0;
-            let mut llen = len0;
-            while llen < n {
-                let gpb = bsize / (2 * lt);
-                let tw_base = llen + b * gpb;
-                if lt >= LANES {
-                    for g in 0..gpb {
-                        let j0 = 2 * g * lt;
-                        let k = tw_base + g;
-                        // SAFETY: disjoint in-bounds halves of this block.
-                        unsafe { fwd_pass_large(c, bp.add(j0), bp.add(j0 + lt), lt, tw[k], tws[k]) };
-                    }
-                } else {
-                    stage_small(c, true, block, lt, tw, tws, tw_base);
-                }
-                llen <<= 1;
-                lt >>= 1;
+    // Stage at stride lt has llen groups (tiles) of 2*lt elements; stage
+    // level llen is also its twiddle-table base. With m = log2(lt / LANES),
+    // triples run while m >= 3, a pair handles m == 2, a single m == 1, so
+    // the descent always lands on lt == LANES for the fused tail.
+    let mut lt = n >> 1;
+    let mut llen = 1usize;
+    while lt > LANES {
+        if lt >= 8 * LANES {
+            // Triple: stages at strides lt, lt/2, lt/4. Stage-B twiddles
+            // 2g, 2g+1 and stage-C twiddles 4g..4g+3 of the next levels.
+            let e = lt / 4;
+            for g in 0..llen {
+                let j0 = 2 * g * lt;
+                let wa = load_tw(tw, tws, llen + g);
+                let wb0 = load_tw(tw, tws, 2 * llen + 2 * g);
+                let wb1 = load_tw(tw, tws, 2 * llen + 2 * g + 1);
+                let wc0 = load_tw(tw, tws, 4 * llen + 4 * g);
+                let wc1 = load_tw(tw, tws, 4 * llen + 4 * g + 1);
+                let wc2 = load_tw(tw, tws, 4 * llen + 4 * g + 2);
+                let wc3 = load_tw(tw, tws, 4 * llen + 4 * g + 3);
+                // SAFETY: [j0, j0 + 2*lt) is in-bounds (j0 + 2*lt <= n).
+                unsafe { fwd_pass_large3(c, p.add(j0), e, wa, wb0, wb1, wc0, wc1, wc2, wc3) };
             }
+            llen <<= 3;
+            lt >>= 3;
+        } else if lt >= 4 * LANES {
+            // Pair: stages at strides lt and lt/2.
+            for g in 0..llen {
+                let j0 = 2 * g * lt;
+                let wa = load_tw(tw, tws, llen + g);
+                let wb0 = load_tw(tw, tws, 2 * llen + 2 * g);
+                let wb1 = load_tw(tw, tws, 2 * llen + 2 * g + 1);
+                // SAFETY: [j0, j0 + 2*lt) is in-bounds (j0 + 2*lt <= n).
+                unsafe { fwd_pass_large2(c, p.add(j0), lt, wa, wb0, wb1) };
+            }
+            llen <<= 2;
+            lt >>= 2;
+        } else {
+            for g in 0..llen {
+                let j0 = 2 * g * lt;
+                let wt = load_tw(tw, tws, llen + g);
+                // SAFETY: disjoint in-bounds halves of one tile.
+                unsafe { fwd_pass_large(c, p.add(j0), p.add(j0 + lt), lt, wt) };
+            }
+            llen <<= 1;
+            lt >>= 1;
         }
     }
-    correct_lazy_slice(m, a);
+    // Stages 4, 2, 1 plus the canonical correction in one pass; stage t
+    // has twiddle base llen_t = n / (2t), doubling as t halves from 4.
+    debug_assert_eq!(lt, LANES);
+    fwd_tail(c, a, tw, tws, llen, 2 * llen, 4 * llen);
 }
 
-/// Inverse lazy NTT: blocked opening stages, strided closing stages, fused
-/// `n^{-1}` sweep.
+/// Inverse lazy NTT, mirror of [`ntt_forward`]: the fused [`inv_head`]
+/// opens with the three sub-vector stages, a greedy multi-stage ascent
+/// retires up to three vector-wide stages per pass, and the final
+/// stride-`n/2` stage is fused with the `n^{-1}` sweep and
+/// canonicalization.
 #[target_feature(enable = "avx2")]
 pub(crate) fn ntt_inverse(table: &NttTable, a: &mut [u64]) {
     let n = table.n();
@@ -599,40 +980,71 @@ pub(crate) fn ntt_inverse(table: &NttTable, a: &mut [u64]) {
     let tws = table.inv_root_pows_shoup();
     let c = ntt_consts(m);
 
-    let bsize = n.min(BLOCK);
-    for (b, block) in a.chunks_exact_mut(bsize).enumerate() {
-        let bp = block.as_mut_ptr();
-        let mut lt = 1usize;
-        let mut llen = n >> 1;
-        while 2 * lt <= bsize {
-            let gpb = bsize / (2 * lt);
-            let tw_base = llen + b * gpb;
-            if lt >= LANES {
-                for g in 0..gpb {
-                    let j0 = 2 * g * lt;
-                    let k = tw_base + g;
-                    // SAFETY: disjoint in-bounds halves of this block.
-                    unsafe { inv_pass_large(c, bp.add(j0), bp.add(j0 + lt), lt, tw[k], tws[k]) };
-                }
-            } else {
-                stage_small(c, false, block, lt, tw, tws, tw_base);
+    // Stages t = 1..4 in one opening pass; stage t has twiddle base
+    // llen_t = n / (2t). t = 4 is deferred to the fused final pass when it
+    // is the global last stage (n == 8).
+    inv_head(c, a, tw, tws, n >> 1, n >> 2, n >> 3, n > 2 * LANES);
+    // Greedy ascent to (but excluding) the final stride-n/2 stage: a triple
+    // is exact while its largest stride stays below n/2, and the remainder
+    // count (log2(n/16) stages) is finished by a pair or single.
+    let p = a.as_mut_ptr();
+    let mut lt = 2 * LANES;
+    let mut llen = n >> 4;
+    while 2 * lt < n {
+        if 8 * lt < n {
+            // Triple: stages at strides lt, 2*lt, 4*lt. Stage-A twiddles
+            // 4g..4g+3, stage-B 2g, 2g+1 of the next levels.
+            for g in 0..llen / 4 {
+                let j0 = 8 * g * lt;
+                let wa0 = load_tw(tw, tws, llen + 4 * g);
+                let wa1 = load_tw(tw, tws, llen + 4 * g + 1);
+                let wa2 = load_tw(tw, tws, llen + 4 * g + 2);
+                let wa3 = load_tw(tw, tws, llen + 4 * g + 3);
+                let wb0 = load_tw(tw, tws, llen / 2 + 2 * g);
+                let wb1 = load_tw(tw, tws, llen / 2 + 2 * g + 1);
+                let wc = load_tw(tw, tws, llen / 4 + g);
+                // SAFETY: [j0, j0 + 8*lt) is in-bounds (j0 + 8*lt <= n).
+                unsafe { inv_pass_large3(c, p.add(j0), lt, wa0, wa1, wa2, wa3, wb0, wb1, wc) };
+            }
+            lt <<= 3;
+            llen >>= 3;
+        } else if 4 * lt < n {
+            // Pair: stages at strides lt and 2*lt.
+            for g in 0..llen / 2 {
+                let j0 = 4 * g * lt;
+                let wa0 = load_tw(tw, tws, llen + 2 * g);
+                let wa1 = load_tw(tw, tws, llen + 2 * g + 1);
+                let wb = load_tw(tw, tws, llen / 2 + g);
+                // SAFETY: [j0, j0 + 4*lt) is in-bounds (j0 + 4*lt <= n).
+                unsafe { inv_pass_large2(c, p.add(j0), lt, wa0, wa1, wb) };
+            }
+            lt <<= 2;
+            llen >>= 2;
+        } else {
+            for g in 0..llen {
+                let j0 = 2 * g * lt;
+                let wt = load_tw(tw, tws, llen + g);
+                // SAFETY: disjoint in-bounds halves of one tile.
+                unsafe { inv_pass_large(c, p.add(j0), p.add(j0 + lt), lt, wt) };
             }
             lt <<= 1;
             llen >>= 1;
         }
     }
-    let p = a.as_mut_ptr();
-    let mut t = bsize;
-    let mut len = n / (2 * bsize);
-    while len >= 1 {
-        for i in 0..len {
-            let j0 = 2 * i * t;
-            let k = len + i;
-            // SAFETY: disjoint in-bounds ranges (j0 + 2t <= n).
-            unsafe { inv_pass_large(c, p.add(j0), p.add(j0 + t), t, tw[k], tws[k]) };
-        }
-        t <<= 1;
-        len >>= 1;
-    }
-    mul_scalar_shoup_slice(m, a, table.n_inv(), table.n_inv_shoup());
+    // Final stage (stride n/2, single twiddle tw[1]) fused with the n^{-1}
+    // sweep: the sum path takes n^{-1}, the difference path the precombined
+    // tw[1] * n^{-1}; outputs are canonical.
+    let half = n / 2;
+    let n_inv = table.n_inv();
+    let wd_val = m.mul(tw[1], n_inv);
+    let wn = Tw {
+        w: splat(n_inv),
+        ws: splat(table.n_inv_shoup()),
+    };
+    let wd = Tw {
+        w: splat(wd_val),
+        ws: splat(m.shoup_precompute(wd_val)),
+    };
+    // SAFETY: the two halves are disjoint in-bounds ranges of length n/2.
+    unsafe { inv_final_pass(c, p, p.add(half), half, wd, wn) };
 }

@@ -335,6 +335,33 @@ fn mul_acc_mod_slice_ifma(m: &Modulus, acc: &mut [u64], a: &[u64], b: &[u64]) {
     scalar::mul_acc_mod_slice(m, &mut acc[n..], &a[n..], &b[n..]);
 }
 
+/// Reduces arbitrary `u64` words into canonical `[0, q)`.
+///
+/// Quotient estimate with `minv = floor(2^64 / q)`: `qhat = mulhi64(x, minv)`
+/// underestimates `floor(x/q)` by at most 1 (the discarded term
+/// `x * (2^64 mod q) / (q * 2^64)` is below 1), so `x - qhat*q < 2q` and one
+/// conditional subtract canonicalizes. The word-sized `barrett_mu` constant
+/// cannot be used here: it only bounds inputs below `2^{2k}`, which is less
+/// than `2^64` for small moduli.
+#[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+pub(crate) fn reduce_raw_slice(m: &Modulus, a: &mut [u64]) {
+    let minv = ((1u128 << 64) / m.value() as u128) as u64;
+    let q = splat(m.value());
+    let vminv = splat(minv);
+    let n = a.len() - a.len() % LANES;
+    let pa = a.as_mut_ptr();
+    for i in (0..n).step_by(LANES) {
+        // SAFETY: i + LANES <= n <= a.len().
+        unsafe {
+            let x = _mm512_loadu_si512(pa.add(i).cast());
+            let qhat = mulhi64(x, vminv);
+            let r = _mm512_sub_epi64(x, _mm512_mullo_epi64(qhat, q));
+            _mm512_storeu_si512(pa.add(i).cast(), cond_sub(r, q));
+        }
+    }
+    scalar::reduce_raw_slice(m, &mut a[n..]);
+}
+
 #[target_feature(enable = "avx512f,avx512dq,avx512vl")]
 pub(crate) fn mul_scalar_shoup_slice(m: &Modulus, a: &mut [u64], w: u64, w_shoup: u64) {
     let q = splat(m.value());

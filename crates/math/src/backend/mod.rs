@@ -288,6 +288,13 @@ pub(crate) fn correct_lazy_slice(m: &Modulus, a: &mut [u64]) {
     dispatch!(correct_lazy_slice(m, a); active_backend())
 }
 
+/// `a[i] = a[i] mod q` for arbitrary `u64` words — the seeded hint-expansion
+/// kernel (reduce a raw PRG word stream into residues).
+#[inline]
+pub(crate) fn reduce_raw_slice(m: &Modulus, a: &mut [u64]) {
+    dispatch!(reduce_raw_slice(m, a); active_backend())
+}
+
 /// `out[i] = src[perm[i]]` — the NTT-domain automorphism gather.
 #[inline]
 pub(crate) fn gather_slice(out: &mut [u64], src: &[u64], perm: &[u32]) {
@@ -392,6 +399,10 @@ pub(crate) mod forced {
 
     pub(crate) fn correct_lazy_slice(kind: BackendKind, m: &Modulus, a: &mut [u64]) {
         dispatch!(correct_lazy_slice(m, a); kind)
+    }
+
+    pub(crate) fn reduce_raw_slice(kind: BackendKind, m: &Modulus, a: &mut [u64]) {
+        dispatch!(reduce_raw_slice(m, a); kind)
     }
 
     pub(crate) fn gather_slice(kind: BackendKind, out: &mut [u64], src: &[u64], perm: &[u32]) {

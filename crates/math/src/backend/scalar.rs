@@ -67,6 +67,12 @@ pub(crate) fn correct_lazy_slice(m: &Modulus, a: &mut [u64]) {
     }
 }
 
+pub(crate) fn reduce_raw_slice(m: &Modulus, a: &mut [u64]) {
+    for x in a.iter_mut() {
+        *x = m.reduce(*x);
+    }
+}
+
 pub(crate) fn gather_slice(out: &mut [u64], src: &[u64], perm: &[u32]) {
     for (dst, &s) in out.iter_mut().zip(perm) {
         *dst = src[s as usize];

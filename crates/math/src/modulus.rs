@@ -353,6 +353,14 @@ impl Modulus {
         crate::backend::correct_lazy_slice(self, a);
     }
 
+    /// Element-wise reduction of *arbitrary* `u64` words into canonical
+    /// `[0, q)` — the seeded hint-expansion kernel: a raw PRG word stream is
+    /// reduced into residues in one vectorized pass.
+    #[inline]
+    pub fn reduce_raw_slice(&self, a: &mut [u64]) {
+        crate::backend::reduce_raw_slice(self, a);
+    }
+
     /// `acc[i] = (acc[i] + src[perm[i]] * b[i]) mod q` — fused gather +
     /// multiply-accumulate, the automorphism hot path. All values canonical;
     /// every `perm[i]` must index `src`.
@@ -584,6 +592,27 @@ mod tests {
                 forced::correct_lazy_slice(kind, &m, &mut lazy);
                 prop_assert_eq!(&lazy, &r, "correct_lazy_slice diverged on {}", kind);
                 prop_assert!(lazy.iter().all(|&x| x < Q59));
+            }
+        }
+
+        #[test]
+        fn backends_match_scalar_reduce_raw(
+            q_idx in 0usize..4,
+            raw in collection::vec(any::<u64>(), 0..67),
+        ) {
+            // Full-range u64 inputs, including moduli whose word-sized
+            // Barrett constant could not cover 2^64 (k < 32).
+            let q = [Q28, Q59, (1u64 << 60) - 93, 0x3fff_c001][q_idx];
+            let m = Modulus::new(q).unwrap();
+            for kind in supported_backends() {
+                let mut a = raw.clone();
+                let mut r = raw.clone();
+                forced::reduce_raw_slice(crate::backend::BackendKind::Scalar, &m, &mut r);
+                forced::reduce_raw_slice(kind, &m, &mut a);
+                prop_assert_eq!(&a, &r, "reduce_raw_slice diverged on {}", kind);
+                for (&out, &x) in a.iter().zip(&raw) {
+                    prop_assert_eq!(out, x % q);
+                }
             }
         }
 

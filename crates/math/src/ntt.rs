@@ -468,10 +468,11 @@ mod tests {
 
     /// Every compiled backend must produce words identical to the strict
     /// reference kernels, across the driver's structural regimes: pure
-    /// scalar fallback (n < 16), all-blocked (n <= 4096), and the
-    /// strided+blocked split (n = 8192 crosses one strided stage, n = 16384
-    /// crosses two). 50-bit and 28-bit moduli exercise the IFMA path where
-    /// available; 59-bit forces the generic 64-bit path.
+    /// scalar fallback (small n), fused-tail-only transforms (n at the
+    /// vector width), and every multi-stage descent shape (the greedy
+    /// triple/pair/single schedules land differently as log2(n) varies
+    /// from 5 to 14). 50-bit and 28-bit moduli exercise the IFMA path
+    /// where available; 59-bit forces the generic 64-bit path.
     #[test]
     fn backends_match_strict() {
         use crate::backend::{forced, supported_backends};

@@ -252,6 +252,35 @@ impl RnsContext {
         p
     }
 
+    /// Deterministically expands `(seed, domain)` into a polynomial with
+    /// uniformly pseudorandom residues (NTT form) — the software KSHGen
+    /// generator.
+    ///
+    /// Each limb's residues come from an independent splitmix64 counter
+    /// stream keyed by `(seed, domain, global limb index)`, so the output is
+    /// bit-identical at any thread count and for any basis containing the
+    /// same global limbs. The raw 64-bit words are reduced into `[0, q)` by
+    /// the vectorized [`cl_math::Modulus::reduce_raw_slice`] kernel; the
+    /// modulo bias is at most `q / 2^64 < 2^-4` per residue *probability*
+    /// deviation — negligible against the `2^-40`-grade uniformity the hint
+    /// half needs, and identical on every backend.
+    ///
+    /// `domain` separates independent streams drawn from one seed (the
+    /// keyswitch digit index).
+    pub fn sample_uniform_seeded(&self, basis: &Basis, seed: u64, domain: u64) -> RnsPoly {
+        let mut p = RnsPoly::zero(self.n, basis.clone());
+        self.par_limbs(&mut p, |_, limb, data| {
+            let mut state = stream_key(seed, domain, limb);
+            for c in data.iter_mut() {
+                *c = splitmix64(&mut state);
+            }
+            self.modulus_structs[limb as usize].reduce_raw_slice(data);
+        });
+        p.set_ntt_form(true);
+        cl_trace::record_hint_regen(basis.len() as u64);
+        p
+    }
+
     /// Samples a polynomial with ternary coefficients in `{-1, 0, 1}`
     /// (coefficient form). Used for secret keys.
     pub fn sample_ternary<R: Rng + ?Sized>(&self, basis: &Basis, rng: &mut R) -> RnsPoly {
@@ -672,6 +701,30 @@ impl RnsContext {
     }
 }
 
+/// The initial splitmix64 state for the `(seed, domain, limb)` stream.
+///
+/// Each component is pre-whitened with a distinct odd multiplier so that
+/// nearby seeds / domains / limb indices land in unrelated stream positions.
+/// This keying is part of the hint wire format: serialized keyswitch keys
+/// store only `(seed, digit)` and regenerate the pseudorandom half through
+/// this exact function, so it must never change silently.
+#[inline]
+fn stream_key(seed: u64, domain: u64, limb: u32) -> u64 {
+    seed ^ (domain.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (u64::from(limb).wrapping_add(1)).wrapping_mul(0xD6E8_FEB8_6659_FD93)
+}
+
+/// One step of the splitmix64 sequence (Steele, Lea & Flood's generator) —
+/// a counter-mode stream with full 64-bit avalanche per output word.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -823,6 +876,30 @@ mod tests {
         let mut via_coeff = c.apply_automorphism(&a, 3);
         c.to_ntt(&mut via_coeff);
         assert_eq!(via_ntt, via_coeff);
+    }
+
+    #[test]
+    fn seeded_sampling_is_deterministic_and_basis_stable() {
+        let c = ctx();
+        let full = c.q_basis(3).union(&c.p_basis(2));
+        let a = c.sample_uniform_seeded(&full, 42, 7);
+        let b = c.sample_uniform_seeded(&full, 42, 7);
+        assert_eq!(a, b, "same (seed, domain) must expand identically");
+        assert!(a.ntt_form());
+        for (k, &limb) in full.0.iter().enumerate() {
+            let q = c.modulus_value(limb);
+            assert!(a.limb(k).iter().all(|&x| x < q), "residues canonical");
+        }
+        // A sub-basis sharing global limbs reproduces the same residues —
+        // the property serialization regen relies on.
+        let sub = c.q_basis(2);
+        let s = c.sample_uniform_seeded(&sub, 42, 7);
+        for (k, _) in sub.0.iter().enumerate() {
+            assert_eq!(s.limb(k), a.limb(k), "limb {k} stream diverged");
+        }
+        // Distinct domains and seeds give distinct streams.
+        assert_ne!(c.sample_uniform_seeded(&full, 42, 8), a);
+        assert_ne!(c.sample_uniform_seeded(&full, 43, 7), a);
     }
 
     impl RnsContext {

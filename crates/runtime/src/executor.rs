@@ -541,7 +541,9 @@ impl<'a> PipelineExecutor<'a> {
             }
         };
         let out = match op {
-            PipelineOp::Square => self.ctx.try_square(&ct, self.keys.relin())?,
+            PipelineOp::Square => self
+                .ctx
+                .try_square(&ct, self.keys.try_relin(self.ctx)?.as_ref())?,
             PipelineOp::Rescale => self.ctx.try_rescale(&ct)?,
             PipelineOp::AddPlain(vals) => {
                 let p = self.ctx.encode(vals, ct.scale(), ct.level());
@@ -563,10 +565,12 @@ impl<'a> PipelineExecutor<'a> {
                 self.ctx.try_rescale(&prod)?
             }
             PipelineOp::Rotate(steps) => {
-                let key = self.keys.try_rot_key(*steps)?;
-                self.ctx.try_rotate(&ct, *steps, key)?
+                let key = self.keys.try_rot_key(self.ctx, *steps)?;
+                self.ctx.try_rotate(&ct, *steps, key.as_ref())?
             }
-            PipelineOp::Conjugate => self.ctx.try_conjugate(&ct, self.keys.conj())?,
+            PipelineOp::Conjugate => self
+                .ctx
+                .try_conjugate(&ct, self.keys.try_conj(self.ctx)?.as_ref())?,
             PipelineOp::Bootstrap => unreachable!("handled above"),
         };
         Ok(WorkState::Ct(out))
@@ -660,14 +664,14 @@ mod tests {
         };
 
         // Direct evaluation with the same ops must agree bit-for-bit.
-        let sq = ctx.try_square(&ct, keys.relin()).unwrap();
+        let sq = ctx.try_square(&ct, keys.try_relin(&ctx).unwrap().as_ref()).unwrap();
         let rs = ctx.try_rescale(&sq).unwrap();
         let p = ctx.encode(&[0.1, 0.2, 0.3], rs.scale(), rs.level());
         let added = ctx.try_add_plain(&rs, &p).unwrap();
         let rot = ctx
-            .try_rotate(&added, 1, keys.try_rot_key(1).unwrap())
+            .try_rotate(&added, 1, keys.try_rot_key(&ctx, 1).unwrap().as_ref())
             .unwrap();
-        let expect = ctx.try_conjugate(&rot, keys.conj()).unwrap();
+        let expect = ctx.try_conjugate(&rot, keys.try_conj(&ctx).unwrap().as_ref()).unwrap();
         assert_eq!(out, expect);
 
         let t = exec.telemetry();

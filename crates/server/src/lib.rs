@@ -17,7 +17,9 @@
 //! - server-level retry with exponential backoff layered on the
 //!   executor's restore-and-retry, metered by a per-tenant retry budget;
 //! - tenant isolation: per-tenant params fingerprints (checked at
-//!   admission *and* on every deep parse), per-tenant LRU [`KeyCache`]s,
+//!   admission *and* on every deep parse), per-tenant bytes-bounded
+//!   [`KeyCache`]s of compact key bundles (materialized hints share the
+//!   process-wide `cl_ckks::HintCache` across tenants),
 //!   and disjoint per-`(tenant, worker)` checkpoint directories guarded
 //!   by the `CheckpointStore` owner lock;
 //! - structured outcomes: every failure maps to a stable

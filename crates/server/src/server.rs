@@ -68,8 +68,10 @@ pub struct ServerConfig {
     /// Cap on server-level attempts for a single job, independent of the
     /// tenant budget.
     pub max_job_retries: u32,
-    /// Parsed key bundles kept per tenant (LRU beyond this).
-    pub key_cache_capacity: usize,
+    /// Byte budget for each tenant's compact key-bundle cache
+    /// (LRU-evicted beyond this). Defaults to `CL_KEYCACHE_BYTES` when
+    /// set, else 32 MiB.
+    pub key_cache_bytes: usize,
     /// Deadline applied when a [`JobSpec`] does not set one. `None`
     /// means no deadline.
     pub default_deadline: Option<Duration>,
@@ -89,7 +91,10 @@ impl Default for ServerConfig {
             executor_retries: 8,
             tenant_retry_budget: 16,
             max_job_retries: 3,
-            key_cache_capacity: 4,
+            key_cache_bytes: std::env::var("CL_KEYCACHE_BYTES")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .unwrap_or(32 << 20),
             default_deadline: None,
             backoff_base_ms: 1,
         }
@@ -231,7 +236,7 @@ impl JobServer {
             id.to_string(),
             ctx,
             root,
-            self.shared.config.key_cache_capacity,
+            self.shared.config.key_cache_bytes,
             self.shared.config.tenant_retry_budget,
         ));
         if !self.shared.registry.insert(state) {

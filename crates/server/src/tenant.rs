@@ -31,32 +31,129 @@ pub struct KeyCacheStats {
     pub misses: u64,
     /// Parsed bundles dropped to stay within the cache bound.
     pub evictions: u64,
+    /// Bytes of compact key payload currently resident (gauge, not a
+    /// counter).
+    pub bytes_resident: usize,
 }
 
-/// A bounded cache of parsed [`BootstrapKeys`] bundles, keyed by the
-/// FNV-1a digest of the serialized blob and evicted least-recently-used.
-/// Deserialization (with full checksum/fingerprint verification) is paid
-/// once per distinct blob while it stays resident.
+/// A **bytes-bounded** cache of parsed [`BootstrapKeys`] bundles, keyed by
+/// the FNV-1a digest of the serialized blob and evicted
+/// least-recently-used. Deserialization (with full checksum/fingerprint
+/// verification) is paid once per distinct blob while it stays resident.
+///
+/// Bundles are resident in their *compact* form (seed + `k0` halves; see
+/// [`cl_ckks::CompactKeySwitchKey`]), so the budget counts
+/// [`BootstrapKeys::compact_resident_bytes`] — materialized hints live in
+/// the process-wide [`cl_ckks::HintCache`] shared across tenants, with
+/// per-tenant regen cost attributed through the `hint_regen` op counter.
+///
+/// Lookups are O(1): a digest-keyed `HashMap` whose nodes form an
+/// intrusive doubly-linked recency list (no `Vec` scan, no allocation on
+/// a hit).
 #[derive(Debug)]
 pub struct KeyCache {
     inner: Mutex<KeyCacheInner>,
 }
 
 #[derive(Debug)]
+struct Node {
+    keys: Arc<BootstrapKeys>,
+    bytes: usize,
+    /// Neighbor toward the MRU end (`None` = this is the head).
+    prev: Option<u64>,
+    /// Neighbor toward the LRU end (`None` = this is the tail).
+    next: Option<u64>,
+}
+
+#[derive(Debug)]
 struct KeyCacheInner {
-    /// Most-recently-used first.
-    entries: Vec<(u64, Arc<BootstrapKeys>)>,
-    capacity: usize,
+    entries: HashMap<u64, Node>,
+    /// Most-recently-used digest.
+    head: Option<u64>,
+    /// Least-recently-used digest (first eviction victim).
+    tail: Option<u64>,
+    capacity_bytes: usize,
+    bytes: usize,
     stats: KeyCacheStats,
 }
 
+impl KeyCacheInner {
+    /// Detaches `digest` from the recency list (the node stays in the map).
+    fn unlink(&mut self, digest: u64) {
+        let (prev, next) = {
+            let n = &self.entries[&digest];
+            (n.prev, n.next)
+        };
+        match prev {
+            Some(p) => {
+                if let Some(node) = self.entries.get_mut(&p) {
+                    node.next = next;
+                }
+            }
+            None => self.head = next,
+        }
+        match next {
+            Some(nx) => {
+                if let Some(node) = self.entries.get_mut(&nx) {
+                    node.prev = prev;
+                }
+            }
+            None => self.tail = prev,
+        }
+    }
+
+    /// Links `digest` in as the new head (must currently be detached).
+    fn push_front(&mut self, digest: u64) {
+        let old_head = self.head;
+        if let Some(node) = self.entries.get_mut(&digest) {
+            node.prev = None;
+            node.next = old_head;
+        }
+        if let Some(h) = old_head {
+            if let Some(node) = self.entries.get_mut(&h) {
+                node.prev = Some(digest);
+            }
+        }
+        self.head = Some(digest);
+        if self.tail.is_none() {
+            self.tail = Some(digest);
+        }
+    }
+
+    fn touch(&mut self, digest: u64) {
+        if self.head == Some(digest) {
+            return;
+        }
+        self.unlink(digest);
+        self.push_front(digest);
+    }
+
+    /// Evicts LRU-first until the byte budget holds, always keeping at
+    /// least one bundle — a single bundle larger than the whole budget
+    /// must still be usable.
+    fn evict_to_fit(&mut self) {
+        while self.bytes > self.capacity_bytes && self.entries.len() > 1 {
+            let Some(victim) = self.tail else { break };
+            self.unlink(victim);
+            if let Some(node) = self.entries.remove(&victim) {
+                self.bytes -= node.bytes;
+                self.stats.evictions += 1;
+            }
+        }
+    }
+}
+
 impl KeyCache {
-    /// A cache holding at most `capacity` parsed bundles (min 1).
-    pub fn new(capacity: usize) -> Self {
+    /// A cache bounded to `capacity_bytes` of compact key payload (a
+    /// budget of 0 still holds one bundle at a time).
+    pub fn new(capacity_bytes: usize) -> Self {
         Self {
             inner: Mutex::new(KeyCacheInner {
-                entries: Vec::new(),
-                capacity: capacity.max(1),
+                entries: HashMap::new(),
+                head: None,
+                tail: None,
+                capacity_bytes,
+                bytes: 0,
                 stats: KeyCacheStats::default(),
             }),
         }
@@ -73,43 +170,58 @@ impl KeyCache {
         let digest = fnv1a_fast(blob);
         {
             let mut inner = self.lock();
-            if let Some(pos) = inner.entries.iter().position(|(d, _)| *d == digest) {
+            if let Some(node) = inner.entries.get(&digest) {
+                let keys = Arc::clone(&node.keys);
                 inner.stats.hits += 1;
-                let entry = inner.entries.remove(pos);
-                let keys = Arc::clone(&entry.1);
-                inner.entries.insert(0, entry);
+                inner.touch(digest);
                 return Ok(keys);
             }
         }
         // Parse outside the lock: deserialization verifies every nested
         // key and dominates the cost; other jobs keep hitting the cache.
         let keys = Arc::new(BootstrapKeys::try_deserialize(ctx, blob)?);
+        let bytes = keys.compact_resident_bytes();
         let mut inner = self.lock();
         inner.stats.misses += 1;
-        if let Some(pos) = inner.entries.iter().position(|(d, _)| *d == digest) {
+        if let Some(node) = inner.entries.get(&digest) {
             // Another worker parsed the same blob concurrently; keep the
             // resident copy and refresh its recency.
-            let entry = inner.entries.remove(pos);
-            let resident = Arc::clone(&entry.1);
-            inner.entries.insert(0, entry);
+            let resident = Arc::clone(&node.keys);
+            inner.touch(digest);
             return Ok(resident);
         }
-        inner.entries.insert(0, (digest, Arc::clone(&keys)));
-        while inner.entries.len() > inner.capacity {
-            inner.entries.pop();
-            inner.stats.evictions += 1;
-        }
+        inner.entries.insert(
+            digest,
+            Node {
+                keys: Arc::clone(&keys),
+                bytes,
+                prev: None,
+                next: None,
+            },
+        );
+        inner.push_front(digest);
+        inner.bytes += bytes;
+        inner.evict_to_fit();
         Ok(keys)
     }
 
-    /// Current counters.
+    /// Current counters, with `bytes_resident` reflecting this instant.
     pub fn stats(&self) -> KeyCacheStats {
-        self.lock().stats
+        let inner = self.lock();
+        KeyCacheStats {
+            bytes_resident: inner.bytes,
+            ..inner.stats
+        }
     }
 
     /// Parsed bundles currently resident.
     pub fn resident(&self) -> usize {
         self.lock().entries.len()
+    }
+
+    /// Compact key bytes currently resident.
+    pub fn bytes_resident(&self) -> usize {
+        self.lock().bytes
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, KeyCacheInner> {
@@ -128,7 +240,7 @@ pub struct TenantState {
     pub ctx: Arc<CkksContext>,
     /// Fingerprint every one of this tenant's blobs must carry.
     pub fingerprint: u64,
-    /// Parsed key bundles, LRU-bounded.
+    /// Parsed compact key bundles, bytes-bounded and LRU-evicted.
     pub keys: KeyCache,
     /// Root under which this tenant's per-worker checkpoint dirs live.
     pub checkpoint_root: PathBuf,
@@ -148,7 +260,7 @@ impl TenantState {
         id: String,
         ctx: Arc<CkksContext>,
         checkpoint_root: PathBuf,
-        key_cache_capacity: usize,
+        key_cache_bytes: usize,
         retry_budget: u32,
     ) -> Self {
         let fingerprint = ctx.params_fingerprint();
@@ -156,7 +268,7 @@ impl TenantState {
             id,
             ctx,
             fingerprint,
-            keys: KeyCache::new(key_cache_capacity),
+            keys: KeyCache::new(key_cache_bytes),
             checkpoint_root,
             retry_budget: AtomicU32::new(retry_budget),
             jobs_ok: AtomicU64::new(0),
@@ -320,21 +432,28 @@ mod tests {
         let blob_a = key_blob(&ctx, 1);
         let blob_b = key_blob(&ctx, 2);
         let blob_c = key_blob(&ctx, 3);
-        let cache = KeyCache::new(2);
+        // Every bundle has the same shape, so one parse prices them all;
+        // budget for exactly two resident bundles.
+        let one = BootstrapKeys::try_deserialize(&ctx, &blob_a)
+            .unwrap()
+            .compact_resident_bytes();
+        let cache = KeyCache::new(2 * one);
 
         cache.get_or_load(&ctx, &blob_a).unwrap();
         cache.get_or_load(&ctx, &blob_a).unwrap();
         assert_eq!(
             cache.stats(),
-            KeyCacheStats { hits: 1, misses: 1, evictions: 0 }
+            KeyCacheStats { hits: 1, misses: 1, evictions: 0, bytes_resident: one }
         );
 
         cache.get_or_load(&ctx, &blob_b).unwrap();
         // `a` was touched more recently than nothing — order is now b, a.
-        // Loading `c` evicts the least recent (`a`).
+        // Loading `c` exceeds the byte budget and evicts the least recent
+        // (`a`).
         cache.get_or_load(&ctx, &blob_c).unwrap();
         assert_eq!(cache.resident(), 2);
         assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.bytes_resident(), 2 * one);
         // `a` must be reparsed (a fresh miss), `c` is a hit.
         cache.get_or_load(&ctx, &blob_c).unwrap();
         cache.get_or_load(&ctx, &blob_a).unwrap();
@@ -348,12 +467,28 @@ mod tests {
         let mut blob = key_blob(&ctx, 7);
         let mid = blob.len() / 2;
         blob[mid] ^= 0x40;
-        let cache = KeyCache::new(2);
+        let cache = KeyCache::new(1 << 20);
         assert!(cache.get_or_load(&ctx, &blob).is_err());
         assert_eq!(cache.resident(), 0);
+        assert_eq!(cache.bytes_resident(), 0);
         // Misses only count *successful* parses; the reject is not billed
         // as cache traffic.
         assert_eq!(cache.stats().misses, 0);
+    }
+
+    #[test]
+    fn oversized_single_bundle_stays_usable() {
+        let ctx = ctx();
+        let blob_a = key_blob(&ctx, 1);
+        let blob_b = key_blob(&ctx, 2);
+        // Budget smaller than any bundle: the cache still holds exactly
+        // one at a time instead of thrashing to empty.
+        let cache = KeyCache::new(1);
+        cache.get_or_load(&ctx, &blob_a).unwrap();
+        assert_eq!(cache.resident(), 1);
+        cache.get_or_load(&ctx, &blob_b).unwrap();
+        assert_eq!(cache.resident(), 1);
+        assert_eq!(cache.stats().evictions, 1);
     }
 
     #[test]
@@ -362,7 +497,7 @@ mod tests {
             "t0".into(),
             Arc::new(ctx()),
             std::env::temp_dir().join("cl-server-tenant-test"),
-            2,
+            1 << 20,
             3,
         );
         assert!(t.try_spend_retry());

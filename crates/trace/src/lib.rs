@@ -80,6 +80,13 @@ pub struct OpSnapshot {
     pub ct_mults: u64,
     /// Homomorphic plaintext multiplications.
     pub pt_mults: u64,
+    /// Seeded keyswitch-hint regeneration passes: one per residue polynomial
+    /// whose pseudorandom half was re-expanded from its seed (the software
+    /// KSHGen workload). Counted separately from the compute fields so
+    /// per-tenant reports can attribute regen cost apart from compute, and
+    /// *not* folded into `bytes` (which tracks compute-touched polynomial
+    /// data, the unit the cost-model cross-validation gates on).
+    pub hint_regen: u64,
 }
 
 impl OpSnapshot {
@@ -98,6 +105,7 @@ impl OpSnapshot {
             rotations: self.rotations.saturating_sub(earlier.rotations),
             ct_mults: self.ct_mults.saturating_sub(earlier.ct_mults),
             pt_mults: self.pt_mults.saturating_sub(earlier.pt_mults),
+            hint_regen: self.hint_regen.saturating_sub(earlier.hint_regen),
         }
     }
 
@@ -115,6 +123,7 @@ impl OpSnapshot {
             rotations: self.rotations + other.rotations,
             ct_mults: self.ct_mults + other.ct_mults,
             pt_mults: self.pt_mults + other.pt_mults,
+            hint_regen: self.hint_regen + other.hint_regen,
         }
     }
 
@@ -134,7 +143,8 @@ impl OpSnapshot {
         format!(
             "{{\"ntt\": {}, \"intt\": {}, \"mult\": {}, \"add\": {}, \
              \"base_conv\": {}, \"automorph\": {}, \"bytes\": {}, \
-             \"rotations\": {}, \"ct_mults\": {}, \"pt_mults\": {}}}",
+             \"rotations\": {}, \"ct_mults\": {}, \"pt_mults\": {}, \
+             \"hint_regen\": {}}}",
             self.ntt,
             self.intt,
             self.mult,
@@ -144,7 +154,8 @@ impl OpSnapshot {
             self.bytes,
             self.rotations,
             self.ct_mults,
-            self.pt_mults
+            self.pt_mults,
+            self.hint_regen
         )
     }
 
@@ -284,6 +295,14 @@ pub fn record_pt_mult() {
     imp::record_pt_mult();
 }
 
+/// Records `passes` seeded hint-regeneration passes (one per residue
+/// polynomial re-expanded from its seed). Deliberately does not contribute
+/// to `bytes`: regen is accounted as key-management work, not compute.
+#[inline(always)]
+pub fn record_hint_regen(passes: u64) {
+    imp::record_hint_regen(passes);
+}
+
 /// Opens a named span: wall time and counter deltas accumulate into the
 /// span registry until the returned guard drops. With `trace` disabled the
 /// guard is a zero-sized no-op.
@@ -378,6 +397,7 @@ mod imp {
     static ROTATIONS: AtomicU64 = AtomicU64::new(0);
     static CT_MULTS: AtomicU64 = AtomicU64::new(0);
     static PT_MULTS: AtomicU64 = AtomicU64::new(0);
+    static HINT_REGEN: AtomicU64 = AtomicU64::new(0);
 
     type Registry = Mutex<BTreeMap<&'static str, SpanStats>>;
 
@@ -437,6 +457,13 @@ mod imp {
         PT_MULTS.fetch_add(1, Ordering::Relaxed);
     }
 
+    #[inline(always)]
+    pub fn record_hint_regen(passes: u64) {
+        // No BYTES contribution: regen is key-management work, and the
+        // compute byte counter feeds exact cross-validation gates.
+        HINT_REGEN.fetch_add(passes, Ordering::Relaxed);
+    }
+
     pub fn capture() -> OpSnapshot {
         OpSnapshot {
             ntt: NTT.load(Ordering::Relaxed),
@@ -449,13 +476,14 @@ mod imp {
             rotations: ROTATIONS.load(Ordering::Relaxed),
             ct_mults: CT_MULTS.load(Ordering::Relaxed),
             pt_mults: PT_MULTS.load(Ordering::Relaxed),
+            hint_regen: HINT_REGEN.load(Ordering::Relaxed),
         }
     }
 
     pub fn reset() {
         for c in [
             &NTT, &INTT, &MULT, &ADD, &BASE_CONV, &AUTOMORPH, &BYTES, &ROTATIONS, &CT_MULTS,
-            &PT_MULTS,
+            &PT_MULTS, &HINT_REGEN,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -527,6 +555,8 @@ mod imp {
     pub fn record_ct_mult() {}
     #[inline(always)]
     pub fn record_pt_mult() {}
+    #[inline(always)]
+    pub fn record_hint_regen(_passes: u64) {}
 
     #[inline(always)]
     pub fn capture() -> OpSnapshot {
@@ -668,12 +698,15 @@ mod tests {
             record_rotation();
             record_ct_mult();
             record_pt_mult();
+            record_hint_regen(6);
             let d = OpSnapshot::capture().delta_since(&before);
             assert_eq!(
                 (d.ntt, d.intt, d.mult, d.add, d.base_conv, d.automorph),
                 (3, 1, 5, 2, 7, 4)
             );
             assert_eq!((d.rotations, d.ct_mults, d.pt_mults), (1, 1, 1));
+            assert_eq!(d.hint_regen, 6);
+            // Regen passes must not leak into the compute byte counter.
             assert_eq!(d.bytes, (3 + 1 + 5 + 2 + 7 + 4) * 8 * 16);
             assert_eq!(d.ntt_total(), 4);
             assert!(enabled());

@@ -3,7 +3,8 @@
 #
 # Runs the bench_kernels binary (NTT, RNS mul, base conversion, keyswitch,
 # rotate, hoisted rotation, rescale, BSGS linear transform, one bootstrap
-# step) at CL_THREADS=1 and CL_THREADS=4 and merges both runs with the
+# step, key-residency tiers eager/compact/hot with warm hint-cache variants)
+# at CL_THREADS=1 and CL_THREADS=4 and merges both runs with the
 # checked-in seed baseline (benchmarks/BENCH_kernels_seed.json) into
 # benchmarks/BENCH_kernels.json, including per-kernel speedup ratios vs the
 # seed.
@@ -204,5 +205,43 @@ if seq and one_w:
                  f"{SCHED_OVERHEAD:.2f}x budget")
 else:
     sys.exit("bench check: server_seq_baseline/server_jobs_1w kernels missing")
+
+# Software KSHGen residency: the hot-hint tier (bounded HintCache over
+# compact seeded keys) must hold a bootstrap-capable key set in at most a
+# quarter of the eagerly materialized footprint. The compact tier and the
+# per-hint regeneration cost are recorded for trending but not gated.
+KEY_RESIDENT_REDUCTION = 4.0
+eager = current.get("key_memory_eager_bytes")
+hot = current.get("key_memory_hot_bytes")
+compact = current.get("key_memory_compact_bytes")
+if eager and hot and compact:
+    ratio = eager / hot
+    regen = current.get("key_memory_regen", 0.0)
+    print(f"bench check: key residency eager {eager/1024:.0f} KiB, compact "
+          f"{compact/1024:.0f} KiB ({eager/compact:.1f}x), hot tier "
+          f"{hot/1024:.0f} KiB ({ratio:.1f}x); regen {regen/1e3:.1f} us/hint")
+    if ratio < KEY_RESIDENT_REDUCTION:
+        sys.exit(f"bench check: hot-tier key residency only {ratio:.2f}x below "
+                 f"eager, budget is >= {KEY_RESIDENT_REDUCTION:.1f}x")
+else:
+    sys.exit("bench check: key_memory_* kernels missing")
+
+# Lazily materialized hints must be free once warm: the hoisted-rotation
+# batch and the bootstrap step with every hint fetched from a warm
+# HintCache may cost at most ~10% over the same kernels holding eager keys.
+HINT_WARM_OVERHEAD = 1.10
+for base_k, cached_k in [
+    ("rotate_hoisted_x8", "rotate_hoisted_x8_cached"),
+    ("bootstrap_step", "bootstrap_step_cached"),
+]:
+    base, cached = current.get(base_k), current.get(cached_k)
+    if not (base and cached):
+        sys.exit(f"bench check: {base_k}/{cached_k} kernels missing")
+    ratio = cached / base
+    print(f"bench check: warm hint-cache overhead on {base_k} {ratio:.3f}x "
+          f"({base/1e6:.2f} ms -> {cached/1e6:.2f} ms)")
+    if ratio > HINT_WARM_OVERHEAD:
+        sys.exit(f"bench check: warm hint-cache overhead {ratio:.2f}x on "
+                 f"{base_k} exceeds {HINT_WARM_OVERHEAD:.2f}x budget")
 EOF
 fi

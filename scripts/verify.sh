@@ -47,6 +47,12 @@ echo "== tier-1: server smoke =="
 # as structured outcomes (examples/server_smoke.rs).
 cargo run --release --example server_smoke
 
+echo "== tier-1: hint-cache smoke =="
+# The same BSGS transform and executor pipeline under a roomy vs a
+# thrashing hint cache must be limb-bit-identical: eviction may only ever
+# cost hint regeneration time (examples/hint_cache_smoke.rs).
+cargo run --release --example hint_cache_smoke
+
 echo "== tier-1: lint gate (library targets) =="
 cargo clippy -p cl-math -p cl-rns -p cl-ckks -p cl-boot -p cl-runtime \
     -p cl-apps -p cl-baselines -p cl-compiler -p cl-core -p cl-isa \

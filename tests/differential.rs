@@ -10,7 +10,11 @@
 //! - the lazy `[0,4q)` Harvey butterflies must match the strict
 //!   always-canonical kernels exactly after the final correction sweep,
 //! - a full encrypt → mul → rotate → rescale → decrypt pipeline must be
-//!   deterministic across thread settings (given a fixed RNG seed).
+//!   deterministic across thread settings (given a fixed RNG seed),
+//! - lazily materialized keyswitch hints (compact seed + k0 form, k1
+//!   regenerated on demand) must be bit-identical to eager generation on
+//!   every backend and thread count, including under hint-cache eviction
+//!   and re-expansion mid-pipeline.
 //!
 //! Thread-count mutation is process-global, so every test that touches it
 //! serializes on [`THREADS`].
@@ -234,7 +238,7 @@ proptest! {
                 let rotated = if *d == 0 {
                     ct.clone()
                 } else {
-                    ctx.try_rotate(&ct, *d, keys.try_rot_key(*d).expect("diag key"))
+                    ctx.try_rotate(&ct, *d, keys.try_rot_key(&ctx, *d).expect("diag key").as_ref())
                         .expect("naive rotation")
                 };
                 let ptd = ctx.encode_complex(diag, pt_scale, level);
@@ -438,6 +442,109 @@ fn bootstrap_step_backend_invariant() {
             .expect("rescale");
         let ops = cl_trace::OpSnapshot::capture().delta_since(&before);
         (stepped.c0().clone(), stepped.c1().clone(), ops)
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Lazily materialized keyswitch hints are bit-identical to eager
+    /// generation: expanding a compact (seed + k0) key regenerates the same
+    /// k1 halves the original keygen drew (enforced by the end-to-end
+    /// digest), and keyswitching with the lazy key produces byte-identical
+    /// ciphertext polynomials — across random levels, digit layouts, every
+    /// supported backend, and 1 vs 4 threads.
+    #[test]
+    fn lazy_hint_expansion_matches_eager(
+        seed in any::<u64>(),
+        level in 2usize..5,
+        digits in 1usize..4,
+    ) {
+        let ctx = hoist_ctx();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let sk = ctx.keygen(&mut rng);
+        // Cover Standard (one digit per limb) alongside the boosted layouts.
+        let kind = if digits == 3 {
+            KeySwitchKind::Standard
+        } else {
+            KeySwitchKind::Boosted { digits }
+        };
+        let eager = ctx.relin_keygen(&sk, kind, &mut rng);
+        let compact = eager.to_compact();
+        let qb = ctx.rns().q_basis(level);
+        let signed: Vec<i64> = (0..128).map(|i| (i % 29) - 14).collect();
+        let mut msg = ctx.rns().from_signed_coeffs(&signed, &qb);
+        ctx.rns().to_ntt(&mut msg);
+        assert_backend_invariant(|| {
+            let lazy = compact.expand(&ctx).expect("lazy hint expansion");
+            assert!(lazy.verify_integrity(), "regenerated hint digest must match");
+            let from_eager = ctx.try_keyswitch(&msg, &eager).expect("eager keyswitch");
+            let from_lazy = ctx.try_keyswitch(&msg, &lazy).expect("lazy keyswitch");
+            assert_eq!(
+                from_eager, from_lazy,
+                "lazy hint must keyswitch identically to the eager key"
+            );
+            from_eager
+        });
+    }
+}
+
+/// Mid-pipeline hint-cache eviction and re-expansion is invisible to the
+/// computation: the BSGS transform through a 1-byte hint cache (a hint is
+/// evicted and lazily regenerated at nearly every fetch) matches the
+/// roomy-cache run bit-for-bit on every backend and thread count.
+#[test]
+fn hint_cache_thrash_backend_invariant() {
+    use std::sync::Arc;
+
+    use cl_ckks::HintCache;
+
+    let diag_idx: Vec<i64> = vec![0, 1, 3, 9];
+    let level = 3usize;
+    let run_with_capacity = |capacity: usize| {
+        let ctx = hoist_ctx();
+        let m = ctx.params().slots();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x1A2B);
+        let sk = ctx.keygen(&mut rng);
+        let diags: Vec<(i64, Vec<Complex>)> = diag_idx
+            .iter()
+            .map(|&d| {
+                let v: Vec<Complex> = (0..m)
+                    .map(|_| Complex::new(rng.gen_range(-0.5..0.5), rng.gen_range(-0.5..0.5)))
+                    .collect();
+                (d, v)
+            })
+            .collect();
+        let pre = PrecomputedTransform::new(&ctx, &diags, level);
+        let cache = Arc::new(HintCache::new(capacity));
+        let keys = BootstrapKeys::generate(
+            &ctx,
+            &sk,
+            KeySwitchKind::Boosted { digits: 1 },
+            &pre.required_steps(),
+            &mut rng,
+        )
+        .with_cache(Arc::clone(&cache));
+        let vals: Vec<Complex> = (0..m)
+            .map(|_| Complex::new(rng.gen_range(-0.5..0.5), rng.gen_range(-0.5..0.5)))
+            .collect();
+        let pt = ctx.encode_complex(&vals, ctx.default_scale(), level);
+        let ct = ctx.encrypt(&pt, &sk, &mut rng);
+        let out = try_bsgs_transform(&ctx, &ct, &pre, &keys).expect("bsgs transform");
+        (out, cache.stats())
+    };
+    assert_backend_invariant(|| {
+        let (roomy, roomy_stats) = run_with_capacity(usize::MAX);
+        let (tight, tight_stats) = run_with_capacity(1);
+        assert_eq!(roomy_stats.evictions, 0, "roomy cache must never evict");
+        assert!(tight_stats.evictions > 0, "tight cache must evict mid-pipeline");
+        assert_eq!(
+            roomy.c0(),
+            tight.c0(),
+            "eviction + re-expansion must be bit-invisible"
+        );
+        assert_eq!(roomy.c1(), tight.c1());
+        (roomy.c0().clone(), roomy.c1().clone())
     });
 }
 

@@ -146,7 +146,7 @@ fn chaos_multi_tenant_isolation_and_bit_exactness() {
         executor_retries: 6,
         tenant_retry_budget: 24,
         max_job_retries: 4,
-        key_cache_capacity: 2,
+        key_cache_bytes: 1 << 20,
         default_deadline: None,
         backoff_base_ms: 0,
     })
