@@ -145,6 +145,26 @@ pub enum FheError {
         /// The component that observed the cancellation.
         op: &'static str,
     },
+    /// A supervisor marked the job stalled: its heartbeat went stale past
+    /// the stall budget (a hung worker, a wedged I/O path). The run aborts
+    /// at the next micro-op boundary; the job is retryable from its last
+    /// durable checkpoint.
+    Stalled {
+        /// The component that observed the stall mark.
+        op: &'static str,
+        /// How long the heartbeat had been stale when the watchdog fired,
+        /// in milliseconds.
+        stalled_ms: u64,
+    },
+    /// The tenant's circuit breaker is open: repeated integrity failures
+    /// or panics quarantined the tenant, and admission rejects new work
+    /// until the breaker half-opens for a probe.
+    TenantQuarantined {
+        /// The admitting component that rejected the submission.
+        op: &'static str,
+        /// Suggested client backoff before resubmitting, in milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl fmt::Display for FheError {
@@ -210,6 +230,14 @@ impl fmt::Display for FheError {
                 "{op}: deadline exceeded ({elapsed_ms} ms elapsed, deadline {deadline_ms} ms)"
             ),
             FheError::Cancelled { op } => write!(f, "{op}: cancelled"),
+            FheError::Stalled { op, stalled_ms } => write!(
+                f,
+                "{op}: stalled (heartbeat stale for {stalled_ms} ms, watchdog aborted the run)"
+            ),
+            FheError::TenantQuarantined { op, retry_after_ms } => write!(
+                f,
+                "{op}: tenant quarantined by circuit breaker (retry after {retry_after_ms} ms)"
+            ),
         }
     }
 }
@@ -388,6 +416,20 @@ mod tests {
             (
                 FheError::Cancelled { op: "pipeline" },
                 "cancelled",
+            ),
+            (
+                FheError::Stalled {
+                    op: "pipeline",
+                    stalled_ms: 750,
+                },
+                "stalled",
+            ),
+            (
+                FheError::TenantQuarantined {
+                    op: "submit",
+                    retry_after_ms: 200,
+                },
+                "quarantined",
             ),
         ];
         for (err, component) in cases {

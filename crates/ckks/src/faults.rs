@@ -20,7 +20,7 @@
 //! The module is compiled only for tests and under the `faults` cargo
 //! feature; production builds carry none of this code.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::{Ciphertext, KeySwitchKey};
 
@@ -92,6 +92,13 @@ pub enum FaultAction {
     /// A kill point fired: the process "crashes" between ops. The caller
     /// must abandon in-memory state and resume from durable checkpoints.
     Kill,
+    /// A stall point fired: the op slept past any reasonable budget (a
+    /// hung worker, a wedged I/O path). A supervising watchdog should have
+    /// observed the stale heartbeat while the sleep ran.
+    Stalled {
+        /// How long the injected hang slept, in milliseconds.
+        slept_ms: u64,
+    },
 }
 
 /// A seeded probabilistic fault injector.
@@ -107,9 +114,11 @@ pub struct FaultPlan {
     state: u64,
     flip_rate: f64,
     kill_points: BTreeSet<u64>,
+    stall_points: BTreeMap<u64, u64>,
     ops_seen: u64,
     injected: u64,
     kills: u64,
+    stalls: u64,
 }
 
 impl FaultPlan {
@@ -129,9 +138,11 @@ impl FaultPlan {
             state: seed,
             flip_rate,
             kill_points: BTreeSet::new(),
+            stall_points: BTreeMap::new(),
             ops_seen: 0,
             injected: 0,
             kills: 0,
+            stalls: 0,
         }
     }
 
@@ -141,6 +152,16 @@ impl FaultPlan {
     #[must_use]
     pub fn with_kill_point(mut self, op: u64) -> Self {
         self.kill_points.insert(op);
+        self
+    }
+
+    /// Adds a stall point: the `op`-th consultation (0-based, counting
+    /// every retry) sleeps for `millis` before returning — a hung worker
+    /// whose heartbeat goes stale while the sleep runs. Each stall point
+    /// fires once.
+    #[must_use]
+    pub fn with_stall_point(mut self, op: u64, millis: u64) -> Self {
+        self.stall_points.insert(op, millis);
         self
     }
 
@@ -161,6 +182,11 @@ impl FaultPlan {
         if self.kill_points.remove(&op) {
             self.kills += 1;
             return FaultAction::Kill;
+        }
+        if let Some(millis) = self.stall_points.remove(&op) {
+            self.stalls += 1;
+            std::thread::sleep(std::time::Duration::from_millis(millis));
+            return FaultAction::Stalled { slept_ms: millis };
         }
         let draw = self.next_u64() as f64 / (u64::MAX as f64 + 1.0);
         if draw >= self.flip_rate {
@@ -193,6 +219,16 @@ impl FaultPlan {
     /// Kill points that have not fired yet.
     pub fn pending_kills(&self) -> usize {
         self.kill_points.len()
+    }
+
+    /// Number of stall points fired so far.
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+
+    /// Stall points that have not fired yet.
+    pub fn pending_stalls(&self) -> usize {
+        self.stall_points.len()
     }
 }
 

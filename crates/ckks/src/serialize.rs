@@ -63,6 +63,8 @@ pub enum ObjectTag {
     Checkpoint = 5,
     /// A declared pipeline program (cl-runtime).
     Program = 6,
+    /// A write-ahead job journal (cl-server).
+    Journal = 7,
 }
 
 impl ObjectTag {
@@ -75,6 +77,7 @@ impl ObjectTag {
             4 => Some(ObjectTag::BootstrapKeys),
             5 => Some(ObjectTag::Checkpoint),
             6 => Some(ObjectTag::Program),
+            7 => Some(ObjectTag::Journal),
             _ => None,
         }
     }

@@ -389,6 +389,30 @@ impl CheckpointStore {
     }
 }
 
+/// Removes a checkpoint directory left behind by a finished or dead job:
+/// slot files, tmp debris, lock file, and the directory itself. Returns
+/// `true` when the directory is gone afterwards (including "was never
+/// there").
+///
+/// Refuses (returns `false`) when the directory's owner lock is held by a
+/// *live* process — this one included: a [`CheckpointStore`] in this
+/// process still owns the slot files, and its `Drop` must release the
+/// lock before the directory can be reclaimed. Sweeping under a live
+/// writer would tear its rotation out from underneath it.
+pub fn sweep_checkpoint_dir(dir: &Path) -> bool {
+    if !dir.exists() {
+        return true;
+    }
+    if let Ok(holder) = fs::read_to_string(dir.join("ckpt.lock")) {
+        if let Ok(pid) = holder.trim().parse::<u32>() {
+            if pid == std::process::id() || pid_alive(pid) {
+                return false;
+            }
+        }
+    }
+    fs::remove_dir_all(dir).is_ok()
+}
+
 impl Drop for CheckpointStore {
     /// Joins any in-flight background write (the lock must not be released
     /// while a writer still owns the slot files), then releases the
@@ -527,6 +551,23 @@ mod tests {
         assert_eq!(rejects, 0);
         assert_eq!(latest.unwrap().pc, 9);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_respects_live_owners_and_reclaims_dead_dirs() {
+        let dir = tmpdir("sweep");
+        // Never-existed directory: trivially swept.
+        assert!(sweep_checkpoint_dir(&dir));
+        // Live owner in this process: refused until the store drops.
+        let store = CheckpointStore::open(&dir).unwrap();
+        assert!(!sweep_checkpoint_dir(&dir), "live lock must refuse sweep");
+        assert!(dir.exists());
+        drop(store);
+        // Simulate a dead owner's leftovers: stale lock + slot debris.
+        fs::write(dir.join("ckpt.lock"), format!("{}", u32::MAX)).unwrap();
+        fs::write(dir.join("ckpt_a.bin"), b"leftover slot").unwrap();
+        assert!(sweep_checkpoint_dir(&dir));
+        assert!(!dir.exists(), "swept directory must be gone");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! checkpoints, and restore-and-retry recovery with a bounded budget.
 
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -42,26 +42,50 @@ impl Default for ExecutorConfig {
 }
 
 /// A shared handle controlling one job's execution from outside: cancel it,
-/// or bound its wall time with a deadline. The executor consults the
+/// bound its wall time with a deadline, or (for a supervising watchdog)
+/// observe its heartbeat and mark it stalled. The executor consults the
 /// control at every micro-op boundary, so an abort lands within one op of
 /// the request and never mid-kernel.
 ///
-/// Cancellation and deadline expiry are *not* faults: they bypass the
-/// restore-and-retry machinery and surface immediately as
-/// [`FheError::Cancelled`] / [`FheError::DeadlineExceeded`]. Cloning shares
-/// the same underlying state (a queue can hold one clone, the executor
-/// another).
+/// Cancellation, deadline expiry, and stall marks are *not* faults: they
+/// bypass the restore-and-retry machinery and surface immediately as
+/// [`FheError::Cancelled`] / [`FheError::DeadlineExceeded`] /
+/// [`FheError::Stalled`]. Cloning shares the same underlying state (a
+/// queue can hold one clone, the executor another, a watchdog a third).
 #[derive(Debug, Clone, Default)]
 pub struct RunControl {
     inner: Arc<ControlState>,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct ControlState {
     cancelled: AtomicBool,
     /// `(armed_at, budget)` — fixed when the control is created, so the
     /// deadline clock includes time spent queued, not just executing.
     deadline: Option<(Instant, Duration)>,
+    /// Epoch for the heartbeat clock (control creation time).
+    epoch: Instant,
+    /// Milliseconds since `epoch` at the last [`RunControl::check`] — the
+    /// liveness signal a watchdog compares against its stall budget.
+    heartbeat_ms: AtomicU64,
+    /// Set by a watchdog; the next boundary check aborts with
+    /// [`FheError::Stalled`].
+    stalled: AtomicBool,
+    /// How stale the heartbeat was when the watchdog fired, for the error.
+    stalled_for_ms: AtomicU64,
+}
+
+impl Default for ControlState {
+    fn default() -> Self {
+        Self {
+            cancelled: AtomicBool::new(false),
+            deadline: None,
+            epoch: Instant::now(),
+            heartbeat_ms: AtomicU64::new(0),
+            stalled: AtomicBool::new(false),
+            stalled_for_ms: AtomicU64::new(0),
+        }
+    }
 }
 
 impl RunControl {
@@ -74,8 +98,8 @@ impl RunControl {
     pub fn with_deadline(budget: Duration) -> Self {
         Self {
             inner: Arc::new(ControlState {
-                cancelled: AtomicBool::new(false),
                 deadline: Some((Instant::now(), budget)),
+                ..ControlState::default()
             }),
         }
     }
@@ -97,16 +121,72 @@ impl RunControl {
             .is_some_and(|(armed, budget)| armed.elapsed() > budget)
     }
 
-    /// The abort check the executor runs at every micro-op boundary.
+    /// Records a liveness beat *now*. [`RunControl::check`] beats
+    /// implicitly; long-running callers without a control loop can beat
+    /// explicitly.
+    pub fn beat(&self) {
+        let now_ms = self.inner.epoch.elapsed().as_millis() as u64;
+        self.inner.heartbeat_ms.store(now_ms, Ordering::Release);
+    }
+
+    /// Milliseconds since the last heartbeat — the staleness a watchdog
+    /// compares against its stall budget. A control that never beat reads
+    /// as stale since its creation, so a job wedged before its first
+    /// micro-op is still caught.
+    pub fn millis_since_heartbeat(&self) -> u64 {
+        let now_ms = self.inner.epoch.elapsed().as_millis() as u64;
+        now_ms.saturating_sub(self.inner.heartbeat_ms.load(Ordering::Acquire))
+    }
+
+    /// Marks the run stalled (watchdog verdict): the next micro-op
+    /// boundary aborts with [`FheError::Stalled`]. Returns `true` only for
+    /// the marking that actually flipped the flag, so a periodic
+    /// supervisor counts each stall exactly once. Cooperative by design —
+    /// a genuinely wedged kernel is only *observed* here; the abort lands
+    /// when the run next reaches a boundary.
+    pub fn mark_stalled(&self, stale_ms: u64) -> bool {
+        let newly = self
+            .inner
+            .stalled
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok();
+        if newly {
+            self.inner.stalled_for_ms.store(stale_ms, Ordering::Release);
+        }
+        newly
+    }
+
+    /// Whether a watchdog has marked this run stalled.
+    pub fn is_stalled(&self) -> bool {
+        self.inner.stalled.load(Ordering::Acquire)
+    }
+
+    /// Clears a stall mark (and freshens the heartbeat) before a retry
+    /// attempt resumes from the last durable checkpoint.
+    pub fn clear_stall(&self) {
+        self.inner.stalled.store(false, Ordering::Release);
+        self.beat();
+    }
+
+    /// The abort check the executor runs at every micro-op boundary. Also
+    /// freshens the heartbeat: reaching a boundary *is* the liveness
+    /// signal.
     ///
     /// # Errors
     ///
     /// [`FheError::Cancelled`] after [`RunControl::cancel`];
     /// [`FheError::DeadlineExceeded`] once the wall clock passes the
-    /// deadline.
+    /// deadline; [`FheError::Stalled`] after [`RunControl::mark_stalled`].
     pub fn check(&self, op: &'static str) -> FheResult<()> {
+        self.beat();
         if self.is_cancelled() {
             return Err(FheError::Cancelled { op });
+        }
+        if self.is_stalled() {
+            return Err(FheError::Stalled {
+                op,
+                stalled_ms: self.inner.stalled_for_ms.load(Ordering::Acquire),
+            });
         }
         if let Some((armed, budget)) = self.inner.deadline {
             let elapsed = armed.elapsed();
@@ -442,10 +522,13 @@ impl<'a> PipelineExecutor<'a> {
                 }
                 Err(fault) => {
                     // Abort verdicts escaping through an op are terminal,
-                    // never retried.
+                    // never retried locally (a stall mark persists until
+                    // the *owner* clears it, so retrying here would spin).
                     if matches!(
                         fault,
-                        FheError::Cancelled { .. } | FheError::DeadlineExceeded { .. }
+                        FheError::Cancelled { .. }
+                            | FheError::DeadlineExceeded { .. }
+                            | FheError::Stalled { .. }
                     ) {
                         return Err(fault);
                     }

@@ -37,7 +37,7 @@ mod checkpoint;
 mod executor;
 mod program;
 
-pub use checkpoint::{Checkpoint, CheckpointStore, WorkState};
+pub use checkpoint::{sweep_checkpoint_dir, Checkpoint, CheckpointStore, WorkState};
 pub use executor::{
     ExecutorConfig, PipelineExecutor, RecoveryTelemetry, RunControl, RunOutcome,
 };

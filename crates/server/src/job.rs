@@ -8,13 +8,78 @@
 //! future error variants collapse to [`OutcomeCode::Internal`] rather
 //! than being renumbered.
 
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
+use cl_ckks::serialize::fnv1a_fast;
 use cl_ckks::FheError;
 use cl_runtime::RecoveryTelemetry;
 
 #[cfg(feature = "faults")]
 use cl_ckks::faults::FaultPlan;
+
+/// An immutable, reference-counted payload blob with a lazily computed,
+/// shared content digest.
+///
+/// Jobs from one tenant typically carry the *identical* key (and often
+/// program) blob, and those blobs are megabytes at serving shapes. Sharing
+/// the allocation makes per-job submission O(1) in blob size instead of a
+/// full memcpy, and caching the `fnv1a_fast` digest across clones lets the
+/// per-tenant key cache and the write-ahead journal key their dedup maps
+/// without re-hashing the same megabytes on every job.
+#[derive(Debug, Clone)]
+pub struct Blob {
+    data: Arc<[u8]>,
+    digest: Arc<OnceLock<u64>>,
+}
+
+impl Blob {
+    /// Wraps `data` in a shared blob with an unset digest.
+    pub fn new(data: impl Into<Arc<[u8]>>) -> Self {
+        Self {
+            data: data.into(),
+            digest: Arc::new(OnceLock::new()),
+        }
+    }
+
+    /// Wraps `data` with a digest already known to be `fnv1a_fast(data)`
+    /// — journal replay knows every blob's digest (the records are keyed
+    /// by it), so recovery never re-hashes.
+    pub fn with_digest(data: impl Into<Arc<[u8]>>, digest: u64) -> Self {
+        let lock = OnceLock::new();
+        let _ = lock.set(digest);
+        Self {
+            data: data.into(),
+            digest: Arc::new(lock),
+        }
+    }
+
+    /// The `fnv1a_fast` content digest, computed on first use and shared
+    /// by every clone of this blob.
+    pub fn digest(&self) -> u64 {
+        *self.digest.get_or_init(|| fnv1a_fast(&self.data))
+    }
+}
+
+impl std::ops::Deref for Blob {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Blob {
+    fn from(data: Vec<u8>) -> Self {
+        Self::new(data)
+    }
+}
+
+impl From<&[u8]> for Blob {
+    fn from(data: &[u8]) -> Self {
+        Self::new(data)
+    }
+}
 
 /// Server-assigned identifier for one submitted job, unique for the
 /// lifetime of a [`crate::JobServer`] and monotonically increasing in
@@ -39,13 +104,14 @@ pub struct JobSpec {
     pub tenant: String,
     /// Serialized program (see `Program::serialize`), written under the
     /// tenant's params fingerprint.
-    pub program_blob: Vec<u8>,
+    pub program_blob: Blob,
     /// Serialized input ciphertext in the tenant's parameter set.
-    pub input_blob: Vec<u8>,
+    pub input_blob: Blob,
     /// Serialized `BootstrapKeys` bundle. Jobs from one tenant typically
-    /// share the identical blob; the per-tenant LRU key cache
+    /// share the identical blob; submitting clones of one [`Blob`] shares
+    /// the allocation and digest, and the per-tenant LRU key cache
     /// deserializes it once and reuses the parsed bundle by digest.
-    pub key_blob: Vec<u8>,
+    pub key_blob: Blob,
     /// Wall-clock budget measured from *admission* (queue wait counts).
     /// `None` uses the server's default; `Some(Duration::ZERO)` is legal
     /// and expires immediately.
@@ -58,13 +124,20 @@ pub struct JobSpec {
 }
 
 impl JobSpec {
-    /// A job with no deadline override and no fault plan.
-    pub fn new(tenant: &str, program_blob: Vec<u8>, input_blob: Vec<u8>, key_blob: Vec<u8>) -> Self {
+    /// A job with no deadline override and no fault plan. Accepts owned
+    /// `Vec<u8>` blobs or pre-shared [`Blob`]s; pass clones of one `Blob`
+    /// when many jobs carry the same payload.
+    pub fn new(
+        tenant: &str,
+        program_blob: impl Into<Blob>,
+        input_blob: impl Into<Blob>,
+        key_blob: impl Into<Blob>,
+    ) -> Self {
         Self {
             tenant: tenant.to_string(),
-            program_blob,
-            input_blob,
-            key_blob,
+            program_blob: program_blob.into(),
+            input_blob: input_blob.into(),
+            key_blob: key_blob.into(),
             deadline: None,
             #[cfg(feature = "faults")]
             fault_plan: None,
@@ -105,6 +178,13 @@ pub enum OutcomeCode {
     Unsupported = 9,
     /// The tenant's retry budget ran out before the job converged.
     RetryBudgetExhausted = 10,
+    /// The watchdog declared the run stalled (heartbeat stale past the
+    /// stall budget) and aborted it for re-dispatch.
+    Stalled = 11,
+    /// Admission refused by the tenant's circuit breaker: the tenant's
+    /// recent jobs kept failing with breaker-class outcomes, so new work
+    /// is quarantined until a half-open probe succeeds.
+    TenantQuarantined = 12,
     /// Any error the server cannot classify (future `FheError` variants;
     /// the enum is `#[non_exhaustive]`).
     Internal = 99,
@@ -125,6 +205,8 @@ impl OutcomeCode {
             | FheError::ScaleMismatch { .. } => OutcomeCode::GuardrailRejected,
             FheError::MissingKey { .. } => OutcomeCode::MissingKey,
             FheError::InvalidParams { .. } => OutcomeCode::Unsupported,
+            FheError::Stalled { .. } => OutcomeCode::Stalled,
+            FheError::TenantQuarantined { .. } => OutcomeCode::TenantQuarantined,
             // `FheError` is non_exhaustive: new variants classify as
             // Internal until given a code of their own.
             _ => OutcomeCode::Internal,
@@ -134,14 +216,39 @@ impl OutcomeCode {
     /// Whether a failure with this code is worth a server-level retry
     /// (restore-and-resume on a fresh executor). Deterministic rejections
     /// — malformed input, wrong params, guardrail verdicts on clean data,
-    /// cancellation — would fail identically again.
+    /// cancellation — would fail identically again. A stall is transient
+    /// by definition (the watchdog aborted a run that stopped making
+    /// progress), so it earns a retry from the last durable checkpoint.
     pub fn retryable(self) -> bool {
-        matches!(self, OutcomeCode::IntegrityFailure)
+        matches!(self, OutcomeCode::IntegrityFailure | OutcomeCode::Stalled)
     }
 
     /// The stable numeric value (`u16`) of this code.
     pub fn as_u16(self) -> u16 {
         self as u16
+    }
+
+    /// Inverse of [`OutcomeCode::as_u16`], for reconstructing outcomes
+    /// from journal replay. Unknown values (a journal written by a newer
+    /// server) return `None` rather than guessing.
+    pub fn from_u16(v: u16) -> Option<Self> {
+        match v {
+            0 => Some(OutcomeCode::Ok),
+            1 => Some(OutcomeCode::Overloaded),
+            2 => Some(OutcomeCode::DeadlineExceeded),
+            3 => Some(OutcomeCode::Cancelled),
+            4 => Some(OutcomeCode::Malformed),
+            5 => Some(OutcomeCode::IntegrityFailure),
+            6 => Some(OutcomeCode::ParamsMismatch),
+            7 => Some(OutcomeCode::GuardrailRejected),
+            8 => Some(OutcomeCode::MissingKey),
+            9 => Some(OutcomeCode::Unsupported),
+            10 => Some(OutcomeCode::RetryBudgetExhausted),
+            11 => Some(OutcomeCode::Stalled),
+            12 => Some(OutcomeCode::TenantQuarantined),
+            99 => Some(OutcomeCode::Internal),
+            _ => None,
+        }
     }
 }
 
@@ -235,6 +342,14 @@ mod tests {
                 FheError::InvalidParams { op: "t", reason: "x".into() },
                 OutcomeCode::Unsupported,
             ),
+            (
+                FheError::Stalled { op: "t", stalled_ms: 750 },
+                OutcomeCode::Stalled,
+            ),
+            (
+                FheError::TenantQuarantined { op: "t", retry_after_ms: 200 },
+                OutcomeCode::TenantQuarantined,
+            ),
         ];
         for (err, want) in cases {
             assert_eq!(OutcomeCode::from_error(&err), want, "for {err}");
@@ -254,11 +369,38 @@ mod tests {
         assert_eq!(OutcomeCode::MissingKey.as_u16(), 8);
         assert_eq!(OutcomeCode::Unsupported.as_u16(), 9);
         assert_eq!(OutcomeCode::RetryBudgetExhausted.as_u16(), 10);
+        assert_eq!(OutcomeCode::Stalled.as_u16(), 11);
+        assert_eq!(OutcomeCode::TenantQuarantined.as_u16(), 12);
         assert_eq!(OutcomeCode::Internal.as_u16(), 99);
     }
 
     #[test]
-    fn only_integrity_failures_earn_a_retry() {
+    fn from_u16_round_trips_every_code() {
+        let all = [
+            OutcomeCode::Ok,
+            OutcomeCode::Overloaded,
+            OutcomeCode::DeadlineExceeded,
+            OutcomeCode::Cancelled,
+            OutcomeCode::Malformed,
+            OutcomeCode::IntegrityFailure,
+            OutcomeCode::ParamsMismatch,
+            OutcomeCode::GuardrailRejected,
+            OutcomeCode::MissingKey,
+            OutcomeCode::Unsupported,
+            OutcomeCode::RetryBudgetExhausted,
+            OutcomeCode::Stalled,
+            OutcomeCode::TenantQuarantined,
+            OutcomeCode::Internal,
+        ];
+        for code in all {
+            assert_eq!(OutcomeCode::from_u16(code.as_u16()), Some(code));
+        }
+        assert_eq!(OutcomeCode::from_u16(13), None);
+        assert_eq!(OutcomeCode::from_u16(u16::MAX), None);
+    }
+
+    #[test]
+    fn only_transient_failures_earn_a_retry() {
         for code in [
             OutcomeCode::Overloaded,
             OutcomeCode::DeadlineExceeded,
@@ -268,10 +410,12 @@ mod tests {
             OutcomeCode::GuardrailRejected,
             OutcomeCode::MissingKey,
             OutcomeCode::Unsupported,
+            OutcomeCode::TenantQuarantined,
             OutcomeCode::Internal,
         ] {
             assert!(!code.retryable(), "{code:?} must not retry");
         }
         assert!(OutcomeCode::IntegrityFailure.retryable());
+        assert!(OutcomeCode::Stalled.retryable());
     }
 }

@@ -1,0 +1,946 @@
+//! Write-ahead job journal: crash-durable job lifecycle records.
+//!
+//! The server appends one integrity-checked record per job lifecycle
+//! transition (admitted, dispatched, completed, failed) to an append-only
+//! file, so a process that dies mid-flight can be restarted and replay
+//! exactly which jobs were acknowledged but never finished. The file
+//! reuses the `CLFH` wire-format machinery from [`cl_ckks::serialize`]: a
+//! 16-byte `CLFH` header tags the file ([`ObjectTag::Journal`]), and every
+//! record is framed as
+//!
+//! ```text
+//! "CLJR" (4) | body_len u32 | body | fnv1a_fast(body) u64
+//! ```
+//!
+//! Torn or flipped records are tolerated, not fatal: replay re-syncs by
+//! scanning forward for the next `CLJR` marker, so a single damaged record
+//! costs only itself. Job input/program/key blobs are journaled once each
+//! as digest-keyed `Blob` records and referenced by digest from `Admitted`
+//! records, keeping steady-state append cost to a few dozen bytes per
+//! transition. Completed entries are compacted away on a configurable
+//! cadence by rewriting live records into the next generation file
+//! (`journal-<gen>.wal`, tmp + fsync + rename), bounding journal growth
+//! for long-lived servers.
+
+use std::collections::{HashMap, HashSet};
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use cl_ckks::serialize::{
+    fnv1a_fast, peek_header, put_u16, put_u32, put_u64, put_u8, write_header, ObjectTag,
+};
+use cl_ckks::{FheError, FheResult};
+
+/// Per-record frame marker; distinct from the file-level `CLFH` magic so a
+/// resync scan cannot mistake the file header for a record.
+const REC_MAGIC: [u8; 4] = *b"CLJR";
+/// Frame overhead: marker + body length + checksum trailer.
+const FRAME_BYTES: usize = 4 + 4 + 8;
+/// Hostile-length cap on a single record body (same spirit as
+/// `cl_runtime::MAX_PROGRAM_OPS`): a flipped length field must not drive a
+/// multi-gigabyte allocation during replay.
+const MAX_RECORD_BYTES: u32 = 1 << 26;
+/// Failure detail strings are truncated to this many bytes on append.
+const MAX_DETAIL_BYTES: usize = 512;
+
+/// When appended records are flushed to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every append: no acknowledged record is ever lost,
+    /// at the cost of one disk round-trip per transition.
+    Always,
+    /// `fsync` every N appends (and on shutdown/compaction). The default,
+    /// `Batch(32)`: a crash loses at most the last N-1 transitions.
+    Batch(u32),
+    /// Never `fsync` explicitly; durability is whatever the OS page cache
+    /// provides. For benchmarks and tests.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Reads the policy from `CL_JOURNAL_FSYNC` (`always`, `never`, or a
+    /// batch size), defaulting to `Batch(32)`.
+    pub fn from_env() -> Self {
+        match std::env::var("CL_JOURNAL_FSYNC") {
+            Ok(v) if v.eq_ignore_ascii_case("always") => FsyncPolicy::Always,
+            Ok(v) if v.eq_ignore_ascii_case("never") => FsyncPolicy::Never,
+            Ok(v) => v
+                .parse::<u32>()
+                .ok()
+                .filter(|&n| n > 0)
+                .map_or(FsyncPolicy::Batch(32), FsyncPolicy::Batch),
+            Err(_) => FsyncPolicy::Batch(32),
+        }
+    }
+}
+
+/// Record kinds (the first byte of every record body after the sequence
+/// number). Stable on-disk contract: append-only, never renumber.
+const KIND_ADMITTED: u8 = 0;
+const KIND_DISPATCHED: u8 = 1;
+const KIND_COMPLETED: u8 = 2;
+const KIND_FAILED: u8 = 3;
+const KIND_BLOB: u8 = 4;
+
+/// One job reconstructed from replay, merged across its lifecycle records.
+#[derive(Debug, Clone)]
+pub struct ReplayedJob {
+    /// Original job id (recovered jobs keep their pre-crash identity).
+    pub id: u64,
+    /// Owning tenant id, empty until the `Admitted` record is seen.
+    pub tenant: String,
+    /// Deadline budget in milliseconds (`None` = no deadline).
+    pub deadline_ms: Option<u64>,
+    /// `fnv1a_fast` digest of the serialized program blob.
+    pub program_digest: u64,
+    /// `fnv1a_fast` digest of the serialized input ciphertext blob.
+    pub input_digest: u64,
+    /// `fnv1a_fast` digest of the serialized key bundle blob.
+    pub key_digest: u64,
+    /// Whether the job was seen admitted (an `Admitted` record survived).
+    pub admitted: bool,
+    /// Whether a worker picked the job up before the crash.
+    pub dispatched: bool,
+    /// Terminal outcome, when the job finished before the crash.
+    pub outcome: Option<ReplayedOutcome>,
+}
+
+/// Terminal outcome reconstructed from a `Completed`/`Failed` record.
+#[derive(Debug, Clone)]
+pub struct ReplayedOutcome {
+    /// Stable [`crate::OutcomeCode`] discriminant (`0` = ok).
+    pub code: u16,
+    /// Truncated failure detail (empty for completions).
+    pub detail: String,
+    /// Serialized output ciphertext for completed jobs.
+    pub output: Option<Vec<u8>>,
+}
+
+/// Everything recovered from one journal file.
+#[derive(Debug, Default)]
+pub struct JournalReplay {
+    /// Jobs merged by id, in first-seen order.
+    pub jobs: Vec<ReplayedJob>,
+    /// Deduplicated blobs keyed by `fnv1a_fast` digest.
+    pub blobs: HashMap<u64, Vec<u8>>,
+    /// Records accepted (checksum verified).
+    pub records_replayed: u64,
+    /// Records skipped: torn tails, flipped bytes, bad lengths.
+    pub records_skipped: u64,
+}
+
+impl JournalReplay {
+    /// Highest job id seen, for re-seeding the server's id counter.
+    pub fn max_job_id(&self) -> Option<u64> {
+        self.jobs.iter().map(|j| j.id).max()
+    }
+}
+
+/// Append-only write-ahead journal for job lifecycle transitions.
+pub struct Journal {
+    dir: PathBuf,
+    gen: u64,
+    file: File,
+    path: PathBuf,
+    fsync: FsyncPolicy,
+    unsynced: u32,
+    seq: u64,
+    /// Blob digests already present in the current generation file.
+    written_blobs: HashSet<u64>,
+    /// Live (admitted, not finished) jobs in the current generation; used
+    /// to decide what survives compaction.
+    live: HashMap<u64, ReplayedJob>,
+    done_since_compact: u64,
+    compact_threshold: u64,
+    compactions: u64,
+}
+
+impl Journal {
+    /// Opens the journal in `dir` (created if missing), replaying the
+    /// newest generation file. Returns the journal (positioned for
+    /// appending) plus everything replayed. Damaged records are skipped
+    /// and counted, never fatal; a file with a damaged `CLFH` header is
+    /// abandoned entirely (counted as one skipped record) and a fresh
+    /// generation is started.
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::Serialization`] when the directory or journal file
+    /// cannot be created or written.
+    pub fn open(
+        dir: &Path,
+        fsync: FsyncPolicy,
+        compact_threshold: u64,
+    ) -> FheResult<(Self, JournalReplay)> {
+        fs::create_dir_all(dir).map_err(|e| io_err("journal_open", &e.to_string()))?;
+        let newest = newest_generation(dir);
+        let mut replay = JournalReplay::default();
+        let (gen, path) = match newest {
+            Some((gen, path)) => {
+                let bytes =
+                    fs::read(&path).map_err(|e| io_err("journal_open", &e.to_string()))?;
+                replay_bytes(&bytes, &mut replay);
+                (gen, path)
+            }
+            None => {
+                let gen = 0;
+                let path = gen_path(dir, gen);
+                write_file_header(&path)?;
+                (gen, path)
+            }
+        };
+        cl_trace::record_journal_replay(replay.records_replayed, replay.records_skipped);
+        let file = OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .map_err(|e| io_err("journal_open", &e.to_string()))?;
+        let live = replay
+            .jobs
+            .iter()
+            .filter(|j| j.outcome.is_none())
+            .map(|j| (j.id, j.clone()))
+            .collect();
+        let journal = Self {
+            dir: dir.to_path_buf(),
+            gen,
+            file,
+            path,
+            fsync,
+            unsynced: 0,
+            seq: replay.records_replayed,
+            written_blobs: replay.blobs.keys().copied().collect(),
+            live,
+            done_since_compact: 0,
+            compact_threshold,
+            compactions: 0,
+        };
+        Ok((journal, replay))
+    }
+
+    /// Journals `blob` as a digest-keyed `Blob` record unless this
+    /// generation already holds it, and returns the digest for the
+    /// `Admitted` record to reference. Deduplication keeps steady-state
+    /// append cost independent of blob size: a tenant's jobs typically
+    /// share the identical key bundle (and often program), which is
+    /// journaled once.
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::Serialization`] on write failure.
+    pub fn append_blob(&mut self, blob: &[u8]) -> FheResult<u64> {
+        self.append_blob_with_digest(blob, fnv1a_fast(blob))
+    }
+
+    /// [`Journal::append_blob`] with the `fnv1a_fast(blob)` digest already
+    /// in hand (e.g. cached on a [`crate::Blob`]), so deduplicated repeat
+    /// submissions skip re-hashing the payload entirely.
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::Serialization`] on write failure.
+    pub fn append_blob_with_digest(&mut self, blob: &[u8], digest: u64) -> FheResult<u64> {
+        if self.written_blobs.insert(digest) {
+            let mut body = Vec::with_capacity(21 + blob.len());
+            self.body_prefix(&mut body, KIND_BLOB);
+            put_u64(&mut body, digest);
+            put_u32(&mut body, blob.len() as u32);
+            body.extend_from_slice(blob);
+            self.append_record(&body)?;
+        }
+        Ok(digest)
+    }
+
+    /// Journals a job admission referencing blobs previously written with
+    /// [`Journal::append_blob`].
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::Serialization`] on write failure.
+    pub fn append_admitted(
+        &mut self,
+        id: u64,
+        tenant: &str,
+        deadline_ms: Option<u64>,
+        program_digest: u64,
+        input_digest: u64,
+        key_digest: u64,
+    ) -> FheResult<()> {
+        let mut body = Vec::with_capacity(64 + tenant.len());
+        self.body_prefix(&mut body, KIND_ADMITTED);
+        put_u64(&mut body, id);
+        put_u64(&mut body, deadline_ms.unwrap_or(u64::MAX));
+        put_u64(&mut body, program_digest);
+        put_u64(&mut body, input_digest);
+        put_u64(&mut body, key_digest);
+        put_u16(&mut body, tenant.len() as u16);
+        body.extend_from_slice(tenant.as_bytes());
+        self.append_record(&body)?;
+        self.live.insert(
+            id,
+            ReplayedJob {
+                id,
+                tenant: tenant.to_string(),
+                deadline_ms,
+                program_digest,
+                input_digest,
+                key_digest,
+                admitted: true,
+                dispatched: false,
+                outcome: None,
+            },
+        );
+        Ok(())
+    }
+
+    /// Journals a worker picking the job up.
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::Serialization`] on write failure.
+    pub fn append_dispatched(&mut self, id: u64) -> FheResult<()> {
+        let mut body = Vec::with_capacity(24);
+        self.body_prefix(&mut body, KIND_DISPATCHED);
+        put_u64(&mut body, id);
+        self.append_record(&body)?;
+        if let Some(job) = self.live.get_mut(&id) {
+            job.dispatched = true;
+        }
+        Ok(())
+    }
+
+    /// Journals a successful completion (with the serialized output), then
+    /// compacts when enough finished entries have accumulated.
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::Serialization`] on write failure.
+    pub fn append_completed(&mut self, id: u64, output: &[u8]) -> FheResult<()> {
+        let mut body = Vec::with_capacity(24 + output.len());
+        self.body_prefix(&mut body, KIND_COMPLETED);
+        put_u64(&mut body, id);
+        put_u32(&mut body, output.len() as u32);
+        body.extend_from_slice(output);
+        self.append_record(&body)?;
+        self.finish(id)
+    }
+
+    /// Journals a terminal failure with its stable outcome code.
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::Serialization`] on write failure.
+    pub fn append_failed(&mut self, id: u64, code: u16, detail: &str) -> FheResult<()> {
+        let detail = truncate_utf8(detail, MAX_DETAIL_BYTES);
+        let mut body = Vec::with_capacity(32 + detail.len());
+        self.body_prefix(&mut body, KIND_FAILED);
+        put_u64(&mut body, id);
+        put_u16(&mut body, code);
+        put_u16(&mut body, detail.len() as u16);
+        body.extend_from_slice(detail.as_bytes());
+        self.append_record(&body)?;
+        self.finish(id)
+    }
+
+    /// Flushes appended records to stable storage regardless of policy.
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::Serialization`] when the `fsync` fails.
+    pub fn sync(&mut self) -> FheResult<()> {
+        self.unsynced = 0;
+        self.file
+            .sync_data()
+            .map_err(|e| io_err("journal_sync", &e.to_string()))
+    }
+
+    /// Number of generation rollovers performed by compaction.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Path of the current generation file (tests damage it directly).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn finish(&mut self, id: u64) -> FheResult<()> {
+        self.live.remove(&id);
+        self.done_since_compact += 1;
+        if self.compact_threshold > 0 && self.done_since_compact >= self.compact_threshold {
+            self.compact()?;
+        }
+        Ok(())
+    }
+
+    fn body_prefix(&mut self, body: &mut Vec<u8>, kind: u8) {
+        put_u64(body, self.seq);
+        self.seq += 1;
+        put_u8(body, kind);
+    }
+
+    fn append_record(&mut self, body: &[u8]) -> FheResult<()> {
+        // Word-wise trailer checksum: `Completed` bodies carry whole output
+        // ciphertext blobs, and the byte-wise FNV serial dependency chain is
+        // the dominant journaling cost at megabyte payloads. Large bodies
+        // are written in place rather than copied into a frame buffer; torn
+        // writes between the parts are tolerated by the replay resync scan.
+        let checksum = fnv1a_fast(body);
+        let write = |f: &mut File, buf: &[u8]| {
+            f.write_all(buf)
+                .map_err(|e| io_err("journal_append", &e.to_string()))
+        };
+        let mut head = [0u8; 8];
+        head[..4].copy_from_slice(&REC_MAGIC);
+        head[4..].copy_from_slice(&(body.len() as u32).to_le_bytes());
+        if body.len() <= 4096 {
+            let mut frame = Vec::with_capacity(FRAME_BYTES + body.len());
+            frame.extend_from_slice(&head);
+            frame.extend_from_slice(body);
+            put_u64(&mut frame, checksum);
+            write(&mut self.file, &frame)?;
+        } else {
+            write(&mut self.file, &head)?;
+            write(&mut self.file, body)?;
+            write(&mut self.file, &checksum.to_le_bytes())?;
+        }
+        cl_trace::record_journal_append((FRAME_BYTES + body.len()) as u64);
+        match self.fsync {
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::Batch(n) => {
+                self.unsynced += 1;
+                if self.unsynced >= n {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        Ok(())
+    }
+
+    /// Rewrites live records into the next generation file and retires the
+    /// current one: blobs still referenced by a live job, then an
+    /// `Admitted` (and `Dispatched`, when seen) record per live job.
+    /// Finished jobs and their outputs are dropped — a restart after
+    /// compaction no longer reconstructs their outcomes, which is the
+    /// price of a bounded journal.
+    fn compact(&mut self) -> FheResult<()> {
+        self.sync()?;
+        let bytes = fs::read(&self.path)
+            .map_err(|e| io_err("journal_compact", &e.to_string()))?;
+        let mut replay = JournalReplay::default();
+        replay_bytes(&bytes, &mut replay);
+
+        let next_gen = self.gen + 1;
+        let tmp = self.dir.join("journal.tmp");
+        let next_path = gen_path(&self.dir, next_gen);
+        let mut out = Vec::with_capacity(1 << 12);
+        write_header(&mut out, ObjectTag::Journal, 0);
+        let mut seq = 0u64;
+        let mut kept_blobs: HashSet<u64> = HashSet::new();
+        let frame = |out: &mut Vec<u8>, body: &[u8]| {
+            out.extend_from_slice(&REC_MAGIC);
+            put_u32(out, body.len() as u32);
+            out.extend_from_slice(body);
+            put_u64(out, fnv1a_fast(body));
+        };
+        let mut live: Vec<&ReplayedJob> = self.live.values().collect();
+        live.sort_by_key(|j| j.id);
+        for job in &live {
+            for digest in [job.program_digest, job.input_digest, job.key_digest] {
+                if kept_blobs.insert(digest) {
+                    if let Some(blob) = replay.blobs.get(&digest) {
+                        let mut body = Vec::with_capacity(21 + blob.len());
+                        put_u64(&mut body, seq);
+                        seq += 1;
+                        put_u8(&mut body, KIND_BLOB);
+                        put_u64(&mut body, digest);
+                        put_u32(&mut body, blob.len() as u32);
+                        body.extend_from_slice(blob);
+                        frame(&mut out, &body);
+                    }
+                }
+            }
+            let mut body = Vec::with_capacity(64 + job.tenant.len());
+            put_u64(&mut body, seq);
+            seq += 1;
+            put_u8(&mut body, KIND_ADMITTED);
+            put_u64(&mut body, job.id);
+            put_u64(&mut body, job.deadline_ms.unwrap_or(u64::MAX));
+            put_u64(&mut body, job.program_digest);
+            put_u64(&mut body, job.input_digest);
+            put_u64(&mut body, job.key_digest);
+            put_u16(&mut body, job.tenant.len() as u16);
+            body.extend_from_slice(job.tenant.as_bytes());
+            frame(&mut out, &body);
+            if job.dispatched {
+                let mut body = Vec::with_capacity(24);
+                put_u64(&mut body, seq);
+                seq += 1;
+                put_u8(&mut body, KIND_DISPATCHED);
+                put_u64(&mut body, job.id);
+                frame(&mut out, &body);
+            }
+        }
+        fs::write(&tmp, &out).map_err(|e| io_err("journal_compact", &e.to_string()))?;
+        File::open(&tmp)
+            .and_then(|f| f.sync_data())
+            .map_err(|e| io_err("journal_compact", &e.to_string()))?;
+        fs::rename(&tmp, &next_path)
+            .map_err(|e| io_err("journal_compact", &e.to_string()))?;
+        let old_path = std::mem::replace(&mut self.path, next_path);
+        self.file = OpenOptions::new()
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| io_err("journal_compact", &e.to_string()))?;
+        let _ = fs::remove_file(&old_path);
+        self.gen = next_gen;
+        self.seq = seq;
+        self.written_blobs = kept_blobs;
+        self.done_since_compact = 0;
+        self.unsynced = 0;
+        self.compactions += 1;
+        Ok(())
+    }
+}
+
+/// Returns the `journal-<gen>.wal` path for a generation number.
+fn gen_path(dir: &Path, gen: u64) -> PathBuf {
+    dir.join(format!("journal-{gen}.wal"))
+}
+
+/// Finds the highest-numbered `journal-<gen>.wal` in `dir`.
+fn newest_generation(dir: &Path) -> Option<(u64, PathBuf)> {
+    let entries = fs::read_dir(dir).ok()?;
+    let mut best: Option<(u64, PathBuf)> = None;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(gen) = name
+            .strip_prefix("journal-")
+            .and_then(|s| s.strip_suffix(".wal"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            if best.as_ref().is_none_or(|(g, _)| gen > *g) {
+                best = Some((gen, entry.path()));
+            }
+        }
+    }
+    best
+}
+
+fn write_file_header(path: &Path) -> FheResult<()> {
+    let mut out = Vec::with_capacity(16);
+    write_header(&mut out, ObjectTag::Journal, 0);
+    fs::write(path, &out).map_err(|e| io_err("journal_open", &e.to_string()))
+}
+
+fn io_err(op: &'static str, reason: &str) -> FheError {
+    FheError::Serialization {
+        op,
+        reason: reason.to_string(),
+    }
+}
+
+/// UTF-8-safe prefix truncation for failure details.
+fn truncate_utf8(s: &str, max: usize) -> &str {
+    if s.len() <= max {
+        return s;
+    }
+    let mut end = max;
+    while end > 0 && !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    &s[..end]
+}
+
+/// Replays one journal file's bytes into `replay`. Never panics and never
+/// fails: damaged regions are skipped by scanning forward for the next
+/// record marker, and whatever checksums clean is accepted.
+fn replay_bytes(bytes: &[u8], replay: &mut JournalReplay) {
+    // A file too short for a header, or with a damaged one, contributes
+    // nothing; count the damage so operators see it in the replay stats.
+    match peek_header("journal_replay", bytes) {
+        Ok((ObjectTag::Journal, _)) => {}
+        _ => {
+            replay.records_skipped += 1;
+            return;
+        }
+    }
+    let mut jobs: HashMap<u64, usize> = HashMap::new();
+    let mut pos = 16usize;
+    while pos + FRAME_BYTES <= bytes.len() {
+        if bytes[pos..pos + 4] != REC_MAGIC {
+            pos = resync(bytes, pos + 1, replay);
+            continue;
+        }
+        let len = u32::from_le_bytes([
+            bytes[pos + 4],
+            bytes[pos + 5],
+            bytes[pos + 6],
+            bytes[pos + 7],
+        ]);
+        if len > MAX_RECORD_BYTES {
+            pos = resync(bytes, pos + 1, replay);
+            continue;
+        }
+        let body_start = pos + 8;
+        let body_end = body_start + len as usize;
+        let frame_end = body_end + 8;
+        if frame_end > bytes.len() {
+            // Torn tail: the record extends past EOF.
+            replay.records_skipped += 1;
+            return;
+        }
+        let body = &bytes[body_start..body_end];
+        let want = u64::from_le_bytes(
+            bytes[body_end..frame_end]
+                .try_into()
+                .unwrap_or([0u8; 8]),
+        );
+        if fnv1a_fast(body) != want {
+            pos = resync(bytes, pos + 1, replay);
+            continue;
+        }
+        if apply_record(body, replay, &mut jobs) {
+            replay.records_replayed += 1;
+        } else {
+            replay.records_skipped += 1;
+        }
+        pos = frame_end;
+    }
+    if pos < bytes.len() {
+        // Trailing bytes too short to hold a frame: a torn final record.
+        replay.records_skipped += 1;
+    }
+}
+
+/// Scans forward from `from` for the next record marker; counts the
+/// damaged region as one skipped record. Returns the next scan position.
+fn resync(bytes: &[u8], from: usize, replay: &mut JournalReplay) -> usize {
+    replay.records_skipped += 1;
+    let mut pos = from;
+    while pos + 4 <= bytes.len() {
+        if bytes[pos..pos + 4] == REC_MAGIC {
+            return pos;
+        }
+        pos += 1;
+    }
+    bytes.len()
+}
+
+/// Applies one checksum-verified record body. Records are merged by job id
+/// order-insensitively: `Dispatched`/`Completed` may land before their
+/// `Admitted` (appends from concurrent workers are not globally ordered).
+/// Returns `false` when the body is structurally malformed despite a
+/// clean checksum (only reachable via a hostile writer).
+fn apply_record(body: &[u8], replay: &mut JournalReplay, jobs: &mut HashMap<u64, usize>) -> bool {
+    let mut c = Cursor { buf: body, pos: 0 };
+    let Some(_seq) = c.u64() else { return false };
+    let Some(kind) = c.u8() else { return false };
+    match kind {
+        KIND_ADMITTED => {
+            let (Some(id), Some(deadline), Some(pd), Some(ind), Some(kd), Some(tlen)) = (
+                c.u64(),
+                c.u64(),
+                c.u64(),
+                c.u64(),
+                c.u64(),
+                c.u16(),
+            ) else {
+                return false;
+            };
+            let Some(tenant) = c.take(tlen as usize) else { return false };
+            let Ok(tenant) = std::str::from_utf8(tenant) else { return false };
+            let job = entry(replay, jobs, id);
+            job.tenant = tenant.to_string();
+            job.deadline_ms = (deadline != u64::MAX).then_some(deadline);
+            job.program_digest = pd;
+            job.input_digest = ind;
+            job.key_digest = kd;
+            job.admitted = true;
+            true
+        }
+        KIND_DISPATCHED => {
+            let Some(id) = c.u64() else { return false };
+            entry(replay, jobs, id).dispatched = true;
+            true
+        }
+        KIND_COMPLETED => {
+            let (Some(id), Some(len)) = (c.u64(), c.u32()) else { return false };
+            let Some(output) = c.take(len as usize) else { return false };
+            entry(replay, jobs, id).outcome = Some(ReplayedOutcome {
+                code: 0,
+                detail: String::new(),
+                output: Some(output.to_vec()),
+            });
+            true
+        }
+        KIND_FAILED => {
+            let (Some(id), Some(code), Some(dlen)) = (c.u64(), c.u16(), c.u16()) else {
+                return false;
+            };
+            let Some(detail) = c.take(dlen as usize) else { return false };
+            entry(replay, jobs, id).outcome = Some(ReplayedOutcome {
+                code,
+                detail: String::from_utf8_lossy(detail).into_owned(),
+                output: None,
+            });
+            true
+        }
+        KIND_BLOB => {
+            let (Some(digest), Some(len)) = (c.u64(), c.u32()) else { return false };
+            let Some(blob) = c.take(len as usize) else { return false };
+            // A flipped blob *payload* byte still checksums clean at the
+            // record layer only if the flip predates the append; verify
+            // the content digest so a blob can never lie about itself.
+            if fnv1a_fast(blob) != digest {
+                return false;
+            }
+            replay.blobs.insert(digest, blob.to_vec());
+            true
+        }
+        _ => false,
+    }
+}
+
+fn entry<'a>(
+    replay: &'a mut JournalReplay,
+    jobs: &mut HashMap<u64, usize>,
+    id: u64,
+) -> &'a mut ReplayedJob {
+    let idx = *jobs.entry(id).or_insert_with(|| {
+        replay.jobs.push(ReplayedJob {
+            id,
+            tenant: String::new(),
+            deadline_ms: None,
+            program_digest: 0,
+            input_digest: 0,
+            key_digest: 0,
+            admitted: false,
+            dispatched: false,
+            outcome: None,
+        });
+        replay.jobs.len() - 1
+    });
+    &mut replay.jobs[idx]
+}
+
+/// Minimal tolerant little-endian cursor for replaying record bodies
+/// (unlike [`cl_ckks::serialize::Reader`], a short read here is a skipped
+/// record, not an error to surface).
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, len: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(len)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(out)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        self.take(2).map(|b| u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8).map(|b| {
+            u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "cl-journal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn admit(j: &mut Journal, id: u64, deadline_ms: Option<u64>) {
+        let pd = j.append_blob(b"prog").expect("blob");
+        let ind = j.append_blob(b"input").expect("blob");
+        let kd = j.append_blob(b"keys").expect("blob");
+        j.append_admitted(id, "acme", deadline_ms, pd, ind, kd)
+            .expect("admit");
+    }
+
+    fn journaled_lifecycle(dir: &Path, ids: &[u64], finish: bool) -> Journal {
+        let (mut j, _) = Journal::open(dir, FsyncPolicy::Never, 0).expect("open");
+        for &id in ids {
+            admit(&mut j, id, Some(5_000));
+            j.append_dispatched(id).expect("dispatch");
+            if finish {
+                j.append_completed(id, b"output-bytes").expect("complete");
+            }
+        }
+        j
+    }
+
+    #[test]
+    fn roundtrips_lifecycle_records_and_dedups_blobs() {
+        let dir = tmp_dir("roundtrip");
+        let j = journaled_lifecycle(&dir, &[1, 2], false);
+        drop(j);
+        let (_, replay) = Journal::open(&dir, FsyncPolicy::Never, 0).expect("reopen");
+        assert_eq!(replay.records_skipped, 0);
+        // 3 blobs written once (deduped across both jobs) + 2 admits + 2
+        // dispatches.
+        assert_eq!(replay.records_replayed, 7);
+        assert_eq!(replay.blobs.len(), 3);
+        assert_eq!(replay.jobs.len(), 2);
+        for job in &replay.jobs {
+            assert!(job.admitted && job.dispatched);
+            assert!(job.outcome.is_none());
+            assert_eq!(job.tenant, "acme");
+            assert_eq!(job.deadline_ms, Some(5_000));
+            assert_eq!(replay.blobs[&job.input_digest], b"input");
+        }
+        assert_eq!(replay.max_job_id(), Some(2));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn completed_jobs_replay_their_outcome() {
+        let dir = tmp_dir("completed");
+        drop(journaled_lifecycle(&dir, &[7], true));
+        let (mut j, replay) = Journal::open(&dir, FsyncPolicy::Never, 0).expect("reopen");
+        let outcome = replay.jobs[0].outcome.as_ref().expect("outcome");
+        assert_eq!(outcome.code, 0);
+        assert_eq!(outcome.output.as_deref(), Some(&b"output-bytes"[..]));
+        j.append_failed(8, 3, "guardrail said no").expect("fail");
+        drop(j);
+        let (_, replay) = Journal::open(&dir, FsyncPolicy::Never, 0).expect("reopen2");
+        let failed = replay.jobs.iter().find(|x| x.id == 8).expect("job 8");
+        let outcome = failed.outcome.as_ref().expect("outcome");
+        assert_eq!(outcome.code, 3);
+        assert_eq!(outcome.detail, "guardrail said no");
+        assert!(outcome.output.is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_skipped_but_prior_records_survive() {
+        let dir = tmp_dir("torn");
+        let j = journaled_lifecycle(&dir, &[1], false);
+        let path = j.path().to_path_buf();
+        drop(j);
+        let full = fs::read(&path).expect("read");
+        // Truncate mid-way through the final record.
+        fs::write(&path, &full[..full.len() - 5]).expect("truncate");
+        let (_, replay) = Journal::open(&dir, FsyncPolicy::Never, 0).expect("reopen");
+        assert_eq!(replay.records_skipped, 1);
+        assert_eq!(replay.records_replayed, 4);
+        let job = &replay.jobs[0];
+        assert!(job.admitted);
+        assert!(!job.dispatched, "torn dispatch record must not apply");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flipped_byte_loses_one_record_and_resyncs() {
+        let dir = tmp_dir("flip");
+        let j = journaled_lifecycle(&dir, &[1, 2], false);
+        let path = j.path().to_path_buf();
+        drop(j);
+        let mut bytes = fs::read(&path).expect("read");
+        // Flip one byte inside the first record after the file header; the
+        // replay must resync and still recover the later records.
+        bytes[20] ^= 0x40;
+        fs::write(&path, &bytes).expect("write");
+        let (_, replay) = Journal::open(&dir, FsyncPolicy::Never, 0).expect("reopen");
+        assert!(replay.records_skipped >= 1);
+        assert!(replay.records_replayed >= 5);
+        assert!(replay.jobs.iter().any(|job| job.id == 2 && job.admitted));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn damaged_file_header_abandons_the_file_without_panicking() {
+        let dir = tmp_dir("header");
+        let j = journaled_lifecycle(&dir, &[1], false);
+        let path = j.path().to_path_buf();
+        drop(j);
+        let mut bytes = fs::read(&path).expect("read");
+        bytes[0] ^= 0xff;
+        fs::write(&path, &bytes).expect("write");
+        let (_, replay) = Journal::open(&dir, FsyncPolicy::Never, 0).expect("reopen");
+        assert_eq!(replay.records_replayed, 0);
+        assert_eq!(replay.records_skipped, 1);
+        assert!(replay.jobs.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_rolls_the_generation_and_keeps_live_jobs() {
+        let dir = tmp_dir("compact");
+        let (mut j, _) = Journal::open(&dir, FsyncPolicy::Never, 2).expect("open");
+        for id in 1..=3u64 {
+            admit(&mut j, id, None);
+        }
+        j.append_completed(1, b"out1").expect("c1");
+        assert_eq!(j.compactions(), 0);
+        j.append_completed(2, b"out2").expect("c2");
+        assert_eq!(j.compactions(), 1, "threshold 2 must trigger compaction");
+        assert!(j.path().ends_with("journal-1.wal"));
+        assert!(!gen_path(&dir, 0).exists(), "old generation retired");
+        // Job 3 (live) must survive compaction with its blobs; jobs 1-2
+        // and their outputs are gone.
+        drop(j);
+        let (_, replay) = Journal::open(&dir, FsyncPolicy::Never, 2).expect("reopen");
+        assert_eq!(replay.jobs.len(), 1);
+        assert_eq!(replay.jobs[0].id, 3);
+        assert!(replay.jobs[0].admitted);
+        assert_eq!(replay.blobs.len(), 3);
+        assert_eq!(replay.records_skipped, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn appends_keep_working_across_a_compaction() {
+        let dir = tmp_dir("compact-append");
+        let (mut j, _) = Journal::open(&dir, FsyncPolicy::Always, 1).expect("open");
+        admit(&mut j, 1, None);
+        j.append_completed(1, b"o1").expect("c1"); // triggers compaction
+        assert_eq!(j.compactions(), 1);
+        admit(&mut j, 2, None);
+        j.append_dispatched(2).expect("d2");
+        drop(j);
+        let (_, replay) = Journal::open(&dir, FsyncPolicy::Never, 1).expect("reopen");
+        assert_eq!(replay.records_skipped, 0);
+        assert_eq!(replay.jobs.len(), 1);
+        assert!(replay.jobs[0].dispatched);
+        // Blobs were re-deduplicated into the fresh generation.
+        assert_eq!(replay.blobs.len(), 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsync_policy_parses_from_env_shapes() {
+        // Not exercising the env var itself (process-global); just the
+        // parse behaviour via explicit construction.
+        assert_eq!(FsyncPolicy::Batch(32), FsyncPolicy::from_env());
+    }
+}

@@ -25,12 +25,20 @@
 //! - structured outcomes: every failure maps to a stable
 //!   [`OutcomeCode`], with per-tenant [`TenantReport`] accounting
 //!   (job counts, shed counts, retry spend, recovery telemetry, op
-//!   deltas).
+//!   deltas, breaker state);
+//! - **crash durability**: a write-ahead [`Journal`] of job lifecycle
+//!   transitions (torn-write tolerant, checksum-framed, compacted), so
+//!   [`JobServer::recover`] restarts a killed server and resumes every
+//!   acknowledged job bit-identically from its durable checkpoint;
+//! - **self-healing**: a watchdog aborts runs whose heartbeat stalls
+//!   past a budget (re-dispatched from the last checkpoint), and a
+//!   per-tenant circuit [`breaker`](BreakerReport) quarantines tenants
+//!   whose jobs keep failing destructively.
 //!
 //! The isolation contract is validated in `tests/server_chaos.rs`: under
-//! seeded fault injection, cancellations, deadline kills, and a poisoned
-//! tenant, every surviving job's output is limb-bit-identical to a
-//! serial fault-free run.
+//! seeded fault injection, cancellations, deadline kills, mid-flight
+//! server kills, and a poisoned tenant, every surviving job's output is
+//! limb-bit-identical to a serial fault-free run.
 //!
 //! [`RunControl`]: cl_runtime::RunControl
 
@@ -39,12 +47,16 @@
 // the violated invariant; tests are exempt. Enforced by scripts/verify.sh.
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+mod breaker;
 mod job;
+mod journal;
 mod queue;
 mod server;
 mod tenant;
 
-pub use job::{JobId, JobOutcome, JobSpec, OutcomeCode};
+pub use breaker::BreakerReport;
+pub use job::{Blob, JobId, JobOutcome, JobSpec, OutcomeCode};
+pub use journal::{FsyncPolicy, Journal, JournalReplay, ReplayedJob, ReplayedOutcome};
 pub use queue::{AdmissionQueue, ShedReason};
-pub use server::{JobHandle, JobServer, ServerConfig};
+pub use server::{JobHandle, JobServer, RecoveryReport, ServerConfig, TenantSetup};
 pub use tenant::{KeyCache, KeyCacheStats, TenantReport, TenantState};

@@ -99,6 +99,19 @@ impl<T> AdmissionQueue<T> {
         Ok(())
     }
 
+    /// Admits a job for `tenant` bypassing both capacity bounds. Reserved
+    /// for restart recovery: a journaled job already passed admission in
+    /// its first life, so re-admitting it must never shed — the durability
+    /// contract ("acknowledged means it will run") outranks the bounds for
+    /// the one burst that replay produces.
+    pub fn force_push(&mut self, tenant: &str, job: T) {
+        self.per_tenant
+            .entry(tenant.to_string())
+            .or_default()
+            .push_back(job);
+        self.len += 1;
+    }
+
     /// Dequeues the next job, round-robin across tenants: the first
     /// non-empty tenant strictly after the previously served one in
     /// lexicographic order (wrapping), then that tenant's oldest job.
@@ -211,6 +224,20 @@ mod tests {
             ]
         );
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn force_push_bypasses_both_bounds() {
+        let mut q = AdmissionQueue::new(1, 1);
+        q.try_push("a", 1).unwrap();
+        q.try_push("a", 2).unwrap_err();
+        q.force_push("a", 3);
+        q.force_push("b", 4);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.tenant_len("a"), 2);
+        // Recovered jobs still drain in fair order.
+        let order: Vec<_> = std::iter::from_fn(|| q.pop_fair()).map(|(_, j)| j).collect();
+        assert_eq!(order, vec![1, 4, 3]);
     }
 
     #[test]

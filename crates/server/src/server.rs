@@ -15,27 +15,46 @@
 //!   once — retrying them would burn budget to reproduce the verdict.
 //!
 //! Worker threads submit *nothing* across tenant boundaries: the job
-//! carries its tenant's context, key cache, and per-`(tenant, worker)`
+//! carries its tenant's context, key cache, and per-`(tenant, job)`
 //! checkpoint directory, so one tenant's corrupt blob, injected faults,
 //! or mid-job kill cannot perturb another tenant's results (asserted
 //! bit-exactly in `tests/server_chaos.rs`).
+//!
+//! The serving layer is **crash-durable and self-healing**:
+//!
+//! - every job lifecycle transition is appended to a write-ahead
+//!   [`Journal`] before it is acted on, so [`JobServer::recover`] can
+//!   restart a killed server, re-admit every acknowledged-but-unfinished
+//!   job, and resume each from its durable checkpoint — converging
+//!   limb-bit-identically to an uninterrupted run;
+//! - a supervisor thread (the **watchdog**) watches per-job heartbeats
+//!   and aborts runs whose heartbeat goes stale past the stall budget;
+//!   stalled jobs are re-dispatched from their last checkpoint within the
+//!   retry budget;
+//! - a per-tenant **circuit breaker** quarantines tenants whose jobs keep
+//!   failing destructively (integrity failures, panics), rejecting their
+//!   submissions at the door with [`FheError::TenantQuarantined`] until a
+//!   half-open probe proves them healthy again.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use cl_boot::Bootstrapper;
 use cl_ckks::serialize::{peek_header, ObjectTag};
 use cl_ckks::{CkksContext, FheError, FheResult, GuardrailPolicy};
 use cl_runtime::{
-    ExecutorConfig, PipelineExecutor, Program, RecoveryTelemetry, RunControl, RunOutcome,
+    sweep_checkpoint_dir, ExecutorConfig, PipelineExecutor, Program, RecoveryTelemetry,
+    RunControl, RunOutcome,
 };
 use cl_trace::OpSnapshot;
 
-use crate::job::{JobId, JobOutcome, JobSpec, OutcomeCode};
+use crate::job::{Blob, JobId, JobOutcome, JobSpec, OutcomeCode};
+use crate::journal::{FsyncPolicy, Journal, JournalReplay};
 use crate::queue::{AdmissionQueue, ShedReason};
 use crate::tenant::{TenantRegistry, TenantReport, TenantState};
 
@@ -78,6 +97,32 @@ pub struct ServerConfig {
     /// First backoff sleep before a server-level retry; doubles per
     /// attempt (capped at 2^6 multiples).
     pub backoff_base_ms: u64,
+    /// Whether to keep the write-ahead job journal (under
+    /// `checkpoint_root/journal`). Disabling it trades crash recovery
+    /// for zero journaling overhead (benchmark baselines do this).
+    pub journal: bool,
+    /// When journal appends reach stable storage. Defaults to
+    /// `CL_JOURNAL_FSYNC` (`always`, `never`, or a batch size), else
+    /// batches of 32.
+    pub journal_fsync: FsyncPolicy,
+    /// Completed/failed journal entries tolerated before compaction
+    /// rewrites live records into a fresh generation file. `0` disables
+    /// compaction (the journal grows until restart).
+    pub journal_compact_threshold: u64,
+    /// Heartbeat staleness past which the watchdog declares a running job
+    /// stalled and aborts it for re-dispatch. `Duration::ZERO` disables
+    /// the watchdog. Defaults to `CL_STALL_BUDGET_MS`, else 30 s. Must
+    /// exceed the longest single micro-op: the watchdog is cooperative
+    /// (heartbeats tick at micro-op boundaries), so a genuinely hung
+    /// op is detected but only aborted at the next boundary it reaches.
+    pub stall_budget: Duration,
+    /// Consecutive breaker-class failures (integrity failures, retry
+    /// exhaustion, panics) that trip a tenant's circuit breaker. `0`
+    /// disables the breaker. Defaults to `CL_BREAKER_THRESHOLD`, else 0.
+    pub breaker_threshold: u32,
+    /// Base quarantine after a breaker trip; doubles per consecutive
+    /// trip (capped at 64×).
+    pub breaker_backoff_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -97,6 +142,20 @@ impl Default for ServerConfig {
                 .unwrap_or(32 << 20),
             default_deadline: None,
             backoff_base_ms: 1,
+            journal: true,
+            journal_fsync: FsyncPolicy::from_env(),
+            journal_compact_threshold: 256,
+            stall_budget: Duration::from_millis(
+                std::env::var("CL_STALL_BUDGET_MS")
+                    .ok()
+                    .and_then(|v| v.trim().parse::<u64>().ok())
+                    .unwrap_or(30_000),
+            ),
+            breaker_threshold: std::env::var("CL_BREAKER_THRESHOLD")
+                .ok()
+                .and_then(|v| v.trim().parse::<u32>().ok())
+                .unwrap_or(0),
+            breaker_backoff_ms: 100,
         }
     }
 }
@@ -123,6 +182,15 @@ struct QueuedJob {
     spec: JobSpec,
     control: RunControl,
     tenant: Arc<TenantState>,
+    /// Set for journal-recovered jobs: the first attempt resumes from the
+    /// durable checkpoint instead of running from pc 0.
+    resume_first: bool,
+}
+
+/// What the watchdog needs to know about a job a worker is executing.
+struct RunningJob {
+    control: RunControl,
+    tenant: Arc<TenantState>,
 }
 
 struct Shared {
@@ -137,6 +205,17 @@ struct Shared {
     /// Jobs admitted but not yet finished (queued + running).
     pending: AtomicUsize,
     shutdown: AtomicBool,
+    /// Simulated crash ([`JobServer::kill`]): workers stop immediately
+    /// and discard in-flight work without journaling or publishing it.
+    crashed: AtomicBool,
+    /// The write-ahead job journal, when enabled.
+    journal: Option<Mutex<Journal>>,
+    /// Jobs currently executing, by raw id — the watchdog's scan set.
+    running: Mutex<HashMap<u64, RunningJob>>,
+    /// Parked supervisor thread; notified at shutdown so it exits without
+    /// waiting out its tick.
+    supervisor_lock: Mutex<()>,
+    supervisor_cv: Condvar,
 }
 
 /// The multi-tenant job server. See the module docs for the scheduling
@@ -144,17 +223,57 @@ struct Shared {
 pub struct JobServer {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
     next_id: AtomicU64,
 }
 
+/// One tenant's identity for [`JobServer::recover`]: contexts (and
+/// hosted bootstrappers) are process resources that cannot be journaled,
+/// so the operator supplies them again at restart.
+pub struct TenantSetup {
+    /// Tenant id, as originally registered.
+    pub id: String,
+    /// The tenant's parameter context (must match the original:
+    /// fingerprint checks reject recovered blobs otherwise).
+    pub ctx: Arc<CkksContext>,
+    /// Bootstrapper hosted for the tenant, when it serves bootstrap
+    /// programs.
+    pub bootstrapper: Option<Arc<Bootstrapper>>,
+}
+
+/// What [`JobServer::recover`] found and did.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Journal records replayed (checksum-verified).
+    pub records_replayed: u64,
+    /// Journal records skipped as torn or corrupt.
+    pub records_skipped: u64,
+    /// Unfinished jobs re-admitted for execution.
+    pub jobs_resumed: u64,
+    /// Jobs whose terminal outcome was reconstructed from the journal.
+    pub jobs_already_complete: u64,
+    /// Unfinished jobs that could not be re-admitted (tenant not
+    /// re-registered, or referenced blobs lost); each gets a structured
+    /// failure outcome instead of silently vanishing.
+    pub jobs_orphaned: u64,
+    /// Orphaned per-job checkpoint directories garbage-collected.
+    pub checkpoint_dirs_swept: u64,
+}
+
 impl JobServer {
-    /// Starts the worker pool.
+    /// Starts the worker pool. An existing journal under the checkpoint
+    /// root is kept and appended to but **not** replayed — restarting
+    /// after a crash goes through [`JobServer::recover`] instead.
     ///
     /// # Errors
     ///
-    /// [`FheError::Serialization`] when the checkpoint root cannot be
-    /// created.
+    /// [`FheError::Serialization`] when the checkpoint root or journal
+    /// cannot be created.
     pub fn start(config: ServerConfig) -> FheResult<Self> {
+        Self::start_inner(config).map(|(server, _)| server)
+    }
+
+    fn start_inner(config: ServerConfig) -> FheResult<(Self, JournalReplay)> {
         std::fs::create_dir_all(&config.checkpoint_root).map_err(|e| {
             FheError::Serialization {
                 op: "server_start",
@@ -164,7 +283,18 @@ impl JobServer {
                 ),
             }
         })?;
+        let (journal, replay) = if config.journal {
+            let (journal, replay) = Journal::open(
+                &config.checkpoint_root.join("journal"),
+                config.journal_fsync,
+                config.journal_compact_threshold,
+            )?;
+            (Some(Mutex::new(journal)), replay)
+        } else {
+            (None, JournalReplay::default())
+        };
         let workers = config.workers.max(1);
+        let watchdog = config.stall_budget > Duration::ZERO;
         let shared = Arc::new(Shared {
             queue: Mutex::new(AdmissionQueue::new(
                 config.queue_capacity,
@@ -176,6 +306,11 @@ impl JobServer {
             done_cv: Condvar::new(),
             pending: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
+            crashed: AtomicBool::new(false),
+            journal,
+            running: Mutex::new(HashMap::new()),
+            supervisor_lock: Mutex::new(()),
+            supervisor_cv: Condvar::new(),
             config,
         });
         let handles = (0..workers)
@@ -190,11 +325,170 @@ impl JobServer {
                     })
             })
             .collect::<FheResult<Vec<_>>>()?;
-        Ok(Self {
-            shared,
-            workers: handles,
-            next_id: AtomicU64::new(0),
-        })
+        let supervisor = if watchdog {
+            let shared = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name("cl-server-watchdog".to_string())
+                    .spawn(move || supervisor_loop(&shared))
+                    .map_err(|e| FheError::Serialization {
+                        op: "server_start",
+                        reason: format!("cannot spawn watchdog: {e}"),
+                    })?,
+            )
+        } else {
+            None
+        };
+        Ok((
+            Self {
+                shared,
+                workers: handles,
+                supervisor,
+                next_id: AtomicU64::new(0),
+            },
+            replay,
+        ))
+    }
+
+    /// Restarts a server from its durable state: replays the write-ahead
+    /// journal under `config.checkpoint_root`, reconstructs outcomes for
+    /// jobs that finished before the crash, re-admits every
+    /// acknowledged-but-unfinished job (keeping its original [`JobId`]),
+    /// and resumes each from its durable checkpoint via the executor's
+    /// binding-digest machinery — converging limb-bit-identically to an
+    /// uninterrupted run. Orphaned per-job checkpoint directories (jobs
+    /// the journal shows finished, or that no longer exist) are swept.
+    ///
+    /// Tenants must be re-registered through `tenants`: contexts and
+    /// bootstrappers are process resources the journal cannot carry.
+    /// Unfinished jobs of tenants *not* in `tenants` get a structured
+    /// [`OutcomeCode::Internal`] failure outcome. Recovered deadlines
+    /// re-arm with their full original budget (wall-clock spent before
+    /// the crash is not charged).
+    ///
+    /// # Errors
+    ///
+    /// [`FheError::Serialization`] when the root or journal cannot be
+    /// opened, plus anything [`JobServer::register_tenant`] rejects.
+    /// Journal damage is *not* an error: torn or flipped records are
+    /// skipped and counted in the report.
+    pub fn recover(
+        config: ServerConfig,
+        tenants: &[TenantSetup],
+    ) -> FheResult<(Self, RecoveryReport)> {
+        let (server, replay) = Self::start_inner(config)?;
+        let mut report = RecoveryReport {
+            records_replayed: replay.records_replayed,
+            records_skipped: replay.records_skipped,
+            ..RecoveryReport::default()
+        };
+        for setup in tenants {
+            server.register_tenant_inner(
+                &setup.id,
+                Arc::clone(&setup.ctx),
+                setup.bootstrapper.clone(),
+            )?;
+        }
+        let shared = &server.shared;
+        let mut live_by_tenant: HashMap<String, HashSet<u64>> = HashMap::new();
+        let mut max_id = 0u64;
+        let mut resumed = 0usize;
+        for job in &replay.jobs {
+            max_id = max_id.max(job.id);
+            if let Some(done) = &job.outcome {
+                let code = OutcomeCode::from_u16(done.code).unwrap_or(OutcomeCode::Internal);
+                insert_recovered_outcome(
+                    shared,
+                    job.id,
+                    &job.tenant,
+                    code,
+                    done.output.clone(),
+                    done.detail.clone(),
+                );
+                report.jobs_already_complete += 1;
+                continue;
+            }
+            let Some(tenant) = (job.admitted).then(|| shared.registry.get(&job.tenant)).flatten()
+            else {
+                insert_recovered_outcome(
+                    shared,
+                    job.id,
+                    &job.tenant,
+                    OutcomeCode::Internal,
+                    None,
+                    "job could not be recovered: tenant not re-registered after restart"
+                        .to_string(),
+                );
+                report.jobs_orphaned += 1;
+                continue;
+            };
+            let (Some(program_blob), Some(input_blob), Some(key_blob)) = (
+                replay.blobs.get(&job.program_digest),
+                replay.blobs.get(&job.input_digest),
+                replay.blobs.get(&job.key_digest),
+            ) else {
+                insert_recovered_outcome(
+                    shared,
+                    job.id,
+                    &job.tenant,
+                    OutcomeCode::IntegrityFailure,
+                    None,
+                    "job could not be recovered: a journaled blob was lost to corruption"
+                        .to_string(),
+                );
+                report.jobs_orphaned += 1;
+                continue;
+            };
+            let deadline = job.deadline_ms.map(Duration::from_millis);
+            let control = match deadline {
+                Some(d) => RunControl::with_deadline(d),
+                None => RunControl::new(),
+            };
+            // Replay already verified each blob against its digest key, so
+            // the reconstructed blobs carry their digests pre-seeded and
+            // resumed jobs never re-hash them.
+            let spec = JobSpec {
+                tenant: job.tenant.clone(),
+                program_blob: Blob::with_digest(program_blob.clone(), job.program_digest),
+                input_blob: Blob::with_digest(input_blob.clone(), job.input_digest),
+                key_blob: Blob::with_digest(key_blob.clone(), job.key_digest),
+                deadline,
+                #[cfg(feature = "faults")]
+                fault_plan: None,
+            };
+            live_by_tenant
+                .entry(job.tenant.clone())
+                .or_default()
+                .insert(job.id);
+            let queued = QueuedJob {
+                id: JobId(job.id),
+                spec,
+                control,
+                tenant: Arc::clone(&tenant),
+                // Never dispatched = no checkpoint can exist; a fresh run
+                // skips the (harmless but pointless) store probe.
+                resume_first: job.dispatched,
+            };
+            // Capacity bounds do not apply: these jobs were already
+            // admitted (and acknowledged) in their first life.
+            lock_queue(shared).force_push(&tenant.id, queued);
+            shared.pending.fetch_add(1, Ordering::AcqRel);
+            resumed += 1;
+            report.jobs_resumed += 1;
+        }
+        server.next_id.store(max_id + 1, Ordering::Release);
+        // GC: any `job-<id>` checkpoint dir not owned by a re-admitted
+        // job belongs to a finished or vanished one.
+        for setup in tenants {
+            if let Some(tenant) = shared.registry.get(&setup.id) {
+                let keep = live_by_tenant.get(&setup.id);
+                report.checkpoint_dirs_swept += sweep_job_dirs(&tenant.checkpoint_root, keep);
+            }
+        }
+        if resumed > 0 {
+            shared.work_cv.notify_all();
+        }
+        Ok((server, report))
     }
 
     /// Registers a tenant under `id` with its parameter context. The
@@ -209,6 +503,32 @@ impl JobServer {
     /// [`FheError::Serialization`] when the tenant checkpoint directory
     /// cannot be created.
     pub fn register_tenant(&self, id: &str, ctx: Arc<CkksContext>) -> FheResult<()> {
+        self.register_tenant_inner(id, ctx, None)
+    }
+
+    /// Like [`JobServer::register_tenant`], additionally hosting a
+    /// bootstrapper for the tenant so its programs may contain bootstrap
+    /// ops (without one they are rejected as
+    /// [`OutcomeCode::Unsupported`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`JobServer::register_tenant`].
+    pub fn register_tenant_with_bootstrapper(
+        &self,
+        id: &str,
+        ctx: Arc<CkksContext>,
+        booter: Arc<Bootstrapper>,
+    ) -> FheResult<()> {
+        self.register_tenant_inner(id, ctx, Some(booter))
+    }
+
+    fn register_tenant_inner(
+        &self,
+        id: &str,
+        ctx: Arc<CkksContext>,
+        booter: Option<Arc<Bootstrapper>>,
+    ) -> FheResult<()> {
         if id.is_empty()
             || !id
                 .chars()
@@ -232,14 +552,21 @@ impl JobServer {
             op: "register_tenant",
             reason: format!("cannot create tenant dir {}: {e}", root.display()),
         })?;
-        let state = Arc::new(TenantState::new(
+        let mut state = TenantState::new(
             id.to_string(),
             ctx,
             root,
             self.shared.config.key_cache_bytes,
             self.shared.config.tenant_retry_budget,
-        ));
-        if !self.shared.registry.insert(state) {
+        );
+        if let Some(booter) = booter {
+            state.set_booter(booter);
+        }
+        state.set_breaker(
+            self.shared.config.breaker_threshold,
+            self.shared.config.breaker_backoff_ms,
+        );
+        if !self.shared.registry.insert(Arc::new(state)) {
             return Err(FheError::InvalidParams {
                 op: "register_tenant",
                 reason: format!("tenant {id:?} is already registered"),
@@ -257,8 +584,9 @@ impl JobServer {
     ///
     /// [`FheError::Overloaded`] with a retry-after hint when the global
     /// or per-tenant queue bound is hit (the job was not enqueued and no
-    /// memory is retained); [`FheError::InvalidParams`] for an unknown
-    /// tenant; [`FheError::Serialization`] /
+    /// memory is retained); [`FheError::TenantQuarantined`] when the
+    /// tenant's circuit breaker is open; [`FheError::InvalidParams`] for
+    /// an unknown tenant; [`FheError::Serialization`] /
     /// [`FheError::ParamsMismatch`] when a blob header fails the
     /// pre-check.
     pub fn submit(&self, spec: JobSpec) -> FheResult<JobHandle> {
@@ -269,6 +597,12 @@ impl JobServer {
                 reason: format!("unknown tenant {:?}", spec.tenant),
             }
         })?;
+        if let Err(retry_after_ms) = tenant.breaker_admit() {
+            return Err(FheError::TenantQuarantined {
+                op: "submit",
+                retry_after_ms,
+            });
+        }
         Program::peek(&spec.program_blob, tenant.fingerprint)?;
         check_blob_header("submit_input", &spec.input_blob, ObjectTag::Ciphertext, &tenant)?;
         check_blob_header("submit_keys", &spec.key_blob, ObjectTag::BootstrapKeys, &tenant)?;
@@ -279,11 +613,32 @@ impl JobServer {
             None => RunControl::new(),
         };
         let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        // Write-ahead: the admission is durable *before* the handle is
+        // returned, so an acknowledged job survives a crash. Blobs are
+        // journaled digest-deduplicated (a tenant's jobs typically share
+        // key/program blobs, priced once).
+        if let Some(journal) = &shared.journal {
+            let mut j = lock_journal(journal);
+            let program_digest =
+                j.append_blob_with_digest(&spec.program_blob, spec.program_blob.digest())?;
+            let input_digest =
+                j.append_blob_with_digest(&spec.input_blob, spec.input_blob.digest())?;
+            let key_digest = j.append_blob_with_digest(&spec.key_blob, spec.key_blob.digest())?;
+            j.append_admitted(
+                id.0,
+                &tenant.id,
+                budget.map(|d| d.as_millis() as u64),
+                program_digest,
+                input_digest,
+                key_digest,
+            )?;
+        }
         let job = QueuedJob {
             id,
             spec,
             control: control.clone(),
             tenant: Arc::clone(&tenant),
+            resume_first: false,
         };
         {
             let mut queue = lock_queue(shared);
@@ -295,10 +650,20 @@ impl JobServer {
                     ShedReason::GlobalFull => "submit",
                     ShedReason::TenantFull => "submit_tenant",
                 };
-                return Err(FheError::Overloaded {
+                let err = FheError::Overloaded {
                     op,
                     retry_after_ms: retry_after_hint(qlen, shared.config.workers),
-                });
+                };
+                // Close the journal entry out so replay does not
+                // resurrect a job the client was told was shed.
+                if let Some(journal) = &shared.journal {
+                    let _ = lock_journal(journal).append_failed(
+                        id.0,
+                        OutcomeCode::Overloaded.as_u16(),
+                        &err.to_string(),
+                    );
+                }
+                return Err(err);
             }
         }
         shared.pending.fetch_add(1, Ordering::AcqRel);
@@ -363,22 +728,91 @@ impl JobServer {
     }
 
     /// Graceful shutdown: waits for every admitted job to finish, stops
-    /// the workers, and returns all outcomes in submission order.
+    /// the workers and watchdog, flushes the journal, sweeps leftover
+    /// per-job checkpoint directories, and returns all outcomes in
+    /// submission order.
     pub fn shutdown(mut self) -> Vec<JobOutcome> {
         self.wait_idle();
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.work_cv.notify_all();
+        self.shared.supervisor_cv.notify_all();
         for handle in self.workers.drain(..) {
             // A worker that panicked outside the catch_unwind guard has
             // already lost its jobs; joining the poisoned handle must not
             // take the server down with it.
             let _ = handle.join();
         }
+        if let Some(handle) = self.supervisor.take() {
+            let _ = handle.join();
+        }
+        if let Some(journal) = &self.shared.journal {
+            let _ = lock_journal(journal).sync();
+        }
+        // Every admitted job has an outcome, so every per-job checkpoint
+        // dir is garbage (the per-completion sweep handles the common
+        // case; this catches dirs left by a *previous* incarnation whose
+        // jobs have since been journaled complete).
+        for id in self.shared.registry.ids() {
+            if let Some(tenant) = self.shared.registry.get(&id) {
+                sweep_job_dirs(&tenant.checkpoint_root, None);
+            }
+        }
         let outcomes = lock_outcomes(&self.shared);
         let mut all: Vec<JobOutcome> = outcomes.values().cloned().collect();
         all.sort_by_key(|o| o.id);
         all
     }
+
+    /// Simulated hard crash, for chaos tests: stops the server *without*
+    /// draining the queue, publishing in-flight outcomes, journaling
+    /// completions, or sweeping checkpoints — exactly the state a
+    /// `kill -9` would leave on disk, minus the process exit. In-flight
+    /// jobs are cancelled so their worker threads can be joined (a real
+    /// crash would not wait even for that). Follow with
+    /// [`JobServer::recover`] on the same checkpoint root.
+    pub fn kill(mut self) {
+        self.shared.crashed.store(true, Ordering::Release);
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let running = lock_running(&self.shared);
+            for entry in running.values() {
+                entry.control.cancel();
+            }
+        }
+        self.shared.work_cv.notify_all();
+        self.shared.supervisor_cv.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.supervisor.take() {
+            let _ = handle.join();
+        }
+        // The journal file is left exactly as-is: an unsynced tail may be
+        // torn, which is the condition recover() is built to absorb.
+    }
+}
+
+/// Publishes an outcome reconstructed at recovery (journal-replayed
+/// terminal records and orphaned jobs). Pending is untouched: these jobs
+/// are born terminal in this incarnation.
+fn insert_recovered_outcome(
+    shared: &Shared,
+    id: u64,
+    tenant: &str,
+    code: OutcomeCode,
+    output: Option<Vec<u8>>,
+    detail: String,
+) {
+    let outcome = JobOutcome {
+        id: JobId(id),
+        tenant: tenant.to_string(),
+        code,
+        output,
+        detail,
+        recovery: RecoveryTelemetry::default(),
+        retries: 0,
+    };
+    lock_outcomes(shared).insert(id, outcome);
 }
 
 fn retry_after_hint(queue_len: usize, workers: usize) -> u64 {
@@ -424,11 +858,91 @@ fn lock_outcomes(shared: &Shared) -> std::sync::MutexGuard<'_, HashMap<u64, JobO
         .expect("outcome map poisoned: a holder panicked mid-update")
 }
 
-fn worker_loop(shared: &Shared, widx: usize) {
+fn lock_journal(journal: &Mutex<Journal>) -> std::sync::MutexGuard<'_, Journal> {
+    journal
+        .lock()
+        .expect("journal poisoned: a holder panicked mid-append")
+}
+
+fn lock_running(shared: &Shared) -> std::sync::MutexGuard<'_, HashMap<u64, RunningJob>> {
+    shared
+        .running
+        .lock()
+        .expect("running set poisoned: a holder panicked mid-update")
+}
+
+/// Removes `job-<id>` checkpoint directories under `root`, keeping those
+/// whose id is in `keep`. Returns how many were actually removed
+/// ([`sweep_checkpoint_dir`] refuses dirs whose owner lock names a live
+/// process).
+fn sweep_job_dirs(root: &Path, keep: Option<&HashSet<u64>>) -> u64 {
+    let Ok(entries) = std::fs::read_dir(root) else {
+        return 0;
+    };
+    let mut swept = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(id) = name
+            .to_string_lossy()
+            .strip_prefix("job-")
+            .and_then(|s| s.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        if keep.is_some_and(|live| live.contains(&id)) {
+            continue;
+        }
+        let path = entry.path();
+        if path.is_dir() && sweep_checkpoint_dir(&path) {
+            swept += 1;
+        }
+    }
+    swept
+}
+
+/// The watchdog: periodically scans running jobs' heartbeats and marks
+/// any stale past the stall budget as stalled (aborting the run at its
+/// next micro-op boundary; the server-level retry loop then re-dispatches
+/// from the last durable checkpoint).
+fn supervisor_loop(shared: &Shared) {
+    let budget_ms = (shared.config.stall_budget.as_millis() as u64).max(1);
+    let tick = Duration::from_millis((budget_ms / 4).clamp(5, 1_000));
+    let mut guard = shared
+        .supervisor_lock
+        .lock()
+        .expect("supervisor lock poisoned: a holder panicked mid-wait");
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        guard = shared
+            .supervisor_cv
+            .wait_timeout(guard, tick)
+            .expect("supervisor lock poisoned: a holder panicked mid-wait")
+            .0;
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let running = lock_running(shared);
+        for entry in running.values() {
+            let stale = entry.control.millis_since_heartbeat();
+            if stale >= budget_ms && entry.control.mark_stalled(stale) {
+                entry.tenant.record_stall();
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, _widx: usize) {
     loop {
         let job = {
             let mut queue = lock_queue(shared);
             loop {
+                // A simulated crash abandons the queue mid-flight; a
+                // graceful shutdown only stops once the queue is drained.
+                if shared.crashed.load(Ordering::Acquire) {
+                    return;
+                }
                 if let Some((_, job)) = queue.pop_fair() {
                     break job;
                 }
@@ -441,7 +955,47 @@ fn worker_loop(shared: &Shared, widx: usize) {
                     .expect("admission queue poisoned: a holder panicked mid-update");
             }
         };
-        let outcome = execute_job(shared, widx, job);
+        let id = job.id;
+        let tenant = Arc::clone(&job.tenant);
+        let ckpt_dir = tenant.checkpoint_root.join(format!("job-{}", id.0));
+        if let Some(journal) = &shared.journal {
+            // Best-effort: a failed dispatch append degrades recovery
+            // precision (the job replays from pc 0), never correctness.
+            let _ = lock_journal(journal).append_dispatched(id.0);
+        }
+        // First heartbeat *before* the watchdog can see the job: a job
+        // that waited in the queue longer than the stall budget must not
+        // be born stalled.
+        job.control.beat();
+        lock_running(shared).insert(
+            id.0,
+            RunningJob {
+                control: job.control.clone(),
+                tenant: Arc::clone(&tenant),
+            },
+        );
+        let outcome = execute_job(shared, job);
+        lock_running(shared).remove(&id.0);
+        if shared.crashed.load(Ordering::Acquire) {
+            // Simulated crash: in-memory results die with the process.
+            // Nothing is journaled or published; recover() re-runs the
+            // job from its durable checkpoint.
+            return;
+        }
+        // Write-ahead ordering: the terminal record is durable before the
+        // outcome becomes observable. A crash between the two re-runs the
+        // job's outcome reconstruction at recovery, never loses it.
+        if let Some(journal) = &shared.journal {
+            let mut j = lock_journal(journal);
+            let res = match (&outcome.code, &outcome.output) {
+                (OutcomeCode::Ok, Some(output)) => j.append_completed(id.0, output),
+                _ => j.append_failed(id.0, outcome.code.as_u16(), &outcome.detail),
+            };
+            let _ = res; // journal write failure must not strand the job
+        }
+        tenant.breaker_record(outcome.code);
+        // The job is terminal; its checkpoints are garbage.
+        let _ = sweep_checkpoint_dir(&ckpt_dir);
         let mut outcomes = lock_outcomes(shared);
         outcomes.insert(outcome.id.0, outcome);
         shared.pending.fetch_sub(1, Ordering::AcqRel);
@@ -453,14 +1007,14 @@ fn worker_loop(shared: &Shared, widx: usize) {
 /// outcome codes, and a panic in the FHE stack (which would otherwise
 /// kill the worker and strand the queue) is contained as
 /// [`OutcomeCode::Internal`].
-fn execute_job(shared: &Shared, widx: usize, job: QueuedJob) -> JobOutcome {
+fn execute_job(shared: &Shared, job: QueuedJob) -> JobOutcome {
     let tenant = Arc::clone(&job.tenant);
     let id = job.id;
     let ops_before = OpSnapshot::capture();
     let mut recovery = RecoveryTelemetry::default();
     let mut retries = 0u32;
     let result = catch_unwind(AssertUnwindSafe(|| {
-        run_attempts(shared, widx, &job, &mut recovery, &mut retries)
+        run_attempts(shared, &job, &mut recovery, &mut retries)
     }))
     .unwrap_or_else(|_| {
         Err((
@@ -508,7 +1062,6 @@ fn classify(err: &FheError) -> AttemptError {
 
 fn run_attempts(
     shared: &Shared,
-    widx: usize,
     job: &QueuedJob,
     recovery: &mut RecoveryTelemetry,
     retries: &mut u32,
@@ -521,10 +1074,10 @@ fn run_attempts(
 
     let program = Program::try_deserialize(&job.spec.program_blob, tenant.fingerprint)
         .map_err(|e| classify(&e))?;
-    if program.needs_bootstrapper() {
+    if program.needs_bootstrapper() && tenant.booter.is_none() {
         return Err((
             OutcomeCode::Unsupported,
-            "this server does not host a bootstrapper; bootstrap programs are not served"
+            "this tenant does not host a bootstrapper; bootstrap programs are not served"
                 .to_string(),
         ));
     }
@@ -533,12 +1086,13 @@ fn run_attempts(
         .map_err(|e| classify(&e))?;
     let keys = tenant
         .keys
-        .get_or_load(ctx, &job.spec.key_blob)
+        .get_or_load_with_digest(ctx, &job.spec.key_blob, job.spec.key_blob.digest())
         .map_err(|e| classify(&e))?;
 
-    // Disjoint per-(tenant, worker) directory: the CheckpointStore owner
-    // lock never contends across tenants or workers.
-    let dir = tenant.checkpoint_root.join(format!("w{widx}"));
+    // Disjoint per-(tenant, job) directory: the CheckpointStore owner
+    // lock never contends, each job's corruption blast radius is itself,
+    // and a restarted server can resume exactly this job's checkpoints.
+    let dir = tenant.checkpoint_root.join(format!("job-{}", job.id.0));
     #[cfg(feature = "faults")]
     let mut plan = job.spec.fault_plan.clone();
 
@@ -552,12 +1106,15 @@ fn run_attempts(
         };
         let mut exec =
             PipelineExecutor::new(ctx, &keys, config).map_err(|e| classify(&e))?;
+        if let Some(booter) = tenant.booter.as_deref() {
+            exec = exec.with_bootstrapper(booter);
+        }
         exec.set_control(job.control.clone());
         #[cfg(feature = "faults")]
         if let Some(p) = plan.take() {
             exec.set_fault_plan(p);
         }
-        let res = if attempt == 0 {
+        let res = if attempt == 0 && !job.resume_first {
             exec.run(&input, &program)
         } else {
             exec.resume(&input, &program)
@@ -611,6 +1168,10 @@ fn run_attempts(
         if backoff > 0 {
             std::thread::sleep(Duration::from_millis(backoff));
         }
+        // A watchdog stall verdict is consumed by this retry: the mark is
+        // cleared (and the heartbeat refreshed) so the resumed attempt
+        // starts with a clean slate instead of instantly re-aborting.
+        job.control.clear_stall();
         attempt += 1;
     }
 }

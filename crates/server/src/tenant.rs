@@ -7,20 +7,27 @@
 //!   can never be decoded into tenant B's job;
 //! - key bundles live in a per-tenant LRU cache keyed by blob digest —
 //!   one tenant's churn evicts only its own entries;
-//! - checkpoint directories are disjoint per `(tenant, worker)` pair, so
-//!   the `CheckpointStore` owner lock never contends across tenants and a
-//!   corrupt checkpoint poisons at most one tenant's retry path.
+//! - checkpoint directories are disjoint per `(tenant, job)` pair, so the
+//!   `CheckpointStore` owner lock never contends across tenants, a
+//!   corrupt checkpoint poisons at most one job's retry path, and a
+//!   restarted server can resume any journaled job from its own dir;
+//! - a per-tenant [`CircuitBreaker`](crate::breaker) quarantines tenants
+//!   whose jobs keep failing destructively, without touching the
+//!   admission path of healthy tenants.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use cl_boot::BootstrapKeys;
+use cl_boot::{BootstrapKeys, Bootstrapper};
 use cl_ckks::serialize::fnv1a_fast;
 use cl_ckks::{CkksContext, FheResult};
 use cl_runtime::RecoveryTelemetry;
 use cl_trace::OpSnapshot;
+
+use crate::breaker::{BreakerReport, CircuitBreaker};
+use crate::OutcomeCode;
 
 /// Key-cache counters for one tenant.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -167,7 +174,22 @@ impl KeyCache {
     /// damage, checksum mismatch, or a foreign params fingerprint. A
     /// rejected blob is *not* cached — the next attempt revalidates.
     pub fn get_or_load(&self, ctx: &CkksContext, blob: &[u8]) -> FheResult<Arc<BootstrapKeys>> {
-        let digest = fnv1a_fast(blob);
+        self.get_or_load_with_digest(ctx, blob, fnv1a_fast(blob))
+    }
+
+    /// [`KeyCache::get_or_load`] with the `fnv1a_fast(blob)` digest
+    /// already in hand (e.g. cached on a [`crate::Blob`]): a cache hit
+    /// then costs one map lookup, not a re-hash of a megabyte bundle.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KeyCache::get_or_load`].
+    pub fn get_or_load_with_digest(
+        &self,
+        ctx: &CkksContext,
+        blob: &[u8],
+        digest: u64,
+    ) -> FheResult<Arc<BootstrapKeys>> {
         {
             let mut inner = self.lock();
             if let Some(node) = inner.entries.get(&digest) {
@@ -242,11 +264,17 @@ pub struct TenantState {
     pub fingerprint: u64,
     /// Parsed compact key bundles, bytes-bounded and LRU-evicted.
     pub keys: KeyCache,
-    /// Root under which this tenant's per-worker checkpoint dirs live.
+    /// Root under which this tenant's per-job checkpoint dirs live.
     pub checkpoint_root: PathBuf,
     /// Server-level retry units remaining (shared across the tenant's
     /// jobs; each restore-and-resume attempt burns one).
     pub retry_budget: AtomicU32,
+    /// Bootstrapper hosted for this tenant, when registered with one;
+    /// programs containing bootstrap ops are unservable without it.
+    pub(crate) booter: Option<Arc<Bootstrapper>>,
+    breaker: Mutex<CircuitBreaker>,
+    breaker_rejections: AtomicU64,
+    watchdog_stalls: AtomicU64,
     jobs_ok: AtomicU64,
     jobs_failed: AtomicU64,
     jobs_shed: AtomicU64,
@@ -271,6 +299,10 @@ impl TenantState {
             keys: KeyCache::new(key_cache_bytes),
             checkpoint_root,
             retry_budget: AtomicU32::new(retry_budget),
+            booter: None,
+            breaker: Mutex::new(CircuitBreaker::new(0, 0)),
+            breaker_rejections: AtomicU64::new(0),
+            watchdog_stalls: AtomicU64::new(0),
             jobs_ok: AtomicU64::new(0),
             jobs_failed: AtomicU64::new(0),
             jobs_shed: AtomicU64::new(0),
@@ -278,6 +310,46 @@ impl TenantState {
             recovery: Mutex::new(RecoveryTelemetry::default()),
             ops: Mutex::new(OpSnapshot::default()),
         }
+    }
+
+    /// Hosts a bootstrapper for this tenant (set before registration).
+    pub(crate) fn set_booter(&mut self, booter: Arc<Bootstrapper>) {
+        self.booter = Some(booter);
+    }
+
+    /// Configures the circuit breaker (set before registration;
+    /// `threshold == 0` leaves it disabled).
+    pub(crate) fn set_breaker(&mut self, threshold: u32, backoff_ms: u64) {
+        self.breaker = Mutex::new(CircuitBreaker::new(threshold, backoff_ms));
+    }
+
+    /// Breaker gate at admission: `Err(retry_after_ms)` quarantines the
+    /// submission. Rejections are counted here (tenant + global trace).
+    pub(crate) fn breaker_admit(&self) -> Result<(), u64> {
+        let verdict = self
+            .breaker
+            .lock()
+            .expect("breaker poisoned: a holder panicked mid-update")
+            .admit();
+        if verdict.is_err() {
+            self.breaker_rejections.fetch_add(1, Ordering::Relaxed);
+            cl_trace::record_breaker_rejection();
+        }
+        verdict
+    }
+
+    /// Feeds a finished job's outcome to the breaker.
+    pub(crate) fn breaker_record(&self, code: OutcomeCode) {
+        self.breaker
+            .lock()
+            .expect("breaker poisoned: a holder panicked mid-update")
+            .record(code);
+    }
+
+    /// Counts one watchdog stall verdict against this tenant.
+    pub(crate) fn record_stall(&self) {
+        self.watchdog_stalls.fetch_add(1, Ordering::Relaxed);
+        cl_trace::record_watchdog_stall();
     }
 
     /// Tries to consume one retry unit; `false` when the budget is spent.
@@ -334,6 +406,13 @@ impl TenantState {
                 .lock()
                 .expect("tenant op ledger poisoned: a holder panicked mid-update"),
             key_cache: self.keys.stats(),
+            breaker: self
+                .breaker
+                .lock()
+                .expect("breaker poisoned: a holder panicked mid-update")
+                .report(),
+            breaker_rejections: self.breaker_rejections.load(Ordering::Relaxed),
+            watchdog_stalls: self.watchdog_stalls.load(Ordering::Relaxed),
         }
     }
 }
@@ -362,6 +441,12 @@ pub struct TenantReport {
     pub ops: OpSnapshot,
     /// Key-cache behaviour.
     pub key_cache: KeyCacheStats,
+    /// Circuit-breaker state at this instant.
+    pub breaker: BreakerReport,
+    /// Submissions refused by the breaker over the tenant's lifetime.
+    pub breaker_rejections: u64,
+    /// Watchdog stall verdicts charged to this tenant's jobs.
+    pub watchdog_stalls: u64,
 }
 
 /// The registry mapping tenant ids to their state.

@@ -171,6 +171,107 @@ pub const fn enabled() -> bool {
     cfg!(feature = "trace")
 }
 
+/// Accumulated serving-layer durability counters, captured with
+/// [`ServingSnapshot::capture`]. These count orchestration events (journal
+/// records, watchdog verdicts, breaker transitions), not compute passes —
+/// they live apart from [`OpSnapshot`] so the exact op-count
+/// cross-validation gates in `bench.sh --check` are untouched by how much
+/// journaling a run happened to do.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServingSnapshot {
+    /// Write-ahead journal records appended.
+    pub journal_appends: u64,
+    /// Bytes of journal records appended (framing included).
+    pub journal_bytes: u64,
+    /// Journal records accepted during replay.
+    pub journal_replayed: u64,
+    /// Corrupt/torn journal bytes or records skipped during replay.
+    pub journal_skipped: u64,
+    /// Runs the watchdog marked stalled (each counted once).
+    pub watchdog_stalls: u64,
+    /// Tenant circuit breakers tripped open.
+    pub breaker_trips: u64,
+    /// Submissions rejected at admission by an open breaker.
+    pub breaker_rejections: u64,
+}
+
+impl ServingSnapshot {
+    /// Field-wise difference `self - earlier` (saturating).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &ServingSnapshot) -> ServingSnapshot {
+        ServingSnapshot {
+            journal_appends: self.journal_appends.saturating_sub(earlier.journal_appends),
+            journal_bytes: self.journal_bytes.saturating_sub(earlier.journal_bytes),
+            journal_replayed: self.journal_replayed.saturating_sub(earlier.journal_replayed),
+            journal_skipped: self.journal_skipped.saturating_sub(earlier.journal_skipped),
+            watchdog_stalls: self.watchdog_stalls.saturating_sub(earlier.watchdog_stalls),
+            breaker_trips: self.breaker_trips.saturating_sub(earlier.breaker_trips),
+            breaker_rejections: self
+                .breaker_rejections
+                .saturating_sub(earlier.breaker_rejections),
+        }
+    }
+
+    /// True when every counter is zero (always the case with `trace` off).
+    pub fn is_zero(&self) -> bool {
+        *self == ServingSnapshot::default()
+    }
+
+    /// The snapshot as a JSON object string (stable key order).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"journal_appends\": {}, \"journal_bytes\": {}, \
+             \"journal_replayed\": {}, \"journal_skipped\": {}, \
+             \"watchdog_stalls\": {}, \"breaker_trips\": {}, \
+             \"breaker_rejections\": {}}}",
+            self.journal_appends,
+            self.journal_bytes,
+            self.journal_replayed,
+            self.journal_skipped,
+            self.watchdog_stalls,
+            self.breaker_trips,
+            self.breaker_rejections
+        )
+    }
+
+    /// Captures the current global serving counters (all zero with `trace`
+    /// disabled).
+    pub fn capture() -> ServingSnapshot {
+        imp::capture_serving()
+    }
+}
+
+/// Records one write-ahead journal append of `bytes` bytes.
+#[inline(always)]
+pub fn record_journal_append(bytes: u64) {
+    imp::record_journal_append(bytes);
+}
+
+/// Records journal replay results: `accepted` records replayed and
+/// `skipped` corrupt/torn records (or resync gaps) rejected.
+#[inline(always)]
+pub fn record_journal_replay(accepted: u64, skipped: u64) {
+    imp::record_journal_replay(accepted, skipped);
+}
+
+/// Records one watchdog stall verdict.
+#[inline(always)]
+pub fn record_watchdog_stall() {
+    imp::record_watchdog_stall();
+}
+
+/// Records one tenant circuit breaker tripping open.
+#[inline(always)]
+pub fn record_breaker_trip() {
+    imp::record_breaker_trip();
+}
+
+/// Records one submission rejected at admission by an open breaker.
+#[inline(always)]
+pub fn record_breaker_rejection() {
+    imp::record_breaker_rejection();
+}
+
 /// Thread-safe accumulation of [`OpSnapshot`] deltas into named buckets.
 ///
 /// The global counters attribute work to the *process*; a serving layer
@@ -346,6 +447,7 @@ pub fn span_stats() -> Vec<(&'static str, SpanStats)> {
 /// {
 ///   "enabled": true,
 ///   "totals": {"ntt": 0, "intt": 0, ...},
+///   "serving": {"journal_appends": 0, ...},
 ///   "spans": {"keyswitch": {"count": 1, "total_ns": 12345, "ops": {...}}}
 /// }
 /// ```
@@ -356,6 +458,8 @@ pub fn profile_json() -> String {
     out.push_str(if enabled() { "true" } else { "false" });
     out.push_str(",\n  \"totals\": ");
     out.push_str(&totals.to_json());
+    out.push_str(",\n  \"serving\": ");
+    out.push_str(&ServingSnapshot::capture().to_json());
     out.push_str(",\n  \"spans\": {");
     let spans = span_stats();
     for (i, (name, s)) in spans.iter().enumerate() {
@@ -398,6 +502,16 @@ mod imp {
     static CT_MULTS: AtomicU64 = AtomicU64::new(0);
     static PT_MULTS: AtomicU64 = AtomicU64::new(0);
     static HINT_REGEN: AtomicU64 = AtomicU64::new(0);
+
+    // Serving-layer durability counters (journal/watchdog/breaker) — kept
+    // apart from the compute counters above so op-count gates stay exact.
+    static JOURNAL_APPENDS: AtomicU64 = AtomicU64::new(0);
+    static JOURNAL_BYTES: AtomicU64 = AtomicU64::new(0);
+    static JOURNAL_REPLAYED: AtomicU64 = AtomicU64::new(0);
+    static JOURNAL_SKIPPED: AtomicU64 = AtomicU64::new(0);
+    static WATCHDOG_STALLS: AtomicU64 = AtomicU64::new(0);
+    static BREAKER_TRIPS: AtomicU64 = AtomicU64::new(0);
+    static BREAKER_REJECTIONS: AtomicU64 = AtomicU64::new(0);
 
     type Registry = Mutex<BTreeMap<&'static str, SpanStats>>;
 
@@ -464,6 +578,45 @@ mod imp {
         HINT_REGEN.fetch_add(passes, Ordering::Relaxed);
     }
 
+    #[inline(always)]
+    pub fn record_journal_append(bytes: u64) {
+        JOURNAL_APPENDS.fetch_add(1, Ordering::Relaxed);
+        JOURNAL_BYTES.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    #[inline(always)]
+    pub fn record_journal_replay(accepted: u64, skipped: u64) {
+        JOURNAL_REPLAYED.fetch_add(accepted, Ordering::Relaxed);
+        JOURNAL_SKIPPED.fetch_add(skipped, Ordering::Relaxed);
+    }
+
+    #[inline(always)]
+    pub fn record_watchdog_stall() {
+        WATCHDOG_STALLS.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline(always)]
+    pub fn record_breaker_trip() {
+        BREAKER_TRIPS.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline(always)]
+    pub fn record_breaker_rejection() {
+        BREAKER_REJECTIONS.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn capture_serving() -> crate::ServingSnapshot {
+        crate::ServingSnapshot {
+            journal_appends: JOURNAL_APPENDS.load(Ordering::Relaxed),
+            journal_bytes: JOURNAL_BYTES.load(Ordering::Relaxed),
+            journal_replayed: JOURNAL_REPLAYED.load(Ordering::Relaxed),
+            journal_skipped: JOURNAL_SKIPPED.load(Ordering::Relaxed),
+            watchdog_stalls: WATCHDOG_STALLS.load(Ordering::Relaxed),
+            breaker_trips: BREAKER_TRIPS.load(Ordering::Relaxed),
+            breaker_rejections: BREAKER_REJECTIONS.load(Ordering::Relaxed),
+        }
+    }
+
     pub fn capture() -> OpSnapshot {
         OpSnapshot {
             ntt: NTT.load(Ordering::Relaxed),
@@ -483,7 +636,8 @@ mod imp {
     pub fn reset() {
         for c in [
             &NTT, &INTT, &MULT, &ADD, &BASE_CONV, &AUTOMORPH, &BYTES, &ROTATIONS, &CT_MULTS,
-            &PT_MULTS, &HINT_REGEN,
+            &PT_MULTS, &HINT_REGEN, &JOURNAL_APPENDS, &JOURNAL_BYTES, &JOURNAL_REPLAYED,
+            &JOURNAL_SKIPPED, &WATCHDOG_STALLS, &BREAKER_TRIPS, &BREAKER_REJECTIONS,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -557,10 +711,25 @@ mod imp {
     pub fn record_pt_mult() {}
     #[inline(always)]
     pub fn record_hint_regen(_passes: u64) {}
+    #[inline(always)]
+    pub fn record_journal_append(_bytes: u64) {}
+    #[inline(always)]
+    pub fn record_journal_replay(_accepted: u64, _skipped: u64) {}
+    #[inline(always)]
+    pub fn record_watchdog_stall() {}
+    #[inline(always)]
+    pub fn record_breaker_trip() {}
+    #[inline(always)]
+    pub fn record_breaker_rejection() {}
 
     #[inline(always)]
     pub fn capture() -> OpSnapshot {
         OpSnapshot::default()
+    }
+
+    #[inline(always)]
+    pub fn capture_serving() -> crate::ServingSnapshot {
+        crate::ServingSnapshot::default()
     }
 
     #[inline(always)]
@@ -671,6 +840,16 @@ mod tests {
             let json = profile_json();
             assert!(json.contains("\"enabled\": false"), "{json}");
         }
+
+        #[test]
+        fn serving_counters_are_no_ops() {
+            record_journal_append(128);
+            record_journal_replay(3, 1);
+            record_watchdog_stall();
+            record_breaker_trip();
+            record_breaker_rejection();
+            assert!(ServingSnapshot::capture().is_zero());
+        }
     }
 
     #[cfg(feature = "trace")]
@@ -739,6 +918,30 @@ mod tests {
             assert!(json.contains("\"enabled\": true"), "{json}");
             assert!(json.contains("\"test_span_json\""), "{json}");
             assert!(json.contains("\"totals\""), "{json}");
+            assert!(json.contains("\"serving\""), "{json}");
+        }
+
+        #[test]
+        fn serving_counters_accumulate_without_touching_op_counts() {
+            let _l = locked();
+            let ops_before = OpSnapshot::capture();
+            let before = ServingSnapshot::capture();
+            record_journal_append(100);
+            record_journal_append(28);
+            record_journal_replay(5, 2);
+            record_watchdog_stall();
+            record_breaker_trip();
+            record_breaker_rejection();
+            record_breaker_rejection();
+            let d = ServingSnapshot::capture().delta_since(&before);
+            assert_eq!(d.journal_appends, 2);
+            assert_eq!(d.journal_bytes, 128);
+            assert_eq!((d.journal_replayed, d.journal_skipped), (5, 2));
+            assert_eq!(d.watchdog_stalls, 1);
+            assert_eq!((d.breaker_trips, d.breaker_rejections), (1, 2));
+            // Orchestration events must never leak into the compute
+            // counters the op-count gates cross-validate.
+            assert!(OpSnapshot::capture().delta_since(&ops_before).is_zero());
         }
     }
 }

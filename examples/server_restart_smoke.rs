@@ -1,0 +1,166 @@
+//! Restart smoke: crash-durable serving end to end. A tenant submits a
+//! batch of jobs, the server is killed mid-flight (simulated `kill -9`:
+//! queue abandoned, in-memory outcomes lost, journal tail left as-is),
+//! and `JobServer::recover` restarts from the write-ahead journal — the
+//! finished jobs' outcomes are replayed, the unfinished ones re-admitted
+//! and resumed from their durable checkpoints. Every output must be
+//! limb-bit-identical to a serial fault-free reference run.
+//!
+//! `scripts/verify.sh` runs this as a tier-1 gate.
+//!
+//! Run with: `cargo run --release --example server_restart_smoke`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use craterlake::boot::BootstrapKeys;
+use craterlake::ckks::{CkksContext, CkksParams, GuardrailPolicy, KeySwitchKind};
+use craterlake::runtime::{ExecutorConfig, PipelineExecutor, PipelineOp, Program, RunOutcome};
+use craterlake::server::{FsyncPolicy, JobServer, JobSpec, ServerConfig, TenantSetup};
+
+const JOBS: usize = 6;
+
+fn program_for(j: usize) -> Program {
+    match j % 3 {
+        0 => Program::new()
+            .then(PipelineOp::Square)
+            .then(PipelineOp::Rescale)
+            .then(PipelineOp::Rotate(1)),
+        1 => Program::new()
+            .then(PipelineOp::AddPlain(vec![0.25, -0.125]))
+            .then(PipelineOp::Conjugate)
+            .then(PipelineOp::Rotate(2)),
+        _ => Program::new()
+            .then(PipelineOp::Rotate(2))
+            .then(PipelineOp::Square)
+            .then(PipelineOp::Rescale),
+    }
+}
+
+fn config(root: &std::path::Path) -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        checkpoint_root: root.to_path_buf(),
+        checkpoint_every: 1,
+        backoff_base_ms: 0,
+        // Every append durable before the submit acknowledges: what the
+        // client was told is admitted survives any crash.
+        journal_fsync: FsyncPolicy::Always,
+        ..ServerConfig::default()
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::thread_rng();
+    let params = CkksParams::builder()
+        .ring_degree(64)
+        .levels(4)
+        .special_limbs(4)
+        .limb_bits(45)
+        .scale_bits(40)
+        .build()?;
+    let ctx = Arc::new(CkksContext::new(params)?.with_policy(GuardrailPolicy::Strict {
+        min_budget_bits: -200.0,
+    }));
+    let sk = ctx.keygen_sparse(8, &mut rng);
+    let keys = BootstrapKeys::generate(&ctx, &sk, KeySwitchKind::Standard, &[1, 2], &mut rng);
+    let pt = ctx.encode(&[0.5, -0.25, 0.125], ctx.default_scale(), ctx.max_level());
+    let ct = ctx.encrypt(&pt, &sk, &mut rng);
+    let key_blob = keys.serialize(&ctx);
+    let input_blob = ctx.serialize_ciphertext(&ct);
+
+    // Serial fault-free references, one per job shape.
+    let mut reference = PipelineExecutor::new(
+        &ctx,
+        &keys,
+        ExecutorConfig {
+            checkpoint_every: 0,
+            max_retries: 0,
+            checkpoint_dir: None,
+        },
+    )?;
+    let mut expected = Vec::with_capacity(JOBS);
+    for j in 0..JOBS {
+        match reference.run(&ct, &program_for(j))? {
+            RunOutcome::Completed(out) => expected.push(ctx.serialize_ciphertext(&out)),
+            RunOutcome::Crashed => unreachable!("reference runs have no fault plan"),
+        }
+    }
+
+    let root = std::env::temp_dir().join(format!("cl_restart_smoke_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    // --- First life: submit everything, then die mid-batch.
+    let server = JobServer::start(config(&root))?;
+    server.register_tenant("tenant-a", Arc::clone(&ctx))?;
+    let mut ids = Vec::with_capacity(JOBS);
+    for j in 0..JOBS {
+        let spec = JobSpec::new(
+            "tenant-a",
+            program_for(j).serialize(ctx.params_fingerprint()),
+            input_blob.clone(),
+            key_blob.clone(),
+        );
+        ids.push(server.submit(spec)?.id);
+    }
+    // Let some (not all) jobs finish so the recovery exercises both the
+    // replayed-outcome path and the resume-from-checkpoint path.
+    while server.pending() > JOBS - 2 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let died_pending = server.pending();
+    server.kill();
+    println!(
+        "killed the server with {died_pending} of {JOBS} jobs unfinished \
+         (journal left as the crash tore it)"
+    );
+
+    // --- Second life: replay the journal, resume, converge.
+    let setups = [TenantSetup {
+        id: "tenant-a".to_string(),
+        ctx: Arc::clone(&ctx),
+        bootstrapper: None,
+    }];
+    let (server, report) = JobServer::recover(config(&root), &setups)?;
+    println!(
+        "recovery: {} records replayed ({} skipped), {} outcomes reconstructed, \
+         {} jobs resumed, {} orphaned, {} checkpoint dirs swept",
+        report.records_replayed,
+        report.records_skipped,
+        report.jobs_already_complete,
+        report.jobs_resumed,
+        report.jobs_orphaned,
+        report.checkpoint_dirs_swept,
+    );
+    assert_eq!(
+        report.jobs_already_complete + report.jobs_resumed,
+        JOBS as u64,
+        "every acknowledged job must be accounted for after the crash"
+    );
+    assert_eq!(report.jobs_orphaned, 0);
+    assert!(
+        report.jobs_already_complete >= 1,
+        "the kill waited for durable completions"
+    );
+
+    for (j, &id) in ids.iter().enumerate() {
+        let outcome = server.wait(id);
+        assert!(
+            outcome.is_ok(),
+            "job {j} failed after recovery: {}",
+            outcome.detail
+        );
+        assert_eq!(
+            outcome.output.as_deref(),
+            Some(expected[j].as_slice()),
+            "job {j}: recovered output must be limb-bit-identical to the reference"
+        );
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+    println!(
+        "restart smoke: OK ({} replayed + {} resumed, all {JOBS} bit-identical)",
+        report.jobs_already_complete, report.jobs_resumed
+    );
+    Ok(())
+}

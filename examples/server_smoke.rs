@@ -118,8 +118,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 if j % 3 == 2 {
                     // Corrupt the input payload past the header: admission
                     // passes, the worker's deep parse must reject it.
-                    let mid = 16 + (spec.input_blob.len() - 16) / 2;
-                    spec.input_blob[mid] ^= 0x10;
+                    let mut corrupted = tenant.input_blob.clone();
+                    let mid = 16 + (corrupted.len() - 16) / 2;
+                    corrupted[mid] ^= 0x10;
+                    spec.input_blob = corrupted.into();
                 } else {
                     spec.fault_plan =
                         Some(FaultPlan::new(0xFA_u64 + j as u64, 0.25).with_kill_point(2));

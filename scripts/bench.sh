@@ -206,6 +206,22 @@ if seq and one_w:
 else:
     sys.exit("bench check: server_seq_baseline/server_jobs_1w kernels missing")
 
+# Crash durability must stay cheap: the same 1-worker batch with the
+# write-ahead job journal on (blob records, lifecycle records, batch
+# fsync, one full lifecycle including journal open) may cost at most ~10%
+# over the journal-free server.
+JOURNAL_OVERHEAD = 1.10
+one_w, journaled = current.get("server_jobs_1w"), current.get("server_journal")
+if one_w and journaled:
+    ratio = journaled / one_w
+    print(f"bench check: server journaling overhead {ratio:.3f}x "
+          f"({one_w/1e6:.2f} ms -> {journaled/1e6:.2f} ms per batch)")
+    if ratio > JOURNAL_OVERHEAD:
+        sys.exit(f"bench check: server journaling overhead {ratio:.2f}x exceeds "
+                 f"{JOURNAL_OVERHEAD:.2f}x budget")
+else:
+    sys.exit("bench check: server_jobs_1w/server_journal kernels missing")
+
 # Software KSHGen residency: the hot-hint tier (bounded HintCache over
 # compact seeded keys) must hold a bootstrap-capable key set in at most a
 # quarter of the eagerly materialized footprint. The compact tier and the

@@ -47,6 +47,13 @@ echo "== tier-1: server smoke =="
 # as structured outcomes (examples/server_smoke.rs).
 cargo run --release --example server_smoke
 
+echo "== tier-1: server restart smoke =="
+# Crash durability: a server killed mid-batch must recover from its
+# write-ahead journal — finished outcomes replayed, unfinished jobs
+# resumed from durable checkpoints, all limb-bit-identical to the serial
+# reference (examples/server_restart_smoke.rs).
+cargo run --release --example server_restart_smoke
+
 echo "== tier-1: hint-cache smoke =="
 # The same BSGS transform and executor pipeline under a roomy vs a
 # thrashing hint cache must be limb-bit-identical: eviction may only ever

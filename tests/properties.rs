@@ -285,3 +285,95 @@ proptest! {
         prop_assert_eq!(bgv.decrypt(&ct, &sk), vals);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Write-ahead journal damage tolerance (crash-durable serving).
+// ---------------------------------------------------------------------------
+
+/// Writes a small but representative journal — shared blobs, four jobs in
+/// different lifecycle states — and returns its on-disk bytes plus the
+/// set of job ids it contains.
+fn seeded_journal_bytes() -> (Vec<u8>, Vec<u64>) {
+    use craterlake::server::{FsyncPolicy, Journal};
+    let dir = std::env::temp_dir().join(format!(
+        "cl-journal-prop-seed-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (mut journal, _) = Journal::open(&dir, FsyncPolicy::Never, 1_000).unwrap();
+    let program = vec![0xA5u8; 24];
+    let keys = vec![0x5Au8; 48];
+    let ids = vec![10u64, 11, 12, 13];
+    for (i, &id) in ids.iter().enumerate() {
+        let p = journal.append_blob(&program).unwrap();
+        let input = vec![i as u8; 32];
+        let inp = journal.append_blob(&input).unwrap();
+        let k = journal.append_blob(&keys).unwrap();
+        journal
+            .append_admitted(id, "tenant-x", Some(5_000), p, inp, k)
+            .unwrap();
+    }
+    journal.append_dispatched(10).unwrap();
+    journal.append_dispatched(11).unwrap();
+    journal.append_completed(10, &[1, 2, 3, 4]).unwrap();
+    journal.append_failed(11, 4, "integrity failure").unwrap();
+    journal.sync().unwrap();
+    let path = journal.path().to_path_buf();
+    drop(journal);
+    let bytes = std::fs::read(path).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    (bytes, ids)
+}
+
+/// Reopens journal bytes written to a fresh directory, asserting the
+/// replay machinery's damage contract: no panic, no error, and —
+/// because every record body is checksummed — anything replayed is a
+/// byte-identical original record, so replayed job ids are always a
+/// subset of the originals.
+fn assert_journal_damage_tolerated(tag: &str, bytes: &[u8], original_ids: &[u64]) {
+    use craterlake::server::{FsyncPolicy, Journal};
+    let dir = std::env::temp_dir().join(format!(
+        "cl-journal-prop-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("journal-0.wal"), bytes).unwrap();
+    let (_, replay) =
+        Journal::open(&dir, FsyncPolicy::Never, 1_000).expect("damage must never be fatal");
+    for job in &replay.jobs {
+        assert!(
+            original_ids.contains(&job.id),
+            "{tag}: replayed id {} never existed (checksum let damage through)",
+            job.id
+        );
+        // A damaged `Admitted` record may leave a partial entry (merged
+        // from later lifecycle records) with an empty tenant; an entry
+        // that *claims* admission must carry the original tenant intact.
+        if job.admitted {
+            assert_eq!(job.tenant, "tenant-x", "{tag}: tenant field damaged");
+        } else {
+            assert!(job.tenant.is_empty(), "{tag}: fabricated tenant");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Exhaustive sweep: every single-byte flip and every truncation length
+/// of a journal file is absorbed — damaged records are skipped (and the
+/// scan resyncs to later intact records), never a panic, never an error,
+/// never a fabricated job.
+#[test]
+fn journal_survives_every_single_byte_flip_and_truncation() {
+    let (bytes, ids) = seeded_journal_bytes();
+    for i in 0..bytes.len() {
+        let mut bad = bytes.clone();
+        bad[i] ^= 0x01;
+        assert_journal_damage_tolerated("flip", &bad, &ids);
+    }
+    for cut in 0..bytes.len() {
+        assert_journal_damage_tolerated("cut", &bytes[..cut], &ids);
+    }
+}

@@ -11,15 +11,24 @@
 //! - clean tenants are completely unaffected by the poisoned tenant;
 //! - the queue never holds more than its configured capacity, and every
 //!   overload rejection is an `FheError::Overloaded` with a retry hint.
+//!
+//! This suite is also where ROADMAP item 1's synthetic-load goal lives:
+//! the 128-job multi-tenant storm above plus the crash/recover rounds
+//! below (randomized kill points, torn journal tails, watchdog stalls,
+//! breaker quarantine) exercise the serving stack's concurrency under
+//! hostile conditions; a dedicated thousands-of-jobs fairness soak
+//! remains future headroom.
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use craterlake::boot::BootstrapKeys;
+use craterlake::boot::{BootstrapKeys, Bootstrapper};
 use craterlake::ckks::faults::FaultPlan;
 use craterlake::ckks::{CkksContext, CkksParams, FheError, GuardrailPolicy, KeySwitchKind};
 use craterlake::runtime::{ExecutorConfig, PipelineExecutor, PipelineOp, Program, RunOutcome};
-use craterlake::server::{JobId, JobServer, JobSpec, OutcomeCode, ServerConfig};
+use craterlake::server::{
+    FsyncPolicy, JobId, JobServer, JobSpec, OutcomeCode, ServerConfig, TenantSetup,
+};
 use rand::SeedableRng;
 
 const NUM_TENANTS: usize = 8;
@@ -149,6 +158,7 @@ fn chaos_multi_tenant_isolation_and_bit_exactness() {
         key_cache_bytes: 1 << 20,
         default_deadline: None,
         backoff_base_ms: 0,
+        ..ServerConfig::default()
     })
     .unwrap();
     for fx in &tenants {
@@ -198,7 +208,7 @@ fn chaos_multi_tenant_isolation_and_bit_exactness() {
             if t == POISONED {
                 if j % 7 == 3 {
                     kind = Kind::CorruptBlob;
-                    spec.input_blob = flip_body_byte(&fx.input_blob);
+                    spec.input_blob = flip_body_byte(&fx.input_blob).into();
                 } else {
                     kind = Kind::Faulted;
                     let seed = 0x5EED ^ (t as u64 * 1000 + j as u64);
@@ -414,9 +424,9 @@ fn fuzzed_blobs_are_rejected_without_collateral_damage() {
             let mut spec = good();
             let truncated = blob[..cut].to_vec();
             match slot {
-                "program" => spec.program_blob = truncated,
-                "input" => spec.input_blob = truncated,
-                _ => spec.key_blob = truncated,
+                "program" => spec.program_blob = truncated.into(),
+                "input" => spec.input_blob = truncated.into(),
+                _ => spec.key_blob = truncated.into(),
             }
             submit_hostile(&server, spec, &mut hostile, &mut good_ids, &good);
         }
@@ -427,9 +437,9 @@ fn fuzzed_blobs_are_rejected_without_collateral_damage() {
             flipped[pos] ^= 1 << (i % 8);
             let mut spec = good();
             match slot {
-                "program" => spec.program_blob = flipped,
-                "input" => spec.input_blob = flipped,
-                _ => spec.key_blob = flipped,
+                "program" => spec.program_blob = flipped.into(),
+                "input" => spec.input_blob = flipped.into(),
+                _ => spec.key_blob = flipped.into(),
             }
             submit_hostile(&server, spec, &mut hostile, &mut good_ids, &good);
         }
@@ -437,7 +447,7 @@ fn fuzzed_blobs_are_rejected_without_collateral_damage() {
     // Foreign fingerprint on the program blob.
     {
         let mut spec = good();
-        spec.program_blob = program_for(3, 0).serialize(fx.ctx.params_fingerprint() ^ 0xFFFF);
+        spec.program_blob = program_for(3, 0).serialize(fx.ctx.params_fingerprint() ^ 0xFFFF).into();
         submit_hostile(&server, spec, &mut hostile, &mut good_ids, &good);
     }
     assert!(hostile >= 40, "sweep must cover a meaningful surface: {hostile}");
@@ -497,4 +507,499 @@ fn submit_hostile(
     }
     // Interleave a fresh good job behind every hostile one.
     good_ids.push(server.submit(good()).unwrap().id);
+}
+
+// ---------------------------------------------------------------------------
+// Crash durability: kill/recover, watchdog, circuit breaker, checkpoint GC.
+// ---------------------------------------------------------------------------
+
+/// A tenant that hosts a bootstrapper: deep parameters, a bootstrapped
+/// program, and a serial fault-free reference output.
+struct BootFx {
+    id: String,
+    ctx: Arc<CkksContext>,
+    booter: Arc<Bootstrapper>,
+    key_blob: Vec<u8>,
+    input_blob: Vec<u8>,
+    programs: Vec<Program>,
+    expected: Vec<Vec<u8>>,
+}
+
+fn build_boot_tenant() -> BootFx {
+    let params = CkksParams::builder()
+        .ring_degree(64)
+        .levels(20)
+        .special_limbs(20)
+        .limb_bits(45)
+        .scale_bits(45)
+        .build()
+        .unwrap();
+    let ctx = Arc::new(CkksContext::new(params).unwrap().with_policy(
+        GuardrailPolicy::Strict {
+            min_budget_bits: -5000.0,
+        },
+    ));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xB007);
+    let sk = ctx.keygen_sparse(8, &mut rng);
+    let booter = Arc::new(Bootstrapper::new(&ctx, 8));
+    let keys = booter.keygen(&ctx, &sk, KeySwitchKind::Standard, &mut rng);
+    let pt = ctx.encode(&[0.9, -0.8, 0.7], ctx.default_scale(), ctx.max_level());
+    let ct = ctx.encrypt(&pt, &sk, &mut rng);
+
+    // Two program shapes with the bootstrap at different depths, so a
+    // randomized kill can land before, inside, or after the bootstrap.
+    let mut p0 = Program::new();
+    for _ in 0..4 {
+        p0 = p0.then(PipelineOp::Square).then(PipelineOp::Rescale);
+    }
+    p0 = p0.then(PipelineOp::Bootstrap).then(PipelineOp::Square).then(PipelineOp::Rescale);
+    let mut p1 = Program::new()
+        .then(PipelineOp::Square)
+        .then(PipelineOp::Rescale)
+        .then(PipelineOp::Bootstrap);
+    for _ in 0..2 {
+        p1 = p1.then(PipelineOp::Square).then(PipelineOp::Rescale);
+    }
+    let programs = vec![p0, p1];
+
+    let mut exec = PipelineExecutor::new(
+        &ctx,
+        &keys,
+        ExecutorConfig {
+            checkpoint_every: 0,
+            max_retries: 0,
+            checkpoint_dir: None,
+        },
+    )
+    .unwrap()
+    .with_bootstrapper(&booter);
+    let expected = programs
+        .iter()
+        .map(|p| match exec.run(&ct, p).unwrap() {
+            RunOutcome::Completed(out) => ctx.serialize_ciphertext(&out),
+            other => panic!("boot reference run did not complete: {other:?}"),
+        })
+        .collect();
+    BootFx {
+        id: "tenant-boot".to_string(),
+        key_blob: keys.serialize(&ctx),
+        input_blob: ctx.serialize_ciphertext(&ct),
+        programs,
+        expected,
+        booter,
+        ctx,
+    }
+}
+
+fn restart_config(root: &std::path::Path) -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        queue_capacity: 64,
+        tenant_queue_capacity: 64,
+        checkpoint_root: root.to_path_buf(),
+        checkpoint_every: 1,
+        backoff_base_ms: 0,
+        // Every record durable before the call returns: the acknowledged-
+        // implies-recoverable contract holds at any kill point.
+        journal_fsync: FsyncPolicy::Always,
+        ..ServerConfig::default()
+    }
+}
+
+/// Appends a partial garbage record to the newest journal generation —
+/// the on-disk state of a crash that died mid-append.
+fn tear_journal_tail(root: &std::path::Path) {
+    let dir = root.join("journal");
+    let newest = std::fs::read_dir(&dir)
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "wal"))
+        .max()
+        .expect("a journal generation must exist");
+    let mut bytes = std::fs::read(&newest).unwrap();
+    // A record header whose promised body never made it to disk.
+    bytes.extend_from_slice(b"CLJR\xff\x00\x00\x00torn");
+    std::fs::write(&newest, &bytes).unwrap();
+}
+
+/// The tentpole acceptance test: a multi-tenant workload (two plain
+/// tenants plus one hosting a bootstrapper) is killed at randomized
+/// points — before dispatch, mid-plain-pipeline, mid-bootstrap — and
+/// once with a torn journal tail. Recovery must give *every*
+/// acknowledged job an outcome limb-bit-identical to an uninterrupted
+/// run, with exact accounting and no leaked checkpoint directories.
+#[test]
+fn killed_server_recovers_every_acknowledged_job_bit_identically() {
+    let plain: Vec<TenantFx> = vec![build_tenant(3), build_tenant(4)];
+    let boot = build_boot_tenant();
+    const PLAIN_JOBS: usize = 4;
+
+    // Kill points: fixed delays land before dispatch (0ms) or mid-flight
+    // (bootstraps at these parameters straddle the longer ones); `None`
+    // waits until at least two jobs have durably completed, so the sweep
+    // always exercises the replayed-outcome path regardless of how slow
+    // the build is.
+    let kill_delays_ms = [Some(0u64), Some(8), Some(25), None];
+    let torn_iteration = 2;
+    let mut total_resumed = 0u64;
+    let mut total_complete = 0u64;
+
+    for (iter, &delay) in kill_delays_ms.iter().enumerate() {
+        let root = std::env::temp_dir().join(format!(
+            "cl-server-restart-{}-{iter}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let server = JobServer::start(restart_config(&root)).unwrap();
+        for fx in &plain {
+            server.register_tenant(&fx.id, Arc::clone(&fx.ctx)).unwrap();
+        }
+        server
+            .register_tenant_with_bootstrapper(
+                &boot.id,
+                Arc::clone(&boot.ctx),
+                Arc::clone(&boot.booter),
+            )
+            .unwrap();
+
+        // (id, tenant index: 0/1 plain, 2 boot, job index)
+        let mut submitted: Vec<(JobId, usize, usize)> = Vec::new();
+        for (pi, program) in boot.programs.iter().enumerate() {
+            let spec = JobSpec::new(
+                &boot.id,
+                program.serialize(boot.ctx.params_fingerprint()),
+                boot.input_blob.clone(),
+                boot.key_blob.clone(),
+            );
+            submitted.push((server.submit(spec).unwrap().id, 2, pi));
+        }
+        for (t, fx) in plain.iter().enumerate() {
+            for j in 0..PLAIN_JOBS {
+                let spec = JobSpec::new(
+                    &fx.id,
+                    program_for(t + 3, j).serialize(fx.ctx.params_fingerprint()),
+                    fx.input_blob.clone(),
+                    fx.key_blob.clone(),
+                );
+                submitted.push((server.submit(spec).unwrap().id, t, j));
+            }
+        }
+        let num_jobs = submitted.len() as u64;
+
+        match delay {
+            Some(ms) => std::thread::sleep(Duration::from_millis(ms)),
+            None => {
+                // Outcomes are journaled (and durable) before they are
+                // published, so two published outcomes guarantee two
+                // replayable terminal records.
+                while server.pending() > submitted.len() - 2 {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+        }
+        server.kill();
+        if iter == torn_iteration {
+            tear_journal_tail(&root);
+        }
+
+        let setups = vec![
+            TenantSetup {
+                id: plain[0].id.clone(),
+                ctx: Arc::clone(&plain[0].ctx),
+                bootstrapper: None,
+            },
+            TenantSetup {
+                id: plain[1].id.clone(),
+                ctx: Arc::clone(&plain[1].ctx),
+                bootstrapper: None,
+            },
+            TenantSetup {
+                id: boot.id.clone(),
+                ctx: Arc::clone(&boot.ctx),
+                bootstrapper: Some(Arc::clone(&boot.booter)),
+            },
+        ];
+        let (server, report) = JobServer::recover(restart_config(&root), &setups).unwrap();
+
+        // Accounting: every acknowledged job is either already complete
+        // (outcome reconstructed from the journal) or re-admitted; none
+        // vanish, none are orphaned, and the torn tail is absorbed as
+        // skipped — never an error.
+        assert_eq!(
+            report.jobs_resumed + report.jobs_already_complete,
+            num_jobs,
+            "iter {iter}: every acknowledged job must be accounted: {report:?}"
+        );
+        assert_eq!(report.jobs_orphaned, 0, "iter {iter}: {report:?}");
+        if iter == torn_iteration {
+            assert!(
+                report.records_skipped >= 1,
+                "iter {iter}: the torn tail must be counted: {report:?}"
+            );
+        } else {
+            assert_eq!(report.records_skipped, 0, "iter {iter}: {report:?}");
+        }
+        total_resumed += report.jobs_resumed;
+        total_complete += report.jobs_already_complete;
+
+        for &(id, t, j) in &submitted {
+            let outcome = server.wait(id);
+            let expected = match t {
+                2 => &boot.expected[j],
+                _ => &plain[t].expected[j],
+            };
+            assert_eq!(
+                outcome.code,
+                OutcomeCode::Ok,
+                "iter {iter}, t{t} j{j}: recovered job failed: {}",
+                outcome.detail
+            );
+            assert_eq!(
+                outcome.output.as_deref(),
+                Some(expected.as_slice()),
+                "iter {iter}, t{t} j{j}: recovered output must be \
+                 limb-bit-identical to an uninterrupted run"
+            );
+        }
+        server.shutdown();
+
+        // Checkpoint GC: after a graceful shutdown no per-job directory
+        // survives, only the journal and the tenant roots.
+        for fx_id in [&plain[0].id, &plain[1].id, &boot.id] {
+            let tenant_root = root.join(fx_id);
+            let leftovers: Vec<_> = std::fs::read_dir(&tenant_root)
+                .map(|rd| {
+                    rd.flatten()
+                        .filter(|e| e.file_name().to_string_lossy().starts_with("job-"))
+                        .collect()
+                })
+                .unwrap_or_default();
+            assert!(
+                leftovers.is_empty(),
+                "iter {iter}: leaked checkpoint dirs for {fx_id}: {leftovers:?}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+    // Across the sweep, the kill must have caught jobs in both states:
+    // some mid-flight (resumed from checkpoints) and — at the longer
+    // delays — some already durably complete.
+    assert!(total_resumed > 0, "no kill point caught a job mid-flight");
+    assert!(
+        total_complete > 0,
+        "no kill point let any job finish first; delays are miscalibrated"
+    );
+}
+
+/// Watchdog acceptance: a job whose fault plan stalls one micro-op far
+/// past the stall budget is detected by the supervisor, aborted at the
+/// next heartbeat check, and re-dispatched from its checkpoint — still
+/// converging bit-identically.
+#[test]
+fn watchdog_detects_stalled_job_and_redispatches_it() {
+    let fx = build_tenant(5);
+    let root = std::env::temp_dir().join(format!("cl-server-stall-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let server = JobServer::start(ServerConfig {
+        workers: 1,
+        checkpoint_root: root.clone(),
+        checkpoint_every: 1,
+        backoff_base_ms: 0,
+        max_job_retries: 3,
+        stall_budget: Duration::from_millis(60),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    server.register_tenant(&fx.id, Arc::clone(&fx.ctx)).unwrap();
+
+    // program_for(5, 1) has four micro-ops; the stall must *not* hit the
+    // last one — the stall verdict only surfaces at the next micro-op's
+    // heartbeat check, so a job that hangs on its final op just finishes.
+    let mut spec = JobSpec::new(
+        &fx.id,
+        program_for(5, 1).serialize(fx.ctx.params_fingerprint()),
+        fx.input_blob.clone(),
+        fx.key_blob.clone(),
+    );
+    // No bit flips — only a 400ms hang at the second micro-op, nearly 7x
+    // the stall budget, so the supervisor (ticking at budget/4) cannot
+    // miss it even on a slow machine.
+    spec.fault_plan = Some(FaultPlan::new(0x57A11, 0.0).with_stall_point(1, 400));
+    let handle = server.submit(spec).unwrap();
+    let outcome = server.wait(handle.id);
+
+    assert_eq!(
+        outcome.code,
+        OutcomeCode::Ok,
+        "stalled job must be re-dispatched to completion: {}",
+        outcome.detail
+    );
+    assert_eq!(
+        outcome.output.as_deref(),
+        Some(fx.expected[1].as_slice()),
+        "re-dispatched output must be limb-bit-identical"
+    );
+    assert!(
+        outcome.retries >= 1,
+        "the stall verdict must consume a server-level retry"
+    );
+    let report = server.tenant_report(&fx.id).unwrap();
+    assert!(
+        report.watchdog_stalls >= 1,
+        "the watchdog must have charged the stall: {report:?}"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Circuit-breaker acceptance: a tenant whose jobs keep failing with
+/// integrity faults is quarantined at admission after the configured
+/// threshold, while a clean tenant on the same server is untouched.
+#[test]
+fn poisoned_tenant_trips_breaker_without_collateral_damage() {
+    let bad = build_tenant(5);
+    let good = build_tenant(6);
+    let root = std::env::temp_dir().join(format!("cl-server-breaker-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let server = JobServer::start(ServerConfig {
+        workers: 1,
+        checkpoint_root: root.clone(),
+        backoff_base_ms: 0,
+        executor_retries: 0,
+        max_job_retries: 0,
+        breaker_threshold: 2,
+        // Long enough that the test never races the half-open transition.
+        breaker_backoff_ms: 60_000,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    server.register_tenant(&bad.id, Arc::clone(&bad.ctx)).unwrap();
+    server.register_tenant(&good.id, Arc::clone(&good.ctx)).unwrap();
+
+    // A flipped limb-payload byte: passes the admission header peek,
+    // fails the worker's checksummed deep parse as an integrity fault.
+    let corrupt_input = {
+        let mut blob = bad.input_blob.clone();
+        let pos = blob.len() - 16;
+        blob[pos] ^= 1 << 3;
+        blob
+    };
+    let corrupt_spec = || {
+        let mut spec = JobSpec::new(
+            &bad.id,
+            program_for(5, 0).serialize(bad.ctx.params_fingerprint()),
+            bad.input_blob.clone(),
+            bad.key_blob.clone(),
+        );
+        spec.input_blob = corrupt_input.clone().into();
+        spec
+    };
+
+    // Two consecutive breaker-class failures reach the threshold.
+    for i in 0..2 {
+        let outcome = server.wait(server.submit(corrupt_spec()).unwrap().id);
+        assert_eq!(
+            outcome.code,
+            OutcomeCode::IntegrityFailure,
+            "poison job {i} must fail as an integrity fault: {}",
+            outcome.detail
+        );
+    }
+    // The third submission is refused at the door.
+    match server.submit(corrupt_spec()) {
+        Err(FheError::TenantQuarantined { retry_after_ms, .. }) => {
+            assert!(retry_after_ms > 0, "quarantine needs an actionable hint");
+        }
+        other => panic!("tripped breaker must quarantine, got {other:?}"),
+    }
+
+    // The clean tenant is completely unaffected — before and after.
+    for j in 0..2 {
+        let spec = JobSpec::new(
+            &good.id,
+            program_for(6, j).serialize(good.ctx.params_fingerprint()),
+            good.input_blob.clone(),
+            good.key_blob.clone(),
+        );
+        let outcome = server.wait(server.submit(spec).unwrap().id);
+        assert!(outcome.is_ok(), "clean tenant hit: {}", outcome.detail);
+        assert_eq!(outcome.output.as_deref(), Some(good.expected[j].as_slice()));
+    }
+
+    let bad_report = server.tenant_report(&bad.id).unwrap();
+    assert_eq!(bad_report.breaker.state, "open", "{bad_report:?}");
+    assert_eq!(bad_report.breaker.trips, 1);
+    assert_eq!(bad_report.breaker_rejections, 1);
+    let good_report = server.tenant_report(&good.id).unwrap();
+    assert_eq!(good_report.breaker.state, "closed");
+    assert_eq!(good_report.breaker_rejections, 0);
+    assert_eq!(good_report.jobs_failed, 0);
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Checkpoint GC regression: `recover()` sweeps `job-<id>` directories
+/// that no longer correspond to a live job, and `shutdown()` leaves no
+/// per-job directories behind.
+#[test]
+fn recover_sweeps_orphaned_checkpoint_dirs() {
+    let fx = build_tenant(5);
+    let root = std::env::temp_dir().join(format!("cl-server-gc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    let server = JobServer::start(restart_config(&root)).unwrap();
+    server.register_tenant(&fx.id, Arc::clone(&fx.ctx)).unwrap();
+    let ids: Vec<JobId> = (0..2)
+        .map(|j| {
+            let spec = JobSpec::new(
+                &fx.id,
+                program_for(5, j).serialize(fx.ctx.params_fingerprint()),
+                fx.input_blob.clone(),
+                fx.key_blob.clone(),
+            );
+            server.submit(spec).unwrap().id
+        })
+        .collect();
+    for &id in &ids {
+        assert!(server.wait(id).is_ok());
+    }
+    server.kill();
+
+    // Debris from a hypothetical previous incarnation: directories for
+    // jobs the journal knows nothing about.
+    let tenant_root = root.join(&fx.id);
+    for orphan in [777u64, 778] {
+        std::fs::create_dir_all(tenant_root.join(format!("job-{orphan}"))).unwrap();
+    }
+
+    let setups = [TenantSetup {
+        id: fx.id.clone(),
+        ctx: Arc::clone(&fx.ctx),
+        bootstrapper: None,
+    }];
+    let (server, report) = JobServer::recover(restart_config(&root), &setups).unwrap();
+    assert_eq!(report.jobs_already_complete, 2, "{report:?}");
+    assert_eq!(report.jobs_resumed, 0, "{report:?}");
+    assert!(
+        report.checkpoint_dirs_swept >= 2,
+        "both orphan dirs must be collected: {report:?}"
+    );
+    assert!(!tenant_root.join("job-777").exists());
+    assert!(!tenant_root.join("job-778").exists());
+
+    // Replayed outcomes carry the original payloads bit-identically.
+    for (j, &id) in ids.iter().enumerate() {
+        let outcome = server.outcome(id).expect("replayed outcome");
+        assert_eq!(outcome.output.as_deref(), Some(fx.expected[j].as_slice()));
+    }
+    server.shutdown();
+    let leftovers = std::fs::read_dir(&tenant_root)
+        .unwrap()
+        .flatten()
+        .filter(|e| e.file_name().to_string_lossy().starts_with("job-"))
+        .count();
+    assert_eq!(leftovers, 0, "shutdown must leave no per-job dirs");
+    let _ = std::fs::remove_dir_all(&root);
 }
