@@ -24,6 +24,7 @@ mod lola;
 mod logreg;
 mod lstm;
 mod resnet;
+mod runnable;
 
 pub use bootstrap_bench::{packed_bootstrapping, packed_bootstrapping_at, unpacked_bootstrapping};
 pub use kernels::{bsgs_matvec, poly_eval, rotation_reduce};
@@ -31,6 +32,7 @@ pub use lola::{lola_cifar_uw, lola_mnist_ew, lola_mnist_uw};
 pub use logreg::{logistic_regression, logistic_regression_at};
 pub use lstm::{lstm, lstm_at};
 pub use resnet::{resnet20, resnet20_at};
+pub use runnable::{eval_plain, lola_layer_runnable, RunnableWorkload};
 
 use cl_isa::HeGraph;
 

@@ -236,6 +236,93 @@ fn run_op_counts(cfg: &Config, n: usize, limbs: usize, bits: u32) {
         None,
     ));
 
+    // Compiler-driven execution: a BSGS LoLa layer graph lowered to a
+    // pipeline Program and executed warm through the executor.
+    // `cl_compiler::predict_program`'s closed form is the *expected* side,
+    // gated exactly by `scripts/bench.sh --check` like the keyswitch and
+    // rescale identities above — the compiled-execution cost model is
+    // re-proven at this run's shape on every bench run.
+    {
+        use cl_runtime::{ExecutorConfig, PipelineExecutor, RunOutcome};
+
+        let sctx = CkksContext::new(
+            CkksParams::builder()
+                .ring_degree(n)
+                .levels(limbs)
+                .special_limbs(limbs)
+                .limb_bits(bits)
+                .scale_bits(bits - 4)
+                .build()
+                .expect("params"),
+        )
+        .expect("ckks context")
+        .with_policy(cl_ckks::GuardrailPolicy::Strict {
+            min_budget_bits: -200.0,
+        });
+        let slots = sctx.params().slots();
+        let w = cl_apps::lola_layer_runnable(slots, limbs, 8, 1, false);
+        let lowered = cl_compiler::lower_to_program(
+            &w.graph,
+            &cl_compiler::LowerOptions {
+                slots,
+                plain: w.plain.clone(),
+                reorder: true,
+                auto_bootstrap: None,
+                max_live_cts: None,
+            },
+        )
+        .expect("layer lowers");
+        let ksk = sctx.keygen(&mut rng);
+        let keys = cl_boot::BootstrapKeys::generate(
+            &sctx,
+            &ksk,
+            KeySwitchKind::Standard,
+            &lowered.rotation_steps,
+            &mut rng,
+        );
+        let img: Vec<f64> = (0..slots).map(|i| (i % 7) as f64 * 0.1 - 0.3).collect();
+        let cx = sctx.encrypt(&sctx.encode(&img, sctx.default_scale(), limbs), &ksk, &mut rng);
+        let run_compiled = || {
+            let mut exec = PipelineExecutor::new(
+                &sctx,
+                &keys,
+                ExecutorConfig {
+                    checkpoint_every: 0,
+                    max_retries: 0,
+                    checkpoint_dir: None,
+                },
+            )
+            .expect("executor");
+            match exec
+                .run_graph(std::slice::from_ref(&cx), &lowered.program)
+                .expect("compiled run")
+            {
+                RunOutcome::Completed(out) => out,
+                RunOutcome::Crashed => unreachable!("no fault plan"),
+            }
+        };
+        run_compiled(); // warm: materialize every seeded hint first
+        let p = cl_compiler::predict_program(
+            limbs,
+            KeySwitchKind::Standard,
+            &[limbs],
+            &lowered.program,
+        )
+        .expect("program predicts");
+        kernels.push((
+            "compiled_lola_layer",
+            measure(&mut || {
+                std::hint::black_box(run_compiled());
+            }),
+            Some(vec![
+                ("ntt_total", p.ntt + p.intt),
+                ("mult", p.mult),
+                ("add", p.add),
+                ("base_conv", p.base_conv),
+            ]),
+        ));
+    }
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"label\": \"{}\",", cfg.label);
@@ -680,6 +767,67 @@ fn main() {
             }),
         ));
         let _ = std::fs::remove_dir_all(&ckpt_dir);
+
+        // --- Compiler-driven execution ------------------------------------
+        // A BSGS LoLa layer graph lowered to a pipeline Program
+        // (`compile_lola_layer` is the graph->Program compile itself) and
+        // executed warm through the executor (`compiled_layer_run`). The
+        // `--ops` mode runs the same compiled program with its op counts
+        // gated exactly against `cl_compiler::predict_program`.
+        {
+            let slots = ctx.params().slots();
+            let w = cl_apps::lola_layer_runnable(slots, limbs, 8, 1, false);
+            let opts = cl_compiler::LowerOptions {
+                slots,
+                plain: w.plain.clone(),
+                reorder: true,
+                auto_bootstrap: None,
+                max_live_cts: None,
+            };
+            results.push((
+                "compile_lola_layer",
+                time_ns(cfg.smoke, || {
+                    std::hint::black_box(
+                        cl_compiler::lower_to_program(&w.graph, &opts).expect("layer lowers"),
+                    );
+                }),
+            ));
+            let lowered = cl_compiler::lower_to_program(&w.graph, &opts).expect("layer lowers");
+            let ckeys = cl_boot::BootstrapKeys::generate(
+                &ctx,
+                &sk,
+                KeySwitchKind::Boosted { digits: 1 },
+                &lowered.rotation_steps,
+                &mut rng,
+            );
+            let img: Vec<f64> = (0..slots).map(|i| (i % 7) as f64 * 0.1 - 0.3).collect();
+            let cx = ctx.encrypt(&ctx.encode(&img, ctx.default_scale(), limbs), &sk, &mut rng);
+            let run_compiled = || {
+                let mut exec = PipelineExecutor::new(
+                    &ctx,
+                    &ckeys,
+                    ExecutorConfig {
+                        checkpoint_every: 0,
+                        max_retries: 0,
+                        checkpoint_dir: None,
+                    },
+                )
+                .expect("executor");
+                match exec
+                    .run_graph(std::slice::from_ref(&cx), &lowered.program)
+                    .expect("compiled run")
+                {
+                    RunOutcome::Completed(out) => out,
+                    RunOutcome::Crashed => unreachable!("no fault plan"),
+                }
+            };
+            results.push((
+                "compiled_layer_run",
+                time_ns(cfg.smoke, || {
+                    std::hint::black_box(run_compiled());
+                }),
+            ));
+        }
 
         // --- Job server: scheduling overhead and scaling -------------------
         // The same batch of jobs three ways: straight through the executor

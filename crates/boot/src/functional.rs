@@ -46,7 +46,13 @@ use rand::Rng;
 pub struct BootstrapKeys {
     relin: CompactKeySwitchKey,
     conj: CompactKeySwitchKey,
+    /// Keyed by **canonical** step (`step.rem_euclid(slots)`), so every
+    /// congruent spelling of a rotation — `-k`, `slots - k`, `k + slots` —
+    /// resolves to the same key.
     rotations: HashMap<i64, CompactKeySwitchKey>,
+    /// Rotation-group order (`n/2`), the modulus of step canonicalization.
+    /// Derived from the context at construction, not serialized.
+    slots: usize,
     /// `None` = the process-wide [`HintCache::global`].
     cache: Option<Arc<HintCache>>,
 }
@@ -54,8 +60,10 @@ pub struct BootstrapKeys {
 impl BootstrapKeys {
     /// Generates keyswitch keys for an explicit set of rotation steps (plus
     /// the relinearization and conjugation keys every bootstrap needs),
-    /// keeping only the compact form resident. Step 0 is skipped — the
-    /// identity rotation needs no key.
+    /// keeping only the compact form resident. Steps are canonicalized to
+    /// `[0, slots)` first — congruent spellings (`-k` vs `slots - k`) share
+    /// one key — and step 0 is skipped (the identity rotation needs no
+    /// key).
     pub fn generate<R: Rng + ?Sized>(
         ctx: &CkksContext,
         sk: &SecretKey,
@@ -63,7 +71,12 @@ impl BootstrapKeys {
         steps: &[i64],
         rng: &mut R,
     ) -> Self {
-        let mut uniq: Vec<i64> = steps.iter().copied().filter(|&d| d != 0).collect();
+        let slots = ctx.params().slots();
+        let mut uniq: Vec<i64> = steps
+            .iter()
+            .map(|&d| cl_math::canonical_rotation_step(d, slots))
+            .filter(|&d| d != 0)
+            .collect();
         uniq.sort_unstable();
         uniq.dedup();
         let rotations = uniq
@@ -74,6 +87,7 @@ impl BootstrapKeys {
             relin: ctx.relin_keygen(sk, kind, rng).to_compact(),
             conj: ctx.conjugation_keygen(sk, kind, rng).to_compact(),
             rotations,
+            slots,
             cache: None,
         }
     }
@@ -134,16 +148,22 @@ impl BootstrapKeys {
         &self.conj
     }
 
-    /// The compact rotation key for `step`, in O(1).
+    /// The compact rotation key for `step`, in O(1). The lookup
+    /// canonicalizes first, so any congruent spelling of a held rotation —
+    /// negative, or offset by a multiple of the slot count — resolves to
+    /// the same key.
     ///
     /// # Errors
     ///
     /// [`FheError::MissingKey`] naming the step when no key was generated
-    /// for it.
+    /// for its congruence class.
     pub fn rot_compact(&self, step: i64) -> FheResult<&CompactKeySwitchKey> {
-        self.rotations.get(&step).ok_or_else(|| FheError::MissingKey {
-            what: format!("rotation key for step {step}"),
-        })
+        let canon = cl_math::canonical_rotation_step(step, self.slots);
+        self.rotations
+            .get(&canon)
+            .ok_or_else(|| FheError::MissingKey {
+                what: format!("rotation key for step {step} (canonical {canon})"),
+            })
     }
 
     /// Every rotation step this bundle holds a key for, sorted.
@@ -243,15 +263,23 @@ impl BootstrapKeys {
         }
         let relin = ctx.try_deserialize_compact_keyswitch_key(r.take(relin_len)?)?;
         let conj = ctx.try_deserialize_compact_keyswitch_key(r.take(conj_len)?)?;
+        let slots = ctx.params().slots();
         let mut rotations = HashMap::with_capacity(num_rot);
         for (step, len) in steps.into_iter().zip(rot_lens) {
-            rotations.insert(step, ctx.try_deserialize_compact_keyswitch_key(r.take(len)?)?);
+            // Canonicalize on load: bundles written before steps were
+            // normalized may carry negative spellings; congruent duplicates
+            // collapse onto one key (they implement the same automorphism).
+            rotations.insert(
+                cl_math::canonical_rotation_step(step, slots),
+                ctx.try_deserialize_compact_keyswitch_key(r.take(len)?)?,
+            );
         }
         r.finish()?;
         Ok(Self {
             relin,
             conj,
             rotations,
+            slots,
             cache: None,
         })
     }
@@ -1318,6 +1346,48 @@ mod tests {
         for (g, e) in got.iter().zip(&expect) {
             assert!((*g - *e).abs() < 1e-2, "{g:?} vs {e:?}");
         }
+    }
+
+    #[test]
+    fn negative_rotation_step_resolves_to_its_canonical_key_and_slots() {
+        // Regression (aliased rotation steps): a bundle generated for the
+        // canonical step `slots - k` must serve a lookup spelled `-k`, and
+        // the two spellings must rotate bit-identically — before step
+        // canonicalization, `try_rot_key(-k)` was a MissingKey even though
+        // the congruent key existed.
+        let ctx = boot_ctx();
+        let slots = ctx.params().slots() as i64;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        let sk = ctx.keygen_sparse(8, &mut rng);
+        let keys = BootstrapKeys::generate(
+            &ctx,
+            &sk,
+            KeySwitchKind::Standard,
+            &[slots - 3],
+            &mut rng,
+        );
+        // Canonicalized key set: one key, at the canonical step.
+        assert_eq!(keys.rotation_steps(), vec![slots - 3]);
+        let k_neg = keys
+            .try_rot_key(&ctx, -3)
+            .expect("-3 must resolve to the congruent canonical key");
+        let k_pos = keys.try_rot_key(&ctx, slots - 3).unwrap();
+        assert!(Arc::ptr_eq(&k_neg, &k_pos), "one congruence class, one key");
+        // And the rotations themselves are the same slot permutation.
+        let pt = ctx.encode(&[1.0, 2.0, 3.0, 4.0], ctx.default_scale(), ctx.max_level());
+        let ct = ctx.encrypt(&pt, &sk, &mut rng);
+        let r_neg = ctx.try_rotate(&ct, -3, k_neg.as_ref()).unwrap();
+        let r_pos = ctx.try_rotate(&ct, slots - 3, k_pos.as_ref()).unwrap();
+        assert_eq!(r_neg, r_pos, "congruent steps must rotate bit-identically");
+        // A generate() fed *both* spellings collapses them onto one key.
+        let both = BootstrapKeys::generate(
+            &ctx,
+            &sk,
+            KeySwitchKind::Standard,
+            &[-3, slots - 3, slots + 5, 5],
+            &mut rng,
+        );
+        assert_eq!(both.rotation_steps(), vec![5, slots - 3]);
     }
 
     #[test]

@@ -18,13 +18,28 @@
 //!    machine's resource timelines; operand residency uses Belady's MIN with
 //!    next-use chains computed in a first pass, and loads are decoupled
 //!    (prefetched) as in the paper's greedy load scheduler.
+//! 4. **Execution lowering** ([`lower_to_program`]): compiles a graph into
+//!    a runnable `cl-runtime` [`cl_runtime::Program`] — rotation
+//!    canonicalization and deduplication, hoisted rotation batches,
+//!    `MulPlain`+`Rescale` fusion, free-at-last-use slot residency, and
+//!    optional noise-tracked bootstrap insertion — while
+//!    [`predict_program`] computes the exact instrumented op counts the
+//!    run will report, making the cost model a tested invariant.
 
 #![warn(missing_docs)]
 
 mod lower;
+mod predict;
+mod program_lower;
 mod reorder;
 mod schedule;
 
-pub use lower::{keyswitch_macro_ops, lower_node};
+pub use lower::{keyswitch_macro_ops, lower_node, CHAINING_RF_FACTOR};
+pub use predict::{predict_program, PredictError};
+pub use program_lower::{
+    lower_to_program, AutoBootstrap, LowerError, LowerOptions, LoweredProgram, ScheduleCounts,
+};
 pub use reorder::reuse_order;
-pub use schedule::{compile_and_run, CompileOptions, KsPolicy};
+pub use schedule::{
+    compile_and_run, try_compile_and_run, CompileError, CompileOptions, KsPolicy,
+};

@@ -23,7 +23,11 @@ fn rf_words_for_passes(n: usize, passes: u64, chained: bool) -> u64 {
     // 3N words through the register file.
     let raw = 3 * n as u64 * passes;
     if chained {
-        (raw as f64 / CHAINING_RF_FACTOR) as u64
+        // raw / 3.5 == 2*raw / 7, rounded up: a partial chaining window
+        // still moves a whole word, and exact integer arithmetic keeps the
+        // count stable where f64 division would truncate (or lose low bits
+        // entirely above 2^53).
+        (2 * raw).div_ceil(7)
     } else {
         raw
     }
@@ -281,6 +285,25 @@ mod tests {
         assert!(op.passes(FuKind::Automorphism) > 0);
         assert!(op.passes(FuKind::Ntt) > 0);
         assert!(op.net_words > 0);
+    }
+
+    #[test]
+    fn chained_rf_words_round_up_exactly() {
+        // One pass at N=64K: raw = 196608 words, and 196608 / 3.5 =
+        // 56173.714..., so the chained count must round UP to 56174. The
+        // old float path truncated to 56173, undercounting traffic.
+        assert_eq!(rf_words_for_passes(N, 1, true), 56174);
+        // Unchained traffic is untouched.
+        assert_eq!(rf_words_for_passes(N, 1, false), 196_608);
+        // Exact multiples of the 2/7 ratio stay exact (no over-rounding).
+        assert_eq!(rf_words_for_passes(7, 1, true), 6);
+        // Ceiling, never floor, across a sweep of pass counts.
+        for passes in 1..64u64 {
+            let raw = 3 * N as u64 * passes;
+            let got = rf_words_for_passes(N, passes, true);
+            assert!(7 * got >= 2 * raw, "passes={passes}: rounded down");
+            assert!(7 * got < 2 * raw + 7, "passes={passes}: rounded too far up");
+        }
     }
 
     #[test]

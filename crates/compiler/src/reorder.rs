@@ -165,6 +165,87 @@ mod tests {
         assert_eq!(order, expected);
     }
 
+    /// Builds a random same-level DAG from a compact recipe: each entry
+    /// appends one node whose operands are picked among the existing ones.
+    fn build_random_graph(recipe: &[(u8, u8, i8)]) -> HeGraph {
+        let mut g = HeGraph::new();
+        let mut values = vec![g.input(3)];
+        for &(kind, sel, step) in recipe {
+            let a = values[sel as usize % values.len()];
+            let b = values[(sel as usize / 7) % values.len()];
+            let v = match kind % 6 {
+                0 => g.input(3),
+                1 => g.add(a, b),
+                2 => g.sub(a, b),
+                3 => g.mul_ct(a, b),
+                4 => g.rotate(a, step as i64),
+                _ => g.conjugate(a),
+            };
+            values.push(v);
+        }
+        let last = *values.last().expect("non-empty");
+        g.output(last);
+        g
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn reuse_order_is_a_valid_topological_permutation(
+            recipe in proptest::collection::vec(
+                (proptest::prelude::any::<u8>(), proptest::prelude::any::<u8>(),
+                 proptest::prelude::any::<i8>()),
+                0..150,
+            )
+        ) {
+            let g = build_random_graph(&recipe);
+            let order = reuse_order(&g);
+
+            // Permutation: every node exactly once (the >64-ready-node
+            // lookahead window must never drop or duplicate work).
+            let mut ids: Vec<u32> = order.iter().map(|id| id.0).collect();
+            ids.sort_unstable();
+            let expected: Vec<u32> = (0..g.num_nodes() as u32).collect();
+            proptest::prop_assert_eq!(&ids, &expected);
+
+            // Topological: operands precede their users.
+            let pos: HashMap<u32, usize> =
+                order.iter().enumerate().map(|(i, id)| (id.0, i)).collect();
+            for (id, node) in g.iter() {
+                for o in node.op.operands() {
+                    proptest::prop_assert!(
+                        pos[&o.0] < pos[&id.0],
+                        "operand {} scheduled after user {}", o.0, id.0
+                    );
+                }
+            }
+
+            // Deterministic: same graph, same order.
+            proptest::prop_assert_eq!(&order, &reuse_order(&g));
+        }
+    }
+
+    #[test]
+    fn wide_frontier_beyond_lookahead_window_keeps_every_node() {
+        // 200 independent chains: the ready set exceeds the 64-node
+        // lookahead from the first step onward.
+        let mut g = HeGraph::new();
+        let mut sums = Vec::new();
+        for i in 0..200 {
+            let x = g.input(4);
+            let r = g.rotate(x, (i % 9) as i64 - 4);
+            sums.push(g.add(x, r));
+        }
+        let mut acc = sums[0];
+        for &s in &sums[1..] {
+            acc = g.add(acc, s);
+        }
+        g.output(acc);
+        let order = reuse_order(&g);
+        let mut ids: Vec<u32> = order.iter().map(|id| id.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..g.num_nodes() as u32).collect::<Vec<_>>());
+    }
+
     #[test]
     fn works_on_a_real_benchmark_scale_graph() {
         // A few hundred nodes with mixed affinities terminates and stays

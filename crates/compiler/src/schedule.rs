@@ -9,6 +9,45 @@ use cl_isa::{HeGraph, HeOp, KsAlgorithm, NodeId, OpLabel, Phase, TrafficClass, V
 
 use crate::lower::{lower_node, LoweredOp};
 
+/// Errors surfaced while compiling a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// No digit count can support the requested level at the requested
+    /// security target: even the most aggressive decomposition exceeds the
+    /// modulus budget `max_log_qp(n, security)`. Compiling anyway (the old
+    /// behavior was a silent `Boosted(4)` fallback) would produce a plan
+    /// that does not meet its own security claim.
+    UnsatisfiableSecurity {
+        /// Ring degree of the attempted configuration.
+        n: usize,
+        /// Ciphertext level the policy was asked to serve.
+        level: usize,
+        /// RNS limb width in bits.
+        word_bits: u32,
+        /// The security target that could not be met.
+        security: SecurityLevel,
+    },
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::UnsatisfiableSecurity {
+                n,
+                level,
+                word_bits,
+                security,
+            } => write!(
+                f,
+                "no keyswitch digit count reaches level {level} at N={n} with \
+                 {word_bits}-bit limbs under {security:?} security"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
 /// Keyswitch-variant selection policy (Sec. 3.1).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum KsPolicy {
@@ -25,21 +64,50 @@ pub enum KsPolicy {
 
 impl KsPolicy {
     /// The algorithm chosen at level `l` for ring degree `n`.
-    pub fn algorithm(&self, n: usize, l: usize, word_bits: u32) -> KsAlgorithm {
+    ///
+    /// Returns [`CompileError::UnsatisfiableSecurity`] when no digit count
+    /// can reach `l` within the security target's modulus budget — there is
+    /// no sound fallback in that regime, so the error must propagate rather
+    /// than compile a plan below its claimed security.
+    pub fn try_algorithm(
+        &self,
+        n: usize,
+        l: usize,
+        word_bits: u32,
+    ) -> Result<KsAlgorithm, CompileError> {
+        let driven = |sec: SecurityLevel| {
+            min_digits_for_level(n, sec, l, word_bits)
+                .map(KsAlgorithm::Boosted)
+                .ok_or(CompileError::UnsatisfiableSecurity {
+                    n,
+                    level: l,
+                    word_bits,
+                    security: sec,
+                })
+        };
         match *self {
-            KsPolicy::Fixed(a) => a,
-            KsPolicy::SecurityDriven(sec) => {
-                let digits = min_digits_for_level(n, sec, l, word_bits).unwrap_or(4);
-                KsAlgorithm::Boosted(digits)
-            }
+            KsPolicy::Fixed(a) => Ok(a),
+            KsPolicy::SecurityDriven(sec) => driven(sec),
             KsPolicy::BestPerLevel(sec) => {
                 if l <= cl_isa::cost::boosted_crossover_level(n) {
-                    KsAlgorithm::Standard
+                    Ok(KsAlgorithm::Standard)
                 } else {
-                    let digits = min_digits_for_level(n, sec, l, word_bits).unwrap_or(4);
-                    KsAlgorithm::Boosted(digits)
+                    driven(sec)
                 }
             }
+        }
+    }
+
+    /// The algorithm chosen at level `l` for ring degree `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the `(n, l)` point is unreachable at the policy's security
+    /// target (see [`KsPolicy::try_algorithm`]).
+    pub fn algorithm(&self, n: usize, l: usize, word_bits: u32) -> KsAlgorithm {
+        match self.try_algorithm(n, l, word_bits) {
+            Ok(a) => a,
+            Err(e) => panic!("{e}"),
         }
     }
 }
@@ -89,9 +157,29 @@ enum KshKey {
 ///
 /// # Panics
 ///
+/// Panics if the graph is malformed (see [`HeGraph::validate`]), an operand
+/// set exceeds the register file, or the keyswitch policy is unsatisfiable
+/// at some node's level (use [`try_compile_and_run`] to handle that case).
+pub fn compile_and_run(graph: &HeGraph, arch: &ArchConfig, opts: &CompileOptions) -> Stats {
+    match try_compile_and_run(graph, arch, opts) {
+        Ok(stats) => stats,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible variant of [`compile_and_run`]: returns a typed error when the
+/// keyswitch policy cannot meet its security target at some node's level
+/// instead of silently degrading the decomposition.
+///
+/// # Panics
+///
 /// Panics if the graph is malformed (see [`HeGraph::validate`]) or an
 /// operand set exceeds the register file.
-pub fn compile_and_run(graph: &HeGraph, arch: &ArchConfig, opts: &CompileOptions) -> Stats {
+pub fn try_compile_and_run(
+    graph: &HeGraph,
+    arch: &ArchConfig,
+    opts: &CompileOptions,
+) -> Result<Stats, CompileError> {
     graph.validate();
     let n = opts.n;
     let word_bits = arch.word_bits;
@@ -162,7 +250,9 @@ pub fn compile_and_run(graph: &HeGraph, arch: &ArchConfig, opts: &CompileOptions
                 // Size the hint for the highest level it serves; uses at
                 // lower levels read a subset of the same object.
                 let lmax = ksh_max_level[&ksh] as u64;
-                let alg = opts.ks_policy.algorithm(n, ksh_max_level[&ksh], word_bits);
+                let alg = opts
+                    .ks_policy
+                    .try_algorithm(n, ksh_max_level[&ksh], word_bits)?;
                 let ksh_words = match alg {
                     KsAlgorithm::Boosted(t) => {
                         let alpha = lmax.div_ceil(t as u64);
@@ -201,7 +291,7 @@ pub fn compile_and_run(graph: &HeGraph, arch: &ArchConfig, opts: &CompileOptions
             Phase::App => OpLabel::App,
             Phase::Bootstrap => OpLabel::Bootstrap,
         };
-        let alg = opts.ks_policy.algorithm(n, node.level, word_bits);
+        let alg = opts.ks_policy.try_algorithm(n, node.level, word_bits)?;
         match lower_node(arch, n, &node.op, node.level, alg) {
             LoweredOp::None => {
                 // Inputs/outputs/drops: still maintain use bookkeeping so
@@ -247,7 +337,7 @@ pub fn compile_and_run(graph: &HeGraph, arch: &ArchConfig, opts: &CompileOptions
             uses.len()
         );
     }
-    machine.finish()
+    Ok(machine.finish())
 }
 
 #[cfg(test)]
@@ -393,6 +483,47 @@ mod tests {
         let f1 = KsPolicy::BestPerLevel(SecurityLevel::Bits80);
         assert_eq!(f1.algorithm(1 << 16, 8, 28), KsAlgorithm::Standard);
         assert!(matches!(f1.algorithm(1 << 16, 40, 28), KsAlgorithm::Boosted(_)));
+    }
+
+    #[test]
+    fn unreachable_security_point_is_a_typed_error_not_a_fallback() {
+        // At 200-bit security / N = 64K / 28-bit limbs, the modulus budget
+        // is ~41 limbs; level 57 is unreachable at ANY digit count. The old
+        // code silently compiled it as Boosted(4).
+        let p = KsPolicy::SecurityDriven(SecurityLevel::Bits200);
+        let err = p.try_algorithm(1 << 16, 57, 28).unwrap_err();
+        assert_eq!(
+            err,
+            CompileError::UnsatisfiableSecurity {
+                n: 1 << 16,
+                level: 57,
+                word_bits: 28,
+                security: SecurityLevel::Bits200,
+            }
+        );
+        assert!(err.to_string().contains("level 57"));
+        // BestPerLevel above the crossover propagates the same error...
+        let f1 = KsPolicy::BestPerLevel(SecurityLevel::Bits200);
+        assert!(f1.try_algorithm(1 << 16, 57, 28).is_err());
+        // ...and the error surfaces from whole-graph compilation too.
+        let mut g = HeGraph::new();
+        let x = g.input(57);
+        let m = g.mul_ct(x, x);
+        g.output(m);
+        let opts = CompileOptions {
+            ks_policy: KsPolicy::SecurityDriven(SecurityLevel::Bits200),
+            ..CompileOptions::paper_default()
+        };
+        let res = try_compile_and_run(&g, &ArchConfig::craterlake(), &opts);
+        assert!(matches!(
+            res,
+            Err(CompileError::UnsatisfiableSecurity { level: 57, .. })
+        ));
+        // Reachable points still succeed unchanged.
+        assert!(matches!(
+            p.try_algorithm(1 << 16, 30, 28),
+            Ok(KsAlgorithm::Boosted(_))
+        ));
     }
 
     #[test]

@@ -44,7 +44,8 @@ mod primes;
 pub use aligned::{AlignedVec, SIMD_ALIGN};
 pub use automorphism::{
     apply_automorphism_coeff, apply_automorphism_ntt, apply_automorphism_ntt_into,
-    galois_element_conjugate, galois_element_for_rotation, AutomorphismTable,
+    canonical_rotation_step, galois_element_conjugate, galois_element_for_rotation,
+    AutomorphismTable,
 };
 pub use backend::{active_backend, cpu_features, set_active_backend, supported_backends, BackendKind};
 pub use bigint::BigUint;

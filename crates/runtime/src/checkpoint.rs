@@ -77,7 +77,17 @@ pub struct Checkpoint {
     pub binding: u64,
     /// The state to resume from.
     pub state: WorkState,
+    /// Live named value slots of a compiler-lowered dataflow program at
+    /// this boundary (sorted by slot id; empty for linear-chain programs,
+    /// which keeps their records bit-compatible with the pre-dataflow
+    /// wire format).
+    pub slots: Vec<(u16, Ciphertext)>,
 }
+
+/// Hard cap on the slot count of one deserialized checkpoint — hostile
+/// counts must not drive allocation. Slot ids are `u16`, so this is the
+/// natural ceiling.
+pub const MAX_CHECKPOINT_SLOTS: usize = 1 << 16;
 
 /// Durable checkpoint storage: two rotating slot files in a directory,
 /// each written atomically (tmp file + rename) so a crash mid-write never
@@ -231,18 +241,107 @@ impl CheckpointStore {
     }
 
     fn encode(ctx: &CkksContext, cp: &Checkpoint) -> Vec<u8> {
-        let payload = cp.state.serialize(ctx);
+        // Slot-free states keep the original kind-0/1 record layout, so
+        // every checkpoint written before the dataflow ops existed still
+        // loads. A state with live slots is kind 2: a framed bundle of the
+        // accumulator state plus each slot ciphertext.
+        let (kind, payload) = if cp.slots.is_empty() {
+            (cp.state.kind_byte(), cp.state.serialize(ctx))
+        } else {
+            let cur = cp.state.serialize(ctx);
+            let blobs: Vec<(u16, Vec<u8>)> = cp
+                .slots
+                .iter()
+                .map(|(id, ct)| (*id, ctx.serialize_ciphertext(ct)))
+                .collect();
+            let mut p = Vec::with_capacity(32 + cur.len() + blobs.len() * 8);
+            put_u8(&mut p, cp.state.kind_byte());
+            put_u32(&mut p, blobs.len() as u32);
+            put_u32(&mut p, cur.len() as u32);
+            for (id, b) in &blobs {
+                put_u32(&mut p, u32::from(*id));
+                put_u32(&mut p, b.len() as u32);
+            }
+            let cksum = fnv1a(&p);
+            put_u64(&mut p, cksum);
+            p.extend_from_slice(&cur);
+            for (_, b) in &blobs {
+                p.extend_from_slice(b);
+            }
+            (2u8, p)
+        };
         let mut out = Vec::with_capacity(32 + payload.len());
         write_header(&mut out, ObjectTag::Checkpoint, ctx.params_fingerprint());
         let meta_start = out.len();
         put_u64(&mut out, cp.pc);
         put_u64(&mut out, cp.binding);
-        put_u8(&mut out, cp.state.kind_byte());
+        put_u8(&mut out, kind);
         put_u32(&mut out, payload.len() as u32);
         let cksum = fnv1a(&out[meta_start..]);
         put_u64(&mut out, cksum);
         out.extend_from_slice(&payload);
         out
+    }
+
+    /// Decodes a kind-2 (dataflow) payload: framed accumulator state plus
+    /// named slot ciphertexts.
+    fn decode_slots(ctx: &CkksContext, payload: &[u8]) -> FheResult<(WorkState, Vec<(u16, Ciphertext)>)> {
+        let mut r = Reader::new("load_checkpoint", payload);
+        let frame_start = r.pos();
+        let cur_kind = r.u8()?;
+        let nslots = r.u32()? as usize;
+        if nslots == 0 || nslots > MAX_CHECKPOINT_SLOTS {
+            return Err(r.err(format!(
+                "slot count {nslots} outside 1..={MAX_CHECKPOINT_SLOTS}"
+            )));
+        }
+        let cur_len = r.u32()? as usize;
+        let mut meta = Vec::with_capacity(nslots);
+        for j in 0..nslots {
+            let raw = r.u32()?;
+            let id = u16::try_from(raw)
+                .map_err(|_| r.err(format!("slot {j}: id {raw} exceeds u16")))?;
+            let len = r.u32()? as usize;
+            meta.push((id, len));
+        }
+        let computed = fnv1a(r.region_since(frame_start));
+        let stored = r.u64()?;
+        if stored != computed {
+            return Err(FheError::ChecksumMismatch {
+                op: "load_checkpoint",
+                section: "slot framing".into(),
+                stored,
+                computed,
+            });
+        }
+        let cur_blob = r.take(cur_len)?;
+        let state = match cur_kind {
+            0 => WorkState::Ct(ctx.try_deserialize_ciphertext(cur_blob)?),
+            1 => WorkState::Boot(Box::new(BootState::try_deserialize(ctx, cur_blob)?)),
+            other => {
+                return Err(FheError::Serialization {
+                    op: "load_checkpoint",
+                    reason: format!("unknown accumulator kind {other} in slot bundle"),
+                })
+            }
+        };
+        let mut slots = Vec::with_capacity(nslots);
+        let mut prev: Option<u16> = None;
+        for (id, len) in meta {
+            // Strictly increasing ids: rejects duplicates and gives the
+            // record one canonical byte form.
+            if prev.is_some_and(|p| p >= id) {
+                return Err(FheError::Serialization {
+                    op: "load_checkpoint",
+                    reason: format!("slot ids not strictly increasing at {id}"),
+                });
+            }
+            prev = Some(id);
+            let blob = r.take(len)?;
+            slots.push((id, ctx.try_deserialize_ciphertext(blob)?));
+        }
+        r.finish()?;
+        Ok((state, slots))
     }
 
     fn decode(ctx: &CkksContext, bytes: &[u8]) -> FheResult<Checkpoint> {
@@ -265,9 +364,13 @@ impl CheckpointStore {
         }
         let payload = r.take(payload_len)?;
         r.finish()?;
-        let state = match kind {
-            0 => WorkState::Ct(ctx.try_deserialize_ciphertext(payload)?),
-            1 => WorkState::Boot(Box::new(BootState::try_deserialize(ctx, payload)?)),
+        let (state, slots) = match kind {
+            0 => (WorkState::Ct(ctx.try_deserialize_ciphertext(payload)?), Vec::new()),
+            1 => (
+                WorkState::Boot(Box::new(BootState::try_deserialize(ctx, payload)?)),
+                Vec::new(),
+            ),
+            2 => Self::decode_slots(ctx, payload)?,
             other => {
                 return Err(FheError::Serialization {
                     op: "load_checkpoint",
@@ -275,7 +378,12 @@ impl CheckpointStore {
                 })
             }
         };
-        Ok(Checkpoint { pc, binding, state })
+        Ok(Checkpoint {
+            pc,
+            binding,
+            state,
+            slots,
+        })
     }
 
     /// Persists a checkpoint into the next rotating slot: the record is
@@ -465,6 +573,7 @@ mod tests {
                         pc,
                         binding: 0xB1D1,
                         state: WorkState::Ct(ct.clone()),
+                        slots: Vec::new(),
                     },
                 )
                 .unwrap();
@@ -480,6 +589,54 @@ mod tests {
         assert_eq!(store.writes(), 3);
         assert!(store.bytes_written() > 0);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_with_slots_roundtrips_and_rejects_flips() {
+        let c = ctx();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let sk = c.keygen(&mut rng);
+        let cur = c.encrypt(&c.encode(&[1.0], c.default_scale(), 3), &sk, &mut rng);
+        let s3 = c.encrypt(&c.encode(&[2.0], c.default_scale(), 3), &sk, &mut rng);
+        let s9 = c.encrypt(&c.encode(&[-0.5], c.default_scale(), 2), &sk, &mut rng);
+        let cp = Checkpoint {
+            pc: 7,
+            binding: 0xB1D1,
+            state: WorkState::Ct(cur.clone()),
+            slots: vec![(3, s3.clone()), (9, s9.clone())],
+        };
+        let blob = CheckpointStore::encode(&c, &cp);
+        let back = CheckpointStore::decode(&c, &blob).unwrap();
+        assert_eq!(back.pc, 7);
+        match &back.state {
+            WorkState::Ct(ct) => assert_eq!(*ct, cur),
+            WorkState::Boot(_) => panic!("expected Ct accumulator"),
+        }
+        assert_eq!(back.slots.len(), 2);
+        assert_eq!(back.slots[0], (3, s3));
+        assert_eq!(back.slots[1], (9, s9));
+        // Every single-byte flip anywhere in the record must be rejected:
+        // the slot framing, the accumulator blob, and each slot blob all
+        // sit under a checksum.
+        for i in (0..blob.len()).step_by(97) {
+            let mut bad = blob.clone();
+            bad[i] ^= 0xff;
+            assert!(
+                CheckpointStore::decode(&c, &bad).is_err(),
+                "flip at byte {i} must not load"
+            );
+        }
+        // A slot-free record keeps the legacy kind-0 layout byte-for-byte.
+        let legacy = Checkpoint {
+            pc: 1,
+            binding: 2,
+            state: WorkState::Ct(cur.clone()),
+            slots: Vec::new(),
+        };
+        let legacy_blob = CheckpointStore::encode(&c, &legacy);
+        // kind byte sits after header + pc + binding.
+        let back = CheckpointStore::decode(&c, &legacy_blob).unwrap();
+        assert!(back.slots.is_empty());
     }
 
     #[test]
@@ -536,6 +693,7 @@ mod tests {
                         pc: 9,
                         binding: 0xB1D1,
                         state: WorkState::Ct(ct.clone()),
+                        slots: Vec::new(),
                     },
                 )
                 .unwrap();
@@ -586,6 +744,7 @@ mod tests {
                         pc,
                         binding: 0xB1D1,
                         state: WorkState::Ct(ct.clone()),
+                        slots: Vec::new(),
                     },
                 )
                 .unwrap();

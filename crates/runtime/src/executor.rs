@@ -1,6 +1,7 @@
 //! The resilient pipeline executor: strict guardrails, periodic durable
 //! checkpoints, and restore-and-retry recovery with a bounded budget.
 
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -224,6 +225,10 @@ pub struct RecoveryTelemetry {
     /// Micro-ops that executed successfully (including re-executions
     /// after a restore).
     pub ops_executed: u64,
+    /// High-water mark of live ciphertexts (named slots + the
+    /// accumulator) observed at micro-op boundaries — the measured
+    /// counterpart of the compiler residency plan's predicted peak.
+    pub peak_live_cts: u64,
     /// Primitive-op counters accumulated while the executor was driving
     /// (NTT passes, element-wise mults/adds, base conversions, ...). All
     /// zero unless the `trace` feature of `cl-trace` is enabled. Counters
@@ -245,6 +250,8 @@ impl RecoveryTelemetry {
         self.bytes_written += other.bytes_written;
         self.crashes += other.crashes;
         self.ops_executed += other.ops_executed;
+        // A high-water mark aggregates by max, not sum.
+        self.peak_live_cts = self.peak_live_cts.max(other.peak_live_cts);
         self.ops = self.ops.plus(&other.ops);
     }
 }
@@ -381,9 +388,21 @@ impl<'a> PipelineExecutor<'a> {
     /// when none is attached; otherwise the fault that exhausted the retry
     /// budget, or a checkpoint I/O failure.
     pub fn run(&mut self, input: &Ciphertext, program: &Program) -> FheResult<RunOutcome> {
-        self.check_program(program)?;
-        self.binding = self.job_binding(input, program);
-        self.drive(0, WorkState::Ct(input.clone()), program)
+        self.run_graph(std::slice::from_ref(input), program)
+    }
+
+    /// Runs a (possibly multi-input) dataflow program from the start.
+    /// `inputs[0]` seeds the accumulator; [`PipelineOp::Input`] ops fetch
+    /// the others by index.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PipelineExecutor::run`], plus
+    /// [`FheError::InvalidParams`] for an empty input slice.
+    pub fn run_graph(&mut self, inputs: &[Ciphertext], program: &Program) -> FheResult<RunOutcome> {
+        let first = self.check_graph(inputs, program)?;
+        self.binding = self.job_binding(inputs, program);
+        self.drive(0, WorkState::Ct(first.clone()), BTreeMap::new(), program, inputs)
     }
 
     /// Resumes `program` after a crash: reloads the newest valid durable
@@ -395,53 +414,81 @@ impl<'a> PipelineExecutor<'a> {
     ///
     /// Same contract as [`PipelineExecutor::run`].
     pub fn resume(&mut self, input: &Ciphertext, program: &Program) -> FheResult<RunOutcome> {
-        self.check_program(program)?;
-        self.binding = self.job_binding(input, program);
-        let (start_pc, state) = match &mut self.store {
+        self.resume_graph(std::slice::from_ref(input), program)
+    }
+
+    /// [`PipelineExecutor::resume`] for multi-input dataflow programs.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PipelineExecutor::run_graph`].
+    pub fn resume_graph(
+        &mut self,
+        inputs: &[Ciphertext],
+        program: &Program,
+    ) -> FheResult<RunOutcome> {
+        let first = self.check_graph(inputs, program)?;
+        self.binding = self.job_binding(inputs, program);
+        let fresh = || (0, WorkState::Ct(first.clone()), BTreeMap::new());
+        let (start_pc, state, slots) = match &mut self.store {
             Some(store) => match store.load_latest(self.ctx, self.binding) {
                 Ok((found, rejects)) => {
                     self.telemetry.faults_detected += rejects;
                     match found {
                         Some(cp) => {
                             self.telemetry.restores += 1;
-                            (cp.pc, cp.state)
+                            (cp.pc, cp.state, cp.slots.into_iter().collect())
                         }
-                        None => (0, WorkState::Ct(input.clone())),
+                        None => fresh(),
                     }
                 }
                 // Every slot on disk is damaged: surface it as a detected
                 // fault and restart from the input.
                 Err(_) => {
                     self.telemetry.faults_detected += 1;
-                    (0, WorkState::Ct(input.clone()))
+                    fresh()
                 }
             },
-            None => (0, WorkState::Ct(input.clone())),
+            None => fresh(),
         };
-        self.drive(start_pc, state, program)
+        self.drive(start_pc, state, slots, program, inputs)
     }
 
     /// Content digest binding checkpoints to this exact `(program,
     /// input)` pair. Derived from the serialized forms (which carry the
     /// params fingerprint), so it is stable across processes — a genuine
     /// crash/restart of the same job still resumes its own checkpoints.
-    fn job_binding(&self, input: &Ciphertext, program: &Program) -> u64 {
+    fn job_binding(&self, inputs: &[Ciphertext], program: &Program) -> u64 {
         use cl_ckks::serialize::{fnv1a_chain, fnv1a_fast};
         // fnv1a_fast: this digest is internal to the store, not part of
         // the wire format, so it can take the word-wise fast path over the
-        // megabyte-scale ciphertext blob.
-        let h = fnv1a_fast(&self.ctx.serialize_ciphertext(input));
+        // megabyte-scale ciphertext blobs.
+        let mut h = 0u64;
+        for input in inputs {
+            h = h.wrapping_mul(0x100000001b3).wrapping_add(fnv1a_fast(
+                &self.ctx.serialize_ciphertext(input),
+            ));
+        }
         fnv1a_chain(h, &program.serialize(self.ctx.params_fingerprint()))
     }
 
-    fn check_program(&self, program: &Program) -> FheResult<()> {
+    /// Shared admission checks for graph runs; returns the accumulator
+    /// seed (`inputs[0]`).
+    fn check_graph<'i>(
+        &self,
+        inputs: &'i [Ciphertext],
+        program: &Program,
+    ) -> FheResult<&'i Ciphertext> {
         if program.needs_bootstrapper() && self.booter.is_none() {
             return Err(FheError::InvalidParams {
                 op: "executor",
                 reason: "program contains a bootstrap but no Bootstrapper is attached".into(),
             });
         }
-        Ok(())
+        inputs.first().ok_or_else(|| FheError::InvalidParams {
+            op: "executor",
+            reason: "a run needs at least one input ciphertext".into(),
+        })
     }
 
     /// The main loop: execute micro-ops from `pc`, checkpointing on the
@@ -451,10 +498,12 @@ impl<'a> PipelineExecutor<'a> {
         &mut self,
         pc: u64,
         state: WorkState,
+        slots: BTreeMap<u16, Ciphertext>,
         program: &Program,
+        inputs: &[Ciphertext],
     ) -> FheResult<RunOutcome> {
         let at_entry = cl_trace::OpSnapshot::capture();
-        let out = self.drive_inner(pc, state, program);
+        let out = self.drive_inner(pc, state, slots, program, inputs);
         let delta = cl_trace::OpSnapshot::capture().delta_since(&at_entry);
         self.telemetry.ops = self.telemetry.ops.plus(&delta);
         out
@@ -464,7 +513,9 @@ impl<'a> PipelineExecutor<'a> {
         &mut self,
         mut pc: u64,
         mut state: WorkState,
+        mut slots: BTreeMap<u16, Ciphertext>,
         program: &Program,
+        inputs: &[Ciphertext],
     ) -> FheResult<RunOutcome> {
         let schedule = program.micro_schedule();
         let end = schedule.len() as u64;
@@ -474,8 +525,10 @@ impl<'a> PipelineExecutor<'a> {
                 reason: format!("checkpoint pc {pc} beyond program end {end}"),
             });
         }
-        let mut last_good: (u64, WorkState) = (pc, state.clone());
+        let mut last_good: (u64, WorkState, BTreeMap<u16, Ciphertext>) =
+            (pc, state.clone(), slots.clone());
         let mut retries_left = self.config.max_retries;
+        self.note_live(&slots);
 
         while pc < end {
             // Abort requests are checked first, before any fault injection
@@ -500,7 +553,7 @@ impl<'a> PipelineExecutor<'a> {
 
             let (op_idx, stage) = schedule[pc as usize];
             let step = self
-                .exec_micro(&program.ops()[op_idx], stage, state.clone())
+                .exec_micro(&program.ops()[op_idx], stage, state.clone(), &mut slots, inputs)
                 // A successful op can still hand a corrupted state to the
                 // *next* op; validating here bounds detection latency to
                 // one micro-op and keeps checkpoints clean.
@@ -513,12 +566,13 @@ impl<'a> PipelineExecutor<'a> {
                     state = next;
                     pc += 1;
                     self.telemetry.ops_executed += 1;
+                    self.note_live(&slots);
                     let due = self.config.checkpoint_every > 0
                         && (pc.is_multiple_of(self.config.checkpoint_every) || pc == end);
                     if due {
-                        self.persist(pc, &state)?;
+                        self.persist(pc, &state, &slots)?;
                     }
-                    last_good = (pc, state.clone());
+                    last_good = (pc, state.clone(), slots.clone());
                 }
                 Err(fault) => {
                     // Abort verdicts escaping through an op are terminal,
@@ -538,7 +592,7 @@ impl<'a> PipelineExecutor<'a> {
                     }
                     retries_left -= 1;
                     self.telemetry.retries += 1;
-                    (pc, state) = self.restore(&last_good);
+                    (pc, state, slots) = self.restore(&last_good);
                 }
             }
         }
@@ -555,12 +609,22 @@ impl<'a> PipelineExecutor<'a> {
     /// on-disk copy when it is at least as fresh (this exercises the full
     /// load path — fingerprint and checksum verification — on every
     /// recovery), falling back to the in-memory clone.
-    fn restore(&mut self, last_good: &(u64, WorkState)) -> (u64, WorkState) {
+    /// Records the live-ciphertext count at a micro-op boundary (named
+    /// slots plus the accumulator) into the telemetry high-water mark.
+    fn note_live(&mut self, slots: &BTreeMap<u16, Ciphertext>) {
+        let live = slots.len() as u64 + 1;
+        self.telemetry.peak_live_cts = self.telemetry.peak_live_cts.max(live);
+    }
+
+    fn restore(
+        &mut self,
+        last_good: &(u64, WorkState, BTreeMap<u16, Ciphertext>),
+    ) -> (u64, WorkState, BTreeMap<u16, Ciphertext>) {
         if let Some(store) = &mut self.store {
             if let Ok((Some(cp), _)) = store.load_latest(self.ctx, self.binding) {
                 if cp.pc >= last_good.0 {
                     self.telemetry.restores += 1;
-                    return (cp.pc, cp.state);
+                    return (cp.pc, cp.state, cp.slots.into_iter().collect());
                 }
             }
         }
@@ -570,7 +634,12 @@ impl<'a> PipelineExecutor<'a> {
     /// Validates and durably writes a checkpoint. A state that fails
     /// validation is *not* written (the previous slots stay intact) —
     /// the caller sees the validation error through the normal fault path.
-    fn persist(&mut self, pc: u64, state: &WorkState) -> FheResult<()> {
+    fn persist(
+        &mut self,
+        pc: u64,
+        state: &WorkState,
+        slots: &BTreeMap<u16, Ciphertext>,
+    ) -> FheResult<()> {
         let store = self
             .store
             .as_mut()
@@ -581,6 +650,9 @@ impl<'a> PipelineExecutor<'a> {
                 pc,
                 binding: self.binding,
                 state: state.clone(),
+                // BTreeMap iteration is id-sorted — the strictly
+                // increasing order the record format requires.
+                slots: slots.iter().map(|(id, ct)| (*id, ct.clone())).collect(),
             },
         )?;
         self.telemetry.checkpoints_written += 1;
@@ -588,8 +660,18 @@ impl<'a> PipelineExecutor<'a> {
         Ok(())
     }
 
-    /// Executes one micro-op.
-    fn exec_micro(&self, op: &PipelineOp, stage: usize, state: WorkState) -> FheResult<WorkState> {
+    /// Executes one micro-op. Dataflow ops read/write the named-slot
+    /// environment `slots` and the immutable `inputs`; on failure the
+    /// caller restores `slots` wholesale from the last good boundary, so
+    /// partial mutations never leak into a retry.
+    fn exec_micro(
+        &self,
+        op: &PipelineOp,
+        stage: usize,
+        state: WorkState,
+        slots: &mut BTreeMap<u16, Ciphertext>,
+        inputs: &[Ciphertext],
+    ) -> FheResult<WorkState> {
         // Bootstrap stages operate on (and may produce) a BootState; every
         // other op needs a plain ciphertext.
         if let PipelineOp::Bootstrap = op {
@@ -654,9 +736,101 @@ impl<'a> PipelineExecutor<'a> {
             PipelineOp::Conjugate => self
                 .ctx
                 .try_conjugate(&ct, self.keys.try_conj(self.ctx)?.as_ref())?,
+            PipelineOp::Load(slot) => Self::slot_get(slots, *slot, "load")?.clone(),
+            PipelineOp::Store(slot) => {
+                slots.insert(*slot, ct.clone());
+                ct
+            }
+            PipelineOp::Free(slot) => {
+                if slots.remove(slot).is_none() {
+                    return Err(FheError::InvalidParams {
+                        op: "executor",
+                        reason: format!("free of empty slot {slot}"),
+                    });
+                }
+                ct
+            }
+            PipelineOp::Input(idx) => {
+                inputs
+                    .get(usize::from(*idx))
+                    .ok_or_else(|| FheError::InvalidParams {
+                        op: "executor",
+                        reason: format!(
+                            "program reads input {idx} but only {} inputs were bound",
+                            inputs.len()
+                        ),
+                    })?
+                    .clone()
+            }
+            PipelineOp::AddSlot(slot) => {
+                self.ctx.try_add(&ct, Self::slot_get(slots, *slot, "add_slot")?)?
+            }
+            PipelineOp::SubSlot(slot) => {
+                self.ctx.try_sub(&ct, Self::slot_get(slots, *slot, "sub_slot")?)?
+            }
+            PipelineOp::MulCtSlot(slot) => {
+                let rhs = Self::slot_get(slots, *slot, "mul_ct_slot")?.clone();
+                self.ctx
+                    .try_mul(&ct, &rhs, self.keys.try_relin(self.ctx)?.as_ref())?
+            }
+            PipelineOp::MulPlain(vals) => {
+                // Encode at the next-to-drop modulus' value (the
+                // MulPlainRescale convention) so a later Rescale restores
+                // the ciphertext's scale exactly.
+                if ct.level() < 2 {
+                    return Err(FheError::LevelMismatch {
+                        op: "mul_plain",
+                        got: ct.level(),
+                        want: 2,
+                    });
+                }
+                let q_drop = self.ctx.rns().modulus_value((ct.level() - 1) as u32) as f64;
+                let p = self.ctx.encode(vals, q_drop, ct.level());
+                self.ctx.try_mul_plain(&ct, &p)?
+            }
+            PipelineOp::RotateHoisted { steps, dsts } => {
+                if steps.len() != dsts.len() {
+                    return Err(FheError::InvalidParams {
+                        op: "executor",
+                        reason: format!(
+                            "hoisted batch has {} steps but {} destinations",
+                            steps.len(),
+                            dsts.len()
+                        ),
+                    });
+                }
+                let keys = steps
+                    .iter()
+                    .map(|s| self.keys.try_rot_key(self.ctx, *s))
+                    .collect::<FheResult<Vec<_>>>()?;
+                let key_refs: Vec<&cl_ckks::KeySwitchKey> =
+                    keys.iter().map(|k| k.as_ref()).collect();
+                let outs = self.ctx.try_rotate_hoisted_many(&ct, steps, &key_refs)?;
+                for (dst, rotated) in dsts.iter().zip(outs) {
+                    // Slot writes bypass the boundary validation of the
+                    // accumulator, so validate them here — a corrupted
+                    // rotation output must never be checkpointed as good.
+                    self.ctx.validate_ciphertext("rotate_hoisted", &rotated)?;
+                    slots.insert(*dst, rotated);
+                }
+                ct
+            }
+            PipelineOp::ModDropTo(level) => self.ctx.try_mod_drop(&ct, *level as usize)?,
             PipelineOp::Bootstrap => unreachable!("handled above"),
         };
         Ok(WorkState::Ct(out))
+    }
+
+    /// Reads a named slot, or fails with the op that needed it.
+    fn slot_get<'s>(
+        slots: &'s BTreeMap<u16, Ciphertext>,
+        slot: u16,
+        what: &'static str,
+    ) -> FheResult<&'s Ciphertext> {
+        slots.get(&slot).ok_or_else(|| FheError::InvalidParams {
+            op: "executor",
+            reason: format!("{what} reads empty slot {slot}"),
+        })
     }
 }
 
@@ -970,6 +1144,148 @@ mod tests {
         assert_eq!(t.ops_executed, 2);
         assert_eq!(exec.telemetry(), RecoveryTelemetry::default());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Key bundle with explicit rotation steps (no bootstrap plan), for
+    /// dataflow programs.
+    fn graph_keys(ctx: &CkksContext, steps: &[i64]) -> (cl_ckks::SecretKey, BootstrapKeys) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let sk = ctx.keygen_sparse(8, &mut rng);
+        let keys =
+            BootstrapKeys::generate(ctx, &sk, cl_ckks::KeySwitchKind::Standard, steps, &mut rng);
+        (sk, keys)
+    }
+
+    /// y·(rot(x,1) + rot(x,-1) − x), rescaled — touches every dataflow op
+    /// form: slots, a hoisted batch, binary ops, a second input, frees.
+    fn dataflow_program() -> Program {
+        Program::new()
+            .then(PipelineOp::Store(0))
+            .then(PipelineOp::RotateHoisted {
+                steps: vec![1, -1],
+                dsts: vec![1, 2],
+            })
+            .then(PipelineOp::Load(1))
+            .then(PipelineOp::AddSlot(2))
+            .then(PipelineOp::Free(1))
+            .then(PipelineOp::Free(2))
+            .then(PipelineOp::SubSlot(0))
+            .then(PipelineOp::Free(0))
+            .then(PipelineOp::Store(3))
+            .then(PipelineOp::Input(1))
+            .then(PipelineOp::MulCtSlot(3))
+            .then(PipelineOp::Free(3))
+            .then(PipelineOp::Rescale)
+    }
+
+    fn dataflow_direct(
+        ctx: &CkksContext,
+        keys: &BootstrapKeys,
+        x: &Ciphertext,
+        y: &Ciphertext,
+    ) -> Ciphertext {
+        let r1 = ctx
+            .try_rotate(x, 1, keys.try_rot_key(ctx, 1).unwrap().as_ref())
+            .unwrap();
+        let rm1 = ctx
+            .try_rotate(x, -1, keys.try_rot_key(ctx, -1).unwrap().as_ref())
+            .unwrap();
+        let sum = ctx.try_add(&r1, &rm1).unwrap();
+        let diff = ctx.try_sub(&sum, x).unwrap();
+        let prod = ctx
+            .try_mul(y, &diff, keys.try_relin(ctx).unwrap().as_ref())
+            .unwrap();
+        ctx.try_rescale(&prod).unwrap()
+    }
+
+    #[test]
+    fn dataflow_program_matches_direct_evaluation_and_tracks_peak() {
+        let ctx = strict_ctx();
+        let dir = tmpdir("dataflow");
+        let (sk, keys) = graph_keys(&ctx, &[1, -1]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let x = ctx.encrypt(
+            &ctx.encode(&[0.5, -0.25, 0.125, 0.75], ctx.default_scale(), ctx.max_level()),
+            &sk,
+            &mut rng,
+        );
+        let y = ctx.encrypt(
+            &ctx.encode(&[0.3, 0.6, -0.2, 0.1], ctx.default_scale(), ctx.max_level()),
+            &sk,
+            &mut rng,
+        );
+        let program = dataflow_program();
+        let config = ExecutorConfig {
+            checkpoint_every: 4,
+            max_retries: 8,
+            checkpoint_dir: Some(dir.clone()),
+        };
+        let mut exec = PipelineExecutor::new(&ctx, &keys, config).unwrap();
+        let out = match exec.run_graph(&[x.clone(), y.clone()], &program).unwrap() {
+            RunOutcome::Completed(ct) => ct,
+            RunOutcome::Crashed => panic!("no fault plan attached"),
+        };
+        let expect = dataflow_direct(&ctx, &keys, &x, &y);
+        assert_eq!(out, expect, "lowered dataflow must be bit-identical");
+        let t = exec.telemetry();
+        assert_eq!(t.ops_executed, program.len() as u64);
+        // Live-set trace: {0}+acc → {0,1,2}+acc (peak 4) → … → {}+acc.
+        assert_eq!(t.peak_live_cts, 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dataflow_kill_resumes_with_live_slots_from_disk() {
+        let ctx = strict_ctx();
+        let dir = tmpdir("dataflow-kill");
+        let dir_clean = tmpdir("dataflow-kill-clean");
+        let (sk, keys) = graph_keys(&ctx, &[1, -1]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let x = ctx.encrypt(
+            &ctx.encode(&[0.4, -0.1], ctx.default_scale(), ctx.max_level()),
+            &sk,
+            &mut rng,
+        );
+        let y = ctx.encrypt(
+            &ctx.encode(&[0.2, 0.9], ctx.default_scale(), ctx.max_level()),
+            &sk,
+            &mut rng,
+        );
+        let program = dataflow_program();
+        let config = ExecutorConfig {
+            checkpoint_every: 1,
+            max_retries: 8,
+            checkpoint_dir: Some(dir.clone()),
+        };
+        let mut clean_config = config.clone();
+        clean_config.checkpoint_dir = Some(dir_clean.clone());
+        let mut clean = PipelineExecutor::new(&ctx, &keys, clean_config).unwrap();
+        let want = match clean.run_graph(&[x.clone(), y.clone()], &program).unwrap() {
+            RunOutcome::Completed(c) => c,
+            RunOutcome::Crashed => unreachable!(),
+        };
+        let mut exec = PipelineExecutor::new(&ctx, &keys, config).unwrap();
+        // Kill after 4 ops: slots {0,1,2} are live, so the pc-4 checkpoint
+        // must round-trip the whole slot environment through disk.
+        exec.set_fault_plan(FaultPlan::new(9, 0.0).with_kill_point(4));
+        assert!(matches!(
+            exec.run_graph(&[x.clone(), y.clone()], &program).unwrap(),
+            RunOutcome::Crashed
+        ));
+        let got = match exec.resume_graph(&[x, y], &program).unwrap() {
+            RunOutcome::Completed(c) => c,
+            RunOutcome::Crashed => panic!("kill point already consumed"),
+        };
+        assert_eq!(got, want, "resume with restored slots must be bit-identical");
+        let t = exec.telemetry();
+        assert!(t.restores >= 1);
+        assert_eq!(
+            t.ops_executed,
+            program.len() as u64,
+            "4 before the crash + the rest after resume"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&dir_clean);
     }
 
     #[test]

@@ -15,6 +15,11 @@ pub const MAX_PROGRAM_OPS: usize = 65_536;
 /// Hard cap on the element count of one plaintext operand vector.
 pub const MAX_PLAIN_VALUES: usize = 1 << 20;
 
+/// Hard cap on the rotation count of one hoisted-rotation batch. One batch
+/// shares a single decomposition, so real batches are bounded by the
+/// rotation-key working set — far below this.
+pub const MAX_HOISTED_STEPS: usize = 4096;
+
 /// One homomorphic operation in a declared pipeline.
 ///
 /// Ops are deterministic (no randomness), so re-executing a suffix after a
@@ -39,6 +44,47 @@ pub enum PipelineOp {
     /// Full bootstrap, expanded into [`BootState::NUM_STAGES`] micro-ops
     /// so a crash mid-bootstrap resumes at a stage boundary.
     Bootstrap,
+    // ---- dataflow form (compiler-lowered graphs) ------------------------
+    //
+    // The ops above thread one implicit accumulator through a linear chain.
+    // The variants below add named value slots so a lowered `HeGraph` DAG
+    // can run: slots hold live intermediate ciphertexts, the accumulator
+    // stays the "current" value, and binary ops combine the accumulator
+    // with a slot.
+    /// Replace the accumulator with a copy of slot `i` (slot stays live).
+    Load(u16),
+    /// Copy the accumulator into slot `i` (accumulator stays current).
+    Store(u16),
+    /// Drop slot `i` — the lowering pass emits this at a value's last use
+    /// so live-ciphertext memory follows the residency plan.
+    Free(u16),
+    /// Replace the accumulator with a copy of pipeline input `i`
+    /// (programs lowered from multi-input graphs; plain `run` binds one).
+    Input(u16),
+    /// Accumulator += slot `i` (homomorphic addition).
+    AddSlot(u16),
+    /// Accumulator -= slot `i` (homomorphic subtraction).
+    SubSlot(u16),
+    /// Accumulator *= slot `i` (ciphertext-ciphertext multiply,
+    /// relinearized with the bundle's relin key).
+    MulCtSlot(u16),
+    /// Multiply by an encoded plaintext vector *without* rescaling. The
+    /// plaintext is encoded at the scale of the next-to-drop modulus (the
+    /// same convention as [`PipelineOp::MulPlainRescale`]) so a later
+    /// `Rescale` restores the ciphertext's scale exactly.
+    MulPlain(Vec<f64>),
+    /// Hoisted rotation batch: decompose the accumulator once, apply every
+    /// step, and store result `k` into slot `dsts[k]`. The accumulator is
+    /// left unchanged — rotations of a shared source fan out to slots.
+    RotateHoisted {
+        /// Rotation steps, each applied to the shared decomposition.
+        steps: Vec<i64>,
+        /// Destination slot for each rotation result (same length).
+        dsts: Vec<u16>,
+    },
+    /// Drop moduli from the accumulator until it sits at the given level
+    /// (no scale change) — the compiler's explicit level-alignment op.
+    ModDropTo(u32),
 }
 
 impl PipelineOp {
@@ -60,6 +106,16 @@ impl PipelineOp {
             PipelineOp::Rotate(_) => "rotate",
             PipelineOp::Conjugate => "conjugate",
             PipelineOp::Bootstrap => "bootstrap",
+            PipelineOp::Load(_) => "load",
+            PipelineOp::Store(_) => "store",
+            PipelineOp::Free(_) => "free",
+            PipelineOp::Input(_) => "input",
+            PipelineOp::AddSlot(_) => "add_slot",
+            PipelineOp::SubSlot(_) => "sub_slot",
+            PipelineOp::MulCtSlot(_) => "mul_ct_slot",
+            PipelineOp::MulPlain(_) => "mul_plain",
+            PipelineOp::RotateHoisted { .. } => "rotate_hoisted",
+            PipelineOp::ModDropTo(_) => "mod_drop_to",
         }
     }
 }
@@ -170,6 +226,55 @@ impl Program {
                 }
                 PipelineOp::Conjugate => put_u8(&mut out, 5),
                 PipelineOp::Bootstrap => put_u8(&mut out, 6),
+                PipelineOp::Load(slot) => {
+                    put_u8(&mut out, 7);
+                    put_u32(&mut out, u32::from(*slot));
+                }
+                PipelineOp::Store(slot) => {
+                    put_u8(&mut out, 8);
+                    put_u32(&mut out, u32::from(*slot));
+                }
+                PipelineOp::Free(slot) => {
+                    put_u8(&mut out, 9);
+                    put_u32(&mut out, u32::from(*slot));
+                }
+                PipelineOp::Input(idx) => {
+                    put_u8(&mut out, 10);
+                    put_u32(&mut out, u32::from(*idx));
+                }
+                PipelineOp::AddSlot(slot) => {
+                    put_u8(&mut out, 11);
+                    put_u32(&mut out, u32::from(*slot));
+                }
+                PipelineOp::SubSlot(slot) => {
+                    put_u8(&mut out, 12);
+                    put_u32(&mut out, u32::from(*slot));
+                }
+                PipelineOp::MulCtSlot(slot) => {
+                    put_u8(&mut out, 13);
+                    put_u32(&mut out, u32::from(*slot));
+                }
+                PipelineOp::MulPlain(vals) => {
+                    put_u8(&mut out, 14);
+                    put_u32(&mut out, vals.len() as u32);
+                    for v in vals {
+                        put_f64(&mut out, *v);
+                    }
+                }
+                PipelineOp::RotateHoisted { steps, dsts } => {
+                    put_u8(&mut out, 15);
+                    put_u32(&mut out, steps.len() as u32);
+                    for s in steps {
+                        put_i64(&mut out, *s);
+                    }
+                    for d in dsts {
+                        put_u32(&mut out, u32::from(*d));
+                    }
+                }
+                PipelineOp::ModDropTo(level) => {
+                    put_u8(&mut out, 16);
+                    put_u32(&mut out, *level);
+                }
             }
         }
         let cksum = fnv1a(&out[body_start..]);
@@ -231,6 +336,64 @@ impl Program {
                 4 => PipelineOp::Rotate(r.i64()?),
                 5 => PipelineOp::Conjugate,
                 6 => PipelineOp::Bootstrap,
+                7..=13 => {
+                    let raw = r.u32()?;
+                    let slot = u16::try_from(raw).map_err(|_| {
+                        r.err(format!("op {i}: slot/input index {raw} exceeds u16"))
+                    })?;
+                    match tag {
+                        7 => PipelineOp::Load(slot),
+                        8 => PipelineOp::Store(slot),
+                        9 => PipelineOp::Free(slot),
+                        10 => PipelineOp::Input(slot),
+                        11 => PipelineOp::AddSlot(slot),
+                        12 => PipelineOp::SubSlot(slot),
+                        _ => PipelineOp::MulCtSlot(slot),
+                    }
+                }
+                14 => {
+                    let len = r.u32()? as usize;
+                    if len > MAX_PLAIN_VALUES {
+                        return Err(r.err(format!(
+                            "op {i}: plaintext vector length {len} exceeds the \
+                             {MAX_PLAIN_VALUES} cap"
+                        )));
+                    }
+                    let mut vals = Vec::with_capacity(len);
+                    for j in 0..len {
+                        let v = r.f64()?;
+                        if !v.is_finite() {
+                            return Err(r.err(format!(
+                                "op {i}: plaintext value {j} is not finite ({v})"
+                            )));
+                        }
+                        vals.push(v);
+                    }
+                    PipelineOp::MulPlain(vals)
+                }
+                15 => {
+                    let len = r.u32()? as usize;
+                    if len > MAX_HOISTED_STEPS {
+                        return Err(r.err(format!(
+                            "op {i}: hoisted batch length {len} exceeds the \
+                             {MAX_HOISTED_STEPS} cap"
+                        )));
+                    }
+                    let mut steps = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        steps.push(r.i64()?);
+                    }
+                    let mut dsts = Vec::with_capacity(len);
+                    for j in 0..len {
+                        let raw = r.u32()?;
+                        let d = u16::try_from(raw).map_err(|_| {
+                            r.err(format!("op {i}: rotation dst {j} slot {raw} exceeds u16"))
+                        })?;
+                        dsts.push(d);
+                    }
+                    PipelineOp::RotateHoisted { steps, dsts }
+                }
+                16 => PipelineOp::ModDropTo(r.u32()?),
                 other => return Err(r.err(format!("op {i}: unknown op tag {other}"))),
             };
             ops.push(op);
@@ -308,6 +471,19 @@ mod tests {
             .then(PipelineOp::Rotate(-3))
             .then(PipelineOp::Conjugate)
             .then(PipelineOp::Bootstrap)
+            .then(PipelineOp::Input(1))
+            .then(PipelineOp::Store(4))
+            .then(PipelineOp::Load(4))
+            .then(PipelineOp::AddSlot(4))
+            .then(PipelineOp::SubSlot(2))
+            .then(PipelineOp::MulCtSlot(7))
+            .then(PipelineOp::MulPlain(vec![0.5, 3.25]))
+            .then(PipelineOp::RotateHoisted {
+                steps: vec![1, -2, 5],
+                dsts: vec![9, 10, 11],
+            })
+            .then(PipelineOp::ModDropTo(3))
+            .then(PipelineOp::Free(4))
     }
 
     #[test]
@@ -383,6 +559,30 @@ mod tests {
         let blob = p.serialize(FP);
         let err = Program::try_deserialize(&blob, FP).expect_err("NaN operand");
         assert!(err.to_string().contains("finite"), "{err}");
+
+        // Hostile hoisted-batch length: rejected before allocation.
+        let mut blob = Vec::new();
+        write_header(&mut blob, ObjectTag::Program, FP);
+        let body = blob.len();
+        put_u32(&mut blob, 1);
+        put_u8(&mut blob, 15); // RotateHoisted
+        put_u32(&mut blob, (MAX_HOISTED_STEPS + 1) as u32);
+        let cksum = fnv1a(&blob[body..]);
+        put_u64(&mut blob, cksum);
+        let err = Program::try_deserialize(&blob, FP).expect_err("hostile batch len");
+        assert!(err.to_string().contains("cap"), "{err}");
+
+        // A slot index beyond u16 on the wire: rejected.
+        let mut blob = Vec::new();
+        write_header(&mut blob, ObjectTag::Program, FP);
+        let body = blob.len();
+        put_u32(&mut blob, 1);
+        put_u8(&mut blob, 7); // Load
+        put_u32(&mut blob, u32::from(u16::MAX) + 1);
+        let cksum = fnv1a(&blob[body..]);
+        put_u64(&mut blob, cksum);
+        let err = Program::try_deserialize(&blob, FP).expect_err("oversized slot id");
+        assert!(err.to_string().contains("u16"), "{err}");
     }
 
     #[test]

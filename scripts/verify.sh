@@ -60,6 +60,13 @@ echo "== tier-1: hint-cache smoke =="
 # cost hint regeneration time (examples/hint_cache_smoke.rs).
 cargo run --release --example hint_cache_smoke
 
+echo "== tier-1: compile-and-run smoke =="
+# Compiler-driven execution at N = 8K: a LoLa layer graph lowered to a
+# pipeline Program must run with exactly the op counts and live-ciphertext
+# peak the compiler predicted, and decrypt to the plain reference
+# (examples/compile_run_smoke.rs).
+cargo run --release --example compile_run_smoke
+
 echo "== tier-1: lint gate (library targets) =="
 cargo clippy -p cl-math -p cl-rns -p cl-ckks -p cl-boot -p cl-runtime \
     -p cl-apps -p cl-baselines -p cl-compiler -p cl-core -p cl-isa \
